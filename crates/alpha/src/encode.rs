@@ -1,0 +1,293 @@
+//! Alpha instruction encoders (21064-era ISA: no BWX byte/word memory
+//! ops, no hardware integer division).
+
+use vcode::buf::CodeBuffer;
+
+/// Conventional register numbers.
+pub mod r {
+    #![allow(missing_docs)]
+    pub const V0: u8 = 0;
+    pub const T9: u8 = 23; // division-routine linkage
+    pub const T10: u8 = 24; // division dividend
+    pub const T11: u8 = 25; // division divisor
+    pub const RA: u8 = 26;
+    pub const PV: u8 = 27; // procedure value / division result (t12)
+    pub const AT: u8 = 28;
+    pub const GP: u8 = 29;
+    pub const SP: u8 = 30;
+    pub const ZERO: u8 = 31;
+    pub const A0: u8 = 16;
+}
+
+/// Memory-format instruction: `opcode ra, disp(rb)`.
+pub fn mem(b: &mut CodeBuffer<'_>, opcode: u8, ra: u8, rb: u8, disp: i16) {
+    b.put_u32(
+        (u32::from(opcode) << 26)
+            | (u32::from(ra) << 21)
+            | (u32::from(rb) << 16)
+            | u32::from(disp as u16),
+    );
+}
+
+/// Memory opcodes.
+pub mod m {
+    #![allow(missing_docs)]
+    pub const LDA: u8 = 0x08;
+    pub const LDAH: u8 = 0x09;
+    pub const LDQ_U: u8 = 0x0b;
+    pub const STQ_U: u8 = 0x0f;
+    pub const LDS: u8 = 0x22;
+    pub const LDT: u8 = 0x23;
+    pub const LDL: u8 = 0x28;
+    pub const LDQ: u8 = 0x29;
+    pub const STS: u8 = 0x26;
+    pub const STT: u8 = 0x27;
+    pub const STL: u8 = 0x2c;
+    pub const STQ: u8 = 0x2d;
+}
+
+/// Operate-format, register operand: `opcode.func rc = ra op rb`.
+pub fn opr(b: &mut CodeBuffer<'_>, opcode: u8, func: u8, ra: u8, rb: u8, rc: u8) {
+    b.put_u32(
+        (u32::from(opcode) << 26)
+            | (u32::from(ra) << 21)
+            | (u32::from(rb) << 16)
+            | (u32::from(func) << 5)
+            | u32::from(rc),
+    );
+}
+
+/// Operate-format, 8-bit literal operand.
+pub fn opl(b: &mut CodeBuffer<'_>, opcode: u8, func: u8, ra: u8, lit: u8, rc: u8) {
+    b.put_u32(
+        (u32::from(opcode) << 26)
+            | (u32::from(ra) << 21)
+            | (u32::from(lit) << 13)
+            | (1 << 12)
+            | (u32::from(func) << 5)
+            | u32::from(rc),
+    );
+}
+
+/// Integer operate function codes by opcode.
+pub mod f {
+    #![allow(missing_docs)]
+    // opcode 0x10
+    pub const ADDL: u8 = 0x00;
+    pub const SUBL: u8 = 0x09;
+    pub const ADDQ: u8 = 0x20;
+    pub const SUBQ: u8 = 0x29;
+    pub const CMPULT: u8 = 0x1d;
+    pub const CMPEQ: u8 = 0x2d;
+    pub const CMPULE: u8 = 0x3d;
+    pub const CMPLT: u8 = 0x4d;
+    pub const CMPLE: u8 = 0x6d;
+    // opcode 0x11
+    pub const AND: u8 = 0x00;
+    pub const BIC: u8 = 0x08;
+    pub const BIS: u8 = 0x20;
+    pub const ORNOT: u8 = 0x28;
+    pub const XOR: u8 = 0x40;
+    // opcode 0x12
+    pub const MSKBL: u8 = 0x02;
+    pub const EXTBL: u8 = 0x06;
+    pub const INSBL: u8 = 0x0b;
+    pub const MSKWL: u8 = 0x12;
+    pub const EXTWL: u8 = 0x16;
+    pub const INSWL: u8 = 0x1b;
+    pub const ZAPNOT: u8 = 0x31;
+    pub const SRL: u8 = 0x34;
+    pub const SLL: u8 = 0x39;
+    pub const SRA: u8 = 0x3c;
+    // opcode 0x13
+    pub const MULL: u8 = 0x00;
+    pub const MULQ: u8 = 0x20;
+}
+
+/// Branch-format: `opcode ra, disp21` (target = pc + 4 + 4*disp).
+pub fn branch(b: &mut CodeBuffer<'_>, opcode: u8, ra: u8, disp21: i32) {
+    b.put_u32(
+        (u32::from(opcode) << 26) | (u32::from(ra) << 21) | (disp21 as u32 & 0x1f_ffff),
+    );
+}
+
+/// Branch opcodes.
+pub mod br {
+    #![allow(missing_docs)]
+    pub const BR: u8 = 0x30;
+    pub const BSR: u8 = 0x34;
+    pub const FBEQ: u8 = 0x31;
+    pub const FBLT: u8 = 0x32;
+    pub const FBLE: u8 = 0x33;
+    pub const FBNE: u8 = 0x35;
+    pub const FBGE: u8 = 0x36;
+    pub const FBGT: u8 = 0x37;
+    pub const BLBC: u8 = 0x38;
+    pub const BEQ: u8 = 0x39;
+    pub const BLT: u8 = 0x3a;
+    pub const BLE: u8 = 0x3b;
+    pub const BLBS: u8 = 0x3c;
+    pub const BNE: u8 = 0x3d;
+    pub const BGE: u8 = 0x3e;
+    pub const BGT: u8 = 0x3f;
+}
+
+/// Jump-class instruction (opcode 0x1a): `func` 0 = jmp, 1 = jsr,
+/// 2 = ret.
+pub fn jump(b: &mut CodeBuffer<'_>, func: u8, ra: u8, rb: u8) {
+    b.put_u32(
+        (0x1au32 << 26) | (u32::from(ra) << 21) | (u32::from(rb) << 16) | (u32::from(func) << 14),
+    );
+}
+
+/// IEEE floating operate (opcode 0x16) function codes.
+pub mod ff {
+    #![allow(missing_docs)]
+    pub const ADDS: u16 = 0x080;
+    pub const SUBS: u16 = 0x081;
+    pub const MULS: u16 = 0x082;
+    pub const DIVS: u16 = 0x083;
+    pub const ADDT: u16 = 0x0a0;
+    pub const SUBT: u16 = 0x0a1;
+    pub const MULT: u16 = 0x0a2;
+    pub const DIVT: u16 = 0x0a3;
+    pub const CMPTEQ: u16 = 0x0a5;
+    pub const CMPTLT: u16 = 0x0a6;
+    pub const CMPTLE: u16 = 0x0a7;
+    pub const CVTTQ_C: u16 = 0x02f; // truncating
+    pub const CVTQS: u16 = 0x0bc;
+    pub const CVTQT: u16 = 0x0be;
+    pub const CVTTS: u16 = 0x2ac;
+}
+
+/// FP operate (opcode 0x16): `fc = fa op fb`.
+pub fn fop(b: &mut CodeBuffer<'_>, func: u16, fa: u8, fb: u8, fc: u8) {
+    b.put_u32(
+        (0x16u32 << 26)
+            | (u32::from(fa) << 21)
+            | (u32::from(fb) << 16)
+            | (u32::from(func) << 5)
+            | u32::from(fc),
+    );
+}
+
+/// FP operate (opcode 0x17): `cpys`-family.
+pub fn fop17(b: &mut CodeBuffer<'_>, func: u16, fa: u8, fb: u8, fc: u8) {
+    b.put_u32(
+        (0x17u32 << 26)
+            | (u32::from(fa) << 21)
+            | (u32::from(fb) << 16)
+            | (u32::from(func) << 5)
+            | u32::from(fc),
+    );
+}
+
+/// `cpys` (FP move / sign copy).
+pub const CPYS: u16 = 0x020;
+/// `cpysn` (FP negate).
+pub const CPYSN: u16 = 0x021;
+
+/// `nop` (`bis $31, $31, $31`).
+pub fn nop(b: &mut CodeBuffer<'_>) {
+    opr(b, 0x11, f::BIS, r::ZERO, r::ZERO, r::ZERO);
+}
+
+/// `mov rs, rd` (`bis $31, rs, rd`).
+pub fn mov(b: &mut CodeBuffer<'_>, rd: u8, rs: u8) {
+    opr(b, 0x11, f::BIS, r::ZERO, rs, rd);
+}
+
+/// Loads a 64-bit constant into `rd` (1–7 instructions; may use
+/// `scratch` for the general 64-bit case).
+pub fn li64(b: &mut CodeBuffer<'_>, rd: u8, v: i64, scratch: u8) {
+    if let Ok(v16) = i16::try_from(v) {
+        mem(b, m::LDA, rd, r::ZERO, v16);
+        return;
+    }
+    let lo = v as i16;
+    let rest = v - i64::from(lo);
+    if let Ok(hi) = i16::try_from(rest >> 16) {
+        mem(b, m::LDAH, rd, r::ZERO, hi);
+        if lo != 0 {
+            mem(b, m::LDA, rd, rd, lo);
+        }
+        return;
+    }
+    if i32::try_from(v).is_ok() {
+        // The ldah carry overflowed i16 (values near i32::MAX with a
+        // negative low half): let ldah wrap, then re-canonicalize the
+        // sign extension with addl.
+        mem(b, m::LDAH, rd, r::ZERO, (rest >> 16) as u16 as i16);
+        if lo != 0 {
+            mem(b, m::LDA, rd, rd, lo);
+        }
+        opl(b, 0x10, f::ADDL, rd, 0, rd);
+        return;
+    }
+    // General 64-bit: build the high half, shift it up, then add the
+    // zero-extended low half. The sub-builds only need their low 32 bits
+    // correct (shift and zapnot discard the rest), so the wrapped path
+    // above is harmless here.
+    let lo32 = v as u32;
+    let hi32 = (v >> 32) as i32;
+    li64(b, rd, i64::from(hi32), scratch);
+    opl(b, 0x12, f::SLL, rd, 32, rd);
+    li64(b, scratch, i64::from(lo32 as i32), scratch);
+    opl(b, 0x12, f::ZAPNOT, scratch, 0x0f, scratch);
+    opr(b, 0x10, f::ADDQ, rd, scratch, rd);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emit(fun: impl FnOnce(&mut CodeBuffer<'_>)) -> Vec<u32> {
+        let mut mbuf = [0u8; 64];
+        let mut b = CodeBuffer::new(&mut mbuf);
+        fun(&mut b);
+        (0..b.len() / 4).map(|i| b.read_u32(i * 4)).collect()
+    }
+
+    #[test]
+    fn operate_forms() {
+        // addq $1, $2, $3
+        let w = emit(|b| opr(b, 0x10, f::ADDQ, 1, 2, 3))[0];
+        assert_eq!(w, (0x10 << 26) | (1 << 21) | (2 << 16) | (0x20 << 5) | 3);
+        // addq $1, 7, $3 (literal)
+        let w = emit(|b| opl(b, 0x10, f::ADDQ, 1, 7, 3))[0];
+        assert_eq!(
+            w,
+            (0x10 << 26) | (1 << 21) | (7 << 13) | (1 << 12) | (0x20 << 5) | 3
+        );
+    }
+
+    #[test]
+    fn memory_and_branch_forms() {
+        let w = emit(|b| mem(b, m::LDQ, 1, 30, -16))[0];
+        assert_eq!(w >> 26, 0x29);
+        assert_eq!(w & 0xffff, (-16i16 as u16) as u32);
+        let w = emit(|b| branch(b, br::BNE, 5, -3))[0];
+        assert_eq!(w >> 26, 0x3d);
+        assert_eq!(w & 0x1f_ffff, (-3i32 as u32) & 0x1f_ffff);
+        let w = emit(|b| jump(b, 2, r::ZERO, r::RA))[0];
+        assert_eq!(w >> 26, 0x1a);
+        assert_eq!((w >> 14) & 3, 2, "ret");
+    }
+
+    #[test]
+    fn li64_sizes() {
+        assert_eq!(emit(|b| li64(b, 1, 100, 28)).len(), 1);
+        assert_eq!(emit(|b| li64(b, 1, -100, 28)).len(), 1);
+        assert_eq!(emit(|b| li64(b, 1, 0x12345678, 28)).len(), 2);
+        assert_eq!(emit(|b| li64(b, 1, -0x12345678, 28)).len(), 2);
+        assert_eq!(emit(|b| li64(b, 1, 0x10000, 28)).len(), 1, "ldah only");
+        let n = emit(|b| li64(b, 1, 0x1234_5678_9abc_def0, 28)).len();
+        assert!(n <= 7, "general case is bounded: {n}");
+    }
+
+    #[test]
+    fn nop_is_bis_zero() {
+        let w = emit(nop)[0];
+        assert_eq!(w, (0x11 << 26) | (31 << 21) | (31 << 16) | (0x20 << 5) | 31);
+    }
+}

@@ -1,0 +1,302 @@
+//! The ASH itself: a vcode-generated data-copying loop specialized to
+//! the operations each protocol layer registered.
+//!
+//! "The ASH system dynamically generates a memory copying loop
+//! specialized to the operations performed by each layer" (paper §4.3).
+//! Each [`Step`](crate::Step) contributes its word transformation to the
+//! loop body; the generated loop makes exactly one pass over the message
+//! no matter how many layers composed.
+
+use crate::{reference, Step};
+use std::fmt;
+use vcode::target::Leaf;
+use vcode::{Assembler, RegClass};
+use vcode_x64::{ExecCode, ExecMem, X64};
+
+/// Error from compiling a pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Code generation failed.
+    Codegen(vcode::Error),
+    /// Could not obtain executable memory.
+    Exec(std::io::Error),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Codegen(e) => write!(f, "{e}"),
+            PipelineError::Exec(e) => write!(f, "executable memory: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<vcode::Error> for PipelineError {
+    fn from(e: vcode::Error) -> PipelineError {
+        PipelineError::Codegen(e)
+    }
+}
+
+/// A compiled, fused data pipeline.
+///
+/// The generated function has signature
+/// `fn(dst: *mut u8, src: *const u8, nbytes: u64) -> u64` and returns
+/// the unfolded little-endian word sum when a checksum step is present.
+pub struct Pipeline {
+    code: ExecCode,
+    entry: extern "C" fn(*mut u8, *const u8, u64) -> u64,
+    steps: Vec<Step>,
+    /// Bytes of generated machine code.
+    pub code_len: usize,
+    /// VCODE instructions specified during generation.
+    pub vcode_insns: u64,
+}
+
+impl fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("steps", &self.steps)
+            .field("code_len", &self.code_len)
+            .finish()
+    }
+}
+
+/// Words per unrolled main-loop iteration.
+const UNROLL: i32 = 8;
+
+impl Pipeline {
+    /// Dynamically composes and compiles the pipeline for `steps`.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError`] on code-generation or mapping failure.
+    pub fn compile(steps: &[Step]) -> Result<Pipeline, PipelineError> {
+        Self::compile_with_unroll(steps, UNROLL)
+    }
+
+    /// Compiles with an explicit unroll factor (ablation knob; `1`
+    /// disables unrolling).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError`] on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unroll` is 0 or absurdly large.
+    pub fn compile_with_unroll(steps: &[Step], unroll: i32) -> Result<Pipeline, PipelineError> {
+        assert!((1..=16).contains(&unroll));
+        let do_cksum = steps.contains(&Step::Checksum);
+        let do_swap = steps.contains(&Step::Swap);
+        let mut mem = ExecMem::new(4096).map_err(PipelineError::Exec)?;
+        let mut a =
+            Assembler::<X64>::lambda(mem.as_mut_slice(), "%p%p%ul:%ul", Leaf::Yes)?;
+        let dst = a.arg(0);
+        let src = a.arg(1);
+        let n = a.arg(2);
+        let acc = a.getreg(RegClass::Temp).expect("reg");
+        // A second accumulator halves the add-latency dependency chain.
+        let acc2 = a.getreg(RegClass::Temp).expect("reg");
+        let w = a.getreg(RegClass::Temp).expect("reg");
+        let t = a.getreg(RegClass::Temp).expect("reg");
+        let end = a.getreg(RegClass::Temp).expect("reg");
+        let end_main = a.getreg(RegClass::Temp).expect("reg");
+        a.setul(acc, 0);
+        a.setul(acc2, 0);
+        a.addp(end, src, n);
+        let chunk = i64::from(unroll) * 4;
+        // end_main = src + (n & !(chunk - 1))
+        a.anduli(end_main, n, !(chunk - 1));
+        a.addp(end_main, src, end_main);
+
+        // One 64-bit word of the fused body: the per-layer steps
+        // contributed their transformations and the loop makes a single
+        // pass. (The ones-complement sum may be accumulated over any
+        // word width — 2^32 ≡ 1 (mod 65535) — but 64-bit lanes could
+        // overflow the accumulator on long messages, so the two 32-bit
+        // halves are added separately.)
+        let body64 = |a: &mut Assembler<'_, X64>, off: i32, sum: vcode::Reg| {
+            a.lduli(w, src, off);
+            if do_cksum {
+                a.movu(t, w); // 32-bit move zero-extends: the low lane
+                a.addul(sum, sum, t);
+                a.rshuli(t, w, 32);
+                a.addul(sum, sum, t);
+            }
+            if do_swap {
+                // Swap bytes within each halfword of the 64-bit word.
+                a.anduli(t, w, 0x00ff_00ff_00ff_00ff);
+                a.lshuli(t, t, 8);
+                a.rshuli(w, w, 8);
+                a.anduli(w, w, 0x00ff_00ff_00ff_00ff);
+                a.orul(w, w, t);
+            }
+            a.stuli(w, dst, off);
+        };
+        let body32 = |a: &mut Assembler<'_, X64>, off: i32| {
+            a.ldui(w, src, off);
+            if do_cksum {
+                a.addul(acc, acc, w);
+            }
+            if do_swap {
+                a.andui(t, w, 0x00ff_00ff);
+                a.lshui(t, t, 8);
+                a.rshui(w, w, 8);
+                a.andui(w, w, 0x00ff_00ff);
+                a.oru(w, w, t);
+            }
+            a.stui(w, dst, off);
+        };
+
+        let main_top = a.genlabel();
+        let tail_top = a.genlabel();
+        let done = a.genlabel();
+        a.label(main_top);
+        a.bgep(src, end_main, tail_top);
+        for k in 0..unroll / 2 {
+            body64(&mut a, k * 8, if k % 2 == 0 { acc } else { acc2 });
+        }
+        if unroll % 2 == 1 {
+            body32(&mut a, (unroll - 1) * 4);
+        }
+        a.addpi(src, src, chunk);
+        a.addpi(dst, dst, chunk);
+        a.jmp(main_top);
+        // Tail: single 32-bit words.
+        a.label(tail_top);
+        a.bgep(src, end, done);
+        body32(&mut a, 0);
+        a.addpi(src, src, 4);
+        a.addpi(dst, dst, 4);
+        a.jmp(tail_top);
+        a.label(done);
+        a.addul(acc, acc, acc2);
+        a.retul(acc);
+        let vcode_insns = a.insn_count();
+        let fin = a.end()?;
+        let code = mem.finalize().map_err(PipelineError::Exec)?;
+        // SAFETY: the generated function has the declared C ABI and only
+        // touches dst[..n] / src[..n].
+        let entry: extern "C" fn(*mut u8, *const u8, u64) -> u64 = unsafe { code.as_fn() };
+        Ok(Pipeline {
+            code,
+            entry,
+            steps: steps.to_vec(),
+            code_len: fin.len,
+            vcode_insns,
+        })
+    }
+
+    /// Runs the pipeline, copying `src` to `dst` with the composed
+    /// transformations; returns the Internet checksum when a
+    /// [`Step::Checksum`] is present (0 otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `src.len() == dst.len()` and the length is a
+    /// multiple of 4.
+    #[inline]
+    pub fn run(&self, src: &[u8], dst: &mut [u8]) -> u16 {
+        assert_eq!(src.len(), dst.len());
+        assert!(src.len().is_multiple_of(4), "pipelines operate on whole words");
+        let sum = (self.entry)(dst.as_mut_ptr(), src.as_ptr(), src.len() as u64);
+        if self.steps.contains(&Step::Checksum) {
+            reference::fold_le_words(sum)
+        } else {
+            0
+        }
+    }
+
+    /// The composed steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Entry address (diagnostics).
+    pub fn entry_addr(&self) -> u64 {
+        self.code.addr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{integrated, separate};
+
+    fn data(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 131 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn all_step_combinations_match_baselines() {
+        for steps in [
+            vec![],
+            vec![Step::Checksum],
+            vec![Step::Swap],
+            vec![Step::Checksum, Step::Swap],
+        ] {
+            let p = Pipeline::compile(&steps).unwrap();
+            for n in [0usize, 4, 8, 12, 16, 20, 64, 100, 1024, 1500 / 4 * 4] {
+                let src = data(n);
+                let mut d_ash = vec![0u8; n];
+                let mut d_sep = vec![0u8; n];
+                let mut d_int = vec![0u8; n];
+                let c_ash = p.run(&src, &mut d_ash);
+                let c_sep = separate(&steps, &src, &mut d_sep);
+                let c_int = integrated(&steps, &src, &mut d_int);
+                assert_eq!(d_ash, d_sep, "{steps:?} n={n}");
+                assert_eq!(d_ash, d_int, "{steps:?} n={n}");
+                assert_eq!(c_ash, c_sep, "{steps:?} n={n}");
+                assert_eq!(c_ash, c_int, "{steps:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn unroll_factors_agree() {
+        let src = data(4096);
+        let steps = [Step::Checksum, Step::Swap];
+        let reference_p = Pipeline::compile_with_unroll(&steps, 1).unwrap();
+        let mut want = vec![0u8; src.len()];
+        let want_ck = reference_p.run(&src, &mut want);
+        for unroll in [2, 4, 8] {
+            let p = Pipeline::compile_with_unroll(&steps, unroll).unwrap();
+            let mut got = vec![0u8; src.len()];
+            let ck = p.run(&src, &mut got);
+            assert_eq!(got, want, "unroll {unroll}");
+            assert_eq!(ck, want_ck, "unroll {unroll}");
+        }
+    }
+
+    #[test]
+    fn non_multiple_of_unroll_hits_tail_loop() {
+        let steps = [Step::Checksum];
+        let p = Pipeline::compile_with_unroll(&steps, 4).unwrap();
+        for words in [1usize, 2, 3, 5, 7, 9] {
+            let src = data(words * 4);
+            let mut dst = vec![0u8; src.len()];
+            let ck = p.run(&src, &mut dst);
+            assert_eq!(dst, src);
+            assert_eq!(ck, reference::checksum(&src), "{words} words");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole words")]
+    fn odd_length_rejected() {
+        let p = Pipeline::compile(&[]).unwrap();
+        let src = [0u8; 6];
+        let mut dst = [0u8; 6];
+        let _ = p.run(&src[..6], &mut dst[..6]);
+    }
+
+    #[test]
+    fn generated_code_is_small_and_counted() {
+        let p = Pipeline::compile(&[Step::Checksum, Step::Swap]).unwrap();
+        assert!(p.vcode_insns > 10);
+        assert!(p.code_len < 1024);
+        assert_eq!(p.steps(), &[Step::Checksum, Step::Swap]);
+    }
+}

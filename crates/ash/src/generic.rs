@@ -1,0 +1,176 @@
+//! Target-generic pipeline generation, for reproducing Table 4 on the
+//! *simulated* paper machines.
+//!
+//! The native [`Pipeline`](crate::Pipeline) is specialized for x86-64
+//! wall-clock runs. This module generates the same fused loop — and the
+//! separate-pass baselines — through the portable VCODE surface for any
+//! [`Target`], so the MIPS simulator with the DECstation cache models
+//! can replay the experiment in deterministic cycles (see the
+//! `table4_sim` bench).
+//!
+//! All functions use 32-bit words and halfword checksum accumulation
+//! (sum of 16-bit fields in a 32-bit register cannot overflow for
+//! messages under 256 KiB), so they run unchanged on 32- and 64-bit
+//! targets.
+
+use crate::Step;
+use vcode::target::Leaf;
+use vcode::{Assembler, Error, Finished, Reg, RegClass, Target};
+
+/// Emits the per-word checksum accumulation (two halfword adds).
+fn cksum_word<T: Target>(a: &mut Assembler<'_, T>, acc: Reg, w: Reg, t: Reg) {
+    a.andui(t, w, 0xffff);
+    a.addu(acc, acc, t);
+    a.rshui(t, w, 16);
+    a.addu(acc, acc, t);
+}
+
+/// Emits the per-word halfword byte swap.
+fn swap_word<T: Target>(a: &mut Assembler<'_, T>, w: Reg, t: Reg) {
+    a.andui(t, w, 0x00ff_00ff);
+    a.lshui(t, t, 8);
+    a.rshui(w, w, 8);
+    a.andui(w, w, 0x00ff_00ff);
+    a.oru(w, w, t);
+}
+
+/// Generates the fused pipeline
+/// `fn(dst: p, src: p, nwords: i) -> u` (partial halfword sum; fold
+/// with [`crate::reference::fold`] after a final byte swap — the sum is
+/// over little-endian halfwords).
+///
+/// # Errors
+///
+/// Any code-generation error.
+pub fn compile_fused<T: Target>(mem: &mut [u8], steps: &[Step]) -> Result<Finished, Error> {
+    let do_cksum = steps.contains(&Step::Checksum);
+    let do_swap = steps.contains(&Step::Swap);
+    let mut a = Assembler::<T>::lambda(mem, "%p%p%i:%u", Leaf::Yes)?;
+    let (dst, src, n) = (a.arg(0), a.arg(1), a.arg(2));
+    let acc = a.getreg(RegClass::Temp).expect("reg");
+    let w = a.getreg(RegClass::Temp).expect("reg");
+    let t = a.getreg(RegClass::Temp).expect("reg");
+    let i = a.getreg(RegClass::Temp).expect("reg");
+    let off = a.getreg(RegClass::Temp).expect("reg");
+    a.setu(acc, 0);
+    a.seti(i, 0);
+    let (top, done) = (a.genlabel(), a.genlabel());
+    a.label(top);
+    a.bgei(i, n, done);
+    a.lshii(off, i, 2);
+    a.ldu(w, src, off);
+    if do_cksum {
+        cksum_word(&mut a, acc, w, t);
+    }
+    if do_swap {
+        swap_word(&mut a, w, t);
+    }
+    a.stu(w, dst, off);
+    a.addii(i, i, 1);
+    a.jmp(top);
+    a.label(done);
+    a.retu(acc);
+    a.end()
+}
+
+/// Generates a bare copy pass `fn(dst, src, nwords)`.
+///
+/// # Errors
+///
+/// Any code-generation error.
+pub fn compile_copy<T: Target>(mem: &mut [u8]) -> Result<Finished, Error> {
+    compile_fused::<T>(mem, &[])
+}
+
+/// Generates a checksum-only pass `fn(buf: p, nwords: i) -> u`.
+///
+/// # Errors
+///
+/// Any code-generation error.
+pub fn compile_cksum<T: Target>(mem: &mut [u8]) -> Result<Finished, Error> {
+    let mut a = Assembler::<T>::lambda(mem, "%p%i:%u", Leaf::Yes)?;
+    let (buf, n) = (a.arg(0), a.arg(1));
+    let acc = a.getreg(RegClass::Temp).expect("reg");
+    let w = a.getreg(RegClass::Temp).expect("reg");
+    let t = a.getreg(RegClass::Temp).expect("reg");
+    let i = a.getreg(RegClass::Temp).expect("reg");
+    let off = a.getreg(RegClass::Temp).expect("reg");
+    a.setu(acc, 0);
+    a.seti(i, 0);
+    let (top, done) = (a.genlabel(), a.genlabel());
+    a.label(top);
+    a.bgei(i, n, done);
+    a.lshii(off, i, 2);
+    a.ldu(w, buf, off);
+    cksum_word(&mut a, acc, w, t);
+    a.addii(i, i, 1);
+    a.jmp(top);
+    a.label(done);
+    a.retu(acc);
+    a.end()
+}
+
+/// Generates an in-place byte-swap pass `fn(buf: p, nwords: i)`.
+///
+/// # Errors
+///
+/// Any code-generation error.
+pub fn compile_swap<T: Target>(mem: &mut [u8]) -> Result<Finished, Error> {
+    let mut a = Assembler::<T>::lambda(mem, "%p%i", Leaf::Yes)?;
+    let (buf, n) = (a.arg(0), a.arg(1));
+    let w = a.getreg(RegClass::Temp).expect("reg");
+    let t = a.getreg(RegClass::Temp).expect("reg");
+    let i = a.getreg(RegClass::Temp).expect("reg");
+    let off = a.getreg(RegClass::Temp).expect("reg");
+    a.seti(i, 0);
+    let (top, done) = (a.genlabel(), a.genlabel());
+    a.label(top);
+    a.bgei(i, n, done);
+    a.lshii(off, i, 2);
+    a.ldu(w, buf, off);
+    swap_word(&mut a, w, t);
+    a.stu(w, buf, off);
+    a.addii(i, i, 1);
+    a.jmp(top);
+    a.label(done);
+    a.retv();
+    a.end()
+}
+
+/// Folds a little-endian halfword sum into the Internet checksum.
+pub fn fold_le_halfwords(sum: u32) -> u16 {
+    crate::reference::fold_le_words(u64::from(sum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use vcode::fake::FakeTarget;
+
+    #[test]
+    fn generic_pipelines_build_for_the_test_target() {
+        let mut mem = vec![0u8; 8192];
+        for steps in [
+            vec![],
+            vec![Step::Checksum],
+            vec![Step::Swap],
+            vec![Step::Checksum, Step::Swap],
+        ] {
+            let fin = compile_fused::<FakeTarget>(&mut mem, &steps).unwrap();
+            assert!(fin.len > 0, "{steps:?}");
+        }
+        assert!(compile_cksum::<FakeTarget>(&mut mem).unwrap().len > 0);
+        assert!(compile_swap::<FakeTarget>(&mut mem).unwrap().len > 0);
+    }
+
+    #[test]
+    fn halfword_fold_matches_reference() {
+        let data: Vec<u8> = (0..64).map(|i| (i * 37 + 3) as u8).collect();
+        let mut sum: u32 = 0;
+        for h in data.chunks_exact(2) {
+            sum += u32::from(u16::from_le_bytes([h[0], h[1]]));
+        }
+        assert_eq!(fold_le_halfwords(sum), reference::checksum(&data));
+    }
+}

@@ -1,0 +1,104 @@
+//! Table 3: average time to classify TCP/IP headers destined for one of
+//! ten resident filters — DPF (dynamically compiled) vs the MPF- and
+//! PATHFINDER-style interpreters.
+//!
+//! Paper numbers (DEC5000/200, µs): DPF 1.5, PATHFINDER ~15, MPF ~30 —
+//! i.e. DPF ≈10× PATHFINDER-interpretation and ≈20× MPF. The absolute
+//! scale here is a modern CPU's; the ratios are the reproduced shape.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpf::mpf::Mpf;
+use dpf::packet::{self, PacketSpec};
+use dpf::{Dpf, Pathfinder};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Setup {
+    dpf: Dpf,
+    mpf: Mpf,
+    pf: Pathfinder,
+    packets: Vec<Vec<u8>>,
+}
+
+fn setup() -> Setup {
+    let filters = packet::port_filter_set(10, 1000);
+    let mut dpf = Dpf::new();
+    let mut mpf = Mpf::new();
+    let mut pf = Pathfinder::new();
+    for f in &filters {
+        dpf.insert(f.clone());
+        mpf.insert(f);
+        pf.insert(f.clone());
+    }
+    dpf.compile().expect("compiles");
+    // The experiment's stream: packets for each resident filter (the
+    // paper classifies messages destined for one of the ten filters).
+    let packets: Vec<Vec<u8>> = (0..10)
+        .map(|i| {
+            packet::build(&PacketSpec {
+                dst_port: 1000 + i,
+                ..PacketSpec::default()
+            })
+        })
+        .collect();
+    Setup {
+        dpf,
+        mpf,
+        pf,
+        packets,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("table3_classify");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("dpf_compiled", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % s.packets.len();
+            black_box(s.dpf.classify(&s.packets[i]))
+        })
+    });
+    group.bench_function("pathfinder_interpreted", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % s.packets.len();
+            black_box(s.pf.classify(&s.packets[i]))
+        })
+    });
+    group.bench_function("mpf_interpreted", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % s.packets.len();
+            black_box(s.mpf.classify(&s.packets[i]))
+        })
+    });
+    group.finish();
+
+    // Paper-style row: the average of 100 000 trials.
+    const TRIALS: usize = 100_000;
+    let avg = |f: &dyn Fn(&[u8]) -> Option<u32>| {
+        let t = Instant::now();
+        for k in 0..TRIALS {
+            black_box(f(&s.packets[k % s.packets.len()]));
+        }
+        t.elapsed().as_secs_f64() * 1e9 / TRIALS as f64
+    };
+    let ns_dpf = avg(&|m| s.dpf.classify(m));
+    let ns_pf = avg(&|m| s.pf.classify(m));
+    let ns_mpf = avg(&|m| s.mpf.classify(m));
+    println!("\n=== Table 3 analog: classify one of ten TCP/IP filters ===");
+    println!("  engine       ns/msg      vs DPF   (paper: PF ~10x, MPF ~20x)");
+    println!("  MPF        {ns_mpf:8.1}    {:8.1}x", ns_mpf / ns_dpf);
+    println!("  PATHFINDER {ns_pf:8.1}    {:8.1}x", ns_pf / ns_dpf);
+    println!("  DPF        {ns_dpf:8.1}         1x");
+    let c = s.dpf.compiled().unwrap();
+    println!(
+        "  (DPF: {} bytes of code from {} vcode insns, dispatch {:?})",
+        c.code_len, c.vcode_insns, c.strategies
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

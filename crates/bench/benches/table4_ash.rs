@@ -1,0 +1,120 @@
+//! Table 4: cost of integrated and non-integrated memory operations.
+//!
+//! Rows: separate passes (modular baseline) with cold and warm caches,
+//! the hand-integrated C loop, and the ASH (vcode-fused loop), for
+//! copy+checksum and copy+checksum+byteswap. The paper's shape: the
+//! fused pipeline wins 20–50% warm-cache and roughly 2× cold.
+//! (On modern SIMD hardware the separate baseline's `memcpy` wins the
+//! single-op pipeline warm; see EXPERIMENTS.md.)
+
+use ash::{integrated, separate, Pipeline, Step};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+const MSG: usize = 16 * 1024;
+const RING: usize = 4096;
+
+fn bench(c: &mut Criterion) {
+    let src: Vec<u8> = (0..MSG).map(|i| (i * 31 + 7) as u8).collect();
+    let mut dst = vec![0u8; MSG];
+    for steps in [vec![Step::Checksum], vec![Step::Checksum, Step::Swap]] {
+        let name = if steps.len() == 1 { "cksum" } else { "cksum_swap" };
+        let p = Pipeline::compile(&steps).expect("compiles");
+        let mut group = c.benchmark_group(format!("table4_{name}"));
+        group.throughput(Throughput::Bytes(MSG as u64));
+        group.bench_function("separate", |b| {
+            b.iter(|| black_box(separate(&steps, &src, &mut dst)))
+        });
+        group.bench_function("integrated_c", |b| {
+            b.iter(|| black_box(integrated(&steps, &src, &mut dst)))
+        });
+        group.bench_function("ash_fused", |b| {
+            b.iter(|| black_box(p.run(&src, &mut dst)))
+        });
+        group.finish();
+    }
+
+    // Paper-style table with cold rows (working set larger than LLC).
+    let mut ring = vec![0u8; RING * 2 * MSG];
+    for (i, b) in ring.iter_mut().enumerate() {
+        *b = (i * 13 + 5) as u8;
+    }
+    let time_warm = |f: &mut dyn FnMut(&[u8], &mut [u8]) -> u16| {
+        const REPS: u32 = 3000;
+        let mut d = vec![0u8; MSG];
+        let t = Instant::now();
+        for _ in 0..REPS {
+            black_box(f(&src, &mut d));
+        }
+        t.elapsed().as_secs_f64() * 1e9 / f64::from(REPS)
+    };
+    let mut time_cold = |f: &mut dyn FnMut(&[u8], &mut [u8]) -> u16| {
+        let n = ring.len() / (2 * MSG);
+        let t = Instant::now();
+        for i in 0..n {
+            let (a, b) = ring[i * 2 * MSG..(i + 1) * 2 * MSG].split_at_mut(MSG);
+            black_box(f(a, b));
+        }
+        t.elapsed().as_secs_f64() * 1e9 / n as f64
+    };
+    println!("\n=== Table 4 analog: 16 KiB messages, ns/message ===");
+    println!(
+        "{:24} {:>12} {:>16}",
+        "method", "copy+cksum", "copy+cksum+swap"
+    );
+    let mut rows: Vec<(&str, Vec<f64>)> = Vec::new();
+    let cksum = vec![Step::Checksum];
+    let both = vec![Step::Checksum, Step::Swap];
+    let p1 = Pipeline::compile(&cksum).unwrap();
+    let p2 = Pipeline::compile(&both).unwrap();
+    rows.push((
+        "separate, uncached",
+        vec![
+            time_cold(&mut |s, d| separate(&cksum, s, d)),
+            time_cold(&mut |s, d| separate(&both, s, d)),
+        ],
+    ));
+    rows.push((
+        "separate",
+        vec![
+            time_warm(&mut |s, d| separate(&cksum, s, d)),
+            time_warm(&mut |s, d| separate(&both, s, d)),
+        ],
+    ));
+    rows.push((
+        "C integrated",
+        vec![
+            time_warm(&mut |s, d| integrated(&cksum, s, d)),
+            time_warm(&mut |s, d| integrated(&both, s, d)),
+        ],
+    ));
+    rows.push((
+        "ASH, uncached",
+        vec![
+            time_cold(&mut |s, d| p1.run(s, d)),
+            time_cold(&mut |s, d| p2.run(s, d)),
+        ],
+    ));
+    rows.push((
+        "ASH",
+        vec![
+            time_warm(&mut |s, d| p1.run(s, d)),
+            time_warm(&mut |s, d| p2.run(s, d)),
+        ],
+    ));
+    for (name, v) in &rows {
+        println!("{name:24} {:>12.0} {:>16.0}", v[0], v[1]);
+    }
+    println!(
+        "\nfused-vs-separate: warm {:.2}x / {:.2}x, cold {:.2}x / {:.2}x \
+         (paper: 1.2-1.5x warm, ~2x cold)",
+        rows[1].1[0] / rows[4].1[0],
+        rows[1].1[1] / rows[4].1[1],
+        rows[0].1[0] / rows[3].1[0],
+        rows[0].1[1] / rows[3].1[1],
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

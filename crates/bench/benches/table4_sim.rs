@@ -1,0 +1,147 @@
+//! Table 4 replayed on the *simulated* paper machine: the fused and
+//! separate pipelines generated for MIPS, executed by the instruction-set
+//! simulator with the DECstation 3100 / 5000 cache models, reported in
+//! deterministic cycles. This removes the modern-SIMD confound of the
+//! native Table 4 run (see EXPERIMENTS.md): both competitors execute
+//! scalar MIPS code, as on the paper's hardware.
+
+use ash::generic::{self, fold_le_halfwords};
+use ash::{reference, Step};
+use vcode_mips::Mips;
+use vcode_sim::mips::Machine;
+use vcode_sim::Cache;
+
+const MSG: usize = 16 * 1024;
+const STEPS: u64 = 50_000_000;
+
+struct SimSetup {
+    m: Machine,
+    fused_ck: u32,
+    fused_both: u32,
+    copy: u32,
+    cksum: u32,
+    swap: u32,
+    src: u32,
+    dst: u32,
+}
+
+fn setup(cache: Option<Cache>) -> SimSetup {
+    let gen = |f: &dyn Fn(&mut [u8]) -> vcode::Finished| {
+        let mut mem = vec![0u8; 8192];
+        let fin = f(&mut mem);
+        mem.truncate(fin.len);
+        mem
+    };
+    let fused_ck = gen(&|m| generic::compile_fused::<Mips>(m, &[Step::Checksum]).unwrap());
+    let fused_both =
+        gen(&|m| generic::compile_fused::<Mips>(m, &[Step::Checksum, Step::Swap]).unwrap());
+    let copy = gen(&|m| generic::compile_copy::<Mips>(m).unwrap());
+    let cksum = gen(&|m| generic::compile_cksum::<Mips>(m).unwrap());
+    let swap = gen(&|m| generic::compile_swap::<Mips>(m).unwrap());
+    let mut m = Machine::new(1 << 22);
+    m.strict_load_delay = true;
+    m.dcache = cache;
+    let fused_ck = m.load_code(&fused_ck);
+    let fused_both = m.load_code(&fused_both);
+    let copy = m.load_code(&copy);
+    let cksum = m.load_code(&cksum);
+    let swap = m.load_code(&swap);
+    let src = m.alloc(MSG, 16);
+    let dst = m.alloc(MSG, 16);
+    let data: Vec<u8> = (0..MSG).map(|i| (i * 31 + 7) as u8).collect();
+    m.write(src, &data);
+    SimSetup {
+        m,
+        fused_ck,
+        fused_both,
+        copy,
+        cksum,
+        swap,
+        src,
+        dst,
+    }
+}
+
+impl SimSetup {
+    fn flush(&mut self) {
+        if let Some(c) = &mut self.m.dcache {
+            c.flush();
+        }
+    }
+
+    fn cycles(&mut self, f: impl FnOnce(&mut Machine)) -> u64 {
+        let before = self.m.cycles();
+        f(&mut self.m);
+        self.m.cycles() - before
+    }
+
+    fn run_fused(&mut self, both: bool) -> (u64, u16) {
+        let entry = if both { self.fused_both } else { self.fused_ck };
+        let (src, dst) = (self.src, self.dst);
+        let mut sum = 0;
+        let cyc = self.cycles(|m| {
+            sum = m.call(entry, &[dst, src, (MSG / 4) as u32], STEPS).unwrap();
+        });
+        (cyc, fold_le_halfwords(sum))
+    }
+
+    fn run_separate(&mut self, both: bool) -> (u64, u16) {
+        let (src, dst, copy, cksum, swap) = (self.src, self.dst, self.copy, self.cksum, self.swap);
+        let mut sum = 0;
+        let cyc = self.cycles(|m| {
+            m.call(copy, &[dst, src, (MSG / 4) as u32], STEPS).unwrap();
+            sum = m.call(cksum, &[dst, (MSG / 4) as u32], STEPS).unwrap();
+            if both {
+                m.call(swap, &[dst, (MSG / 4) as u32], STEPS).unwrap();
+            }
+        });
+        (cyc, fold_le_halfwords(sum))
+    }
+}
+
+fn main() {
+    println!("=== Table 4 on the simulated machines (cycles / 16 KiB message) ===");
+    let expect: Vec<u8> = (0..MSG).map(|i| (i * 31 + 7) as u8).collect();
+    let want = reference::checksum(&expect);
+    for (machine, cache) in [
+        ("DEC3100-like", Cache::dec3100()),
+        ("DEC5000-like", Cache::dec5000()),
+    ] {
+        println!("\n{machine} (64 KiB direct-mapped dcache):");
+        println!("{:22} {:>12} {:>16}", "method", "copy+cksum", "copy+cksum+swap");
+        let mut rows: Vec<(&str, Vec<u64>)> = vec![
+            ("separate, uncached", vec![]),
+            ("separate, cached", vec![]),
+            ("ASH, uncached", vec![]),
+            ("ASH, cached", vec![]),
+        ];
+        for both in [false, true] {
+            let mut s = setup(Some(cache.clone()));
+            // Uncached: first touch after a flush.
+            s.flush();
+            let (cyc, ck) = s.run_separate(both);
+            assert_eq!(ck, want, "separate checksum correct");
+            rows[0].1.push(cyc);
+            // Cached: run again warm.
+            let (cyc, _) = s.run_separate(both);
+            rows[1].1.push(cyc);
+            s.flush();
+            let (cyc, ck) = s.run_fused(both);
+            assert_eq!(ck, want, "fused checksum correct");
+            rows[2].1.push(cyc);
+            let (cyc, _) = s.run_fused(both);
+            rows[3].1.push(cyc);
+        }
+        for (name, v) in &rows {
+            println!("{name:22} {:>12} {:>16}", v[0], v[1]);
+        }
+        println!(
+            "fused-vs-separate: cached {:.2}x / {:.2}x, uncached {:.2}x / {:.2}x \
+             (paper: 1.2-1.5x cached, ~2x flushed)",
+            rows[1].1[0] as f64 / rows[3].1[0] as f64,
+            rows[1].1[1] as f64 / rows[3].1[1] as f64,
+            rows[0].1[0] as f64 / rows[2].1[0] as f64,
+            rows[0].1[1] as f64 / rows[2].1[1] as f64,
+        );
+    }
+}

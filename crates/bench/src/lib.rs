@@ -1,0 +1,16 @@
+//! Shared helpers for the benchmark harness. See the `benches/` targets:
+//!
+//! - `codegen_cost` — §1/§5.1/Figure 2: instructions-per-generated-
+//!   instruction, VCODE vs hard-coded registers vs the DCG baseline,
+//!   plus the space comparison.
+//! - `table3_dpf` — Table 3: packet classification, DPF vs MPF vs
+//!   PATHFINDER.
+//! - `table4_ash` — Table 4: integrated vs non-integrated memory
+//!   operations.
+//! - `ablation` — design-choice ablations from DESIGN.md (dispatch
+//!   strategies, bounds-check elision, unrolling, per-target emission
+//!   speed, Alpha byte-op synthesis).
+
+/// A standard straight-line workload: `n` arithmetic/memory VCODE
+/// instructions, the unit of the codegen-cost experiments.
+pub const BODY_INSNS: usize = 256;

@@ -1,0 +1,829 @@
+//! The assembler: VCODE's client interface.
+//!
+//! [`Assembler<T>`] is the Rust analogue of the paper's `v_*` macro family:
+//! a monomorphized, `#[inline]`-heavy instruction surface that encodes each
+//! VCODE instruction directly into client storage the moment it is
+//! specified — *zero passes*, no intermediate representation (paper §3).
+//!
+//! A generation session mirrors Figure 1 of the paper:
+//!
+//! ```
+//! use vcode::{Assembler, Leaf, RegClass};
+//! use vcode::fake::FakeTarget; // a do-nothing target used in doctests
+//!
+//! let mut mem = vec![0u8; 1024];
+//! // v_lambda: "%i" = one int argument.
+//! let mut a = Assembler::<FakeTarget>::lambda(&mut mem, "%i", Leaf::Yes)?;
+//! let arg = a.arg(0);
+//! a.addii(arg, arg, 1); // ADD Integer Immediate
+//! a.reti(arg);          // RETurn Integer
+//! let f = a.end()?;     // v_end: link + cleanup
+//! assert!(f.len > 0);
+//! # Ok::<(), vcode::Error>(())
+//! ```
+
+use crate::buf::CodeBuffer;
+use crate::error::Error;
+use crate::label::{Fixup, FixupTarget, Label, LabelMap, LiteralPool};
+use crate::op::{BinOp, Cond, Imm, UnOp};
+use crate::reg::{Bank, Reg, RegClass, RegFile, RegKind};
+use crate::regalloc::RegAlloc;
+use crate::target::{BrOperand, CallFrame, Finished, JumpTarget, Leaf, Off, StackSlot, Target, TargetScratch};
+use crate::ty::{Sig, Ty};
+use std::marker::PhantomData;
+
+/// Target-independent assembler state, shared with [`Target`]
+/// implementations.
+///
+/// All fields are public within the retargeting interface: a backend is a
+/// trusted extension of the core, exactly as a machine-specification file
+/// was in the original system.
+#[derive(Debug)]
+pub struct Asm<'m> {
+    /// The in-place code buffer (client storage + instruction pointer).
+    pub buf: CodeBuffer<'m>,
+    /// Label offset table.
+    pub labels: LabelMap,
+    /// Unresolved jump/branch/literal references.
+    pub fixups: Vec<Fixup>,
+    /// Floating-point literal pool (paper §5.2).
+    pub lits: LiteralPool,
+    /// The register allocator.
+    pub ra: RegAlloc,
+    /// The function's signature.
+    pub sig: Sig,
+    /// Leaf declaration.
+    pub leaf: Leaf,
+    /// Label of the (deferred) epilogue; `ret` jumps here.
+    pub epilogue: Label,
+    /// Bytes of local-variable space allocated so far.
+    pub locals_bytes: usize,
+    /// Backend scratch (prologue patch sites etc.).
+    pub ts: TargetScratch,
+    /// First latched error, reported at `end`.
+    pub err: Option<Error>,
+    /// When set, branch emitters must leave their delay slot open
+    /// (manual scheduling via `schedule_delay`, paper §5.3).
+    pub manual_delay: bool,
+    /// When set, load emitters must not pad the load delay
+    /// (`raw_load`, paper §5.3).
+    pub raw_load: bool,
+    /// Count of VCODE instructions specified so far (statistics).
+    pub insns: u64,
+    /// Count of ret sites recorded (lets backends elide the
+    /// jump-to-epilogue when possible, paper §5.2).
+    pub ret_sites: Vec<usize>,
+}
+
+impl<'m> Asm<'m> {
+    /// Latches the first error (later ones are dropped; by then the code
+    /// is unusable anyway).
+    pub fn record_err(&mut self, e: Error) {
+        if self.err.is_none() {
+            self.err = Some(e);
+        }
+    }
+
+    /// Records an unresolved reference at the current cursor.
+    pub fn fixup_here(&mut self, target: FixupTarget, kind: u8) {
+        self.fixups.push(Fixup {
+            at: self.buf.len(),
+            target,
+            kind,
+        });
+    }
+
+    /// Records an unresolved reference at an explicit offset.
+    pub fn fixup_at(&mut self, at: usize, target: FixupTarget, kind: u8) {
+        self.fixups.push(Fixup { at, target, kind });
+    }
+
+    /// Bytes of bookkeeping VCODE holds besides the code itself: labels
+    /// and unresolved jumps (paper §3: "at a cost of a few words per
+    /// label"). Used by the space-behaviour experiment.
+    pub fn aux_bytes(&self) -> usize {
+        self.labels.len() * std::mem::size_of::<usize>()
+            + self.fixups.capacity() * std::mem::size_of::<Fixup>()
+            + self.lits.len() * 9
+    }
+}
+
+/// The VCODE assembler for target `T`.
+///
+/// Construct with [`Assembler::lambda`], specify instructions with the
+/// typed methods (`addi`, `ldii`, `bltii`, ... — the paper's `v_addi`
+/// family without the prefix), and finish with [`Assembler::end`].
+#[derive(Debug)]
+pub struct Assembler<'m, T: Target> {
+    a: Asm<'m>,
+    args: Vec<Reg>,
+    _t: PhantomData<T>,
+}
+
+/// Generates the register and immediate forms of a typed binary operation.
+macro_rules! binops {
+    ($($name:ident, $imm:ident => $op:ident, $ty:ident);* $(;)?) => { $(
+        #[doc = concat!("`rd = rs1 ", stringify!($op), " rs2` (type `", stringify!($ty), "`).")]
+        #[inline]
+        pub fn $name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+            debug_assert!(
+                rd.is_flt() == Ty::$ty.is_float()
+                    && rs1.is_flt() == Ty::$ty.is_float()
+                    && rs2.is_flt() == Ty::$ty.is_float(),
+                concat!("register bank mismatch in ", stringify!($name))
+            );
+            self.a.insns += 1;
+            T::emit_binop(&mut self.a, BinOp::$op, Ty::$ty, rd, rs1, rs2);
+        }
+        #[doc = concat!("`rd = rs ", stringify!($op), " imm` (type `", stringify!($ty), "`, immediate).")]
+        #[inline]
+        pub fn $imm(&mut self, rd: Reg, rs: Reg, imm: i64) {
+            debug_assert!(
+                !rd.is_flt() && !rs.is_flt(),
+                concat!("register bank mismatch in ", stringify!($imm))
+            );
+            self.a.insns += 1;
+            T::emit_binop_imm(&mut self.a, BinOp::$op, Ty::$ty, rd, rs, imm);
+        }
+    )* }
+}
+
+/// Generates register-only binary operations (float/double: Table 2
+/// footnote — immediates are not allowed for `f`/`d`).
+macro_rules! binops_regonly {
+    ($($name:ident => $op:ident, $ty:ident);* $(;)?) => { $(
+        #[doc = concat!("`rd = rs1 ", stringify!($op), " rs2` (type `", stringify!($ty), "`).")]
+        #[inline]
+        pub fn $name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+            debug_assert!(
+                rd.is_flt() == Ty::$ty.is_float()
+                    && rs1.is_flt() == Ty::$ty.is_float()
+                    && rs2.is_flt() == Ty::$ty.is_float(),
+                concat!("register bank mismatch in ", stringify!($name))
+            );
+            self.a.insns += 1;
+            T::emit_binop(&mut self.a, BinOp::$op, Ty::$ty, rd, rs1, rs2);
+        }
+    )* }
+}
+
+macro_rules! unops {
+    ($($name:ident => $op:ident, $ty:ident);* $(;)?) => { $(
+        #[doc = concat!("`rd = ", stringify!($op), " rs` (type `", stringify!($ty), "`).")]
+        #[inline]
+        pub fn $name(&mut self, rd: Reg, rs: Reg) {
+            debug_assert!(
+                rd.is_flt() == Ty::$ty.is_float() && rs.is_flt() == Ty::$ty.is_float(),
+                concat!("register bank mismatch in ", stringify!($name))
+            );
+            self.a.insns += 1;
+            T::emit_unop(&mut self.a, UnOp::$op, Ty::$ty, rd, rs);
+        }
+    )* }
+}
+
+macro_rules! cvts {
+    ($($name:ident => $from:ident, $to:ident);* $(;)?) => { $(
+        #[doc = concat!("Convert `", stringify!($from), "` to `", stringify!($to), "`: `rd = (", stringify!($to), ") rs`.")]
+        #[inline]
+        pub fn $name(&mut self, rd: Reg, rs: Reg) {
+            self.a.insns += 1;
+            T::emit_cvt(&mut self.a, Ty::$from, Ty::$to, rd, rs);
+        }
+    )* }
+}
+
+macro_rules! mems {
+    ($($ld:ident, $ldi:ident, $st:ident, $sti:ident => $ty:ident);* $(;)?) => { $(
+        #[doc = concat!("Load `", stringify!($ty), "`: `rd = *(base + idx)`.")]
+        #[inline]
+        pub fn $ld(&mut self, rd: Reg, base: Reg, idx: Reg) {
+            debug_assert!(
+                rd.is_flt() == Ty::$ty.is_float() && base.is_int() && idx.is_int(),
+                concat!("register bank mismatch in ", stringify!($ld))
+            );
+            self.a.insns += 1;
+            T::emit_ld(&mut self.a, Ty::$ty, rd, base, Off::R(idx));
+        }
+        #[doc = concat!("Load `", stringify!($ty), "` with immediate offset: `rd = *(base + off)`.")]
+        #[inline]
+        pub fn $ldi(&mut self, rd: Reg, base: Reg, off: i32) {
+            debug_assert!(
+                rd.is_flt() == Ty::$ty.is_float() && base.is_int(),
+                concat!("register bank mismatch in ", stringify!($ldi))
+            );
+            self.a.insns += 1;
+            T::emit_ld(&mut self.a, Ty::$ty, rd, base, Off::I(off));
+        }
+        #[doc = concat!("Store `", stringify!($ty), "`: `*(base + idx) = src`.")]
+        #[inline]
+        pub fn $st(&mut self, src: Reg, base: Reg, idx: Reg) {
+            debug_assert!(
+                src.is_flt() == Ty::$ty.is_float() && base.is_int() && idx.is_int(),
+                concat!("register bank mismatch in ", stringify!($st))
+            );
+            self.a.insns += 1;
+            T::emit_st(&mut self.a, Ty::$ty, src, base, Off::R(idx));
+        }
+        #[doc = concat!("Store `", stringify!($ty), "` with immediate offset: `*(base + off) = src`.")]
+        #[inline]
+        pub fn $sti(&mut self, src: Reg, base: Reg, off: i32) {
+            debug_assert!(
+                src.is_flt() == Ty::$ty.is_float() && base.is_int(),
+                concat!("register bank mismatch in ", stringify!($sti))
+            );
+            self.a.insns += 1;
+            T::emit_st(&mut self.a, Ty::$ty, src, base, Off::I(off));
+        }
+    )* }
+}
+
+macro_rules! branches {
+    ($($name:ident, $imm:ident => $cond:ident, $ty:ident);* $(;)?) => { $(
+        #[doc = concat!("Branch to `l` if `rs1 ", stringify!($cond), " rs2` (type `", stringify!($ty), "`).")]
+        #[inline]
+        pub fn $name(&mut self, rs1: Reg, rs2: Reg, l: Label) {
+            debug_assert!(
+                rs1.is_flt() == Ty::$ty.is_float() && rs2.is_flt() == Ty::$ty.is_float(),
+                concat!("register bank mismatch in ", stringify!($name))
+            );
+            self.a.insns += 1;
+            T::emit_branch(&mut self.a, Cond::$cond, Ty::$ty, rs1, BrOperand::R(rs2), l);
+        }
+        #[doc = concat!("Branch to `l` if `rs ", stringify!($cond), " imm` (type `", stringify!($ty), "`, immediate).")]
+        #[inline]
+        pub fn $imm(&mut self, rs: Reg, imm: i64, l: Label) {
+            self.a.insns += 1;
+            T::emit_branch(&mut self.a, Cond::$cond, Ty::$ty, rs, BrOperand::I(imm), l);
+        }
+    )* }
+}
+
+macro_rules! branches_regonly {
+    ($($name:ident => $cond:ident, $ty:ident);* $(;)?) => { $(
+        #[doc = concat!("Branch to `l` if `rs1 ", stringify!($cond), " rs2` (type `", stringify!($ty), "`).")]
+        #[inline]
+        pub fn $name(&mut self, rs1: Reg, rs2: Reg, l: Label) {
+            self.a.insns += 1;
+            T::emit_branch(&mut self.a, Cond::$cond, Ty::$ty, rs1, BrOperand::R(rs2), l);
+        }
+    )* }
+}
+
+macro_rules! rets {
+    ($($name:ident => $ty:ident);* $(;)?) => { $(
+        #[doc = concat!("Return the value in `rs` (type `", stringify!($ty), "`).")]
+        #[inline]
+        pub fn $name(&mut self, rs: Reg) {
+            debug_assert!(
+                rs.is_flt() == Ty::$ty.is_float(),
+                concat!("register bank mismatch in ", stringify!($name))
+            );
+            self.a.insns += 1;
+            T::emit_ret(&mut self.a, Some((Ty::$ty, rs)));
+        }
+    )* }
+}
+
+impl<'m, T: Target> Assembler<'m, T> {
+    /// Begins dynamic code generation of a new function (the paper's
+    /// `v_lambda`). `type_str` lists the incoming parameter types
+    /// (`"%i%p"` for `(int, void *)`); `mem` is the client storage the
+    /// code is generated into.
+    ///
+    /// The registers holding the incoming parameters are available via
+    /// [`arg`](Self::arg) / [`args`](Self::args).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadSignature`] for a malformed type string and
+    /// [`Error::TooManyArgs`] when the calling-convention support cannot
+    /// place all parameters.
+    pub fn lambda(mem: &'m mut [u8], type_str: &str, leaf: Leaf) -> Result<Self, Error> {
+        let sig = Sig::parse(type_str)?;
+        Self::lambda_sig(mem, sig, leaf)
+    }
+
+    /// [`lambda`](Self::lambda) with a pre-built [`Sig`] — useful when the
+    /// argument list itself is computed at runtime (argument-marshaling
+    /// generators, paper §2).
+    pub fn lambda_sig(mem: &'m mut [u8], sig: Sig, leaf: Leaf) -> Result<Self, Error> {
+        let mut labels = LabelMap::new();
+        let epilogue = labels.fresh();
+        let mut a = Asm {
+            buf: CodeBuffer::new(mem),
+            labels,
+            fixups: Vec::new(),
+            lits: LiteralPool::new(),
+            ra: RegAlloc::new(T::regfile(), matches!(leaf, Leaf::Yes)),
+            sig: sig.clone(),
+            leaf,
+            epilogue,
+            locals_bytes: 0,
+            ts: TargetScratch::default(),
+            err: None,
+            manual_delay: false,
+            raw_load: false,
+            insns: 0,
+            ret_sites: Vec::new(),
+        };
+        let args = T::begin(&mut a, &sig, leaf)?;
+        Ok(Assembler {
+            a,
+            args,
+            _t: PhantomData,
+        })
+    }
+
+    /// Ends code generation (the paper's `v_end`): emits the deferred
+    /// epilogue and prologue register saves, backpatches the activation
+    /// record size, emits the literal pool, and links all recorded jumps.
+    ///
+    /// # Errors
+    ///
+    /// Any error latched during generation ([`Error::Overflow`],
+    /// [`Error::CallInLeaf`], ...), or [`Error::UnboundLabel`] if a
+    /// referenced label was never placed.
+    pub fn end(mut self) -> Result<Finished, Error> {
+        T::end(&mut self.a)?;
+        self.a.lits.emit(&mut self.a.buf);
+        let fixups = std::mem::take(&mut self.a.fixups);
+        for f in fixups {
+            let dest = match f.target {
+                FixupTarget::Label(l) => self
+                    .a
+                    .labels
+                    .offset(l)
+                    .ok_or(Error::UnboundLabel(l))?,
+                FixupTarget::Lit(id) => self.a.lits.offset(id),
+            };
+            T::patch(&mut self.a, f, dest);
+        }
+        if self.a.buf.overflowed() {
+            self.a.record_err(Error::Overflow {
+                capacity: self.a.buf.capacity(),
+            });
+        }
+        match self.a.err.take() {
+            Some(e) => Err(e),
+            None => Ok(Finished {
+                entry: 0,
+                len: self.a.buf.len(),
+                label_offsets: (0..self.a.labels.len() as u32)
+                    .map(|i| self.a.labels.offset(Label(i)))
+                    .collect(),
+            }),
+        }
+    }
+
+    // ---- registers ----
+
+    /// The register holding the `i`-th incoming parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for the declared signature.
+    pub fn arg(&self, i: usize) -> Reg {
+        self.args[i]
+    }
+
+    /// All incoming parameter registers.
+    pub fn args(&self) -> &[Reg] {
+        &self.args
+    }
+
+    /// Allocates an integer register of the given class (the paper's
+    /// `v_getreg`), or `None` when the machine's registers are exhausted —
+    /// clients then keep the variable on the stack via
+    /// [`local`](Self::local).
+    pub fn getreg(&mut self, class: RegClass) -> Option<Reg> {
+        self.a.ra.getreg(Bank::Int, class)
+    }
+
+    /// Allocates a floating-point register of the given class.
+    pub fn getreg_f(&mut self, class: RegClass) -> Option<Reg> {
+        self.a.ra.getreg(Bank::Flt, class)
+    }
+
+    /// Returns a register to the allocator (the paper's `v_putreg`).
+    pub fn putreg(&mut self, reg: Reg) {
+        self.a.ra.putreg(reg);
+    }
+
+    /// Releases the `i`-th incoming argument register back to the
+    /// allocator once the argument value is dead.
+    pub fn release_arg(&mut self, i: usize) {
+        let reg = self.args[i];
+        self.a.ra.putreg(reg);
+    }
+
+    /// Dynamically reclassifies a physical register for this function
+    /// (paper §5.3 — e.g. an interrupt handler marks every register
+    /// callee-saved).
+    pub fn set_register_class(&mut self, reg: Reg, kind: RegKind) {
+        self.a.ra.set_kind(reg, kind);
+    }
+
+    /// Overrides the allocation priority ordering (paper §3.2).
+    pub fn set_register_priority(&mut self, bank: Bank, order: &[Reg]) {
+        self.a.ra.set_priority(bank, order);
+    }
+
+    /// The `i`-th architecture-independent hard-coded temporary register
+    /// (`T0`, `T1`, ... — paper §5.3). Using hard names skips the
+    /// allocator and roughly halves generation cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the target provides fewer than `i + 1` temporaries —
+    /// the paper's "register assertion" surfaced at generation time.
+    pub fn hard_temp(&self, i: usize) -> Reg {
+        *T::regfile()
+            .hard_temps
+            .get(i)
+            .unwrap_or_else(|| panic!("{} provides {} hard temporaries, T{i} requested",
+                T::NAME, T::regfile().hard_temps.len()))
+    }
+
+    /// The `i`-th architecture-independent hard-coded persistent register
+    /// (`S0`, `S1`, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the target provides fewer than `i + 1` such registers.
+    pub fn hard_saved(&self, i: usize) -> Reg {
+        *T::regfile()
+            .hard_saved
+            .get(i)
+            .unwrap_or_else(|| panic!("{} provides {} hard persistent registers, S{i} requested",
+                T::NAME, T::regfile().hard_saved.len()))
+    }
+
+    /// The target's register-file description.
+    pub fn regfile(&self) -> &'static RegFile {
+        T::regfile()
+    }
+
+    // ---- locals and labels ----
+
+    /// Allocates a local variable in the activation record (the paper's
+    /// `v_local`). Offsets are known immediately because the prologue
+    /// reserves a worst-case save area (paper §5.2).
+    pub fn local(&mut self, ty: Ty) -> StackSlot {
+        T::local(&mut self.a, ty)
+    }
+
+    /// Allocates `n` contiguous locals of type `ty`, returning the slot
+    /// with the lowest offset: element `k` lives at
+    /// `base + off + k * size` regardless of which direction the
+    /// target's locals grow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn local_array(&mut self, ty: Ty, n: usize) -> StackSlot {
+        assert!(n > 0, "empty array");
+        let mut first = T::local(&mut self.a, ty);
+        for _ in 1..n {
+            let s = T::local(&mut self.a, ty);
+            if s.off < first.off {
+                first = s;
+            }
+        }
+        first
+    }
+
+    /// Creates a fresh, unplaced label (the paper's `v_genlabel`).
+    pub fn genlabel(&mut self) -> Label {
+        self.a.labels.fresh()
+    }
+
+    /// Places `l` at the current position in the instruction stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` was already placed.
+    pub fn label(&mut self, l: Label) {
+        let here = self.a.buf.len();
+        self.a.labels.bind(l, here);
+    }
+
+    // ---- loads/stores of stack slots ----
+
+    /// Loads a local variable: `rd = *slot`.
+    #[inline]
+    pub fn ld_slot(&mut self, rd: Reg, slot: StackSlot) {
+        self.a.insns += 1;
+        T::emit_ld(&mut self.a, slot.ty, rd, slot.base, Off::I(slot.off));
+    }
+
+    /// Stores to a local variable: `*slot = src`.
+    #[inline]
+    pub fn st_slot(&mut self, slot: StackSlot, src: Reg) {
+        self.a.insns += 1;
+        T::emit_st(&mut self.a, slot.ty, src, slot.base, Off::I(slot.off));
+    }
+
+    // ---- generated instruction surface ----
+
+    binops! {
+        addi, addii => Add, I;  addu, addui => Add, U;
+        addl, addli => Add, L;  addul, adduli => Add, Ul;
+        addp, addpi => Add, P;
+        subi, subii => Sub, I;  subu, subui => Sub, U;
+        subl, subli => Sub, L;  subul, subuli => Sub, Ul;
+        subp, subpi => Sub, P;
+        muli, mulii => Mul, I;  mulu, mului => Mul, U;
+        mull, mulli => Mul, L;  mulul, mululi => Mul, Ul;
+        divi, divii => Div, I;  divu, divui => Div, U;
+        divl, divli => Div, L;  divul, divuli => Div, Ul;
+        modi, modii => Mod, I;  modu, modui => Mod, U;
+        modl, modli => Mod, L;  modul, moduli => Mod, Ul;
+        andi, andii => And, I;  andu, andui => And, U;
+        andl, andli => And, L;  andul, anduli => And, Ul;
+        ori, orii => Or, I;     oru, orui => Or, U;
+        orl, orli => Or, L;     orul, oruli => Or, Ul;
+        xori, xorii => Xor, I;  xoru, xorui => Xor, U;
+        xorl, xorli => Xor, L;  xorul, xoruli => Xor, Ul;
+        lshi, lshii => Lsh, I;  lshu, lshui => Lsh, U;
+        lshl, lshli => Lsh, L;  lshul, lshuli => Lsh, Ul;
+        rshi, rshii => Rsh, I;  rshu, rshui => Rsh, U;
+        rshl, rshli => Rsh, L;  rshul, rshuli => Rsh, Ul;
+    }
+
+    binops_regonly! {
+        addf => Add, F;  addd => Add, D;
+        subf => Sub, F;  subd => Sub, D;
+        mulf => Mul, F;  muld => Mul, D;
+        divf => Div, F;  divd => Div, D;
+    }
+
+    unops! {
+        comi => Com, I;  comu => Com, U;  coml => Com, L;  comul => Com, Ul;
+        noti => Not, I;  notu => Not, U;  notl => Not, L;  notul => Not, Ul;
+        movi => Mov, I;  movu => Mov, U;  movl => Mov, L;  movul => Mov, Ul;
+        movp => Mov, P;  movf => Mov, F;  movd => Mov, D;
+        negi => Neg, I;  negu => Neg, U;  negl => Neg, L;  negul => Neg, Ul;
+        negf => Neg, F;  negd => Neg, D;
+    }
+
+    /// Load constant into an integer register: `rd = imm` (type `i`).
+    #[inline]
+    pub fn seti(&mut self, rd: Reg, imm: i32) {
+        self.a.insns += 1;
+        T::emit_set(&mut self.a, Ty::I, rd, Imm::Int(imm as i64));
+    }
+
+    /// Load constant (type `u`).
+    #[inline]
+    pub fn setu(&mut self, rd: Reg, imm: u32) {
+        self.a.insns += 1;
+        T::emit_set(&mut self.a, Ty::U, rd, Imm::Int(imm as i64));
+    }
+
+    /// Load constant (type `l`).
+    #[inline]
+    pub fn setl(&mut self, rd: Reg, imm: i64) {
+        self.a.insns += 1;
+        T::emit_set(&mut self.a, Ty::L, rd, Imm::Int(imm));
+    }
+
+    /// Load constant (type `ul`).
+    #[inline]
+    pub fn setul(&mut self, rd: Reg, imm: u64) {
+        self.a.insns += 1;
+        T::emit_set(&mut self.a, Ty::Ul, rd, Imm::Int(imm as i64));
+    }
+
+    /// Load a pointer constant: `rd = addr`.
+    #[inline]
+    pub fn setp(&mut self, rd: Reg, addr: u64) {
+        self.a.insns += 1;
+        T::emit_set(&mut self.a, Ty::P, rd, Imm::Int(addr as i64));
+    }
+
+    /// Load a single-precision constant (goes to the literal pool at the
+    /// end of the instruction stream, paper §5.2).
+    #[inline]
+    pub fn setf(&mut self, rd: Reg, imm: f32) {
+        self.a.insns += 1;
+        T::emit_set(&mut self.a, Ty::F, rd, Imm::F32(imm));
+    }
+
+    /// Load a double-precision constant (literal pool).
+    #[inline]
+    pub fn setd(&mut self, rd: Reg, imm: f64) {
+        self.a.insns += 1;
+        T::emit_set(&mut self.a, Ty::D, rd, Imm::F64(imm));
+    }
+
+    cvts! {
+        cvi2u => I, U;   cvi2l => I, L;   cvi2ul => I, Ul;
+        cvi2f => I, F;   cvi2d => I, D;
+        cvu2i => U, I;   cvu2l => U, L;   cvu2ul => U, Ul;  cvu2d => U, D;
+        cvl2i => L, I;   cvl2u => L, U;   cvl2ul => L, Ul;
+        cvl2f => L, F;   cvl2d => L, D;
+        cvul2i => Ul, I; cvul2u => Ul, U; cvul2l => Ul, L;  cvul2p => Ul, P;
+        cvp2ul => P, Ul;
+        cvf2i => F, I;   cvf2l => F, L;   cvf2d => F, D;
+        cvd2i => D, I;   cvd2l => D, L;   cvd2f => D, F;
+    }
+
+    mems! {
+        ldc, ldci, stc, stci => C;
+        lduc, lduci, stuc, stuci => Uc;
+        lds, ldsi, sts, stsi => S;
+        ldus, ldusi, stus, stusi => Us;
+        ldi, ldii, sti, stii => I;
+        ldu, ldui, stu, stui => U;
+        ldl, ldli, stl, stli => L;
+        ldul, lduli, stul, stuli => Ul;
+        ldp, ldpi, stp, stpi => P;
+        ldf, ldfi, stf, stfi => F;
+        ldd, lddi, std, stdi => D;
+    }
+
+    branches! {
+        blti, bltii => Lt, I;   bltu, bltui => Lt, U;
+        bltl, bltli => Lt, L;   bltul, bltuli => Lt, Ul;
+        bltp, bltpi => Lt, P;
+        blei, bleii => Le, I;   bleu, bleui => Le, U;
+        blel, bleli => Le, L;   bleul, bleuli => Le, Ul;
+        blep, blepi => Le, P;
+        bgti, bgtii => Gt, I;   bgtu, bgtui => Gt, U;
+        bgtl, bgtli => Gt, L;   bgtul, bgtuli => Gt, Ul;
+        bgtp, bgtpi => Gt, P;
+        bgei, bgeii => Ge, I;   bgeu, bgeui => Ge, U;
+        bgel, bgeli => Ge, L;   bgeul, bgeuli => Ge, Ul;
+        bgep, bgepi => Ge, P;
+        beqi, beqii => Eq, I;   bequ, bequi => Eq, U;
+        beql, beqli => Eq, L;   bequl, bequli => Eq, Ul;
+        beqp, beqpi => Eq, P;
+        bnei, bneii => Ne, I;   bneu, bneui => Ne, U;
+        bnel, bneli => Ne, L;   bneul, bneuli => Ne, Ul;
+        bnep, bnepi => Ne, P;
+    }
+
+    branches_regonly! {
+        bltf => Lt, F;  bltd => Lt, D;
+        blef => Le, F;  bled => Le, D;
+        bgtf => Gt, F;  bgtd => Gt, D;
+        bgef => Ge, F;  bged => Ge, D;
+        beqf => Eq, F;  beqd => Eq, D;
+        bnef => Ne, F;  bned => Ne, D;
+    }
+
+    rets! {
+        reti => I; retu => U; retl => L; retul => Ul;
+        retp => P; retf => F; retd => D;
+    }
+
+    /// Return with no value (`ret v`).
+    #[inline]
+    pub fn retv(&mut self) {
+        self.a.insns += 1;
+        T::emit_ret(&mut self.a, None);
+    }
+
+    /// Unconditional jump to a label.
+    #[inline]
+    pub fn jmp(&mut self, l: Label) {
+        self.a.insns += 1;
+        T::emit_jump(&mut self.a, JumpTarget::Label(l));
+    }
+
+    /// Jump to the address in a register (computed goto / indirect jump).
+    #[inline]
+    pub fn jmp_reg(&mut self, r: Reg) {
+        self.a.insns += 1;
+        T::emit_jump(&mut self.a, JumpTarget::Reg(r));
+    }
+
+    /// Jump to an absolute address known at generation time.
+    #[inline]
+    pub fn jmp_abs(&mut self, addr: u64) {
+        self.a.insns += 1;
+        T::emit_jump(&mut self.a, JumpTarget::Abs(addr));
+    }
+
+    /// Jump-and-link to a label (raw call primitive).
+    #[inline]
+    pub fn jal(&mut self, l: Label) {
+        self.a.insns += 1;
+        T::emit_jal(&mut self.a, JumpTarget::Label(l));
+    }
+
+    /// Jump-and-link to the address in a register.
+    #[inline]
+    pub fn jal_reg(&mut self, r: Reg) {
+        self.a.insns += 1;
+        T::emit_jal(&mut self.a, JumpTarget::Reg(r));
+    }
+
+    /// Jump-and-link to an absolute address.
+    #[inline]
+    pub fn jal_abs(&mut self, addr: u64) {
+        self.a.insns += 1;
+        T::emit_jal(&mut self.a, JumpTarget::Abs(addr));
+    }
+
+    /// No-operation.
+    #[inline]
+    pub fn nop(&mut self) {
+        self.a.insns += 1;
+        T::emit_nop(&mut self.a);
+    }
+
+    // ---- dynamically constructed calls ----
+
+    /// Starts marshaling a call to a function with the given signature
+    /// (paper §2: argument number and types may be computed at runtime).
+    ///
+    /// In a leaf procedure this latches [`Error::CallInLeaf`].
+    pub fn call_begin(&mut self, sig: &Sig) -> CallFrame {
+        if matches!(self.a.leaf, Leaf::Yes) {
+            self.a.record_err(Error::CallInLeaf);
+        }
+        T::call_begin(&mut self.a, sig)
+    }
+
+    /// Supplies the `idx`-th argument of the call from `src`.
+    pub fn call_arg(&mut self, cf: &mut CallFrame, idx: usize, ty: Ty, src: Reg) {
+        self.a.insns += 1;
+        T::call_arg(&mut self.a, cf, idx, ty, src);
+    }
+
+    /// Emits the call; the return value (if the signature has one) is
+    /// moved to `ret`.
+    pub fn call_end(&mut self, cf: CallFrame, target: JumpTarget, ret: Option<Reg>) {
+        self.a.insns += 1;
+        let ret = match (cf.sig.ret(), ret) {
+            (Ty::V, _) | (_, None) => None,
+            (ty, Some(r)) => Some((ty, r)),
+        };
+        T::call_end(&mut self.a, cf, target, ret);
+    }
+
+    // ---- instruction scheduling (paper §5.3) ----
+
+    /// Schedules `slot` into the delay slot of the branch emitted by
+    /// `branch` (the paper's `v_schedule_delay`). On targets without
+    /// delay slots, `slot` is simply placed before the branch.
+    pub fn schedule_delay(
+        &mut self,
+        branch: impl FnOnce(&mut Self),
+        slot: impl FnOnce(&mut Self),
+    ) {
+        if T::BRANCH_DELAY_SLOTS > 0 {
+            self.a.manual_delay = true;
+            branch(self);
+            self.a.manual_delay = false;
+            slot(self);
+        } else {
+            slot(self);
+            branch(self);
+        }
+    }
+
+    /// Emits the load produced by `load` without safety padding,
+    /// promising that at least `insns_before_use` instructions separate
+    /// it from the first use of the result (the paper's `v_raw_load`).
+    /// Any shortfall is made up with `nop`s.
+    pub fn raw_load(&mut self, load: impl FnOnce(&mut Self), insns_before_use: u32) {
+        self.a.raw_load = true;
+        load(self);
+        self.a.raw_load = false;
+        for _ in insns_before_use..T::LOAD_DELAY_CYCLES {
+            self.nop();
+        }
+    }
+
+    // ---- introspection ----
+
+    /// VCODE instructions specified so far (for the code-generation cost
+    /// experiments).
+    pub fn insn_count(&self) -> u64 {
+        self.a.insns
+    }
+
+    /// Bytes of machine code emitted so far.
+    pub fn code_len(&self) -> usize {
+        self.a.buf.len()
+    }
+
+    /// Bookkeeping bytes held besides the code (space experiment).
+    pub fn aux_bytes(&self) -> usize {
+        self.a.aux_bytes()
+    }
+
+    /// Direct access to the shared assembler state, for extension layers
+    /// that emit target instructions themselves (paper §5.4).
+    pub fn raw(&mut self) -> &mut Asm<'m> {
+        &mut self.a
+    }
+
+    /// Read-only access to the shared assembler state.
+    pub fn state(&self) -> &Asm<'m> {
+        &self.a
+    }
+}

@@ -1,0 +1,227 @@
+//! The in-place code buffer.
+//!
+//! VCODE generates machine code *in place*: each instruction is encoded and
+//! stored directly at the instruction pointer, into storage the client
+//! provided (paper §3, §5.1). [`CodeBuffer`] is that instruction pointer: a
+//! borrowed byte region plus a cursor. Other than the emitted instructions
+//! themselves, VCODE only ever stores label offsets and unresolved jumps —
+//! never a representation proportional to the number of instructions.
+//!
+//! Emission never panics on exhaustion; the buffer latches an overflow flag
+//! that [`Assembler::end`](crate::Assembler::end) reports as an error, so
+//! the per-instruction hot path stays a single bounds check.
+
+/// A byte buffer with a cursor, backing in-place code emission.
+///
+/// The buffer borrows client storage, exactly like the paper's
+/// `v_lambda(..., ip)` taking "a pointer to memory where the code will be
+/// stored" — for native execution the storage is an executable mapping, for
+/// simulated targets an ordinary `Vec<u8>`.
+#[derive(Debug)]
+pub struct CodeBuffer<'m> {
+    mem: &'m mut [u8],
+    len: usize,
+    overflow: bool,
+}
+
+impl<'m> CodeBuffer<'m> {
+    /// Wraps client-provided storage.
+    pub fn new(mem: &'m mut [u8]) -> CodeBuffer<'m> {
+        CodeBuffer {
+            mem,
+            len: 0,
+            overflow: false,
+        }
+    }
+
+    /// Bytes emitted so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if nothing has been emitted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total capacity of the client storage.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// `true` once any write has been dropped for lack of space.
+    #[inline]
+    pub fn overflowed(&self) -> bool {
+        self.overflow
+    }
+
+    /// The emitted code.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.mem[..self.len]
+    }
+
+    /// Appends one byte.
+    #[inline]
+    pub fn put_u8(&mut self, b: u8) {
+        if self.len < self.mem.len() {
+            self.mem[self.len] = b;
+            self.len += 1;
+        } else {
+            self.overflow = true;
+        }
+    }
+
+    /// Appends a little-endian 16-bit value.
+    #[inline]
+    pub fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian 32-bit value — one RISC instruction word.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian 64-bit value.
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    #[inline]
+    pub fn put_slice(&mut self, bytes: &[u8]) {
+        let end = self.len + bytes.len();
+        if end <= self.mem.len() {
+            self.mem[self.len..end].copy_from_slice(bytes);
+            self.len = end;
+        } else {
+            self.overflow = true;
+        }
+    }
+
+    /// Reserves `n` bytes (filled with `fill`) and returns the offset of
+    /// the reserved region. Used to hold space for prologue code whose
+    /// contents are only known when generation finishes (paper §5.2).
+    pub fn reserve(&mut self, n: usize, fill: u8) -> usize {
+        let at = self.len;
+        for _ in 0..n {
+            self.put_u8(fill);
+        }
+        at
+    }
+
+    /// Pads with `fill` until the cursor is `align`-aligned (power of two).
+    pub fn align_to(&mut self, align: usize, fill: u8) {
+        debug_assert!(align.is_power_of_two());
+        while !self.len.is_multiple_of(align) {
+            self.put_u8(fill);
+        }
+    }
+
+    /// Overwrites one byte at `at` (must be below the cursor).
+    #[inline]
+    pub fn patch_u8(&mut self, at: usize, b: u8) {
+        debug_assert!(at < self.len, "patch past cursor");
+        if at < self.len {
+            self.mem[at] = b;
+        }
+    }
+
+    /// Overwrites a little-endian 32-bit value at `at`.
+    #[inline]
+    pub fn patch_u32(&mut self, at: usize, v: u32) {
+        self.patch_slice(at, &v.to_le_bytes());
+    }
+
+    /// Overwrites raw bytes at `at`.
+    pub fn patch_slice(&mut self, at: usize, bytes: &[u8]) {
+        let end = at + bytes.len();
+        debug_assert!(end <= self.len, "patch past cursor");
+        if end <= self.len {
+            self.mem[at..end].copy_from_slice(bytes);
+        }
+    }
+
+    /// Reads back a little-endian 32-bit value (for read-modify-write
+    /// patches of already-emitted instructions).
+    pub fn read_u32(&self, at: usize) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.mem[at..at + 4]);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads back one byte.
+    pub fn read_u8(&self, at: usize) -> u8 {
+        self.mem[at]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_and_read_back() {
+        let mut mem = [0u8; 16];
+        let mut b = CodeBuffer::new(&mut mem);
+        assert!(b.is_empty());
+        b.put_u32(0xdead_beef);
+        b.put_u8(0x90);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.read_u32(0), 0xdead_beef);
+        assert_eq!(b.as_slice()[4], 0x90);
+        assert!(!b.overflowed());
+    }
+
+    #[test]
+    fn overflow_latches_instead_of_panicking() {
+        let mut mem = [0u8; 6];
+        let mut b = CodeBuffer::new(&mut mem);
+        b.put_u32(1);
+        b.put_u32(2); // does not fit
+        assert!(b.overflowed());
+        assert_eq!(b.len(), 4, "partial instruction is dropped whole-slice");
+        b.put_u8(7); // still room for a byte? no: slice write already failed
+        assert!(b.overflowed());
+    }
+
+    #[test]
+    fn reserve_and_patch() {
+        let mut mem = [0u8; 32];
+        let mut b = CodeBuffer::new(&mut mem);
+        b.put_u32(0x1111_1111);
+        let hole = b.reserve(8, 0);
+        b.put_u32(0x2222_2222);
+        b.patch_u32(hole, 0xaaaa_aaaa);
+        b.patch_u32(hole + 4, 0xbbbb_bbbb);
+        assert_eq!(b.read_u32(hole), 0xaaaa_aaaa);
+        assert_eq!(b.read_u32(hole + 4), 0xbbbb_bbbb);
+        assert_eq!(b.read_u32(hole + 8), 0x2222_2222);
+    }
+
+    #[test]
+    fn align_pads() {
+        let mut mem = [0u8; 32];
+        let mut b = CodeBuffer::new(&mut mem);
+        b.put_u8(1);
+        b.align_to(8, 0x90);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.as_slice()[1..8], [0x90; 7]);
+        b.align_to(8, 0x90); // already aligned: no-op
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn endianness_is_little() {
+        let mut mem = [0u8; 8];
+        let mut b = CodeBuffer::new(&mut mem);
+        b.put_u32(0x0102_0304);
+        assert_eq!(b.as_slice(), &[0x04, 0x03, 0x02, 0x01]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for dynamic code generation.
+
+use crate::label::Label;
+use std::fmt;
+
+/// Error produced while generating a function.
+///
+/// Per-instruction emission methods are infallible (the hot path must stay
+/// a handful of host instructions — paper §5.1); failures are latched and
+/// reported by [`Assembler::end`](crate::Assembler::end).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The client-provided code storage was exhausted.
+    Overflow {
+        /// Capacity of the storage in bytes.
+        capacity: usize,
+    },
+    /// A branch or jump referenced a label that was never bound.
+    UnboundLabel(Label),
+    /// A procedure declared leaf tried to generate a call (paper §5.2:
+    /// "If the client attempts to call a procedure from the function,
+    /// VCODE signals an error").
+    CallInLeaf,
+    /// The function signature asked for more arguments than the target's
+    /// calling convention support handles.
+    TooManyArgs {
+        /// Requested argument count.
+        requested: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// An instruction was used with a type outside its Table-2 row, or a
+    /// register from the wrong bank.
+    BadOperands(&'static str),
+    /// A branch displacement did not fit the target's encoding.
+    BranchOutOfRange {
+        /// Offset of the instruction.
+        at: usize,
+        /// Offset of the destination.
+        dest: usize,
+    },
+    /// The `lambda` type string was malformed.
+    BadSignature(crate::ty::SigParseError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Overflow { capacity } => {
+                write!(f, "code storage exhausted ({capacity} bytes)")
+            }
+            Error::UnboundLabel(l) => write!(f, "label {} referenced but never bound", l.index()),
+            Error::CallInLeaf => write!(f, "call generated inside a leaf procedure"),
+            Error::TooManyArgs { requested, max } => {
+                write!(f, "{requested} arguments requested, target supports {max}")
+            }
+            Error::BadOperands(what) => write!(f, "bad operands: {what}"),
+            Error::BranchOutOfRange { at, dest } => {
+                write!(f, "branch at {at:#x} to {dest:#x} out of encodable range")
+            }
+            Error::BadSignature(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<crate::ty::SigParseError> for Error {
+    fn from(e: crate::ty::SigParseError) -> Error {
+        Error::BadSignature(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = Error::Overflow { capacity: 64 };
+        assert_eq!(e.to_string(), "code storage exhausted (64 bytes)");
+        let e = Error::TooManyArgs {
+            requested: 9,
+            max: 6,
+        };
+        assert!(e.to_string().contains("9 arguments"));
+    }
+}

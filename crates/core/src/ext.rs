@@ -1,0 +1,302 @@
+//! Extension layers built on the VCODE core (paper §3.1, §5.4).
+//!
+//! The VCODE instruction set is a single *core* layer, retargeted per
+//! machine, plus *extension* layers built on top. Extensions provide
+//! functionality less general than the core (byte swapping, square root,
+//! conditional moves, strength-reduced multiplication by runtime
+//! constants). For porting convenience each extension has a portable
+//! default expressed in terms of the core itself — once the core has been
+//! retargeted, every extension works on the new machine. For efficiency a
+//! backend may override an extension with hardware resources through
+//! [`Target::emit_ext_unop`].
+//!
+//! [`Target::emit_ext_unop`]: crate::target::Target::emit_ext_unop
+//!
+//! The synthesized sequences need scratch registers; in keeping with
+//! VCODE's low-level philosophy the *client* supplies them (it knows which
+//! registers are dead), rather than the extension hiding an allocator
+//! call in the hot path.
+
+use crate::asm::Assembler;
+use crate::reg::Reg;
+use crate::target::Target;
+use crate::ty::Ty;
+
+/// Unary extension operations a backend may implement natively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtUnOp {
+    /// Square root (`f`, `d`).
+    Sqrt,
+    /// Byte swap (`us`: 2 bytes, `u`: 4 bytes, `ul`: 8 bytes).
+    Bswap,
+    /// Absolute value (`i`, `l`).
+    Abs,
+}
+
+impl<'m, T: Target> Assembler<'m, T> {
+    /// Square root, double precision. Falls back to five
+    /// Newton–Raphson iterations seeded with the argument when the
+    /// target has no hardware square root.
+    ///
+    /// `t` is a floating-point scratch register.
+    pub fn sqrtd(&mut self, rd: Reg, rs: Reg, t: Reg) {
+        if T::emit_ext_unop(self.raw(), ExtUnOp::Sqrt, Ty::D, rd, rs) {
+            return;
+        }
+        // x' = (x + v/x) / 2, repeated. Converges quadratically; for the
+        // paper-era use cases (graphics, DSP kernels) ~20 iterations give
+        // full double precision from a crude seed.
+        self.movd(rd, rs);
+        self.setd(t, 0.5);
+        self.muld(rd, rd, t); // seed: v / 2
+        for _ in 0..20 {
+            self.divd(t, rs, rd);
+            self.addd(rd, rd, t);
+            self.setd(t, 0.5);
+            self.muld(rd, rd, t);
+        }
+    }
+
+    /// Byte swap of the low 16 bits (`us`), e.g. for `ntohs`.
+    ///
+    /// `t` is an integer scratch register.
+    pub fn bswapus(&mut self, rd: Reg, rs: Reg, t: Reg) {
+        if T::emit_ext_unop(self.raw(), ExtUnOp::Bswap, Ty::Us, rd, rs) {
+            return;
+        }
+        // rd = ((rs >> 8) & 0xff) | ((rs & 0xff) << 8)
+        self.rshui(t, rs, 8);
+        self.andui(t, t, 0xff);
+        self.andui(rd, rs, 0xff);
+        self.lshui(rd, rd, 8);
+        self.oru(rd, rd, t);
+    }
+
+    /// Byte swap of a 32-bit value (`u`), e.g. for `ntohl`.
+    ///
+    /// `t1`/`t2` are integer scratch registers; `rd` must differ from
+    /// `rs`.
+    pub fn bswapu(&mut self, rd: Reg, rs: Reg, t1: Reg, t2: Reg) {
+        if T::emit_ext_unop(self.raw(), ExtUnOp::Bswap, Ty::U, rd, rs) {
+            return;
+        }
+        debug_assert_ne!(rd, rs, "synthesized bswapu needs rd != rs");
+        self.rshui(rd, rs, 24); // byte 3 -> 0
+        self.rshui(t1, rs, 8); // byte 2 -> 1
+        self.andui(t1, t1, 0xff00);
+        self.oru(rd, rd, t1);
+        self.lshui(t2, rs, 8); // byte 1 -> 2
+        self.andui(t2, t2, 0xff_0000);
+        self.oru(rd, rd, t2);
+        self.lshui(t1, rs, 24); // byte 0 -> 3
+        self.oru(rd, rd, t1);
+    }
+
+    /// Absolute value of an `int`.
+    ///
+    /// `t` is an integer scratch register. Uses the branch-free
+    /// sign-mask idiom: `m = x >> 31; |x| = (x ^ m) - m`.
+    pub fn absi(&mut self, rd: Reg, rs: Reg, t: Reg) {
+        if T::emit_ext_unop(self.raw(), ExtUnOp::Abs, Ty::I, rd, rs) {
+            return;
+        }
+        self.rshii(t, rs, 31);
+        self.xori(rd, rs, t);
+        self.subi(rd, rd, t);
+    }
+
+    /// `rd = min(rs1, rs2)` over signed ints, synthesized with a branch.
+    pub fn mini(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        let done = self.genlabel();
+        self.movi(rd, rs1);
+        self.blei(rs1, rs2, done);
+        self.movi(rd, rs2);
+        self.label(done);
+    }
+
+    /// `rd = max(rs1, rs2)` over signed ints, synthesized with a branch.
+    pub fn maxi(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        let done = self.genlabel();
+        self.movi(rd, rs1);
+        self.bgei(rs1, rs2, done);
+        self.movi(rd, rs2);
+        self.label(done);
+    }
+
+    /// Conditional move: `if (cc != 0) rd = rs`, synthesized with a
+    /// branch around a register move.
+    pub fn cmovnei(&mut self, rd: Reg, rs: Reg, cc: Reg) {
+        let skip = self.genlabel();
+        self.beqii(cc, 0, skip);
+        self.movi(rd, rs);
+        self.label(skip);
+    }
+
+    /// Strength-reduced multiplication by a constant known at code
+    /// generation time (paper §5.4: "we have built a sophisticated
+    /// strength reducer for multiplication and division by integer
+    /// constants on top of VCODE").
+    ///
+    /// Powers of two become shifts, `2^k ± 2^j` becomes two shifts and an
+    /// add/sub through the scratch register `t`, everything else falls
+    /// back to `mulii`. `rd` may equal `rs`.
+    pub fn muli_const(&mut self, rd: Reg, rs: Reg, c: i32, t: Reg) {
+        match c {
+            0 => self.seti(rd, 0),
+            1 => self.movi(rd, rs),
+            -1 => self.negi(rd, rs),
+            _ => {
+                let m = c.unsigned_abs();
+                if m.is_power_of_two() {
+                    self.lshii(rd, rs, m.trailing_zeros() as i64);
+                } else if (m + 1).is_power_of_two() {
+                    // 2^k - 1: shift and subtract.
+                    self.lshii(t, rs, (m + 1).trailing_zeros() as i64);
+                    self.subi(rd, t, rs);
+                } else if let Some((hi, lo)) = two_bit_decomposition(m) {
+                    self.lshii(t, rs, hi as i64);
+                    if lo == 0 {
+                        self.addi(rd, t, rs);
+                    } else {
+                        self.lshii(rd, rs, lo as i64);
+                        self.addi(rd, rd, t);
+                    }
+                } else {
+                    self.mulii(rd, rs, m as i64);
+                }
+                if c < 0 {
+                    self.negi(rd, rd);
+                }
+            }
+        }
+    }
+
+    /// Strength-reduced signed division by a constant power of two,
+    /// with the usual rounding-toward-zero fixup; other divisors fall
+    /// back to `divii`. `t` is scratch; `rd` may equal `rs`.
+    pub fn divi_const(&mut self, rd: Reg, rs: Reg, c: i32, t: Reg) {
+        match c {
+            1 => self.movi(rd, rs),
+            -1 => self.negi(rd, rs),
+            _ if c != 0 && c.unsigned_abs().is_power_of_two() => {
+                let k = c.unsigned_abs().trailing_zeros();
+                // t = rs < 0 ? rs + (2^k - 1) : rs, then arithmetic shift.
+                self.rshii(t, rs, 31);
+                self.rshui(t, t, 32 - k as i64);
+                self.addi(t, rs, t);
+                self.rshii(rd, t, k as i64);
+                if c < 0 {
+                    self.negi(rd, rd);
+                }
+            }
+            _ => self.divii(rd, rs, c as i64),
+        }
+    }
+}
+
+/// Decomposes `m` into `2^hi + 2^lo` if it has exactly two set bits
+/// (`lo` may be 0, i.e. `2^hi + 1`).
+fn two_bit_decomposition(m: u32) -> Option<(u32, u32)> {
+    if m.count_ones() == 2 {
+        let lo = m.trailing_zeros();
+        let hi = 31 - m.leading_zeros();
+        Some((hi, lo))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fake::FakeTarget;
+    use crate::target::Leaf;
+
+    fn count_insns(build: impl FnOnce(&mut Assembler<'_, FakeTarget>)) -> u64 {
+        let mut mem = vec![0u8; 4096];
+        let mut a = Assembler::<FakeTarget>::lambda(&mut mem, "%i", Leaf::Yes).unwrap();
+        let before = a.insn_count();
+        build(&mut a);
+        a.insn_count() - before
+    }
+
+    #[test]
+    fn two_bit_decomposition_finds_pairs() {
+        assert_eq!(two_bit_decomposition(5), Some((2, 0)));
+        assert_eq!(two_bit_decomposition(10), Some((3, 1)));
+        assert_eq!(two_bit_decomposition(8), None);
+        assert_eq!(two_bit_decomposition(7), None);
+    }
+
+    #[test]
+    fn mul_by_power_of_two_is_one_shift() {
+        let n = count_insns(|a| {
+            let x = a.arg(0);
+            let t = a.getreg(crate::RegClass::Temp).unwrap();
+            a.muli_const(x, x, 8, t);
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn mul_by_zero_one_minus_one() {
+        for (c, expect) in [(0, 1u64), (1, 1), (-1, 1)] {
+            let n = count_insns(|a| {
+                let x = a.arg(0);
+                let t = a.getreg(crate::RegClass::Temp).unwrap();
+                a.muli_const(x, x, c, t);
+            });
+            assert_eq!(n, expect, "c = {c}");
+        }
+    }
+
+    #[test]
+    fn mul_by_ten_avoids_multiply() {
+        // 10 = 8 + 2: two shifts + add = 3 instructions.
+        let n = count_insns(|a| {
+            let x = a.arg(0);
+            let t = a.getreg(crate::RegClass::Temp).unwrap();
+            a.muli_const(x, x, 10, t);
+        });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn mul_by_large_prime_falls_back() {
+        let n = count_insns(|a| {
+            let x = a.arg(0);
+            let t = a.getreg(crate::RegClass::Temp).unwrap();
+            a.muli_const(x, x, 97, t);
+        });
+        assert_eq!(n, 1, "single mulii fallback");
+    }
+
+    #[test]
+    fn synthesized_extensions_emit_core_instructions() {
+        // FakeTarget has no native extensions: everything must expand.
+        let n = count_insns(|a| {
+            let x = a.arg(0);
+            let t = a.getreg(crate::RegClass::Temp).unwrap();
+            a.absi(x, x, t);
+        });
+        assert_eq!(n, 3, "abs = shift, xor, sub");
+        let n = count_insns(|a| {
+            let x = a.arg(0);
+            let t = a.getreg(crate::RegClass::Temp).unwrap();
+            a.bswapus(x, x, t);
+        });
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn min_max_emit_branches_that_link() {
+        let mut mem = vec![0u8; 4096];
+        let mut a = Assembler::<FakeTarget>::lambda(&mut mem, "%i%i", Leaf::Yes).unwrap();
+        let (x, y) = (a.arg(0), a.arg(1));
+        let r = a.getreg(crate::RegClass::Temp).unwrap();
+        a.mini(r, x, y);
+        a.maxi(r, x, y);
+        a.reti(r);
+        a.end().expect("labels all bound");
+    }
+}

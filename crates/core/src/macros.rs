@@ -1,0 +1,92 @@
+//! The `vc!` client macro: assembly-like specification syntax.
+//!
+//! The paper's clients wrote `v_addii(arg[0], arg[0], 1);` — C macros
+//! whose names spell the instruction. [`vc!`](crate::vc) provides the same visual
+//! register for Rust clients: a block of `mnemonic operands;` lines that
+//! expands to the corresponding [`Assembler`](crate::Assembler) calls
+//! (so it composes with every backend and costs nothing).
+
+/// Emits a block of VCODE instructions with assembly-like syntax.
+///
+/// Each line is `mnemonic operand, operand, ...;` where the mnemonic is
+/// any [`Assembler`](crate::Assembler) instruction method (`addii`,
+/// `ldii`, `bltii`, `label`, `jmp`, ...).
+///
+/// # Examples
+///
+/// ```
+/// use vcode::{vc, Assembler, Leaf, RegClass};
+/// use vcode::fake::FakeTarget;
+///
+/// let mut mem = vec![0u8; 4096];
+/// let mut a = Assembler::<FakeTarget>::lambda(&mut mem, "%i", Leaf::Yes)?;
+/// let x = a.arg(0);
+/// let sum = a.getreg(RegClass::Temp).unwrap();
+/// let (top, done) = (a.genlabel(), a.genlabel());
+/// vc!(a, {
+///     seti   sum, 0;
+///     label  top;
+///     bleii  x, 0, done;      // while (x > 0)
+///     addi   sum, sum, x;     //   sum += x
+///     subii  x, x, 1;         //   x -= 1
+///     jmp    top;
+///     label  done;
+///     reti   sum;
+/// });
+/// a.end()?;
+/// # Ok::<(), vcode::Error>(())
+/// ```
+#[macro_export]
+macro_rules! vc {
+    ($a:expr, { $($insn:ident $($arg:expr),* ;)* }) => {
+        $( $a.$insn($($arg),*); )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fake::FakeTarget;
+    use crate::target::Leaf;
+    use crate::{Assembler, RegClass};
+
+    #[test]
+    fn macro_expands_to_method_calls() {
+        let mut mem = vec![0u8; 4096];
+        let mut a = Assembler::<FakeTarget>::lambda(&mut mem, "%i%i", Leaf::Yes).unwrap();
+        let (x, y) = (a.arg(0), a.arg(1));
+        let t = a.getreg(RegClass::Temp).unwrap();
+        let before = a.insn_count();
+        vc!(a, {
+            addi  t, x, y;
+            mulii t, t, 3;
+            negi  t, t;
+            reti  t;
+        });
+        assert_eq!(a.insn_count() - before, 4);
+        a.end().unwrap();
+    }
+
+    #[test]
+    fn macro_works_with_labels_and_branches() {
+        let mut mem = vec![0u8; 4096];
+        let mut a = Assembler::<FakeTarget>::lambda(&mut mem, "%i", Leaf::Yes).unwrap();
+        let x = a.arg(0);
+        let skip = a.genlabel();
+        vc!(a, {
+            beqii x, 0, skip;
+            addii x, x, 10;
+            label skip;
+            reti  x;
+        });
+        a.end().expect("labels all bound through the macro");
+    }
+
+    #[test]
+    fn macro_in_function_scope_and_empty_block() {
+        let mut mem = vec![0u8; 4096];
+        let mut a = Assembler::<FakeTarget>::lambda(&mut mem, "", Leaf::Yes).unwrap();
+        vc!(a, {});
+        vc!(a, { retv; });
+        a.end().unwrap();
+    }
+}

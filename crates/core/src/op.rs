@@ -1,0 +1,293 @@
+//! Operation kinds of the VCODE core instruction set (paper Table 2).
+
+use crate::ty::Ty;
+use std::fmt;
+
+/// Standard binary operations `(rd, rs1, rs2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition (`i u l ul p f d`).
+    Add,
+    /// Subtraction (`i u l ul p f d`).
+    Sub,
+    /// Multiplication (`i u l ul f d`).
+    Mul,
+    /// Division (`i u l ul f d`).
+    Div,
+    /// Modulus (`i u l ul`).
+    Mod,
+    /// Logical and (`i u l ul`).
+    And,
+    /// Logical or (`i u l ul`).
+    Or,
+    /// Logical xor (`i u l ul`).
+    Xor,
+    /// Left shift (`i u l ul`).
+    Lsh,
+    /// Right shift; the sign bit is propagated for signed types
+    /// (`i u l ul`).
+    Rsh,
+}
+
+impl BinOp {
+    /// The paper's base instruction name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Mod => "mod",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Lsh => "lsh",
+            BinOp::Rsh => "rsh",
+        }
+    }
+
+    /// `true` when `a op b == b op a`, which backends exploit when mapping
+    /// onto two-address machines.
+    pub fn commutes(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        )
+    }
+
+    /// `true` if this operation accepts operands of type `ty` in the core
+    /// instruction set.
+    pub fn accepts(self, ty: Ty) -> bool {
+        match self {
+            BinOp::Add | BinOp::Sub => {
+                matches!(ty, Ty::I | Ty::U | Ty::L | Ty::Ul | Ty::P | Ty::F | Ty::D)
+            }
+            BinOp::Mul | BinOp::Div => {
+                matches!(ty, Ty::I | Ty::U | Ty::L | Ty::Ul | Ty::F | Ty::D)
+            }
+            BinOp::Mod | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Lsh | BinOp::Rsh => {
+                matches!(ty, Ty::I | Ty::U | Ty::L | Ty::Ul)
+            }
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Standard unary operations `(rd, rs)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Bit complement (`i u l ul`).
+    Com,
+    /// Logical not (`i u l ul`).
+    Not,
+    /// Copy `rs` to `rd` (`i u l ul p f d`).
+    Mov,
+    /// Negation (`i u l ul f d`).
+    Neg,
+}
+
+impl UnOp {
+    /// The paper's base instruction name.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnOp::Com => "com",
+            UnOp::Not => "not",
+            UnOp::Mov => "mov",
+            UnOp::Neg => "neg",
+        }
+    }
+
+    /// `true` if this operation accepts operands of type `ty`.
+    pub fn accepts(self, ty: Ty) -> bool {
+        match self {
+            UnOp::Com | UnOp::Not => matches!(ty, Ty::I | Ty::U | Ty::L | Ty::Ul),
+            UnOp::Mov => matches!(ty, Ty::I | Ty::U | Ty::L | Ty::Ul | Ty::P | Ty::F | Ty::D),
+            UnOp::Neg => matches!(ty, Ty::I | Ty::U | Ty::L | Ty::Ul | Ty::F | Ty::D),
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Branch conditions `(rs1, rs2, label)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Branch if less than.
+    Lt,
+    /// Branch if less than or equal.
+    Le,
+    /// Branch if greater than.
+    Gt,
+    /// Branch if greater than or equal.
+    Ge,
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+}
+
+impl Cond {
+    /// The paper's instruction name (`blt`, `ble`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Cond::Lt => "blt",
+            Cond::Le => "ble",
+            Cond::Gt => "bgt",
+            Cond::Ge => "bge",
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+        }
+    }
+
+    /// The condition with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> Cond {
+        match self {
+            Cond::Lt => Cond::Gt,
+            Cond::Le => Cond::Ge,
+            Cond::Gt => Cond::Lt,
+            Cond::Ge => Cond::Le,
+            Cond::Eq => Cond::Eq,
+            Cond::Ne => Cond::Ne,
+        }
+    }
+
+    /// The logical negation of the condition.
+    pub fn negated(self) -> Cond {
+        match self {
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+        }
+    }
+
+    /// Evaluates the condition over two signed values (reference
+    /// semantics used by tests and simulators).
+    pub fn eval_signed(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+        }
+    }
+
+    /// Evaluates the condition over two unsigned values.
+    pub fn eval_unsigned(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An immediate operand for `set` (load constant into a register).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Imm {
+    /// Integer/pointer immediate (sign bits are interpreted per type).
+    Int(i64),
+    /// Single-precision immediate; backends place these in the literal
+    /// pool at the end of the function's instruction stream (paper §5.2).
+    F32(f32),
+    /// Double-precision immediate (literal pool).
+    F64(f64),
+}
+
+impl From<i64> for Imm {
+    fn from(v: i64) -> Imm {
+        Imm::Int(v)
+    }
+}
+
+impl From<f32> for Imm {
+    fn from(v: f32) -> Imm {
+        Imm::F32(v)
+    }
+}
+
+impl From<f64> for Imm {
+    fn from(v: f64) -> Imm {
+        Imm::F64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_type_matrix_matches_table2() {
+        assert!(BinOp::Add.accepts(Ty::P));
+        assert!(!BinOp::Mul.accepts(Ty::P));
+        assert!(BinOp::Div.accepts(Ty::D));
+        assert!(!BinOp::Mod.accepts(Ty::F));
+        assert!(!BinOp::Lsh.accepts(Ty::D));
+        assert!(BinOp::Xor.accepts(Ty::Ul));
+        for op in [BinOp::Add, BinOp::And, BinOp::Rsh] {
+            assert!(!op.accepts(Ty::C), "sub-word types are memory-only");
+        }
+    }
+
+    #[test]
+    fn unop_type_matrix() {
+        assert!(UnOp::Mov.accepts(Ty::D));
+        assert!(UnOp::Neg.accepts(Ty::F));
+        assert!(!UnOp::Com.accepts(Ty::F));
+        assert!(!UnOp::Not.accepts(Ty::P));
+    }
+
+    #[test]
+    fn commutativity() {
+        assert!(BinOp::Add.commutes());
+        assert!(BinOp::Xor.commutes());
+        assert!(!BinOp::Sub.commutes());
+        assert!(!BinOp::Lsh.commutes());
+        assert!(!BinOp::Div.commutes());
+    }
+
+    #[test]
+    fn cond_negate_and_swap_are_consistent() {
+        for c in [Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge, Cond::Eq, Cond::Ne] {
+            for (a, b) in [(1i64, 2i64), (2, 1), (3, 3), (-1, 1)] {
+                assert_eq!(c.eval_signed(a, b), !c.negated().eval_signed(a, b));
+                assert_eq!(c.eval_signed(a, b), c.swapped().eval_signed(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn unsigned_vs_signed_comparison_differ() {
+        assert!(Cond::Lt.eval_signed(-1, 0));
+        assert!(!Cond::Lt.eval_unsigned(-1i64 as u64, 0));
+    }
+
+    #[test]
+    fn imm_from() {
+        assert_eq!(Imm::from(3i64), Imm::Int(3));
+        assert_eq!(Imm::from(1.5f32), Imm::F32(1.5));
+        assert_eq!(Imm::from(2.5f64), Imm::F64(2.5));
+    }
+}

@@ -1,0 +1,246 @@
+//! Registers and register-file descriptions.
+//!
+//! VCODE hands out *physical* machine registers: clients perform "virtual
+//! register allocation" at static compile time by asking the allocator for
+//! registers up front (paper §3). A [`Reg`] is therefore just a physical
+//! register number tagged with the bank (integer or floating-point) it
+//! lives in.
+
+use std::fmt;
+
+/// Which register file a register belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Bank {
+    /// General-purpose integer registers.
+    Int,
+    /// Floating-point registers.
+    Flt,
+}
+
+/// A physical machine register.
+///
+/// The numbering is target-specific (e.g. on MIPS, `Reg::int(4)` is `$a0`).
+/// Clients normally obtain registers from
+/// [`Assembler::getreg`](crate::Assembler::getreg) or from the argument
+/// vector returned by [`Assembler::lambda`](crate::Assembler::lambda);
+/// the architecture-independent hard-coded names [`T0`]–[`T3`] and
+/// [`S0`]–[`S3`] are resolved per target (paper §5.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg {
+    bank: Bank,
+    num: u8,
+}
+
+impl Reg {
+    /// An integer register with the given target-specific number.
+    #[inline]
+    pub const fn int(num: u8) -> Reg {
+        Reg {
+            bank: Bank::Int,
+            num,
+        }
+    }
+
+    /// A floating-point register with the given target-specific number.
+    #[inline]
+    pub const fn flt(num: u8) -> Reg {
+        Reg {
+            bank: Bank::Flt,
+            num,
+        }
+    }
+
+    /// The register's number within its bank.
+    #[inline]
+    pub const fn num(self) -> u8 {
+        self.num
+    }
+
+    /// The bank this register belongs to.
+    #[inline]
+    pub const fn bank(self) -> Bank {
+        self.bank
+    }
+
+    /// `true` if this is an integer register.
+    #[inline]
+    pub const fn is_int(self) -> bool {
+        matches!(self.bank, Bank::Int)
+    }
+
+    /// `true` if this is a floating-point register.
+    #[inline]
+    pub const fn is_flt(self) -> bool {
+        matches!(self.bank, Bank::Flt)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.bank {
+            Bank::Int => write!(f, "r{}", self.num),
+            Bank::Flt => write!(f, "f{}", self.num),
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Allocation class of a register candidate (paper §3.2).
+///
+/// `Temp` registers do not survive procedure calls; `Persistent` registers
+/// do (on conventional targets these map to caller-saved and callee-saved
+/// registers respectively, but VCODE lets clients reclassify registers
+/// per generated function — see
+/// [`Assembler::set_register_class`](crate::Assembler::set_register_class)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// Not preserved across calls ("temporary").
+    Temp,
+    /// Preserved across calls ("persistent").
+    Persistent,
+}
+
+/// How a physical register may be used, from the allocator's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegKind {
+    /// Caller-saved: free to use between calls, clobbered by calls.
+    CallerSaved,
+    /// Callee-saved: usable as persistent, must be saved in the prologue.
+    CalleeSaved,
+    /// Dedicated to passing the n-th argument; available for allocation
+    /// when the generated function takes fewer arguments (paper §3.2:
+    /// "makes unused argument registers available for allocation").
+    Arg(u8),
+    /// Reserved by the backend for instruction synthesis or by the ABI
+    /// (stack pointer, assembler temporaries, ...). Never allocated.
+    Reserved,
+}
+
+/// Static description of one register candidate.
+#[derive(Debug, Clone, Copy)]
+pub struct RegDesc {
+    /// The register.
+    pub reg: Reg,
+    /// Its default kind under the target's standard calling convention.
+    pub kind: RegKind,
+    /// Target-specific assembly name, for diagnostics and disassembly.
+    pub name: &'static str,
+}
+
+/// Static description of a target's register files.
+///
+/// The order of `int` and `flt` is the default allocation priority
+/// ordering (paper §3.2); clients may override it per function.
+#[derive(Debug, Clone, Copy)]
+pub struct RegFile {
+    /// Integer register candidates, in default allocation priority order.
+    pub int: &'static [RegDesc],
+    /// Floating-point register candidates, in priority order.
+    pub flt: &'static [RegDesc],
+    /// Architecture-independent temporary names `T0..` (paper §5.3),
+    /// resolved to physical registers.
+    pub hard_temps: &'static [Reg],
+    /// Architecture-independent persistent names `S0..`, resolved to
+    /// physical registers.
+    pub hard_saved: &'static [Reg],
+    /// The stack pointer.
+    pub sp: Reg,
+    /// The frame pointer (or stack pointer again if frameless).
+    pub fp: Reg,
+    /// Hard-wired zero register, if the target has one.
+    pub zero: Option<Reg>,
+}
+
+impl RegFile {
+    /// Looks up the descriptor for `reg`, if it is a candidate.
+    pub fn desc(&self, reg: Reg) -> Option<&RegDesc> {
+        let bank = match reg.bank() {
+            Bank::Int => self.int,
+            Bank::Flt => self.flt,
+        };
+        bank.iter().find(|d| d.reg == reg)
+    }
+
+    /// Target-specific name of `reg`, or `"r?"`-style fallback.
+    pub fn name(&self, reg: Reg) -> String {
+        match self.desc(reg) {
+            Some(d) => d.name.to_owned(),
+            None => format!("{reg}"),
+        }
+    }
+}
+
+/// Architecture-independent hard-coded temporary register names
+/// (paper §5.3). Resolve with
+/// [`Assembler::hard_temp`](crate::Assembler::hard_temp).
+pub const T0: usize = 0;
+/// Second hard temporary.
+pub const T1: usize = 1;
+/// Third hard temporary.
+pub const T2: usize = 2;
+/// Fourth hard temporary.
+pub const T3: usize = 3;
+/// First hard persistent (callee-saved) register name.
+pub const S0: usize = 0;
+/// Second hard persistent register name.
+pub const S1: usize = 1;
+/// Third hard persistent register name.
+pub const S2: usize = 2;
+/// Fourth hard persistent register name.
+pub const S3: usize = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_accessors() {
+        let r = Reg::int(7);
+        assert_eq!(r.num(), 7);
+        assert_eq!(r.bank(), Bank::Int);
+        assert!(r.is_int());
+        assert!(!r.is_flt());
+        let f = Reg::flt(3);
+        assert!(f.is_flt());
+        assert_eq!(format!("{f}"), "f3");
+        assert_eq!(format!("{r:?}"), "r7");
+    }
+
+    #[test]
+    fn int_and_flt_same_number_differ() {
+        assert_ne!(Reg::int(2), Reg::flt(2));
+    }
+
+    #[test]
+    fn regfile_lookup() {
+        static INT: [RegDesc; 2] = [
+            RegDesc {
+                reg: Reg::int(8),
+                kind: RegKind::CallerSaved,
+                name: "t0",
+            },
+            RegDesc {
+                reg: Reg::int(16),
+                kind: RegKind::CalleeSaved,
+                name: "s0",
+            },
+        ];
+        let rf = RegFile {
+            int: &INT,
+            flt: &[],
+            hard_temps: &[],
+            hard_saved: &[],
+            sp: Reg::int(29),
+            fp: Reg::int(30),
+            zero: Some(Reg::int(0)),
+        };
+        assert_eq!(rf.name(Reg::int(8)), "t0");
+        assert_eq!(rf.name(Reg::int(9)), "r9");
+        assert!(rf.desc(Reg::flt(0)).is_none());
+    }
+}

@@ -1,0 +1,445 @@
+//! Automatic regression-test generation for instruction mappings.
+//!
+//! "The most common error we have found is the mis-mapping of VCODE
+//! instructions to machine instructions. [...] easily caught with
+//! automatically generated regression tests" (paper §6.1). VCODE includes
+//! a script to generate such tests; this module is that script.
+//!
+//! It enumerates operation/type/operand-value cases together with their
+//! *reference* results (computed here with ordinary Rust arithmetic).
+//! Backend test suites build a two-argument function per case with the
+//! assembler, execute it — natively for x86-64, under the instruction-set
+//! simulator for MIPS/SPARC/Alpha — and compare against `expect`.
+//!
+//! Values are carried as canonical `u64`: `i` results are the 32-bit
+//! result sign-extended, `u` zero-extended, `l`/`ul`/`p` are word-sized
+//! for the target.
+
+use crate::op::{BinOp, Cond, UnOp};
+use crate::ty::Ty;
+
+/// A binary-operation regression case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinCase {
+    /// The operation.
+    pub op: BinOp,
+    /// The operand type.
+    pub ty: Ty,
+    /// First operand (canonical u64).
+    pub a: u64,
+    /// Second operand.
+    pub b: u64,
+    /// Expected result.
+    pub expect: u64,
+}
+
+/// A unary-operation regression case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnCase {
+    /// The operation.
+    pub op: UnOp,
+    /// The operand type.
+    pub ty: Ty,
+    /// Operand.
+    pub a: u64,
+    /// Expected result.
+    pub expect: u64,
+}
+
+/// A branch-condition regression case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchCase {
+    /// The condition.
+    pub cond: Cond,
+    /// The operand type.
+    pub ty: Ty,
+    /// First operand.
+    pub a: u64,
+    /// Second operand.
+    pub b: u64,
+    /// Whether the branch is taken.
+    pub taken: bool,
+}
+
+fn sext32(v: u64) -> u64 {
+    v as u32 as i32 as i64 as u64
+}
+
+fn zext32(v: u64) -> u64 {
+    v as u32 as u64
+}
+
+/// Canonicalizes `v` as a value of `ty` on a machine of `word_bits`.
+pub fn canon(ty: Ty, v: u64, word_bits: u32) -> u64 {
+    let word = |v: u64, signed: bool| {
+        if word_bits == 32 {
+            if signed {
+                sext32(v)
+            } else {
+                zext32(v)
+            }
+        } else {
+            v
+        }
+    };
+    match ty {
+        Ty::C => v as u8 as i8 as i64 as u64,
+        Ty::Uc => v as u8 as u64,
+        Ty::S => v as u16 as i16 as i64 as u64,
+        Ty::Us => v as u16 as u64,
+        Ty::I => sext32(v),
+        Ty::U => zext32(v),
+        Ty::L => word(v, true),
+        Ty::Ul | Ty::P => word(v, false),
+        Ty::F | Ty::D | Ty::V => v,
+    }
+}
+
+/// Reference semantics of a binary operation; `None` when the case is
+/// undefined (division by zero, signed overflow of `INT_MIN / -1`).
+///
+/// Shift amounts are masked to the operand width, matching the hardware
+/// of every target we port to.
+pub fn eval_binop(op: BinOp, ty: Ty, a: u64, b: u64, word_bits: u32) -> Option<u64> {
+    let bits: u32 = match ty {
+        Ty::I | Ty::U => 32,
+        Ty::L | Ty::Ul | Ty::P => word_bits,
+        _ => return None,
+    };
+    let signed = ty.is_signed();
+    let (a, b) = (canon(ty, a, word_bits), canon(ty, b, word_bits));
+    let r = if bits == 32 {
+        let (ai, bi) = (a as i32, b as i32);
+        let (au, bu) = (a as u32, b as u32);
+        let r32: u32 = match op {
+            BinOp::Add => au.wrapping_add(bu),
+            BinOp::Sub => au.wrapping_sub(bu),
+            BinOp::Mul => au.wrapping_mul(bu),
+            BinOp::Div if signed => {
+                if bi == 0 || (ai == i32::MIN && bi == -1) {
+                    return None;
+                }
+                ai.wrapping_div(bi) as u32
+            }
+            BinOp::Div => {
+                if bu == 0 {
+                    return None;
+                }
+                au / bu
+            }
+            BinOp::Mod if signed => {
+                if bi == 0 || (ai == i32::MIN && bi == -1) {
+                    return None;
+                }
+                ai.wrapping_rem(bi) as u32
+            }
+            BinOp::Mod => {
+                if bu == 0 {
+                    return None;
+                }
+                au % bu
+            }
+            BinOp::And => au & bu,
+            BinOp::Or => au | bu,
+            BinOp::Xor => au ^ bu,
+            BinOp::Lsh => au.wrapping_shl(bu & 31),
+            BinOp::Rsh if signed => ai.wrapping_shr(bu & 31) as u32,
+            BinOp::Rsh => au.wrapping_shr(bu & 31),
+        };
+        if signed {
+            sext32(r32 as u64)
+        } else {
+            zext32(r32 as u64)
+        }
+    } else {
+        let (ai, bi) = (a as i64, b as i64);
+        match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div if signed => {
+                if bi == 0 || (ai == i64::MIN && bi == -1) {
+                    return None;
+                }
+                ai.wrapping_div(bi) as u64
+            }
+            BinOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a / b
+            }
+            BinOp::Mod if signed => {
+                if bi == 0 || (ai == i64::MIN && bi == -1) {
+                    return None;
+                }
+                ai.wrapping_rem(bi) as u64
+            }
+            BinOp::Mod => {
+                if b == 0 {
+                    return None;
+                }
+                a % b
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Lsh => a.wrapping_shl(b as u32 & 63),
+            BinOp::Rsh if signed => ai.wrapping_shr(b as u32 & 63) as u64,
+            BinOp::Rsh => a.wrapping_shr(b as u32 & 63),
+        }
+    };
+    Some(r)
+}
+
+/// Reference semantics of a unary operation.
+pub fn eval_unop(op: UnOp, ty: Ty, a: u64, word_bits: u32) -> Option<u64> {
+    if !op.accepts(ty) {
+        return None;
+    }
+    let a = canon(ty, a, word_bits);
+    let r = match op {
+        UnOp::Com => !a,
+        UnOp::Not => (a == 0) as u64,
+        UnOp::Mov => a,
+        UnOp::Neg => (a as i64).wrapping_neg() as u64,
+    };
+    Some(canon(ty, r, word_bits))
+}
+
+/// Reference semantics of a branch condition.
+pub fn eval_cond(cond: Cond, ty: Ty, a: u64, b: u64, word_bits: u32) -> bool {
+    let (a, b) = (canon(ty, a, word_bits), canon(ty, b, word_bits));
+    if ty.is_signed() {
+        cond.eval_signed(a as i64, b as i64)
+    } else {
+        cond.eval_unsigned(a, b)
+    }
+}
+
+/// A deterministic xorshift generator so the regression suite is
+/// reproducible without a dependency.
+#[derive(Debug, Clone)]
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Creates a generator; `seed` must be non-zero.
+    pub fn new(seed: u64) -> XorShift {
+        XorShift(if seed == 0 { 0x9e37_79b9 } else { seed })
+    }
+
+    /// Next pseudo-random value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Interesting boundary operand values (paper: "frequently the source of
+/// latent bugs due to boundary conditions, e.g. constants that don't fit
+/// in immediate fields").
+pub const BOUNDARY_VALUES: [u64; 14] = [
+    0,
+    1,
+    2,
+    0x7f,
+    0x80,
+    0xff,
+    0x7fff,          // largest 16-bit immediate
+    0x8000,          // just past it
+    0xffff,
+    0x7fff_ffff,
+    0x8000_0000,
+    0xffff_ffff,
+    0x8000_0000_0000_0000,
+    0xffff_ffff_ffff_ffff,
+];
+
+/// Generates binary-operation regression cases for a machine of
+/// `word_bits`: every op × type over boundary values plus `extra`
+/// pseudo-random pairs per combination.
+pub fn binop_cases(word_bits: u32, extra: usize, seed: u64) -> Vec<BinCase> {
+    let mut rng = XorShift::new(seed);
+    let mut out = Vec::new();
+    let types: &[Ty] = if word_bits == 64 {
+        &[Ty::I, Ty::U, Ty::L, Ty::Ul]
+    } else {
+        &[Ty::I, Ty::U]
+    };
+    let ops = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Lsh,
+        BinOp::Rsh,
+    ];
+    for &op in &ops {
+        for &ty in types {
+            if !op.accepts(ty) {
+                continue;
+            }
+            let push = |a: u64, b: u64, out: &mut Vec<BinCase>| {
+                // Keep shift amounts in range so the case is well-defined
+                // on every ISA.
+                let b = if matches!(op, BinOp::Lsh | BinOp::Rsh) {
+                    b % 31
+                } else {
+                    b
+                };
+                if let Some(expect) = eval_binop(op, ty, a, b, word_bits) {
+                    out.push(BinCase {
+                        op,
+                        ty,
+                        a: canon(ty, a, word_bits),
+                        b: canon(ty, b, word_bits),
+                        expect,
+                    });
+                }
+            };
+            for &a in &BOUNDARY_VALUES {
+                for &b in &BOUNDARY_VALUES {
+                    push(a, b, &mut out);
+                }
+            }
+            for _ in 0..extra {
+                let (a, b) = (rng.next_u64(), rng.next_u64());
+                push(a, b, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Generates unary-operation regression cases.
+pub fn unop_cases(word_bits: u32) -> Vec<UnCase> {
+    let mut out = Vec::new();
+    let types: &[Ty] = if word_bits == 64 {
+        &[Ty::I, Ty::U, Ty::L, Ty::Ul]
+    } else {
+        &[Ty::I, Ty::U]
+    };
+    for op in [UnOp::Com, UnOp::Not, UnOp::Mov, UnOp::Neg] {
+        for &ty in types {
+            if !op.accepts(ty) {
+                continue;
+            }
+            for &a in &BOUNDARY_VALUES {
+                if let Some(expect) = eval_unop(op, ty, a, word_bits) {
+                    out.push(UnCase {
+                        op,
+                        ty,
+                        a: canon(ty, a, word_bits),
+                        expect,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Generates branch regression cases.
+pub fn branch_cases(word_bits: u32) -> Vec<BranchCase> {
+    let mut out = Vec::new();
+    let types: &[Ty] = if word_bits == 64 {
+        &[Ty::I, Ty::U, Ty::L, Ty::Ul]
+    } else {
+        &[Ty::I, Ty::U]
+    };
+    for cond in [Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge, Cond::Eq, Cond::Ne] {
+        for &ty in types {
+            for &a in &BOUNDARY_VALUES {
+                for &b in &BOUNDARY_VALUES {
+                    out.push(BranchCase {
+                        cond,
+                        ty,
+                        a: canon(ty, a, word_bits),
+                        b: canon(ty, b, word_bits),
+                        taken: eval_cond(cond, ty, a, b, word_bits),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canon_sign_extends_int() {
+        assert_eq!(canon(Ty::I, 0xffff_ffff, 64), u64::MAX);
+        assert_eq!(canon(Ty::U, 0xffff_ffff, 64), 0xffff_ffff);
+        assert_eq!(canon(Ty::L, 0xffff_ffff, 32), u64::MAX);
+        assert_eq!(canon(Ty::C, 0x80, 64), (-128i64) as u64);
+    }
+
+    #[test]
+    fn eval_binop_signed_division_truncates_toward_zero() {
+        let r = eval_binop(BinOp::Div, Ty::I, (-7i64) as u64, 2, 64).unwrap();
+        assert_eq!(r as i64, -3);
+        let r = eval_binop(BinOp::Mod, Ty::I, (-7i64) as u64, 2, 64).unwrap();
+        assert_eq!(r as i64, -1);
+    }
+
+    #[test]
+    fn eval_binop_undefined_cases_are_none() {
+        assert_eq!(eval_binop(BinOp::Div, Ty::I, 1, 0, 64), None);
+        assert_eq!(
+            eval_binop(BinOp::Div, Ty::I, i32::MIN as i64 as u64, (-1i64) as u64, 64),
+            None
+        );
+        assert_eq!(eval_binop(BinOp::Add, Ty::D, 1, 2, 64), None, "f/d not integer cases");
+    }
+
+    #[test]
+    fn eval_binop_unsigned_rsh_is_logical() {
+        let r = eval_binop(BinOp::Rsh, Ty::U, 0x8000_0000, 31, 64).unwrap();
+        assert_eq!(r, 1);
+        let r = eval_binop(BinOp::Rsh, Ty::I, 0x8000_0000, 31, 64).unwrap();
+        assert_eq!(r as i64, -1, "arithmetic shift propagates sign");
+    }
+
+    #[test]
+    fn eval_unop_not_is_logical_not() {
+        assert_eq!(eval_unop(UnOp::Not, Ty::I, 0, 64), Some(1));
+        assert_eq!(eval_unop(UnOp::Not, Ty::I, 42, 64), Some(0));
+        assert_eq!(eval_unop(UnOp::Com, Ty::U, 0, 64), Some(0xffff_ffff));
+    }
+
+    #[test]
+    fn case_generators_produce_rich_suites() {
+        let bins = binop_cases(64, 4, 42);
+        assert!(bins.len() > 2000, "got {}", bins.len());
+        let uns = unop_cases(32);
+        assert!(uns.len() > 50);
+        let brs = branch_cases(64);
+        assert_eq!(brs.len(), 6 * 4 * 14 * 14);
+        // Determinism.
+        assert_eq!(binop_cases(64, 4, 42), bins);
+    }
+
+    #[test]
+    fn branch_cases_agree_with_cond_eval() {
+        for c in branch_cases(32).iter().take(500) {
+            assert_eq!(c.taken, eval_cond(c.cond, c.ty, c.a, c.b, 32));
+        }
+    }
+
+    #[test]
+    fn xorshift_zero_seed_is_fixed_up() {
+        let mut a = XorShift::new(0);
+        assert_ne!(a.next_u64(), 0);
+    }
+}

@@ -1,0 +1,373 @@
+//! The concise instruction-specification language (paper §3.3, §5.4).
+//!
+//! VCODE provides a preprocessor that consumes a concise instruction
+//! specification and automatically generates the specified set of VCODE
+//! instruction definitions. A simplified form of the specification is:
+//!
+//! ```text
+//! ( base-insn-name ( param-list ) [ ( type-list mach_insn [ mach-imm-insn ] ) ]+ )
+//! ```
+//!
+//! Each `base-insn-name` is composed with each `type-list` entry and
+//! mapped to the associated register-only machine instruction and, if
+//! given, the associated immediate instruction. The paper's example adds
+//! a square-root family on MIPS:
+//!
+//! ```
+//! use vcode::spec::Spec;
+//! let spec = Spec::parse("(sqrt (rd, rs) (f fsqrts) (d fsqrtd))")?;
+//! let defs = spec.instructions();
+//! assert_eq!(defs[0].name, "sqrtf");
+//! assert_eq!(defs[0].mach, "fsqrts");
+//! assert_eq!(defs[1].name, "sqrtd");
+//! # Ok::<(), vcode::spec::SpecError>(())
+//! ```
+//!
+//! Where the original preprocessor generated C `#define`s, this module
+//! generates Rust source text ([`Spec::generate_rust`]) that a build step
+//! or a porter pastes into a backend — "a single line in a preprocessing
+//! specification can add a new family of instructions".
+
+use crate::ty::Ty;
+use std::fmt;
+
+/// A parsed instruction-family specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spec {
+    /// Base instruction name (`sqrt`).
+    pub base: String,
+    /// Parameter list (`rd`, `rs`).
+    pub params: Vec<String>,
+    /// Per-type mappings to machine instructions.
+    pub mappings: Vec<Mapping>,
+}
+
+/// One `(type-list mach_insn [mach-imm-insn])` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// The types this clause composes the base name with.
+    pub types: Vec<Ty>,
+    /// Register-form machine instruction.
+    pub mach: String,
+    /// Immediate-form machine instruction, if any.
+    pub mach_imm: Option<String>,
+}
+
+/// One generated instruction definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsnDef {
+    /// Composed VCODE name (`sqrtf` = base `sqrt` × type `f`).
+    pub name: String,
+    /// The operand type.
+    pub ty: Ty,
+    /// Parameters.
+    pub params: Vec<String>,
+    /// Machine instruction it maps to.
+    pub mach: String,
+    /// `true` for the immediate form (name carries a trailing `i`).
+    pub imm: bool,
+}
+
+/// Error from parsing a specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset in the input.
+    pub at: usize,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+// ---- a tiny s-expression reader ----
+
+#[derive(Debug, Clone, PartialEq)]
+enum Sexp {
+    Atom(String),
+    List(Vec<Sexp>),
+}
+
+fn read_sexp(s: &str, mut i: usize) -> Result<(Sexp, usize), SpecError> {
+    let b = s.as_bytes();
+    let err = |at: usize, msg: &str| SpecError {
+        msg: msg.to_owned(),
+        at,
+    };
+    while i < b.len() && (b[i].is_ascii_whitespace() || b[i] == b',') {
+        i += 1;
+    }
+    if i >= b.len() {
+        return Err(err(i, "unexpected end of input"));
+    }
+    if b[i] == b'(' {
+        let mut items = Vec::new();
+        i += 1;
+        loop {
+            while i < b.len() && (b[i].is_ascii_whitespace() || b[i] == b',') {
+                i += 1;
+            }
+            if i >= b.len() {
+                return Err(err(i, "unterminated list"));
+            }
+            if b[i] == b')' {
+                return Ok((Sexp::List(items), i + 1));
+            }
+            let (item, ni) = read_sexp(s, i)?;
+            items.push(item);
+            i = ni;
+        }
+    }
+    if b[i] == b')' {
+        return Err(err(i, "unexpected ')'"));
+    }
+    let start = i;
+    while i < b.len() && !b[i].is_ascii_whitespace() && !matches!(b[i], b'(' | b')' | b',') {
+        i += 1;
+    }
+    Ok((Sexp::Atom(s[start..i].to_owned()), i))
+}
+
+fn is_type_atom(s: &str) -> Option<Ty> {
+    match s {
+        "v" => Some(Ty::V),
+        "c" => Some(Ty::C),
+        "uc" => Some(Ty::Uc),
+        "s" => Some(Ty::S),
+        "us" => Some(Ty::Us),
+        "i" => Some(Ty::I),
+        "u" => Some(Ty::U),
+        "l" => Some(Ty::L),
+        "ul" => Some(Ty::Ul),
+        "p" => Some(Ty::P),
+        "f" => Some(Ty::F),
+        "d" => Some(Ty::D),
+        _ => None,
+    }
+}
+
+impl Spec {
+    /// Parses one specification.
+    ///
+    /// In each mapping clause, leading atoms that name VCODE types form
+    /// the type list; the first non-type atom is the machine instruction
+    /// and an optional second is its immediate form — so both the paper's
+    /// `(f fsqrts)` and multi-type `(i u l ul add addi)` clauses work
+    /// without ambiguity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on malformed input.
+    pub fn parse(input: &str) -> Result<Spec, SpecError> {
+        let (sexp, end) = read_sexp(input, 0)?;
+        let rest = input[end..].trim();
+        if !rest.is_empty() {
+            return Err(SpecError {
+                msg: format!("trailing input: {rest:?}"),
+                at: end,
+            });
+        }
+        Spec::from_sexp(&sexp)
+    }
+
+    /// Parses a file of several specifications.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on malformed input.
+    pub fn parse_all(input: &str) -> Result<Vec<Spec>, SpecError> {
+        let mut specs = Vec::new();
+        let mut i = 0;
+        loop {
+            while i < input.len()
+                && (input.as_bytes()[i].is_ascii_whitespace() || input.as_bytes()[i] == b',')
+            {
+                i += 1;
+            }
+            if i >= input.len() {
+                return Ok(specs);
+            }
+            let (sexp, ni) = read_sexp(input, i)?;
+            specs.push(Spec::from_sexp(&sexp)?);
+            i = ni;
+        }
+    }
+
+    fn from_sexp(sexp: &Sexp) -> Result<Spec, SpecError> {
+        let err = |msg: &str| SpecError {
+            msg: msg.to_owned(),
+            at: 0,
+        };
+        let Sexp::List(items) = sexp else {
+            return Err(err("specification must be a list"));
+        };
+        let mut it = items.iter();
+        let Some(Sexp::Atom(base)) = it.next() else {
+            return Err(err("expected base instruction name"));
+        };
+        let Some(Sexp::List(params)) = it.next() else {
+            return Err(err("expected parameter list"));
+        };
+        let params = params
+            .iter()
+            .map(|p| match p {
+                Sexp::Atom(a) => Ok(a.clone()),
+                _ => Err(err("parameter names must be atoms")),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut mappings = Vec::new();
+        for clause in it {
+            let Sexp::List(parts) = clause else {
+                return Err(err("mapping clause must be a list"));
+            };
+            let mut types = Vec::new();
+            let mut names = Vec::new();
+            for p in parts {
+                let Sexp::Atom(a) = p else {
+                    return Err(err("mapping clause entries must be atoms"));
+                };
+                if names.is_empty() {
+                    if let Some(ty) = is_type_atom(a) {
+                        types.push(ty);
+                        continue;
+                    }
+                }
+                names.push(a.clone());
+            }
+            if types.is_empty() {
+                return Err(err("mapping clause has no types"));
+            }
+            if names.is_empty() || names.len() > 2 {
+                return Err(err("mapping clause needs one or two machine instructions"));
+            }
+            mappings.push(Mapping {
+                types,
+                mach: names[0].clone(),
+                mach_imm: names.get(1).cloned(),
+            });
+        }
+        if mappings.is_empty() {
+            return Err(err("specification has no mapping clauses"));
+        }
+        Ok(Spec {
+            base: base.clone(),
+            params,
+            mappings,
+        })
+    }
+
+    /// Enumerates the instruction definitions this specification
+    /// generates: base × type (and the immediate form where given).
+    pub fn instructions(&self) -> Vec<InsnDef> {
+        let mut out = Vec::new();
+        for m in &self.mappings {
+            for &ty in &m.types {
+                out.push(InsnDef {
+                    name: format!("{}{}", self.base, ty.suffix()),
+                    ty,
+                    params: self.params.clone(),
+                    mach: m.mach.clone(),
+                    imm: false,
+                });
+                if let Some(imm) = &m.mach_imm {
+                    out.push(InsnDef {
+                        name: format!("{}{}i", self.base, ty.suffix()),
+                        ty,
+                        params: self.params.clone(),
+                        mach: imm.clone(),
+                        imm: true,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Generates Rust source for the instruction family — the analogue
+    /// of the paper's preprocessor emitting
+    /// `#define v_sqrtf(rd,rs) fsqrts(rd,rs)`.
+    pub fn generate_rust(&self) -> String {
+        let mut out = String::new();
+        for def in self.instructions() {
+            let params = def.params.join(": Reg, ") + ": Reg";
+            let args = def.params.join(", ");
+            out.push_str(&format!(
+                "#[inline]\npub fn {}(a: &mut Asm<'_>, {}) {{\n    {}(a, {});\n}}\n",
+                def.name, params, def.mach, args
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sqrt_example() {
+        let spec = Spec::parse("(sqrt (rd, rs) (f fsqrts) (d fsqrtd))").unwrap();
+        assert_eq!(spec.base, "sqrt");
+        assert_eq!(spec.params, vec!["rd", "rs"]);
+        let defs = spec.instructions();
+        assert_eq!(defs.len(), 2);
+        assert_eq!(defs[0].name, "sqrtf");
+        assert_eq!(defs[0].mach, "fsqrts");
+        assert_eq!(defs[1].name, "sqrtd");
+        assert_eq!(defs[1].mach, "fsqrtd");
+    }
+
+    #[test]
+    fn multi_type_clause_with_immediate_form() {
+        let spec = Spec::parse("(add (rd, rs1, rs2) (i u l ul addx addxi))").unwrap();
+        let defs = spec.instructions();
+        let names: Vec<_> = defs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["addi", "addii", "addu", "addui", "addl", "addli", "addul", "adduli"]
+        );
+        assert!(defs[1].imm);
+        assert_eq!(defs[1].mach, "addxi");
+    }
+
+    #[test]
+    fn generated_rust_mentions_every_definition() {
+        let spec = Spec::parse("(sqrt (rd, rs) (f fsqrts) (d fsqrtd))").unwrap();
+        let src = spec.generate_rust();
+        assert!(src.contains("pub fn sqrtf(a: &mut Asm<'_>, rd: Reg, rs: Reg)"));
+        assert!(src.contains("fsqrtd(a, rd, rs);"));
+    }
+
+    #[test]
+    fn parse_all_reads_a_specification_file() {
+        let specs = Spec::parse_all(
+            "(sqrt (rd, rs) (f fsqrts) (d fsqrtd))\n(rev (rd, rs) (u brev))",
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[1].base, "rev");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Spec::parse("").is_err());
+        assert!(Spec::parse("(sqrt)").is_err());
+        assert!(Spec::parse("(sqrt (rd))").is_err());
+        assert!(Spec::parse("(sqrt (rd) (fsqrts))").is_err(), "no types");
+        assert!(Spec::parse("(sqrt (rd) (f a b c))").is_err(), "too many insns");
+        assert!(Spec::parse("(a (b) (f x)) junk").is_err(), "trailing input");
+        assert!(Spec::parse("(a (b) (f x)").is_err(), "unterminated");
+    }
+
+    #[test]
+    fn commas_are_whitespace() {
+        let a = Spec::parse("(m (rd,rs) (i,x))").unwrap();
+        let b = Spec::parse("(m (rd rs) (i x))").unwrap();
+        assert_eq!(a, b);
+    }
+}

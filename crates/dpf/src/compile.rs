@@ -1,0 +1,574 @@
+//! Dynamic compilation of the merged filter trie.
+//!
+//! This is where DPF "exploits dynamic code generation in two ways: (1)
+//! eliminating interpretation overhead by compiling packet filters to
+//! executable code when they are installed into the kernel and (2) using
+//! filter constants to aggressively optimize this executable code"
+//! (paper §4.2). Concretely:
+//!
+//! - **switch lowering by runtime constants** — a multiway dispatch over
+//!   the values concurrently-active filters expect is lowered the way
+//!   optimizing compilers treat C `switch` statements: a small set is
+//!   searched directly, sparse values by binary search, dense ranges by
+//!   an indirect jump through a table;
+//! - **hash-function selection** — for large sparse sets DPF picks a
+//!   multiplier that hashes the *known* keys perfectly, "and then encodes
+//!   the chosen function directly in the instruction stream";
+//! - **collision-check elision** — because the keys are known at
+//!   code-generation time and the chosen hash is collision-free among
+//!   them, no chain walking is ever emitted (one compare remains to
+//!   reject values that are not keys at all);
+//! - **bounds-check elision** — a field load's length check is dropped
+//!   when a check already performed on the path dominates it.
+//!
+//! Backtracking invariant: trying an alternative trie node must observe
+//! the same dynamic base offset as its siblings, so `Shift` nodes spill
+//! the running base and the fail path restores it.
+
+use crate::lang::FieldSize;
+use crate::trie::{Key, Level, Node};
+use std::fmt;
+use vcode::regress::XorShift;
+use vcode::target::Leaf;
+use vcode::{Assembler, Label, Reg, RegClass};
+use vcode_x64::{ExecCode, ExecMem, X64};
+
+/// How many arms at most are dispatched by a linear compare chain.
+const LINEAR_MAX: usize = 4;
+/// Above this arm count a sparse set uses hashing instead of a branch
+/// tree.
+const HASH_MIN: usize = 16;
+
+/// Dispatch-strategy usage counts (for tests and the ablation bench).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Strategies {
+    /// Single-value nodes (plain compare-and-branch).
+    pub single: u32,
+    /// Linear compare chains.
+    pub linear: u32,
+    /// Binary-search branch trees.
+    pub bst: u32,
+    /// Indirect jump tables.
+    pub table: u32,
+    /// Perfect-hash dispatches.
+    pub hash: u32,
+}
+
+/// Controls which dispatch strategies the compiler may use (the
+/// ablation knobs; defaults enable everything).
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Allow indirect jump tables for dense value sets.
+    pub use_jump_tables: bool,
+    /// Allow perfect-hash dispatch for large sparse sets.
+    pub use_hashing: bool,
+    /// Elide dominated bounds checks.
+    pub elide_bounds_checks: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            use_jump_tables: true,
+            use_hashing: true,
+            elide_bounds_checks: true,
+        }
+    }
+}
+
+/// Error from compiling a filter set.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Code generation failed.
+    Codegen(vcode::Error),
+    /// Could not obtain executable memory.
+    Exec(std::io::Error),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Codegen(e) => write!(f, "{e}"),
+            CompileError::Exec(e) => write!(f, "executable memory: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<vcode::Error> for CompileError {
+    fn from(e: vcode::Error) -> CompileError {
+        CompileError::Codegen(e)
+    }
+}
+
+/// A compiled classifier.
+///
+/// Safety of the generated code rests on the filter language's bounds
+/// discipline: every field load is dominated by a check that
+/// `offset + size <= len`, so the code never reads outside
+/// `msg[..len]`.
+pub struct CompiledSet {
+    code: ExecCode,
+    entry: extern "C" fn(*const u8, u64) -> i64,
+    // Dispatch tables referenced by absolute address from the generated
+    // code; kept alive (and unmoved — Box contents are stable) here.
+    _jump_tables: Vec<Box<[u64]>>,
+    _hash_keys: Vec<Box<[u32]>>,
+    _hash_addrs: Vec<Box<[u64]>>,
+    /// Strategy usage.
+    pub strategies: Strategies,
+    /// Bytes of generated machine code.
+    pub code_len: usize,
+    /// VCODE instructions specified during generation.
+    pub vcode_insns: u64,
+}
+
+impl fmt::Debug for CompiledSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledSet")
+            .field("code_len", &self.code_len)
+            .field("strategies", &self.strategies)
+            .finish()
+    }
+}
+
+impl CompiledSet {
+    /// Classifies a message; the id of the accepted filter.
+    #[inline]
+    pub fn classify(&self, msg: &[u8]) -> Option<u32> {
+        let r = (self.entry)(msg.as_ptr(), msg.len() as u64);
+        u32::try_from(r).ok()
+    }
+
+    /// The entry address (diagnostics).
+    pub fn entry_addr(&self) -> u64 {
+        self.code.addr()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PathState {
+    /// Message length proven ≥ this many bytes on this path.
+    checked: u32,
+    /// A `Shift` executed: offsets are dynamic, loads go through the
+    /// recomputed base pointer.
+    shifted: bool,
+}
+
+struct Cg<'m> {
+    a: Assembler<'m, X64>,
+    msg: Reg,
+    len: Reg,
+    field: Reg,
+    ptr: Reg,
+    base: Reg,
+    tmp: Reg,
+    tmp2: Reg,
+    opts: Options,
+    strategies: Strategies,
+    jump_tables: Vec<Box<[u64]>>,
+    hash_keys: Vec<Box<[u32]>>,
+    hash_addrs: Vec<Box<[u64]>>,
+    // (table index, entry index, label) resolved after `end`.
+    table_fills: Vec<(usize, usize, Label)>,
+    hash_fills: Vec<(usize, usize, Label)>,
+    rng: XorShift,
+}
+
+fn swap_val(v: u32, size: FieldSize) -> u32 {
+    match size {
+        FieldSize::U8 => v,
+        FieldSize::U16 => u32::from((v as u16).swap_bytes()),
+        FieldSize::U32 => v.swap_bytes(),
+    }
+}
+
+impl<'m> Cg<'m> {
+    /// Emits the length check dominating a field access, unless elided.
+    fn bounds(&mut self, offset: u32, size: FieldSize, st: &mut PathState, fail: Label) {
+        let need = offset + size.bytes();
+        if st.shifted {
+            // Dynamic base: check base + need <= len at runtime.
+            self.a.adduli(self.tmp, self.base, i64::from(need));
+            self.a.bgtul(self.tmp, self.len, fail);
+        } else if !self.opts.elide_bounds_checks || need > st.checked {
+            self.a.bltuli(self.len, i64::from(need), fail);
+            if self.opts.elide_bounds_checks {
+                st.checked = need;
+            }
+        }
+    }
+
+    /// Loads a field (little-endian raw bits) into `self.field`.
+    fn load_field(&mut self, offset: u32, size: FieldSize, st: PathState) {
+        let bp = if st.shifted { self.ptr } else { self.msg };
+        match size {
+            FieldSize::U8 => self.a.lduci(self.field, bp, offset as i32),
+            FieldSize::U16 => self.a.ldusi(self.field, bp, offset as i32),
+            FieldSize::U32 => self.a.ldui(self.field, bp, offset as i32),
+        }
+    }
+
+    /// Converts `self.field` from raw little-endian load to the
+    /// big-endian value domain (needed by table/hash dispatch, which
+    /// relies on numeric ordering/density of the real values).
+    fn to_value_domain(&mut self, size: FieldSize) {
+        match size {
+            FieldSize::U8 => {}
+            FieldSize::U16 => {
+                let (f, t) = (self.field, self.tmp);
+                self.a.bswapus(f, f, t);
+            }
+            FieldSize::U32 => {
+                let (f, t, u) = (self.field, self.tmp, self.tmp2);
+                self.a.bswapu(f, f, t, u); // native bswap on x86-64
+            }
+        }
+    }
+
+    fn ret_id(&mut self, id: u32) {
+        self.a.seti(self.tmp, id as i32);
+        self.a.reti(self.tmp);
+    }
+
+    fn gen_level(&mut self, level: &Level, fail: Label, st: PathState) {
+        for node in &level.nodes {
+            let node_fail = self.a.genlabel();
+            // A Shift node mutates the running base; if its subtree fails
+            // and we backtrack to a sibling, the base must be restored,
+            // so it is spilled around the alternative.
+            let saved = if matches!(node.key, Key::Shift { .. }) {
+                let slot = self.a.local(vcode::Ty::Ul);
+                self.a.st_slot(slot, self.base);
+                Some(slot)
+            } else {
+                None
+            };
+            self.gen_node(node, node_fail, st);
+            self.a.label(node_fail);
+            if let Some(slot) = saved {
+                self.a.ld_slot(self.base, slot);
+                self.a.addp(self.ptr, self.msg, self.base);
+            }
+        }
+        match level.accept {
+            Some(id) => self.ret_id(id),
+            None => self.a.jmp(fail),
+        }
+    }
+
+    fn gen_node(&mut self, node: &Node, node_fail: Label, mut st: PathState) {
+        match node.key {
+            Key::Cmp { offset, size, mask } => {
+                self.bounds(offset, size, &mut st, node_fail);
+                self.load_field(offset, size, st);
+                if mask != size.full_mask() {
+                    // Mask in the load domain: byte-swapping commutes
+                    // with AND.
+                    self.a
+                        .andui(self.field, self.field, i64::from(swap_val(mask, size)));
+                }
+                let arm_labels: Vec<Label> =
+                    node.arms.iter().map(|_| self.a.genlabel()).collect();
+                self.dispatch(node, size, &arm_labels, node_fail);
+                for (arm, &l) in node.arms.iter().zip(&arm_labels) {
+                    self.a.label(l);
+                    self.gen_level(&arm.next, node_fail, st);
+                }
+            }
+            Key::Shift {
+                offset,
+                size,
+                mask,
+                shift,
+            } => {
+                self.bounds(offset, size, &mut st, node_fail);
+                self.load_field(offset, size, st);
+                self.to_value_domain(size);
+                self.a.andui(self.field, self.field, i64::from(mask));
+                if shift > 0 {
+                    self.a.lshuli(self.field, self.field, i64::from(shift));
+                }
+                self.a.addul(self.base, self.base, self.field);
+                self.a.addp(self.ptr, self.msg, self.base);
+                st.shifted = true;
+                if let Some(next) = &node.next {
+                    self.gen_level(next, node_fail, st);
+                } else {
+                    self.a.jmp(node_fail);
+                }
+            }
+        }
+    }
+
+    /// Emits the multiway dispatch over a node's arms. The strategy is
+    /// chosen from the runtime-known key set (paper §4.2's `switch`
+    /// treatment).
+    fn dispatch(&mut self, node: &Node, size: FieldSize, arm_labels: &[Label], fail: Label) {
+        let n = node.arms.len();
+        if n == 1 {
+            self.strategies.single += 1;
+            let v = swap_val(node.arms[0].value, size);
+            self.a.bneui(self.field, i64::from(v), fail);
+            // Fall through into the single arm body (its label binds
+            // immediately after).
+            return;
+        }
+        if n <= LINEAR_MAX {
+            self.strategies.linear += 1;
+            for (arm, &l) in node.arms.iter().zip(arm_labels) {
+                let v = swap_val(arm.value, size);
+                self.a.bequi(self.field, i64::from(v), l);
+            }
+            self.a.jmp(fail);
+            return;
+        }
+        // Density test in the true value domain.
+        let mut vals: Vec<(u32, Label)> = node
+            .arms
+            .iter()
+            .zip(arm_labels)
+            .map(|(a, &l)| (a.value, l))
+            .collect();
+        vals.sort_by_key(|&(v, _)| v);
+        let min = vals[0].0;
+        let max = vals[n - 1].0;
+        let span = (max - min) as usize + 1;
+        if self.opts.use_jump_tables && span <= (4 * n).max(16) && span <= 4096 {
+            self.strategies.table += 1;
+            self.gen_jump_table(size, &vals, min, span, fail);
+        } else if self.opts.use_hashing && n >= HASH_MIN {
+            self.strategies.hash += 1;
+            self.gen_hash(size, &vals, fail);
+        } else {
+            self.strategies.bst += 1;
+            // Binary search runs in the swapped (load) domain: ordering
+            // only needs to be consistent, not meaningful.
+            let mut sw: Vec<(u32, Label)> = node
+                .arms
+                .iter()
+                .zip(arm_labels)
+                .map(|(a, &l)| (swap_val(a.value, size), l))
+                .collect();
+            sw.sort_by_key(|&(v, _)| v);
+            self.gen_bst(&sw, fail);
+        }
+    }
+
+    /// Dense range: subtract the base, bound-check, and jump indirect
+    /// through a table of label addresses (filled in after linking).
+    fn gen_jump_table(
+        &mut self,
+        size: FieldSize,
+        vals: &[(u32, Label)],
+        min: u32,
+        span: usize,
+        fail: Label,
+    ) {
+        self.to_value_domain(size);
+        if min != 0 {
+            self.a.subui(self.field, self.field, i64::from(min));
+        }
+        self.a
+            .bgtui(self.field, i64::from(span as u32 - 1), fail);
+        let table: Box<[u64]> = vec![0u64; span].into_boxed_slice();
+        let taddr = table.as_ptr() as u64;
+        let ti = self.jump_tables.len();
+        self.jump_tables.push(table);
+        for i in 0..span {
+            self.table_fills.push((ti, i, fail));
+        }
+        for &(v, l) in vals {
+            let idx = (v - min) as usize;
+            // Overwrite the default fail entry.
+            if let Some(f) = self
+                .table_fills
+                .iter_mut()
+                .find(|(t, i, _)| *t == ti && *i == idx)
+            {
+                f.2 = l;
+            }
+        }
+        self.a.lshuli(self.field, self.field, 3);
+        self.a.setp(self.tmp, taddr);
+        self.a.ldul(self.tmp, self.tmp, self.field);
+        self.a.jmp_reg(self.tmp);
+    }
+
+    /// Sparse large set: select a perfect multiplicative hash over the
+    /// known keys and encode it directly in the instruction stream.
+    fn gen_hash(&mut self, size: FieldSize, vals: &[(u32, Label)], fail: Label) {
+        let n = vals.len();
+        let bits = usize::BITS - (2 * n - 1).leading_zeros();
+        let slots = 1usize << bits;
+        // Select a multiplier that is collision-free on the key set.
+        let mult = 'found: {
+            for _ in 0..10_000 {
+                let m = (self.rng.next_u64() as u32) | 1;
+                let mut seen = vec![false; slots];
+                let mut ok = true;
+                for &(v, _) in vals {
+                    let slot = (v.wrapping_mul(m) >> (32 - bits)) as usize;
+                    if seen[slot] {
+                        ok = false;
+                        break;
+                    }
+                    seen[slot] = true;
+                }
+                if ok {
+                    break 'found Some(m);
+                }
+            }
+            None
+        };
+        let Some(mult) = mult else {
+            // No perfect hash found (vanishingly unlikely): fall back.
+            self.strategies.hash -= 1;
+            self.strategies.bst += 1;
+            let mut sw: Vec<(u32, Label)> =
+                vals.iter().map(|&(v, l)| (swap_val(v, size), l)).collect();
+            sw.sort_by_key(|&(v, _)| v);
+            self.gen_bst(&sw, fail);
+            return;
+        };
+        let mut keys: Box<[u32]> = vec![u32::MAX; slots].into_boxed_slice();
+        let addrs: Box<[u64]> = vec![0u64; slots].into_boxed_slice();
+        let hi = self.hash_keys.len();
+        for &(v, l) in vals {
+            let slot = (v.wrapping_mul(mult) >> (32 - bits)) as usize;
+            keys[slot] = v;
+            self.hash_fills.push((hi, slot, l));
+        }
+        // Unused slots jump to fail (their keys never match, but keep the
+        // table total).
+        for slot in 0..slots {
+            if keys[slot] == u32::MAX {
+                self.hash_fills.push((hi, slot, fail));
+            }
+        }
+        let kaddr = keys.as_ptr() as u64;
+        let aaddr = addrs.as_ptr() as u64;
+        self.hash_keys.push(keys);
+        self.hash_addrs.push(addrs);
+
+        self.to_value_domain(size);
+        // tmp = slot = (field * M) >> (32 - bits)
+        self.a.mului(self.tmp, self.field, i64::from(mult));
+        self.a.rshuli(self.tmp, self.tmp, i64::from(32 - bits));
+        // Verify the key (one compare — no collision chains, paper §4.2).
+        self.a.lshuli(self.tmp2, self.tmp, 2);
+        self.a.setp(self.tmp, kaddr);
+        self.a.ldu(self.tmp, self.tmp, self.tmp2);
+        self.a.bneu(self.tmp, self.field, fail);
+        self.a.lshuli(self.tmp2, self.tmp2, 1);
+        self.a.setp(self.tmp, aaddr);
+        self.a.ldul(self.tmp, self.tmp, self.tmp2);
+        self.a.jmp_reg(self.tmp);
+    }
+
+    /// Sparse set: balanced tree of compares.
+    fn gen_bst(&mut self, vals: &[(u32, Label)], fail: Label) {
+        let mid = vals.len() / 2;
+        let (v, l) = vals[mid];
+        self.a.bequi(self.field, i64::from(v), l);
+        let left = &vals[..mid];
+        let right = &vals[mid + 1..];
+        match (left.is_empty(), right.is_empty()) {
+            (true, true) => self.a.jmp(fail),
+            (true, false) => self.gen_bst(right, fail),
+            (false, true) => self.gen_bst(left, fail),
+            (false, false) => {
+                let go_right = self.a.genlabel();
+                self.a.bgtui(self.field, i64::from(v), go_right);
+                self.gen_bst(left, fail);
+                self.a.label(go_right);
+                self.gen_bst(right, fail);
+            }
+        }
+    }
+}
+
+/// Compiles a merged trie into native code.
+///
+/// # Errors
+///
+/// [`CompileError`] on code-generation or mapping failure.
+pub fn compile(root: &Level, opts: Options) -> Result<CompiledSet, CompileError> {
+    // Size the mapping generously: trie nodes each cost tens of bytes.
+    let est = 4096 + root.node_count() * 512;
+    let mut mem = ExecMem::new(est).map_err(CompileError::Exec)?;
+    let mut a = Assembler::<X64>::lambda(mem.as_mut_slice(), "%p%ul", Leaf::Yes)?;
+    let msg = a.arg(0);
+    let len = a.arg(1);
+    let field = a.getreg(RegClass::Temp).expect("reg");
+    let ptr = a.getreg(RegClass::Temp).expect("reg");
+    let base = a.getreg(RegClass::Temp).expect("reg");
+    let tmp = a.getreg(RegClass::Temp).expect("reg");
+    let tmp2 = a.getreg(RegClass::Temp).expect("reg");
+    let fail = a.genlabel();
+    a.setul(base, 0);
+    a.movp(ptr, msg);
+    let mut cg = Cg {
+        a,
+        msg,
+        len,
+        field,
+        ptr,
+        base,
+        tmp,
+        tmp2,
+        opts,
+        strategies: Strategies::default(),
+        jump_tables: Vec::new(),
+        hash_keys: Vec::new(),
+        hash_addrs: Vec::new(),
+        table_fills: Vec::new(),
+        hash_fills: Vec::new(),
+        rng: XorShift::new(0x5eed_cafe),
+    };
+    let st = PathState {
+        checked: 0,
+        shifted: false,
+    };
+    cg.gen_level(root, fail, st);
+    cg.a.label(fail);
+    let t = cg.tmp;
+    cg.a.seti(t, -1);
+    cg.a.reti(t);
+    let Cg {
+        a,
+        strategies,
+        jump_tables: mut tables,
+        hash_keys,
+        hash_addrs: mut addrs,
+        table_fills,
+        hash_fills,
+        ..
+    } = cg;
+    let vcode_insns = a.insn_count();
+    let fin = a.end()?;
+    let code = mem.finalize().map_err(CompileError::Exec)?;
+    // Resolve dispatch-table entries now that label addresses are known.
+    for (ti, idx, label) in table_fills {
+        let off = fin.label_offset(label).expect("bound label");
+        tables[ti][idx] = code.addr() + off as u64;
+    }
+    for (hi, slot, label) in hash_fills {
+        let off = fin.label_offset(label).expect("bound label");
+        addrs[hi][slot] = code.addr() + off as u64;
+    }
+    // SAFETY: the generated function has the declared C ABI
+    // (ptr, len) -> i64 and only dereferences `msg` below `len`.
+    let entry: extern "C" fn(*const u8, u64) -> i64 = unsafe { code.as_fn() };
+    Ok(CompiledSet {
+        code,
+        entry,
+        _jump_tables: tables,
+        _hash_keys: hash_keys,
+        _hash_addrs: addrs,
+        strategies,
+        code_len: fin.len,
+        vcode_insns,
+    })
+}

@@ -1,0 +1,365 @@
+//! The packet-filter language.
+//!
+//! "Packet filters are predicates written in a small safe language"
+//! (paper §4.2). A [`Filter`] is a conjunction of atoms over a message:
+//! comparisons of (masked) header fields against constants, plus offset
+//! shifts for variable-length headers (e.g. the IP header-length field).
+//! Safety comes from validation at insertion time (bounded offsets) and
+//! bounds checks against the message length at evaluation time — checks
+//! the compiled engine elides when a dominating check already covers
+//! them.
+
+use std::fmt;
+
+/// Width of a header field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FieldSize {
+    /// One byte.
+    U8,
+    /// Two bytes, big-endian (network order).
+    U16,
+    /// Four bytes, big-endian.
+    U32,
+}
+
+impl FieldSize {
+    /// Size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            FieldSize::U8 => 1,
+            FieldSize::U16 => 2,
+            FieldSize::U32 => 4,
+        }
+    }
+
+    /// All-ones mask for this width.
+    pub fn full_mask(self) -> u32 {
+        match self {
+            FieldSize::U8 => 0xff,
+            FieldSize::U16 => 0xffff,
+            FieldSize::U32 => 0xffff_ffff,
+        }
+    }
+}
+
+/// One predicate atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// `(msg[offset .. offset+size] & mask) == value`, field read
+    /// big-endian. The offset is relative to the current base (0 until a
+    /// [`Atom::Shift`] executes).
+    Cmp {
+        /// Byte offset from the current base.
+        offset: u32,
+        /// Field width.
+        size: FieldSize,
+        /// Mask applied before comparison.
+        mask: u32,
+        /// Expected value.
+        value: u32,
+    },
+    /// Advance the base: `base += (msg[offset..] & mask) << shift`.
+    /// Models variable-length headers (IP IHL: offset 14, mask 0x0f,
+    /// shift 2).
+    Shift {
+        /// Byte offset of the length field from the current base.
+        offset: u32,
+        /// Field width.
+        size: FieldSize,
+        /// Mask applied to the raw field.
+        mask: u32,
+        /// Left shift applied after masking.
+        shift: u32,
+    },
+}
+
+/// Why a filter was rejected at insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FilterError {
+    /// An atom's offset exceeds the maximum supported message size.
+    OffsetTooLarge(u32),
+    /// The value has bits outside the mask — the atom can never match.
+    ValueOutsideMask {
+        /// The mask.
+        mask: u32,
+        /// The contradictory value.
+        value: u32,
+    },
+    /// The filter has no comparison atoms.
+    Empty,
+    /// A shift amount that could move the base out of range.
+    ShiftTooLarge(u32),
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::OffsetTooLarge(o) => write!(f, "offset {o} exceeds 65535"),
+            FilterError::ValueOutsideMask { mask, value } => {
+                write!(f, "value {value:#x} has bits outside mask {mask:#x}")
+            }
+            FilterError::Empty => write!(f, "filter has no comparison atoms"),
+            FilterError::ShiftTooLarge(s) => write!(f, "shift {s} too large"),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// A validated conjunction of atoms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Filter {
+    atoms: Vec<Atom>,
+}
+
+impl Filter {
+    /// Validates and constructs a filter.
+    ///
+    /// # Errors
+    ///
+    /// [`FilterError`] when any atom is out of range, contradictory, or
+    /// the filter contains no comparisons.
+    pub fn new(atoms: Vec<Atom>) -> Result<Filter, FilterError> {
+        let mut has_cmp = false;
+        for atom in &atoms {
+            match *atom {
+                Atom::Cmp {
+                    offset,
+                    size,
+                    mask,
+                    value,
+                } => {
+                    has_cmp = true;
+                    if offset > 65_535 - size.bytes() {
+                        return Err(FilterError::OffsetTooLarge(offset));
+                    }
+                    let m = mask & size.full_mask();
+                    if value & !m != 0 {
+                        return Err(FilterError::ValueOutsideMask { mask: m, value });
+                    }
+                }
+                Atom::Shift { offset, shift, .. } => {
+                    if offset > 65_535 {
+                        return Err(FilterError::OffsetTooLarge(offset));
+                    }
+                    if shift > 8 {
+                        return Err(FilterError::ShiftTooLarge(shift));
+                    }
+                }
+            }
+        }
+        if !has_cmp {
+            return Err(FilterError::Empty);
+        }
+        Ok(Filter { atoms })
+    }
+
+    /// The atom sequence.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Reference semantics: does this filter accept `msg`? Used by the
+    /// test suite to validate every engine (DPF, MPF, PATHFINDER) against
+    /// the same oracle.
+    pub fn matches(&self, msg: &[u8]) -> bool {
+        let mut base: u64 = 0;
+        for atom in &self.atoms {
+            match *atom {
+                Atom::Cmp {
+                    offset,
+                    size,
+                    mask,
+                    value,
+                } => match read_field(msg, base + u64::from(offset), size) {
+                    Some(raw) => {
+                        if raw & mask & size.full_mask() != value {
+                            return false;
+                        }
+                    }
+                    None => return false,
+                },
+                Atom::Shift {
+                    offset,
+                    size,
+                    mask,
+                    shift,
+                } => match read_field(msg, base + u64::from(offset), size) {
+                    Some(raw) => base += u64::from((raw & mask) << shift),
+                    None => return false,
+                },
+            }
+        }
+        true
+    }
+}
+
+/// Reads a big-endian field with bounds checking.
+pub fn read_field(msg: &[u8], offset: u64, size: FieldSize) -> Option<u32> {
+    let offset = usize::try_from(offset).ok()?;
+    let end = offset.checked_add(size.bytes() as usize)?;
+    let b = msg.get(offset..end)?;
+    Some(match size {
+        FieldSize::U8 => u32::from(b[0]),
+        FieldSize::U16 => u32::from(u16::from_be_bytes([b[0], b[1]])),
+        FieldSize::U32 => u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+    })
+}
+
+/// Builder with protocol-aware helpers for the experiments.
+#[derive(Debug, Default, Clone)]
+pub struct FilterBuilder {
+    atoms: Vec<Atom>,
+}
+
+impl FilterBuilder {
+    /// Starts an empty filter.
+    pub fn new() -> FilterBuilder {
+        FilterBuilder::default()
+    }
+
+    /// Adds a full-width equality on a byte.
+    pub fn eq_u8(mut self, offset: u32, value: u8) -> FilterBuilder {
+        self.atoms.push(Atom::Cmp {
+            offset,
+            size: FieldSize::U8,
+            mask: 0xff,
+            value: u32::from(value),
+        });
+        self
+    }
+
+    /// Adds a full-width equality on a 16-bit field.
+    pub fn eq_u16(mut self, offset: u32, value: u16) -> FilterBuilder {
+        self.atoms.push(Atom::Cmp {
+            offset,
+            size: FieldSize::U16,
+            mask: 0xffff,
+            value: u32::from(value),
+        });
+        self
+    }
+
+    /// Adds a full-width equality on a 32-bit field.
+    pub fn eq_u32(mut self, offset: u32, value: u32) -> FilterBuilder {
+        self.atoms.push(Atom::Cmp {
+            offset,
+            size: FieldSize::U32,
+            mask: 0xffff_ffff,
+            value,
+        });
+        self
+    }
+
+    /// Adds a masked equality.
+    pub fn masked(mut self, offset: u32, size: FieldSize, mask: u32, value: u32) -> FilterBuilder {
+        self.atoms.push(Atom::Cmp {
+            offset,
+            size,
+            mask,
+            value,
+        });
+        self
+    }
+
+    /// Adds a base shift (variable-length header).
+    pub fn shift(mut self, offset: u32, size: FieldSize, mask: u32, shift: u32) -> FilterBuilder {
+        self.atoms.push(Atom::Shift {
+            offset,
+            size,
+            mask,
+            shift,
+        });
+        self
+    }
+
+    /// Validates and builds.
+    ///
+    /// # Errors
+    ///
+    /// See [`Filter::new`].
+    pub fn build(self) -> Result<Filter, FilterError> {
+        Filter::new(self.atoms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_atoms() {
+        assert_eq!(Filter::new(vec![]), Err(FilterError::Empty));
+        assert!(matches!(
+            FilterBuilder::new().eq_u32(65_534, 0).build(),
+            Err(FilterError::OffsetTooLarge(_))
+        ));
+        assert!(matches!(
+            FilterBuilder::new()
+                .masked(0, FieldSize::U8, 0x0f, 0x10)
+                .build(),
+            Err(FilterError::ValueOutsideMask { .. })
+        ));
+        assert!(matches!(
+            Filter::new(vec![Atom::Shift {
+                offset: 0,
+                size: FieldSize::U8,
+                mask: 0xf,
+                shift: 20
+            }]),
+            Err(FilterError::ShiftTooLarge(20))
+        ));
+    }
+
+    #[test]
+    fn reference_matching_reads_big_endian() {
+        let f = FilterBuilder::new().eq_u16(2, 0x0800).build().unwrap();
+        assert!(f.matches(&[0, 0, 0x08, 0x00]));
+        assert!(!f.matches(&[0, 0, 0x00, 0x08]));
+        assert!(!f.matches(&[0, 0, 0x08]), "short message rejected");
+    }
+
+    #[test]
+    fn masked_fields() {
+        // IP version nibble: high 4 bits of byte 0.
+        let f = FilterBuilder::new()
+            .masked(0, FieldSize::U8, 0xf0, 0x40)
+            .build()
+            .unwrap();
+        assert!(f.matches(&[0x45]));
+        assert!(f.matches(&[0x40]));
+        assert!(!f.matches(&[0x60]));
+    }
+
+    #[test]
+    fn shift_follows_variable_header() {
+        // hdr[0] = length of first part in words; match byte at
+        // shifted offset 0 == 0x99.
+        let f = FilterBuilder::new()
+            .shift(0, FieldSize::U8, 0x0f, 2)
+            .eq_u8(0, 0x99)
+            .build()
+            .unwrap();
+        let mut msg = vec![0u8; 16];
+        msg[0] = 2; // base += 8
+        msg[8] = 0x99;
+        assert!(f.matches(&msg));
+        msg[0] = 3; // base += 12 → msg[12] != 0x99
+        assert!(!f.matches(&msg));
+        msg[0] = 0x0f; // base += 60: out of range → reject
+        assert!(!f.matches(&msg));
+    }
+
+    #[test]
+    fn conjunction_requires_all_atoms() {
+        let f = FilterBuilder::new()
+            .eq_u8(0, 1)
+            .eq_u8(1, 2)
+            .build()
+            .unwrap();
+        assert!(f.matches(&[1, 2]));
+        assert!(!f.matches(&[1, 3]));
+        assert!(!f.matches(&[0, 2]));
+    }
+}

@@ -1,0 +1,182 @@
+//! # dpf — Dynamic Packet Filters (paper §4.2, Table 3)
+//!
+//! Message demultiplexing is the process of determining which application
+//! an incoming message should be delivered to; packet filters — predicates
+//! in a small safe language — make it extensible. Traditionally filters
+//! are *interpreted*, which costs so much that high-performance stacks
+//! avoided them. DPF removes the interpretation tax with dynamic code
+//! generation: filters are compiled to native code when installed, and the
+//! compiler exploits runtime knowledge (the exact set of resident
+//! filters and their constants) for optimizations static systems cannot
+//! perform. In the paper's Table 3, DPF classifies TCP/IP headers ~20×
+//! faster than the MPF interpreter and ~10× faster than PATHFINDER.
+//!
+//! This crate contains all three engines:
+//!
+//! - [`Dpf`] — the dynamically compiled engine (via `vcode` + the x86-64
+//!   backend);
+//! - [`Mpf`](mpf::Mpf) — a BPF-style bytecode interpreter run per filter;
+//! - [`Pathfinder`] — a pattern-trie interpreter with hashed cells.
+//!
+//! ```
+//! use dpf::packet::{self, PacketSpec};
+//! use dpf::Dpf;
+//!
+//! let mut dpf = Dpf::new();
+//! let ids: Vec<u32> = packet::port_filter_set(10, 1000)
+//!     .iter()
+//!     .map(|f| dpf.insert(f.clone()))
+//!     .collect();
+//! dpf.compile()?;
+//! let msg = packet::build(&PacketSpec { dst_port: 1004, ..PacketSpec::default() });
+//! assert_eq!(dpf.classify(&msg), Some(ids[4]));
+//! # Ok::<(), dpf::compile::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compile;
+pub mod lang;
+pub mod mpf;
+pub mod packet;
+pub mod trie;
+
+pub use compile::{CompileError, CompiledSet, Options, Strategies};
+pub use lang::{Atom, FieldSize, Filter, FilterBuilder, FilterError};
+
+use trie::Level;
+
+/// The dynamically compiled demultiplexer.
+///
+/// Filters are inserted and removed at runtime; [`Dpf::compile`] merges
+/// the resident set into a trie and generates a native classifier.
+/// Insertion/removal invalidates the compiled code until the next
+/// `compile` (the paper's system recompiled on installation into the
+/// kernel).
+#[derive(Debug, Default)]
+pub struct Dpf {
+    filters: Vec<(u32, Filter)>,
+    next_id: u32,
+    opts: Options,
+    compiled: Option<CompiledSet>,
+}
+
+impl Dpf {
+    /// Creates an empty engine with default compilation options.
+    pub fn new() -> Dpf {
+        Dpf::default()
+    }
+
+    /// Creates an engine with explicit dispatch-strategy options (the
+    /// ablation knobs).
+    pub fn with_options(opts: Options) -> Dpf {
+        Dpf {
+            opts,
+            ..Dpf::default()
+        }
+    }
+
+    /// Installs a filter, returning its id. Invalidates compiled code.
+    pub fn insert(&mut self, f: Filter) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.filters.push((id, f));
+        self.compiled = None;
+        id
+    }
+
+    /// Removes a filter by id; returns whether it existed. Invalidates
+    /// compiled code.
+    pub fn remove(&mut self, id: u32) -> bool {
+        let n = self.filters.len();
+        self.filters.retain(|(i, _)| *i != id);
+        let removed = self.filters.len() != n;
+        if removed {
+            self.compiled = None;
+        }
+        removed
+    }
+
+    /// Number of resident filters.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// `true` when no filters are installed.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Merges the resident filters and generates the native classifier.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] on code-generation failure.
+    pub fn compile(&mut self) -> Result<(), CompileError> {
+        let root = trie::build(&self.filters);
+        self.compiled = Some(compile::compile(&root, self.opts)?);
+        Ok(())
+    }
+
+    /// Classifies a message with the compiled engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`compile`](Self::compile) has not been called since the
+    /// last filter change.
+    #[inline]
+    pub fn classify(&self, msg: &[u8]) -> Option<u32> {
+        self.compiled
+            .as_ref()
+            .expect("Dpf::compile must run after filter changes")
+            .classify(msg)
+    }
+
+    /// The compiled classifier, if current.
+    pub fn compiled(&self) -> Option<&CompiledSet> {
+        self.compiled.as_ref()
+    }
+}
+
+/// The PATHFINDER-style baseline: the same merged trie, *interpreted* —
+/// each node examined by hashing into its cell index at runtime.
+#[derive(Debug, Default)]
+pub struct Pathfinder {
+    filters: Vec<(u32, Filter)>,
+    next_id: u32,
+    trie: Level,
+}
+
+impl Pathfinder {
+    /// Creates an empty engine.
+    pub fn new() -> Pathfinder {
+        Pathfinder::default()
+    }
+
+    /// Installs a filter, returning its id.
+    pub fn insert(&mut self, f: Filter) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.filters.push((id, f));
+        self.trie = trie::build(&self.filters);
+        id
+    }
+
+    /// Removes a filter by id; returns whether it existed.
+    pub fn remove(&mut self, id: u32) -> bool {
+        let n = self.filters.len();
+        self.filters.retain(|(i, _)| *i != id);
+        let removed = self.filters.len() != n;
+        if removed {
+            self.trie = trie::build(&self.filters);
+        }
+        removed
+    }
+
+    /// Classifies a message by interpreting the trie.
+    #[inline]
+    pub fn classify(&self, msg: &[u8]) -> Option<u32> {
+        self.trie.classify(msg, 0)
+    }
+}

@@ -1,0 +1,206 @@
+//! Synthetic Ethernet/IPv4/TCP-UDP header generation.
+//!
+//! The Table 3 experiment classifies "TCP/IP headers destined for one of
+//! ten TCP/IP filters". The paper's packets came off a real network; the
+//! header bytes in memory are the entire input to classification, so a
+//! synthetic generator preserves the experiment exactly (see DESIGN.md).
+
+use crate::lang::{Filter, FilterBuilder, FilterError, FieldSize};
+
+/// Ethernet header length.
+pub const ETH_LEN: u32 = 14;
+/// Offset of the EtherType field.
+pub const ETH_TYPE_OFF: u32 = 12;
+/// EtherType for IPv4.
+pub const ETHERTYPE_IP: u16 = 0x0800;
+/// Offset of the IP protocol byte (fixed 20-byte IP header).
+pub const IP_PROTO_OFF: u32 = ETH_LEN + 9;
+/// Offset of the IP source address.
+pub const IP_SRC_OFF: u32 = ETH_LEN + 12;
+/// Offset of the IP destination address.
+pub const IP_DST_OFF: u32 = ETH_LEN + 16;
+/// IP protocol number for TCP.
+pub const IPPROTO_TCP: u8 = 6;
+/// IP protocol number for UDP.
+pub const IPPROTO_UDP: u8 = 17;
+/// Offset of the TCP/UDP source port (fixed-length IP header).
+pub const SRC_PORT_OFF: u32 = ETH_LEN + 20;
+/// Offset of the TCP/UDP destination port.
+pub const DST_PORT_OFF: u32 = ETH_LEN + 22;
+
+/// Parameters of a synthesized packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketSpec {
+    /// IP protocol (TCP/UDP).
+    pub proto: u8,
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes appended after the TCP header.
+    pub payload_len: usize,
+}
+
+impl Default for PacketSpec {
+    fn default() -> PacketSpec {
+        PacketSpec {
+            proto: IPPROTO_TCP,
+            src_ip: 0x0a00_0001,  // 10.0.0.1
+            dst_ip: 0x0a00_0002,  // 10.0.0.2
+            src_port: 1234,
+            dst_port: 80,
+            payload_len: 0,
+        }
+    }
+}
+
+/// Builds an Ethernet + IPv4 (20-byte header) + TCP frame.
+pub fn build(spec: &PacketSpec) -> Vec<u8> {
+    let mut p = Vec::with_capacity(54 + spec.payload_len);
+    // Ethernet: dst MAC, src MAC, ethertype.
+    p.extend_from_slice(&[0x02, 0, 0, 0, 0, 1]);
+    p.extend_from_slice(&[0x02, 0, 0, 0, 0, 2]);
+    p.extend_from_slice(&ETHERTYPE_IP.to_be_bytes());
+    // IPv4 header (20 bytes, IHL = 5).
+    let total_len = (20 + 20 + spec.payload_len) as u16;
+    p.push(0x45); // version 4, IHL 5
+    p.push(0); // TOS
+    p.extend_from_slice(&total_len.to_be_bytes());
+    p.extend_from_slice(&[0, 0, 0x40, 0]); // id, flags (DF)
+    p.push(64); // TTL
+    p.push(spec.proto);
+    p.extend_from_slice(&[0, 0]); // checksum (not validated here)
+    p.extend_from_slice(&spec.src_ip.to_be_bytes());
+    p.extend_from_slice(&spec.dst_ip.to_be_bytes());
+    // TCP header (20 bytes).
+    p.extend_from_slice(&spec.src_port.to_be_bytes());
+    p.extend_from_slice(&spec.dst_port.to_be_bytes());
+    p.extend_from_slice(&[0; 8]); // seq, ack
+    p.push(0x50); // data offset 5
+    p.push(0x18); // flags PSH|ACK
+    p.extend_from_slice(&[0xff, 0xff, 0, 0, 0, 0]); // window, cksum, urg
+    p.resize(p.len() + spec.payload_len, 0xab);
+    p
+}
+
+/// The canonical TCP/IP filter of the experiment: EtherType == IP,
+/// proto == TCP, destination IP and port as given — the atoms every
+/// resident filter shares except the final port compare (paper §4.2:
+/// "all TCP/IP packet filters will look in messages at identical fixed
+/// offsets for port numbers").
+///
+/// # Errors
+///
+/// Never fails for valid constants; propagates [`FilterError`] otherwise.
+pub fn tcp_port_filter(dst_ip: u32, dst_port: u16) -> Result<Filter, FilterError> {
+    FilterBuilder::new()
+        .eq_u16(ETH_TYPE_OFF, ETHERTYPE_IP)
+        .masked(ETH_LEN, FieldSize::U8, 0xf0, 0x40)
+        .eq_u8(IP_PROTO_OFF, IPPROTO_TCP)
+        .eq_u32(IP_DST_OFF, dst_ip)
+        .eq_u16(DST_PORT_OFF, dst_port)
+        .build()
+}
+
+/// A variant using a `Shift` atom to follow the IP header length instead
+/// of assuming 20 bytes (exercises variable-length header support).
+///
+/// # Errors
+///
+/// Propagates [`FilterError`].
+pub fn tcp_port_filter_var_ihl(dst_port: u16) -> Result<Filter, FilterError> {
+    FilterBuilder::new()
+        .eq_u16(ETH_TYPE_OFF, ETHERTYPE_IP)
+        .eq_u8(IP_PROTO_OFF, IPPROTO_TCP)
+        .shift(ETH_LEN, FieldSize::U8, 0x0f, 2)
+        .eq_u16(ETH_LEN + 2, dst_port) // dst port at ihl*4 + 2
+        .build()
+}
+
+/// The experiment's resident filter set: `n` TCP filters to one
+/// destination IP, differing only in destination port (ports
+/// `base_port..base_port+n`).
+///
+/// # Panics
+///
+/// Panics if `n` overflows the port space.
+pub fn port_filter_set(n: u16, base_port: u16) -> Vec<Filter> {
+    (0..n)
+        .map(|i| tcp_port_filter(0x0a00_0002, base_port + i).expect("valid filter"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_has_expected_fields() {
+        let p = build(&PacketSpec {
+            dst_port: 8080,
+            ..PacketSpec::default()
+        });
+        assert_eq!(p.len(), 54);
+        assert_eq!(u16::from_be_bytes([p[12], p[13]]), ETHERTYPE_IP);
+        assert_eq!(p[IP_PROTO_OFF as usize], IPPROTO_TCP);
+        assert_eq!(
+            u16::from_be_bytes([p[DST_PORT_OFF as usize], p[DST_PORT_OFF as usize + 1]]),
+            8080
+        );
+    }
+
+    #[test]
+    fn filter_matches_its_packet_only() {
+        let f80 = tcp_port_filter(0x0a00_0002, 80).unwrap();
+        let f81 = tcp_port_filter(0x0a00_0002, 81).unwrap();
+        let p = build(&PacketSpec::default()); // port 80
+        assert!(f80.matches(&p));
+        assert!(!f81.matches(&p));
+        // Non-IP frame.
+        let mut arp = p.clone();
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        assert!(!f80.matches(&arp));
+        // UDP.
+        let udp = build(&PacketSpec {
+            proto: IPPROTO_UDP,
+            ..PacketSpec::default()
+        });
+        assert!(!f80.matches(&udp));
+    }
+
+    #[test]
+    fn var_ihl_filter_follows_header_length() {
+        let f = tcp_port_filter_var_ihl(80).unwrap();
+        let p = build(&PacketSpec::default());
+        assert!(f.matches(&p));
+        // Stretch the IP header by one word: dst port moves.
+        let mut q = p.clone();
+        q[14] = 0x46; // IHL = 6
+        q.insert(34, 0);
+        q.insert(34, 0);
+        q.insert(34, 0);
+        q.insert(34, 0);
+        assert!(f.matches(&q), "filter follows the shifted base");
+    }
+
+    #[test]
+    fn filter_set_is_disjoint() {
+        let set = port_filter_set(10, 1000);
+        let p = build(&PacketSpec {
+            dst_port: 1003,
+            ..PacketSpec::default()
+        });
+        let hits: Vec<usize> = set
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.matches(&p))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hits, vec![3]);
+    }
+}

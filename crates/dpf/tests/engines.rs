@@ -1,0 +1,477 @@
+//! Cross-engine agreement tests: DPF (compiled), MPF (bytecode) and
+//! PATHFINDER (interpreted trie) must classify identically — and all
+//! must agree with the filter language's reference semantics.
+
+use dpf::mpf::Mpf;
+use dpf::packet::{self, PacketSpec};
+use dpf::{Dpf, Filter, FilterBuilder, FieldSize, Options, Pathfinder};
+use rand::{Rng, SeedableRng};
+
+/// Runs all engines over a message set and asserts agreement with the
+/// reference semantics (first-match for MPF; trie engines use
+/// longest-match, so agreement is asserted only for disjoint sets).
+fn check_all(filters: &[Filter], messages: &[Vec<u8>]) {
+    let mut dpf = Dpf::new();
+    let mut mpf = Mpf::new();
+    let mut pf = Pathfinder::new();
+    for f in filters {
+        dpf.insert(f.clone());
+        mpf.insert(f);
+        pf.insert(f.clone());
+    }
+    dpf.compile().expect("compiles");
+    for (k, msg) in messages.iter().enumerate() {
+        let reference = filters
+            .iter()
+            .position(|f| f.matches(msg))
+            .map(|i| i as u32);
+        assert_eq!(mpf.classify(msg), reference, "mpf msg {k}");
+        assert_eq!(pf.classify(msg), reference, "pathfinder msg {k}");
+        assert_eq!(dpf.classify(msg), reference, "dpf msg {k}");
+    }
+}
+
+#[test]
+fn ten_tcp_filters_table3_setup() {
+    let filters = packet::port_filter_set(10, 1000);
+    let mut msgs = Vec::new();
+    for port in 990..1020 {
+        msgs.push(packet::build(&PacketSpec {
+            dst_port: port,
+            ..PacketSpec::default()
+        }));
+    }
+    // Non-TCP, non-IP, wrong dst.
+    msgs.push(packet::build(&PacketSpec {
+        proto: packet::IPPROTO_UDP,
+        dst_port: 1005,
+        ..PacketSpec::default()
+    }));
+    msgs.push(packet::build(&PacketSpec {
+        dst_ip: 0x0a00_0003,
+        dst_port: 1005,
+        ..PacketSpec::default()
+    }));
+    let mut arp = msgs[0].clone();
+    arp[12] = 0x08;
+    arp[13] = 0x06;
+    msgs.push(arp);
+    check_all(&filters, &msgs);
+}
+
+#[test]
+fn truncated_messages_never_match_or_crash() {
+    let filters = packet::port_filter_set(4, 80);
+    let full = packet::build(&PacketSpec {
+        dst_port: 81,
+        ..PacketSpec::default()
+    });
+    let mut msgs: Vec<Vec<u8>> = (0..full.len()).map(|n| full[..n].to_vec()).collect();
+    msgs.push(full);
+    check_all(&filters, &msgs);
+}
+
+#[test]
+fn empty_message() {
+    let filters = packet::port_filter_set(2, 7);
+    check_all(&filters, &[vec![]]);
+}
+
+#[test]
+fn two_filters_linear_dispatch() {
+    let filters = packet::port_filter_set(2, 5000);
+    let msgs: Vec<Vec<u8>> = (4998..5004)
+        .map(|p| {
+            packet::build(&PacketSpec {
+                dst_port: p,
+                ..PacketSpec::default()
+            })
+        })
+        .collect();
+    check_all(&filters, &msgs);
+}
+
+#[test]
+fn sparse_ports_use_bst_dispatch() {
+    let ports = [7u16, 113, 1999, 8080, 17000, 40000];
+    let filters: Vec<Filter> = ports
+        .iter()
+        .map(|&p| packet::tcp_port_filter(0x0a00_0002, p).unwrap())
+        .collect();
+    let mut dpf = Dpf::new();
+    for f in &filters {
+        dpf.insert(f.clone());
+    }
+    dpf.compile().unwrap();
+    assert!(dpf.compiled().unwrap().strategies.bst >= 1);
+    let mut msgs = Vec::new();
+    for p in [7u16, 8, 113, 8080, 40000, 40001, 12345] {
+        msgs.push(packet::build(&PacketSpec {
+            dst_port: p,
+            ..PacketSpec::default()
+        }));
+    }
+    check_all(&filters, &msgs);
+}
+
+#[test]
+fn dense_ports_use_jump_table() {
+    let filters = packet::port_filter_set(10, 1000);
+    let mut dpf = Dpf::new();
+    for f in &filters {
+        dpf.insert(f.clone());
+    }
+    dpf.compile().unwrap();
+    let s = dpf.compiled().unwrap().strategies;
+    assert_eq!(s.table, 1, "dense 10-port set dispatches indirectly: {s:?}");
+    // All ten still classify correctly through the table.
+    for (i, _) in filters.iter().enumerate() {
+        let msg = packet::build(&PacketSpec {
+            dst_port: 1000 + i as u16,
+            ..PacketSpec::default()
+        });
+        assert_eq!(dpf.classify(&msg), Some(i as u32));
+    }
+    // And a port inside the table's range with no filter fails.
+    let msg = packet::build(&PacketSpec {
+        dst_port: 1010,
+        ..PacketSpec::default()
+    });
+    assert_eq!(dpf.classify(&msg), None);
+}
+
+#[test]
+fn many_sparse_ports_use_perfect_hash() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut ports: Vec<u16> = Vec::new();
+    while ports.len() < 24 {
+        let p: u16 = rng.gen_range(1..60000);
+        // Keep the set sparse so the jump-table heuristic rejects it.
+        if !ports.contains(&p) {
+            ports.push(p);
+        }
+    }
+    let filters: Vec<Filter> = ports
+        .iter()
+        .map(|&p| packet::tcp_port_filter(0x0a00_0002, p).unwrap())
+        .collect();
+    let mut dpf = Dpf::new();
+    for f in &filters {
+        dpf.insert(f.clone());
+    }
+    dpf.compile().unwrap();
+    let s = dpf.compiled().unwrap().strategies;
+    assert_eq!(s.hash, 1, "24 sparse keys hash-dispatch: {s:?}");
+    for (i, &p) in ports.iter().enumerate() {
+        let msg = packet::build(&PacketSpec {
+            dst_port: p,
+            ..PacketSpec::default()
+        });
+        assert_eq!(dpf.classify(&msg), Some(i as u32), "port {p}");
+    }
+    // Random non-resident ports must miss.
+    for _ in 0..200 {
+        let p: u16 = rng.gen_range(1..60000);
+        if ports.contains(&p) {
+            continue;
+        }
+        let msg = packet::build(&PacketSpec {
+            dst_port: p,
+            ..PacketSpec::default()
+        });
+        assert_eq!(dpf.classify(&msg), None, "port {p}");
+    }
+}
+
+#[test]
+fn variable_length_headers_with_shift() {
+    let filters = vec![
+        packet::tcp_port_filter_var_ihl(80).unwrap(),
+        packet::tcp_port_filter_var_ihl(443).unwrap(),
+    ];
+    let mut msgs = Vec::new();
+    for port in [80u16, 443, 81] {
+        let p = packet::build(&PacketSpec {
+            dst_port: port,
+            ..PacketSpec::default()
+        });
+        msgs.push(p.clone());
+        // Stretched IP header (IHL = 6).
+        let mut q = p;
+        q[14] = 0x46;
+        for _ in 0..4 {
+            q.insert(34, 0);
+        }
+        msgs.push(q);
+    }
+    // Truncation around the shifted load.
+    let base = msgs[0].clone();
+    for cut in 30..base.len() {
+        msgs.push(base[..cut].to_vec());
+    }
+    check_all(&filters, &msgs);
+}
+
+#[test]
+fn masked_dispatch() {
+    // Dispatch on the IP version nibble.
+    let v4 = FilterBuilder::new()
+        .masked(14, FieldSize::U8, 0xf0, 0x40)
+        .build()
+        .unwrap();
+    let v6 = FilterBuilder::new()
+        .masked(14, FieldSize::U8, 0xf0, 0x60)
+        .build()
+        .unwrap();
+    let mut m4 = vec![0u8; 20];
+    m4[14] = 0x45;
+    let mut m6 = vec![0u8; 20];
+    m6[14] = 0x60;
+    let mut m0 = vec![0u8; 20];
+    m0[14] = 0x20;
+    check_all(&[v4, v6], &[m4, m6, m0]);
+}
+
+#[test]
+fn insert_remove_recompile() {
+    let mut dpf = Dpf::new();
+    let a = dpf.insert(packet::tcp_port_filter(0x0a00_0002, 80).unwrap());
+    let b = dpf.insert(packet::tcp_port_filter(0x0a00_0002, 81).unwrap());
+    dpf.compile().unwrap();
+    let p80 = packet::build(&PacketSpec::default());
+    assert_eq!(dpf.classify(&p80), Some(a));
+    assert!(dpf.remove(a));
+    assert!(dpf.compiled().is_none(), "removal invalidates code");
+    dpf.compile().unwrap();
+    assert_eq!(dpf.classify(&p80), None);
+    let p81 = packet::build(&PacketSpec {
+        dst_port: 81,
+        ..PacketSpec::default()
+    });
+    assert_eq!(dpf.classify(&p81), Some(b));
+    assert_eq!(dpf.len(), 1);
+}
+
+#[test]
+fn ablation_options_disable_strategies() {
+    let filters = packet::port_filter_set(10, 1000);
+    let opts = Options {
+        use_jump_tables: false,
+        use_hashing: false,
+        elide_bounds_checks: false,
+    };
+    let mut dpf = Dpf::with_options(opts);
+    for f in &filters {
+        dpf.insert(f.clone());
+    }
+    dpf.compile().unwrap();
+    let s = dpf.compiled().unwrap().strategies;
+    assert_eq!(s.table, 0);
+    assert_eq!(s.hash, 0);
+    assert!(s.bst >= 1, "falls back to binary search: {s:?}");
+    for i in 0..10u16 {
+        let msg = packet::build(&PacketSpec {
+            dst_port: 1000 + i,
+            ..PacketSpec::default()
+        });
+        assert_eq!(dpf.classify(&msg), Some(u32::from(i)));
+    }
+}
+
+#[test]
+fn prefix_filter_longest_match_in_trie_engines() {
+    let ip_only = FilterBuilder::new().eq_u16(12, 0x0800).build().unwrap();
+    let f80 = packet::tcp_port_filter(0x0a00_0002, 80).unwrap();
+    let mut dpf = Dpf::new();
+    let id_ip = dpf.insert(ip_only);
+    let id_80 = dpf.insert(f80);
+    dpf.compile().unwrap();
+    let p80 = packet::build(&PacketSpec::default());
+    let p99 = packet::build(&PacketSpec {
+        dst_port: 99,
+        ..PacketSpec::default()
+    });
+    assert_eq!(dpf.classify(&p80), Some(id_80), "specific filter wins");
+    assert_eq!(dpf.classify(&p99), Some(id_ip), "prefix is the fallback");
+}
+
+#[test]
+fn fuzz_random_filters_and_messages_agree() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    for round in 0..30 {
+        // Random small filters over a 64-byte message space, all with the
+        // same atom shape so tries merge (disjointness for first-match
+        // consistency is guaranteed by distinct first-atom values).
+        let n = rng.gen_range(1..8);
+        let mut vals: Vec<u8> = Vec::new();
+        while vals.len() < n {
+            let v = rng.gen::<u8>();
+            if !vals.contains(&v) {
+                vals.push(v);
+            }
+        }
+        let filters: Vec<Filter> = vals
+            .iter()
+            .map(|&v| {
+                FilterBuilder::new()
+                    .eq_u8(3, v)
+                    .eq_u16(10, u16::from(v) ^ 0x55aa)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let msgs: Vec<Vec<u8>> = (0..100)
+            .map(|_| {
+                let len = rng.gen_range(0..64);
+                let mut m: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                if len > 12 && rng.gen_bool(0.5) {
+                    // Bias toward near-matches.
+                    let v = vals[rng.gen_range(0..vals.len())];
+                    m[3] = v;
+                    let w = (u16::from(v) ^ 0x55aa).to_be_bytes();
+                    m[10] = w[0];
+                    m[11] = w[1];
+                }
+                m
+            })
+            .collect();
+        check_all(&filters, &msgs);
+        let _ = round;
+    }
+}
+
+#[test]
+fn empty_filter_set_compiles_and_rejects() {
+    let mut dpf = Dpf::new();
+    dpf.compile().unwrap();
+    assert!(dpf.is_empty());
+    let msg = packet::build(&PacketSpec::default());
+    assert_eq!(dpf.classify(&msg), None);
+    assert_eq!(dpf.classify(&[]), None);
+}
+
+#[test]
+fn large_mixed_filter_set_uses_multiple_strategies() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut dpf = Dpf::new();
+    let mut expected: Vec<(Vec<u8>, u32)> = Vec::new();
+    // Dense port block → jump table.
+    for i in 0..12u16 {
+        let f = packet::tcp_port_filter(0x0a00_0002, 2000 + i).unwrap();
+        let id = dpf.insert(f);
+        let msg = packet::build(&PacketSpec {
+            dst_port: 2000 + i,
+            ..PacketSpec::default()
+        });
+        expected.push((msg, id));
+    }
+    // Sparse ports on a different dst IP → hash or bst under the same
+    // shared prefix.
+    let mut sparse: Vec<u16> = Vec::new();
+    while sparse.len() < 20 {
+        let p: u16 = rng.gen_range(10_000..60_000);
+        if !sparse.contains(&p) {
+            sparse.push(p);
+        }
+    }
+    for &p in &sparse {
+        let f = packet::tcp_port_filter(0x0a00_0003, p).unwrap();
+        let id = dpf.insert(f);
+        let msg = packet::build(&PacketSpec {
+            dst_ip: 0x0a00_0003,
+            dst_port: p,
+            ..PacketSpec::default()
+        });
+        expected.push((msg, id));
+    }
+    // UDP filters, too.
+    for i in 0..3u16 {
+        let f = FilterBuilder::new()
+            .eq_u16(12, 0x0800)
+            .eq_u8(23, packet::IPPROTO_UDP)
+            .eq_u16(36, 7000 + i)
+            .build()
+            .unwrap();
+        let id = dpf.insert(f);
+        let msg = packet::build(&PacketSpec {
+            proto: packet::IPPROTO_UDP,
+            dst_port: 7000 + i,
+            ..PacketSpec::default()
+        });
+        expected.push((msg, id));
+    }
+    dpf.compile().unwrap();
+    let s = dpf.compiled().unwrap().strategies;
+    assert!(s.table >= 1, "{s:?}");
+    assert!(s.hash + s.bst >= 1, "{s:?}");
+    for (msg, id) in &expected {
+        assert_eq!(dpf.classify(msg), Some(*id));
+    }
+    // Random traffic classifies without crashing, matching the reference.
+    for _ in 0..500 {
+        let msg = packet::build(&PacketSpec {
+            dst_ip: if rng.gen_bool(0.5) { 0x0a00_0002 } else { 0x0a00_0003 },
+            dst_port: rng.gen(),
+            proto: if rng.gen_bool(0.8) {
+                packet::IPPROTO_TCP
+            } else {
+                packet::IPPROTO_UDP
+            },
+            ..PacketSpec::default()
+        });
+        let _ = dpf.classify(&msg);
+    }
+}
+
+#[test]
+fn sibling_shift_nodes_backtrack_with_clean_base() {
+    // Two filters whose *first* atom is a Shift with different
+    // parameters: the trie gets two shift siblings at the root. If the
+    // first filter's deep compare fails, classification must backtrack
+    // to the second with the base offset restored — a polluted base
+    // would read the wrong byte.
+    use dpf::Atom;
+    // Filter 0: base += (msg[0] & 0x0f) << 2, then msg[base+0] == 0xAA.
+    let f0 = dpf::Filter::new(vec![
+        Atom::Shift {
+            offset: 0,
+            size: FieldSize::U8,
+            mask: 0x0f,
+            shift: 2,
+        },
+        Atom::Cmp {
+            offset: 0,
+            size: FieldSize::U8,
+            mask: 0xff,
+            value: 0xaa,
+        },
+    ])
+    .unwrap();
+    // Filter 1: base += (msg[1] & 0x07) << 1, then msg[base+0] == 0xBB.
+    let f1 = dpf::Filter::new(vec![
+        Atom::Shift {
+            offset: 1,
+            size: FieldSize::U8,
+            mask: 0x07,
+            shift: 1,
+        },
+        Atom::Cmp {
+            offset: 0,
+            size: FieldSize::U8,
+            mask: 0xff,
+            value: 0xbb,
+        },
+    ])
+    .unwrap();
+    // msg[0] = 2 → f0 base 8, msg[8] != 0xAA → f0 fails.
+    // msg[1] = 3 → f1 base 6, msg[6] == 0xBB → f1 matches, but only if
+    // the base was restored to 0 before f1's shift.
+    let mut msg = vec![0u8; 16];
+    msg[0] = 2;
+    msg[1] = 3;
+    msg[6] = 0xbb;
+    msg[8] = 0x11;
+    assert!(!f0.matches(&msg));
+    assert!(f1.matches(&msg));
+    check_all(&[f0, f1], &[msg]);
+}

@@ -1,0 +1,412 @@
+//! MIPS-I instruction encoders.
+//!
+//! One function per machine instruction, in the style of the paper's
+//! Figure 2 `_addu` macro: compute the 32-bit word and store it at the
+//! instruction pointer.
+
+use vcode::buf::CodeBuffer;
+
+/// Conventional register numbers.
+pub mod r {
+    #![allow(missing_docs)]
+    pub const ZERO: u8 = 0;
+    pub const AT: u8 = 1;
+    pub const V0: u8 = 2;
+    pub const V1: u8 = 3;
+    pub const A0: u8 = 4;
+    pub const A1: u8 = 5;
+    pub const A2: u8 = 6;
+    pub const A3: u8 = 7;
+    pub const T0: u8 = 8;
+    pub const T8: u8 = 24;
+    pub const T9: u8 = 25;
+    pub const S0: u8 = 16;
+    pub const GP: u8 = 28;
+    pub const SP: u8 = 29;
+    pub const FP: u8 = 30;
+    pub const RA: u8 = 31;
+}
+
+/// R-type: `op=0 rs rt rd shamt funct`.
+pub fn rtype(rs: u8, rt: u8, rd: u8, shamt: u8, funct: u8) -> u32 {
+    (u32::from(rs) << 21)
+        | (u32::from(rt) << 16)
+        | (u32::from(rd) << 11)
+        | (u32::from(shamt) << 6)
+        | u32::from(funct)
+}
+
+/// I-type: `op rs rt imm16`.
+pub fn itype(op: u8, rs: u8, rt: u8, imm: u16) -> u32 {
+    (u32::from(op) << 26) | (u32::from(rs) << 21) | (u32::from(rt) << 16) | u32::from(imm)
+}
+
+/// COP1 (floating-point) register form: `0x11 fmt ft fs fd funct`.
+pub fn cop1(fmt: u8, ft: u8, fs: u8, fd: u8, funct: u8) -> u32 {
+    (0x11u32 << 26)
+        | (u32::from(fmt) << 21)
+        | (u32::from(ft) << 16)
+        | (u32::from(fs) << 11)
+        | (u32::from(fd) << 6)
+        | u32::from(funct)
+}
+
+/// Single-precision format code.
+pub const FMT_S: u8 = 16;
+/// Double-precision format code.
+pub const FMT_D: u8 = 17;
+/// Fixed-point word format code.
+pub const FMT_W: u8 = 20;
+
+macro_rules! r3 {
+    ($($(#[$m:meta])* $name:ident => $funct:expr;)*) => { $(
+        $(#[$m])*
+        pub fn $name(b: &mut CodeBuffer<'_>, rd: u8, rs: u8, rt: u8) {
+            b.put_u32(rtype(rs, rt, rd, 0, $funct));
+        }
+    )* }
+}
+
+r3! {
+    /// `addu rd, rs, rt`.
+    addu => 0x21;
+    /// `subu rd, rs, rt`.
+    subu => 0x23;
+    /// `and rd, rs, rt`.
+    and => 0x24;
+    /// `or rd, rs, rt`.
+    or => 0x25;
+    /// `xor rd, rs, rt`.
+    xor => 0x26;
+    /// `nor rd, rs, rt`.
+    nor => 0x27;
+    /// `slt rd, rs, rt`.
+    slt => 0x2a;
+    /// `sltu rd, rs, rt`.
+    sltu => 0x2b;
+}
+
+/// `sllv rd, rt, rs` — shift `rt` left by low 5 bits of `rs`.
+pub fn sllv(b: &mut CodeBuffer<'_>, rd: u8, rt: u8, rs: u8) {
+    b.put_u32(rtype(rs, rt, rd, 0, 0x04));
+}
+
+/// `srlv rd, rt, rs`.
+pub fn srlv(b: &mut CodeBuffer<'_>, rd: u8, rt: u8, rs: u8) {
+    b.put_u32(rtype(rs, rt, rd, 0, 0x06));
+}
+
+/// `srav rd, rt, rs`.
+pub fn srav(b: &mut CodeBuffer<'_>, rd: u8, rt: u8, rs: u8) {
+    b.put_u32(rtype(rs, rt, rd, 0, 0x07));
+}
+
+/// `sll rd, rt, shamt`.
+pub fn sll(b: &mut CodeBuffer<'_>, rd: u8, rt: u8, shamt: u8) {
+    b.put_u32(rtype(0, rt, rd, shamt, 0x00));
+}
+
+/// `srl rd, rt, shamt`.
+pub fn srl(b: &mut CodeBuffer<'_>, rd: u8, rt: u8, shamt: u8) {
+    b.put_u32(rtype(0, rt, rd, shamt, 0x02));
+}
+
+/// `sra rd, rt, shamt`.
+pub fn sra(b: &mut CodeBuffer<'_>, rd: u8, rt: u8, shamt: u8) {
+    b.put_u32(rtype(0, rt, rd, shamt, 0x03));
+}
+
+/// `mult rs, rt` (HI:LO = rs * rt, signed).
+pub fn mult(b: &mut CodeBuffer<'_>, rs: u8, rt: u8) {
+    b.put_u32(rtype(rs, rt, 0, 0, 0x18));
+}
+
+/// `multu rs, rt`.
+pub fn multu(b: &mut CodeBuffer<'_>, rs: u8, rt: u8) {
+    b.put_u32(rtype(rs, rt, 0, 0, 0x19));
+}
+
+/// `div rs, rt` (LO = quotient, HI = remainder, signed).
+pub fn div(b: &mut CodeBuffer<'_>, rs: u8, rt: u8) {
+    b.put_u32(rtype(rs, rt, 0, 0, 0x1a));
+}
+
+/// `divu rs, rt`.
+pub fn divu(b: &mut CodeBuffer<'_>, rs: u8, rt: u8) {
+    b.put_u32(rtype(rs, rt, 0, 0, 0x1b));
+}
+
+/// `mflo rd`.
+pub fn mflo(b: &mut CodeBuffer<'_>, rd: u8) {
+    b.put_u32(rtype(0, 0, rd, 0, 0x12));
+}
+
+/// `mfhi rd`.
+pub fn mfhi(b: &mut CodeBuffer<'_>, rd: u8) {
+    b.put_u32(rtype(0, 0, rd, 0, 0x10));
+}
+
+/// `jr rs`.
+pub fn jr(b: &mut CodeBuffer<'_>, rs: u8) {
+    b.put_u32(rtype(rs, 0, 0, 0, 0x08));
+}
+
+/// `jalr rd, rs` (link register is `rd`, conventionally `$ra`).
+pub fn jalr(b: &mut CodeBuffer<'_>, rd: u8, rs: u8) {
+    b.put_u32(rtype(rs, 0, rd, 0, 0x09));
+}
+
+/// `addiu rt, rs, imm` (imm sign-extended; no overflow trap).
+pub fn addiu(b: &mut CodeBuffer<'_>, rt: u8, rs: u8, imm: i16) {
+    b.put_u32(itype(0x09, rs, rt, imm as u16));
+}
+
+/// `andi rt, rs, imm` (imm zero-extended).
+pub fn andi(b: &mut CodeBuffer<'_>, rt: u8, rs: u8, imm: u16) {
+    b.put_u32(itype(0x0c, rs, rt, imm));
+}
+
+/// `ori rt, rs, imm`.
+pub fn ori(b: &mut CodeBuffer<'_>, rt: u8, rs: u8, imm: u16) {
+    b.put_u32(itype(0x0d, rs, rt, imm));
+}
+
+/// `xori rt, rs, imm`.
+pub fn xori(b: &mut CodeBuffer<'_>, rt: u8, rs: u8, imm: u16) {
+    b.put_u32(itype(0x0e, rs, rt, imm));
+}
+
+/// `lui rt, imm`.
+pub fn lui(b: &mut CodeBuffer<'_>, rt: u8, imm: u16) {
+    b.put_u32(itype(0x0f, 0, rt, imm));
+}
+
+/// `slti rt, rs, imm`.
+pub fn slti(b: &mut CodeBuffer<'_>, rt: u8, rs: u8, imm: i16) {
+    b.put_u32(itype(0x0a, rs, rt, imm as u16));
+}
+
+/// `sltiu rt, rs, imm`.
+pub fn sltiu(b: &mut CodeBuffer<'_>, rt: u8, rs: u8, imm: i16) {
+    b.put_u32(itype(0x0b, rs, rt, imm as u16));
+}
+
+/// `beq rs, rt, disp` (word displacement from the delay slot).
+pub fn beq(b: &mut CodeBuffer<'_>, rs: u8, rt: u8, disp: i16) {
+    b.put_u32(itype(0x04, rs, rt, disp as u16));
+}
+
+/// `bne rs, rt, disp`.
+pub fn bne(b: &mut CodeBuffer<'_>, rs: u8, rt: u8, disp: i16) {
+    b.put_u32(itype(0x05, rs, rt, disp as u16));
+}
+
+/// `bltz rs, disp` (REGIMM rt=0).
+pub fn bltz(b: &mut CodeBuffer<'_>, rs: u8, disp: i16) {
+    b.put_u32(itype(0x01, rs, 0, disp as u16));
+}
+
+/// `bgez rs, disp` (REGIMM rt=1).
+pub fn bgez(b: &mut CodeBuffer<'_>, rs: u8, disp: i16) {
+    b.put_u32(itype(0x01, rs, 1, disp as u16));
+}
+
+/// `bal disp` (`bgezal $zero` — position-independent call).
+pub fn bal(b: &mut CodeBuffer<'_>, disp: i16) {
+    b.put_u32(itype(0x01, 0, 0x11, disp as u16));
+}
+
+/// `blez rs, disp`.
+pub fn blez(b: &mut CodeBuffer<'_>, rs: u8, disp: i16) {
+    b.put_u32(itype(0x06, rs, 0, disp as u16));
+}
+
+/// `bgtz rs, disp`.
+pub fn bgtz(b: &mut CodeBuffer<'_>, rs: u8, disp: i16) {
+    b.put_u32(itype(0x07, rs, 0, disp as u16));
+}
+
+macro_rules! memop {
+    ($($(#[$m:meta])* $name:ident => $op:expr;)*) => { $(
+        $(#[$m])*
+        pub fn $name(b: &mut CodeBuffer<'_>, rt: u8, base: u8, off: i16) {
+            b.put_u32(itype($op, base, rt, off as u16));
+        }
+    )* }
+}
+
+memop! {
+    /// `lb rt, off(base)`.
+    lb => 0x20;
+    /// `lh rt, off(base)`.
+    lh => 0x21;
+    /// `lw rt, off(base)`.
+    lw => 0x23;
+    /// `lbu rt, off(base)`.
+    lbu => 0x24;
+    /// `lhu rt, off(base)`.
+    lhu => 0x25;
+    /// `sb rt, off(base)`.
+    sb => 0x28;
+    /// `sh rt, off(base)`.
+    sh => 0x29;
+    /// `sw rt, off(base)`.
+    sw => 0x2b;
+    /// `lwc1 ft, off(base)`.
+    lwc1 => 0x31;
+    /// `swc1 ft, off(base)`.
+    swc1 => 0x39;
+}
+
+/// `nop` (`sll $0, $0, 0`).
+pub fn nop(b: &mut CodeBuffer<'_>) {
+    b.put_u32(0);
+}
+
+/// FP arithmetic: `add/sub/mul/div.fmt fd, fs, ft` (funct 0..3).
+pub fn fp_arith(b: &mut CodeBuffer<'_>, fmt: u8, funct: u8, fd: u8, fs: u8, ft: u8) {
+    b.put_u32(cop1(fmt, ft, fs, fd, funct));
+}
+
+/// `mov.fmt fd, fs`.
+pub fn fp_mov(b: &mut CodeBuffer<'_>, fmt: u8, fd: u8, fs: u8) {
+    b.put_u32(cop1(fmt, 0, fs, fd, 6));
+}
+
+/// `neg.fmt fd, fs`.
+pub fn fp_neg(b: &mut CodeBuffer<'_>, fmt: u8, fd: u8, fs: u8) {
+    b.put_u32(cop1(fmt, 0, fs, fd, 7));
+}
+
+/// `cvt.s.fmt fd, fs`.
+pub fn cvt_s(b: &mut CodeBuffer<'_>, from_fmt: u8, fd: u8, fs: u8) {
+    b.put_u32(cop1(from_fmt, 0, fs, fd, 32));
+}
+
+/// `cvt.d.fmt fd, fs`.
+pub fn cvt_d(b: &mut CodeBuffer<'_>, from_fmt: u8, fd: u8, fs: u8) {
+    b.put_u32(cop1(from_fmt, 0, fs, fd, 33));
+}
+
+/// `trunc.w.fmt fd, fs` (round toward zero — C semantics).
+pub fn trunc_w(b: &mut CodeBuffer<'_>, from_fmt: u8, fd: u8, fs: u8) {
+    b.put_u32(cop1(from_fmt, 0, fs, fd, 13));
+}
+
+/// Compare codes for `c.cond.fmt`.
+pub mod fcmp {
+    #![allow(missing_docs)]
+    pub const EQ: u8 = 0x32;
+    pub const LT: u8 = 0x3c;
+    pub const LE: u8 = 0x3e;
+}
+
+/// `c.cond.fmt fs, ft` — sets the FP condition flag.
+pub fn fp_cmp(b: &mut CodeBuffer<'_>, fmt: u8, cond: u8, fs: u8, ft: u8) {
+    b.put_u32(cop1(fmt, ft, fs, 0, cond));
+}
+
+/// `bc1t disp` / `bc1f disp`.
+pub fn bc1(b: &mut CodeBuffer<'_>, on_true: bool, disp: i16) {
+    b.put_u32(
+        (0x11u32 << 26) | (8 << 21) | (u32::from(on_true) << 16) | (disp as u16 as u32),
+    );
+}
+
+/// `mtc1 rt, fs` (GPR → FPR, bits unchanged).
+pub fn mtc1(b: &mut CodeBuffer<'_>, rt: u8, fs: u8) {
+    b.put_u32(cop1(4, rt, fs, 0, 0));
+}
+
+/// `mfc1 rt, fs` (FPR → GPR).
+pub fn mfc1(b: &mut CodeBuffer<'_>, rt: u8, fs: u8) {
+    b.put_u32(cop1(0, rt, fs, 0, 0));
+}
+
+/// Loads a 32-bit constant into `rt` using the shortest sequence
+/// (1 or 2 instructions), the classic `lui`/`ori` idiom.
+pub fn li(b: &mut CodeBuffer<'_>, rt: u8, v: u32) {
+    let hi = (v >> 16) as u16;
+    let lo = v as u16;
+    if i16::try_from(v as i32).is_ok() {
+        addiu(b, rt, r::ZERO, v as i32 as i16);
+    } else if hi == 0 {
+        ori(b, rt, r::ZERO, lo);
+    } else if lo == 0 {
+        lui(b, rt, hi);
+    } else {
+        lui(b, rt, hi);
+        ori(b, rt, rt, lo);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(f: impl FnOnce(&mut CodeBuffer<'_>)) -> u32 {
+        let mut mem = [0u8; 32];
+        let mut b = CodeBuffer::new(&mut mem);
+        f(&mut b);
+        b.read_u32(0)
+    }
+
+    #[test]
+    fn addu_matches_figure_2() {
+        // Figure 2: (src1 << 21) | (src2 << 16) | (dst << 11) | 0x21
+        let w = one(|b| addu(b, 2, 4, 5));
+        assert_eq!(w, (4 << 21) | (5 << 16) | (2 << 11) | 0x21);
+    }
+
+    #[test]
+    fn addiu_encodes_sign_extended_imm() {
+        let w = one(|b| addiu(b, r::A0, r::A0, 1));
+        // addiu a0, a0, 1 = 0x24840001
+        assert_eq!(w, 0x2484_0001);
+        let w = one(|b| addiu(b, r::SP, r::SP, -32));
+        assert_eq!(w, 0x27bd_ffe0);
+    }
+
+    #[test]
+    fn jr_ra_is_canonical() {
+        assert_eq!(one(|b| jr(b, r::RA)), 0x03e0_0008);
+    }
+
+    #[test]
+    fn memory_ops() {
+        // lw t0, 4(sp)
+        assert_eq!(one(|b| lw(b, r::T0, r::SP, 4)), 0x8fa8_0004);
+        // sw ra, 0(sp)
+        assert_eq!(one(|b| sw(b, r::RA, r::SP, 0)), 0xafbf_0000);
+    }
+
+    #[test]
+    fn li_chooses_shortest() {
+        let mut mem = [0u8; 32];
+        let mut b = CodeBuffer::new(&mut mem);
+        li(&mut b, r::T0, 5);
+        assert_eq!(b.len(), 4, "small positive: one addiu");
+        let mut mem = [0u8; 32];
+        let mut b = CodeBuffer::new(&mut mem);
+        li(&mut b, r::T0, 0xffff_8000);
+        assert_eq!(b.len(), 4, "sign-extendable: one addiu");
+        let mut mem = [0u8; 32];
+        let mut b = CodeBuffer::new(&mut mem);
+        li(&mut b, r::T0, 0x12345);
+        assert_eq!(b.len(), 8, "general case: lui + ori");
+        let mut mem = [0u8; 32];
+        let mut b = CodeBuffer::new(&mut mem);
+        li(&mut b, r::T0, 0x8000);
+        assert_eq!(b.len(), 4, "fits ori zero-extended");
+    }
+
+    #[test]
+    fn fp_forms() {
+        // add.d f0, f2, f4 : cop1 fmt=17 ft=4 fs=2 fd=0 funct=0
+        let w = one(|b| fp_arith(b, FMT_D, 0, 0, 2, 4));
+        assert_eq!(w, (0x11 << 26) | (17 << 21) | (4 << 16) | (2 << 11));
+        // mtc1 t0, f2
+        let w = one(|b| mtc1(b, r::T0, 2));
+        assert_eq!(w, (0x11 << 26) | (4 << 21) | (8 << 16) | (2 << 11));
+    }
+}

@@ -1,0 +1,788 @@
+//! An Alpha (21064-era) instruction-set simulator.
+//!
+//! Executes code from the `vcode-alpha` backend. Besides the base ISA
+//! (no byte/word memory ops — `ldq_u` and the ext/ins/msk byte zappers
+//! instead), it provides the *division support routines* at magic
+//! addresses: the backend emits `jsr t9, (at)` to them because the
+//! hardware has no integer divide (paper §5.2), and they follow the
+//! special convention of preserving every caller-saved register.
+
+use std::fmt;
+
+/// Base address code is loaded at.
+pub const CODE_BASE: u64 = 0x1_0000;
+/// Return-address sentinel.
+pub const HALT: u64 = 0xffff_fff0;
+/// Division support routines live at `0xd000 + 8k` (below the code).
+pub const DIV_BASE: u64 = 0xd000;
+
+/// Execution statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counts {
+    /// Instructions executed (division-routine work counts as its own
+    /// instructions, charged as a flat cost below).
+    pub insns: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Branches/jumps.
+    pub branches: u64,
+    /// Division-routine invocations.
+    pub div_calls: u64,
+}
+
+/// Cycles charged per division-routine call (a software divide loop of
+/// the era ran on the order of dozens of instructions).
+pub const DIV_COST: u64 = 40;
+
+/// Abnormal stop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Trap {
+    /// PC outside loaded code.
+    BadPc(u64),
+    /// Bad memory access.
+    BadAccess(u64),
+    /// Misaligned access.
+    Unaligned(u64),
+    /// Unknown encoding.
+    BadInsn {
+        /// PC.
+        pc: u64,
+        /// Instruction word.
+        word: u32,
+    },
+    /// Step limit exceeded.
+    StepLimit,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::BadPc(pc) => write!(f, "pc {pc:#x} outside code"),
+            Trap::BadAccess(a) => write!(f, "bad access at {a:#x}"),
+            Trap::Unaligned(a) => write!(f, "unaligned access at {a:#x}"),
+            Trap::BadInsn { pc, word } => write!(f, "bad instruction {word:#010x} at {pc:#x}"),
+            Trap::StepLimit => write!(f, "step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// The simulated machine.
+pub struct Machine {
+    /// Integer registers (`$31` reads as zero).
+    pub regs: [u64; 32],
+    /// FP registers as raw T-format (f64) bits; `$f31` reads as zero.
+    pub fregs: [u64; 32],
+    mem: Vec<u8>,
+    code_end: u64,
+    data_brk: u64,
+    /// Statistics.
+    pub counts: Counts,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("alpha::Machine")
+            .field("counts", &self.counts)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with `mem_size` bytes of memory.
+    pub fn new(mem_size: usize) -> Machine {
+        assert!(mem_size >= 128 * 1024);
+        Machine {
+            regs: [0; 32],
+            fregs: [0; 32],
+            mem: vec![0; mem_size],
+            code_end: CODE_BASE,
+            data_brk: (mem_size / 2) as u64,
+            counts: Counts::default(),
+        }
+    }
+
+    /// Loads code, returning the entry address.
+    pub fn load_code(&mut self, code: &[u8]) -> u64 {
+        let at = (self.code_end as usize).div_ceil(16) * 16;
+        self.mem[at..at + code.len()].copy_from_slice(code);
+        self.code_end = (at + code.len()) as u64;
+        at as u64
+    }
+
+    /// Allocates simulated data memory.
+    pub fn alloc(&mut self, size: usize, align: usize) -> u64 {
+        let at = (self.data_brk as usize).div_ceil(align.max(1)) * align.max(1);
+        self.data_brk = (at + size) as u64;
+        at as u64
+    }
+
+    /// Writes into simulated memory.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        self.mem[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads back.
+    pub fn read(&self, addr: u64, len: usize) -> &[u8] {
+        &self.mem[addr as usize..addr as usize + len]
+    }
+
+    /// Calls the function at `entry` with up to six integer arguments,
+    /// returning `$v0`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`].
+    pub fn call(&mut self, entry: u64, args: &[u64], max_steps: u64) -> Result<u64, Trap> {
+        assert!(args.len() <= 6);
+        for (i, &v) in args.iter().enumerate() {
+            self.regs[16 + i] = v;
+        }
+        self.run(entry, max_steps)?;
+        Ok(self.regs[0])
+    }
+
+    /// Calls with doubles in `$f16`..., returning `$f0`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`].
+    pub fn call_f64(&mut self, entry: u64, args: &[f64], max_steps: u64) -> Result<f64, Trap> {
+        assert!(args.len() <= 4);
+        for (i, &v) in args.iter().enumerate() {
+            self.fregs[16 + i] = v.to_bits();
+        }
+        self.run(entry, max_steps)?;
+        Ok(f64::from_bits(self.fregs[0]))
+    }
+
+    /// Runs until the return to [`HALT`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`].
+    pub fn run(&mut self, entry: u64, max_steps: u64) -> Result<(), Trap> {
+        self.regs[26] = HALT;
+        self.regs[30] = (self.mem.len() - 256) as u64;
+        let mut pc = entry;
+        let mut steps = 0u64;
+        while pc != HALT {
+            if steps >= max_steps {
+                return Err(Trap::StepLimit);
+            }
+            steps += 1;
+            // Division support (paper §5.2's runtime routines): args in
+            // t10/t11, result in t12/pv, return through t9. Preserves
+            // everything else.
+            if (DIV_BASE..DIV_BASE + 0x40).contains(&pc) {
+                self.counts.div_calls += 1;
+                self.counts.insns += DIV_COST;
+                let a = self.regs[24];
+                let b = self.regs[25];
+                let idx = (pc - DIV_BASE) / 8;
+                self.regs[27] = div_routine(idx, a, b);
+                pc = self.regs[23];
+                continue;
+            }
+            if pc < CODE_BASE || pc >= self.code_end || pc & 3 != 0 {
+                return Err(Trap::BadPc(pc));
+            }
+            let word =
+                u32::from_le_bytes(self.mem[pc as usize..pc as usize + 4].try_into().unwrap());
+            pc = self.step(pc, word)?;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn get(&self, r: u8) -> u64 {
+        if r == 31 {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, r: u8, v: u64) {
+        if r != 31 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    fn fget(&self, r: u8) -> u64 {
+        if r == 31 {
+            0
+        } else {
+            self.fregs[r as usize]
+        }
+    }
+
+    fn fset(&mut self, r: u8, v: u64) {
+        if r != 31 {
+            self.fregs[r as usize] = v;
+        }
+    }
+
+    fn ldq(&self, addr: u64) -> Result<u64, Trap> {
+        if addr & 7 != 0 {
+            return Err(Trap::Unaligned(addr));
+        }
+        let a = addr as usize;
+        let b = self.mem.get(a..a + 8).ok_or(Trap::BadAccess(addr))?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn stq(&mut self, addr: u64, v: u64) -> Result<(), Trap> {
+        if addr & 7 != 0 {
+            return Err(Trap::Unaligned(addr));
+        }
+        let a = addr as usize;
+        self.mem
+            .get_mut(a..a + 8)
+            .ok_or(Trap::BadAccess(addr))?
+            .copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn ldl(&self, addr: u64) -> Result<u64, Trap> {
+        if addr & 3 != 0 {
+            return Err(Trap::Unaligned(addr));
+        }
+        let a = addr as usize;
+        let b = self.mem.get(a..a + 4).ok_or(Trap::BadAccess(addr))?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()) as i32 as i64 as u64)
+    }
+
+    fn stl(&mut self, addr: u64, v: u32) -> Result<(), Trap> {
+        if addr & 3 != 0 {
+            return Err(Trap::Unaligned(addr));
+        }
+        let a = addr as usize;
+        self.mem
+            .get_mut(a..a + 4)
+            .ok_or(Trap::BadAccess(addr))?
+            .copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self, pc: u64, word: u32) -> Result<u64, Trap> {
+        self.counts.insns += 1;
+        let opcode = (word >> 26) as u8;
+        let ra = ((word >> 21) & 31) as u8;
+        let rb = ((word >> 16) & 31) as u8;
+        let disp16 = word as u16 as i16;
+        let bad = || Trap::BadInsn { pc, word };
+        let mut next = pc + 4;
+        match opcode {
+            0x08 => {
+                // lda
+                let v = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                self.set(ra, v);
+            }
+            0x09 => {
+                let v = self
+                    .get(rb)
+                    .wrapping_add(((disp16 as i64) << 16) as u64);
+                self.set(ra, v);
+            }
+            0x0b => {
+                // ldq_u
+                self.counts.loads += 1;
+                let addr = self.get(rb).wrapping_add(disp16 as i64 as u64) & !7;
+                let v = self.ldq(addr)?;
+                self.set(ra, v);
+            }
+            0x0f => {
+                // stq_u
+                self.counts.stores += 1;
+                let addr = self.get(rb).wrapping_add(disp16 as i64 as u64) & !7;
+                let v = self.get(ra);
+                self.stq(addr, v)?;
+            }
+            0x28 => {
+                self.counts.loads += 1;
+                let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                let v = self.ldl(addr)?;
+                self.set(ra, v);
+            }
+            0x29 => {
+                self.counts.loads += 1;
+                let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                let v = self.ldq(addr)?;
+                self.set(ra, v);
+            }
+            0x2c => {
+                self.counts.stores += 1;
+                let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                let v = self.get(ra);
+                self.stl(addr, v as u32)?;
+            }
+            0x2d => {
+                self.counts.stores += 1;
+                let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                let v = self.get(ra);
+                self.stq(addr, v)?;
+            }
+            0x22 => {
+                // lds: load S-format (f32), widen to T-format bits.
+                self.counts.loads += 1;
+                let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                if addr & 3 != 0 {
+                    return Err(Trap::Unaligned(addr));
+                }
+                let a = addr as usize;
+                let b4 = self.mem.get(a..a + 4).ok_or(Trap::BadAccess(addr))?;
+                let s = f32::from_bits(u32::from_le_bytes(b4.try_into().unwrap()));
+                self.fset(ra, f64::from(s).to_bits());
+            }
+            0x26 => {
+                // sts
+                self.counts.stores += 1;
+                let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                let s = f64::from_bits(self.fget(ra)) as f32;
+                self.stl(addr, s.to_bits())?;
+            }
+            0x23 => {
+                self.counts.loads += 1;
+                let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                let v = self.ldq(addr)?;
+                self.fset(ra, v);
+            }
+            0x27 => {
+                self.counts.stores += 1;
+                let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                let v = self.fget(ra);
+                self.stq(addr, v)?;
+            }
+            0x10..=0x13 => {
+                let func = ((word >> 5) & 0x7f) as u8;
+                let a = self.get(ra);
+                let b = if word & (1 << 12) != 0 {
+                    u64::from((word >> 13) & 0xff)
+                } else {
+                    self.get(rb)
+                };
+                let rc = (word & 31) as u8;
+                let v = match (opcode, func) {
+                    (0x10, 0x00) => (a as i32).wrapping_add(b as i32) as i64 as u64,
+                    (0x10, 0x09) => (a as i32).wrapping_sub(b as i32) as i64 as u64,
+                    (0x10, 0x20) => a.wrapping_add(b),
+                    (0x10, 0x29) => a.wrapping_sub(b),
+                    (0x10, 0x1d) => u64::from(a < b),
+                    (0x10, 0x2d) => u64::from(a == b),
+                    (0x10, 0x3d) => u64::from(a <= b),
+                    (0x10, 0x4d) => u64::from((a as i64) < (b as i64)),
+                    (0x10, 0x6d) => u64::from((a as i64) <= (b as i64)),
+                    (0x11, 0x00) => a & b,
+                    (0x11, 0x08) => a & !b,
+                    (0x11, 0x20) => a | b,
+                    (0x11, 0x28) => a | !b,
+                    (0x11, 0x40) => a ^ b,
+                    (0x11, 0x48) => !(a ^ b),
+                    (0x12, 0x39) => a.wrapping_shl(b as u32 & 63),
+                    (0x12, 0x34) => a.wrapping_shr(b as u32 & 63),
+                    (0x12, 0x3c) => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+                    (0x12, 0x31) => {
+                        // zapnot: keep bytes whose mask bit is set.
+                        let mut mask = 0u64;
+                        for k in 0..8 {
+                            if b & (1 << k) != 0 {
+                                mask |= 0xffu64 << (k * 8);
+                            }
+                        }
+                        a & mask
+                    }
+                    (0x12, 0x06) => (a >> ((b & 7) * 8)) & 0xff,
+                    (0x12, 0x16) => (a >> ((b & 7) * 8)) & 0xffff,
+                    (0x12, 0x0b) => (a & 0xff) << ((b & 7) * 8),
+                    (0x12, 0x1b) => (a & 0xffff) << ((b & 7) * 8),
+                    (0x12, 0x02) => a & !(0xffu64 << ((b & 7) * 8)),
+                    (0x12, 0x12) => a & !(0xffffu64 << ((b & 7) * 8)),
+                    (0x13, 0x00) => (a as i32).wrapping_mul(b as i32) as i64 as u64,
+                    (0x13, 0x20) => a.wrapping_mul(b),
+                    _ => return Err(bad()),
+                };
+                self.set(rc, v);
+            }
+            0x16 => {
+                let func = ((word >> 5) & 0x7ff) as u16;
+                let fa = f64::from_bits(self.fget(ra));
+                let fb = f64::from_bits(self.fget(rb));
+                let rc = (word & 31) as u8;
+                let v: u64 = match func {
+                    0x080 => f64::from((fa as f32) + (fb as f32)).to_bits(),
+                    0x081 => f64::from((fa as f32) - (fb as f32)).to_bits(),
+                    0x082 => f64::from((fa as f32) * (fb as f32)).to_bits(),
+                    0x083 => f64::from((fa as f32) / (fb as f32)).to_bits(),
+                    0x0a0 => (fa + fb).to_bits(),
+                    0x0a1 => (fa - fb).to_bits(),
+                    0x0a2 => (fa * fb).to_bits(),
+                    0x0a3 => (fa / fb).to_bits(),
+                    0x0a5 => {
+                        if fa == fb {
+                            2.0f64.to_bits()
+                        } else {
+                            0
+                        }
+                    }
+                    0x0a6 => {
+                        if fa < fb {
+                            2.0f64.to_bits()
+                        } else {
+                            0
+                        }
+                    }
+                    0x0a7 => {
+                        if fa <= fb {
+                            2.0f64.to_bits()
+                        } else {
+                            0
+                        }
+                    }
+                    0x02f => (fb as i64) as u64, // cvttq/c (truncate)
+                    0x0bc => f64::from(self.fget(rb) as i64 as f64 as f32).to_bits(),
+                    0x0be => (self.fget(rb) as i64 as f64).to_bits(),
+                    0x2ac => f64::from(fb as f32).to_bits(),
+                    _ => return Err(bad()),
+                };
+                self.fset(rc, v);
+            }
+            0x17 => {
+                let func = ((word >> 5) & 0x7ff) as u16;
+                let rc = (word & 31) as u8;
+                let fa = self.fget(ra);
+                let fb = self.fget(rb);
+                let v = match func {
+                    0x020 => (fa & (1 << 63)) | (fb & !(1 << 63)),
+                    0x021 => (!fa & (1 << 63)) | (fb & !(1 << 63)),
+                    0x022 => (fa & 0xfff0_0000_0000_0000) | (fb & 0x000f_ffff_ffff_ffff),
+                    _ => return Err(bad()),
+                };
+                self.fset(rc, v);
+            }
+            0x1a => {
+                self.counts.branches += 1;
+                let target = self.get(rb) & !3;
+                self.set(ra, pc + 4);
+                next = target;
+            }
+            0x30 | 0x34 => {
+                self.counts.branches += 1;
+                let disp = ((word & 0x1f_ffff) as i32) << 11 >> 11;
+                self.set(ra, pc + 4);
+                next = pc
+                    .wrapping_add(4)
+                    .wrapping_add((i64::from(disp) * 4) as u64);
+            }
+            0x39 | 0x3d | 0x3a | 0x3b | 0x3e | 0x3f => {
+                self.counts.branches += 1;
+                let v = self.get(ra) as i64;
+                let taken = match opcode {
+                    0x39 => v == 0,
+                    0x3d => v != 0,
+                    0x3a => v < 0,
+                    0x3b => v <= 0,
+                    0x3e => v >= 0,
+                    _ => v > 0,
+                };
+                if taken {
+                    let disp = ((word & 0x1f_ffff) as i32) << 11 >> 11;
+                    next = pc
+                        .wrapping_add(4)
+                        .wrapping_add((i64::from(disp) * 4) as u64);
+                }
+            }
+            0x31 | 0x35 | 0x32 | 0x33 | 0x36 | 0x37 => {
+                self.counts.branches += 1;
+                let v = f64::from_bits(self.fget(ra));
+                let taken = match opcode {
+                    0x31 => v == 0.0,
+                    0x35 => v != 0.0,
+                    0x32 => v < 0.0,
+                    0x33 => v <= 0.0,
+                    0x36 => v >= 0.0,
+                    _ => v > 0.0,
+                };
+                if taken {
+                    let disp = ((word & 0x1f_ffff) as i32) << 11 >> 11;
+                    next = pc
+                        .wrapping_add(4)
+                        .wrapping_add((i64::from(disp) * 4) as u64);
+                }
+            }
+            _ => return Err(bad()),
+        }
+        Ok(next)
+    }
+}
+
+fn div_routine(idx: u64, a: u64, b: u64) -> u64 {
+    match idx {
+        0 => {
+            // divl
+            let (x, y) = (a as i32, b as i32);
+            if y == 0 || (x == i32::MIN && y == -1) {
+                0
+            } else {
+                x.wrapping_div(y) as i64 as u64
+            }
+        }
+        1 => {
+            let (x, y) = (a as u32, b as u32);
+            if y == 0 {
+                0
+            } else {
+                i64::from((x / y) as i32) as u64
+            }
+        }
+        2 => {
+            let (x, y) = (a as i32, b as i32);
+            if y == 0 || (x == i32::MIN && y == -1) {
+                0
+            } else {
+                x.wrapping_rem(y) as i64 as u64
+            }
+        }
+        3 => {
+            let (x, y) = (a as u32, b as u32);
+            if y == 0 {
+                0
+            } else {
+                i64::from((x % y) as i32) as u64
+            }
+        }
+        4 => {
+            let (x, y) = (a as i64, b as i64);
+            if y == 0 || (x == i64::MIN && y == -1) {
+                0
+            } else {
+                x.wrapping_div(y) as u64
+            }
+        }
+        5 => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        6 => {
+            let (x, y) = (a as i64, b as i64);
+            if y == 0 || (x == i64::MIN && y == -1) {
+                0
+            } else {
+                x.wrapping_rem(y) as u64
+            }
+        }
+        _ => {
+            if b == 0 {
+                0
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+
+/// Disassembles one instruction word (debugging aid, §6.2).
+pub fn disasm(word: u32) -> String {
+    let opcode = (word >> 26) as u8;
+    let ra = (word >> 21) & 31;
+    let rb = (word >> 16) & 31;
+    let disp16 = word as u16 as i16;
+    let mem_name = |n: &str| format!("{n} ${ra}, {disp16}(${rb})");
+    match opcode {
+        0x08 => mem_name("lda"),
+        0x09 => mem_name("ldah"),
+        0x0b => mem_name("ldq_u"),
+        0x0f => mem_name("stq_u"),
+        0x22 => mem_name("lds"),
+        0x23 => mem_name("ldt"),
+        0x26 => mem_name("sts"),
+        0x27 => mem_name("stt"),
+        0x28 => mem_name("ldl"),
+        0x29 => mem_name("ldq"),
+        0x2c => mem_name("stl"),
+        0x2d => mem_name("stq"),
+        0x10..=0x13 => {
+            let func = (word >> 5) & 0x7f;
+            let rc = word & 31;
+            let name = match (opcode, func) {
+                (0x10, 0x00) => "addl",
+                (0x10, 0x09) => "subl",
+                (0x10, 0x20) => "addq",
+                (0x10, 0x29) => "subq",
+                (0x10, 0x1d) => "cmpult",
+                (0x10, 0x2d) => "cmpeq",
+                (0x10, 0x3d) => "cmpule",
+                (0x10, 0x4d) => "cmplt",
+                (0x10, 0x6d) => "cmple",
+                (0x11, 0x00) => "and",
+                (0x11, 0x20) => "bis",
+                (0x11, 0x28) => "ornot",
+                (0x11, 0x40) => "xor",
+                (0x12, 0x39) => "sll",
+                (0x12, 0x34) => "srl",
+                (0x12, 0x3c) => "sra",
+                (0x12, 0x31) => "zapnot",
+                (0x12, 0x06) => "extbl",
+                (0x12, 0x16) => "extwl",
+                (0x12, 0x0b) => "insbl",
+                (0x12, 0x1b) => "inswl",
+                (0x12, 0x02) => "mskbl",
+                (0x12, 0x12) => "mskwl",
+                (0x13, 0x00) => "mull",
+                (0x13, 0x20) => "mulq",
+                _ => return format!(".word {word:#010x}"),
+            };
+            if word == (0x11 << 26) | (31 << 21) | (31 << 16) | (0x20 << 5) | 31 {
+                return "nop".to_owned();
+            }
+            if word & (1 << 12) != 0 {
+                format!("{name} ${ra}, {}, ${rc}", (word >> 13) & 0xff)
+            } else {
+                format!("{name} ${ra}, ${rb}, ${rc}")
+            }
+        }
+        0x16 => format!("fpop.{:#x} $f{ra}, $f{rb}, $f{}", (word >> 5) & 0x7ff, word & 31),
+        0x17 => format!("cpys.{:#x} $f{ra}, $f{rb}, $f{}", (word >> 5) & 0x7ff, word & 31),
+        0x1a => {
+            let kind = match (word >> 14) & 3 {
+                0 => "jmp",
+                1 => "jsr",
+                2 => "ret",
+                _ => "jsr_co",
+            };
+            format!("{kind} ${ra}, (${rb})")
+        }
+        0x30 => format!("br ${ra}, {}", ((word & 0x1f_ffff) as i32) << 11 >> 11),
+        0x34 => format!("bsr ${ra}, {}", ((word & 0x1f_ffff) as i32) << 11 >> 11),
+        0x39 | 0x3d | 0x3a | 0x3b | 0x3e | 0x3f | 0x31 | 0x35 | 0x32 | 0x33 | 0x36 | 0x37 => {
+            let name = match opcode {
+                0x39 => "beq",
+                0x3d => "bne",
+                0x3a => "blt",
+                0x3b => "ble",
+                0x3e => "bge",
+                0x3f => "bgt",
+                0x31 => "fbeq",
+                0x35 => "fbne",
+                0x32 => "fblt",
+                0x33 => "fble",
+                0x36 => "fbge",
+                _ => "fbgt",
+            };
+            format!("{name} ${ra}, {}", ((word & 0x1f_ffff) as i32) << 11 >> 11)
+        }
+        _ => format!(".word {word:#010x}"),
+    }
+}
+
+/// Disassembles a whole code buffer.
+pub fn disasm_all(code: &[u8]) -> String {
+    code.chunks_exact(4)
+        .enumerate()
+        .map(|(i, w)| {
+            let word = u32::from_le_bytes(w.try_into().unwrap());
+            format!("{:4x}:  {}\n", i * 4, disasm(word))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // addl a0, 1, v0 (literal); ret (ra)
+    fn plus1_code() -> Vec<u8> {
+        let words = [
+            (((0x10u32 << 26) | (16 << 21) | (1 << 13) | (1 << 12))),
+            (0x1au32 << 26) | (31 << 21) | (26 << 16) | (2 << 14),
+        ];
+        words.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn runs_plus1() {
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&plus1_code());
+        assert_eq!(m.call(entry, &[41], 100).unwrap(), 42);
+        assert_eq!(m.call(entry, &[u64::from(u32::MAX)], 100).unwrap(), 0);
+    }
+
+    #[test]
+    fn ldq_u_and_extbl() {
+        // a0 = addr: ldq_u t0, 0(a0); extbl v0, t0?? extbl ra=t0 rb=a0
+        // rc=v0; ret.
+        let words = [
+            (0x0bu32 << 26) | (1 << 21) | (16 << 16),
+            ((0x12u32 << 26) | (1 << 21) | (16 << 16) | (0x06 << 5)),
+            (0x1au32 << 26) | (31 << 21) | (26 << 16) | (2 << 14),
+        ];
+        let code: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&code);
+        let addr = m.alloc(16, 8);
+        m.write(addr, &[0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88]);
+        assert_eq!(m.call(entry, &[addr + 3], 100).unwrap(), 0x44);
+        assert_eq!(m.call(entry, &[addr + 6], 100).unwrap(), 0x77);
+    }
+
+    #[test]
+    fn division_magic_addresses() {
+        // Call divl directly: t10 = -20, t11 = 3, jsr t9, (a0).
+        let words = [
+            (0x1au32 << 26) | (23 << 21) | (16 << 16) | (1 << 14), // jsr t9,(a0)
+            // return here: mov pv → v0; ret
+            ((0x11u32 << 26) | (31 << 21) | (27 << 16) | (0x20 << 5)),
+            (0x1au32 << 26) | (31 << 21) | (26 << 16) | (2 << 14),
+        ];
+        let code: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&code);
+        m.regs[24] = (-20i64) as u64;
+        m.regs[25] = 3;
+        let r = m.call(entry, &[DIV_BASE], 100).unwrap();
+        assert_eq!(r as i64, -6);
+        assert_eq!(m.counts.div_calls, 1);
+        assert!(m.counts.insns >= DIV_COST);
+    }
+
+    #[test]
+    fn branches_and_literals() {
+        // beq a0, +1; lda v0, 1($31); ret; [target] lda v0, 2($31); ret
+        let words = [
+            (0x39u32 << 26) | (16 << 21) | 2,
+            (0x08u32 << 26) | (31 << 16) | 1,
+            (0x1au32 << 26) | (31 << 21) | (26 << 16) | (2 << 14),
+            (0x08u32 << 26) | (31 << 16) | 2,
+            (0x1au32 << 26) | (31 << 21) | (26 << 16) | (2 << 14),
+        ];
+        let code: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&code);
+        assert_eq!(m.call(entry, &[0], 100).unwrap(), 2);
+        assert_eq!(m.call(entry, &[5], 100).unwrap(), 1);
+    }
+
+    #[test]
+    fn bad_instruction_and_step_limit() {
+        let words = [0x0000_0000u32]; // call_pal halt — undecoded
+        let code: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&code);
+        assert!(matches!(m.call(entry, &[], 10), Err(Trap::BadInsn { .. })));
+        // br self = infinite loop.
+        let words = [(0x30u32 << 26) | (31 << 21) | ((-1i32 as u32) & 0x1f_ffff)];
+        let code: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let entry = m.load_code(&code);
+        assert_eq!(m.call(entry, &[], 100), Err(Trap::StepLimit));
+    }
+}

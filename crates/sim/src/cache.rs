@@ -1,0 +1,115 @@
+//! A simple direct-mapped cache model.
+//!
+//! The ASH experiment (paper Table 4) contrasts cached and uncached
+//! memory pipelines: "touching memory multiple times stresses the weak
+//! link in modern workstations, the memory subsystem" (§4.3). This model
+//! supplies the cycle accounting for the simulated reproduction of that
+//! contrast: hits cost one cycle, misses add a configurable penalty.
+
+/// A direct-mapped cache with configurable geometry.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    line_shift: u32,
+    tags: Vec<Option<u64>>,
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+    /// Extra cycles charged per miss.
+    pub miss_penalty: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `size` bytes with `line` bytes per line (both
+    /// powers of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` or `line` is not a power of two or `line > size`.
+    pub fn new(size: usize, line: usize, miss_penalty: u64) -> Cache {
+        assert!(size.is_power_of_two() && line.is_power_of_two() && line <= size);
+        Cache {
+            line_shift: line.trailing_zeros(),
+            tags: vec![None; size / line],
+            hits: 0,
+            misses: 0,
+            miss_penalty,
+        }
+    }
+
+    /// The DECstation 5000/200's 64 KiB direct-mapped data cache with
+    /// 16-byte lines (penalty ~15 cycles to memory).
+    pub fn dec5000() -> Cache {
+        Cache::new(64 * 1024, 16, 15)
+    }
+
+    /// The DECstation 3100's 64 KiB cache with 4-byte lines and a slower
+    /// memory system.
+    pub fn dec3100() -> Cache {
+        Cache::new(64 * 1024, 4, 6)
+    }
+
+    /// Records an access to `addr`; returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let idx = (line as usize) % self.tags.len();
+        if self.tags[idx] == Some(line) {
+            self.hits += 1;
+            true
+        } else {
+            self.tags[idx] = Some(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Invalidates every line (the experiment's "uncached"/flushed rows).
+    pub fn flush(&mut self) {
+        self.tags.fill(None);
+    }
+
+    /// Total extra cycles charged for misses so far.
+    pub fn stall_cycles(&self) -> u64 {
+        self.misses * self.miss_penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_accesses_hit_within_a_line() {
+        let mut c = Cache::new(1024, 16, 10);
+        assert!(!c.access(0));
+        assert!(c.access(4));
+        assert!(c.access(15));
+        assert!(!c.access(16));
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.stall_cycles(), 20);
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let mut c = Cache::new(64, 16, 1); // 4 lines
+        assert!(!c.access(0));
+        assert!(!c.access(64)); // same index, different tag
+        assert!(!c.access(0)); // evicted
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = Cache::new(64, 16, 1);
+        c.access(0);
+        assert!(c.access(0));
+        c.flush();
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(100, 16, 1);
+    }
+}

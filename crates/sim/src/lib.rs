@@ -1,0 +1,20 @@
+//! # vcode-sim — instruction-set simulators for vcode targets
+//!
+//! The paper evaluated VCODE on MIPS (DECstation), SPARC and Alpha
+//! hardware. This crate supplies the substitute substrate (see
+//! DESIGN.md): ISA-level simulators that execute the exact binary code
+//! the `vcode-mips`, `vcode-sparc` and `vcode-alpha` backends emit,
+//! with instruction counting, an optional data-cache model, and strict
+//! checking (alignment, delay-slot hazards, unknown encodings) so the
+//! simulators double as verifiers for the instruction-mapping
+//! regression tests (paper §3.3, §6.1).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alpha;
+pub mod cache;
+pub mod mips;
+pub mod sparc;
+
+pub use cache::Cache;

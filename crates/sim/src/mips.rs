@@ -1,0 +1,872 @@
+//! A MIPS-I instruction-set simulator.
+//!
+//! Executes the binary code emitted by the `vcode-mips` backend, standing
+//! in for the paper's DECstation hardware (see DESIGN.md's substitution
+//! table). The simulator is deliberately strict: unknown encodings,
+//! out-of-range memory accesses and (optionally) MIPS-I load-delay
+//! violations are hard errors, so it doubles as the checker for the
+//! auto-generated instruction-mapping regression tests (paper §3.3, §6.1).
+//!
+//! Delay-slot semantics are modeled exactly: a taken branch executes the
+//! following instruction before transferring control, and `jal`/`bal`
+//! link to the instruction after the delay slot.
+
+use crate::cache::Cache;
+use std::fmt;
+
+/// Base address code is loaded at.
+pub const CODE_BASE: u32 = 0x0000_1000;
+/// Return-address sentinel that stops execution.
+pub const HALT: u32 = 0xffff_fff0;
+
+/// Execution statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counts {
+    /// Instructions executed (including delay-slot nops).
+    pub insns: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Branch/jump instructions executed.
+    pub branches: u64,
+}
+
+/// Why the simulator stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Trap {
+    /// PC left the loaded code region.
+    BadPc(u32),
+    /// Memory access outside the machine's memory.
+    BadAccess(u32),
+    /// Unaligned word or halfword access.
+    Unaligned(u32),
+    /// Encoding the decoder does not recognize.
+    BadInsn {
+        /// Program counter of the instruction.
+        pc: u32,
+        /// The word.
+        word: u32,
+    },
+    /// Ran more than the step limit (runaway loop).
+    StepLimit,
+    /// The instruction after a load read the loaded register (MIPS-I
+    /// load-delay violation; only raised in strict mode).
+    LoadDelayViolation {
+        /// Program counter of the offending instruction.
+        pc: u32,
+        /// The register still in its load shadow.
+        reg: u8,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::BadPc(pc) => write!(f, "pc {pc:#x} outside code"),
+            Trap::BadAccess(a) => write!(f, "bad memory access at {a:#x}"),
+            Trap::Unaligned(a) => write!(f, "unaligned access at {a:#x}"),
+            Trap::BadInsn { pc, word } => write!(f, "bad instruction {word:#010x} at {pc:#x}"),
+            Trap::StepLimit => write!(f, "step limit exceeded"),
+            Trap::LoadDelayViolation { pc, reg } => {
+                write!(f, "load-delay violation at {pc:#x} on ${reg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// The simulated machine.
+pub struct Machine {
+    /// General-purpose registers (`$0` is forced to zero).
+    pub regs: [u32; 32],
+    /// Floating-point registers (raw bits; doubles are even/odd pairs,
+    /// even = low word, little-endian pairing).
+    pub fregs: [u32; 32],
+    hi: u32,
+    lo: u32,
+    fcc: bool,
+    mem: Vec<u8>,
+    code_end: u32,
+    data_brk: u32,
+    /// Execution statistics.
+    pub counts: Counts,
+    /// Optional data-cache model; every load/store address is run
+    /// through it when attached.
+    pub dcache: Option<Cache>,
+    /// Raise [`Trap::LoadDelayViolation`] when generated code uses a
+    /// loaded value in the load shadow (validates `raw_load` clients).
+    pub strict_load_delay: bool,
+    load_shadow: Option<u8>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("mips::Machine")
+            .field("mem_bytes", &self.mem.len())
+            .field("counts", &self.counts)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with `mem_size` bytes of memory (power of two
+    /// recommended; at least 64 KiB).
+    pub fn new(mem_size: usize) -> Machine {
+        assert!(mem_size >= 64 * 1024);
+        Machine {
+            regs: [0; 32],
+            fregs: [0; 32],
+            hi: 0,
+            lo: 0,
+            fcc: false,
+            mem: vec![0; mem_size],
+            code_end: CODE_BASE,
+            data_brk: (mem_size / 2) as u32,
+            counts: Counts::default(),
+            dcache: None,
+            strict_load_delay: false,
+            load_shadow: None,
+        }
+    }
+
+    /// Loads machine code, returning its entry address. Multiple loads
+    /// append (so generated functions can call one another by absolute
+    /// address).
+    pub fn load_code(&mut self, code: &[u8]) -> u32 {
+        let at = (self.code_end as usize).div_ceil(8) * 8;
+        self.mem[at..at + code.len()].copy_from_slice(code);
+        self.code_end = (at + code.len()) as u32;
+        at as u32
+    }
+
+    /// Allocates `size` bytes of simulated data memory.
+    pub fn alloc(&mut self, size: usize, align: usize) -> u32 {
+        let at = (self.data_brk as usize).div_ceil(align.max(1)) * align.max(1);
+        self.data_brk = (at + size) as u32;
+        assert!((self.data_brk as usize) < self.mem.len() - 64 * 1024, "sim heap exhausted");
+        at as u32
+    }
+
+    /// Copies bytes into simulated memory.
+    pub fn write(&mut self, addr: u32, data: &[u8]) {
+        self.mem[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads bytes back out of simulated memory.
+    pub fn read(&self, addr: u32, len: usize) -> &[u8] {
+        &self.mem[addr as usize..addr as usize + len]
+    }
+
+    /// Total cycles under the simple model: one per instruction plus
+    /// data-cache stalls (when a cache is attached).
+    pub fn cycles(&self) -> u64 {
+        self.counts.insns + self.dcache.as_ref().map_or(0, |c| c.stall_cycles())
+    }
+
+    fn lw_mem(&mut self, addr: u32) -> Result<u32, Trap> {
+        if addr & 3 != 0 {
+            return Err(Trap::Unaligned(addr));
+        }
+        let a = addr as usize;
+        let b = self
+            .mem
+            .get(a..a + 4)
+            .ok_or(Trap::BadAccess(addr))?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn sw_mem(&mut self, addr: u32, v: u32) -> Result<(), Trap> {
+        if addr & 3 != 0 {
+            return Err(Trap::Unaligned(addr));
+        }
+        let a = addr as usize;
+        self.mem
+            .get_mut(a..a + 4)
+            .ok_or(Trap::BadAccess(addr))?
+            .copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn touch(&mut self, addr: u32) {
+        if let Some(c) = &mut self.dcache {
+            c.access(addr as u64);
+        }
+    }
+
+    /// Calls the function at `entry` with up to four integer arguments in
+    /// `$a0`–`$a3`, returning `$v0`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised during execution.
+    pub fn call(&mut self, entry: u32, args: &[u32], max_steps: u64) -> Result<u32, Trap> {
+        assert!(args.len() <= 4);
+        for (i, &v) in args.iter().enumerate() {
+            self.regs[4 + i] = v;
+        }
+        self.run(entry, max_steps)?;
+        Ok(self.regs[2])
+    }
+
+    /// Calls with double-precision arguments in `$f12`/`$f14`, returning
+    /// the double in `$f0`/`$f1`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised during execution.
+    pub fn call_f64(&mut self, entry: u32, args: &[f64], max_steps: u64) -> Result<f64, Trap> {
+        assert!(args.len() <= 2);
+        for (i, &v) in args.iter().enumerate() {
+            let bits = v.to_bits();
+            self.fregs[12 + i * 2] = bits as u32;
+            self.fregs[12 + i * 2 + 1] = (bits >> 32) as u32;
+        }
+        self.run(entry, max_steps)?;
+        Ok(f64::from_bits(
+            (self.fregs[0] as u64) | ((self.fregs[1] as u64) << 32),
+        ))
+    }
+
+    /// Runs from `entry` until the return to [`HALT`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised during execution.
+    pub fn run(&mut self, entry: u32, max_steps: u64) -> Result<(), Trap> {
+        self.regs[31] = HALT;
+        self.regs[29] = (self.mem.len() - 64) as u32; // stack top
+        self.load_shadow = None;
+        let mut pc = entry;
+        let mut npc = entry.wrapping_add(4);
+        let mut steps = 0u64;
+        while pc != HALT {
+            if steps >= max_steps {
+                return Err(Trap::StepLimit);
+            }
+            steps += 1;
+            if pc < CODE_BASE || pc >= self.code_end || pc & 3 != 0 {
+                return Err(Trap::BadPc(pc));
+            }
+            let word = u32::from_le_bytes(
+                self.mem[pc as usize..pc as usize + 4].try_into().unwrap(),
+            );
+            let next = npc;
+            let mut nnext = npc.wrapping_add(4);
+            self.step(pc, word, npc, &mut nnext)?;
+            pc = next;
+            npc = nnext;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn set(&mut self, r: u8, v: u32) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    #[inline]
+    fn get(&mut self, pc: u32, r: u8) -> Result<u32, Trap> {
+        if self.strict_load_delay {
+            if let Some(shadow) = self.load_shadow {
+                if shadow == r && r != 0 {
+                    return Err(Trap::LoadDelayViolation { pc, reg: r });
+                }
+            }
+        }
+        Ok(self.regs[r as usize])
+    }
+
+    fn fd(&self, f: u8) -> f64 {
+        f64::from_bits((self.fregs[f as usize] as u64) | ((self.fregs[f as usize + 1] as u64) << 32))
+    }
+
+    fn set_fd(&mut self, f: u8, v: f64) {
+        let bits = v.to_bits();
+        self.fregs[f as usize] = bits as u32;
+        self.fregs[f as usize + 1] = (bits >> 32) as u32;
+    }
+
+    fn fs(&self, f: u8) -> f32 {
+        f32::from_bits(self.fregs[f as usize])
+    }
+
+    fn set_fs(&mut self, f: u8, v: f32) {
+        self.fregs[f as usize] = v.to_bits();
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self, pc: u32, word: u32, npc: u32, nnext: &mut u32) -> Result<(), Trap> {
+        self.counts.insns += 1;
+        let op = (word >> 26) as u8;
+        let rs = ((word >> 21) & 31) as u8;
+        let rt = ((word >> 16) & 31) as u8;
+        let rd = ((word >> 11) & 31) as u8;
+        let shamt = ((word >> 6) & 31) as u8;
+        let funct = (word & 63) as u8;
+        let imm = word as u16;
+        let simm = imm as i16 as i32;
+        let bad = || Trap::BadInsn { pc, word };
+        // The load shadow only covers the very next instruction.
+        let shadow = self.load_shadow.take();
+        let mut new_shadow: Option<u8> = None;
+        self.load_shadow = shadow; // visible to get() during this insn
+        match op {
+            0x00 => {
+                // SPECIAL
+                let a = self.get(pc, rs)?;
+                let b = self.get(pc, rt)?;
+                match funct {
+                    0x00 => self.set(rd, b << shamt),
+                    0x02 => self.set(rd, b >> shamt),
+                    0x03 => self.set(rd, ((b as i32) >> shamt) as u32),
+                    0x04 => self.set(rd, b.wrapping_shl(a & 31)),
+                    0x06 => self.set(rd, b.wrapping_shr(a & 31)),
+                    0x07 => self.set(rd, ((b as i32).wrapping_shr(a & 31)) as u32),
+                    0x08 => {
+                        self.counts.branches += 1;
+                        *nnext = a;
+                    }
+                    0x09 => {
+                        self.counts.branches += 1;
+                        self.set(rd, npc.wrapping_add(4));
+                        *nnext = a;
+                    }
+                    0x10 => self.set(rd, self.hi),
+                    0x12 => self.set(rd, self.lo),
+                    0x18 => {
+                        let p = (a as i32 as i64) * (b as i32 as i64);
+                        self.lo = p as u32;
+                        self.hi = (p >> 32) as u32;
+                    }
+                    0x19 => {
+                        let p = (a as u64) * (b as u64);
+                        self.lo = p as u32;
+                        self.hi = (p >> 32) as u32;
+                    }
+                    0x1a => {
+                        let (x, y) = (a as i32, b as i32);
+                        if y == 0 || (x == i32::MIN && y == -1) {
+                            self.lo = 0;
+                            self.hi = x as u32;
+                        } else {
+                            self.lo = x.wrapping_div(y) as u32;
+                            self.hi = x.wrapping_rem(y) as u32;
+                        }
+                    }
+                    0x1b => {
+                        if b == 0 {
+                            self.lo = 0;
+                            self.hi = a;
+                        } else {
+                            self.lo = a / b;
+                            self.hi = a % b;
+                        }
+                    }
+                    0x21 => self.set(rd, a.wrapping_add(b)),
+                    0x23 => self.set(rd, a.wrapping_sub(b)),
+                    0x24 => self.set(rd, a & b),
+                    0x25 => self.set(rd, a | b),
+                    0x26 => self.set(rd, a ^ b),
+                    0x27 => self.set(rd, !(a | b)),
+                    0x2a => self.set(rd, ((a as i32) < (b as i32)) as u32),
+                    0x2b => self.set(rd, (a < b) as u32),
+                    _ => return Err(bad()),
+                }
+            }
+            0x01 => {
+                // REGIMM: bltz/bgez/bal
+                let a = self.get(pc, rs)? as i32;
+                self.counts.branches += 1;
+                let taken = match rt {
+                    0x00 => a < 0,
+                    0x01 => a >= 0,
+                    0x11 => {
+                        // bgezal (bal when rs = $0)
+                        self.set(31, npc.wrapping_add(4));
+                        a >= 0
+                    }
+                    _ => return Err(bad()),
+                };
+                if taken {
+                    *nnext = npc.wrapping_add((simm << 2) as u32);
+                }
+            }
+            0x04..=0x07 => {
+                let a = self.get(pc, rs)?;
+                let b = self.get(pc, rt)?;
+                self.counts.branches += 1;
+                let taken = match op {
+                    0x04 => a == b,
+                    0x05 => a != b,
+                    0x06 => (a as i32) <= 0,
+                    _ => (a as i32) > 0,
+                };
+                if taken {
+                    *nnext = npc.wrapping_add((simm << 2) as u32);
+                }
+            }
+            0x09 => {
+                let a = self.get(pc, rs)?;
+                self.set(rt, a.wrapping_add(simm as u32));
+            }
+            0x0a => {
+                let a = self.get(pc, rs)?;
+                self.set(rt, ((a as i32) < simm) as u32);
+            }
+            0x0b => {
+                let a = self.get(pc, rs)?;
+                self.set(rt, (a < simm as u32) as u32);
+            }
+            0x0c => {
+                let a = self.get(pc, rs)?;
+                self.set(rt, a & u32::from(imm));
+            }
+            0x0d => {
+                let a = self.get(pc, rs)?;
+                self.set(rt, a | u32::from(imm));
+            }
+            0x0e => {
+                let a = self.get(pc, rs)?;
+                self.set(rt, a ^ u32::from(imm));
+            }
+            0x0f => self.set(rt, u32::from(imm) << 16),
+            0x20 | 0x21 | 0x23 | 0x24 | 0x25 => {
+                // Loads.
+                let base = self.get(pc, rs)?;
+                let addr = base.wrapping_add(simm as u32);
+                self.counts.loads += 1;
+                self.touch(addr);
+                let v = match op {
+                    0x20 => {
+                        let b = *self.mem.get(addr as usize).ok_or(Trap::BadAccess(addr))?;
+                        b as i8 as i32 as u32
+                    }
+                    0x24 => {
+                        let b = *self.mem.get(addr as usize).ok_or(Trap::BadAccess(addr))?;
+                        u32::from(b)
+                    }
+                    0x21 | 0x25 => {
+                        if addr & 1 != 0 {
+                            return Err(Trap::Unaligned(addr));
+                        }
+                        let b = self
+                            .mem
+                            .get(addr as usize..addr as usize + 2)
+                            .ok_or(Trap::BadAccess(addr))?;
+                        let h = u16::from_le_bytes(b.try_into().unwrap());
+                        if op == 0x21 {
+                            h as i16 as i32 as u32
+                        } else {
+                            u32::from(h)
+                        }
+                    }
+                    _ => self.lw_mem(addr)?,
+                };
+                self.set(rt, v);
+                new_shadow = Some(rt);
+            }
+            0x28 => {
+                let base = self.get(pc, rs)?;
+                let v = self.get(pc, rt)?;
+                let addr = base.wrapping_add(simm as u32);
+                self.counts.stores += 1;
+                self.touch(addr);
+                *self
+                    .mem
+                    .get_mut(addr as usize)
+                    .ok_or(Trap::BadAccess(addr))? = v as u8;
+            }
+            0x29 => {
+                let base = self.get(pc, rs)?;
+                let v = self.get(pc, rt)?;
+                let addr = base.wrapping_add(simm as u32);
+                if addr & 1 != 0 {
+                    return Err(Trap::Unaligned(addr));
+                }
+                self.counts.stores += 1;
+                self.touch(addr);
+                self.mem
+                    .get_mut(addr as usize..addr as usize + 2)
+                    .ok_or(Trap::BadAccess(addr))?
+                    .copy_from_slice(&(v as u16).to_le_bytes());
+            }
+            0x2b => {
+                let base = self.get(pc, rs)?;
+                let v = self.get(pc, rt)?;
+                let addr = base.wrapping_add(simm as u32);
+                self.counts.stores += 1;
+                self.touch(addr);
+                self.sw_mem(addr, v)?;
+            }
+            0x31 => {
+                // lwc1
+                let base = self.get(pc, rs)?;
+                let addr = base.wrapping_add(simm as u32);
+                self.counts.loads += 1;
+                self.touch(addr);
+                self.fregs[rt as usize] = self.lw_mem(addr)?;
+            }
+            0x39 => {
+                // swc1
+                let base = self.get(pc, rs)?;
+                let addr = base.wrapping_add(simm as u32);
+                self.counts.stores += 1;
+                self.touch(addr);
+                self.sw_mem(addr, self.fregs[rt as usize])?;
+            }
+            0x11 => {
+                // COP1
+                match rs {
+                    0x00 => {
+                        // mfc1 rt, fs
+                        self.set(rt, self.fregs[rd as usize]);
+                        new_shadow = Some(rt);
+                    }
+                    0x04 => {
+                        // mtc1 rt, fs
+                        let v = self.get(pc, rt)?;
+                        self.fregs[rd as usize] = v;
+                    }
+                    0x08 => {
+                        // bc1f/bc1t
+                        self.counts.branches += 1;
+                        let want = rt & 1 == 1;
+                        if self.fcc == want {
+                            *nnext = npc.wrapping_add((simm << 2) as u32);
+                        }
+                    }
+                    16 | 17 => {
+                        let dfmt = rs == 17;
+                        let (fs, ft, fdr) = (rd, rt, shamt);
+                        match funct {
+                            0..=3 => {
+                                if dfmt {
+                                    let (x, y) = (self.fd(fs), self.fd(ft));
+                                    let r = match funct {
+                                        0 => x + y,
+                                        1 => x - y,
+                                        2 => x * y,
+                                        _ => x / y,
+                                    };
+                                    self.set_fd(fdr, r);
+                                } else {
+                                    let (x, y) = (self.fs(fs), self.fs(ft));
+                                    let r = match funct {
+                                        0 => x + y,
+                                        1 => x - y,
+                                        2 => x * y,
+                                        _ => x / y,
+                                    };
+                                    self.set_fs(fdr, r);
+                                }
+                            }
+                            5 => {
+                                if dfmt {
+                                    let v = self.fd(fs).abs();
+                                    self.set_fd(fdr, v);
+                                } else {
+                                    let v = self.fs(fs).abs();
+                                    self.set_fs(fdr, v);
+                                }
+                            }
+                            6 => {
+                                if dfmt {
+                                    let v = self.fd(fs);
+                                    self.set_fd(fdr, v);
+                                } else {
+                                    self.fregs[fdr as usize] = self.fregs[fs as usize];
+                                }
+                            }
+                            7 => {
+                                if dfmt {
+                                    let v = -self.fd(fs);
+                                    self.set_fd(fdr, v);
+                                } else {
+                                    let v = -self.fs(fs);
+                                    self.set_fs(fdr, v);
+                                }
+                            }
+                            13 => {
+                                // trunc.w.fmt
+                                let v = if dfmt {
+                                    self.fd(fs) as i32
+                                } else {
+                                    self.fs(fs) as i32
+                                };
+                                self.fregs[fdr as usize] = v as u32;
+                            }
+                            32 => {
+                                // cvt.s.fmt
+                                let v = if dfmt {
+                                    self.fd(fs) as f32
+                                } else {
+                                    return Err(bad());
+                                };
+                                self.set_fs(fdr, v);
+                            }
+                            33 => {
+                                // cvt.d.s
+                                if dfmt {
+                                    return Err(bad());
+                                }
+                                let v = f64::from(self.fs(fs));
+                                self.set_fd(fdr, v);
+                            }
+                            0x32 | 0x3c | 0x3e => {
+                                let (x, y) = if dfmt {
+                                    (self.fd(fs), self.fd(ft))
+                                } else {
+                                    (f64::from(self.fs(fs)), f64::from(self.fs(ft)))
+                                };
+                                self.fcc = match funct {
+                                    0x32 => x == y,
+                                    0x3c => x < y,
+                                    _ => x <= y,
+                                };
+                            }
+                            _ => return Err(bad()),
+                        }
+                    }
+                    20 => {
+                        // fmt = W: cvt.s.w / cvt.d.w
+                        let (fs, fdr) = (rd, shamt);
+                        let v = self.fregs[fs as usize] as i32;
+                        match funct {
+                            32 => self.set_fs(fdr, v as f32),
+                            33 => self.set_fd(fdr, f64::from(v)),
+                            _ => return Err(bad()),
+                        }
+                    }
+                    _ => return Err(bad()),
+                }
+            }
+            _ => return Err(bad()),
+        }
+        self.load_shadow = new_shadow;
+        Ok(())
+    }
+}
+
+/// Disassembles one instruction word (debugging aid; the paper lists the
+/// lack of a symbolic debugger as VCODE's most critical drawback, §6.2 —
+/// the simulator's decoder gives us one nearly for free).
+pub fn disasm(word: u32) -> String {
+    let op = (word >> 26) as u8;
+    let rs = (word >> 21) & 31;
+    let rt = (word >> 16) & 31;
+    let rd = (word >> 11) & 31;
+    let shamt = (word >> 6) & 31;
+    let funct = (word & 63) as u8;
+    let simm = word as u16 as i16;
+    match op {
+        0x00 => match funct {
+            0x00 if word == 0 => "nop".to_owned(),
+            0x00 => format!("sll ${rd}, ${rt}, {shamt}"),
+            0x02 => format!("srl ${rd}, ${rt}, {shamt}"),
+            0x03 => format!("sra ${rd}, ${rt}, {shamt}"),
+            0x04 => format!("sllv ${rd}, ${rt}, ${rs}"),
+            0x06 => format!("srlv ${rd}, ${rt}, ${rs}"),
+            0x07 => format!("srav ${rd}, ${rt}, ${rs}"),
+            0x08 => format!("jr ${rs}"),
+            0x09 => format!("jalr ${rd}, ${rs}"),
+            0x10 => format!("mfhi ${rd}"),
+            0x12 => format!("mflo ${rd}"),
+            0x18 => format!("mult ${rs}, ${rt}"),
+            0x19 => format!("multu ${rs}, ${rt}"),
+            0x1a => format!("div ${rs}, ${rt}"),
+            0x1b => format!("divu ${rs}, ${rt}"),
+            0x21 => format!("addu ${rd}, ${rs}, ${rt}"),
+            0x23 => format!("subu ${rd}, ${rs}, ${rt}"),
+            0x24 => format!("and ${rd}, ${rs}, ${rt}"),
+            0x25 => format!("or ${rd}, ${rs}, ${rt}"),
+            0x26 => format!("xor ${rd}, ${rs}, ${rt}"),
+            0x27 => format!("nor ${rd}, ${rs}, ${rt}"),
+            0x2a => format!("slt ${rd}, ${rs}, ${rt}"),
+            0x2b => format!("sltu ${rd}, ${rs}, ${rt}"),
+            _ => format!(".word {word:#010x}"),
+        },
+        0x01 => match rt {
+            0 => format!("bltz ${rs}, {simm}"),
+            1 => format!("bgez ${rs}, {simm}"),
+            0x11 => format!("bal {simm}"),
+            _ => format!(".word {word:#010x}"),
+        },
+        0x04 => format!("beq ${rs}, ${rt}, {simm}"),
+        0x05 => format!("bne ${rs}, ${rt}, {simm}"),
+        0x06 => format!("blez ${rs}, {simm}"),
+        0x07 => format!("bgtz ${rs}, {simm}"),
+        0x09 => format!("addiu ${rt}, ${rs}, {simm}"),
+        0x0a => format!("slti ${rt}, ${rs}, {simm}"),
+        0x0b => format!("sltiu ${rt}, ${rs}, {simm}"),
+        0x0c => format!("andi ${rt}, ${rs}, {:#x}", word & 0xffff),
+        0x0d => format!("ori ${rt}, ${rs}, {:#x}", word & 0xffff),
+        0x0e => format!("xori ${rt}, ${rs}, {:#x}", word & 0xffff),
+        0x0f => format!("lui ${rt}, {:#x}", word & 0xffff),
+        0x20 => format!("lb ${rt}, {simm}(${rs})"),
+        0x21 => format!("lh ${rt}, {simm}(${rs})"),
+        0x23 => format!("lw ${rt}, {simm}(${rs})"),
+        0x24 => format!("lbu ${rt}, {simm}(${rs})"),
+        0x25 => format!("lhu ${rt}, {simm}(${rs})"),
+        0x28 => format!("sb ${rt}, {simm}(${rs})"),
+        0x29 => format!("sh ${rt}, {simm}(${rs})"),
+        0x2b => format!("sw ${rt}, {simm}(${rs})"),
+        0x31 => format!("lwc1 $f{rt}, {simm}(${rs})"),
+        0x39 => format!("swc1 $f{rt}, {simm}(${rs})"),
+        0x11 => format!("cop1 {word:#010x}"),
+        _ => format!(".word {word:#010x}"),
+    }
+}
+
+/// Disassembles a code buffer, one line per word.
+pub fn disasm_all(code: &[u8]) -> String {
+    code.chunks_exact(4)
+        .enumerate()
+        .map(|(i, w)| {
+            let word = u32::from_le_bytes(w.try_into().unwrap());
+            format!("{:4x}:  {}\n", i * 4, disasm(word))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-assembled: addiu a0, a0, 1; or v0, a0, $0; jr ra; nop.
+    const PLUS1: [u32; 4] = [0x2484_0001, 0x0080_1025, 0x03e0_0008, 0x0000_0000];
+
+    fn code_bytes(words: &[u32]) -> Vec<u8> {
+        words.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn runs_hand_assembled_plus1() {
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&code_bytes(&PLUS1));
+        assert_eq!(m.call(entry, &[41], 100).unwrap(), 42);
+        assert_eq!(m.counts.insns, 4, "jr's delay slot nop executes");
+    }
+
+    #[test]
+    fn delay_slot_executes_before_branch_target() {
+        // beq $0,$0,+2 (to the jr); addiu v0,$0,7 (delay slot: executes!);
+        // addiu v0,v0,100 (skipped); jr ra; nop
+        let code = [
+            0x1000_0002u32,         // beq $0, $0, +2
+            0x2402_0007,            // addiu v0, $0, 7
+            0x2442_0064,            // addiu v0, v0, 100 (skipped)
+            0x03e0_0008,            // jr ra
+            0x0000_0000,
+        ];
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&code_bytes(&code));
+        assert_eq!(m.call(entry, &[], 100).unwrap(), 7);
+    }
+
+    #[test]
+    fn bal_links_past_delay_slot() {
+        // bal +2; nop; jr ra (return to HALT); [target] addiu v0,$0,9; jr ra; nop
+        let code = [
+            0x0411_0002u32, // bal +2
+            0x0000_0000,    // delay
+            0x03e0_0008,    // jr ra  -- after call returns here? No: ra was
+            0x2402_0009,    // addiu v0, $0, 9   <- bal target
+            0x03e0_0008,    // jr ra (ra = insn after bal's delay = insn 2)
+            0x0000_0000,
+        ];
+        // Call sequence: bal sets ra to insn 2 (jr ra with original HALT
+        // clobbered? No: bal overwrites $ra). Insn 2 jr $ra jumps to
+        // ra=insn2... careful: bal set ra=insn2, so insn4's jr ra returns
+        // to insn2, and insn2's jr ra jumps to ra=insn2 — infinite loop.
+        // Instead check the link register value directly.
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&code_bytes(&code));
+        let _ = m.run(entry, 20);
+        assert_eq!(m.regs[31], entry + 8, "bal links to after its delay slot");
+        assert_eq!(m.regs[2], 9, "fell through to the target block");
+    }
+
+    #[test]
+    fn memory_and_traps() {
+        // lw v0, 0(a0); nop; jr ra; nop
+        let code = [0x8c82_0000u32, 0, 0x03e0_0008, 0];
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&code_bytes(&code));
+        let addr = m.alloc(8, 8);
+        m.write(addr, &0xdead_beefu32.to_le_bytes());
+        assert_eq!(m.call(entry, &[addr], 100).unwrap(), 0xdead_beef);
+        // Unaligned.
+        assert_eq!(m.call(entry, &[addr + 1], 100), Err(Trap::Unaligned(addr + 1)));
+        // Out of range.
+        assert!(matches!(
+            m.call(entry, &[0xfff_fff0], 100),
+            Err(Trap::BadAccess(_))
+        ));
+    }
+
+    #[test]
+    fn strict_load_delay_catches_violations() {
+        // lw v0, 0(a0); addu v0, v0, v0 (uses v0 in the shadow!)
+        let code = [0x8c82_0000u32, 0x0042_1021, 0x03e0_0008, 0];
+        let mut m = Machine::new(1 << 20);
+        m.strict_load_delay = true;
+        let entry = m.load_code(&code_bytes(&code));
+        let addr = m.alloc(8, 8);
+        assert!(matches!(
+            m.call(entry, &[addr], 100),
+            Err(Trap::LoadDelayViolation { .. })
+        ));
+        // With a nop between, fine.
+        let code = [0x8c82_0000u32, 0, 0x0042_1021, 0x03e0_0008, 0];
+        let entry = m.load_code(&code_bytes(&code));
+        assert_eq!(m.call(entry, &[addr], 100).unwrap(), 0);
+    }
+
+    #[test]
+    fn step_limit_stops_runaway() {
+        // beq $0,$0,-1: infinite loop.
+        let code = [0x1000_ffffu32, 0];
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&code_bytes(&code));
+        assert_eq!(m.call(entry, &[], 1000), Err(Trap::StepLimit));
+    }
+
+    #[test]
+    fn bad_instruction_traps() {
+        let code = [0xffff_ffffu32];
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&code_bytes(&code));
+        assert!(matches!(
+            m.call(entry, &[], 10),
+            Err(Trap::BadInsn { .. })
+        ));
+    }
+
+    #[test]
+    fn disasm_smoke() {
+        assert_eq!(disasm(0x2484_0001), "addiu $4, $4, 1");
+        assert_eq!(disasm(0x03e0_0008), "jr $31");
+        assert_eq!(disasm(0), "nop");
+        assert!(disasm_all(&code_bytes(&PLUS1)).contains("addiu"));
+    }
+
+    #[test]
+    fn dcache_counts_and_flush() {
+        let code = [0x8c82_0000u32, 0, 0x03e0_0008, 0];
+        let mut m = Machine::new(1 << 20);
+        m.dcache = Some(Cache::new(1024, 16, 10));
+        let entry = m.load_code(&code_bytes(&code));
+        let addr = m.alloc(8, 16);
+        m.call(entry, &[addr], 100).unwrap();
+        assert_eq!(m.dcache.as_ref().unwrap().misses, 1);
+        m.call(entry, &[addr], 100).unwrap();
+        assert_eq!(m.dcache.as_ref().unwrap().hits, 1);
+        let base = m.counts.insns;
+        assert_eq!(m.cycles(), base + 10);
+    }
+}

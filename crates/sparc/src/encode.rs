@@ -1,0 +1,285 @@
+//! SPARC V8 instruction encoders.
+
+use vcode::buf::CodeBuffer;
+
+/// Conventional register numbers.
+pub mod r {
+    #![allow(missing_docs)]
+    pub const G0: u8 = 0;
+    pub const G1: u8 = 1;
+    pub const G2: u8 = 2;
+    pub const G3: u8 = 3;
+    pub const G4: u8 = 4;
+    pub const O0: u8 = 8;
+    pub const O7: u8 = 15; // call link
+    pub const SP: u8 = 14; // %o6
+    pub const L0: u8 = 16;
+    pub const I0: u8 = 24;
+    pub const FP: u8 = 30; // %i6
+    pub const I7: u8 = 31; // return address
+}
+
+/// `op3` codes for format-3 arithmetic (op = 2).
+pub mod op3 {
+    #![allow(missing_docs)]
+    pub const ADD: u8 = 0x00;
+    pub const AND: u8 = 0x01;
+    pub const OR: u8 = 0x02;
+    pub const XOR: u8 = 0x03;
+    pub const SUB: u8 = 0x04;
+    pub const XNOR: u8 = 0x07;
+    pub const ADDX: u8 = 0x08;
+    pub const UMUL: u8 = 0x0a;
+    pub const SMUL: u8 = 0x0b;
+    pub const UDIV: u8 = 0x0e;
+    pub const SDIV: u8 = 0x0f;
+    pub const SUBCC: u8 = 0x14;
+    pub const SLL: u8 = 0x25;
+    pub const SRL: u8 = 0x26;
+    pub const SRA: u8 = 0x27;
+    pub const RDY: u8 = 0x28;
+    pub const WRY: u8 = 0x30;
+    pub const JMPL: u8 = 0x38;
+    pub const SAVE: u8 = 0x3c;
+    pub const RESTORE: u8 = 0x3d;
+}
+
+/// `op3` codes for memory instructions (op = 3).
+pub mod mem {
+    #![allow(missing_docs)]
+    pub const LD: u8 = 0x00;
+    pub const LDUB: u8 = 0x01;
+    pub const LDUH: u8 = 0x02;
+    pub const LDSB: u8 = 0x09;
+    pub const LDSH: u8 = 0x0a;
+    pub const ST: u8 = 0x04;
+    pub const STB: u8 = 0x05;
+    pub const STH: u8 = 0x06;
+    pub const LDF: u8 = 0x20;
+    pub const STF: u8 = 0x24;
+}
+
+/// Integer condition codes for `Bicc`.
+pub mod cond {
+    #![allow(missing_docs)]
+    pub const A: u8 = 8;
+    pub const E: u8 = 1;
+    pub const NE: u8 = 9;
+    pub const L: u8 = 3;
+    pub const LE: u8 = 2;
+    pub const G: u8 = 10;
+    pub const GE: u8 = 11;
+    pub const CS: u8 = 5; // unsigned <
+    pub const LEU: u8 = 4;
+    pub const GU: u8 = 12;
+    pub const CC: u8 = 13; // unsigned >=
+}
+
+/// FP condition codes for `FBfcc`.
+pub mod fcond {
+    #![allow(missing_docs)]
+    pub const NE: u8 = 1;
+    pub const L: u8 = 4;
+    pub const G: u8 = 6;
+    pub const E: u8 = 9;
+    pub const GE: u8 = 11;
+    pub const LE: u8 = 13;
+}
+
+/// `opf` codes for FPop1 (op3 = 0x34).
+pub mod opf {
+    #![allow(missing_docs)]
+    pub const FMOVS: u16 = 0x001;
+    pub const FNEGS: u16 = 0x005;
+    pub const FABSS: u16 = 0x009;
+    pub const FSQRTS: u16 = 0x029;
+    pub const FSQRTD: u16 = 0x02a;
+    pub const FADDS: u16 = 0x041;
+    pub const FADDD: u16 = 0x042;
+    pub const FSUBS: u16 = 0x045;
+    pub const FSUBD: u16 = 0x046;
+    pub const FMULS: u16 = 0x049;
+    pub const FMULD: u16 = 0x04a;
+    pub const FDIVS: u16 = 0x04d;
+    pub const FDIVD: u16 = 0x04e;
+    pub const FITOS: u16 = 0x0c4;
+    pub const FDTOS: u16 = 0x0c6;
+    pub const FITOD: u16 = 0x0c8;
+    pub const FSTOD: u16 = 0x0c9;
+    pub const FSTOI: u16 = 0x0d1;
+    pub const FDTOI: u16 = 0x0d2;
+    pub const FCMPS: u16 = 0x051;
+    pub const FCMPD: u16 = 0x052;
+}
+
+/// Format 3, register-register: `op3 rd, rs1, rs2`.
+pub fn f3_rr(b: &mut CodeBuffer<'_>, op3v: u8, rd: u8, rs1: u8, rs2: u8) {
+    b.put_u32(
+        (2u32 << 30)
+            | (u32::from(rd) << 25)
+            | (u32::from(op3v) << 19)
+            | (u32::from(rs1) << 14)
+            | u32::from(rs2),
+    );
+}
+
+/// Format 3, register-immediate: `op3 rd, rs1, simm13`.
+pub fn f3_ri(b: &mut CodeBuffer<'_>, op3v: u8, rd: u8, rs1: u8, simm13: i16) {
+    debug_assert!((-4096..4096).contains(&i32::from(simm13)));
+    b.put_u32(
+        (2u32 << 30)
+            | (u32::from(rd) << 25)
+            | (u32::from(op3v) << 19)
+            | (u32::from(rs1) << 14)
+            | (1 << 13)
+            | (simm13 as u32 & 0x1fff),
+    );
+}
+
+/// Memory op, register offset.
+pub fn mem_rr(b: &mut CodeBuffer<'_>, op3v: u8, rd: u8, base: u8, idx: u8) {
+    b.put_u32(
+        (3u32 << 30)
+            | (u32::from(rd) << 25)
+            | (u32::from(op3v) << 19)
+            | (u32::from(base) << 14)
+            | u32::from(idx),
+    );
+}
+
+/// Memory op, immediate offset.
+pub fn mem_ri(b: &mut CodeBuffer<'_>, op3v: u8, rd: u8, base: u8, simm13: i16) {
+    b.put_u32(
+        (3u32 << 30)
+            | (u32::from(rd) << 25)
+            | (u32::from(op3v) << 19)
+            | (u32::from(base) << 14)
+            | (1 << 13)
+            | (simm13 as u32 & 0x1fff),
+    );
+}
+
+/// `sethi %hi(imm22 << 10), rd`.
+pub fn sethi(b: &mut CodeBuffer<'_>, rd: u8, imm22: u32) {
+    b.put_u32((u32::from(rd) << 25) | (4 << 22) | (imm22 & 0x3f_ffff));
+}
+
+/// `nop` (`sethi 0, %g0`).
+pub fn nop(b: &mut CodeBuffer<'_>) {
+    sethi(b, 0, 0);
+}
+
+/// Integer conditional branch, word displacement relative to the branch.
+pub fn bicc(b: &mut CodeBuffer<'_>, cond: u8, disp22: i32) {
+    b.put_u32((u32::from(cond) << 25) | (2 << 22) | (disp22 as u32 & 0x3f_ffff));
+}
+
+/// FP conditional branch.
+pub fn fbfcc(b: &mut CodeBuffer<'_>, cond: u8, disp22: i32) {
+    b.put_u32((u32::from(cond) << 25) | (6 << 22) | (disp22 as u32 & 0x3f_ffff));
+}
+
+/// `call disp30` (pc-relative, links to `%o7`).
+pub fn call(b: &mut CodeBuffer<'_>, disp30: i32) {
+    b.put_u32((1u32 << 30) | (disp30 as u32 & 0x3fff_ffff));
+}
+
+/// FPop1 instruction.
+pub fn fpop1(b: &mut CodeBuffer<'_>, opf: u16, rd: u8, rs1: u8, rs2: u8) {
+    b.put_u32(
+        (2u32 << 30)
+            | (u32::from(rd) << 25)
+            | (0x34u32 << 19)
+            | (u32::from(rs1) << 14)
+            | (u32::from(opf) << 5)
+            | u32::from(rs2),
+    );
+}
+
+/// FPop2 (compares).
+pub fn fpop2(b: &mut CodeBuffer<'_>, opf: u16, rs1: u8, rs2: u8) {
+    b.put_u32(
+        (2u32 << 30) | (0x35u32 << 19) | (u32::from(rs1) << 14) | (u32::from(opf) << 5)
+            | u32::from(rs2),
+    );
+}
+
+/// Loads a 32-bit constant into `rd` with `sethi`/`or` (1–2 insns).
+pub fn set32(b: &mut CodeBuffer<'_>, rd: u8, v: u32) {
+    if (v as i32) >= -4096 && (v as i32) < 4096 {
+        f3_ri(b, op3::OR, rd, r::G0, v as i32 as i16);
+    } else if v & 0x3ff == 0 {
+        sethi(b, rd, v >> 10);
+    } else {
+        sethi(b, rd, v >> 10);
+        f3_ri(b, op3::OR, rd, rd, (v & 0x3ff) as i16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(f: impl FnOnce(&mut CodeBuffer<'_>)) -> u32 {
+        let mut m = [0u8; 16];
+        let mut b = CodeBuffer::new(&mut m);
+        f(&mut b);
+        b.read_u32(0)
+    }
+
+    #[test]
+    fn add_rr() {
+        // add %o0, %o1, %o2 : op=2 rd=10 op3=0 rs1=8 rs2=9
+        let w = one(|b| f3_rr(b, op3::ADD, 10, 8, 9));
+        assert_eq!(w, (2 << 30) | (10 << 25) | (8 << 14) | 9);
+    }
+
+    #[test]
+    fn addi_negative_imm() {
+        let w = one(|b| f3_ri(b, op3::ADD, r::SP, r::SP, -96));
+        assert_eq!(w & 0x1fff, (-96i32 as u32) & 0x1fff);
+        assert_eq!((w >> 13) & 1, 1);
+    }
+
+    #[test]
+    fn save_restore_shapes() {
+        let w = one(|b| f3_ri(b, op3::SAVE, r::SP, r::SP, -96));
+        assert_eq!((w >> 19) & 0x3f, 0x3c);
+        let w = one(|b| f3_rr(b, op3::RESTORE, r::G0, r::G0, r::G0));
+        assert_eq!((w >> 19) & 0x3f, 0x3d);
+    }
+
+    #[test]
+    fn sethi_or_set32() {
+        let mut m = [0u8; 16];
+        let mut b = CodeBuffer::new(&mut m);
+        set32(&mut b, r::G1, 0x12345678);
+        assert_eq!(b.len(), 8);
+        let hi = b.read_u32(0);
+        assert_eq!(hi >> 25 & 31, 1);
+        assert_eq!(hi & 0x3f_ffff, 0x12345678 >> 10);
+        let mut m = [0u8; 16];
+        let mut b = CodeBuffer::new(&mut m);
+        set32(&mut b, r::G1, 100);
+        assert_eq!(b.len(), 4, "small constants are one or");
+    }
+
+    #[test]
+    fn branch_and_call() {
+        let w = one(|b| bicc(b, cond::NE, -2));
+        assert_eq!(w >> 22 & 7, 2);
+        assert_eq!(w & 0x3f_ffff, (-2i32 as u32) & 0x3f_ffff);
+        let w = one(|b| call(b, 16));
+        assert_eq!(w >> 30, 1);
+        assert_eq!(w & 0x3fff_ffff, 16);
+    }
+
+    #[test]
+    fn fp_forms() {
+        let w = one(|b| fpop1(b, opf::FADDD, 0, 2, 4));
+        assert_eq!((w >> 19) & 0x3f, 0x34);
+        assert_eq!((w >> 5) & 0x1ff, 0x042);
+        let w = one(|b| fpop2(b, opf::FCMPD, 0, 2));
+        assert_eq!((w >> 19) & 0x3f, 0x35);
+    }
+}

@@ -1,0 +1,309 @@
+//! Lexer for the C subset.
+
+use std::fmt;
+
+/// A token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// Character literal (value).
+    Char(i64),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Int,
+    Long,
+    Char,
+    Double,
+    Void,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    Do,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Float(v) => write!(f, "float {v}"),
+            Tok::Char(v) => write!(f, "char {v}"),
+            Tok::Kw(k) => write!(f, "keyword `{k:?}`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexical or syntax error with a line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Multi-character punctuators, longest first.
+const PUNCTS: [&str; 28] = [
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "++", "--", "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|",
+];
+const SINGLE: [&str; 10] = ["(", ")", "{", "}", "[", "]", ";", ",", "^", "~"];
+
+/// Tokenizes `src`, returning tokens with their line numbers.
+///
+/// # Errors
+///
+/// [`ParseError`] on malformed literals or stray characters.
+pub fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                if b[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            if i + 1 >= b.len() {
+                return Err(ParseError {
+                    line,
+                    msg: "unterminated comment".into(),
+                });
+            }
+            i += 2;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let tok = match word {
+                "int" => Tok::Kw(Kw::Int),
+                "long" => Tok::Kw(Kw::Long),
+                "char" => Tok::Kw(Kw::Char),
+                "double" => Tok::Kw(Kw::Double),
+                "void" => Tok::Kw(Kw::Void),
+                "if" => Tok::Kw(Kw::If),
+                "else" => Tok::Kw(Kw::Else),
+                "while" => Tok::Kw(Kw::While),
+                "for" => Tok::Kw(Kw::For),
+                "return" => Tok::Kw(Kw::Return),
+                "break" => Tok::Kw(Kw::Break),
+                "continue" => Tok::Kw(Kw::Continue),
+                "do" => Tok::Kw(Kw::Do),
+                _ => Tok::Ident(word.to_owned()),
+            };
+            out.push((tok, line));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            // Hex.
+            if c == b'0' && i + 1 < b.len() && (b[i + 1] | 32) == b'x' {
+                i += 2;
+                while i < b.len() && b[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let v = i64::from_str_radix(&src[start + 2..i], 16).map_err(|e| ParseError {
+                    line,
+                    msg: format!("bad hex literal: {e}"),
+                })?;
+                out.push((Tok::Int(v), line));
+                continue;
+            }
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            let is_float = i < b.len() && b[i] == b'.';
+            if is_float {
+                i += 1;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let v: f64 = src[start..i].parse().map_err(|e| ParseError {
+                    line,
+                    msg: format!("bad float literal: {e}"),
+                })?;
+                out.push((Tok::Float(v), line));
+            } else {
+                let v: i64 = src[start..i].parse().map_err(|e| ParseError {
+                    line,
+                    msg: format!("bad integer literal: {e}"),
+                })?;
+                out.push((Tok::Int(v), line));
+            }
+            continue;
+        }
+        if c == b'\'' {
+            // Character literal (no escapes beyond \n, \t, \0, \\, \').
+            let (v, len) = match b.get(i + 1) {
+                Some(b'\\') => {
+                    let esc = *b.get(i + 2).ok_or(ParseError {
+                        line,
+                        msg: "unterminated char literal".into(),
+                    })?;
+                    let v = match esc {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'0' => 0,
+                        b'\\' => b'\\',
+                        b'\'' => b'\'',
+                        other => {
+                            return Err(ParseError {
+                                line,
+                                msg: format!("unknown escape \\{}", other as char),
+                            })
+                        }
+                    };
+                    (v, 4)
+                }
+                Some(&ch) => (ch, 3),
+                None => {
+                    return Err(ParseError {
+                        line,
+                        msg: "unterminated char literal".into(),
+                    })
+                }
+            };
+            if b.get(i + len - 1) != Some(&b'\'') {
+                return Err(ParseError {
+                    line,
+                    msg: "unterminated char literal".into(),
+                });
+            }
+            out.push((Tok::Char(i64::from(v)), line));
+            i += len;
+            continue;
+        }
+        // Punctuators, longest match first.
+        let rest = &src[i..];
+        if let Some(p) = PUNCTS
+            .iter()
+            .chain(SINGLE.iter())
+            .find(|p| rest.starts_with(**p))
+        {
+            out.push((Tok::Punct(p), line));
+            i += p.len();
+            continue;
+        }
+        return Err(ParseError {
+            line,
+            msg: format!("stray character {:?}", c as char),
+        });
+    }
+    out.push((Tok::Eof, line));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_idents_numbers() {
+        let toks = lex("int x = 42; double y = 1.5;").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|(t, _)| t).collect();
+        assert_eq!(kinds[0], &Tok::Kw(Kw::Int));
+        assert_eq!(kinds[1], &Tok::Ident("x".into()));
+        assert_eq!(kinds[2], &Tok::Punct("="));
+        assert_eq!(kinds[3], &Tok::Int(42));
+        assert_eq!(kinds[5], &Tok::Kw(Kw::Double));
+        assert_eq!(kinds[7], &Tok::Punct("="));
+        assert_eq!(kinds[8], &Tok::Float(1.5));
+    }
+
+    #[test]
+    fn multichar_operators_win() {
+        let toks = lex("a <= b == c << 2 && d").unwrap();
+        let ops: Vec<&Tok> = toks
+            .iter()
+            .map(|(t, _)| t)
+            .filter(|t| matches!(t, Tok::Punct(_)))
+            .collect();
+        assert_eq!(
+            ops,
+            [
+                &Tok::Punct("<="),
+                &Tok::Punct("=="),
+                &Tok::Punct("<<"),
+                &Tok::Punct("&&")
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("x // comment\n/* multi\nline */ y").unwrap();
+        assert_eq!(toks[0].1, 1);
+        assert_eq!(toks[1].1, 3, "y is on line 3");
+    }
+
+    #[test]
+    fn hex_and_char_literals() {
+        let toks = lex("0xff 'A' '\\n' '\\0'").unwrap();
+        assert_eq!(toks[0].0, Tok::Int(255));
+        assert_eq!(toks[1].0, Tok::Char(65));
+        assert_eq!(toks[2].0, Tok::Char(10));
+        assert_eq!(toks[3].0, Tok::Char(0));
+    }
+
+    #[test]
+    fn errors_have_lines() {
+        let e = lex("a\nb\n@").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(lex("'x").is_err());
+        assert!(lex("/* never ends").is_err());
+    }
+}

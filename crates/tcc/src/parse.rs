@@ -1,0 +1,663 @@
+//! Recursive-descent parser for the C subset.
+
+use crate::lex::{lex, Kw, ParseError, Tok};
+
+/// A C type in the subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CType {
+    /// 32-bit signed `int`.
+    Int,
+    /// 64-bit signed `long`.
+    Long,
+    /// `char` (signed, promoted to `int` in expressions).
+    Char,
+    /// `double`.
+    Double,
+    /// `void` (returns only).
+    Void,
+    /// Pointer.
+    Ptr(Box<CType>),
+    /// Fixed-size local array (decays to a pointer in expressions).
+    Arr(Box<CType>, usize),
+}
+
+impl CType {
+    /// Size in bytes (on the 64-bit native target).
+    pub fn size(&self) -> usize {
+        match self {
+            CType::Int => 4,
+            CType::Long => 8,
+            CType::Char => 1,
+            CType::Double => 8,
+            CType::Void => 0,
+            CType::Ptr(_) => 8,
+            CType::Arr(elem, n) => elem.size() * n,
+        }
+    }
+
+    /// `true` for the integer family (including pointers).
+    pub fn is_integral(&self) -> bool {
+        matches!(self, CType::Int | CType::Long | CType::Char)
+    }
+
+    /// `true` for pointers.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, CType::Ptr(_))
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Variable reference.
+    Var(String),
+    /// Assignment `lhs = rhs`.
+    Assign(Box<Expr>, Box<Expr>),
+    /// Compound assignment `lhs op= rhs`.
+    OpAssign(&'static str, Box<Expr>, Box<Expr>),
+    /// Binary operation.
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+    /// Unary operation (`-`, `!`, `~`).
+    Un(&'static str, Box<Expr>),
+    /// Pre-increment/decrement.
+    PreIncDec(&'static str, Box<Expr>),
+    /// Post-increment/decrement.
+    PostIncDec(&'static str, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Array indexing `base[idx]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Pointer dereference.
+    Deref(Box<Expr>),
+    /// Address-of.
+    Addr(Box<Expr>),
+    /// Cast `(type) expr`.
+    Cast(CType, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Declarations `type a = e, b;`.
+    Decl(Vec<(CType, String, Option<Expr>)>),
+    /// `if` / `else`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while` loop.
+    While(Expr, Box<Stmt>),
+    /// `do … while`.
+    DoWhile(Box<Stmt>, Expr),
+    /// `for` loop.
+    For(
+        Option<Box<Stmt>>,
+        Option<Expr>,
+        Option<Expr>,
+        Box<Stmt>,
+    ),
+    /// `return`.
+    Return(Option<Expr>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// `{ … }`.
+    Block(Vec<Stmt>),
+    /// `;`.
+    Empty,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    /// Return type.
+    pub ret: CType,
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(CType, String)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// Parses a translation unit.
+///
+/// # Errors
+///
+/// [`ParseError`] on any lexical or syntactic problem.
+pub fn parse(src: &str) -> Result<Vec<FnDef>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut fns = Vec::new();
+    while p.peek() != &Tok::Eof {
+        fns.push(p.fndef()?);
+    }
+    Ok(fns)
+}
+
+struct Parser {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].0
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].1
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn expect(&mut self, p: &'static str) -> Result<(), ParseError> {
+        if self.peek() == &Tok::Punct(p) {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, p: &'static str) -> bool {
+        if self.peek() == &Tok::Punct(p) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Kw(Kw::Int | Kw::Long | Kw::Char | Kw::Double | Kw::Void)
+        )
+    }
+
+    fn ty(&mut self) -> Result<CType, ParseError> {
+        let base = match self.next() {
+            Tok::Kw(Kw::Int) => CType::Int,
+            Tok::Kw(Kw::Long) => CType::Long,
+            Tok::Kw(Kw::Char) => CType::Char,
+            Tok::Kw(Kw::Double) => CType::Double,
+            Tok::Kw(Kw::Void) => CType::Void,
+            other => return Err(self.err(format!("expected type, found {other}"))),
+        };
+        let mut t = base;
+        while self.eat("*") {
+            t = CType::Ptr(Box::new(t));
+        }
+        Ok(t)
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn fndef(&mut self) -> Result<FnDef, ParseError> {
+        let line = self.line();
+        let ret = self.ty()?;
+        let name = self.ident()?;
+        self.expect("(")?;
+        let mut params = Vec::new();
+        if !self.eat(")") {
+            if self.peek() == &Tok::Kw(Kw::Void) && self.peek2() == &Tok::Punct(")") {
+                self.next();
+                self.next();
+            } else {
+                loop {
+                    let t = self.ty()?;
+                    let n = self.ident()?;
+                    params.push((t, n));
+                    if self.eat(")") {
+                        break;
+                    }
+                    self.expect(",")?;
+                }
+            }
+        }
+        self.expect("{")?;
+        let mut body = Vec::new();
+        while !self.eat("}") {
+            body.push(self.stmt()?);
+        }
+        Ok(FnDef {
+            ret,
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.is_type_start() {
+            return self.decl();
+        }
+        match self.peek().clone() {
+            Tok::Punct(";") => {
+                self.next();
+                Ok(Stmt::Empty)
+            }
+            Tok::Punct("{") => {
+                self.next();
+                let mut body = Vec::new();
+                while !self.eat("}") {
+                    body.push(self.stmt()?);
+                }
+                Ok(Stmt::Block(body))
+            }
+            Tok::Kw(Kw::If) => {
+                self.next();
+                self.expect("(")?;
+                let cond = self.expr()?;
+                self.expect(")")?;
+                let then = Box::new(self.stmt()?);
+                let els = if self.peek() == &Tok::Kw(Kw::Else) {
+                    self.next();
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Tok::Kw(Kw::While) => {
+                self.next();
+                self.expect("(")?;
+                let cond = self.expr()?;
+                self.expect(")")?;
+                Ok(Stmt::While(cond, Box::new(self.stmt()?)))
+            }
+            Tok::Kw(Kw::Do) => {
+                self.next();
+                let body = Box::new(self.stmt()?);
+                if self.peek() != &Tok::Kw(Kw::While) {
+                    return Err(self.err("expected `while` after do-body"));
+                }
+                self.next();
+                self.expect("(")?;
+                let cond = self.expr()?;
+                self.expect(")")?;
+                self.expect(";")?;
+                Ok(Stmt::DoWhile(body, cond))
+            }
+            Tok::Kw(Kw::For) => {
+                self.next();
+                self.expect("(")?;
+                let init = if self.eat(";") {
+                    None
+                } else if self.is_type_start() {
+                    Some(Box::new(self.decl()?))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(";")?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if self.peek() == &Tok::Punct(";") {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(";")?;
+                let step = if self.peek() == &Tok::Punct(")") {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(")")?;
+                Ok(Stmt::For(init, cond, step, Box::new(self.stmt()?)))
+            }
+            Tok::Kw(Kw::Return) => {
+                self.next();
+                if self.eat(";") {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(";")?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Tok::Kw(Kw::Break) => {
+                self.next();
+                self.expect(";")?;
+                Ok(Stmt::Break)
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.next();
+                self.expect(";")?;
+                Ok(Stmt::Continue)
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect(";")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn decl(&mut self) -> Result<Stmt, ParseError> {
+        let base = self.ty()?;
+        if base == CType::Void {
+            return Err(self.err("cannot declare a void variable"));
+        }
+        let mut decls = Vec::new();
+        loop {
+            // Each declarator may add further pointer levels: int *p, x;
+            let mut t = base.clone();
+            while self.eat("*") {
+                t = CType::Ptr(Box::new(t));
+            }
+            let name = self.ident()?;
+            if self.eat("[") {
+                let n = match self.next() {
+                    Tok::Int(v) if v > 0 && v < 1 << 20 => v as usize,
+                    other => {
+                        return Err(self.err(format!(
+                            "array size must be a positive integer literal, found {other}"
+                        )))
+                    }
+                };
+                self.expect("]")?;
+                t = CType::Arr(Box::new(t), n);
+            }
+            let init = if self.eat("=") {
+                Some(self.assignment()?)
+            } else {
+                None
+            };
+            decls.push((t, name, init));
+            if self.eat(";") {
+                break;
+            }
+            self.expect(",")?;
+        }
+        Ok(Stmt::Decl(decls))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.binary(0)?;
+        for (tok, op) in [
+            ("=", ""),
+            ("+=", "+"),
+            ("-=", "-"),
+            ("*=", "*"),
+            ("/=", "/"),
+            ("%=", "%"),
+            ("<<=", "<<"),
+            (">>=", ">>"),
+        ] {
+            if self.peek() == &Tok::Punct(tok) {
+                self.next();
+                let rhs = self.assignment()?;
+                return Ok(if op.is_empty() {
+                    Expr::Assign(Box::new(lhs), Box::new(rhs))
+                } else {
+                    Expr::OpAssign(op, Box::new(lhs), Box::new(rhs))
+                });
+            }
+        }
+        Ok(lhs)
+    }
+
+    /// Precedence-climbing over binary operators.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        const LEVELS: [&[&str]; 9] = [
+            &["||"],
+            &["&&"],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["==", "!="],
+            &["<", "<=", ">", ">="],
+            &["<<", ">>"],
+            &["+", "-"],
+        ];
+        const TOP: u8 = LEVELS.len() as u8;
+        if min_prec >= TOP {
+            return self.mul();
+        }
+        let mut lhs = self.binary(min_prec + 1)?;
+        loop {
+            let Tok::Punct(p) = self.peek() else { break };
+            let Some(op) = LEVELS[min_prec as usize].iter().find(|o| *o == p) else {
+                break;
+            };
+            let op = *op;
+            self.next();
+            let rhs = self.binary(min_prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("*") => "*",
+                Tok::Punct("/") => "/",
+                Tok::Punct("%") => "%",
+                _ => break,
+            };
+            self.next();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Punct("-") => {
+                self.next();
+                Ok(Expr::Un("-", Box::new(self.unary()?)))
+            }
+            Tok::Punct("!") => {
+                self.next();
+                Ok(Expr::Un("!", Box::new(self.unary()?)))
+            }
+            Tok::Punct("~") => {
+                self.next();
+                Ok(Expr::Un("~", Box::new(self.unary()?)))
+            }
+            Tok::Punct("*") => {
+                self.next();
+                Ok(Expr::Deref(Box::new(self.unary()?)))
+            }
+            Tok::Punct("&") => {
+                self.next();
+                Ok(Expr::Addr(Box::new(self.unary()?)))
+            }
+            Tok::Punct("++") => {
+                self.next();
+                Ok(Expr::PreIncDec("+", Box::new(self.unary()?)))
+            }
+            Tok::Punct("--") => {
+                self.next();
+                Ok(Expr::PreIncDec("-", Box::new(self.unary()?)))
+            }
+            Tok::Punct("(") if matches!(
+                self.peek2(),
+                Tok::Kw(Kw::Int | Kw::Long | Kw::Char | Kw::Double | Kw::Void)
+            ) =>
+            {
+                self.next();
+                let t = self.ty()?;
+                self.expect(")")?;
+                Ok(Expr::Cast(t, Box::new(self.unary()?)))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Tok::Punct("[") => {
+                    self.next();
+                    let idx = self.expr()?;
+                    self.expect("]")?;
+                    e = Expr::Index(Box::new(e), Box::new(idx));
+                }
+                Tok::Punct("(") => {
+                    let Expr::Var(name) = e else {
+                        return Err(self.err("only direct calls are supported"));
+                    };
+                    self.next();
+                    let mut args = Vec::new();
+                    if !self.eat(")") {
+                        loop {
+                            args.push(self.assignment()?);
+                            if self.eat(")") {
+                                break;
+                            }
+                            self.expect(",")?;
+                        }
+                    }
+                    e = Expr::Call(name, args);
+                }
+                Tok::Punct("++") => {
+                    self.next();
+                    e = Expr::PostIncDec("+", Box::new(e));
+                }
+                Tok::Punct("--") => {
+                    self.next();
+                    e = Expr::PostIncDec("-", Box::new(e));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Char(v) => Ok(Expr::Int(v)),
+            Tok::Float(v) => Ok(Expr::Float(v)),
+            Tok::Ident(s) => Ok(Expr::Var(s)),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect(")")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_function() {
+        let fns = parse("int plus1(int x) { return x + 1; }").unwrap();
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "plus1");
+        assert_eq!(fns[0].ret, CType::Int);
+        assert_eq!(fns[0].params, vec![(CType::Int, "x".into())]);
+        assert_eq!(
+            fns[0].body,
+            vec![Stmt::Return(Some(Expr::Bin(
+                "+",
+                Box::new(Expr::Var("x".into())),
+                Box::new(Expr::Int(1))
+            )))]
+        );
+    }
+
+    #[test]
+    fn precedence() {
+        let fns = parse("int f() { return 1 + 2 * 3 == 7 && 4 < 5; }").unwrap();
+        let Stmt::Return(Some(e)) = &fns[0].body[0] else {
+            panic!()
+        };
+        // (&&) at the top.
+        assert!(matches!(e, Expr::Bin("&&", _, _)));
+    }
+
+    #[test]
+    fn pointer_declarations_and_deref() {
+        let fns = parse("int f(int *p) { int *q; q = p; return *q + p[2]; }").unwrap();
+        assert_eq!(fns[0].params[0].0, CType::Ptr(Box::new(CType::Int)));
+        let Stmt::Decl(d) = &fns[0].body[0] else { panic!() };
+        assert_eq!(d[0].0, CType::Ptr(Box::new(CType::Int)));
+    }
+
+    #[test]
+    fn control_flow_forms() {
+        let src = "
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i += 1) { s += i; }
+                while (s > 100) s -= 100;
+                do { s += 1; } while (s < 0);
+                if (s == 3) return 1; else return s;
+            }";
+        let fns = parse(src).unwrap();
+        assert_eq!(fns[0].body.len(), 5);
+    }
+
+    #[test]
+    fn casts_and_calls() {
+        let fns = parse("double g(int x) { return (double) x * 0.5 + h(x, 1); }").unwrap();
+        let Stmt::Return(Some(e)) = &fns[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e, Expr::Bin("+", _, _)));
+    }
+
+    #[test]
+    fn errors_mention_line_and_token() {
+        let e = parse("int f() {\n return ]; }").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse("int f( { }").is_err());
+        assert!(parse("int 3() {}").is_err());
+    }
+
+    #[test]
+    fn void_parameter_list() {
+        let fns = parse("int f(void) { return 0; }").unwrap();
+        assert!(fns[0].params.is_empty());
+    }
+
+    #[test]
+    fn increment_forms() {
+        let fns = parse("int f(int x) { ++x; x++; --x; x--; return x; }").unwrap();
+        assert_eq!(fns[0].body.len(), 5);
+    }
+}

@@ -1,0 +1,324 @@
+//! Executable memory for natively running generated code.
+//!
+//! The paper lists "programmer maintenance of cache coherence between
+//! instruction and data caches" among the chip-specific chores a dynamic
+//! code generation system must hide (§1, `v_end` step 4). On x86-64 the
+//! instruction cache snoops stores, so coherence is free; what remains is
+//! obtaining memory that may be executed at all. [`ExecMem`] provides it:
+//! an anonymous private mapping created read+write for generation and
+//! flipped to read+execute by [`ExecMem::finalize`] (W^X).
+//!
+//! The `mmap`/`mprotect`/`munmap` calls are made directly via the
+//! `syscall` instruction so the crate needs no FFI dependency; see
+//! DESIGN.md for the rationale.
+
+use std::fmt;
+use std::io;
+
+const SYS_MMAP: i64 = 9;
+const SYS_MPROTECT: i64 = 10;
+const SYS_MUNMAP: i64 = 11;
+
+const PROT_READ: i64 = 1;
+const PROT_WRITE: i64 = 2;
+const PROT_EXEC: i64 = 4;
+const MAP_PRIVATE: i64 = 0x02;
+const MAP_ANONYMOUS: i64 = 0x20;
+
+/// Raw Linux syscall (x86-64). Returns the kernel's value; values in
+/// `-4095..0` are negated errnos.
+///
+/// # Safety
+///
+/// The caller must uphold the contract of the specific syscall.
+unsafe fn syscall6(n: i64, a: i64, b: i64, c: i64, d: i64, e: i64, f: i64) -> i64 {
+    let ret: i64;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") n => ret,
+        in("rdi") a,
+        in("rsi") b,
+        in("rdx") c,
+        in("r10") d,
+        in("r8") e,
+        in("r9") f,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+fn check(ret: i64) -> io::Result<i64> {
+    if (-4095..0).contains(&ret) {
+        Err(io::Error::from_raw_os_error((-ret) as i32))
+    } else {
+        Ok(ret)
+    }
+}
+
+/// A writable anonymous mapping that generated code is emitted into.
+///
+/// # Examples
+///
+/// ```
+/// use vcode_x64::ExecMem;
+/// let mut mem = ExecMem::new(4096)?;
+/// mem.as_mut_slice()[0] = 0xb8; // mov eax, 41
+/// mem.as_mut_slice()[1..5].copy_from_slice(&41i32.to_le_bytes());
+/// mem.as_mut_slice()[5] = 0xc3; // ret
+/// let code = mem.finalize()?;
+/// let f: extern "C" fn() -> i32 = unsafe { code.as_fn() };
+/// assert_eq!(f(), 41);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct ExecMem {
+    ptr: *mut u8,
+    len: usize,
+}
+
+impl fmt::Debug for ExecMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecMem")
+            .field("ptr", &self.ptr)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl ExecMem {
+    /// Maps `len` bytes (rounded up to the 4 KiB page size) read+write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `mmap` failure (`ENOMEM`, resource limits, ...).
+    pub fn new(len: usize) -> io::Result<ExecMem> {
+        let len = len.max(1).div_ceil(4096) * 4096;
+        // SAFETY: anonymous private mapping with no fixed address; the
+        // kernel picks the placement, nothing else references it.
+        let ret = unsafe {
+            syscall6(
+                SYS_MMAP,
+                0,
+                len as i64,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        let addr = check(ret)?;
+        Ok(ExecMem {
+            ptr: addr as *mut u8,
+            len,
+        })
+    }
+
+    /// The writable storage, handed to
+    /// [`Assembler::lambda`](vcode::Assembler::lambda) as the client code
+    /// pointer.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: we own the mapping, it is PROT_READ|PROT_WRITE and
+        // `len` bytes long.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+
+    /// The mapping length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Never true; mappings have at least one page.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The address generated code will execute at (needed when emitting
+    /// absolute-address references to the code itself).
+    pub fn addr(&self) -> u64 {
+        self.ptr as u64
+    }
+
+    /// Flips the mapping to read+execute and returns the executable
+    /// handle (the paper's `v_end` returning "a pointer to the generated
+    /// code", cast to the appropriate function pointer type by the
+    /// client).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `mprotect` failure.
+    pub fn finalize(self) -> io::Result<ExecCode> {
+        // SAFETY: `ptr`/`len` describe a mapping we own.
+        let ret = unsafe { syscall6(SYS_MPROTECT, self.ptr as i64, self.len as i64, PROT_READ | PROT_EXEC, 0, 0, 0) };
+        check(ret)?;
+        let code = ExecCode {
+            ptr: self.ptr,
+            len: self.len,
+        };
+        std::mem::forget(self);
+        Ok(code)
+    }
+}
+
+impl Drop for ExecMem {
+    fn drop(&mut self) {
+        // SAFETY: unmapping a mapping we own; errors are ignorable here
+        // (C-DTOR-FAIL).
+        unsafe {
+            syscall6(SYS_MUNMAP, self.ptr as i64, self.len as i64, 0, 0, 0, 0);
+        }
+    }
+}
+
+// SAFETY: the mapping is plain memory; access is through &mut self.
+unsafe impl Send for ExecMem {}
+
+/// Finalized, executable code. Unmapped on drop — the caller must ensure
+/// no generated function is executing when that happens.
+pub struct ExecCode {
+    ptr: *mut u8,
+    len: usize,
+}
+
+impl fmt::Debug for ExecCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecCode")
+            .field("ptr", &self.ptr)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl ExecCode {
+    /// Entry address of the code.
+    pub fn addr(&self) -> u64 {
+        self.ptr as u64
+    }
+
+    /// Length of the mapping.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Never true.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Reinterprets the entry point as a function pointer.
+    ///
+    /// # Safety
+    ///
+    /// `F` must be a `fn` pointer type whose ABI matches the generated
+    /// code (the signature passed to `lambda`, `extern "C"`), and the
+    /// code must stay alive while `F` is callable.
+    pub unsafe fn as_fn<F: Copy>(&self) -> F {
+        assert_eq!(
+            std::mem::size_of::<F>(),
+            std::mem::size_of::<usize>(),
+            "as_fn requires a fn-pointer type"
+        );
+        // SAFETY: size checked above; validity of the ABI is the
+        // caller's obligation.
+        unsafe { std::mem::transmute_copy(&self.ptr) }
+    }
+
+    /// Calls the code as `extern "C" fn() -> u64`.
+    ///
+    /// # Safety
+    ///
+    /// The generated function must take no arguments and return an
+    /// integer (or nothing).
+    pub unsafe fn call0(&self) -> u64 {
+        let f: extern "C" fn() -> u64 = unsafe { self.as_fn() };
+        f()
+    }
+
+    /// Calls the code as `extern "C" fn(u64) -> u64`.
+    ///
+    /// # Safety
+    ///
+    /// The generated function must take one integer argument.
+    pub unsafe fn call1(&self, a: u64) -> u64 {
+        let f: extern "C" fn(u64) -> u64 = unsafe { self.as_fn() };
+        f(a)
+    }
+
+    /// Calls the code as `extern "C" fn(u64, u64) -> u64`.
+    ///
+    /// # Safety
+    ///
+    /// The generated function must take two integer arguments.
+    pub unsafe fn call2(&self, a: u64, b: u64) -> u64 {
+        let f: extern "C" fn(u64, u64) -> u64 = unsafe { self.as_fn() };
+        f(a, b)
+    }
+
+    /// Calls the code as `extern "C" fn(u64, u64, u64) -> u64`.
+    ///
+    /// # Safety
+    ///
+    /// The generated function must take three integer arguments.
+    pub unsafe fn call3(&self, a: u64, b: u64, c: u64) -> u64 {
+        let f: extern "C" fn(u64, u64, u64) -> u64 = unsafe { self.as_fn() };
+        f(a, b, c)
+    }
+
+    /// Calls the code as `extern "C" fn(u64, u64, u64, u64) -> u64`.
+    ///
+    /// # Safety
+    ///
+    /// The generated function must take four integer arguments.
+    pub unsafe fn call4(&self, a: u64, b: u64, c: u64, d: u64) -> u64 {
+        let f: extern "C" fn(u64, u64, u64, u64) -> u64 = unsafe { self.as_fn() };
+        f(a, b, c, d)
+    }
+}
+
+impl Drop for ExecCode {
+    fn drop(&mut self) {
+        // SAFETY: unmapping a mapping we own.
+        unsafe {
+            syscall6(SYS_MUNMAP, self.ptr as i64, self.len as i64, 0, 0, 0, 0);
+        }
+    }
+}
+
+// SAFETY: immutable machine code; callable from any thread.
+unsafe impl Send for ExecCode {}
+// SAFETY: no interior mutability.
+unsafe impl Sync for ExecCode {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_tiny_function() {
+        let mut mem = ExecMem::new(64).unwrap();
+        assert_eq!(mem.len() % 4096, 0);
+        // mov rax, rdi; add rax, 1; ret
+        let code = [0x48, 0x89, 0xf8, 0x48, 0x83, 0xc0, 0x01, 0xc3];
+        mem.as_mut_slice()[..code.len()].copy_from_slice(&code);
+        let code = mem.finalize().unwrap();
+        assert_eq!(unsafe { code.call1(41) }, 42);
+        assert_eq!(unsafe { code.call1(u64::MAX) }, 0);
+    }
+
+    #[test]
+    fn len_rounds_to_pages() {
+        let mem = ExecMem::new(1).unwrap();
+        assert_eq!(mem.len(), 4096);
+        let mem = ExecMem::new(4097).unwrap();
+        assert_eq!(mem.len(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "fn-pointer type")]
+    fn as_fn_rejects_wrong_size() {
+        let mut mem = ExecMem::new(16).unwrap();
+        mem.as_mut_slice()[0] = 0xc3;
+        let code = mem.finalize().unwrap();
+        let _: [u64; 2] = unsafe { code.as_fn() };
+    }
+}

@@ -1,0 +1,862 @@
+//! # vcode-x64 — native x86-64 backend for vcode
+//!
+//! The paper observes that "there is no real conflict between VCODE's
+//! interface and that of the most widely used CISC on the market, the x86"
+//! (§3.3). This crate is that port, for the 64-bit SysV ABI: it implements
+//! [`vcode::Target`] for [`X64`] and provides [`ExecMem`] so generated
+//! code runs natively — the zero→aha path of dynamic code generation.
+//!
+//! ```
+//! use vcode::{Assembler, Leaf};
+//! use vcode_x64::{ExecMem, X64};
+//!
+//! // Figure 1 of the paper: int plus1(int x) { return x + 1; }
+//! let mut mem = ExecMem::new(4096)?;
+//! let mut a = Assembler::<X64>::lambda(mem.as_mut_slice(), "%i", Leaf::Yes)?;
+//! let x = a.arg(0);
+//! a.addii(x, x, 1);
+//! a.reti(x);
+//! a.end()?;
+//! let code = mem.finalize()?;
+//! let plus1: extern "C" fn(i32) -> i32 = unsafe { code.as_fn() };
+//! assert_eq!(plus1(41), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Register conventions
+//!
+//! `rax`, `rcx`, `rdx` and `r11` are reserved for instruction synthesis
+//! (division uses `rax:rdx`, shifts use `cl`, `r11` is the universal
+//! scratch), and `rsp`/`rbp` for the stack. Everything else is an
+//! allocation candidate: `r10` plus the six SysV argument registers as
+//! temporaries, `rbx`/`r12`–`r15` as persistent. Incoming arguments homed
+//! in `rdx`/`rcx` are evacuated to allocatable registers by `lambda`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod encode;
+pub mod exec;
+
+pub use exec::{ExecCode, ExecMem};
+
+use encode::{cc, r, sse, Alu, Mem};
+use vcode::asm::Asm;
+use vcode::ext::ExtUnOp;
+use vcode::label::{Fixup, FixupTarget, Label};
+use vcode::op::{BinOp, Cond, Imm, UnOp};
+use vcode::reg::{Reg, RegDesc, RegFile, RegKind};
+use vcode::target::{BrOperand, CallFrame, JumpTarget, Leaf, Off, StackSlot, Target};
+use vcode::ty::{Sig, Ty};
+use vcode::Error;
+
+/// The x86-64 SysV target.
+#[derive(Debug, Clone, Copy)]
+pub enum X64 {}
+
+/// Universal synthesis scratch register.
+const SCRATCH: u8 = r::R11;
+/// Floating-point synthesis scratch.
+const FSCRATCH: u8 = 15;
+
+/// SysV integer argument slots.
+const INT_ARG_SLOTS: [u8; 6] = [r::RDI, r::RSI, r::RDX, r::RCX, r::R8, r::R9];
+
+static INT_REGS: [RegDesc; 11] = {
+    const fn d(n: u8, kind: RegKind, name: &'static str) -> RegDesc {
+        RegDesc {
+            reg: Reg::int(n),
+            kind,
+            name,
+        }
+    }
+    [
+        d(r::R10, RegKind::CallerSaved, "r10"),
+        d(r::R9, RegKind::Arg(5), "r9"),
+        d(r::R8, RegKind::Arg(4), "r8"),
+        d(r::RSI, RegKind::Arg(1), "rsi"),
+        d(r::RDI, RegKind::Arg(0), "rdi"),
+        d(r::RBX, RegKind::CalleeSaved, "rbx"),
+        d(r::R12, RegKind::CalleeSaved, "r12"),
+        d(r::R13, RegKind::CalleeSaved, "r13"),
+        d(r::R14, RegKind::CalleeSaved, "r14"),
+        d(r::R15, RegKind::CalleeSaved, "r15"),
+        d(r::R11, RegKind::Reserved, "r11"),
+    ]
+};
+
+static FLT_REGS: [RegDesc; 16] = {
+    const fn d(n: u8, kind: RegKind, name: &'static str) -> RegDesc {
+        RegDesc {
+            reg: Reg::flt(n),
+            kind,
+            name,
+        }
+    }
+    [
+        d(8, RegKind::CallerSaved, "xmm8"),
+        d(9, RegKind::CallerSaved, "xmm9"),
+        d(10, RegKind::CallerSaved, "xmm10"),
+        d(11, RegKind::CallerSaved, "xmm11"),
+        d(12, RegKind::CallerSaved, "xmm12"),
+        d(13, RegKind::CallerSaved, "xmm13"),
+        d(14, RegKind::CallerSaved, "xmm14"),
+        d(7, RegKind::Arg(7), "xmm7"),
+        d(6, RegKind::Arg(6), "xmm6"),
+        d(5, RegKind::Arg(5), "xmm5"),
+        d(4, RegKind::Arg(4), "xmm4"),
+        d(3, RegKind::Arg(3), "xmm3"),
+        d(2, RegKind::Arg(2), "xmm2"),
+        d(1, RegKind::Arg(1), "xmm1"),
+        d(0, RegKind::Arg(0), "xmm0"),
+        d(15, RegKind::Reserved, "xmm15"),
+    ]
+};
+
+static REGFILE: RegFile = RegFile {
+    int: &INT_REGS,
+    flt: &FLT_REGS,
+    hard_temps: &[
+        Reg::int(r::RDI),
+        Reg::int(r::RSI),
+        Reg::int(r::R8),
+        Reg::int(r::R9),
+        Reg::int(r::R10),
+    ],
+    hard_saved: &[
+        Reg::int(r::RBX),
+        Reg::int(r::R12),
+        Reg::int(r::R13),
+        Reg::int(r::R14),
+    ],
+    sp: Reg::int(r::RSP),
+    fp: Reg::int(r::RBP),
+    zero: None,
+};
+
+/// Registers with fixed prologue save slots, in slot order. The first
+/// five are callee-saved under the standard convention; the rest exist
+/// so clients may *reclassify* caller-saved registers as callee-saved
+/// per generated function (paper §5.3's interrupt-handler case) and
+/// still get correct save/restore code.
+const CALLEE_SAVED: [u8; 10] = [
+    r::RBX,
+    r::R12,
+    r::R13,
+    r::R14,
+    r::R15,
+    r::R10,
+    r::RDI,
+    r::RSI,
+    r::R8,
+    r::R9,
+];
+/// Bytes of the fixed callee-save area below `rbp`.
+const SAVE_AREA: usize = CALLEE_SAVED.len() * 8;
+/// Bytes of one reserved prologue save instruction
+/// (`mov [rbp-disp8], r64` = REX + opcode + modrm + disp8; the deepest
+/// slot is `rbp-80`, still within disp8 range).
+const SAVE_INSN: usize = 4;
+
+#[inline]
+fn is64(ty: Ty) -> bool {
+    matches!(ty, Ty::L | Ty::Ul | Ty::P)
+}
+
+/// Signed/unsigned condition-code nibble for an integer comparison.
+fn int_cc(cond: Cond, signed: bool) -> u8 {
+    match (cond, signed) {
+        (Cond::Lt, true) => cc::L,
+        (Cond::Le, true) => cc::LE,
+        (Cond::Gt, true) => cc::G,
+        (Cond::Ge, true) => cc::GE,
+        (Cond::Lt, false) => cc::B,
+        (Cond::Le, false) => cc::BE,
+        (Cond::Gt, false) => cc::A,
+        (Cond::Ge, false) => cc::AE,
+        (Cond::Eq, _) => cc::E,
+        (Cond::Ne, _) => cc::NE,
+    }
+}
+
+impl X64 {
+    /// Emits the three-operand → two-operand resolution for a commutable
+    /// or plain ALU op.
+    #[inline]
+    fn alu3(a: &mut Asm<'_>, op: Alu, w: bool, commutes: bool, rd: u8, rs1: u8, rs2: u8) {
+        if rd == rs1 {
+            encode::alu_rr(&mut a.buf, op, w, rd, rs2);
+        } else if rd == rs2 && commutes {
+            encode::alu_rr(&mut a.buf, op, w, rd, rs1);
+        } else if rd == rs2 {
+            encode::mov_rr(&mut a.buf, w, SCRATCH, rs1);
+            encode::alu_rr(&mut a.buf, op, w, SCRATCH, rs2);
+            encode::mov_rr(&mut a.buf, w, rd, SCRATCH);
+        } else {
+            encode::mov_rr(&mut a.buf, w, rd, rs1);
+            encode::alu_rr(&mut a.buf, op, w, rd, rs2);
+        }
+    }
+
+    #[inline]
+    fn div_mod(a: &mut Asm<'_>, ty: Ty, want_mod: bool, rd: u8, rs1: u8, rs2: u8) {
+        debug_assert!(
+            rs2 != r::RAX && rs2 != r::RDX,
+            "divisor in a reserved register"
+        );
+        let w = is64(ty);
+        let signed = ty.is_signed();
+        encode::mov_rr(&mut a.buf, w, r::RAX, rs1);
+        if signed {
+            if w {
+                encode::cqo(&mut a.buf);
+            } else {
+                encode::cdq(&mut a.buf);
+            }
+        } else {
+            encode::alu_rr(&mut a.buf, Alu::Xor, false, r::RDX, r::RDX);
+        }
+        encode::unary_rm(&mut a.buf, if signed { 7 } else { 6 }, w, rs2);
+        let res = if want_mod { r::RDX } else { r::RAX };
+        encode::mov_rr(&mut a.buf, w, rd, res);
+    }
+
+    #[inline]
+    fn shift(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: u8, rs1: u8, rs2: u8) {
+        let w = is64(ty);
+        let ext = match op {
+            BinOp::Lsh => 4,
+            BinOp::Rsh if ty.is_signed() => 7,
+            BinOp::Rsh => 5,
+            _ => unreachable!(),
+        };
+        encode::mov_rr(&mut a.buf, false, r::RCX, rs2);
+        if rd != rs1 {
+            encode::mov_rr(&mut a.buf, w, rd, rs1);
+        }
+        encode::shift_cl(&mut a.buf, ext, w, rd);
+    }
+
+    #[inline]
+    fn sse3(a: &mut Asm<'_>, prefix: u8, opc: u8, commutes: bool, rd: u8, rs1: u8, rs2: u8) {
+        if rd == rs1 {
+            encode::sse_rr(&mut a.buf, Some(prefix), opc, rd, rs2);
+        } else if rd == rs2 && commutes {
+            encode::sse_rr(&mut a.buf, Some(prefix), opc, rd, rs1);
+        } else if rd == rs2 {
+            encode::sse_rr(&mut a.buf, Some(prefix), 0x10, FSCRATCH, rs1);
+            encode::sse_rr(&mut a.buf, Some(prefix), opc, FSCRATCH, rs2);
+            encode::sse_rr(&mut a.buf, Some(prefix), 0x10, rd, FSCRATCH);
+        } else {
+            encode::sse_rr(&mut a.buf, Some(prefix), 0x10, rd, rs1);
+            encode::sse_rr(&mut a.buf, Some(prefix), opc, rd, rs2);
+        }
+    }
+
+    #[inline]
+    fn load_lit(a: &mut Asm<'_>, prefix: u8, rd: u8, id: vcode::label::LitId) {
+        let at = encode::sse_load_rip(&mut a.buf, prefix, rd);
+        a.fixup_at(at, FixupTarget::Lit(id), 0);
+    }
+}
+
+impl Target for X64 {
+    const NAME: &'static str = "x86-64";
+    const WORD_BITS: u32 = 64;
+    const MAX_SAVE_BYTES: usize = CALLEE_SAVED.len() * SAVE_INSN;
+
+    fn regfile() -> &'static RegFile {
+        &REGFILE
+    }
+
+    fn begin(a: &mut Asm<'_>, sig: &Sig, _leaf: Leaf) -> Result<Vec<Reg>, Error> {
+        // push rbp; mov rbp, rsp; sub rsp, imm32 (imm patched at `end`).
+        encode::push(&mut a.buf, r::RBP);
+        encode::mov_rr(&mut a.buf, true, r::RBP, r::RSP);
+        a.buf.put_slice(&[0x48, 0x81, 0xec]);
+        a.ts.frame_fix = a.buf.len();
+        a.buf.put_u32(0);
+        // Worst-case callee-save area in the instruction stream
+        // (paper §5.2); filled with the actual saves at `end`.
+        let start = a.buf.reserve(Self::MAX_SAVE_BYTES, 0x90);
+        a.ts.save_area = (start, a.buf.len());
+        // Home the arguments. SysV puts ints 2 and 3 in rdx/rcx, which we
+        // reserve for synthesis, so those are evacuated to allocatable
+        // registers. Claim every argument-slot register up front so the
+        // evacuation targets can never alias a later argument.
+        let n_int = sig.args().iter().filter(|t| !t.is_float()).count();
+        let n_flt = sig.args().len() - n_int;
+        if n_int > 6 {
+            return Err(Error::TooManyArgs {
+                requested: sig.args().len(),
+                max: 6,
+            });
+        }
+        if n_flt > 8 {
+            return Err(Error::TooManyArgs {
+                requested: sig.args().len(),
+                max: 8,
+            });
+        }
+        for &slot in INT_ARG_SLOTS.iter().take(n_int) {
+            a.ra.take(Reg::int(slot));
+        }
+        for i in 0..n_flt {
+            a.ra.take(Reg::flt(i as u8));
+        }
+        let mut args = Vec::with_capacity(sig.args().len());
+        let (mut ni, mut nf) = (0usize, 0usize);
+        for &ty in sig.args() {
+            if ty.is_float() {
+                args.push(Reg::flt(nf as u8));
+                nf += 1;
+            } else {
+                let slot = INT_ARG_SLOTS[ni];
+                if slot == r::RDX || slot == r::RCX {
+                    let dest = a
+                        .ra
+                        .getreg(vcode::Bank::Int, vcode::RegClass::Temp)
+                        .ok_or(Error::TooManyArgs {
+                            requested: sig.args().len(),
+                            max: 6,
+                        })?;
+                    encode::mov_rr(&mut a.buf, true, dest.num(), slot);
+                    args.push(dest);
+                } else {
+                    args.push(Reg::int(slot));
+                }
+                ni += 1;
+            }
+        }
+        Ok(args)
+    }
+
+    fn local(a: &mut Asm<'_>, ty: Ty) -> StackSlot {
+        let size = ty.size_bytes(64);
+        let start = a.locals_bytes.div_ceil(size) * size;
+        a.locals_bytes = start + size;
+        StackSlot {
+            base: Reg::int(r::RBP),
+            off: -((SAVE_AREA + start + size) as i32),
+            ty,
+        }
+    }
+
+    #[inline]
+    #[allow(clippy::collapsible_match)] // the guard form obscures the ABI cases
+    fn emit_ret(a: &mut Asm<'_>, val: Option<(Ty, Reg)>) {
+        match val {
+            Some((Ty::I, v)) => encode::movsxd(&mut a.buf, r::RAX, v.num()),
+            Some((Ty::U, v)) => {
+                if v.num() != r::RAX {
+                    encode::mov_rr(&mut a.buf, false, r::RAX, v.num());
+                }
+            }
+            Some((Ty::F, v)) => encode::sse_rr(&mut a.buf, Some(sse::SS), 0x10, 0, v.num()),
+            Some((Ty::D, v)) => encode::sse_rr(&mut a.buf, Some(sse::SD), 0x10, 0, v.num()),
+            Some((_, v)) => {
+                if v.num() != r::RAX {
+                    encode::mov_rr(&mut a.buf, true, r::RAX, v.num());
+                }
+            }
+            None => {}
+        }
+        a.ret_sites.push(a.buf.len());
+        let at = encode::jmp_rel(&mut a.buf);
+        a.fixup_at(at, FixupTarget::Label(a.epilogue), 0);
+    }
+
+    fn end(a: &mut Asm<'_>) -> Result<(), Error> {
+        // Insert the deferred prologue saves over the reserved nops.
+        let used = a.ra.callee_used(vcode::Bank::Int);
+        let (start, _) = a.ts.save_area;
+        let mut at = start;
+        for (slot, &reg) in CALLEE_SAVED.iter().enumerate() {
+            if used & (1 << reg) != 0 {
+                // mov [rbp - 8*(slot+1)], reg
+                let rexb = if reg >= 8 { 0x4c } else { 0x48 };
+                let disp = (-8 * (slot as i32 + 1)) as u8;
+                a.buf
+                    .patch_slice(at, &[rexb, 0x89, 0x45 | (reg & 7) << 3, disp]);
+                at += SAVE_INSN;
+            }
+        }
+        // Skip the unused tail of the reserved area with a short jump so
+        // leaf-ish functions don't execute a run of nops on every call.
+        let (_, save_end) = a.ts.save_area;
+        let rest = save_end - at;
+        if rest >= 2 {
+            a.buf.patch_slice(at, &[0xeb, (rest - 2) as u8]);
+        }
+        // Backpatch the activation-record size, keeping rsp 16-aligned.
+        let frame = (SAVE_AREA + a.locals_bytes).div_ceil(16) * 16;
+        a.buf.patch_u32(a.ts.frame_fix, frame as u32);
+        // Deferred epilogue: restore, leave, ret.
+        let here = a.buf.len();
+        a.labels.bind(a.epilogue, here);
+        for (slot, &reg) in CALLEE_SAVED.iter().enumerate() {
+            if used & (1 << reg) != 0 {
+                encode::load(
+                    &mut a.buf,
+                    true,
+                    reg,
+                    Mem::bd(r::RBP, -8 * (slot as i32 + 1)),
+                );
+            }
+        }
+        encode::leave(&mut a.buf);
+        encode::ret(&mut a.buf);
+        Ok(())
+    }
+
+    #[inline]
+    fn patch(a: &mut Asm<'_>, fixup: Fixup, dest: usize) {
+        // Every x86-64 fixup is a rel32 displacement field:
+        // disp = dest - (field_end).
+        let disp = dest as i64 - (fixup.at as i64 + 4);
+        a.buf.patch_u32(fixup.at, disp as i32 as u32);
+    }
+
+    #[inline]
+    fn emit_binop(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: Reg, rs1: Reg, rs2: Reg) {
+        if ty.is_float() {
+            let prefix = if ty == Ty::F { sse::SS } else { sse::SD };
+            let (opc, comm) = match op {
+                BinOp::Add => (0x58, true),
+                BinOp::Mul => (0x59, true),
+                BinOp::Sub => (0x5c, false),
+                BinOp::Div => (0x5e, false),
+                _ => {
+                    a.record_err(Error::BadOperands("float binop"));
+                    return;
+                }
+            };
+            Self::sse3(a, prefix, opc, comm, rd.num(), rs1.num(), rs2.num());
+            return;
+        }
+        let w = is64(ty);
+        match op {
+            BinOp::Add => Self::alu3(a, Alu::Add, w, true, rd.num(), rs1.num(), rs2.num()),
+            BinOp::Sub => Self::alu3(a, Alu::Sub, w, false, rd.num(), rs1.num(), rs2.num()),
+            BinOp::And => Self::alu3(a, Alu::And, w, true, rd.num(), rs1.num(), rs2.num()),
+            BinOp::Or => Self::alu3(a, Alu::Or, w, true, rd.num(), rs1.num(), rs2.num()),
+            BinOp::Xor => Self::alu3(a, Alu::Xor, w, true, rd.num(), rs1.num(), rs2.num()),
+            BinOp::Mul => {
+                let (rd, rs1, rs2) = (rd.num(), rs1.num(), rs2.num());
+                if rd == rs1 {
+                    encode::imul_rr(&mut a.buf, w, rd, rs2);
+                } else if rd == rs2 {
+                    encode::imul_rr(&mut a.buf, w, rd, rs1);
+                } else {
+                    encode::mov_rr(&mut a.buf, w, rd, rs1);
+                    encode::imul_rr(&mut a.buf, w, rd, rs2);
+                }
+            }
+            BinOp::Div => Self::div_mod(a, ty, false, rd.num(), rs1.num(), rs2.num()),
+            BinOp::Mod => Self::div_mod(a, ty, true, rd.num(), rs1.num(), rs2.num()),
+            BinOp::Lsh | BinOp::Rsh => Self::shift(a, op, ty, rd.num(), rs1.num(), rs2.num()),
+        }
+    }
+
+    #[inline]
+    fn emit_binop_imm(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: Reg, rs: Reg, imm: i64) {
+        let w = is64(ty);
+        match op {
+            BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor
+                if i32::try_from(imm).is_ok() =>
+            {
+                let alu = match op {
+                    BinOp::Add => Alu::Add,
+                    BinOp::Sub => Alu::Sub,
+                    BinOp::And => Alu::And,
+                    BinOp::Or => Alu::Or,
+                    _ => Alu::Xor,
+                };
+                if rd != rs {
+                    encode::mov_rr(&mut a.buf, w, rd.num(), rs.num());
+                }
+                encode::alu_imm(&mut a.buf, alu, w, rd.num(), imm as i32);
+            }
+            BinOp::Mul if i32::try_from(imm).is_ok() => {
+                encode::imul_rri(&mut a.buf, w, rd.num(), rs.num(), imm as i32);
+            }
+            BinOp::Lsh | BinOp::Rsh => {
+                if rd != rs {
+                    encode::mov_rr(&mut a.buf, w, rd.num(), rs.num());
+                }
+                let ext = match op {
+                    BinOp::Lsh => 4,
+                    BinOp::Rsh if ty.is_signed() => 7,
+                    _ => 5,
+                };
+                let mask = if w { 63 } else { 31 };
+                encode::shift_imm(&mut a.buf, ext, w, rd.num(), imm as u8 & mask);
+            }
+            _ => {
+                // Constant doesn't fit (paper §1: "boundary conditions,
+                // e.g. constants that don't fit in immediate fields") or
+                // the op has no immediate form: go through the scratch.
+                encode::mov_ri(&mut a.buf, SCRATCH, imm);
+                Self::emit_binop(a, op, ty, rd, rs, Reg::int(SCRATCH));
+            }
+        }
+    }
+
+    #[inline]
+    fn emit_unop(a: &mut Asm<'_>, op: UnOp, ty: Ty, rd: Reg, rs: Reg) {
+        let w = is64(ty);
+        match (op, ty) {
+            (UnOp::Mov, Ty::F) => {
+                if rd != rs {
+                    encode::sse_rr(&mut a.buf, Some(sse::SS), 0x10, rd.num(), rs.num());
+                }
+            }
+            (UnOp::Mov, Ty::D) => {
+                if rd != rs {
+                    encode::sse_rr(&mut a.buf, Some(sse::SD), 0x10, rd.num(), rs.num());
+                }
+            }
+            (UnOp::Mov, _) => {
+                if rd != rs {
+                    encode::mov_rr(&mut a.buf, w, rd.num(), rs.num());
+                }
+            }
+            (UnOp::Neg, Ty::F | Ty::D) => {
+                let (prefix, id) = if ty == Ty::F {
+                    (sse::SS, a.lits.intern(0x8000_0000, 4))
+                } else {
+                    (sse::SD, a.lits.intern(0x8000_0000_0000_0000, 8))
+                };
+                Self::load_lit(a, prefix, FSCRATCH, id);
+                if rd != rs {
+                    encode::sse_rr(&mut a.buf, Some(prefix), 0x10, rd.num(), rs.num());
+                }
+                encode::xorps(&mut a.buf, rd.num(), FSCRATCH);
+            }
+            (UnOp::Neg, _) => {
+                if rd != rs {
+                    encode::mov_rr(&mut a.buf, w, rd.num(), rs.num());
+                }
+                encode::unary_rm(&mut a.buf, 3, w, rd.num());
+            }
+            (UnOp::Com, _) => {
+                if rd != rs {
+                    encode::mov_rr(&mut a.buf, w, rd.num(), rs.num());
+                }
+                encode::unary_rm(&mut a.buf, 2, w, rd.num());
+            }
+            (UnOp::Not, _) => {
+                encode::alu_imm(&mut a.buf, Alu::Cmp, w, rs.num(), 0);
+                encode::mov_ri32(&mut a.buf, rd.num(), 0);
+                encode::setcc(&mut a.buf, cc::E, rd.num());
+            }
+        }
+    }
+
+    #[inline]
+    fn emit_set(a: &mut Asm<'_>, ty: Ty, rd: Reg, imm: Imm) {
+        match imm {
+            Imm::Int(v) => match ty {
+                Ty::I | Ty::U => encode::mov_ri32(&mut a.buf, rd.num(), v as u32),
+                _ => encode::mov_ri(&mut a.buf, rd.num(), v),
+            },
+            Imm::F32(v) => {
+                let id = a.lits.intern_f32(v);
+                Self::load_lit(a, sse::SS, rd.num(), id);
+            }
+            Imm::F64(v) => {
+                let id = a.lits.intern_f64(v);
+                Self::load_lit(a, sse::SD, rd.num(), id);
+            }
+        }
+    }
+
+    #[inline]
+    fn emit_cvt(a: &mut Asm<'_>, from: Ty, to: Ty, rd: Reg, rs: Reg) {
+        match (from, to) {
+            // Within the 32-bit family: normalize the low word.
+            (Ty::I, Ty::U) | (Ty::U, Ty::I) => {
+                if rd != rs {
+                    encode::mov_rr(&mut a.buf, false, rd.num(), rs.num());
+                }
+            }
+            // Widening.
+            (Ty::I, Ty::L | Ty::Ul) => encode::movsxd(&mut a.buf, rd.num(), rs.num()),
+            (Ty::U, Ty::L | Ty::Ul) => encode::mov_rr(&mut a.buf, false, rd.num(), rs.num()),
+            // Narrowing.
+            (Ty::L | Ty::Ul, Ty::I | Ty::U) => {
+                encode::mov_rr(&mut a.buf, false, rd.num(), rs.num())
+            }
+            // Word-sized renames.
+            (Ty::L, Ty::Ul) | (Ty::Ul, Ty::L) | (Ty::Ul, Ty::P) | (Ty::P, Ty::Ul) => {
+                if rd != rs {
+                    encode::mov_rr(&mut a.buf, true, rd.num(), rs.num());
+                }
+            }
+            // Int → float.
+            (Ty::I, Ty::F) => encode::cvtsi2(&mut a.buf, sse::SS, false, rd.num(), rs.num()),
+            (Ty::I, Ty::D) => encode::cvtsi2(&mut a.buf, sse::SD, false, rd.num(), rs.num()),
+            (Ty::L, Ty::F) => encode::cvtsi2(&mut a.buf, sse::SS, true, rd.num(), rs.num()),
+            (Ty::L, Ty::D) => encode::cvtsi2(&mut a.buf, sse::SD, true, rd.num(), rs.num()),
+            (Ty::U, Ty::D) => {
+                // Zero-extend, then convert the exact 64-bit value.
+                encode::mov_rr(&mut a.buf, false, SCRATCH, rs.num());
+                encode::cvtsi2(&mut a.buf, sse::SD, true, rd.num(), SCRATCH);
+            }
+            // Float → int (C truncation semantics).
+            (Ty::F, Ty::I) => encode::cvtt2si(&mut a.buf, sse::SS, false, rd.num(), rs.num()),
+            (Ty::D, Ty::I) => encode::cvtt2si(&mut a.buf, sse::SD, false, rd.num(), rs.num()),
+            (Ty::F, Ty::L) => encode::cvtt2si(&mut a.buf, sse::SS, true, rd.num(), rs.num()),
+            (Ty::D, Ty::L) => encode::cvtt2si(&mut a.buf, sse::SD, true, rd.num(), rs.num()),
+            // Float ↔ float.
+            (Ty::F, Ty::D) => encode::sse_rr(&mut a.buf, Some(sse::SS), 0x5a, rd.num(), rs.num()),
+            (Ty::D, Ty::F) => encode::sse_rr(&mut a.buf, Some(sse::SD), 0x5a, rd.num(), rs.num()),
+            _ => a.record_err(Error::BadOperands("unsupported conversion")),
+        }
+    }
+
+    #[inline]
+    fn emit_ld(a: &mut Asm<'_>, ty: Ty, rd: Reg, base: Reg, off: Off) {
+        let m = match off {
+            Off::I(d) => Mem::bd(base.num(), d),
+            Off::R(i) => Mem::bi(base.num(), i.num()),
+        };
+        match ty {
+            Ty::C => encode::load8_sx(&mut a.buf, rd.num(), m),
+            Ty::Uc => encode::load8_zx(&mut a.buf, rd.num(), m),
+            Ty::S => encode::load16_sx(&mut a.buf, rd.num(), m),
+            Ty::Us => encode::load16_zx(&mut a.buf, rd.num(), m),
+            Ty::I | Ty::U => encode::load(&mut a.buf, false, rd.num(), m),
+            Ty::L | Ty::Ul | Ty::P => encode::load(&mut a.buf, true, rd.num(), m),
+            Ty::F => encode::sse_mem(&mut a.buf, Some(sse::SS), 0x10, rd.num(), m),
+            Ty::D => encode::sse_mem(&mut a.buf, Some(sse::SD), 0x10, rd.num(), m),
+            Ty::V => a.record_err(Error::BadOperands("load of void")),
+        }
+    }
+
+    #[inline]
+    fn emit_st(a: &mut Asm<'_>, ty: Ty, src: Reg, base: Reg, off: Off) {
+        let m = match off {
+            Off::I(d) => Mem::bd(base.num(), d),
+            Off::R(i) => Mem::bi(base.num(), i.num()),
+        };
+        match ty {
+            Ty::C | Ty::Uc => encode::store8(&mut a.buf, src.num(), m),
+            Ty::S | Ty::Us => encode::store16(&mut a.buf, src.num(), m),
+            Ty::I | Ty::U => encode::store(&mut a.buf, false, src.num(), m),
+            Ty::L | Ty::Ul | Ty::P => encode::store(&mut a.buf, true, src.num(), m),
+            Ty::F => encode::sse_mem(&mut a.buf, Some(sse::SS), 0x11, src.num(), m),
+            Ty::D => encode::sse_mem(&mut a.buf, Some(sse::SD), 0x11, src.num(), m),
+            Ty::V => a.record_err(Error::BadOperands("store of void")),
+        }
+    }
+
+    #[inline]
+    fn emit_branch(a: &mut Asm<'_>, cond: Cond, ty: Ty, rs1: Reg, rs2: BrOperand, l: Label) {
+        let code = if ty.is_float() {
+            let rs2 = match rs2 {
+                BrOperand::R(r) => r,
+                BrOperand::I(_) => {
+                    a.record_err(Error::BadOperands("float branch immediate"));
+                    return;
+                }
+            };
+            encode::ucomis(&mut a.buf, ty == Ty::D, rs1.num(), rs2.num());
+            int_cc(cond, false)
+        } else {
+            let w = is64(ty);
+            match rs2 {
+                BrOperand::R(r2) => encode::alu_rr(&mut a.buf, Alu::Cmp, w, rs1.num(), r2.num()),
+                BrOperand::I(imm) => {
+                    if let Ok(i) = i32::try_from(imm) {
+                        encode::alu_imm(&mut a.buf, Alu::Cmp, w, rs1.num(), i);
+                    } else {
+                        encode::mov_ri(&mut a.buf, SCRATCH, imm);
+                        encode::alu_rr(&mut a.buf, Alu::Cmp, w, rs1.num(), SCRATCH);
+                    }
+                }
+            }
+            int_cc(cond, ty.is_signed())
+        };
+        let at = encode::jcc(&mut a.buf, code);
+        a.fixup_at(at, FixupTarget::Label(l), 0);
+    }
+
+    #[inline]
+    fn emit_jump(a: &mut Asm<'_>, t: JumpTarget) {
+        match t {
+            JumpTarget::Label(l) => {
+                let at = encode::jmp_rel(&mut a.buf);
+                a.fixup_at(at, FixupTarget::Label(l), 0);
+            }
+            JumpTarget::Reg(r) => encode::jmp_rm(&mut a.buf, r.num()),
+            JumpTarget::Abs(addr) => {
+                encode::mov_ri(&mut a.buf, SCRATCH, addr as i64);
+                encode::jmp_rm(&mut a.buf, SCRATCH);
+            }
+        }
+    }
+
+    #[inline]
+    fn emit_jal(a: &mut Asm<'_>, t: JumpTarget) {
+        match t {
+            JumpTarget::Label(l) => {
+                let at = encode::call_rel(&mut a.buf);
+                a.fixup_at(at, FixupTarget::Label(l), 0);
+            }
+            JumpTarget::Reg(r) => encode::call_rm(&mut a.buf, r.num()),
+            JumpTarget::Abs(addr) => {
+                encode::mov_ri(&mut a.buf, SCRATCH, addr as i64);
+                encode::call_rm(&mut a.buf, SCRATCH);
+            }
+        }
+    }
+
+    #[inline]
+    fn emit_nop(a: &mut Asm<'_>) {
+        encode::nop(&mut a.buf);
+    }
+
+    fn call_begin(a: &mut Asm<'_>, sig: &Sig) -> CallFrame {
+        let _ = a;
+        CallFrame {
+            sig: sig.clone(),
+            stack_bytes: 0,
+            next_int: 0,
+            next_flt: 0,
+            misc: 0,
+        }
+    }
+
+    fn call_arg(a: &mut Asm<'_>, cf: &mut CallFrame, idx: usize, ty: Ty, src: Reg) {
+        debug_assert_eq!(
+            cf.sig.args().get(idx).copied(),
+            Some(ty),
+            "argument type mismatch"
+        );
+        // Stage every argument on the stack; the pops at call_end move
+        // them to their convention registers. Staging makes argument
+        // shuffles order-independent (an argument source may itself live
+        // in an argument register).
+        if ty.is_float() {
+            cf.next_flt += 1;
+            if cf.next_flt > 8 {
+                a.record_err(Error::TooManyArgs {
+                    requested: cf.next_flt as usize,
+                    max: 8,
+                });
+                return;
+            }
+            encode::alu_imm(&mut a.buf, Alu::Sub, true, r::RSP, 8);
+            let p = if ty == Ty::F { sse::SS } else { sse::SD };
+            encode::sse_mem(&mut a.buf, Some(p), 0x11, src.num(), Mem::bd(r::RSP, 0));
+        } else {
+            cf.next_int += 1;
+            if cf.next_int > 6 {
+                a.record_err(Error::TooManyArgs {
+                    requested: cf.next_int as usize,
+                    max: 6,
+                });
+                return;
+            }
+            encode::push(&mut a.buf, src.num());
+        }
+        cf.stack_bytes += 8;
+    }
+
+    fn call_end(a: &mut Asm<'_>, cf: CallFrame, target: JumpTarget, ret: Option<(Ty, Reg)>) {
+        // Secure the target before the pops clobber argument registers.
+        let target = match target {
+            JumpTarget::Reg(r) => {
+                encode::mov_rr(&mut a.buf, true, SCRATCH, r.num());
+                JumpTarget::Reg(Reg::int(SCRATCH))
+            }
+            t => t,
+        };
+        // Unstage in reverse order.
+        let mut int_slot = 0usize;
+        let mut flt_slot = 0usize;
+        let placements: Vec<(bool, usize)> = cf
+            .sig
+            .args()
+            .iter()
+            .map(|ty| {
+                if ty.is_float() {
+                    let s = flt_slot;
+                    flt_slot += 1;
+                    (true, s)
+                } else {
+                    let s = int_slot;
+                    int_slot += 1;
+                    (false, s)
+                }
+            })
+            .collect();
+        for (i, &(is_f, slot)) in placements.iter().enumerate().rev() {
+            let ty = cf.sig.args()[i];
+            if is_f {
+                let p = if ty == Ty::F { sse::SS } else { sse::SD };
+                encode::sse_mem(&mut a.buf, Some(p), 0x10, slot as u8, Mem::bd(r::RSP, 0));
+                encode::alu_imm(&mut a.buf, Alu::Add, true, r::RSP, 8);
+            } else {
+                encode::pop(&mut a.buf, INT_ARG_SLOTS[slot]);
+            }
+        }
+        match target {
+            JumpTarget::Label(l) => {
+                let at = encode::call_rel(&mut a.buf);
+                a.fixup_at(at, FixupTarget::Label(l), 0);
+            }
+            JumpTarget::Reg(r) => encode::call_rm(&mut a.buf, r.num()),
+            JumpTarget::Abs(addr) => {
+                encode::mov_ri(&mut a.buf, SCRATCH, addr as i64);
+                encode::call_rm(&mut a.buf, SCRATCH);
+            }
+        }
+        if let Some((ty, rd)) = ret {
+            match ty {
+                Ty::I => encode::movsxd(&mut a.buf, rd.num(), r::RAX),
+                Ty::U => encode::mov_rr(&mut a.buf, false, rd.num(), r::RAX),
+                Ty::F => encode::sse_rr(&mut a.buf, Some(sse::SS), 0x10, rd.num(), 0),
+                Ty::D => encode::sse_rr(&mut a.buf, Some(sse::SD), 0x10, rd.num(), 0),
+                _ => encode::mov_rr(&mut a.buf, true, rd.num(), r::RAX),
+            }
+        }
+    }
+
+    fn emit_ext_unop(a: &mut Asm<'_>, op: ExtUnOp, ty: Ty, rd: Reg, rs: Reg) -> bool {
+        match (op, ty) {
+            (ExtUnOp::Sqrt, Ty::F) => {
+                encode::sse_rr(&mut a.buf, Some(sse::SS), 0x51, rd.num(), rs.num());
+                true
+            }
+            (ExtUnOp::Sqrt, Ty::D) => {
+                encode::sse_rr(&mut a.buf, Some(sse::SD), 0x51, rd.num(), rs.num());
+                true
+            }
+            (ExtUnOp::Bswap, Ty::U) => {
+                if rd != rs {
+                    encode::mov_rr(&mut a.buf, false, rd.num(), rs.num());
+                }
+                encode::bswap(&mut a.buf, false, rd.num());
+                true
+            }
+            (ExtUnOp::Bswap, Ty::Ul) => {
+                if rd != rs {
+                    encode::mov_rr(&mut a.buf, true, rd.num(), rs.num());
+                }
+                encode::bswap(&mut a.buf, true, rd.num());
+                true
+            }
+            (ExtUnOp::Bswap, Ty::Us) => {
+                if rd != rs {
+                    encode::mov_rr(&mut a.buf, false, rd.num(), rs.num());
+                }
+                encode::ror16_imm(&mut a.buf, rd.num(), 8);
+                encode::movzx16_rr(&mut a.buf, rd.num(), rd.num());
+                true
+            }
+            _ => false,
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! tcc (paper §4.1): compile C source to native code at runtime and call
+//! it — no assembler, linker, or external process.
+//!
+//! ```sh
+//! cargo run --example mini_c
+//! ```
+
+use tcc::Program;
+
+const SOURCE: &str = r"
+// Classic demos, compiled at runtime.
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+
+int gcd(int a, int b) {
+    while (b != 0) {
+        int t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+int count_primes(int limit) {
+    int k = 0;
+    for (int i = 2; i < limit; i++) {
+        int prime = 1;
+        for (int d = 2; d * d <= i; d++)
+            if (i % d == 0) { prime = 0; break; }
+        k += prime;
+    }
+    return k;
+}
+
+double mean(double a, double b) { return (a + b) / 2.0; }
+
+void fill_squares(int *out, int n) {
+    for (int i = 0; i < n; i++) out[i] = i * i;
+}
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t = std::time::Instant::now();
+    let prog = Program::compile(SOURCE)?;
+    println!(
+        "compiled {} functions to {} bytes of x86-64 in {:.1} µs",
+        prog.functions().count(),
+        prog.code_len,
+        t.elapsed().as_secs_f64() * 1e6
+    );
+    println!("fib(25)          = {}", prog.call_int("fib", &[25])?);
+    println!("gcd(1071, 462)   = {}", prog.call_int("gcd", &[1071, 462])?);
+    println!("count_primes(1000) = {}", prog.call_int("count_primes", &[1000])?);
+    println!("mean(2.5, 7.5)   = {}", prog.call_f64("mean", &[2.5, 7.5])?);
+    let mut squares = [0i32; 8];
+    prog.call_int("fill_squares", &[squares.as_mut_ptr() as i64, 8])?;
+    println!("fill_squares(8)  = {squares:?}");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! ASH message pipelines (paper §4.3): dynamically compose checksumming
+//! and byte swapping into a single copy loop, and compare against the
+//! modular (separate-pass) and hand-integrated baselines — Table 4.
+//!
+//! The "uncached" rows stream through a working set much larger than the
+//! last-level cache, so every message is cold, the regime the paper's
+//! flushed measurements capture.
+//!
+//! ```sh
+//! cargo run --release --example pipeline
+//! ```
+
+use ash::{integrated, separate, Pipeline, Step};
+use std::time::Instant;
+
+const MSG: usize = 16 * 1024;
+/// Enough 16 KiB message pairs to overflow any last-level cache.
+const RING: usize = 4096;
+
+fn time_warm(mut f: impl FnMut(&[u8], &mut [u8]) -> u16, src: &[u8], dst: &mut [u8]) -> f64 {
+    const REPS: u32 = 3000;
+    let t = Instant::now();
+    for _ in 0..REPS {
+        std::hint::black_box(f(src, dst));
+    }
+    t.elapsed().as_secs_f64() * 1e9 / f64::from(REPS)
+}
+
+fn time_cold(
+    mut f: impl FnMut(&[u8], &mut [u8]) -> u16,
+    ring: &mut [u8],
+) -> f64 {
+    let n = ring.len() / (2 * MSG);
+    let t = Instant::now();
+    for i in 0..n {
+        let (a, b) = ring[i * 2 * MSG..(i + 1) * 2 * MSG].split_at_mut(MSG);
+        std::hint::black_box(f(a, b));
+    }
+    t.elapsed().as_secs_f64() * 1e9 / n as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src: Vec<u8> = (0..MSG).map(|i| (i * 31 + 7) as u8).collect();
+    let mut dst = vec![0u8; MSG];
+    let mut ring = vec![0u8; RING * 2 * MSG];
+    for (i, b) in ring.iter_mut().enumerate() {
+        *b = (i * 13 + 5) as u8;
+    }
+
+    println!("Table 4 analog: 16 KiB messages, ns per message");
+    println!("{:24} {:>12} {:>12}", "", "copy+cksum", "copy+cksum+swap");
+    let mut rows: Vec<(&str, Vec<f64>)> = vec![
+        ("separate, uncached", vec![]),
+        ("separate", vec![]),
+        ("C integrated", vec![]),
+        ("ASH, uncached", vec![]),
+        ("ASH", vec![]),
+    ];
+    for steps in [vec![Step::Checksum], vec![Step::Checksum, Step::Swap]] {
+        let p = Pipeline::compile(&steps)?;
+        // Correctness cross-check before timing.
+        let mut d2 = vec![0u8; MSG];
+        let c1 = p.run(&src, &mut dst);
+        let c2 = integrated(&steps, &src, &mut d2);
+        assert_eq!(c1, c2);
+        assert_eq!(dst, d2);
+
+        rows[0].1.push(time_cold(|s, d| separate(&steps, s, d), &mut ring));
+        rows[1].1.push(time_warm(|s, d| separate(&steps, s, d), &src, &mut dst));
+        rows[2].1.push(time_warm(|s, d| integrated(&steps, s, d), &src, &mut dst));
+        rows[3].1.push(time_cold(|s, d| p.run(s, d), &mut ring));
+        rows[4].1.push(time_warm(|s, d| p.run(s, d), &src, &mut dst));
+    }
+    for (name, vals) in &rows {
+        println!("{name:24} {:>12.0} {:>12.0}", vals[0], vals[1]);
+    }
+    println!(
+        "\nfused-vs-separate, cold: {:.2}x (cksum), {:.2}x (cksum+swap)",
+        rows[0].1[0] / rows[3].1[0],
+        rows[0].1[1] / rows[3].1[1],
+    );
+    println!(
+        "fused-vs-separate, warm: {:.2}x (cksum), {:.2}x (cksum+swap)",
+        rows[1].1[0] / rows[4].1[0],
+        rows[1].1[1] / rows[4].1[1],
+    );
+    Ok(())
+}

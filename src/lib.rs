@@ -1,0 +1,30 @@
+//! # vcode-repro — reproduction of VCODE (Engler, PLDI 1996)
+//!
+//! This facade crate re-exports the workspace so the examples and
+//! cross-crate integration tests have one import root. The real work
+//! lives in the member crates:
+//!
+//! - [`vcode`] — the dynamic code generation core (the paper's
+//!   contribution);
+//! - [`vcode_x64`], [`vcode_mips`], [`vcode_sparc`], [`vcode_alpha`] —
+//!   the four backends;
+//! - [`vcode_sim`] — instruction-set simulators for the three paper
+//!   platforms;
+//! - [`dcg`] — the IR-tree baseline the paper is ~35× faster than;
+//! - [`dpf`] — dynamic packet filters (Table 3);
+//! - [`ash`] — fused message pipelines (Table 4);
+//! - [`tcc`] — the C-subset compiler client (§4.1).
+//!
+//! See `README.md` for the quick start, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use ash;
+pub use dcg;
+pub use dpf;
+pub use tcc;
+pub use vcode;
+pub use vcode_alpha;
+pub use vcode_mips;
+pub use vcode_sim;
+pub use vcode_sparc;
+pub use vcode_x64;

@@ -1,0 +1,159 @@
+//! Workspace integration: the retargetability property. Randomly
+//! generated straight-line VCODE programs must compute the same result
+//! on all four targets — x86-64 executed natively, MIPS/SPARC/Alpha on
+//! their instruction-set simulators.
+
+use proptest::prelude::*;
+use vcode::target::Leaf;
+use vcode::{Assembler, Reg, RegClass, Target};
+use vcode_x64::ExecMem;
+
+/// One step of a random straight-line program over three int registers.
+#[derive(Debug, Clone)]
+enum Step {
+    Add(u8, u8, u8),
+    Sub(u8, u8, u8),
+    Mul(u8, u8, u8),
+    AddI(u8, u8, i32),
+    Xor(u8, u8, u8),
+    And(u8, u8, u8),
+    Or(u8, u8, u8),
+    ShlI(u8, u8, u8),
+    ShrI(u8, u8, u8),
+    Neg(u8, u8),
+    Com(u8, u8),
+    Set(u8, i32),
+    // A compare-and-skip: if r[a] < r[b] skip the next setting of r[c].
+    CmovLt(u8, u8, u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let r = 0u8..3;
+    prop_oneof![
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Step::Add(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Step::Sub(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Step::Mul(a, b, c)),
+        (r.clone(), r.clone(), -1000i32..1000).prop_map(|(a, b, k)| Step::AddI(a, b, k)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Step::Xor(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Step::And(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Step::Or(a, b, c)),
+        (r.clone(), r.clone(), 0u8..31).prop_map(|(a, b, k)| Step::ShlI(a, b, k)),
+        (r.clone(), r.clone(), 0u8..31).prop_map(|(a, b, k)| Step::ShrI(a, b, k)),
+        (r.clone(), r.clone()).prop_map(|(a, b)| Step::Neg(a, b)),
+        (r.clone(), r.clone()).prop_map(|(a, b)| Step::Com(a, b)),
+        (r.clone(), any::<i32>()).prop_map(|(a, k)| Step::Set(a, k)),
+        (r.clone(), r.clone(), r).prop_map(|(a, b, c)| Step::CmovLt(a, b, c)),
+    ]
+}
+
+/// Emits the program for any target.
+fn emit<T: Target>(a: &mut Assembler<'_, T>, steps: &[Step]) {
+    let (x, y) = (a.arg(0), a.arg(1));
+    let r: Vec<Reg> = (0..3)
+        .map(|_| a.getreg(RegClass::Temp).expect("reg"))
+        .collect();
+    a.movi(r[0], x);
+    a.movi(r[1], y);
+    a.xori(r[2], x, y);
+    for s in steps {
+        match *s {
+            Step::Add(d, p, q) => a.addi(r[d as usize], r[p as usize], r[q as usize]),
+            Step::Sub(d, p, q) => a.subi(r[d as usize], r[p as usize], r[q as usize]),
+            Step::Mul(d, p, q) => a.muli(r[d as usize], r[p as usize], r[q as usize]),
+            Step::AddI(d, p, k) => a.addii(r[d as usize], r[p as usize], i64::from(k)),
+            Step::Xor(d, p, q) => a.xori(r[d as usize], r[p as usize], r[q as usize]),
+            Step::And(d, p, q) => a.andi(r[d as usize], r[p as usize], r[q as usize]),
+            Step::Or(d, p, q) => a.ori(r[d as usize], r[p as usize], r[q as usize]),
+            Step::ShlI(d, p, k) => a.lshii(r[d as usize], r[p as usize], i64::from(k)),
+            Step::ShrI(d, p, k) => a.rshii(r[d as usize], r[p as usize], i64::from(k)),
+            Step::Neg(d, p) => a.negi(r[d as usize], r[p as usize]),
+            Step::Com(d, p) => a.comi(r[d as usize], r[p as usize]),
+            Step::Set(d, k) => a.seti(r[d as usize], k),
+            Step::CmovLt(p, q, d) => {
+                let skip = a.genlabel();
+                a.blti(r[p as usize], r[q as usize], skip);
+                a.seti(r[d as usize], 0x5a5a);
+                a.label(skip);
+            }
+        }
+    }
+    // Mix all three into the result.
+    a.xori(r[0], r[0], r[1]);
+    a.addi(r[0], r[0], r[2]);
+    a.reti(r[0]);
+}
+
+fn run_all(steps: &[Step], x: i32, y: i32) -> (i32, i32, i32, i32) {
+    // Native.
+    let mut mem = ExecMem::new(64 * 1024).expect("mmap");
+    let mut a =
+        Assembler::<vcode_x64::X64>::lambda(mem.as_mut_slice(), "%i%i", Leaf::Yes).expect("x64");
+    emit(&mut a, steps);
+    a.end().expect("end");
+    let code = mem.finalize().expect("mprotect");
+    let f: extern "C" fn(i32, i32) -> i32 = unsafe { code.as_fn() };
+    let native = f(x, y);
+    // Simulated.
+    let gen = |steps: &[Step]| -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+        let mut m1 = vec![0u8; 64 * 1024];
+        let mut a = Assembler::<vcode_mips::Mips>::lambda(&mut m1, "%i%i", Leaf::Yes).unwrap();
+        emit(&mut a, steps);
+        let l1 = a.end().unwrap().len;
+        m1.truncate(l1);
+        let mut m2 = vec![0u8; 64 * 1024];
+        let mut a = Assembler::<vcode_sparc::Sparc>::lambda(&mut m2, "%i%i", Leaf::Yes).unwrap();
+        emit(&mut a, steps);
+        let l2 = a.end().unwrap().len;
+        m2.truncate(l2);
+        let mut m3 = vec![0u8; 64 * 1024];
+        let mut a = Assembler::<vcode_alpha::Alpha>::lambda(&mut m3, "%i%i", Leaf::Yes).unwrap();
+        emit(&mut a, steps);
+        let l3 = a.end().unwrap().len;
+        m3.truncate(l3);
+        (m1, m2, m3)
+    };
+    let (mc, sc, ac) = gen(steps);
+    let mut mips = vcode_sim::mips::Machine::new(1 << 21);
+    let e = mips.load_code(&mc);
+    let mv = mips.call(e, &[x as u32, y as u32], 1_000_000).expect("mips") as i32;
+    let mut sparc = vcode_sim::sparc::Machine::new(1 << 21);
+    let e = sparc.load_code(&sc);
+    let sv = sparc.call(e, &[x as u32, y as u32], 1_000_000).expect("sparc") as i32;
+    let mut alpha = vcode_sim::alpha::Machine::new(1 << 21);
+    let e = alpha.load_code(&ac);
+    let av = alpha
+        .call(e, &[i64::from(x) as u64, i64::from(y) as u64], 1_000_000)
+        .expect("alpha") as i32;
+    (native, mv, sv, av)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_targets_agree(
+        steps in proptest::collection::vec(step_strategy(), 1..24),
+        x in any::<i32>(),
+        y in any::<i32>(),
+    ) {
+        let (native, mips, sparc, alpha) = run_all(&steps, x, y);
+        prop_assert_eq!(native, mips, "x64 vs mips");
+        prop_assert_eq!(native, sparc, "x64 vs sparc");
+        prop_assert_eq!(native, alpha, "x64 vs alpha");
+    }
+}
+
+#[test]
+fn fixed_seed_smoke() {
+    let steps = vec![
+        Step::Add(0, 0, 1),
+        Step::Mul(2, 0, 2),
+        Step::CmovLt(0, 1, 2),
+        Step::ShrI(1, 2, 7),
+        Step::Com(0, 1),
+    ];
+    let (n, m, s, a) = run_all(&steps, 1234, -99);
+    assert_eq!(n, m);
+    assert_eq!(n, s);
+    assert_eq!(n, a);
+}
