@@ -106,9 +106,7 @@ pub mod f {
 
 /// Branch-format: `opcode ra, disp21` (target = pc + 4 + 4*disp).
 pub fn branch(b: &mut CodeBuffer<'_>, opcode: u8, ra: u8, disp21: i32) {
-    b.put_u32(
-        (u32::from(opcode) << 26) | (u32::from(ra) << 21) | (disp21 as u32 & 0x1f_ffff),
-    );
+    b.put_u32((u32::from(opcode) << 26) | (u32::from(ra) << 21) | (disp21 as u32 & 0x1f_ffff));
 }
 
 /// Branch opcodes.

@@ -342,12 +342,24 @@ impl Target for Alpha {
         }
         for (k, s) in (9u8..15).enumerate() {
             if used_s & (1 << s) != 0 {
-                encode::mem(&mut a.buf, m::LDQ, s, r::SP, (S_SLOTS + 8 * k as i32) as i16);
+                encode::mem(
+                    &mut a.buf,
+                    m::LDQ,
+                    s,
+                    r::SP,
+                    (S_SLOTS + 8 * k as i32) as i16,
+                );
             }
         }
         for (j, &fr) in F_CALLEE.iter().enumerate() {
             if used_f & (1 << fr) != 0 {
-                encode::mem(&mut a.buf, m::LDT, fr, r::SP, (F_SLOTS + 8 * j as i32) as i16);
+                encode::mem(
+                    &mut a.buf,
+                    m::LDT,
+                    fr,
+                    r::SP,
+                    (F_SLOTS + 8 * j as i32) as i16,
+                );
             }
         }
         encode::mem(&mut a.buf, m::LDA, r::SP, r::SP, frame as i16);
@@ -358,10 +370,7 @@ impl Target for Alpha {
     fn patch(a: &mut Asm<'_>, fixup: Fixup, dest: usize) {
         let disp = (dest as i64 - (fixup.at as i64 + 4)) / 4;
         if !(-(1 << 20)..(1 << 20)).contains(&disp) {
-            a.record_err(Error::BranchOutOfRange {
-                at: fixup.at,
-                dest,
-            });
+            a.record_err(Error::BranchOutOfRange { at: fixup.at, dest });
             return;
         }
         let old = a.buf.read_u32(fixup.at);

@@ -7,11 +7,44 @@
 //! loop body; the generated loop makes exactly one pass over the message
 //! no matter how many layers composed.
 
-use crate::{reference, Step};
+use crate::{generic, reference, Step};
 use std::fmt;
 use vcode::target::Leaf;
 use vcode::{Assembler, RegClass};
 use vcode_x64::{ExecCode, ExecMem, X64};
+
+/// Which engine a [`Pipeline`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Dynamically generated native code (the fast path).
+    Native,
+    /// The scalar [`generic`] interpreter, engaged because code
+    /// generation failed (graceful degradation).
+    Interpreter,
+}
+
+/// Compilation options.
+///
+/// [`code_capacity`](Self::code_capacity) exists for the fault-injection
+/// harness: forcing a tiny buffer exercises the overflow → retry →
+/// degrade ladder deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Words per unrolled main-loop iteration (1 disables unrolling).
+    pub unroll: i32,
+    /// Code-buffer capacity in bytes; `None` picks a comfortable
+    /// default.
+    pub code_capacity: Option<usize>,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions {
+            unroll: UNROLL,
+            code_capacity: None,
+        }
+    }
+}
 
 /// Error from compiling a pipeline.
 #[derive(Debug)]
@@ -44,20 +77,34 @@ impl From<vcode::Error> for PipelineError {
 /// The generated function has signature
 /// `fn(dst: *mut u8, src: *const u8, nbytes: u64) -> u64` and returns
 /// the unfolded little-endian word sum when a checksum step is present.
+///
+/// When code generation fails the pipeline degrades to the scalar
+/// [`generic`] interpreter rather than erroring — [`run`](Self::run)
+/// keeps producing identical results, only slower; [`engine`]
+/// (Self::engine) reports which path is active.
 pub struct Pipeline {
-    code: ExecCode,
-    entry: extern "C" fn(*mut u8, *const u8, u64) -> u64,
+    engine: Engine,
     steps: Vec<Step>,
-    /// Bytes of generated machine code.
+    /// Bytes of generated machine code (0 in degraded mode).
     pub code_len: usize,
-    /// VCODE instructions specified during generation.
+    /// VCODE instructions specified during generation (0 in degraded
+    /// mode).
     pub vcode_insns: u64,
+}
+
+enum Engine {
+    Native {
+        code: ExecCode,
+        entry: extern "C" fn(*mut u8, *const u8, u64) -> u64,
+    },
+    Interpreter,
 }
 
 impl fmt::Debug for Pipeline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Pipeline")
             .field("steps", &self.steps)
+            .field("engine", &self.engine_kind())
             .field("code_len", &self.code_len)
             .finish()
     }
@@ -67,32 +114,95 @@ impl fmt::Debug for Pipeline {
 const UNROLL: i32 = 8;
 
 impl Pipeline {
-    /// Dynamically composes and compiles the pipeline for `steps`.
+    /// Dynamically composes and compiles the pipeline for `steps`,
+    /// degrading gracefully when generation fails.
+    ///
+    /// The ladder: on a storage [`Overflow`](vcode::Error::Overflow)
+    /// the compile is retried once with a doubled buffer; if generation
+    /// still fails (or executable memory cannot be obtained at all),
+    /// the pipeline falls back to the scalar [`generic`] interpreter —
+    /// [`run`](Self::run) produces identical output on either engine.
     ///
     /// # Errors
     ///
-    /// [`PipelineError`] on code-generation or mapping failure.
+    /// [`PipelineError`] only if even the interpreter cannot be built —
+    /// which cannot currently happen, so callers may treat `Ok` as
+    /// "the pipeline is runnable".
     pub fn compile(steps: &[Step]) -> Result<Pipeline, PipelineError> {
-        Self::compile_with_unroll(steps, UNROLL)
+        Self::compile_with_options(steps, PipelineOptions::default())
     }
 
     /// Compiles with an explicit unroll factor (ablation knob; `1`
-    /// disables unrolling).
+    /// disables unrolling). Same degradation ladder as
+    /// [`compile`](Self::compile).
     ///
     /// # Errors
     ///
-    /// [`PipelineError`] on failure.
+    /// See [`compile`](Self::compile).
     ///
     /// # Panics
     ///
     /// Panics if `unroll` is 0 or absurdly large.
     pub fn compile_with_unroll(steps: &[Step], unroll: i32) -> Result<Pipeline, PipelineError> {
-        assert!((1..=16).contains(&unroll));
+        Self::compile_with_options(
+            steps,
+            PipelineOptions {
+                unroll,
+                ..PipelineOptions::default()
+            },
+        )
+    }
+
+    /// Compiles with explicit [`PipelineOptions`]. Same degradation
+    /// ladder as [`compile`](Self::compile).
+    ///
+    /// # Errors
+    ///
+    /// See [`compile`](Self::compile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.unroll` is 0 or absurdly large.
+    pub fn compile_with_options(
+        steps: &[Step],
+        opts: PipelineOptions,
+    ) -> Result<Pipeline, PipelineError> {
+        assert!((1..=16).contains(&opts.unroll));
+        match Self::native(steps, opts) {
+            Ok(p) => return Ok(p),
+            Err(PipelineError::Codegen(vcode::Error::Overflow { capacity })) => {
+                // One retry with a doubled buffer.
+                let retry = PipelineOptions {
+                    code_capacity: Some(capacity.max(1) * 2),
+                    ..opts
+                };
+                if let Ok(p) = Self::native(steps, retry) {
+                    return Ok(p);
+                }
+            }
+            Err(_) => {}
+        }
+        // Degrade: interpret the same steps.
+        Ok(Pipeline {
+            engine: Engine::Interpreter,
+            steps: steps.to_vec(),
+            code_len: 0,
+            vcode_insns: 0,
+        })
+    }
+
+    /// The native-codegen rung of the ladder.
+    fn native(steps: &[Step], opts: PipelineOptions) -> Result<Pipeline, PipelineError> {
+        let unroll = opts.unroll;
         let do_cksum = steps.contains(&Step::Checksum);
         let do_swap = steps.contains(&Step::Swap);
-        let mut mem = ExecMem::new(4096).map_err(PipelineError::Exec)?;
+        let est = opts.code_capacity.unwrap_or(4096);
+        let mut mem = ExecMem::new(est).map_err(PipelineError::Exec)?;
+        // The mapping rounds up to whole pages; honor sub-page
+        // capacities so the harness can force overflows.
+        let cap = est.min(mem.len());
         let mut a =
-            Assembler::<X64>::lambda(mem.as_mut_slice(), "%p%p%ul:%ul", Leaf::Yes)?;
+            Assembler::<X64>::lambda(&mut mem.as_mut_slice()[..cap], "%p%p%ul:%ul", Leaf::Yes)?;
         let dst = a.arg(0);
         let src = a.arg(1);
         let n = a.arg(2);
@@ -181,8 +291,7 @@ impl Pipeline {
         // touches dst[..n] / src[..n].
         let entry: extern "C" fn(*mut u8, *const u8, u64) -> u64 = unsafe { code.as_fn() };
         Ok(Pipeline {
-            code,
-            entry,
+            engine: Engine::Native { code, entry },
             steps: steps.to_vec(),
             code_len: fin.len,
             vcode_insns,
@@ -200,8 +309,14 @@ impl Pipeline {
     #[inline]
     pub fn run(&self, src: &[u8], dst: &mut [u8]) -> u16 {
         assert_eq!(src.len(), dst.len());
-        assert!(src.len().is_multiple_of(4), "pipelines operate on whole words");
-        let sum = (self.entry)(dst.as_mut_ptr(), src.as_ptr(), src.len() as u64);
+        assert!(
+            src.len().is_multiple_of(4),
+            "pipelines operate on whole words"
+        );
+        let sum = match &self.engine {
+            Engine::Native { entry, .. } => entry(dst.as_mut_ptr(), src.as_ptr(), src.len() as u64),
+            Engine::Interpreter => generic::run_fused(&self.steps, src, dst),
+        };
         if self.steps.contains(&Step::Checksum) {
             reference::fold_le_words(sum)
         } else {
@@ -214,9 +329,21 @@ impl Pipeline {
         &self.steps
     }
 
-    /// Entry address (diagnostics).
-    pub fn entry_addr(&self) -> u64 {
-        self.code.addr()
+    /// Which engine [`run`](Self::run) executes on.
+    pub fn engine_kind(&self) -> EngineKind {
+        match self.engine {
+            Engine::Native { .. } => EngineKind::Native,
+            Engine::Interpreter => EngineKind::Interpreter,
+        }
+    }
+
+    /// Entry address of the generated code (diagnostics); `None` in
+    /// degraded mode.
+    pub fn entry_addr(&self) -> Option<u64> {
+        match &self.engine {
+            Engine::Native { code, .. } => Some(code.addr()),
+            Engine::Interpreter => None,
+        }
     }
 }
 
@@ -298,5 +425,60 @@ mod tests {
         assert!(p.vcode_insns > 10);
         assert!(p.code_len < 1024);
         assert_eq!(p.steps(), &[Step::Checksum, Step::Swap]);
+        assert_eq!(p.engine_kind(), EngineKind::Native);
+        assert!(p.entry_addr().is_some());
+    }
+
+    #[test]
+    fn forced_codegen_failure_degrades_to_interpreter() {
+        for steps in [
+            vec![],
+            vec![Step::Checksum],
+            vec![Step::Swap],
+            vec![Step::Checksum, Step::Swap],
+        ] {
+            let p = Pipeline::compile_with_options(
+                &steps,
+                PipelineOptions {
+                    code_capacity: Some(16), // retry doubles to 32: still hopeless
+                    ..PipelineOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(p.engine_kind(), EngineKind::Interpreter, "{steps:?}");
+            assert_eq!(p.code_len, 0);
+            assert_eq!(p.entry_addr(), None);
+            // Degraded mode must be semantically invisible.
+            for n in [0usize, 4, 16, 100, 1024] {
+                let src = data(n);
+                let mut d_deg = vec![0u8; n];
+                let mut d_sep = vec![0u8; n];
+                let c_deg = p.run(&src, &mut d_deg);
+                let c_sep = separate(&steps, &src, &mut d_sep);
+                assert_eq!(d_deg, d_sep, "{steps:?} n={n}");
+                assert_eq!(c_deg, c_sep, "{steps:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_retry_with_doubled_buffer_recovers() {
+        let steps = [Step::Checksum, Step::Swap];
+        let probe = Pipeline::compile(&steps).unwrap();
+        // One byte short forces the overflow; the doubled retry fits.
+        let p = Pipeline::compile_with_options(
+            &steps,
+            PipelineOptions {
+                code_capacity: Some(probe.code_len - 1),
+                ..PipelineOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(p.engine_kind(), EngineKind::Native);
+        let src = data(256);
+        let mut d1 = vec![0u8; 256];
+        let mut d2 = vec![0u8; 256];
+        assert_eq!(p.run(&src, &mut d1), probe.run(&src, &mut d2));
+        assert_eq!(d1, d2);
     }
 }

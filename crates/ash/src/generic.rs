@@ -142,6 +142,40 @@ pub fn fold_le_halfwords(sum: u32) -> u16 {
     crate::reference::fold_le_words(u64::from(sum))
 }
 
+/// Scalar host execution of the fused pipeline semantics — the engine
+/// [`Pipeline`](crate::Pipeline) degrades to when native code
+/// generation fails.
+///
+/// Mirrors the generated function's contract exactly: copies `src` to
+/// `dst` applying the swap, and returns the *unfolded* little-endian
+/// 32-bit word sum when a checksum step is present (fold with
+/// [`reference::fold_le_words`](crate::reference::fold_le_words)).
+///
+/// # Panics
+///
+/// Panics unless `src.len() == dst.len()` and the length is a multiple
+/// of 4.
+pub fn run_fused(steps: &[Step], src: &[u8], dst: &mut [u8]) -> u64 {
+    assert_eq!(src.len(), dst.len());
+    assert!(src.len().is_multiple_of(4));
+    let do_cksum = steps.contains(&Step::Checksum);
+    let do_swap = steps.contains(&Step::Swap);
+    let mut sum: u64 = 0;
+    for (s, d) in src.chunks_exact(4).zip(dst.chunks_exact_mut(4)) {
+        let w = u32::from_le_bytes(s.try_into().unwrap());
+        if do_cksum {
+            sum += u64::from(w);
+        }
+        let out = if do_swap {
+            ((w & 0x00ff_00ff) << 8) | ((w >> 8) & 0x00ff_00ff)
+        } else {
+            w
+        };
+        d.copy_from_slice(&out.to_le_bytes());
+    }
+    sum
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

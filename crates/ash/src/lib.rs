@@ -38,7 +38,7 @@
 mod compile;
 pub mod generic;
 
-pub use compile::{Pipeline, PipelineError};
+pub use compile::{EngineKind, Pipeline, PipelineError, PipelineOptions};
 
 /// A data-manipulation step a protocol layer contributes to the message
 /// pipeline.

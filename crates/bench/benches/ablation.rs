@@ -9,7 +9,6 @@
 //!   simulated instructions;
 //! - tcc end-to-end compile throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dpf::packet::{self, PacketSpec};
 use dpf::{Dpf, Options};
 use std::hint::black_box;
@@ -17,6 +16,7 @@ use std::time::Instant;
 use vcode::target::{Leaf, Target};
 use vcode::{Assembler, RegClass};
 use vcode_bench::BODY_INSNS;
+use vcode_bench::{criterion_group, criterion_main, Criterion};
 
 fn emit_body<T: Target>(mem: &mut [u8]) -> usize {
     let mut a = Assembler::<T>::lambda(mem, "%i%i", Leaf::Yes).unwrap();
@@ -77,6 +77,7 @@ fn bench(c: &mut Criterion) {
                 use_jump_tables: false,
                 use_hashing: false,
                 elide_bounds_checks: false,
+                ..Options::default()
             },
         ),
     ];

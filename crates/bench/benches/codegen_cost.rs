@@ -10,13 +10,13 @@
 //! - VCODE's bookkeeping space is labels + unresolved jumps only, while
 //!   DCG's IR grows with the program (§3).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dcg::Fun;
 use std::hint::black_box;
 use std::time::Instant;
 use vcode::target::Leaf;
 use vcode::{Assembler, BinOp, Reg, RegClass, Ty};
 use vcode_bench::BODY_INSNS;
+use vcode_bench::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use vcode_x64::X64;
 
 /// Emits `n` VCODE instructions using allocator-assigned registers.

@@ -6,12 +6,12 @@
 //! i.e. DPF ≈10× PATHFINDER-interpretation and ≈20× MPF. The absolute
 //! scale here is a modern CPU's; the ratios are the reproduced shape.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dpf::mpf::Mpf;
 use dpf::packet::{self, PacketSpec};
 use dpf::{Dpf, Pathfinder};
 use std::hint::black_box;
 use std::time::Instant;
+use vcode_bench::{criterion_group, criterion_main, Criterion, Throughput};
 
 struct Setup {
     dpf: Dpf,

@@ -8,9 +8,9 @@
 //! single-op pipeline warm; see EXPERIMENTS.md.)
 
 use ash::{integrated, separate, Pipeline, Step};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Instant;
+use vcode_bench::{criterion_group, criterion_main, Criterion, Throughput};
 
 const MSG: usize = 16 * 1024;
 const RING: usize = 4096;
@@ -19,7 +19,11 @@ fn bench(c: &mut Criterion) {
     let src: Vec<u8> = (0..MSG).map(|i| (i * 31 + 7) as u8).collect();
     let mut dst = vec![0u8; MSG];
     for steps in [vec![Step::Checksum], vec![Step::Checksum, Step::Swap]] {
-        let name = if steps.len() == 1 { "cksum" } else { "cksum_swap" };
+        let name = if steps.len() == 1 {
+            "cksum"
+        } else {
+            "cksum_swap"
+        };
         let p = Pipeline::compile(&steps).expect("compiles");
         let mut group = c.benchmark_group(format!("table4_{name}"));
         group.throughput(Throughput::Bytes(MSG as u64));
@@ -29,9 +33,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function("integrated_c", |b| {
             b.iter(|| black_box(integrated(&steps, &src, &mut dst)))
         });
-        group.bench_function("ash_fused", |b| {
-            b.iter(|| black_box(p.run(&src, &mut dst)))
-        });
+        group.bench_function("ash_fused", |b| b.iter(|| black_box(p.run(&src, &mut dst))));
         group.finish();
     }
 

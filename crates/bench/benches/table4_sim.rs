@@ -108,7 +108,10 @@ fn main() {
         ("DEC5000-like", Cache::dec5000()),
     ] {
         println!("\n{machine} (64 KiB direct-mapped dcache):");
-        println!("{:22} {:>12} {:>16}", "method", "copy+cksum", "copy+cksum+swap");
+        println!(
+            "{:22} {:>12} {:>16}",
+            "method", "copy+cksum", "copy+cksum+swap"
+        );
         let mut rows: Vec<(&str, Vec<u64>)> = vec![
             ("separate, uncached", vec![]),
             ("separate, cached", vec![]),

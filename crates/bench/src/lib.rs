@@ -14,3 +14,167 @@
 /// A standard straight-line workload: `n` arithmetic/memory VCODE
 /// instructions, the unit of the codegen-cost experiments.
 pub const BODY_INSNS: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Minimal benchmark runner with a criterion-compatible surface.
+//
+// The workspace builds fully offline, so the external `criterion` crate is
+// not available; the `benches/` targets instead import this drop-in subset
+// (`Criterion`, `benchmark_group`, `Bencher::iter`/`iter_batched`,
+// `Throughput`, and the `criterion_group!`/`criterion_main!` macros). It
+// calibrates an iteration count for a ~50 ms measurement window, takes the
+// best of three runs, and prints ns/iter plus derived throughput.
+// ---------------------------------------------------------------------------
+
+use std::time::{Duration, Instant};
+
+/// How measured quantities scale with one iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for `iter_batched`; accepted for source compatibility
+/// (every batch re-runs setup outside the timed region regardless).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Setup output is cheap to hold; batches can be large.
+    SmallInput,
+    /// Setup output is expensive to hold; batches stay small.
+    LargeInput,
+}
+
+/// Times one benchmark body: accumulates the wall-clock cost of running
+/// the closure `iters` times.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the calibrated iteration count.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let t = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed += t.elapsed();
+    }
+
+    /// Times `f` over the calibrated iteration count, running `setup`
+    /// outside the timed region before each call.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut f: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(f(input));
+            self.elapsed += t.elapsed();
+        }
+    }
+}
+
+/// Entry point handed to each `criterion_group!` target function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of measurements sharing a throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Declares how much work one iteration represents.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Calibrates, measures, and reports one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        // Calibrate: one iteration to estimate per-iter cost.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed.as_nanos().max(1) as f64;
+        let iters = ((5e7 / per).ceil() as u64).clamp(1, 1_000_000);
+        // Warm up with a quarter window, then keep the best of three runs.
+        let mut b = Bencher {
+            iters: (iters / 4).max(1),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            best = best.min(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let mut line = format!("{}/{id:<28} {:>12.1} ns/iter", self.name, best);
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                line += &format!("  {:>10.1} Melem/s", n as f64 / best * 1e3);
+            }
+            Some(Throughput::Bytes(n)) => {
+                line += &format!("  {:>10.1} MiB/s", n as f64 / best * 1e9 / (1 << 20) as f64);
+            }
+            None => {}
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (criterion API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

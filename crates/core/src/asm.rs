@@ -28,7 +28,9 @@ use crate::label::{Fixup, FixupTarget, Label, LabelMap, LiteralPool};
 use crate::op::{BinOp, Cond, Imm, UnOp};
 use crate::reg::{Bank, Reg, RegClass, RegFile, RegKind};
 use crate::regalloc::RegAlloc;
-use crate::target::{BrOperand, CallFrame, Finished, JumpTarget, Leaf, Off, StackSlot, Target, TargetScratch};
+use crate::target::{
+    BrOperand, CallFrame, Finished, JumpTarget, Leaf, Off, StackSlot, Target, TargetScratch,
+};
 use crate::ty::{Sig, Ty};
 use std::marker::PhantomData;
 
@@ -350,11 +352,7 @@ impl<'m, T: Target> Assembler<'m, T> {
         let fixups = std::mem::take(&mut self.a.fixups);
         for f in fixups {
             let dest = match f.target {
-                FixupTarget::Label(l) => self
-                    .a
-                    .labels
-                    .offset(l)
-                    .ok_or(Error::UnboundLabel(l))?,
+                FixupTarget::Label(l) => self.a.labels.offset(l).ok_or(Error::UnboundLabel(l))?,
                 FixupTarget::Lit(id) => self.a.lits.offset(id),
             };
             T::patch(&mut self.a, f, dest);
@@ -433,30 +431,38 @@ impl<'m, T: Target> Assembler<'m, T> {
     /// (`T0`, `T1`, ... — paper §5.3). Using hard names skips the
     /// allocator and roughly halves generation cost.
     ///
-    /// # Panics
-    ///
-    /// Panics when the target provides fewer than `i + 1` temporaries —
-    /// the paper's "register assertion" surfaced at generation time.
-    pub fn hard_temp(&self, i: usize) -> Reg {
-        *T::regfile()
-            .hard_temps
-            .get(i)
-            .unwrap_or_else(|| panic!("{} provides {} hard temporaries, T{i} requested",
-                T::NAME, T::regfile().hard_temps.len()))
+    /// Requesting more temporaries than the target provides — the
+    /// paper's "register assertion" — latches [`Error::BadOperands`]
+    /// (reported by [`end`](Self::end)) and returns the target's first
+    /// temporary so generation can continue to the error report.
+    pub fn hard_temp(&mut self, i: usize) -> Reg {
+        let temps = T::regfile().hard_temps;
+        match temps.get(i) {
+            Some(&r) => r,
+            None => {
+                self.a
+                    .record_err(Error::BadOperands("hard temporary index out of range"));
+                temps.first().copied().unwrap_or(Reg::int(0))
+            }
+        }
     }
 
     /// The `i`-th architecture-independent hard-coded persistent register
     /// (`S0`, `S1`, ...).
     ///
-    /// # Panics
-    ///
-    /// Panics when the target provides fewer than `i + 1` such registers.
-    pub fn hard_saved(&self, i: usize) -> Reg {
-        *T::regfile()
-            .hard_saved
-            .get(i)
-            .unwrap_or_else(|| panic!("{} provides {} hard persistent registers, S{i} requested",
-                T::NAME, T::regfile().hard_saved.len()))
+    /// Out-of-range requests latch [`Error::BadOperands`] exactly like
+    /// [`hard_temp`](Self::hard_temp).
+    pub fn hard_saved(&mut self, i: usize) -> Reg {
+        let saved = T::regfile().hard_saved;
+        match saved.get(i) {
+            Some(&r) => r,
+            None => {
+                self.a.record_err(Error::BadOperands(
+                    "hard persistent register index out of range",
+                ));
+                saved.first().copied().unwrap_or(Reg::int(0))
+            }
+        }
     }
 
     /// The target's register-file description.
@@ -469,7 +475,20 @@ impl<'m, T: Target> Assembler<'m, T> {
     /// Allocates a local variable in the activation record (the paper's
     /// `v_local`). Offsets are known immediately because the prologue
     /// reserves a worst-case save area (paper §5.2).
+    ///
+    /// `Ty::V` has no size; requesting a void local latches
+    /// [`Error::BadOperands`] (reported by [`end`](Self::end)) and
+    /// returns a dummy zero-offset slot.
     pub fn local(&mut self, ty: Ty) -> StackSlot {
+        if ty.try_size_bytes(T::WORD_BITS).is_none() {
+            self.a
+                .record_err(Error::BadOperands("void local requested"));
+            return StackSlot {
+                base: T::regfile().fp,
+                off: 0,
+                ty,
+            };
+        }
         T::local(&mut self.a, ty)
     }
 
@@ -478,11 +497,19 @@ impl<'m, T: Target> Assembler<'m, T> {
     /// `base + off + k * size` regardless of which direction the
     /// target's locals grow.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
+    /// A zero `n` or a `Ty::V` element type latches
+    /// [`Error::BadOperands`] and returns a dummy slot, like
+    /// [`local`](Self::local).
     pub fn local_array(&mut self, ty: Ty, n: usize) -> StackSlot {
-        assert!(n > 0, "empty array");
+        if n == 0 || ty.try_size_bytes(T::WORD_BITS).is_none() {
+            self.a
+                .record_err(Error::BadOperands("empty or void local array requested"));
+            return StackSlot {
+                base: T::regfile().fp,
+                off: 0,
+                ty,
+            };
+        }
         let mut first = T::local(&mut self.a, ty);
         for _ in 1..n {
             let s = T::local(&mut self.a, ty);
@@ -769,11 +796,7 @@ impl<'m, T: Target> Assembler<'m, T> {
     /// Schedules `slot` into the delay slot of the branch emitted by
     /// `branch` (the paper's `v_schedule_delay`). On targets without
     /// delay slots, `slot` is simply placed before the branch.
-    pub fn schedule_delay(
-        &mut self,
-        branch: impl FnOnce(&mut Self),
-        slot: impl FnOnce(&mut Self),
-    ) {
+    pub fn schedule_delay(&mut self, branch: impl FnOnce(&mut Self), slot: impl FnOnce(&mut Self)) {
         if T::BRANCH_DELAY_SLOTS > 0 {
             self.a.manual_delay = true;
             branch(self);

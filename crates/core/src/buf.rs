@@ -124,10 +124,13 @@ impl<'m> CodeBuffer<'m> {
         }
     }
 
-    /// Overwrites one byte at `at` (must be below the cursor).
+    /// Overwrites one byte at `at` (must be below the cursor, unless the
+    /// buffer has already overflowed — then the cursor froze while
+    /// offsets kept advancing, the patch target was never emitted, and
+    /// the write is dropped; `end()` reports the overflow).
     #[inline]
     pub fn patch_u8(&mut self, at: usize, b: u8) {
-        debug_assert!(at < self.len, "patch past cursor");
+        debug_assert!(at < self.len || self.overflow, "patch past cursor");
         if at < self.len {
             self.mem[at] = b;
         }
@@ -139,26 +142,45 @@ impl<'m> CodeBuffer<'m> {
         self.patch_slice(at, &v.to_le_bytes());
     }
 
-    /// Overwrites raw bytes at `at`.
+    /// Overwrites raw bytes at `at` (same overflow tolerance as
+    /// [`patch_u8`](Self::patch_u8)).
     pub fn patch_slice(&mut self, at: usize, bytes: &[u8]) {
         let end = at + bytes.len();
-        debug_assert!(end <= self.len, "patch past cursor");
+        debug_assert!(end <= self.len || self.overflow, "patch past cursor");
         if end <= self.len {
             self.mem[at..end].copy_from_slice(bytes);
         }
     }
 
     /// Reads back a little-endian 32-bit value (for read-modify-write
-    /// patches of already-emitted instructions).
+    /// patches of already-emitted instructions). After an overflow the
+    /// requested word may never have been emitted; reads of such
+    /// offsets return 0 rather than panicking (the overflow is latched
+    /// and reported by `end()`).
     pub fn read_u32(&self, at: usize) -> u32 {
-        let mut b = [0u8; 4];
-        b.copy_from_slice(&self.mem[at..at + 4]);
-        u32::from_le_bytes(b)
+        match self.mem.get(at..at + 4) {
+            Some(s) => {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(s);
+                u32::from_le_bytes(b)
+            }
+            None => {
+                debug_assert!(self.overflow, "read past capacity");
+                0
+            }
+        }
     }
 
-    /// Reads back one byte.
+    /// Reads back one byte (same overflow tolerance as
+    /// [`read_u32`](Self::read_u32)).
     pub fn read_u8(&self, at: usize) -> u8 {
-        self.mem[at]
+        match self.mem.get(at) {
+            Some(&b) => b,
+            None => {
+                debug_assert!(self.overflow, "read past capacity");
+                0
+            }
+        }
     }
 }
 

@@ -198,7 +198,8 @@ impl Target for FakeTarget {
         // Backpatch the activation-record size.
         let frame = (Self::MAX_SAVE_BYTES + a.locals_bytes) as u32;
         let old = a.buf.read_u32(a.ts.frame_fix);
-        a.buf.patch_u32(a.ts.frame_fix, old | (frame & 0xffff) << 16);
+        a.buf
+            .patch_u32(a.ts.frame_fix, old | (frame & 0xffff) << 16);
         // Deferred epilogue.
         let here = a.buf.len();
         a.labels.bind(a.epilogue, here);

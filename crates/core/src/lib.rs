@@ -60,6 +60,7 @@ pub mod regalloc;
 pub mod regress;
 pub mod spec;
 pub mod target;
+pub mod trap;
 pub mod ty;
 
 pub use asm::{Asm, Assembler};
@@ -70,4 +71,5 @@ pub use reg::{Bank, Reg, RegClass, RegDesc, RegFile, RegKind};
 pub use target::{
     BrOperand, CallFrame, Finished, JumpTarget, Leaf, Off, StackSlot, Target, TargetScratch,
 };
+pub use trap::{ExecError, Fuel, Trap, TrapKind};
 pub use ty::{Sig, SigParseError, Ty};

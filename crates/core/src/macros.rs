@@ -86,7 +86,9 @@ mod tests {
         let mut mem = vec![0u8; 4096];
         let mut a = Assembler::<FakeTarget>::lambda(&mut mem, "", Leaf::Yes).unwrap();
         vc!(a, {});
-        vc!(a, { retv; });
+        vc!(a, {
+            retv;
+        });
         a.end().unwrap();
     }
 }

@@ -237,6 +237,30 @@ impl XorShift {
         self.0 = x;
         x
     }
+
+    /// Next value in `0..n` (`n` must be non-zero). The slight modulo
+    /// bias is irrelevant for test-case generation.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Next value in `lo..hi` (`hi` must exceed `lo`).
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+
+    /// Next pseudo-random boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fills `buf` with pseudo-random bytes.
+    pub fn fill(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
 }
 
 /// Interesting boundary operand values (paper: "frequently the source of
@@ -249,8 +273,8 @@ pub const BOUNDARY_VALUES: [u64; 14] = [
     0x7f,
     0x80,
     0xff,
-    0x7fff,          // largest 16-bit immediate
-    0x8000,          // just past it
+    0x7fff, // largest 16-bit immediate
+    0x8000, // just past it
     0xffff,
     0x7fff_ffff,
     0x8000_0000,
@@ -397,10 +421,20 @@ mod tests {
     fn eval_binop_undefined_cases_are_none() {
         assert_eq!(eval_binop(BinOp::Div, Ty::I, 1, 0, 64), None);
         assert_eq!(
-            eval_binop(BinOp::Div, Ty::I, i32::MIN as i64 as u64, (-1i64) as u64, 64),
+            eval_binop(
+                BinOp::Div,
+                Ty::I,
+                i32::MIN as i64 as u64,
+                (-1i64) as u64,
+                64
+            ),
             None
         );
-        assert_eq!(eval_binop(BinOp::Add, Ty::D, 1, 2, 64), None, "f/d not integer cases");
+        assert_eq!(
+            eval_binop(BinOp::Add, Ty::D, 1, 2, 64),
+            None,
+            "f/d not integer cases"
+        );
     }
 
     #[test]

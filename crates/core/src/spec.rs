@@ -345,10 +345,9 @@ mod tests {
 
     #[test]
     fn parse_all_reads_a_specification_file() {
-        let specs = Spec::parse_all(
-            "(sqrt (rd, rs) (f fsqrts) (d fsqrtd))\n(rev (rd, rs) (u brev))",
-        )
-        .unwrap();
+        let specs =
+            Spec::parse_all("(sqrt (rd, rs) (f fsqrts) (d fsqrtd))\n(rev (rd, rs) (u brev))")
+                .unwrap();
         assert_eq!(specs.len(), 2);
         assert_eq!(specs[1].base, "rev");
     }
@@ -359,7 +358,10 @@ mod tests {
         assert!(Spec::parse("(sqrt)").is_err());
         assert!(Spec::parse("(sqrt (rd))").is_err());
         assert!(Spec::parse("(sqrt (rd) (fsqrts))").is_err(), "no types");
-        assert!(Spec::parse("(sqrt (rd) (f a b c))").is_err(), "too many insns");
+        assert!(
+            Spec::parse("(sqrt (rd) (f a b c))").is_err(),
+            "too many insns"
+        );
         assert!(Spec::parse("(a (b) (f x)) junk").is_err(), "trailing input");
         assert!(Spec::parse("(a (b) (f x)").is_err(), "unterminated");
     }

@@ -122,7 +122,10 @@ pub struct Finished {
 impl Finished {
     /// The resolved byte offset of `l`, if it was bound.
     pub fn label_offset(&self, l: crate::label::Label) -> Option<usize> {
-        self.label_offsets.get(l.index() as usize).copied().flatten()
+        self.label_offsets
+            .get(l.index() as usize)
+            .copied()
+            .flatten()
     }
 }
 

@@ -115,21 +115,33 @@ impl Ty {
     }
 
     /// Size of a value of this type in bytes on a machine with the given
+    /// word width (32 or 64), or `None` for [`Ty::V`], which has no size.
+    ///
+    /// Client-facing paths (e.g. [`Assembler::local`](crate::Assembler::local))
+    /// use this to turn a void-typed request into a latched
+    /// [`Error::BadOperands`](crate::Error::BadOperands) instead of a panic.
+    pub fn try_size_bytes(self, word_bits: u32) -> Option<usize> {
+        assert!(word_bits == 32 || word_bits == 64, "bad word width");
+        match self {
+            Ty::V => None,
+            Ty::C | Ty::Uc => Some(1),
+            Ty::S | Ty::Us => Some(2),
+            Ty::I | Ty::U | Ty::F => Some(4),
+            Ty::L | Ty::Ul | Ty::P => Some((word_bits / 8) as usize),
+            Ty::D => Some(8),
+        }
+    }
+
+    /// Size of a value of this type in bytes on a machine with the given
     /// word width (32 or 64).
     ///
     /// # Panics
     ///
     /// Panics if `word_bits` is neither 32 nor 64, or if called on [`Ty::V`].
+    /// Backend code that may see client-supplied types should prefer
+    /// [`try_size_bytes`](Self::try_size_bytes).
     pub fn size_bytes(self, word_bits: u32) -> usize {
-        assert!(word_bits == 32 || word_bits == 64, "bad word width");
-        match self {
-            Ty::V => panic!("void has no size"),
-            Ty::C | Ty::Uc => 1,
-            Ty::S | Ty::Us => 2,
-            Ty::I | Ty::U | Ty::F => 4,
-            Ty::L | Ty::Ul | Ty::P => (word_bits / 8) as usize,
-            Ty::D => 8,
-        }
+        self.try_size_bytes(word_bits).expect("void has no size")
     }
 
     /// The paper's single-letter suffix for this type (`"ul"` is two).

@@ -1,0 +1,84 @@
+//! Regression tests: client misuse that used to panic now latches
+//! [`Error::BadOperands`] and is reported by `end()`, per the paper's
+//! "signals an error" contract (§5.2).
+
+use vcode::fake::FakeTarget;
+use vcode::{Assembler, Error, Leaf, Ty};
+
+fn asm(mem: &mut [u8]) -> Assembler<'_, FakeTarget> {
+    Assembler::<FakeTarget>::lambda(mem, "%i:i", Leaf::Yes).expect("prologue fits")
+}
+
+#[test]
+fn hard_temp_out_of_range_latches() {
+    let mut mem = vec![0u8; 1024];
+    let mut a = asm(&mut mem);
+    // FakeTarget exposes 4 hard temporaries; index 99 used to panic.
+    let r = a.hard_temp(99);
+    // A usable dummy register comes back so generation can continue...
+    a.movi(r, r);
+    // ...but end() reports the misuse.
+    assert!(matches!(a.end(), Err(Error::BadOperands(_))));
+}
+
+#[test]
+fn hard_temp_in_range_still_works() {
+    let mut mem = vec![0u8; 1024];
+    let mut a = asm(&mut mem);
+    let r = a.hard_temp(2);
+    a.movi(r, r);
+    a.reti(r);
+    assert!(a.end().is_ok());
+}
+
+#[test]
+fn hard_saved_out_of_range_latches() {
+    let mut mem = vec![0u8; 1024];
+    let mut a = asm(&mut mem);
+    let r = a.hard_saved(4); // one past the end
+    a.movi(r, r);
+    assert!(matches!(a.end(), Err(Error::BadOperands(_))));
+}
+
+#[test]
+fn void_local_latches() {
+    let mut mem = vec![0u8; 1024];
+    let mut a = asm(&mut mem);
+    // A void-typed stack slot has no size; this used to panic inside
+    // Ty::size_bytes.
+    let _slot = a.local(Ty::V);
+    assert!(matches!(a.end(), Err(Error::BadOperands(_))));
+}
+
+#[test]
+fn void_or_empty_local_array_latches() {
+    let mut mem = vec![0u8; 1024];
+    let mut a = asm(&mut mem);
+    let _slot = a.local_array(Ty::V, 3);
+    assert!(matches!(a.end(), Err(Error::BadOperands(_))));
+
+    let mut mem = vec![0u8; 1024];
+    let mut a = asm(&mut mem);
+    let _slot = a.local_array(Ty::I, 0);
+    assert!(matches!(a.end(), Err(Error::BadOperands(_))));
+}
+
+#[test]
+fn sized_local_still_works() {
+    let mut mem = vec![0u8; 1024];
+    let mut a = asm(&mut mem);
+    let _slot = a.local(Ty::I);
+    let _arr = a.local_array(Ty::D, 4);
+    let x = a.arg(0);
+    a.reti(x);
+    assert!(a.end().is_ok());
+}
+
+#[test]
+fn try_size_bytes_is_total() {
+    assert_eq!(Ty::V.try_size_bytes(64), None);
+    assert_eq!(Ty::I.try_size_bytes(64), Some(4));
+    assert_eq!(Ty::P.try_size_bytes(32), Some(4));
+    assert_eq!(Ty::P.try_size_bytes(64), Some(8));
+    assert_eq!(Ty::D.try_size_bytes(32), Some(8));
+}

@@ -64,6 +64,12 @@ pub struct Options {
     pub use_hashing: bool,
     /// Elide dominated bounds checks.
     pub elide_bounds_checks: bool,
+    /// Executable-buffer capacity in bytes; `None` sizes it from the
+    /// trie's node count. Setting a too-small value exercises the
+    /// overflow → retry → interpreter-fallback ladder (see
+    /// [`Dpf::compile`](crate::Dpf::compile)); the fault-injection
+    /// harness uses it to force code-generation failure on demand.
+    pub code_capacity: Option<usize>,
 }
 
 impl Default for Options {
@@ -72,6 +78,7 @@ impl Default for Options {
             use_jump_tables: true,
             use_hashing: true,
             elide_bounds_checks: true,
+            code_capacity: None,
         }
     }
 }
@@ -99,6 +106,15 @@ impl std::error::Error for CompileError {}
 impl From<vcode::Error> for CompileError {
     fn from(e: vcode::Error) -> CompileError {
         CompileError::Codegen(e)
+    }
+}
+
+impl From<CompileError> for vcode::ExecError {
+    fn from(e: CompileError) -> vcode::ExecError {
+        match e {
+            CompileError::Codegen(e) => vcode::ExecError::Codegen(e),
+            CompileError::Exec(e) => vcode::ExecError::Mem(e),
+        }
     }
 }
 
@@ -213,7 +229,7 @@ impl<'m> Cg<'m> {
     /// Converts `self.field` from raw little-endian load to the
     /// big-endian value domain (needed by table/hash dispatch, which
     /// relies on numeric ordering/density of the real values).
-    fn to_value_domain(&mut self, size: FieldSize) {
+    fn emit_value_domain(&mut self, size: FieldSize) {
         match size {
             FieldSize::U8 => {}
             FieldSize::U16 => {
@@ -269,8 +285,7 @@ impl<'m> Cg<'m> {
                     self.a
                         .andui(self.field, self.field, i64::from(swap_val(mask, size)));
                 }
-                let arm_labels: Vec<Label> =
-                    node.arms.iter().map(|_| self.a.genlabel()).collect();
+                let arm_labels: Vec<Label> = node.arms.iter().map(|_| self.a.genlabel()).collect();
                 self.dispatch(node, size, &arm_labels, node_fail);
                 for (arm, &l) in node.arms.iter().zip(&arm_labels) {
                     self.a.label(l);
@@ -285,7 +300,7 @@ impl<'m> Cg<'m> {
             } => {
                 self.bounds(offset, size, &mut st, node_fail);
                 self.load_field(offset, size, st);
-                self.to_value_domain(size);
+                self.emit_value_domain(size);
                 self.a.andui(self.field, self.field, i64::from(mask));
                 if shift > 0 {
                     self.a.lshuli(self.field, self.field, i64::from(shift));
@@ -366,12 +381,11 @@ impl<'m> Cg<'m> {
         span: usize,
         fail: Label,
     ) {
-        self.to_value_domain(size);
+        self.emit_value_domain(size);
         if min != 0 {
             self.a.subui(self.field, self.field, i64::from(min));
         }
-        self.a
-            .bgtui(self.field, i64::from(span as u32 - 1), fail);
+        self.a.bgtui(self.field, i64::from(span as u32 - 1), fail);
         let table: Box<[u64]> = vec![0u64; span].into_boxed_slice();
         let taddr = table.as_ptr() as u64;
         let ti = self.jump_tables.len();
@@ -452,7 +466,7 @@ impl<'m> Cg<'m> {
         self.hash_keys.push(keys);
         self.hash_addrs.push(addrs);
 
-        self.to_value_domain(size);
+        self.emit_value_domain(size);
         // tmp = slot = (field * M) >> (32 - bits)
         self.a.mului(self.tmp, self.field, i64::from(mult));
         self.a.rshuli(self.tmp, self.tmp, i64::from(32 - bits));
@@ -496,9 +510,13 @@ impl<'m> Cg<'m> {
 /// [`CompileError`] on code-generation or mapping failure.
 pub fn compile(root: &Level, opts: Options) -> Result<CompiledSet, CompileError> {
     // Size the mapping generously: trie nodes each cost tens of bytes.
-    let est = 4096 + root.node_count() * 512;
+    // An explicit code_capacity overrides the estimate (harness knob).
+    let est = opts.code_capacity.unwrap_or(4096 + root.node_count() * 512);
     let mut mem = ExecMem::new(est).map_err(CompileError::Exec)?;
-    let mut a = Assembler::<X64>::lambda(mem.as_mut_slice(), "%p%ul", Leaf::Yes)?;
+    // The mapping rounds up to whole pages; honor a sub-page capacity
+    // override by handing the assembler only the requested prefix.
+    let cap = est.min(mem.len());
+    let mut a = Assembler::<X64>::lambda(&mut mem.as_mut_slice()[..cap], "%p%ul", Leaf::Yes)?;
     let msg = a.arg(0);
     let len = a.arg(1);
     let field = a.getreg(RegClass::Temp).expect("reg");

@@ -45,7 +45,19 @@ pub mod trie;
 pub use compile::{CompileError, CompiledSet, Options, Strategies};
 pub use lang::{Atom, FieldSize, Filter, FilterBuilder, FilterError};
 
+use mpf::Mpf;
 use trie::Level;
+
+/// Which engine a [`Dpf`] is classifying with after
+/// [`compile`](Dpf::compile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Dynamically generated native code (the fast path).
+    Native,
+    /// The MPF bytecode interpreter, engaged because code generation
+    /// failed (graceful degradation).
+    Interpreter,
+}
 
 /// The dynamically compiled demultiplexer.
 ///
@@ -60,6 +72,9 @@ pub struct Dpf {
     next_id: u32,
     opts: Options,
     compiled: Option<CompiledSet>,
+    /// Interpreter engaged when code generation fails; ids match the
+    /// compiled engine's.
+    fallback: Option<Mpf>,
 }
 
 impl Dpf {
@@ -83,6 +98,7 @@ impl Dpf {
         self.next_id += 1;
         self.filters.push((id, f));
         self.compiled = None;
+        self.fallback = None;
         id
     }
 
@@ -94,6 +110,7 @@ impl Dpf {
         let removed = self.filters.len() != n;
         if removed {
             self.compiled = None;
+            self.fallback = None;
         }
         removed
     }
@@ -108,18 +125,60 @@ impl Dpf {
         self.filters.is_empty()
     }
 
-    /// Merges the resident filters and generates the native classifier.
+    /// Merges the resident filters and generates the native classifier,
+    /// degrading gracefully when generation fails.
+    ///
+    /// The ladder: on a storage [`Overflow`](vcode::Error::Overflow)
+    /// the compile is retried once with a doubled buffer; if generation
+    /// still fails (or executable memory cannot be obtained at all),
+    /// the engine falls back to the MPF bytecode interpreter over the
+    /// same filter set — classification keeps working, only slower.
+    /// [`engine`](Self::engine) reports which path is active.
+    ///
+    /// Note one semantic caveat of degraded mode: the compiled trie
+    /// resolves overlapping filters by longest match, the interpreter
+    /// by first match. Disjoint filter sets (the common demultiplexing
+    /// case) classify identically on both.
     ///
     /// # Errors
     ///
-    /// [`CompileError`] on code-generation failure.
+    /// [`CompileError`] only if even the interpreter cannot be built —
+    /// which cannot currently happen, so callers may treat `Ok` as
+    /// "classification is available".
     pub fn compile(&mut self) -> Result<(), CompileError> {
         let root = trie::build(&self.filters);
-        self.compiled = Some(compile::compile(&root, self.opts)?);
+        self.fallback = None;
+        match compile::compile(&root, self.opts) {
+            Ok(set) => {
+                self.compiled = Some(set);
+                return Ok(());
+            }
+            Err(CompileError::Codegen(vcode::Error::Overflow { capacity })) => {
+                // One retry with a doubled buffer.
+                let retry = Options {
+                    code_capacity: Some(capacity.max(1) * 2),
+                    ..self.opts
+                };
+                if let Ok(set) = compile::compile(&root, retry) {
+                    self.compiled = Some(set);
+                    return Ok(());
+                }
+            }
+            Err(_) => {}
+        }
+        // Degrade: interpret the same filters, preserving ids.
+        let mut mpf = Mpf::new();
+        for (id, f) in &self.filters {
+            mpf.insert_as(*id, f);
+        }
+        self.compiled = None;
+        self.fallback = Some(mpf);
         Ok(())
     }
 
-    /// Classifies a message with the compiled engine.
+    /// Classifies a message with the compiled engine, or with the
+    /// interpreter fallback when the last [`compile`](Self::compile)
+    /// degraded.
     ///
     /// # Panics
     ///
@@ -127,7 +186,10 @@ impl Dpf {
     /// last filter change.
     #[inline]
     pub fn classify(&self, msg: &[u8]) -> Option<u32> {
-        self.compiled
+        if let Some(set) = self.compiled.as_ref() {
+            return set.classify(msg);
+        }
+        self.fallback
             .as_ref()
             .expect("Dpf::compile must run after filter changes")
             .classify(msg)
@@ -136,6 +198,19 @@ impl Dpf {
     /// The compiled classifier, if current.
     pub fn compiled(&self) -> Option<&CompiledSet> {
         self.compiled.as_ref()
+    }
+
+    /// Which engine classification runs on: `None` before
+    /// [`compile`](Self::compile) (or after a filter change), otherwise
+    /// native or degraded-interpreter.
+    pub fn engine(&self) -> Option<EngineKind> {
+        if self.compiled.is_some() {
+            Some(EngineKind::Native)
+        } else if self.fallback.is_some() {
+            Some(EngineKind::Interpreter)
+        } else {
+            None
+        }
     }
 }
 

@@ -121,6 +121,16 @@ impl Mpf {
         id
     }
 
+    /// Installs a filter under a caller-chosen id. Used by the [`Dpf`]
+    /// interpreter fallback so the ids reported by interpreted
+    /// classification match the ids the compiled engine assigned.
+    ///
+    /// [`Dpf`]: crate::Dpf
+    pub fn insert_as(&mut self, id: u32, f: &Filter) {
+        self.programs.push((id, Program::from_filter(f)));
+        self.next_id = self.next_id.max(id + 1);
+    }
+
     /// Removes a filter by id; returns whether it existed.
     pub fn remove(&mut self, id: u32) -> bool {
         let n = self.programs.len();

@@ -5,7 +5,7 @@
 //! header bytes in memory are the entire input to classification, so a
 //! synthetic generator preserves the experiment exactly (see DESIGN.md).
 
-use crate::lang::{Filter, FilterBuilder, FilterError, FieldSize};
+use crate::lang::{FieldSize, Filter, FilterBuilder, FilterError};
 
 /// Ethernet header length.
 pub const ETH_LEN: u32 = 14;
@@ -49,8 +49,8 @@ impl Default for PacketSpec {
     fn default() -> PacketSpec {
         PacketSpec {
             proto: IPPROTO_TCP,
-            src_ip: 0x0a00_0001,  // 10.0.0.1
-            dst_ip: 0x0a00_0002,  // 10.0.0.2
+            src_ip: 0x0a00_0001, // 10.0.0.1
+            dst_ip: 0x0a00_0002, // 10.0.0.2
             src_port: 1234,
             dst_port: 80,
             payload_len: 0,

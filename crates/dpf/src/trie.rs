@@ -115,9 +115,7 @@ impl Level {
                     shift,
                 };
                 let node = self.node_mut(key);
-                node.next
-                    .get_or_insert_with(Box::default)
-                    .insert(rest, id);
+                node.next.get_or_insert_with(Box::default).insert(rest, id);
             }
         }
     }
@@ -179,11 +177,7 @@ impl Level {
         self.nodes
             .iter()
             .map(|n| {
-                1 + n
-                    .arms
-                    .iter()
-                    .map(|a| a.next.node_count())
-                    .sum::<usize>()
+                1 + n.arms.iter().map(|a| a.next.node_count()).sum::<usize>()
                     + n.next.as_ref().map_or(0, |l| l.node_count())
             })
             .sum()
@@ -207,8 +201,11 @@ mod tests {
     #[test]
     fn shared_prefixes_merge() {
         let set = packet::port_filter_set(10, 1000);
-        let filters: Vec<(u32, Filter)> =
-            set.into_iter().enumerate().map(|(i, f)| (i as u32, f)).collect();
+        let filters: Vec<(u32, Filter)> = set
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| (i as u32, f))
+            .collect();
         let trie = build(&filters);
         // 4 shared prefix nodes + 1 port-dispatch node = 5 nodes total,
         // not 10 × 5.
@@ -245,10 +242,7 @@ mod tests {
                 dst_port: port,
                 ..PacketSpec::default()
             });
-            let expect = set
-                .iter()
-                .position(|f| f.matches(&p))
-                .map(|i| i as u32);
+            let expect = set.iter().position(|f| f.matches(&p)).map(|i| i as u32);
             assert_eq!(trie.classify(&p, 0), expect, "port {port}");
         }
     }
@@ -289,8 +283,14 @@ mod tests {
 
     #[test]
     fn disjoint_first_atoms_coexist() {
-        let a = crate::lang::FilterBuilder::new().eq_u8(0, 7).build().unwrap();
-        let b = crate::lang::FilterBuilder::new().eq_u16(2, 9).build().unwrap();
+        let a = crate::lang::FilterBuilder::new()
+            .eq_u8(0, 7)
+            .build()
+            .unwrap();
+        let b = crate::lang::FilterBuilder::new()
+            .eq_u16(2, 9)
+            .build()
+            .unwrap();
         let trie = build(&[(0, a), (1, b)]);
         assert_eq!(trie.nodes.len(), 2, "two alternative root nodes");
         assert_eq!(trie.classify(&[7, 0, 0, 0], 0), Some(0));

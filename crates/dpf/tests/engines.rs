@@ -4,8 +4,8 @@
 
 use dpf::mpf::Mpf;
 use dpf::packet::{self, PacketSpec};
-use dpf::{Dpf, Filter, FilterBuilder, FieldSize, Options, Pathfinder};
-use rand::{Rng, SeedableRng};
+use dpf::{Dpf, FieldSize, Filter, FilterBuilder, Options, Pathfinder};
+use vcode::regress::XorShift;
 
 /// Runs all engines over a message set and asserts agreement with the
 /// reference semantics (first-match for MPF; trie engines use
@@ -142,10 +142,10 @@ fn dense_ports_use_jump_table() {
 
 #[test]
 fn many_sparse_ports_use_perfect_hash() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = XorShift::new(42);
     let mut ports: Vec<u16> = Vec::new();
     while ports.len() < 24 {
-        let p: u16 = rng.gen_range(1..60000);
+        let p = rng.range(1, 60000) as u16;
         // Keep the set sparse so the jump-table heuristic rejects it.
         if !ports.contains(&p) {
             ports.push(p);
@@ -171,7 +171,7 @@ fn many_sparse_ports_use_perfect_hash() {
     }
     // Random non-resident ports must miss.
     for _ in 0..200 {
-        let p: u16 = rng.gen_range(1..60000);
+        let p = rng.range(1, 60000) as u16;
         if ports.contains(&p) {
             continue;
         }
@@ -259,6 +259,7 @@ fn ablation_options_disable_strategies() {
         use_jump_tables: false,
         use_hashing: false,
         elide_bounds_checks: false,
+        ..Options::default()
     };
     let mut dpf = Dpf::with_options(opts);
     for f in &filters {
@@ -297,15 +298,15 @@ fn prefix_filter_longest_match_in_trie_engines() {
 
 #[test]
 fn fuzz_random_filters_and_messages_agree() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = XorShift::new(7);
     for round in 0..30 {
         // Random small filters over a 64-byte message space, all with the
         // same atom shape so tries merge (disjointness for first-match
         // consistency is guaranteed by distinct first-atom values).
-        let n = rng.gen_range(1..8);
+        let n = rng.range(1, 8) as usize;
         let mut vals: Vec<u8> = Vec::new();
         while vals.len() < n {
-            let v = rng.gen::<u8>();
+            let v = rng.next_u64() as u8;
             if !vals.contains(&v) {
                 vals.push(v);
             }
@@ -322,11 +323,12 @@ fn fuzz_random_filters_and_messages_agree() {
             .collect();
         let msgs: Vec<Vec<u8>> = (0..100)
             .map(|_| {
-                let len = rng.gen_range(0..64);
-                let mut m: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
-                if len > 12 && rng.gen_bool(0.5) {
+                let len = rng.below(64) as usize;
+                let mut m = vec![0u8; len];
+                rng.fill(&mut m);
+                if len > 12 && rng.next_bool() {
                     // Bias toward near-matches.
-                    let v = vals[rng.gen_range(0..vals.len())];
+                    let v = vals[rng.below(vals.len() as u64) as usize];
                     m[3] = v;
                     let w = (u16::from(v) ^ 0x55aa).to_be_bytes();
                     m[10] = w[0];
@@ -352,7 +354,7 @@ fn empty_filter_set_compiles_and_rejects() {
 
 #[test]
 fn large_mixed_filter_set_uses_multiple_strategies() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng = XorShift::new(99);
     let mut dpf = Dpf::new();
     let mut expected: Vec<(Vec<u8>, u32)> = Vec::new();
     // Dense port block → jump table.
@@ -369,7 +371,7 @@ fn large_mixed_filter_set_uses_multiple_strategies() {
     // shared prefix.
     let mut sparse: Vec<u16> = Vec::new();
     while sparse.len() < 20 {
-        let p: u16 = rng.gen_range(10_000..60_000);
+        let p = rng.range(10_000, 60_000) as u16;
         if !sparse.contains(&p) {
             sparse.push(p);
         }
@@ -410,9 +412,13 @@ fn large_mixed_filter_set_uses_multiple_strategies() {
     // Random traffic classifies without crashing, matching the reference.
     for _ in 0..500 {
         let msg = packet::build(&PacketSpec {
-            dst_ip: if rng.gen_bool(0.5) { 0x0a00_0002 } else { 0x0a00_0003 },
-            dst_port: rng.gen(),
-            proto: if rng.gen_bool(0.8) {
+            dst_ip: if rng.next_bool() {
+                0x0a00_0002
+            } else {
+                0x0a00_0003
+            },
+            dst_port: rng.next_u64() as u16,
+            proto: if rng.below(10) < 8 {
                 packet::IPPROTO_TCP
             } else {
                 packet::IPPROTO_UDP
@@ -421,6 +427,74 @@ fn large_mixed_filter_set_uses_multiple_strategies() {
         });
         let _ = dpf.classify(&msg);
     }
+}
+
+#[test]
+fn forced_codegen_failure_degrades_to_interpreter() {
+    // A code capacity of 16 bytes cannot even hold the prologue: the
+    // compile overflows, the doubled retry overflows too, and the
+    // engine must degrade to the MPF interpreter — classification stays
+    // correct (the filter set is disjoint, so first-match and
+    // longest-match agree).
+    let filters = packet::port_filter_set(6, 3000);
+    let mut dpf = Dpf::with_options(dpf::Options {
+        code_capacity: Some(16),
+        ..dpf::Options::default()
+    });
+    let ids: Vec<u32> = filters.iter().map(|f| dpf.insert(f.clone())).collect();
+    assert_eq!(dpf.engine(), None, "not compiled yet");
+    dpf.compile().expect("degraded compile still succeeds");
+    assert_eq!(dpf.engine(), Some(dpf::EngineKind::Interpreter));
+    assert!(dpf.compiled().is_none());
+    for (i, id) in ids.iter().enumerate() {
+        let msg = packet::build(&PacketSpec {
+            dst_port: 3000 + i as u16,
+            ..PacketSpec::default()
+        });
+        assert_eq!(dpf.classify(&msg), Some(*id), "port {}", 3000 + i);
+    }
+    // Misses still miss, truncated packets still classify as no-match.
+    let miss = packet::build(&PacketSpec {
+        dst_port: 9999,
+        ..PacketSpec::default()
+    });
+    assert_eq!(dpf.classify(&miss), None);
+    assert_eq!(dpf.classify(&miss[..11]), None);
+    assert_eq!(dpf.classify(&[]), None);
+}
+
+#[test]
+fn overflow_retry_with_doubled_buffer_recovers() {
+    // 2 KiB is too small for this set's first attempt but the doubled
+    // retry fits: the ladder stops at Native without degrading.
+    let filters = packet::port_filter_set(10, 1000);
+    let mut dpf = Dpf::with_options(dpf::Options {
+        code_capacity: Some(2048),
+        ..dpf::Options::default()
+    });
+    let ids: Vec<u32> = filters.iter().map(|f| dpf.insert(f.clone())).collect();
+    dpf.compile().expect("compiles");
+    if dpf.engine() == Some(dpf::EngineKind::Native) {
+        assert!(dpf.compiled().is_some());
+    }
+    for (i, id) in ids.iter().enumerate() {
+        let msg = packet::build(&PacketSpec {
+            dst_port: 1000 + i as u16,
+            ..PacketSpec::default()
+        });
+        assert_eq!(dpf.classify(&msg), Some(*id));
+    }
+}
+
+#[test]
+fn normal_compile_reports_native_engine() {
+    let mut dpf = Dpf::new();
+    dpf.insert(packet::tcp_port_filter(0x0a00_0002, 80).unwrap());
+    dpf.compile().unwrap();
+    assert_eq!(dpf.engine(), Some(dpf::EngineKind::Native));
+    // A filter change drops back to "must recompile".
+    dpf.insert(packet::tcp_port_filter(0x0a00_0002, 81).unwrap());
+    assert_eq!(dpf.engine(), None);
 }
 
 #[test]

@@ -1,0 +1,143 @@
+//! # harden — deterministic fault-injection machinery
+//!
+//! Dynamic code generation fails in ugly ways: a bitflip in emitted
+//! code executes garbage, storage exhaustion truncates an instruction
+//! mid-encoding, a malformed packet walks a classifier off the end of
+//! the message. The harness in `tests/faults.rs` injects exactly those
+//! faults — deterministically, from seeded PRNG streams — and requires
+//! every one to surface as a *typed* outcome ([`vcode::Trap`],
+//! [`vcode::Error`], or an engine's own error enum): never a panic, a
+//! hang, or a silently wrong answer on an unfaulted path.
+//!
+//! This library holds the reusable machinery (bit flips, capacity
+//! series, outcome tallies) so other crates' tests can inject the same
+//! faults.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub use vcode::regress::XorShift;
+
+/// Flips one bit of `code` (bit index taken modulo the buffer's bit
+/// count).
+///
+/// # Panics
+///
+/// Panics if `code` is empty.
+pub fn flip_bit(code: &mut [u8], bit: usize) {
+    assert!(!code.is_empty(), "cannot flip bits of empty code");
+    let bit = bit % (code.len() * 8);
+    code[bit / 8] ^= 1 << (bit % 8);
+}
+
+/// Draws `count` deterministic bit positions below `nbits` from `rng`.
+/// Positions may repeat across draws but the sequence is fixed by the
+/// seed, so every run injects the identical fault set.
+pub fn bit_positions(rng: &mut XorShift, nbits: usize, count: usize) -> Vec<usize> {
+    (0..count)
+        .map(|_| rng.below(nbits as u64) as usize)
+        .collect()
+}
+
+/// The standard storage-exhaustion series: code-buffer capacities from
+/// hopeless (0 bytes) through cramped to comfortable. Every generator
+/// must produce a typed result at each point — the small end of this
+/// series is what exposed the overflow-path panics this crate exists to
+/// prevent.
+pub fn capacity_series() -> Vec<usize> {
+    vec![
+        0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 1024, 2048,
+        4096,
+    ]
+}
+
+/// Counts fault-case outcomes. Every recorded case by construction
+/// neither panicked nor hung; the tally splits them into "ran to
+/// completion" and "surfaced a typed error".
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Tally {
+    /// Cases that ran to completion (the fault was benign).
+    pub completed: usize,
+    /// Cases that surfaced a typed error.
+    pub trapped: usize,
+}
+
+impl Tally {
+    /// A fresh tally.
+    pub fn new() -> Tally {
+        Tally::default()
+    }
+
+    /// Records one case outcome: `Ok` completed, `Err` trapped.
+    pub fn record<T, E>(&mut self, outcome: &Result<T, E>) {
+        match outcome {
+            Ok(_) => self.completed += 1,
+            Err(_) => self.trapped += 1,
+        }
+    }
+
+    /// Total cases recorded.
+    pub fn total(&self) -> usize {
+        self.completed + self.trapped
+    }
+
+    /// Asserts the tally covered at least `min` cases and that at least
+    /// one fault actually bit (a harness whose faults are all benign is
+    /// not injecting anything).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either condition fails.
+    pub fn assert_covered(&self, min: usize) {
+        assert!(
+            self.total() >= min,
+            "only {} fault cases ran, wanted at least {min}",
+            self.total()
+        );
+        assert!(self.trapped > 0, "no injected fault surfaced an error");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_bit_round_trips() {
+        let mut b = vec![0u8; 4];
+        flip_bit(&mut b, 9);
+        assert_eq!(b, [0, 2, 0, 0]);
+        flip_bit(&mut b, 9);
+        assert_eq!(b, [0; 4]);
+        flip_bit(&mut b, 32); // wraps to bit 0
+        assert_eq!(b, [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn bit_positions_are_deterministic() {
+        let a = bit_positions(&mut XorShift::new(7), 640, 16);
+        let b = bit_positions(&mut XorShift::new(7), 640, 16);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&p| p < 640));
+    }
+
+    #[test]
+    fn tally_counts_and_asserts() {
+        let mut t = Tally::new();
+        t.record::<u32, ()>(&Ok(1));
+        t.record::<u32, ()>(&Err(()));
+        t.record::<u32, ()>(&Err(()));
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.completed, 1);
+        assert_eq!(t.trapped, 2);
+        t.assert_covered(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no injected fault")]
+    fn tally_rejects_all_benign() {
+        let mut t = Tally::new();
+        t.record::<u32, ()>(&Ok(1));
+        t.assert_covered(1);
+    }
+}

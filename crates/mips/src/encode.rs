@@ -308,9 +308,7 @@ pub fn fp_cmp(b: &mut CodeBuffer<'_>, fmt: u8, cond: u8, fs: u8, ft: u8) {
 
 /// `bc1t disp` / `bc1f disp`.
 pub fn bc1(b: &mut CodeBuffer<'_>, on_true: bool, disp: i16) {
-    b.put_u32(
-        (0x11u32 << 26) | (8 << 21) | (u32::from(on_true) << 16) | (disp as u16 as u32),
-    );
+    b.put_u32((0x11u32 << 26) | (8 << 21) | (u32::from(on_true) << 16) | (disp as u16 as u32));
 }
 
 /// `mtc1 rt, fs` (GPR → FPR, bits unchanged).

@@ -314,8 +314,10 @@ impl Target for Mips {
         // Backpatch the activation-record size.
         let frame = (SAVE_AREA as usize + a.locals_bytes).div_ceil(8) * 8;
         let old = a.buf.read_u32(a.ts.frame_fix);
-        a.buf
-            .patch_u32(a.ts.frame_fix, (old & 0xffff_0000) | ((-(frame as i32)) as u16 as u32));
+        a.buf.patch_u32(
+            a.ts.frame_fix,
+            (old & 0xffff_0000) | ((-(frame as i32)) as u16 as u32),
+        );
         // Deferred epilogue.
         let here = a.buf.len();
         a.labels.bind(a.epilogue, here);
@@ -344,10 +346,7 @@ impl Target for Mips {
         // Branch displacement is in words, relative to the delay slot.
         let disp = (dest as i64 - (fixup.at as i64 + 4)) / 4;
         if i16::try_from(disp).is_err() {
-            a.record_err(Error::BranchOutOfRange {
-                at: fixup.at,
-                dest,
-            });
+            a.record_err(Error::BranchOutOfRange { at: fixup.at, dest });
             return;
         }
         let old = a.buf.read_u32(fixup.at);
@@ -367,7 +366,14 @@ impl Target for Mips {
                     return;
                 }
             };
-            encode::fp_arith(&mut a.buf, Self::fmt(ty), funct, rd.num(), rs1.num(), rs2.num());
+            encode::fp_arith(
+                &mut a.buf,
+                Self::fmt(ty),
+                funct,
+                rd.num(),
+                rs1.num(),
+                rs2.num(),
+            );
             return;
         }
         let (rd, rs1, rs2) = (rd.num(), rs1.num(), rs2.num());
@@ -415,15 +421,27 @@ impl Target for Mips {
                 encode::addiu(&mut a.buf, rd.num(), rs.num(), -imm32 as i16);
                 return;
             }
-            BinOp::And if u16::try_from(imm32 as u32).map(|_| imm32 >= 0).unwrap_or(false) => {
+            BinOp::And
+                if u16::try_from(imm32 as u32)
+                    .map(|_| imm32 >= 0)
+                    .unwrap_or(false) =>
+            {
                 encode::andi(&mut a.buf, rd.num(), rs.num(), imm32 as u16);
                 return;
             }
-            BinOp::Or if u16::try_from(imm32 as u32).map(|_| imm32 >= 0).unwrap_or(false) => {
+            BinOp::Or
+                if u16::try_from(imm32 as u32)
+                    .map(|_| imm32 >= 0)
+                    .unwrap_or(false) =>
+            {
                 encode::ori(&mut a.buf, rd.num(), rs.num(), imm32 as u16);
                 return;
             }
-            BinOp::Xor if u16::try_from(imm32 as u32).map(|_| imm32 >= 0).unwrap_or(false) => {
+            BinOp::Xor
+                if u16::try_from(imm32 as u32)
+                    .map(|_| imm32 >= 0)
+                    .unwrap_or(false) =>
+            {
                 encode::xori(&mut a.buf, rd.num(), rs.num(), imm32 as u16);
                 return;
             }
@@ -807,13 +825,7 @@ impl Target for Mips {
         }
     }
 
-    fn emit_ext_unop(
-        a: &mut Asm<'_>,
-        op: vcode::ext::ExtUnOp,
-        ty: Ty,
-        rd: Reg,
-        rs: Reg,
-    ) -> bool {
+    fn emit_ext_unop(a: &mut Asm<'_>, op: vcode::ext::ExtUnOp, ty: Ty, rd: Reg, rs: Reg) -> bool {
         // MIPS-I has a hardware square root on some implementations; we
         // expose abs.fmt (funct 5) as the one native extension.
         if op == vcode::ext::ExtUnOp::Abs && is_flt(ty) {
@@ -868,7 +880,11 @@ mod tests {
         // A leaf with no saves branches over the whole reserved area
         // (21 words): beq $0,$0,+19 lands on word 22, and the delay slot
         // (word 2) is a nop.
-        assert_eq!(w[1], encode::itype(0x04, r::ZERO, r::ZERO, 19), "skip branch");
+        assert_eq!(
+            w[1],
+            encode::itype(0x04, r::ZERO, r::ZERO, 19),
+            "skip branch"
+        );
         assert_eq!(w[2], 0, "delay slot is a nop");
     }
 
@@ -957,7 +973,11 @@ mod tests {
         // 1.0f64 = 0x3FF0000000000000: low word 0 (mtc1 zero), high word
         // 0x3FF00000 (lui + mtc1).
         let w = words(&mem, 30);
-        assert_eq!(w[22], encode::cop1(4, r::ZERO, f.num(), 0, 0), "mtc1 zero, low");
+        assert_eq!(
+            w[22],
+            encode::cop1(4, r::ZERO, f.num(), 0, 0),
+            "mtc1 zero, low"
+        );
     }
 
     #[test]

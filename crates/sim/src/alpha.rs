@@ -57,6 +57,20 @@ pub enum Trap {
     StepLimit,
 }
 
+impl From<Trap> for vcode::Trap {
+    fn from(t: Trap) -> vcode::Trap {
+        use vcode::TrapKind;
+        let backend = "alpha";
+        match t {
+            Trap::BadPc(pc) => vcode::Trap::at(TrapKind::BadPc, pc, backend),
+            Trap::BadAccess(a) => vcode::Trap::at(TrapKind::BadAccess, a, backend),
+            Trap::Unaligned(a) => vcode::Trap::at(TrapKind::Unaligned, a, backend),
+            Trap::BadInsn { pc, .. } => vcode::Trap::at(TrapKind::IllegalInsn, pc, backend),
+            Trap::StepLimit => vcode::Trap::new(TrapKind::FuelExhausted, backend),
+        }
+    }
+}
+
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -286,9 +300,7 @@ impl Machine {
                 self.set(ra, v);
             }
             0x09 => {
-                let v = self
-                    .get(rb)
-                    .wrapping_add(((disp16 as i64) << 16) as u64);
+                let v = self.get(rb).wrapping_add(((disp16 as i64) << 16) as u64);
                 self.set(ra, v);
             }
             0x0b => {
@@ -535,11 +547,7 @@ fn div_routine(idx: u64, a: u64, b: u64) -> u64 {
         }
         1 => {
             let (x, y) = (a as u32, b as u32);
-            if y == 0 {
-                0
-            } else {
-                i64::from((x / y) as i32) as u64
-            }
+            x.checked_div(y).map_or(0, |q| i64::from(q as i32) as u64)
         }
         2 => {
             let (x, y) = (a as i32, b as i32);
@@ -565,13 +573,7 @@ fn div_routine(idx: u64, a: u64, b: u64) -> u64 {
                 x.wrapping_div(y) as u64
             }
         }
-        5 => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
+        5 => a.checked_div(b).unwrap_or(0),
         6 => {
             let (x, y) = (a as i64, b as i64);
             if y == 0 || (x == i64::MIN && y == -1) {
@@ -589,7 +591,6 @@ fn div_routine(idx: u64, a: u64, b: u64) -> u64 {
         }
     }
 }
-
 
 /// Disassembles one instruction word (debugging aid, §6.2).
 pub fn disasm(word: u32) -> String {
@@ -651,8 +652,16 @@ pub fn disasm(word: u32) -> String {
                 format!("{name} ${ra}, ${rb}, ${rc}")
             }
         }
-        0x16 => format!("fpop.{:#x} $f{ra}, $f{rb}, $f{}", (word >> 5) & 0x7ff, word & 31),
-        0x17 => format!("cpys.{:#x} $f{ra}, $f{rb}, $f{}", (word >> 5) & 0x7ff, word & 31),
+        0x16 => format!(
+            "fpop.{:#x} $f{ra}, $f{rb}, $f{}",
+            (word >> 5) & 0x7ff,
+            word & 31
+        ),
+        0x17 => format!(
+            "cpys.{:#x} $f{ra}, $f{rb}, $f{}",
+            (word >> 5) & 0x7ff,
+            word & 31
+        ),
         0x1a => {
             let kind = match (word >> 14) & 3 {
                 0 => "jmp",
@@ -703,7 +712,7 @@ mod tests {
     // addl a0, 1, v0 (literal); ret (ra)
     fn plus1_code() -> Vec<u8> {
         let words = [
-            (((0x10u32 << 26) | (16 << 21) | (1 << 13) | (1 << 12))),
+            ((0x10u32 << 26) | (16 << 21) | (1 << 13) | (1 << 12)),
             (0x1au32 << 26) | (31 << 21) | (26 << 16) | (2 << 14),
         ];
         words.iter().flat_map(|w| w.to_le_bytes()).collect()

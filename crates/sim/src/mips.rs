@@ -61,6 +61,25 @@ pub enum Trap {
     },
 }
 
+impl From<Trap> for vcode::Trap {
+    fn from(t: Trap) -> vcode::Trap {
+        use vcode::TrapKind;
+        let backend = "mips";
+        match t {
+            Trap::BadPc(pc) => vcode::Trap::at(TrapKind::BadPc, u64::from(pc), backend),
+            Trap::BadAccess(a) => vcode::Trap::at(TrapKind::BadAccess, u64::from(a), backend),
+            Trap::Unaligned(a) => vcode::Trap::at(TrapKind::Unaligned, u64::from(a), backend),
+            Trap::BadInsn { pc, .. } => {
+                vcode::Trap::at(TrapKind::IllegalInsn, u64::from(pc), backend)
+            }
+            Trap::StepLimit => vcode::Trap::new(TrapKind::FuelExhausted, backend),
+            Trap::LoadDelayViolation { pc, .. } => {
+                vcode::Trap::at(TrapKind::ScheduleHazard, u64::from(pc), backend)
+            }
+        }
+    }
+}
+
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -146,7 +165,10 @@ impl Machine {
     pub fn alloc(&mut self, size: usize, align: usize) -> u32 {
         let at = (self.data_brk as usize).div_ceil(align.max(1)) * align.max(1);
         self.data_brk = (at + size) as u32;
-        assert!((self.data_brk as usize) < self.mem.len() - 64 * 1024, "sim heap exhausted");
+        assert!(
+            (self.data_brk as usize) < self.mem.len() - 64 * 1024,
+            "sim heap exhausted"
+        );
         at as u32
     }
 
@@ -171,10 +193,7 @@ impl Machine {
             return Err(Trap::Unaligned(addr));
         }
         let a = addr as usize;
-        let b = self
-            .mem
-            .get(a..a + 4)
-            .ok_or(Trap::BadAccess(addr))?;
+        let b = self.mem.get(a..a + 4).ok_or(Trap::BadAccess(addr))?;
         Ok(u32::from_le_bytes(b.try_into().unwrap()))
     }
 
@@ -250,9 +269,8 @@ impl Machine {
             if pc < CODE_BASE || pc >= self.code_end || pc & 3 != 0 {
                 return Err(Trap::BadPc(pc));
             }
-            let word = u32::from_le_bytes(
-                self.mem[pc as usize..pc as usize + 4].try_into().unwrap(),
-            );
+            let word =
+                u32::from_le_bytes(self.mem[pc as usize..pc as usize + 4].try_into().unwrap());
             let next = npc;
             let mut nnext = npc.wrapping_add(4);
             self.step(pc, word, npc, &mut nnext)?;
@@ -282,7 +300,9 @@ impl Machine {
     }
 
     fn fd(&self, f: u8) -> f64 {
-        f64::from_bits((self.fregs[f as usize] as u64) | ((self.fregs[f as usize + 1] as u64) << 32))
+        f64::from_bits(
+            (self.fregs[f as usize] as u64) | ((self.fregs[f as usize + 1] as u64) << 32),
+        )
     }
 
     fn set_fd(&mut self, f: u8, v: f64) {
@@ -359,13 +379,8 @@ impl Machine {
                         }
                     }
                     0x1b => {
-                        if b == 0 {
-                            self.lo = 0;
-                            self.hi = a;
-                        } else {
-                            self.lo = a / b;
-                            self.hi = a % b;
-                        }
+                        self.lo = a.checked_div(b).unwrap_or(0);
+                        self.hi = a.checked_rem(b).unwrap_or(a);
                     }
                     0x21 => self.set(rd, a.wrapping_add(b)),
                     0x23 => self.set(rd, a.wrapping_sub(b)),
@@ -757,10 +772,10 @@ mod tests {
         // beq $0,$0,+2 (to the jr); addiu v0,$0,7 (delay slot: executes!);
         // addiu v0,v0,100 (skipped); jr ra; nop
         let code = [
-            0x1000_0002u32,         // beq $0, $0, +2
-            0x2402_0007,            // addiu v0, $0, 7
-            0x2442_0064,            // addiu v0, v0, 100 (skipped)
-            0x03e0_0008,            // jr ra
+            0x1000_0002u32, // beq $0, $0, +2
+            0x2402_0007,    // addiu v0, $0, 7
+            0x2442_0064,    // addiu v0, v0, 100 (skipped)
+            0x03e0_0008,    // jr ra
             0x0000_0000,
         ];
         let mut m = Machine::new(1 << 20);
@@ -801,7 +816,10 @@ mod tests {
         m.write(addr, &0xdead_beefu32.to_le_bytes());
         assert_eq!(m.call(entry, &[addr], 100).unwrap(), 0xdead_beef);
         // Unaligned.
-        assert_eq!(m.call(entry, &[addr + 1], 100), Err(Trap::Unaligned(addr + 1)));
+        assert_eq!(
+            m.call(entry, &[addr + 1], 100),
+            Err(Trap::Unaligned(addr + 1))
+        );
         // Out of range.
         assert!(matches!(
             m.call(entry, &[0xfff_fff0], 100),
@@ -841,10 +859,7 @@ mod tests {
         let code = [0xffff_ffffu32];
         let mut m = Machine::new(1 << 20);
         let entry = m.load_code(&code_bytes(&code));
-        assert!(matches!(
-            m.call(entry, &[], 10),
-            Err(Trap::BadInsn { .. })
-        ));
+        assert!(matches!(m.call(entry, &[], 10), Err(Trap::BadInsn { .. })));
     }
 
     #[test]

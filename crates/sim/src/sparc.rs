@@ -49,6 +49,23 @@ pub enum Trap {
     WindowOverflow,
 }
 
+impl From<Trap> for vcode::Trap {
+    fn from(t: Trap) -> vcode::Trap {
+        use vcode::TrapKind;
+        let backend = "sparc";
+        match t {
+            Trap::BadPc(pc) => vcode::Trap::at(TrapKind::BadPc, u64::from(pc), backend),
+            Trap::BadAccess(a) => vcode::Trap::at(TrapKind::BadAccess, u64::from(a), backend),
+            Trap::Unaligned(a) => vcode::Trap::at(TrapKind::Unaligned, u64::from(a), backend),
+            Trap::BadInsn { pc, .. } => {
+                vcode::Trap::at(TrapKind::IllegalInsn, u64::from(pc), backend)
+            }
+            Trap::StepLimit => vcode::Trap::new(TrapKind::FuelExhausted, backend),
+            Trap::WindowOverflow => vcode::Trap::new(TrapKind::ScheduleHazard, backend),
+        }
+    }
+}
+
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -293,10 +310,10 @@ impl Machine {
             13 => !c,
             4 => c || z,
             12 => !(c || z),
-            6 => n,      // bneg
-            14 => !n,    // bpos
-            7 => v,      // bvs
-            _ => !v,     // bvc
+            6 => n,   // bneg
+            14 => !n, // bpos
+            7 => v,   // bvs
+            _ => !v,  // bvc
         }
     }
 
@@ -305,10 +322,10 @@ impl Machine {
         match cond & 0xf {
             8 => true,
             0 => false,
-            1 => f != 0,         // fbne (incl. unordered)
-            9 => f == 0,         // fbe
-            4 => f == 1,         // fbl
-            6 => f == 2,         // fbg
+            1 => f != 0,            // fbne (incl. unordered)
+            9 => f == 0,            // fbe
+            4 => f == 1,            // fbl
+            6 => f == 2,            // fbg
             11 => f == 0 || f == 2, // fbge
             13 => f == 0 || f == 1, // fble
             _ => false,
@@ -474,10 +491,7 @@ impl Machine {
                     }
                     0x01 | 0x09 => {
                         self.counts.loads += 1;
-                        let b = *self
-                            .mem
-                            .get(addr as usize)
-                            .ok_or(Trap::BadAccess(addr))?;
+                        let b = *self.mem.get(addr as usize).ok_or(Trap::BadAccess(addr))?;
                         let v = if op3 == 0x09 {
                             b as i8 as i32 as u32
                         } else {
@@ -619,7 +633,6 @@ fn cmp_fcc(x: f64, y: f64) -> u8 {
     }
 }
 
-
 /// Disassembles one instruction word (debugging aid — the paper calls
 /// the missing symbolic debugger VCODE's most critical drawback, §6.2).
 pub fn disasm(word: u32) -> String {
@@ -732,7 +745,12 @@ mod tests {
     // restore.
     fn plus1_code() -> Vec<u8> {
         let words = [
-            (2u32 << 30) | (14 << 25) | (0x3c << 19) | (14 << 14) | (1 << 13) | ((-168i32 as u32) & 0x1fff),
+            (2u32 << 30)
+                | (14 << 25)
+                | (0x3c << 19)
+                | (14 << 14)
+                | (1 << 13)
+                | ((-168i32 as u32) & 0x1fff),
             (2 << 30) | (24 << 25) | (24 << 14) | (1 << 13) | 1,
             (2 << 30) | (0x38 << 19) | (31 << 14) | (1 << 13) | 8,
             (2 << 30) | (0x3d << 19),
@@ -753,7 +771,12 @@ mod tests {
         // subcc %i0, %i1, %g0; bl +3; nop; or %g0,0,%i0; ret; restore
         //                                [taken: or %g0,1,%i0; ret; restore]
         let words = [
-            (2u32 << 30) | (14 << 25) | (0x3c << 19) | (14 << 14) | (1 << 13) | ((-96i32 as u32) & 0x1fff),
+            (2u32 << 30)
+                | (14 << 25)
+                | (0x3c << 19)
+                | (14 << 14)
+                | (1 << 13)
+                | ((-96i32 as u32) & 0x1fff),
             (2 << 30) | (0x14 << 19) | (24 << 14) | 25, // subcc %i0,%i1,%g0
             (2 << 22) | (3 << 25) | 4,                  // bl +4
             0x0100_0000,                                // nop (sethi 0,%g0)
@@ -785,7 +808,12 @@ mod tests {
     fn window_overflow_detected() {
         // Infinite save loop.
         let words = [
-            (2u32 << 30) | (14 << 25) | (0x3c << 19) | (14 << 14) | (1 << 13) | ((-96i32 as u32) & 0x1fff),
+            (2u32 << 30)
+                | (14 << 25)
+                | (0x3c << 19)
+                | (14 << 14)
+                | (1 << 13)
+                | ((-96i32 as u32) & 0x1fff),
             (1 << 30) | ((-1i32 as u32) & 0x3fff_ffff), // call self-4? loop via branch:
         ];
         // Simpler: two saves then branch back to the first save.

@@ -79,7 +79,10 @@ fn regression_binops_64bit_machine() {
 
 #[test]
 fn regression_binop_immediates() {
-    let cases: Vec<_> = regress::binop_cases(64, 1, 0x77).into_iter().step_by(5).collect();
+    let cases: Vec<_> = regress::binop_cases(64, 1, 0x77)
+        .into_iter()
+        .step_by(5)
+        .collect();
     let mut m = Machine::new(1 << 23);
     for c in cases {
         let code = generate("%l", Leaf::Yes, |a| {
@@ -264,10 +267,7 @@ fn doubles_and_conversions() {
     });
     let entry = m.load_code(&code);
     assert_eq!(m.call(entry, &[10], STEPS).unwrap(), 5);
-    assert_eq!(
-        m.call(entry, &[(-9i64) as u64], STEPS).unwrap() as i64,
-        -4
-    );
+    assert_eq!(m.call(entry, &[(-9i64) as u64], STEPS).unwrap() as i64, -4);
 }
 
 #[test]
@@ -408,7 +408,9 @@ fn disassembler_names_generated_instructions() {
         a.reti(v);
     });
     let text = vcode_sim::alpha::disasm_all(&code);
-    for needle in ["lda", "ldq_u", "insbl", "mskbl", "bis", "stq_u", "addl", "ret"] {
+    for needle in [
+        "lda", "ldq_u", "insbl", "mskbl", "bis", "stq_u", "addl", "ret",
+    ] {
         assert!(text.contains(needle), "missing {needle} in:\n{text}");
     }
 }

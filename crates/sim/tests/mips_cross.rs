@@ -77,7 +77,10 @@ fn regression_binops() {
 
 #[test]
 fn regression_binop_immediates() {
-    let cases: Vec<_> = regress::binop_cases(32, 1, 3).into_iter().step_by(3).collect();
+    let cases: Vec<_> = regress::binop_cases(32, 1, 3)
+        .into_iter()
+        .step_by(3)
+        .collect();
     let mut m = Machine::new(1 << 22);
     m.strict_load_delay = true;
     for c in cases {
@@ -185,8 +188,13 @@ fn regression_branch_immediates_including_zero_specials() {
                     });
                     let entry = m.load_code(&code);
                     let got = m.call(entry, &[aval], STEPS).unwrap();
-                    let expect =
-                        regress::eval_cond(cond, ty, aval as u64, regress::canon(ty, imm as u64, 32), 32);
+                    let expect = regress::eval_cond(
+                        cond,
+                        ty,
+                        aval as u64,
+                        regress::canon(ty, imm as u64, 32),
+                        32,
+                    );
                     assert_eq!(
                         got != 0,
                         expect,

@@ -68,7 +68,10 @@ fn regression_binops() {
 
 #[test]
 fn regression_binop_immediates() {
-    let cases: Vec<_> = regress::binop_cases(32, 1, 5).into_iter().step_by(4).collect();
+    let cases: Vec<_> = regress::binop_cases(32, 1, 5)
+        .into_iter()
+        .step_by(4)
+        .collect();
     let mut m = Machine::new(1 << 22);
     for c in cases {
         let code = generate("%i", Leaf::Yes, |a| {
@@ -245,7 +248,7 @@ fn float_branches() {
     let entry = m.load_code(&code);
     m.call_f64(entry, &[1.0, 2.0], STEPS).unwrap();
     // %i0 of the halted frame holds the int result.
-    assert_eq!(m.call(entry, &[], STEPS).unwrap() & 0, 0); // smoke
+    m.call(entry, &[], STEPS).unwrap(); // smoke: runs to completion
     let mut m = Machine::new(1 << 20);
     let entry = m.load_code(&code);
     let b = v(&mut m, entry, 1.0, 2.0);

@@ -1,0 +1,109 @@
+//! Cross-simulator trap parity: the same client-level misuse —
+//! out-of-bounds access, misaligned access, runaway loop — must
+//! classify identically on MIPS, SPARC, and Alpha once each simulator's
+//! machine-specific trap is converted into the unified
+//! [`vcode::TrapKind`] taxonomy.
+
+use vcode::target::Leaf;
+use vcode::{Assembler, RegClass, Target, Trap, TrapKind};
+
+/// The faulting programs, expressed target-independently.
+#[derive(Debug, Clone, Copy)]
+enum Fault {
+    /// Load from a 4 KiB-aligned address far outside simulated memory.
+    OutOfBounds,
+    /// Load a word from address 2 (in bounds, misaligned).
+    Misaligned,
+    /// Branch-to-self, run under a small step budget.
+    RunawayLoop,
+}
+
+fn emit<T: Target>(a: &mut Assembler<'_, T>, fault: Fault) {
+    let r = a.getreg(RegClass::Temp).expect("reg");
+    match fault {
+        Fault::OutOfBounds => {
+            a.seti(r, 0x0100_0000);
+            a.ldii(r, r, 0);
+        }
+        Fault::Misaligned => {
+            a.seti(r, 2);
+            a.ldii(r, r, 0);
+        }
+        Fault::RunawayLoop => {
+            let top = a.genlabel();
+            a.label(top);
+            a.jmp(top);
+        }
+    }
+    a.reti(r);
+}
+
+fn gen<T: Target>(fault: Fault) -> Vec<u8> {
+    let mut mem = vec![0u8; 8192];
+    let mut a = Assembler::<T>::lambda(&mut mem, "%i", Leaf::Yes).expect("lambda");
+    emit(&mut a, fault);
+    let len = a.end().expect("end").len;
+    mem.truncate(len);
+    mem
+}
+
+/// Runs the faulting program on all three simulators and returns the
+/// unified traps.
+fn run_all(fault: Fault) -> [Trap; 3] {
+    const MEM: usize = 1 << 21;
+    let steps = match fault {
+        Fault::RunawayLoop => 10_000,
+        _ => 1_000_000,
+    };
+    let mut mips = vcode_sim::mips::Machine::new(MEM);
+    let e = mips.load_code(&gen::<vcode_mips::Mips>(fault));
+    let mt: Trap = mips
+        .call(e, &[0], steps)
+        .expect_err("mips must trap")
+        .into();
+    let mut sparc = vcode_sim::sparc::Machine::new(MEM);
+    let e = sparc.load_code(&gen::<vcode_sparc::Sparc>(fault));
+    let st: Trap = sparc
+        .call(e, &[0], steps)
+        .expect_err("sparc must trap")
+        .into();
+    let mut alpha = vcode_sim::alpha::Machine::new(MEM);
+    let e = alpha.load_code(&gen::<vcode_alpha::Alpha>(fault));
+    let at: Trap = alpha
+        .call(e, &[0], steps)
+        .expect_err("alpha must trap")
+        .into();
+    [mt, st, at]
+}
+
+#[test]
+fn out_of_bounds_access_is_bad_access_everywhere() {
+    for t in run_all(Fault::OutOfBounds) {
+        assert_eq!(t.kind, TrapKind::BadAccess, "{t}");
+        assert_eq!(t.addr, Some(0x0100_0000), "{t}");
+    }
+}
+
+#[test]
+fn misaligned_access_is_unaligned_everywhere() {
+    for t in run_all(Fault::Misaligned) {
+        assert_eq!(t.kind, TrapKind::Unaligned, "{t}");
+        assert_eq!(t.addr, Some(2), "{t}");
+    }
+}
+
+#[test]
+fn runaway_loop_is_fuel_exhausted_everywhere() {
+    for t in run_all(Fault::RunawayLoop) {
+        assert_eq!(t.kind, TrapKind::FuelExhausted, "{t}");
+    }
+}
+
+#[test]
+fn backend_names_distinguish_reporters() {
+    let names: Vec<&str> = run_all(Fault::OutOfBounds)
+        .iter()
+        .map(|t| t.backend)
+        .collect();
+    assert_eq!(names, ["mips", "sparc", "alpha"]);
+}

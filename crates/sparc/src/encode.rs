@@ -199,7 +199,10 @@ pub fn fpop1(b: &mut CodeBuffer<'_>, opf: u16, rd: u8, rs1: u8, rs2: u8) {
 /// FPop2 (compares).
 pub fn fpop2(b: &mut CodeBuffer<'_>, opf: u16, rs1: u8, rs2: u8) {
     b.put_u32(
-        (2u32 << 30) | (0x35u32 << 19) | (u32::from(rs1) << 14) | (u32::from(opf) << 5)
+        (2u32 << 30)
+            | (0x35u32 << 19)
+            | (u32::from(rs1) << 14)
+            | (u32::from(opf) << 5)
             | u32::from(rs2),
     );
 }

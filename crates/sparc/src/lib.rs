@@ -283,14 +283,12 @@ impl Target for Sparc {
 
     fn emit_ret(a: &mut Asm<'_>, val: Option<(Ty, Reg)>) {
         match val {
-            Some((Ty::F, v))
-                if v.num() != 0 => {
-                    encode::fpop1(&mut a.buf, opf::FMOVS, 0, 0, v.num());
-                }
-            Some((Ty::D, v))
-                if v.num() != 0 => {
-                    Self::fmovd(a, 0, v.num());
-                }
+            Some((Ty::F, v)) if v.num() != 0 => {
+                encode::fpop1(&mut a.buf, opf::FMOVS, 0, 0, v.num());
+            }
+            Some((Ty::D, v)) if v.num() != 0 => {
+                Self::fmovd(a, 0, v.num());
+            }
             Some((_, v)) => encode::f3_rr(&mut a.buf, op3::OR, r::I0, v.num(), r::G0),
             None => {}
         }
@@ -305,8 +303,7 @@ impl Target for Sparc {
         // Patch the save sequence.
         let at = a.ts.frame_fix;
         let sethi_w = a.buf.read_u32(at);
-        a.buf
-            .patch_u32(at, (sethi_w & 0xffc0_0000) | (neg >> 10));
+        a.buf.patch_u32(at, (sethi_w & 0xffc0_0000) | (neg >> 10));
         let or_w = a.buf.read_u32(at + 4);
         a.buf
             .patch_u32(at + 4, (or_w & 0xffff_e000) | (neg & 0x3ff));
@@ -324,10 +321,7 @@ impl Target for Sparc {
         match fixup.kind {
             FIX_B22 => {
                 if !(-(1 << 21)..(1 << 21)).contains(&disp) {
-                    a.record_err(Error::BranchOutOfRange {
-                        at: fixup.at,
-                        dest,
-                    });
+                    a.record_err(Error::BranchOutOfRange { at: fixup.at, dest });
                     return;
                 }
                 a.buf
@@ -506,7 +500,11 @@ impl Target for Sparc {
                 }
             }
             (true, false) => {
-                let code = if from == Ty::D { opf::FDTOI } else { opf::FSTOI };
+                let code = if from == Ty::D {
+                    opf::FDTOI
+                } else {
+                    opf::FSTOI
+                };
                 encode::fpop1(&mut a.buf, code, FS, 0, rs.num());
                 Self::fpr_to_gpr(a, rd.num(), FS);
             }
@@ -554,9 +552,7 @@ impl Target for Sparc {
         match ty {
             Ty::C | Ty::Uc => Self::load(a, mem::STB, src.num(), base, off),
             Ty::S | Ty::Us => Self::load(a, mem::STH, src.num(), base, off),
-            Ty::I | Ty::U | Ty::L | Ty::Ul | Ty::P => {
-                Self::load(a, mem::ST, src.num(), base, off)
-            }
+            Ty::I | Ty::U | Ty::L | Ty::Ul | Ty::P => Self::load(a, mem::ST, src.num(), base, off),
             Ty::F => Self::load(a, mem::STF, src.num(), base, off),
             Ty::D => {
                 Self::load(a, mem::STF, src.num(), base, off);
@@ -711,13 +707,7 @@ impl Target for Sparc {
         }
     }
 
-    fn emit_ext_unop(
-        a: &mut Asm<'_>,
-        op: vcode::ext::ExtUnOp,
-        ty: Ty,
-        rd: Reg,
-        rs: Reg,
-    ) -> bool {
+    fn emit_ext_unop(a: &mut Asm<'_>, op: vcode::ext::ExtUnOp, ty: Ty, rd: Reg, rs: Reg) -> bool {
         match (op, ty) {
             (vcode::ext::ExtUnOp::Sqrt, Ty::F) => {
                 encode::fpop1(&mut a.buf, opf::FSQRTS, rd.num(), 0, rs.num());

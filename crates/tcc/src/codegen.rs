@@ -155,7 +155,10 @@ impl<'m, 'ctx> FnCg<'m, 'ctx> {
         } else {
             Leaf::Yes
         };
-        let sig = Sig::new(def.params.iter().map(|(t, _)| vty(t)).collect(), vty(&def.ret));
+        let sig = Sig::new(
+            def.params.iter().map(|(t, _)| vty(t)).collect(),
+            vty(&def.ret),
+        );
         let a = Assembler::<X64>::lambda_sig(mem, sig, leaf)?;
         let mut cg = FnCg {
             a,
@@ -605,12 +608,7 @@ impl<'m, 'ctx> FnCg<'m, 'ctx> {
     /// Computes an lvalue while keeping an already-computed value alive:
     /// when the target computation contains a call (which clobbers
     /// caller-saved temporaries), the value is spilled around it.
-    fn lvalue_with_live(
-        &mut self,
-        lhs: &Expr,
-        v: Reg,
-        vt: &CType,
-    ) -> CcResult<(Reg, Place)> {
+    fn lvalue_with_live(&mut self, lhs: &Expr, v: Reg, vt: &CType) -> CcResult<(Reg, Place)> {
         if expr_has_call(lhs) {
             let slot = self.a.local(slot_ty(vt));
             self.a.st_slot(slot, v);
@@ -728,7 +726,9 @@ impl<'m, 'ctx> FnCg<'m, 'ctx> {
                 if lt != rt {
                     return Err(self.sem("subtracting incompatible pointers"));
                 }
-                let CType::Ptr(elem) = &lt else { unreachable!() };
+                let CType::Ptr(elem) = &lt else {
+                    unreachable!()
+                };
                 self.a.subl(lv, lv, rv);
                 self.a.putreg(rv);
                 let size = elem.size() as i64;
@@ -738,7 +738,9 @@ impl<'m, 'ctx> FnCg<'m, 'ctx> {
                 Ok((lv, CType::Long))
             }
             ("+", true, false) | ("-", true, false) => {
-                let CType::Ptr(elem) = &lt else { unreachable!() };
+                let CType::Ptr(elem) = &lt else {
+                    unreachable!()
+                };
                 let rv = self.convert(rv, &rt, &CType::Long)?;
                 let size = elem.size() as i64;
                 if size > 1 {
@@ -1007,9 +1009,7 @@ impl<'m, 'ctx> FnCg<'m, 'ctx> {
                 match (e, self.ret.clone()) {
                     (None, CType::Void) => self.a.retv(),
                     (None, _) => return Err(self.sem("missing return value")),
-                    (Some(_), CType::Void) => {
-                        return Err(self.sem("void function returns a value"))
-                    }
+                    (Some(_), CType::Void) => return Err(self.sem("void function returns a value")),
                     (Some(e), ret) => {
                         let (r, t) = self.rvalue(e)?;
                         let r = self.convert(r, &t, &ret)?;
@@ -1045,9 +1045,7 @@ fn stmt_has_call(s: &Stmt) -> bool {
             .iter()
             .any(|(_, _, i)| i.as_ref().is_some_and(expr_has_call)),
         Stmt::If(c, a, b) => {
-            expr_has_call(c)
-                || stmt_has_call(a)
-                || b.as_ref().is_some_and(|s| stmt_has_call(s))
+            expr_has_call(c) || stmt_has_call(a) || b.as_ref().is_some_and(|s| stmt_has_call(s))
         }
         Stmt::While(c, b) => expr_has_call(c) || stmt_has_call(b),
         Stmt::DoWhile(b, c) => expr_has_call(c) || stmt_has_call(b),

@@ -220,9 +220,11 @@ impl Program {
                 5 => std::mem::transmute::<u64, extern "C" fn(i64, i64, i64, i64, i64) -> i64>(
                     *addr,
                 )(a[0], a[1], a[2], a[3], a[4]),
-                _ => std::mem::transmute::<u64, extern "C" fn(i64, i64, i64, i64, i64, i64) -> i64>(
-                    *addr,
-                )(a[0], a[1], a[2], a[3], a[4], a[5]),
+                _ => {
+                    std::mem::transmute::<u64, extern "C" fn(i64, i64, i64, i64, i64, i64) -> i64>(
+                        *addr,
+                    )(a[0], a[1], a[2], a[3], a[4], a[5])
+                }
             }
         };
         // Narrow the result to the declared width.

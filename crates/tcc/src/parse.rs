@@ -93,12 +93,7 @@ pub enum Stmt {
     /// `do … while`.
     DoWhile(Box<Stmt>, Expr),
     /// `for` loop.
-    For(
-        Option<Box<Stmt>>,
-        Option<Expr>,
-        Option<Expr>,
-        Box<Stmt>,
-    ),
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Box<Stmt>),
     /// `return`.
     Return(Option<Expr>),
     /// `break`.
@@ -449,8 +444,7 @@ impl Parser {
             return self.mul();
         }
         let mut lhs = self.binary(min_prec + 1)?;
-        loop {
-            let Tok::Punct(p) = self.peek() else { break };
+        while let Tok::Punct(p) = self.peek() {
             let Some(op) = LEVELS[min_prec as usize].iter().find(|o| *o == p) else {
                 break;
             };
@@ -508,10 +502,11 @@ impl Parser {
                 self.next();
                 Ok(Expr::PreIncDec("-", Box::new(self.unary()?)))
             }
-            Tok::Punct("(") if matches!(
-                self.peek2(),
-                Tok::Kw(Kw::Int | Kw::Long | Kw::Char | Kw::Double | Kw::Void)
-            ) =>
+            Tok::Punct("(")
+                if matches!(
+                    self.peek2(),
+                    Tok::Kw(Kw::Int | Kw::Long | Kw::Char | Kw::Double | Kw::Void)
+                ) =>
             {
                 self.next();
                 let t = self.ty()?;
@@ -614,7 +609,9 @@ mod tests {
     fn pointer_declarations_and_deref() {
         let fns = parse("int f(int *p) { int *q; q = p; return *q + p[2]; }").unwrap();
         assert_eq!(fns[0].params[0].0, CType::Ptr(Box::new(CType::Int)));
-        let Stmt::Decl(d) = &fns[0].body[0] else { panic!() };
+        let Stmt::Decl(d) = &fns[0].body[0] else {
+            panic!()
+        };
         assert_eq!(d[0].0, CType::Ptr(Box::new(CType::Int)));
     }
 

@@ -19,9 +19,7 @@ fn plus1() {
 
 #[test]
 fn arithmetic_and_precedence() {
-    let p = compile(
-        "int f(int a, int b, int c) { return a + b * c - (a - b) / 2 + a % c; }",
-    );
+    let p = compile("int f(int a, int b, int c) { return a + b * c - (a - b) / 2 + a % c; }");
     let f = |a: i64, b: i64, c: i64| a + b * c - (a - b) / 2 + a % c;
     for (a, b, c) in [(1, 2, 3), (10, -4, 7), (100, 3, 9), (-50, -60, 11)] {
         assert_eq!(p.call_int("f", &[a, b, c]).unwrap(), f(a, b, c));
@@ -141,12 +139,10 @@ fn pointers_and_arrays() {
         ",
     );
     let data = [1i32, 2, 3, 4, 5];
-    assert_eq!(
-        p.call_int("sum", &[data.as_ptr() as i64, 5]).unwrap(),
-        15
-    );
+    assert_eq!(p.call_int("sum", &[data.as_ptr() as i64, 5]).unwrap(), 15);
     let mut out = [0i32; 8];
-    p.call_int("fill", &[out.as_mut_ptr() as i64, 8, 100]).unwrap();
+    p.call_int("fill", &[out.as_mut_ptr() as i64, 8, 100])
+        .unwrap();
     assert_eq!(out, [100, 101, 102, 103, 104, 105, 106, 107]);
     let x = 7i32;
     assert_eq!(p.call_int("deref", &[&x as *const i32 as i64]).unwrap(), 7);
@@ -172,10 +168,7 @@ fn char_pointers_and_string_ops() {
         ",
     );
     let s = b"hello world\0";
-    assert_eq!(
-        p.call_int("strlen_", &[s.as_ptr() as i64]).unwrap(),
-        11
-    );
+    assert_eq!(p.call_int("strlen_", &[s.as_ptr() as i64]).unwrap(), 11);
     assert_eq!(
         p.call_int("count_char", &[s.as_ptr() as i64, 11, i64::from(b'l')])
             .unwrap(),
@@ -212,7 +205,13 @@ fn doubles_and_conversions() {
     );
     assert_eq!(p.call_f64("poly", &[2.0]).unwrap(), 2.5);
     assert_eq!(p.call_f64("mix", &[3.0, 2.0]).unwrap(), 3.0);
-    assert_eq!(p.call_int("trunc_", &[]).unwrap_err(), CallError::Arity { expected: 1, got: 0 });
+    assert_eq!(
+        p.call_int("trunc_", &[]).unwrap_err(),
+        CallError::Arity {
+            expected: 1,
+            got: 0
+        }
+    );
     let trunc_: extern "C" fn(f64) -> i32 = unsafe { p.as_fn("trunc_") };
     assert_eq!(trunc_(3.9), 3);
     assert_eq!(trunc_(-3.9), -3);
@@ -276,7 +275,10 @@ fn increments_pre_and_post() {
         ",
     );
     // x=5: a=5 (x=6), b=7 (x=7), c=7 (x=6), d=5 (x=5).
-    assert_eq!(p.call_int("f", &[5]).unwrap(), 5 * 1000000 + 7 * 10000 + 7 * 100 + 5);
+    assert_eq!(
+        p.call_int("f", &[5]).unwrap(),
+        5 * 1000000 + 7 * 10000 + 7 * 100 + 5
+    );
 }
 
 #[test]
@@ -329,10 +331,7 @@ fn long_arithmetic() {
         }
         ",
     );
-    assert_eq!(
-        p.call_int("mul", &[1 << 40, 3]).unwrap(),
-        3 << 40
-    );
+    assert_eq!(p.call_int("mul", &[1 << 40, 3]).unwrap(), 3 << 40);
     assert_eq!(p.call_int("big", &[1000]).unwrap(), 332833500);
 }
 

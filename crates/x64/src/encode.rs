@@ -81,11 +81,7 @@ impl Mem {
 
 #[inline]
 fn rex(buf: &mut CodeBuffer<'_>, w: bool, reg: u8, x: u8, b: u8, force: bool) {
-    let byte = 0x40
-        | (w as u8) << 3
-        | (reg >> 3) << 2
-        | (x >> 3) << 1
-        | (b >> 3);
+    let byte = 0x40 | (w as u8) << 3 | (reg >> 3) << 2 | (x >> 3) << 1 | (b >> 3);
     if byte != 0x40 || force {
         buf.put_u8(byte);
     }
@@ -587,11 +583,20 @@ mod tests {
     #[test]
     fn alu_encodings_match_reference() {
         // add rax, rbx
-        assert_eq!(emit(|b| alu_rr(b, Alu::Add, true, r::RAX, r::RBX)), [0x48, 0x01, 0xd8]);
+        assert_eq!(
+            emit(|b| alu_rr(b, Alu::Add, true, r::RAX, r::RBX)),
+            [0x48, 0x01, 0xd8]
+        );
         // sub edi, esi
-        assert_eq!(emit(|b| alu_rr(b, Alu::Sub, false, r::RDI, r::RSI)), [0x29, 0xf7]);
+        assert_eq!(
+            emit(|b| alu_rr(b, Alu::Sub, false, r::RDI, r::RSI)),
+            [0x29, 0xf7]
+        );
         // xor r8, r9
-        assert_eq!(emit(|b| alu_rr(b, Alu::Xor, true, r::R8, r::R9)), [0x4d, 0x31, 0xc8]);
+        assert_eq!(
+            emit(|b| alu_rr(b, Alu::Xor, true, r::R8, r::R9)),
+            [0x4d, 0x31, 0xc8]
+        );
         // cmp rdi, 10 (imm8 form)
         assert_eq!(
             emit(|b| alu_imm(b, Alu::Cmp, true, r::RDI, 10)),
@@ -607,7 +612,10 @@ mod tests {
     #[test]
     fn mov_encodings() {
         // mov rdi, rsi
-        assert_eq!(emit(|b| mov_rr(b, true, r::RDI, r::RSI)), [0x48, 0x89, 0xf7]);
+        assert_eq!(
+            emit(|b| mov_rr(b, true, r::RDI, r::RSI)),
+            [0x48, 0x89, 0xf7]
+        );
         // mov eax, 42
         assert_eq!(emit(|b| mov_ri(b, r::RAX, 42)), [0xb8, 42, 0, 0, 0]);
         // mov rax, -1 → REX.W C7 sign-extended imm32
@@ -625,13 +633,19 @@ mod tests {
     #[test]
     fn mul_div_shift_encodings() {
         // imul rax, rbx
-        assert_eq!(emit(|b| imul_rr(b, true, r::RAX, r::RBX)), [0x48, 0x0f, 0xaf, 0xc3]);
+        assert_eq!(
+            emit(|b| imul_rr(b, true, r::RAX, r::RBX)),
+            [0x48, 0x0f, 0xaf, 0xc3]
+        );
         // idiv rdi
         assert_eq!(emit(|b| unary_rm(b, 7, true, r::RDI)), [0x48, 0xf7, 0xff]);
         // shl rsi, cl
         assert_eq!(emit(|b| shift_cl(b, 4, true, r::RSI)), [0x48, 0xd3, 0xe6]);
         // sar edi, 31
-        assert_eq!(emit(|b| shift_imm(b, 7, false, r::RDI, 31)), [0xc1, 0xff, 31]);
+        assert_eq!(
+            emit(|b| shift_imm(b, 7, false, r::RDI, 31)),
+            [0xc1, 0xff, 31]
+        );
     }
 
     #[test]
@@ -639,9 +653,15 @@ mod tests {
         // movsxd rax, edi
         assert_eq!(emit(|b| movsxd(b, r::RAX, r::RDI)), [0x48, 0x63, 0xc7]);
         // movzx eax, sil — needs REX for sil
-        assert_eq!(emit(|b| movzx8_rr(b, r::RAX, r::RSI)), [0x40, 0x0f, 0xb6, 0xc6]);
+        assert_eq!(
+            emit(|b| movzx8_rr(b, r::RAX, r::RSI)),
+            [0x40, 0x0f, 0xb6, 0xc6]
+        );
         // movzx eax, r9w
-        assert_eq!(emit(|b| movzx16_rr(b, r::RAX, r::R9)), [0x41, 0x0f, 0xb7, 0xc1]);
+        assert_eq!(
+            emit(|b| movzx16_rr(b, r::RAX, r::R9)),
+            [0x41, 0x0f, 0xb7, 0xc1]
+        );
     }
 
     #[test]
@@ -690,14 +710,30 @@ mod tests {
 
     #[test]
     fn control_flow() {
-        assert_eq!(emit(|b| { jmp_rel(b); }), [0xe9, 0, 0, 0, 0]);
-        assert_eq!(emit(|b| { jcc(b, cc::NE); }), [0x0f, 0x85, 0, 0, 0, 0]);
+        assert_eq!(
+            emit(|b| {
+                jmp_rel(b);
+            }),
+            [0xe9, 0, 0, 0, 0]
+        );
+        assert_eq!(
+            emit(|b| {
+                jcc(b, cc::NE);
+            }),
+            [0x0f, 0x85, 0, 0, 0, 0]
+        );
         assert_eq!(emit(|b| call_rm(b, r::R11)), [0x41, 0xff, 0xd3]);
         assert_eq!(emit(|b| jmp_rm(b, r::RAX)), [0xff, 0xe0]);
         assert_eq!(emit(|b| push(b, r::RBP)), [0x55]);
         assert_eq!(emit(|b| push(b, r::R12)), [0x41, 0x54]);
         assert_eq!(emit(|b| pop(b, r::RBP)), [0x5d]);
-        assert_eq!(emit(|b| { leave(b); ret(b) }), [0xc9, 0xc3]);
+        assert_eq!(
+            emit(|b| {
+                leave(b);
+                ret(b)
+            }),
+            [0xc9, 0xc3]
+        );
     }
 
     #[test]
@@ -746,12 +782,9 @@ mod tests {
         assert_eq!(emit(|b| bswap(b, true, r::R9)), [0x49, 0x0f, 0xc9]);
         assert_eq!(emit(|b| setcc(b, cc::E, r::RAX)), [0x0f, 0x94, 0xc0]);
         assert_eq!(emit(|b| setcc(b, cc::E, r::RSI)), [0x40, 0x0f, 0x94, 0xc6]);
-        assert_eq!(emit(|b| cdq(b)), [0x99]);
-        assert_eq!(emit(|b| cqo(b)), [0x48, 0x99]);
-        assert_eq!(
-            emit(|b| ror16_imm(b, r::RAX, 8)),
-            [0x66, 0xc1, 0xc8, 0x08]
-        );
+        assert_eq!(emit(cdq), [0x99]);
+        assert_eq!(emit(cqo), [0x48, 0x99]);
+        assert_eq!(emit(|b| ror16_imm(b, r::RAX, 8)), [0x66, 0xc1, 0xc8, 0x08]);
         // lea rax, [rdi+rsi]
         assert_eq!(
             emit(|b| lea(b, true, r::RAX, Mem::bi(r::RDI, r::RSI))),

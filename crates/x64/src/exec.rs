@@ -19,11 +19,23 @@ const SYS_MMAP: i64 = 9;
 const SYS_MPROTECT: i64 = 10;
 const SYS_MUNMAP: i64 = 11;
 
+const PROT_NONE: i64 = 0;
 const PROT_READ: i64 = 1;
 const PROT_WRITE: i64 = 2;
 const PROT_EXEC: i64 = 4;
 const MAP_PRIVATE: i64 = 0x02;
 const MAP_ANONYMOUS: i64 = 0x20;
+
+const PAGE: usize = 4096;
+
+/// Bytes of inaccessible (`PROT_NONE`) padding on each side of the code
+/// region. A generated function that runs off either end of its storage
+/// — a straight-line escape past `len` or a wild negative branch — hits
+/// a guard page and raises SIGSEGV immediately, which
+/// [`GuardedCall`](crate::GuardedCall) converts into a typed
+/// [`NativeTrap`](crate::NativeTrap) instead of letting the escape
+/// corrupt adjacent heap mappings.
+pub const GUARD_BYTES: usize = PAGE;
 
 /// Raw Linux syscall (x86-64). Returns the kernel's value; values in
 /// `-4095..0` are negated errnos.
@@ -73,7 +85,11 @@ fn check(ret: i64) -> io::Result<i64> {
 /// # Ok::<(), std::io::Error>(())
 /// ```
 pub struct ExecMem {
+    /// Start of the whole mapping (low guard page).
+    map: *mut u8,
+    /// Start of the writable code region (`map + GUARD_BYTES`).
     ptr: *mut u8,
+    /// Length of the code region (guards excluded).
     len: usize,
 }
 
@@ -87,29 +103,56 @@ impl fmt::Debug for ExecMem {
 }
 
 impl ExecMem {
-    /// Maps `len` bytes (rounded up to the 4 KiB page size) read+write.
+    /// Maps `len` bytes (rounded up to the 4 KiB page size) read+write,
+    /// bracketed by one `PROT_NONE` guard page on each side (see
+    /// [`GUARD_BYTES`]). [`len`](Self::len) and [`addr`](Self::addr)
+    /// describe the usable code region only.
     ///
     /// # Errors
     ///
-    /// Propagates the `mmap` failure (`ENOMEM`, resource limits, ...).
+    /// Propagates the `mmap`/`mprotect` failure (`ENOMEM`, resource
+    /// limits, ...).
     pub fn new(len: usize) -> io::Result<ExecMem> {
-        let len = len.max(1).div_ceil(4096) * 4096;
+        let len = len.max(1).div_ceil(PAGE) * PAGE;
+        let total = len + 2 * GUARD_BYTES;
         // SAFETY: anonymous private mapping with no fixed address; the
-        // kernel picks the placement, nothing else references it.
+        // kernel picks the placement, nothing else references it. Mapped
+        // PROT_NONE first so the guards never become accessible.
         let ret = unsafe {
             syscall6(
                 SYS_MMAP,
                 0,
-                len as i64,
-                PROT_READ | PROT_WRITE,
+                total as i64,
+                PROT_NONE,
                 MAP_PRIVATE | MAP_ANONYMOUS,
                 -1,
                 0,
             )
         };
-        let addr = check(ret)?;
+        let map = check(ret)? as *mut u8;
+        // SAFETY: opening the interior of a mapping we just created.
+        let ret = unsafe {
+            syscall6(
+                SYS_MPROTECT,
+                map as i64 + GUARD_BYTES as i64,
+                len as i64,
+                PROT_READ | PROT_WRITE,
+                0,
+                0,
+                0,
+            )
+        };
+        if let Err(e) = check(ret) {
+            // SAFETY: unmapping the mapping we just created.
+            unsafe {
+                syscall6(SYS_MUNMAP, map as i64, total as i64, 0, 0, 0, 0);
+            }
+            return Err(e);
+        }
         Ok(ExecMem {
-            ptr: addr as *mut u8,
+            map,
+            // SAFETY: in-bounds offset of the mapping.
+            ptr: unsafe { map.add(GUARD_BYTES) },
             len,
         })
     }
@@ -123,14 +166,17 @@ impl ExecMem {
         unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
     }
 
-    /// The mapping length in bytes.
+    /// The code-region length in bytes (guard pages excluded).
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// Never true; mappings have at least one page.
+    /// Whether the code region holds zero bytes. Mappings are made at
+    /// least one page, so this is false for every constructible value —
+    /// computed from `len` rather than hard-coded so the two can never
+    /// disagree.
     pub fn is_empty(&self) -> bool {
-        false
+        self.len == 0
     }
 
     /// The address generated code will execute at (needed when emitting
@@ -139,33 +185,48 @@ impl ExecMem {
         self.ptr as u64
     }
 
-    /// Flips the mapping to read+execute and returns the executable
+    /// Flips the code region to read+execute and returns the executable
     /// handle (the paper's `v_end` returning "a pointer to the generated
     /// code", cast to the appropriate function pointer type by the
-    /// client).
+    /// client). The guard pages stay `PROT_NONE`.
     ///
     /// # Errors
     ///
     /// Propagates the `mprotect` failure.
     pub fn finalize(self) -> io::Result<ExecCode> {
         // SAFETY: `ptr`/`len` describe a mapping we own.
-        let ret = unsafe { syscall6(SYS_MPROTECT, self.ptr as i64, self.len as i64, PROT_READ | PROT_EXEC, 0, 0, 0) };
+        let ret = unsafe {
+            syscall6(
+                SYS_MPROTECT,
+                self.ptr as i64,
+                self.len as i64,
+                PROT_READ | PROT_EXEC,
+                0,
+                0,
+                0,
+            )
+        };
         check(ret)?;
         let code = ExecCode {
+            map: self.map,
             ptr: self.ptr,
             len: self.len,
         };
         std::mem::forget(self);
         Ok(code)
     }
+
+    fn total(&self) -> usize {
+        self.len + 2 * GUARD_BYTES
+    }
 }
 
 impl Drop for ExecMem {
     fn drop(&mut self) {
-        // SAFETY: unmapping a mapping we own; errors are ignorable here
-        // (C-DTOR-FAIL).
+        // SAFETY: unmapping a mapping we own (guards included); errors
+        // are ignorable here (C-DTOR-FAIL).
         unsafe {
-            syscall6(SYS_MUNMAP, self.ptr as i64, self.len as i64, 0, 0, 0, 0);
+            syscall6(SYS_MUNMAP, self.map as i64, self.total() as i64, 0, 0, 0, 0);
         }
     }
 }
@@ -173,10 +234,25 @@ impl Drop for ExecMem {
 // SAFETY: the mapping is plain memory; access is through &mut self.
 unsafe impl Send for ExecMem {}
 
-/// Finalized, executable code. Unmapped on drop — the caller must ensure
-/// no generated function is executing when that happens.
+/// Finalized, executable code, still bracketed by its `PROT_NONE` guard
+/// pages.
+///
+/// # Drop hazard
+///
+/// Dropping unmaps the code. The borrow checker cannot see through the
+/// `unsafe` cast in [`as_fn`](Self::as_fn): the returned function
+/// pointer does **not** borrow `self`, so it is possible to drop the
+/// `ExecCode` and then call the pointer. That call jumps into an
+/// unmapped page — under [`GuardedCall`](crate::GuardedCall) it surfaces
+/// as a [`NativeTrap`](crate::NativeTrap); on a bare call it is a crash.
+/// Keep the `ExecCode` alive for as long as any pointer obtained from it
+/// may be invoked (see the `drop_unmaps_code` test).
 pub struct ExecCode {
+    /// Start of the whole mapping (low guard page).
+    map: *mut u8,
+    /// Entry of the executable region (`map + GUARD_BYTES`).
     ptr: *mut u8,
+    /// Length of the executable region (guards excluded).
     len: usize,
 }
 
@@ -195,14 +271,15 @@ impl ExecCode {
         self.ptr as u64
     }
 
-    /// Length of the mapping.
+    /// Length of the executable region (guard pages excluded).
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// Never true.
+    /// Whether the executable region holds zero bytes; false for every
+    /// constructible value, computed honestly from `len`.
     pub fn is_empty(&self) -> bool {
-        false
+        self.len == 0
     }
 
     /// Reinterprets the entry point as a function pointer.
@@ -277,9 +354,19 @@ impl ExecCode {
 
 impl Drop for ExecCode {
     fn drop(&mut self) {
-        // SAFETY: unmapping a mapping we own.
+        // SAFETY: unmapping a mapping we own (guards included). The
+        // caller upholds the drop hazard documented on the type: no
+        // generated function may be executing or called after this.
         unsafe {
-            syscall6(SYS_MUNMAP, self.ptr as i64, self.len as i64, 0, 0, 0, 0);
+            syscall6(
+                SYS_MUNMAP,
+                self.map as i64,
+                (self.len + 2 * GUARD_BYTES) as i64,
+                0,
+                0,
+                0,
+                0,
+            );
         }
     }
 }
@@ -320,5 +407,44 @@ mod tests {
         mem.as_mut_slice()[0] = 0xc3;
         let code = mem.finalize().unwrap();
         let _: [u64; 2] = unsafe { code.as_fn() };
+    }
+
+    #[test]
+    #[allow(clippy::len_zero)] // the agreement IS what's under test
+    fn is_empty_agrees_with_len() {
+        let mut mem = ExecMem::new(1).unwrap();
+        assert_eq!(mem.is_empty(), mem.len() == 0);
+        assert!(!mem.is_empty());
+        mem.as_mut_slice()[0] = 0xc3;
+        let code = mem.finalize().unwrap();
+        assert_eq!(code.is_empty(), code.len() == 0);
+        assert!(!code.is_empty());
+    }
+
+    #[test]
+    fn guard_pages_bracket_the_region() {
+        let mem = ExecMem::new(PAGE).unwrap();
+        // The usable region excludes the guards: addr is one page into
+        // the mapping and len covers only the requested storage.
+        assert_eq!(mem.addr() % PAGE as u64, 0);
+        assert_eq!(mem.len(), PAGE);
+        assert_eq!(mem.addr(), mem.map as u64 + GUARD_BYTES as u64);
+    }
+
+    #[test]
+    fn drop_unmaps_code() {
+        // The documented drop hazard: as_fn's pointer outlives the
+        // borrow. This test exercises the *safe* ordering — pointer use
+        // strictly before drop — and then confirms the mapping is gone
+        // by remapping fresh memory (the kernel may reuse the range;
+        // either way nothing dangles if the ordering is respected).
+        let mut mem = ExecMem::new(64).unwrap();
+        let code_bytes = [0x48, 0x89, 0xf8, 0xc3]; // mov rax, rdi; ret
+        mem.as_mut_slice()[..code_bytes.len()].copy_from_slice(&code_bytes);
+        let code = mem.finalize().unwrap();
+        let f: extern "C" fn(u64) -> u64 = unsafe { code.as_fn() };
+        assert_eq!(f(7), 7);
+        drop(code); // `f` must not be called past this point
+        let _fresh = ExecMem::new(64).unwrap();
     }
 }

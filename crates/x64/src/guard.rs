@@ -1,0 +1,719 @@
+//! Guarded execution of generated code: hardware faults become values.
+//!
+//! A dynamic code generation system executes code that did not exist at
+//! build time, so the usual "the compiler was tested, trust the output"
+//! argument is weaker: a client bug (or a backend bug) produces machine
+//! code whose failure mode is a raw SIGSEGV/SIGILL/SIGFPE that kills the
+//! process. [`GuardedCall`] restores the paper's "signals an error"
+//! contract (§5.2) at run time: it invokes generated code through a
+//! setjmp-style trampoline with POSIX signal handlers installed, and
+//! converts a crash into a typed [`NativeTrap`] carrying the signal and
+//! faulting address. A wall-clock watchdog (`setitimer`/SIGALRM) bounds
+//! runaway loops the same way, per the [`Fuel`] budget.
+//!
+//! Everything is raw Linux syscalls via the `syscall` instruction — the
+//! crate keeps its no-FFI, no-libc style (see `exec.rs`). The recovery
+//! path is a hand-written `global_asm!` trampoline:
+//!
+//! 1. `vcode_guarded_invoke` pushes the callee-saved registers, records
+//!    `rsp` and a recovery `rip` in a jump buffer, and calls the entry.
+//! 2. The signal handler (running on an alternate stack, so even a
+//!    trashed `rsp` is survivable) records the signal and `si_addr`,
+//!    then jumps to `vcode_guard_recover`.
+//! 3. `vcode_guard_recover` reloads the saved `rsp` and jumps back into
+//!    the trampoline's epilogue, which pops the callee-saved registers
+//!    and returns as if the generated function had returned.
+//!
+//! Handlers are installed with `SA_NODEFER`, so abandoning the handler
+//! frame (never calling `sigreturn`) leaves no signal blocked. Guarded
+//! calls are serialized process-wide by a mutex; a fault on an unrelated
+//! thread while a guard is active re-raises with the default disposition
+//! so the process still dies with the true signal.
+
+use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use vcode::trap::{Fuel, Trap, TrapKind};
+
+use crate::exec::ExecCode;
+
+// --- raw syscalls -----------------------------------------------------
+
+const SYS_RT_SIGACTION: i64 = 13;
+const SYS_RT_SIGRETURN: i64 = 15;
+const SYS_SETITIMER: i64 = 38;
+const SYS_GETPID: i64 = 39;
+const SYS_SIGALTSTACK: i64 = 131;
+const SYS_GETTID: i64 = 186;
+const SYS_TGKILL: i64 = 234;
+
+const SIGILL: i32 = 4;
+const SIGBUS: i32 = 7;
+const SIGFPE: i32 = 8;
+const SIGSEGV: i32 = 11;
+const SIGALRM: i32 = 14;
+/// The signals a guarded call intercepts.
+const GUARDED_SIGNALS: [i32; 5] = [SIGILL, SIGBUS, SIGFPE, SIGSEGV, SIGALRM];
+
+const SA_SIGINFO: u64 = 0x4;
+const SA_ONSTACK: u64 = 0x0800_0000;
+const SA_RESTORER: u64 = 0x0400_0000;
+const SA_NODEFER: u64 = 0x4000_0000;
+
+const SIG_DFL: usize = 0;
+const ITIMER_REAL: i64 = 0;
+
+/// Raw Linux syscall (x86-64); same contract as `exec::syscall6`.
+///
+/// # Safety
+///
+/// The caller must uphold the contract of the specific syscall.
+unsafe fn syscall4(n: i64, a: i64, b: i64, c: i64, d: i64) -> i64 {
+    let ret: i64;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") n => ret,
+        in("rdi") a,
+        in("rsi") b,
+        in("rdx") c,
+        in("r10") d,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+// --- kernel structs ---------------------------------------------------
+
+/// The kernel's x86-64 `sigaction` layout (not libc's).
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct KernelSigaction {
+    handler: usize,
+    flags: u64,
+    restorer: usize,
+    mask: u64,
+}
+
+const ZERO_SIGACTION: KernelSigaction = KernelSigaction {
+    handler: SIG_DFL,
+    flags: 0,
+    restorer: 0,
+    mask: 0,
+};
+
+#[repr(C)]
+struct StackT {
+    ss_sp: *mut u8,
+    ss_flags: i32,
+    ss_size: usize,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct Timeval {
+    sec: i64,
+    usec: i64,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct Itimerval {
+    interval: Timeval,
+    value: Timeval,
+}
+
+const ZERO_ITIMER: Itimerval = Itimerval {
+    interval: Timeval { sec: 0, usec: 0 },
+    value: Timeval { sec: 0, usec: 0 },
+};
+
+// --- trampoline -------------------------------------------------------
+
+// Jump buffer: [0] = rsp at the point the callee-saved registers were
+// pushed, [1] = address of the trampoline's epilogue. Written by
+// `vcode_guarded_invoke`, consumed by `vcode_guard_recover`. One static
+// suffices because guarded calls are serialized by `GUARD_LOCK`.
+#[no_mangle]
+static mut VCODE_GUARD_JMPBUF: [u64; 2] = [0; 2];
+
+core::arch::global_asm!(
+    // u64 vcode_guarded_invoke(entry /*rdi*/, a /*rsi*/, b /*rdx*/,
+    //                          c /*rcx*/, d /*r8*/)
+    // Calls entry(a, b, c, d) with a recovery point armed.
+    ".global vcode_guarded_invoke",
+    "vcode_guarded_invoke:",
+    "push rbx",
+    "push rbp",
+    "push r12",
+    "push r13",
+    "push r14",
+    "push r15",
+    "mov qword ptr [rip + {jmpbuf}], rsp",
+    "lea rax, [rip + 2f]",
+    "mov qword ptr [rip + {jmpbuf} + 8], rax",
+    "mov rax, rdi", // entry
+    "mov rdi, rsi", // arg 0
+    "mov rsi, rdx", // arg 1
+    "mov rdx, rcx", // arg 2
+    "mov rcx, r8",  // arg 3
+    "call rax",
+    "2:",
+    "pop r15",
+    "pop r14",
+    "pop r13",
+    "pop r12",
+    "pop rbp",
+    "pop rbx",
+    "ret",
+    // Non-local exit taken by the signal handler: reload the stack
+    // pointer saved above and resume at the epilogue, exactly as if the
+    // generated function had returned. (The callee-saved registers are
+    // restored by the pops — their values live in the saved frame.)
+    ".global vcode_guard_recover",
+    "vcode_guard_recover:",
+    "mov rsp, qword ptr [rip + {jmpbuf}]",
+    "mov rax, qword ptr [rip + {jmpbuf} + 8]",
+    "jmp rax",
+    // Signal-return stub for SA_RESTORER: the kernel needs a userspace
+    // trampoline to return from a handler on x86-64 (normally provided
+    // by libc, which this crate does not link).
+    ".global vcode_sigrestorer",
+    "vcode_sigrestorer:",
+    "mov rax, {sys_rt_sigreturn}",
+    "syscall",
+    jmpbuf = sym VCODE_GUARD_JMPBUF,
+    sys_rt_sigreturn = const SYS_RT_SIGRETURN,
+);
+
+extern "C" {
+    fn vcode_guarded_invoke(entry: u64, a: u64, b: u64, c: u64, d: u64) -> u64;
+    fn vcode_guard_recover() -> !;
+    fn vcode_sigrestorer();
+}
+
+// --- handler state ----------------------------------------------------
+
+/// Thread id of the thread currently inside a guarded call; 0 when idle.
+static GUARD_TID: AtomicI32 = AtomicI32::new(0);
+/// Signal number recorded by the handler (0 = no fault).
+static FAULT_SIG: AtomicI32 = AtomicI32::new(0);
+/// `si_addr` recorded by the handler.
+static FAULT_ADDR: AtomicU64 = AtomicU64::new(0);
+
+/// Serializes guarded calls process-wide: the jump buffer, handler
+/// state, and itimer are global resources.
+static GUARD_LOCK: Mutex<()> = Mutex::new(());
+
+/// The installed signal handler. Runs on the alternate stack.
+extern "C" fn guard_handler(sig: i32, info: *mut u8, _ucontext: *mut u8) {
+    // SAFETY: trivially valid syscall.
+    let tid = unsafe { syscall4(SYS_GETTID, 0, 0, 0, 0) } as i32;
+    let guard_tid = GUARD_TID.load(Ordering::SeqCst);
+    if guard_tid != 0 && tid != guard_tid {
+        if sig == SIGALRM {
+            // The watchdog fired on the wrong thread (SIGALRM is
+            // process-directed): forward it to the guarded thread.
+            // SAFETY: trivially valid syscalls.
+            unsafe {
+                let pid = syscall4(SYS_GETPID, 0, 0, 0, 0);
+                syscall4(SYS_TGKILL, pid, i64::from(guard_tid), i64::from(sig), 0);
+            }
+            return;
+        }
+        // A hardware fault on an unrelated thread: not ours to absorb.
+        // Restore the default disposition and return; the faulting
+        // instruction re-executes and the process dies with the true
+        // signal.
+        let dfl = ZERO_SIGACTION;
+        // SAFETY: installing SIG_DFL with a valid struct.
+        unsafe {
+            syscall4(
+                SYS_RT_SIGACTION,
+                i64::from(sig),
+                &dfl as *const KernelSigaction as i64,
+                0,
+                8,
+            );
+        }
+        return;
+    }
+    if guard_tid == 0 {
+        if sig == SIGALRM {
+            // Stale watchdog tick after the call finished: ignore.
+            return;
+        }
+        // Fault with no guard armed (e.g. from test-harness code):
+        // behave as if we were never installed.
+        let dfl = ZERO_SIGACTION;
+        // SAFETY: installing SIG_DFL with a valid struct.
+        unsafe {
+            syscall4(
+                SYS_RT_SIGACTION,
+                i64::from(sig),
+                &dfl as *const KernelSigaction as i64,
+                0,
+                8,
+            );
+        }
+        return;
+    }
+    // Ours: record what happened and take the non-local exit. `si_addr`
+    // is at offset 16 of the kernel's siginfo_t for the fault signals.
+    let addr = if sig == SIGALRM || info.is_null() {
+        0
+    } else {
+        // SAFETY: the kernel passes a valid siginfo_t (SA_SIGINFO).
+        unsafe { *(info.add(16) as *const u64) }
+    };
+    FAULT_ADDR.store(addr, Ordering::SeqCst);
+    FAULT_SIG.store(sig, Ordering::SeqCst);
+    // SAFETY: the jump buffer was armed by vcode_guarded_invoke on this
+    // thread and the frames being abandoned are the generated code's.
+    unsafe { vcode_guard_recover() }
+}
+
+fn sig_to_kind(sig: i32) -> TrapKind {
+    match sig {
+        SIGILL => TrapKind::IllegalInsn,
+        SIGFPE => TrapKind::ArithFault,
+        SIGALRM => TrapKind::FuelExhausted,
+        _ => TrapKind::BadAccess, // SIGSEGV, SIGBUS
+    }
+}
+
+// --- public surface ---------------------------------------------------
+
+/// A typed native execution fault: which signal, where, and the
+/// machine-independent [`TrapKind`] it maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NativeTrap {
+    /// The machine-independent classification.
+    pub kind: TrapKind,
+    /// The raw signal number (SIGSEGV, SIGILL, SIGFPE, SIGBUS, SIGALRM).
+    pub signal: i32,
+    /// The faulting address (`si_addr`), when the signal reports one.
+    pub addr: Option<u64>,
+}
+
+impl std::fmt::Display for NativeTrap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "native trap (signal {}): {}", self.signal, self.kind)?;
+        if let Some(a) = self.addr {
+            write!(f, " at {a:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for NativeTrap {}
+
+impl From<NativeTrap> for Trap {
+    fn from(t: NativeTrap) -> Trap {
+        Trap {
+            kind: t.kind,
+            addr: t.addr,
+            backend: "x86-64",
+        }
+    }
+}
+
+/// Runs generated code with hardware faults and runaway loops converted
+/// into typed [`NativeTrap`]s.
+///
+/// # Examples
+///
+/// Catching a wild store through a null pointer:
+///
+/// ```
+/// use vcode::{Assembler, Leaf, TrapKind};
+/// use vcode_x64::{ExecMem, GuardedCall, X64};
+///
+/// let mut mem = ExecMem::new(4096)?;
+/// let mut a = Assembler::<X64>::lambda(mem.as_mut_slice(), "%p", Leaf::Yes)?;
+/// let p = a.arg(0);
+/// a.stii(p, p, 0);   // *(int*)p = p — a store through the argument
+/// a.seti(p, 0);
+/// a.reti(p);
+/// a.end()?;
+/// let code = mem.finalize()?;
+/// let trap = GuardedCall::new().call1(&code, 0).unwrap_err(); // p = NULL
+/// assert_eq!(trap.kind, TrapKind::BadAccess);
+/// assert_eq!(trap.addr, Some(0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Scope and caveats
+///
+/// - Guarded calls are **serialized process-wide**; concurrent callers
+///   queue on an internal lock.
+/// - Signal dispositions for SIGSEGV/SIGILL/SIGFPE/SIGBUS/SIGALRM are
+///   saved on entry and restored on exit; other crates' handlers for
+///   those signals are shadowed only for the duration of a call.
+/// - Recovery abandons whatever frames the generated code had built.
+///   Generated code must not hold process-global resources (locks,
+///   open handles) across a potential fault — vcode-generated leaf
+///   functions never do.
+/// - The watchdog uses wall-clock time ([`Fuel::time`]); the `steps`
+///   half of the budget only applies to the simulator backends.
+#[derive(Debug, Clone, Copy)]
+pub struct GuardedCall {
+    fuel: Fuel,
+}
+
+impl Default for GuardedCall {
+    fn default() -> GuardedCall {
+        GuardedCall::new()
+    }
+}
+
+impl GuardedCall {
+    /// A runner with the default [`Fuel`] budget (2 s watchdog).
+    pub fn new() -> GuardedCall {
+        GuardedCall {
+            fuel: Fuel::DEFAULT,
+        }
+    }
+
+    /// A runner with an explicit budget; only [`Fuel::time`] applies
+    /// natively.
+    pub fn with_fuel(fuel: Fuel) -> GuardedCall {
+        GuardedCall { fuel }
+    }
+
+    /// Calls the code as `extern "C" fn() -> u64` under the guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`NativeTrap`] if the generated code faulted or
+    /// exceeded the time budget.
+    pub fn call0(&self, code: &ExecCode) -> Result<u64, NativeTrap> {
+        self.invoke(code.addr(), [0, 0, 0, 0])
+    }
+
+    /// Calls the code as `extern "C" fn(u64) -> u64` under the guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`NativeTrap`] if the generated code faulted or
+    /// exceeded the time budget.
+    pub fn call1(&self, code: &ExecCode, a: u64) -> Result<u64, NativeTrap> {
+        self.invoke(code.addr(), [a, 0, 0, 0])
+    }
+
+    /// Calls the code as `extern "C" fn(u64, u64) -> u64` under the
+    /// guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`NativeTrap`] if the generated code faulted or
+    /// exceeded the time budget.
+    pub fn call2(&self, code: &ExecCode, a: u64, b: u64) -> Result<u64, NativeTrap> {
+        self.invoke(code.addr(), [a, b, 0, 0])
+    }
+
+    /// Calls the code as `extern "C" fn(u64, u64, u64) -> u64` under the
+    /// guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`NativeTrap`] if the generated code faulted or
+    /// exceeded the time budget.
+    pub fn call3(&self, code: &ExecCode, a: u64, b: u64, c: u64) -> Result<u64, NativeTrap> {
+        self.invoke(code.addr(), [a, b, c, 0])
+    }
+
+    /// Calls the code as `extern "C" fn(u64, u64, u64, u64) -> u64`
+    /// under the guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`NativeTrap`] if the generated code faulted or
+    /// exceeded the time budget.
+    pub fn call4(
+        &self,
+        code: &ExecCode,
+        a: u64,
+        b: u64,
+        c: u64,
+        d: u64,
+    ) -> Result<u64, NativeTrap> {
+        self.invoke(code.addr(), [a, b, c, d])
+    }
+
+    /// Calls an arbitrary entry address under the guard. Prefer the
+    /// typed `callN` wrappers; this exists for harnesses that
+    /// deliberately execute corrupted or truncated code.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`NativeTrap`] if the code faulted or exceeded the
+    /// time budget.
+    pub fn call_entry(&self, entry: u64, args: [u64; 4]) -> Result<u64, NativeTrap> {
+        self.invoke(entry, args)
+    }
+
+    fn invoke(&self, entry: u64, args: [u64; 4]) -> Result<u64, NativeTrap> {
+        let _guard = GUARD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+        // Alternate signal stack, so a generated function that trashed
+        // rsp still gets its fault converted. Thread-local because
+        // sigaltstack is per-thread.
+        thread_local! {
+            static ALT_STACK: Box<[u8; 64 * 1024]> = Box::new([0; 64 * 1024]);
+        }
+        let mut old_altstack = StackT {
+            ss_sp: std::ptr::null_mut(),
+            ss_flags: 0,
+            ss_size: 0,
+        };
+        ALT_STACK.with(|s| {
+            let new = StackT {
+                ss_sp: s.as_ptr() as *mut u8,
+                ss_flags: 0,
+                ss_size: s.len(),
+            };
+            // SAFETY: both structs are valid; the stack buffer outlives
+            // the call (thread-local, and the guard is released before
+            // thread exit).
+            unsafe {
+                syscall4(
+                    SYS_SIGALTSTACK,
+                    &new as *const StackT as i64,
+                    &mut old_altstack as *mut StackT as i64,
+                    0,
+                    0,
+                );
+            }
+        });
+
+        // Install our handler for every guarded signal, saving the old
+        // dispositions.
+        let new_action = KernelSigaction {
+            handler: guard_handler as extern "C" fn(i32, *mut u8, *mut u8) as usize,
+            flags: SA_SIGINFO | SA_ONSTACK | SA_NODEFER | SA_RESTORER,
+            restorer: vcode_sigrestorer as unsafe extern "C" fn() as usize,
+            mask: 0,
+        };
+        let mut old_actions = [ZERO_SIGACTION; GUARDED_SIGNALS.len()];
+        for (i, &sig) in GUARDED_SIGNALS.iter().enumerate() {
+            // SAFETY: valid sigaction structs, sigsetsize = 8.
+            unsafe {
+                syscall4(
+                    SYS_RT_SIGACTION,
+                    i64::from(sig),
+                    &new_action as *const KernelSigaction as i64,
+                    &mut old_actions[i] as *mut KernelSigaction as i64,
+                    8,
+                );
+            }
+        }
+
+        FAULT_SIG.store(0, Ordering::SeqCst);
+        FAULT_ADDR.store(0, Ordering::SeqCst);
+        // SAFETY: trivially valid syscall.
+        let tid = unsafe { syscall4(SYS_GETTID, 0, 0, 0, 0) } as i32;
+        GUARD_TID.store(tid, Ordering::SeqCst);
+
+        // Arm the watchdog.
+        let t = self.fuel.time;
+        let arm = Itimerval {
+            interval: Timeval { sec: 0, usec: 0 },
+            value: Timeval {
+                sec: t.as_secs() as i64,
+                usec: i64::from(t.subsec_micros()).max(1),
+            },
+        };
+        // SAFETY: valid itimerval.
+        unsafe {
+            syscall4(
+                SYS_SETITIMER,
+                ITIMER_REAL,
+                &arm as *const Itimerval as i64,
+                0,
+                0,
+            );
+        }
+
+        // SAFETY: the entry is executable generated code (or a harness-
+        // supplied address whose faults the guard exists to absorb); the
+        // trampoline preserves callee-saved state and the handler
+        // recovers on fault.
+        let ret = unsafe { vcode_guarded_invoke(entry, args[0], args[1], args[2], args[3]) };
+
+        GUARD_TID.store(0, Ordering::SeqCst);
+        // Disarm the watchdog and restore dispositions and altstack.
+        // SAFETY: valid structs throughout.
+        unsafe {
+            syscall4(
+                SYS_SETITIMER,
+                ITIMER_REAL,
+                &ZERO_ITIMER as *const Itimerval as i64,
+                0,
+                0,
+            );
+            for (i, &sig) in GUARDED_SIGNALS.iter().enumerate() {
+                syscall4(
+                    SYS_RT_SIGACTION,
+                    i64::from(sig),
+                    &old_actions[i] as *const KernelSigaction as i64,
+                    0,
+                    8,
+                );
+            }
+            if !old_altstack.ss_sp.is_null() || old_altstack.ss_flags != 0 {
+                syscall4(
+                    SYS_SIGALTSTACK,
+                    &old_altstack as *const StackT as i64,
+                    0,
+                    0,
+                    0,
+                );
+            }
+        }
+
+        let sig = FAULT_SIG.swap(0, Ordering::SeqCst);
+        if sig == 0 {
+            Ok(ret)
+        } else {
+            let addr = FAULT_ADDR.load(Ordering::SeqCst);
+            Err(NativeTrap {
+                kind: sig_to_kind(sig),
+                signal: sig,
+                addr: if sig == SIGALRM || sig == SIGILL {
+                    None
+                } else {
+                    Some(addr)
+                },
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecMem;
+    use std::time::Duration;
+
+    fn build(code: &[u8]) -> ExecCode {
+        let mut mem = ExecMem::new(code.len().max(1)).unwrap();
+        mem.as_mut_slice()[..code.len()].copy_from_slice(code);
+        mem.finalize().unwrap()
+    }
+
+    #[test]
+    fn clean_call_returns_value() {
+        // mov rax, rdi; add rax, rsi; ret
+        let code = build(&[0x48, 0x89, 0xf8, 0x48, 0x01, 0xf0, 0xc3]);
+        let g = GuardedCall::new();
+        assert_eq!(g.call2(&code, 40, 2), Ok(42));
+        // Reusable: a second call works too.
+        assert_eq!(g.call2(&code, 1, 2), Ok(3));
+    }
+
+    #[test]
+    fn null_store_is_bad_access_at_zero() {
+        // mov qword ptr [rdi], 1; ret — called with rdi = 0.
+        let code = build(&[0x48, 0xc7, 0x07, 0x01, 0x00, 0x00, 0x00, 0xc3]);
+        let trap = GuardedCall::new().call1(&code, 0).unwrap_err();
+        assert_eq!(trap.kind, TrapKind::BadAccess);
+        assert_eq!(trap.signal, SIGSEGV);
+        assert_eq!(trap.addr, Some(0));
+    }
+
+    #[test]
+    fn wild_store_reports_faulting_address() {
+        let wild = 0xdead_b000u64;
+        let code = build(&[0x48, 0xc7, 0x07, 0x01, 0x00, 0x00, 0x00, 0xc3]);
+        let trap = GuardedCall::new().call1(&code, wild).unwrap_err();
+        assert_eq!(trap.kind, TrapKind::BadAccess);
+        assert_eq!(trap.addr, Some(wild));
+    }
+
+    #[test]
+    fn illegal_opcode_is_illegal_insn() {
+        // ud2
+        let code = build(&[0x0f, 0x0b]);
+        let trap = GuardedCall::new().call0(&code).unwrap_err();
+        assert_eq!(trap.kind, TrapKind::IllegalInsn);
+        assert_eq!(trap.signal, SIGILL);
+    }
+
+    #[test]
+    fn divide_by_zero_is_arith_fault() {
+        // mov rax, rdi; xor edx, edx; div rsi; ret — rsi = 0.
+        let code = build(&[0x48, 0x89, 0xf8, 0x31, 0xd2, 0x48, 0xf7, 0xf6, 0xc3]);
+        let trap = GuardedCall::new().call2(&code, 10, 0).unwrap_err();
+        assert_eq!(trap.kind, TrapKind::ArithFault);
+        assert_eq!(trap.signal, SIGFPE);
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        // jmp self
+        let code = build(&[0xeb, 0xfe]);
+        let g = GuardedCall::with_fuel(Fuel::time(Duration::from_millis(50)));
+        let trap = g.call0(&code).unwrap_err();
+        assert_eq!(trap.kind, TrapKind::FuelExhausted);
+        assert_eq!(trap.signal, SIGALRM);
+        assert_eq!(trap.addr, None);
+    }
+
+    #[test]
+    fn runoff_into_guard_page_traps() {
+        // No ret: execution falls through the nop sled into the high
+        // guard page, which is PROT_NONE — fetched as BadAccess.
+        let mut mem = ExecMem::new(16).unwrap();
+        let len = mem.len();
+        for b in mem.as_mut_slice().iter_mut() {
+            *b = 0x90; // nop
+        }
+        let code = mem.finalize().unwrap();
+        let trap = GuardedCall::new().call0(&code).unwrap_err();
+        assert_eq!(trap.kind, TrapKind::BadAccess);
+        assert_eq!(trap.addr, Some(code.addr() + len as u64));
+    }
+
+    #[test]
+    fn callee_saved_registers_survive_a_fault() {
+        // Clobber every callee-saved register, then fault: xor rbx/rbp/
+        // r12-r15, then load from [0].
+        let code = build(&[
+            0x48, 0x31, 0xdb, // xor rbx, rbx
+            0x48, 0x31, 0xed, // xor rbp, rbp
+            0x4d, 0x31, 0xe4, // xor r12, r12
+            0x4d, 0x31, 0xed, // xor r13, r13
+            0x4d, 0x31, 0xf6, // xor r14, r14
+            0x4d, 0x31, 0xff, // xor r15, r15
+            0x48, 0x8b, 0x04, 0x25, 0x00, 0x00, 0x00, 0x00, // mov rax, [0]
+            0xc3,
+        ]);
+        // The enclosing Rust frame keeps live state in callee-saved
+        // registers; if recovery failed to restore them this test (and
+        // the harness around it) would corrupt itself.
+        let sentinel = vec![1u64, 2, 3, 4];
+        let trap = GuardedCall::new().call0(&code).unwrap_err();
+        assert_eq!(trap.kind, TrapKind::BadAccess);
+        assert_eq!(sentinel, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn trashed_stack_pointer_still_recovers() {
+        // xor rsp, rsp; push rax — faults with no usable stack; only the
+        // alternate signal stack lets the handler run.
+        let code = build(&[0x48, 0x31, 0xe4, 0x50, 0xc3]);
+        let trap = GuardedCall::new().call0(&code).unwrap_err();
+        assert_eq!(trap.kind, TrapKind::BadAccess);
+    }
+
+    #[test]
+    fn native_trap_converts_to_unified_trap() {
+        let code = build(&[0x0f, 0x0b]); // ud2
+        let native = GuardedCall::new().call0(&code).unwrap_err();
+        let t: Trap = native.into();
+        assert_eq!(t.kind, TrapKind::IllegalInsn);
+        assert_eq!(t.backend, "x86-64");
+    }
+}

@@ -37,8 +37,10 @@
 
 pub mod encode;
 pub mod exec;
+pub mod guard;
 
-pub use exec::{ExecCode, ExecMem};
+pub use exec::{ExecCode, ExecMem, GUARD_BYTES};
+pub use guard::{GuardedCall, NativeTrap};
 
 use encode::{cc, r, sse, Alu, Mem};
 use vcode::asm::Asm;
@@ -313,13 +315,12 @@ impl Target for X64 {
             } else {
                 let slot = INT_ARG_SLOTS[ni];
                 if slot == r::RDX || slot == r::RCX {
-                    let dest = a
-                        .ra
-                        .getreg(vcode::Bank::Int, vcode::RegClass::Temp)
-                        .ok_or(Error::TooManyArgs {
+                    let dest = a.ra.getreg(vcode::Bank::Int, vcode::RegClass::Temp).ok_or(
+                        Error::TooManyArgs {
                             requested: sig.args().len(),
                             max: 6,
-                        })?;
+                        },
+                    )?;
                     encode::mov_rr(&mut a.buf, true, dest.num(), slot);
                     args.push(dest);
                 } else {
@@ -384,7 +385,10 @@ impl Target for X64 {
         // Skip the unused tail of the reserved area with a short jump so
         // leaf-ish functions don't execute a run of nops on every call.
         let (_, save_end) = a.ts.save_area;
-        let rest = save_end - at;
+        // saturating: after a buffer overflow the reserved area may be
+        // truncated, leaving `at` past `save_end`; the overflow is
+        // latched and reported by end().
+        let rest = save_end.saturating_sub(at);
         if rest >= 2 {
             a.buf.patch_slice(at, &[0xeb, (rest - 2) as u8]);
         }

@@ -172,7 +172,11 @@ fn regression_binops_distinct_destination() {
     farm.finalize();
     for (c, off) in cases.iter().zip(offs) {
         let got = unsafe { farm.call2(off, c.a, c.b) };
-        assert_eq!(got, c.expect, "{:?}.{:?}({:#x}, {:#x}) rd!=rs", c.op, c.ty, c.a, c.b);
+        assert_eq!(
+            got, c.expect,
+            "{:?}.{:?}({:#x}, {:#x}) rd!=rs",
+            c.op, c.ty, c.a, c.b
+        );
     }
 }
 
@@ -196,7 +200,11 @@ fn regression_binops_rd_equals_rs2() {
     farm.finalize();
     for (c, off) in cases.iter().zip(offs) {
         let got = unsafe { farm.call2(off, c.a, c.b) };
-        assert_eq!(got, c.expect, "{:?}.{:?}({:#x}, {:#x}) rd==rs2", c.op, c.ty, c.a, c.b);
+        assert_eq!(
+            got, c.expect,
+            "{:?}.{:?}({:#x}, {:#x}) rd==rs2",
+            c.op, c.ty, c.a, c.b
+        );
     }
 }
 
@@ -225,10 +233,7 @@ fn regression_unops() {
 
 #[test]
 fn regression_branches() {
-    let cases: Vec<BranchCase> = regress::branch_cases(64)
-        .into_iter()
-        .step_by(3)
-        .collect();
+    let cases: Vec<BranchCase> = regress::branch_cases(64).into_iter().step_by(3).collect();
     let mut farm = Farm::new(cases.len(), 128);
     let offs: Vec<usize> = cases
         .iter()
@@ -237,14 +242,7 @@ fn regression_branches() {
                 let (x, y) = (a.arg(0), a.arg(1));
                 let taken = a.genlabel();
                 let r = a.getreg(RegClass::Temp).unwrap();
-                X64::emit_branch(
-                    a.raw(),
-                    c.cond,
-                    c.ty,
-                    x,
-                    vcode::BrOperand::R(y),
-                    taken,
-                );
+                X64::emit_branch(a.raw(), c.cond, c.ty, x, vcode::BrOperand::R(y), taken);
                 a.seti(r, 0);
                 a.reti(r);
                 a.label(taken);
@@ -268,9 +266,12 @@ fn regression_branches() {
     }
 }
 
+type DoubleBinCase = (BinOp, fn(f64, f64) -> f64);
+type DoubleCondCase = (Cond, fn(f64, f64) -> bool);
+
 #[test]
 fn float_arithmetic_double() {
-    let ops: [(BinOp, fn(f64, f64) -> f64); 4] = [
+    let ops: [DoubleBinCase; 4] = [
         (BinOp::Add, |x, y| x + y),
         (BinOp::Sub, |x, y| x - y),
         (BinOp::Mul, |x, y| x * y),
@@ -333,7 +334,7 @@ fn float_constants_from_literal_pool() {
 
 #[test]
 fn float_branches() {
-    let conds: [(Cond, fn(f64, f64) -> bool); 6] = [
+    let conds: [DoubleCondCase; 6] = [
         (Cond::Lt, |x, y| x < y),
         (Cond::Le, |x, y| x <= y),
         (Cond::Gt, |x, y| x > y),
@@ -540,7 +541,11 @@ fn dynamically_constructed_call_with_mixed_args() {
         a.call_arg(&mut cf, 1, Ty::D, f);
         a.call_arg(&mut cf, 2, Ty::L, y);
         let r = a.getreg(RegClass::Temp).unwrap();
-        a.call_end(cf, JumpTarget::Abs(mixed_callee as extern "C" fn(i64, f64, i64) -> i64 as usize as u64), Some(r));
+        a.call_end(
+            cf,
+            JumpTarget::Abs(mixed_callee as extern "C" fn(i64, f64, i64) -> i64 as usize as u64),
+            Some(r),
+        );
         a.retl(r);
     });
     let g: extern "C" fn(i64, f64, i64) -> i64 = unsafe { code.as_fn() };
@@ -562,7 +567,13 @@ fn call_with_six_integer_args() {
             a.call_arg(&mut cf, i, Ty::L, if i % 2 == 0 { x } else { y });
         }
         let r = a.getreg(RegClass::Temp).unwrap();
-        a.call_end(cf, JumpTarget::Abs(six_args as extern "C" fn(i64, i64, i64, i64, i64, i64) -> i64 as usize as u64), Some(r));
+        a.call_end(
+            cf,
+            JumpTarget::Abs(
+                six_args as extern "C" fn(i64, i64, i64, i64, i64, i64) -> i64 as usize as u64,
+            ),
+            Some(r),
+        );
         a.retl(r);
     });
     let g: extern "C" fn(i64, i64) -> i64 = unsafe { code.as_fn() };
@@ -615,7 +626,11 @@ fn persistent_register_survives_call() {
         let sig = Sig::parse(":%l").unwrap();
         let cf = a.call_begin(&sig);
         let junk = a.getreg(RegClass::Temp).unwrap();
-        a.call_end(cf, JumpTarget::Abs(clobberer as extern "C" fn() -> i64 as usize as u64), Some(junk));
+        a.call_end(
+            cf,
+            JumpTarget::Abs(clobberer as extern "C" fn() -> i64 as usize as u64),
+            Some(junk),
+        );
         a.retl(keep);
     });
     let g: extern "C" fn(i64) -> i64 = unsafe { code.as_fn() };
@@ -675,7 +690,9 @@ fn extension_sqrt_native_and_bswap() {
 
 #[test]
 fn strength_reduced_multiply_matches_plain() {
-    for c in [-17, -8, -1, 0, 1, 2, 3, 5, 7, 8, 10, 12, 15, 16, 24, 63, 97, 255] {
+    for c in [
+        -17, -8, -1, 0, 1, 2, 3, 5, 7, 8, 10, 12, 15, 16, 24, 63, 97, 255,
+    ] {
         let code = build("%i", |a| {
             let x = a.arg(0);
             let d = a.getreg(RegClass::Temp).unwrap();

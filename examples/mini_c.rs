@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("fib(25)          = {}", prog.call_int("fib", &[25])?);
     println!("gcd(1071, 462)   = {}", prog.call_int("gcd", &[1071, 462])?);
-    println!("count_primes(1000) = {}", prog.call_int("count_primes", &[1000])?);
+    println!(
+        "count_primes(1000) = {}",
+        prog.call_int("count_primes", &[1000])?
+    );
     println!("mean(2.5, 7.5)   = {}", prog.call_f64("mean", &[2.5, 7.5])?);
     let mut squares = [0i32; 8];
     prog.call_int("fill_squares", &[squares.as_mut_ptr() as i64, 8])?;

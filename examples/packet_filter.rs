@@ -66,8 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ns_pf = time(&|m| pf.classify(m));
     let ns_mpf = time(&|m| mpf.classify(m));
     println!("\nTable 3 analog (avg ns/classification, {TRIALS} trials):");
-    println!("  MPF (interpreted, per-filter)  {ns_mpf:8.1} ns   ({:>4.1}x DPF)", ns_mpf / ns_dpf);
-    println!("  PATHFINDER (interpreted trie)  {ns_pf:8.1} ns   ({:>4.1}x DPF)", ns_pf / ns_dpf);
+    println!(
+        "  MPF (interpreted, per-filter)  {ns_mpf:8.1} ns   ({:>4.1}x DPF)",
+        ns_mpf / ns_dpf
+    );
+    println!(
+        "  PATHFINDER (interpreted trie)  {ns_pf:8.1} ns   ({:>4.1}x DPF)",
+        ns_pf / ns_dpf
+    );
     println!("  DPF (dynamically compiled)     {ns_dpf:8.1} ns");
     Ok(())
 }

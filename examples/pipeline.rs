@@ -26,10 +26,7 @@ fn time_warm(mut f: impl FnMut(&[u8], &mut [u8]) -> u16, src: &[u8], dst: &mut [
     t.elapsed().as_secs_f64() * 1e9 / f64::from(REPS)
 }
 
-fn time_cold(
-    mut f: impl FnMut(&[u8], &mut [u8]) -> u16,
-    ring: &mut [u8],
-) -> f64 {
+fn time_cold(mut f: impl FnMut(&[u8], &mut [u8]) -> u16, ring: &mut [u8]) -> f64 {
     let n = ring.len() / (2 * MSG);
     let t = Instant::now();
     for i in 0..n {
@@ -65,11 +62,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(c1, c2);
         assert_eq!(dst, d2);
 
-        rows[0].1.push(time_cold(|s, d| separate(&steps, s, d), &mut ring));
-        rows[1].1.push(time_warm(|s, d| separate(&steps, s, d), &src, &mut dst));
-        rows[2].1.push(time_warm(|s, d| integrated(&steps, s, d), &src, &mut dst));
+        rows[0]
+            .1
+            .push(time_cold(|s, d| separate(&steps, s, d), &mut ring));
+        rows[1]
+            .1
+            .push(time_warm(|s, d| separate(&steps, s, d), &src, &mut dst));
+        rows[2]
+            .1
+            .push(time_warm(|s, d| integrated(&steps, s, d), &src, &mut dst));
         rows[3].1.push(time_cold(|s, d| p.run(s, d), &mut ring));
-        rows[4].1.push(time_warm(|s, d| p.run(s, d), &src, &mut dst));
+        rows[4]
+            .1
+            .push(time_warm(|s, d| p.run(s, d), &src, &mut dst));
     }
     for (name, vals) in &rows {
         println!("{name:24} {:>12.0} {:>12.0}", vals[0], vals[1]);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The tier-1 gate. Everything here must pass offline — the workspace has
+# no external dependencies (see DESIGN.md "Dependencies"), so a network
+# failure can never turn into a build failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== tests =="
+cargo test -q --workspace --offline
+
+echo "== fault-injection smoke (hardened execution gate) =="
+cargo test -q -p harden --offline --test faults
+
+echo "CI green."

@@ -3,7 +3,7 @@
 //! on all four targets — x86-64 executed natively, MIPS/SPARC/Alpha on
 //! their instruction-set simulators.
 
-use proptest::prelude::*;
+use vcode::regress::XorShift;
 use vcode::target::Leaf;
 use vcode::{Assembler, Reg, RegClass, Target};
 use vcode_x64::ExecMem;
@@ -27,23 +27,23 @@ enum Step {
     CmovLt(u8, u8, u8),
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    let r = 0u8..3;
-    prop_oneof![
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Step::Add(a, b, c)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Step::Sub(a, b, c)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Step::Mul(a, b, c)),
-        (r.clone(), r.clone(), -1000i32..1000).prop_map(|(a, b, k)| Step::AddI(a, b, k)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Step::Xor(a, b, c)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Step::And(a, b, c)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Step::Or(a, b, c)),
-        (r.clone(), r.clone(), 0u8..31).prop_map(|(a, b, k)| Step::ShlI(a, b, k)),
-        (r.clone(), r.clone(), 0u8..31).prop_map(|(a, b, k)| Step::ShrI(a, b, k)),
-        (r.clone(), r.clone()).prop_map(|(a, b)| Step::Neg(a, b)),
-        (r.clone(), r.clone()).prop_map(|(a, b)| Step::Com(a, b)),
-        (r.clone(), any::<i32>()).prop_map(|(a, k)| Step::Set(a, k)),
-        (r.clone(), r.clone(), r).prop_map(|(a, b, c)| Step::CmovLt(a, b, c)),
-    ]
+fn random_step(rng: &mut XorShift) -> Step {
+    let r = |rng: &mut XorShift| rng.below(3) as u8;
+    match rng.below(13) {
+        0 => Step::Add(r(rng), r(rng), r(rng)),
+        1 => Step::Sub(r(rng), r(rng), r(rng)),
+        2 => Step::Mul(r(rng), r(rng), r(rng)),
+        3 => Step::AddI(r(rng), r(rng), rng.range(0, 2000) as i32 - 1000),
+        4 => Step::Xor(r(rng), r(rng), r(rng)),
+        5 => Step::And(r(rng), r(rng), r(rng)),
+        6 => Step::Or(r(rng), r(rng), r(rng)),
+        7 => Step::ShlI(r(rng), r(rng), rng.below(31) as u8),
+        8 => Step::ShrI(r(rng), r(rng), rng.below(31) as u8),
+        9 => Step::Neg(r(rng), r(rng)),
+        10 => Step::Com(r(rng), r(rng)),
+        11 => Step::Set(r(rng), rng.next_u64() as i32),
+        _ => Step::CmovLt(r(rng), r(rng), r(rng)),
+    }
 }
 
 /// Emits the program for any target.
@@ -115,10 +115,14 @@ fn run_all(steps: &[Step], x: i32, y: i32) -> (i32, i32, i32, i32) {
     let (mc, sc, ac) = gen(steps);
     let mut mips = vcode_sim::mips::Machine::new(1 << 21);
     let e = mips.load_code(&mc);
-    let mv = mips.call(e, &[x as u32, y as u32], 1_000_000).expect("mips") as i32;
+    let mv = mips
+        .call(e, &[x as u32, y as u32], 1_000_000)
+        .expect("mips") as i32;
     let mut sparc = vcode_sim::sparc::Machine::new(1 << 21);
     let e = sparc.load_code(&sc);
-    let sv = sparc.call(e, &[x as u32, y as u32], 1_000_000).expect("sparc") as i32;
+    let sv = sparc
+        .call(e, &[x as u32, y as u32], 1_000_000)
+        .expect("sparc") as i32;
     let mut alpha = vcode_sim::alpha::Machine::new(1 << 21);
     let e = alpha.load_code(&ac);
     let av = alpha
@@ -127,19 +131,18 @@ fn run_all(steps: &[Step], x: i32, y: i32) -> (i32, i32, i32, i32) {
     (native, mv, sv, av)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn all_targets_agree(
-        steps in proptest::collection::vec(step_strategy(), 1..24),
-        x in any::<i32>(),
-        y in any::<i32>(),
-    ) {
+#[test]
+fn all_targets_agree() {
+    let mut rng = XorShift::new(0xc805);
+    for case in 0..48 {
+        let n = rng.range(1, 24) as usize;
+        let steps: Vec<Step> = (0..n).map(|_| random_step(&mut rng)).collect();
+        let x = rng.next_u64() as i32;
+        let y = rng.next_u64() as i32;
         let (native, mips, sparc, alpha) = run_all(&steps, x, y);
-        prop_assert_eq!(native, mips, "x64 vs mips");
-        prop_assert_eq!(native, sparc, "x64 vs sparc");
-        prop_assert_eq!(native, alpha, "x64 vs alpha");
+        assert_eq!(native, mips, "case {case}: x64 vs mips on {steps:?}");
+        assert_eq!(native, sparc, "case {case}: x64 vs sparc on {steps:?}");
+        assert_eq!(native, alpha, "case {case}: x64 vs alpha on {steps:?}");
     }
 }
 

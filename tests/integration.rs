@@ -121,8 +121,7 @@ fn spec_language_matches_extension_layer() {
     use vcode::target::Leaf;
     use vcode::{Assembler, RegClass};
     let mut mem = vcode_x64::ExecMem::new(4096).unwrap();
-    let mut a =
-        Assembler::<vcode_x64::X64>::lambda(mem.as_mut_slice(), "%d", Leaf::Yes).unwrap();
+    let mut a = Assembler::<vcode_x64::X64>::lambda(mem.as_mut_slice(), "%d", Leaf::Yes).unwrap();
     let x = a.arg(0);
     let t = a.getreg_f(RegClass::Temp).unwrap();
     a.sqrtd(x, x, t); // hardware sqrtsd on this target
@@ -144,8 +143,7 @@ fn vcode_calls_tcc_function() {
     let triple_addr = prog.addr("triple").unwrap();
 
     let mut mem = vcode_x64::ExecMem::new(4096).unwrap();
-    let mut a =
-        Assembler::<vcode_x64::X64>::lambda(mem.as_mut_slice(), "%i", Leaf::No).unwrap();
+    let mut a = Assembler::<vcode_x64::X64>::lambda(mem.as_mut_slice(), "%i", Leaf::No).unwrap();
     let x = a.arg(0);
     let sig = Sig::parse("%i:%i").unwrap();
     let mut cf = a.call_begin(&sig);
@@ -183,7 +181,11 @@ fn generic_pipeline_on_all_simulated_targets() {
         let sum = m
             .call(entry, &[dst, src, (data.len() / 4) as u32], 1_000_000)
             .unwrap();
-        assert_eq!(ash::generic::fold_le_halfwords(sum), want_ck, "mips checksum");
+        assert_eq!(
+            ash::generic::fold_le_halfwords(sum),
+            want_ck,
+            "mips checksum"
+        );
         assert_eq!(m.read(dst, data.len()), &want_swapped[..], "mips swap");
     }
     // SPARC.
@@ -199,7 +201,11 @@ fn generic_pipeline_on_all_simulated_targets() {
         let sum = m
             .call(entry, &[dst, src, (data.len() / 4) as u32], 1_000_000)
             .unwrap();
-        assert_eq!(ash::generic::fold_le_halfwords(sum), want_ck, "sparc checksum");
+        assert_eq!(
+            ash::generic::fold_le_halfwords(sum),
+            want_ck,
+            "sparc checksum"
+        );
         assert_eq!(m.read(dst, data.len()), &want_swapped[..], "sparc swap");
     }
     // Alpha.
@@ -230,7 +236,11 @@ fn generic_pipeline_on_all_simulated_targets() {
         let f: extern "C" fn(*mut u8, *const u8, i32) -> u32 = unsafe { code.as_fn() };
         let mut dst = vec![0u8; data.len()];
         let sum = f(dst.as_mut_ptr(), data.as_ptr(), (data.len() / 4) as i32);
-        assert_eq!(ash::generic::fold_le_halfwords(sum), want_ck, "x64 checksum");
+        assert_eq!(
+            ash::generic::fold_le_halfwords(sum),
+            want_ck,
+            "x64 checksum"
+        );
         assert_eq!(dst, want_swapped, "x64 swap");
     }
 }
