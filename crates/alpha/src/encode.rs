@@ -20,6 +20,7 @@ pub mod r {
 }
 
 /// Memory-format instruction: `opcode ra, disp(rb)`.
+#[inline]
 pub fn mem(b: &mut CodeBuffer<'_>, opcode: u8, ra: u8, rb: u8, disp: i16) {
     b.put_u32(
         (u32::from(opcode) << 26)
@@ -47,6 +48,7 @@ pub mod m {
 }
 
 /// Operate-format, register operand: `opcode.func rc = ra op rb`.
+#[inline]
 pub fn opr(b: &mut CodeBuffer<'_>, opcode: u8, func: u8, ra: u8, rb: u8, rc: u8) {
     b.put_u32(
         (u32::from(opcode) << 26)
@@ -58,6 +60,7 @@ pub fn opr(b: &mut CodeBuffer<'_>, opcode: u8, func: u8, ra: u8, rb: u8, rc: u8)
 }
 
 /// Operate-format, 8-bit literal operand.
+#[inline]
 pub fn opl(b: &mut CodeBuffer<'_>, opcode: u8, func: u8, ra: u8, lit: u8, rc: u8) {
     b.put_u32(
         (u32::from(opcode) << 26)
@@ -105,6 +108,7 @@ pub mod f {
 }
 
 /// Branch-format: `opcode ra, disp21` (target = pc + 4 + 4*disp).
+#[inline]
 pub fn branch(b: &mut CodeBuffer<'_>, opcode: u8, ra: u8, disp21: i32) {
     b.put_u32((u32::from(opcode) << 26) | (u32::from(ra) << 21) | (disp21 as u32 & 0x1f_ffff));
 }
@@ -132,6 +136,7 @@ pub mod br {
 
 /// Jump-class instruction (opcode 0x1a): `func` 0 = jmp, 1 = jsr,
 /// 2 = ret.
+#[inline]
 pub fn jump(b: &mut CodeBuffer<'_>, func: u8, ra: u8, rb: u8) {
     b.put_u32(
         (0x1au32 << 26) | (u32::from(ra) << 21) | (u32::from(rb) << 16) | (u32::from(func) << 14),
@@ -159,6 +164,7 @@ pub mod ff {
 }
 
 /// FP operate (opcode 0x16): `fc = fa op fb`.
+#[inline]
 pub fn fop(b: &mut CodeBuffer<'_>, func: u16, fa: u8, fb: u8, fc: u8) {
     b.put_u32(
         (0x16u32 << 26)
@@ -170,6 +176,7 @@ pub fn fop(b: &mut CodeBuffer<'_>, func: u16, fa: u8, fb: u8, fc: u8) {
 }
 
 /// FP operate (opcode 0x17): `cpys`-family.
+#[inline]
 pub fn fop17(b: &mut CodeBuffer<'_>, func: u16, fa: u8, fb: u8, fc: u8) {
     b.put_u32(
         (0x17u32 << 26)
@@ -186,17 +193,20 @@ pub const CPYS: u16 = 0x020;
 pub const CPYSN: u16 = 0x021;
 
 /// `nop` (`bis $31, $31, $31`).
+#[inline]
 pub fn nop(b: &mut CodeBuffer<'_>) {
     opr(b, 0x11, f::BIS, r::ZERO, r::ZERO, r::ZERO);
 }
 
 /// `mov rs, rd` (`bis $31, rs, rd`).
+#[inline]
 pub fn mov(b: &mut CodeBuffer<'_>, rd: u8, rs: u8) {
     opr(b, 0x11, f::BIS, r::ZERO, rs, rd);
 }
 
 /// Loads a 64-bit constant into `rd` (1–7 instructions; may use
 /// `scratch` for the general 64-bit case).
+#[inline]
 pub fn li64(b: &mut CodeBuffer<'_>, rd: u8, v: i64, scratch: u8) {
     if let Ok(v16) = i16::try_from(v) {
         mem(b, m::LDA, rd, r::ZERO, v16);

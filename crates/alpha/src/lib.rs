@@ -204,6 +204,15 @@ impl Alpha {
     }
 }
 
+/// Immediate-form fallback: materialize through the scratch (PV holds
+/// the constant so AT stays free for the operation's own synthesis). Out
+/// of line so the hot arms of `emit_binop_imm` fold into each call site.
+#[inline(never)]
+fn binop_imm_slow(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: Reg, rs: Reg, imm: i64) {
+    encode::li64(&mut a.buf, PV, imm, AT);
+    Alpha::emit_binop(a, op, ty, rd, rs, Reg::int(PV));
+}
+
 impl Target for Alpha {
     const NAME: &'static str = "alpha";
     const WORD_BITS: u32 = 64;
@@ -271,6 +280,7 @@ impl Target for Alpha {
     }
 
     #[allow(clippy::collapsible_match)] // the guard form obscures the ABI cases
+    #[inline]
     fn emit_ret(a: &mut Asm<'_>, val: Option<(Ty, Reg)>) {
         match val {
             Some((Ty::F | Ty::D, v)) => {
@@ -367,6 +377,7 @@ impl Target for Alpha {
         Ok(())
     }
 
+    #[inline]
     fn patch(a: &mut Asm<'_>, fixup: Fixup, dest: usize) {
         let disp = (dest as i64 - (fixup.at as i64 + 4)) / 4;
         if !(-(1 << 20)..(1 << 20)).contains(&disp) {
@@ -378,6 +389,7 @@ impl Target for Alpha {
             .patch_u32(fixup.at, (old & 0xffe0_0000) | (disp as u32 & 0x1f_ffff));
     }
 
+    #[inline(always)]
     fn emit_binop(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: Reg, rs1: Reg, rs2: Reg) {
         if ty.is_float() {
             let func = match (op, ty) {
@@ -453,6 +465,7 @@ impl Target for Alpha {
         }
     }
 
+    #[inline(always)]
     fn emit_binop_imm(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: Reg, rs: Reg, imm: i64) {
         let lit_ok = (0..256).contains(&imm);
         let w32 = is32(ty);
@@ -494,15 +507,11 @@ impl Target for Alpha {
                 // lda covers 16-bit quadword adds in one instruction.
                 encode::mem(&mut a.buf, m::LDA, rd.num(), rs.num(), imm as i16);
             }
-            _ => {
-                // Materialize through the scratch (PV holds the constant
-                // so AT stays free for the operation's own synthesis).
-                encode::li64(&mut a.buf, PV, imm, AT);
-                Self::emit_binop(a, op, ty, rd, rs, Reg::int(PV));
-            }
+            _ => binop_imm_slow(a, op, ty, rd, rs, imm),
         }
     }
 
+    #[inline]
     fn emit_unop(a: &mut Asm<'_>, op: UnOp, ty: Ty, rd: Reg, rs: Reg) {
         match (op, ty.is_float()) {
             (UnOp::Mov, true) => {
@@ -531,6 +540,7 @@ impl Target for Alpha {
         }
     }
 
+    #[inline]
     fn emit_set(a: &mut Asm<'_>, ty: Ty, rd: Reg, imm: Imm) {
         match imm {
             Imm::Int(v) => {
@@ -550,6 +560,7 @@ impl Target for Alpha {
         }
     }
 
+    #[inline]
     fn emit_cvt(a: &mut Asm<'_>, from: Ty, to: Ty, rd: Reg, rs: Reg) {
         match (from.is_float(), to.is_float()) {
             (false, false) => match (from, to) {
@@ -598,6 +609,7 @@ impl Target for Alpha {
         }
     }
 
+    #[inline]
     fn emit_ld(a: &mut Asm<'_>, ty: Ty, rd: Reg, base: Reg, off: Off) {
         match ty {
             Ty::I | Ty::U => {
@@ -636,6 +648,7 @@ impl Target for Alpha {
         }
     }
 
+    #[inline]
     fn emit_st(a: &mut Asm<'_>, ty: Ty, src: Reg, base: Reg, off: Off) {
         match ty {
             Ty::I | Ty::U => {
@@ -673,6 +686,7 @@ impl Target for Alpha {
         }
     }
 
+    #[inline]
     fn emit_branch(a: &mut Asm<'_>, cond: Cond, ty: Ty, rs1: Reg, rs2: BrOperand, l: Label) {
         if ty.is_float() {
             let BrOperand::R(rs2) = rs2 else {
@@ -744,6 +758,7 @@ impl Target for Alpha {
         Self::branch_to(a, l, opcode, AT);
     }
 
+    #[inline]
     fn emit_jump(a: &mut Asm<'_>, t: JumpTarget) {
         match t {
             JumpTarget::Label(l) => Self::branch_to(a, l, br::BR, r::ZERO),
@@ -755,6 +770,7 @@ impl Target for Alpha {
         }
     }
 
+    #[inline]
     fn emit_jal(a: &mut Asm<'_>, t: JumpTarget) {
         match t {
             JumpTarget::Label(l) => Self::branch_to(a, l, br::BSR, r::RA),
@@ -766,6 +782,7 @@ impl Target for Alpha {
         }
     }
 
+    #[inline]
     fn emit_nop(a: &mut Asm<'_>) {
         encode::nop(&mut a.buf);
     }

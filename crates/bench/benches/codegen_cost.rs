@@ -16,7 +16,7 @@ use std::time::Instant;
 use vcode::target::Leaf;
 use vcode::{Assembler, BinOp, Reg, RegClass, Ty};
 use vcode_bench::BODY_INSNS;
-use vcode_bench::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use vcode_bench::{criterion_group, criterion_main, snapshot, BatchSize, Criterion, Throughput};
 use vcode_x64::X64;
 
 /// Emits `n` VCODE instructions using allocator-assigned registers.
@@ -97,16 +97,23 @@ fn bench(c: &mut Criterion) {
     group.finish();
 
     // The paper-style summary table (ns per generated VCODE instruction).
+    // Best of several short windows, like the harness: the minimum is
+    // the honest cost estimate on a shared machine, and it is what the
+    // CI regression gate compares against the committed snapshot.
+    let reps: u32 = if snapshot::smoke() { 100 } else { 500 };
     let mut measure = |f: &dyn Fn(&mut [u8], usize) -> usize| {
-        const REPS: u32 = 5000;
-        for _ in 0..REPS / 4 {
+        for _ in 0..reps {
             black_box(f(&mut mem, BODY_INSNS)); // warmup
         }
-        let t = Instant::now();
-        for _ in 0..REPS {
-            black_box(f(&mut mem, BODY_INSNS));
+        let mut best = f64::INFINITY;
+        for _ in 0..10 {
+            let t = Instant::now();
+            for _ in 0..reps {
+                black_box(f(&mut mem, BODY_INSNS));
+            }
+            best = best.min(t.elapsed().as_secs_f64());
         }
-        t.elapsed().as_secs_f64() * 1e9 / f64::from(REPS) / BODY_INSNS as f64
+        best * 1e9 / f64::from(reps) / BODY_INSNS as f64
     };
     let ns_vcode = measure(&|m, n| emit_vcode(m, n));
     let ns_hard = measure(&|m, n| emit_vcode_hard(m, n));
@@ -121,6 +128,26 @@ fn bench(c: &mut Criterion) {
         "  dcg (IR trees)           {ns_dcg:8.2} ns/insn  ({:.1}x slower than vcode; paper: ~35x)",
         ns_dcg / ns_vcode
     );
+
+    // Snapshot + regression gate (see `vcode_bench::snapshot`): CI runs
+    // this bench in smoke mode against the committed BENCH_codegen.json
+    // and fails on any ns/insn metric >20% over baseline.
+    let metrics = [
+        ("codegen_cost/vcode_ns_per_insn", ns_vcode),
+        ("codegen_cost/vcode_hard_regs_ns_per_insn", ns_hard),
+        ("codegen_cost/dcg_ns_per_insn", ns_dcg),
+    ];
+    let mut failures = Vec::new();
+    for (name, value) in metrics {
+        snapshot::record(name, value);
+        failures.extend(snapshot::check(name, value));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
+    }
 
     // Space behaviour (paper §3): VCODE keeps labels + unresolved jumps;
     // DCG's intermediate representation is proportional to program size.

@@ -124,15 +124,24 @@ impl BenchmarkGroup {
         };
         f(&mut b);
         let per = b.elapsed.as_nanos().max(1) as f64;
-        let iters = ((5e7 / per).ceil() as u64).clamp(1, 1_000_000);
-        // Warm up with a quarter window, then keep the best of three runs.
+        // Smoke mode (CI) trades precision for a ~10x shorter run.
+        let (window, rounds) = if snapshot::smoke() {
+            (1.5e6, 4)
+        } else {
+            (1.5e7, 10)
+        };
+        let iters = ((window / per).ceil() as u64).clamp(1, 1_000_000);
+        // Warm up with a quarter window, then keep the best window. Many
+        // short windows resist scheduler noise on shared machines far
+        // better than a few long ones: a burst of neighbour activity
+        // poisons one 15 ms window, not the whole measurement.
         let mut b = Bencher {
             iters: (iters / 4).max(1),
             elapsed: Duration::ZERO,
         };
         f(&mut b);
         let mut best = f64::INFINITY;
-        for _ in 0..3 {
+        for _ in 0..rounds {
             let mut b = Bencher {
                 iters,
                 elapsed: Duration::ZERO,
@@ -140,6 +149,7 @@ impl BenchmarkGroup {
             f(&mut b);
             best = best.min(b.elapsed.as_nanos() as f64 / iters as f64);
         }
+        snapshot::record(&format!("{}/{id}_ns_per_iter", self.name), best);
         let mut line = format!("{}/{id:<28} {:>12.1} ns/iter", self.name, best);
         match self.throughput {
             Some(Throughput::Elements(n)) => {
@@ -156,6 +166,116 @@ impl BenchmarkGroup {
 
     /// Ends the group (criterion API compatibility; nothing to flush).
     pub fn finish(self) {}
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark snapshots: a flat JSON object of named scalar metrics,
+// merged across bench binaries so one file accumulates the whole run.
+// ---------------------------------------------------------------------------
+
+/// Snapshot recording and regression checking for benchmark metrics.
+///
+/// When `VCODE_BENCH_JSON` names a file, [`record`](snapshot::record)
+/// merges `name: value` into it (creating it if absent) — each bench
+/// binary contributes its metrics and the file accumulates the full
+/// set, e.g. `BENCH_codegen.json` at the repo root.
+///
+/// When `VCODE_BASELINE` names a previously committed snapshot,
+/// [`check`](snapshot::check) compares a metric against it and returns
+/// an error line when the new value regressed by more than 20%
+/// (higher = worse; every recorded metric is a cost). CI runs the
+/// codegen-cost bench in smoke mode with both variables set and fails
+/// the build on any regression.
+///
+/// `VCODE_SMOKE=1` shortens measurement windows (~10x) so the check is
+/// cheap enough for CI; snapshots meant for committing should be taken
+/// without it.
+pub mod snapshot {
+    use std::fmt::Write as _;
+    use std::fs;
+
+    /// Whether smoke mode (short windows, CI-grade precision) is on.
+    pub fn smoke() -> bool {
+        std::env::var_os("VCODE_SMOKE").is_some_and(|v| v != "0")
+    }
+
+    /// Parses a flat `{"name": number, ...}` JSON object. Returns pairs
+    /// in file order; `None` on malformed input.
+    pub fn parse(text: &str) -> Option<Vec<(String, f64)>> {
+        let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut out = Vec::new();
+        for entry in body.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry.split_once(':')?;
+            let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+            out.push((key.to_string(), value.trim().parse().ok()?));
+        }
+        Some(out)
+    }
+
+    fn render(entries: &[(String, f64)]) -> String {
+        let mut s = String::from("{\n");
+        for (i, (k, v)) in entries.iter().enumerate() {
+            let sep = if i + 1 == entries.len() { "" } else { "," };
+            let _ = writeln!(s, "  \"{k}\": {v:.2}{sep}");
+        }
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Records `name = value` into the snapshot file named by
+    /// `VCODE_BENCH_JSON` (no-op without it). Existing entries for other
+    /// names are preserved; a same-name entry is overwritten.
+    pub fn record(name: &str, value: f64) {
+        let Some(path) = std::env::var_os("VCODE_BENCH_JSON") else {
+            return;
+        };
+        let mut entries = fs::read_to_string(&path)
+            .ok()
+            .and_then(|t| parse(&t))
+            .unwrap_or_default();
+        match entries.iter_mut().find(|(k, _)| k == name) {
+            Some((_, v)) => *v = value,
+            None => entries.push((name.to_string(), value)),
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        if let Err(e) = fs::write(&path, render(&entries)) {
+            eprintln!("snapshot: cannot write {}: e={e}", path.to_string_lossy());
+        }
+    }
+
+    /// Compares `value` against the committed baseline (the snapshot
+    /// file named by `VCODE_BASELINE`). Returns a human-readable
+    /// failure line when the metric regressed more than `TOLERANCE`;
+    /// `None` when in tolerance, unknown to the baseline, or no
+    /// baseline is configured.
+    pub fn check(name: &str, value: f64) -> Option<String> {
+        const TOLERANCE: f64 = 0.20;
+        let path = std::env::var_os("VCODE_BASELINE")?;
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                return Some(format!(
+                    "baseline {} unreadable: {e}",
+                    path.to_string_lossy()
+                ))
+            }
+        };
+        let baseline = parse(&text)?;
+        let &(_, expect) = baseline.iter().find(|(k, _)| k == name)?;
+        (value > expect * (1.0 + TOLERANCE)).then(|| {
+            format!(
+                "REGRESSION {name}: {value:.2} vs baseline {expect:.2} \
+                 (+{:.0}%, tolerance {:.0}%)",
+                (value / expect - 1.0) * 100.0,
+                TOLERANCE * 100.0
+            )
+        })
+    }
 }
 
 /// Declares a benchmark group function, criterion-style.

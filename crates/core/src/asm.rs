@@ -22,7 +22,7 @@
 //! # Ok::<(), vcode::Error>(())
 //! ```
 
-use crate::buf::CodeBuffer;
+use crate::buf::{CodeBuffer, EmitPath};
 use crate::error::Error;
 use crate::label::{Fixup, FixupTarget, Label, LabelMap, LiteralPool};
 use crate::op::{BinOp, Cond, Imm, UnOp};
@@ -310,15 +310,30 @@ impl<'m, T: Target> Assembler<'m, T> {
     /// argument list itself is computed at runtime (argument-marshaling
     /// generators, paper §2).
     pub fn lambda_sig(mem: &'m mut [u8], sig: Sig, leaf: Leaf) -> Result<Self, Error> {
+        Self::lambda_sig_path(mem, sig, leaf, EmitPath::Fast)
+    }
+
+    /// [`lambda_sig`](Self::lambda_sig) with an explicit [`EmitPath`].
+    /// `EmitPath::Bytewise` forces every append through the per-byte
+    /// checked reference path; the differential test proves it emits the
+    /// same machine code as the production fast path.
+    pub fn lambda_sig_path(
+        mem: &'m mut [u8],
+        sig: Sig,
+        leaf: Leaf,
+        path: EmitPath,
+    ) -> Result<Self, Error> {
         let mut labels = LabelMap::new();
         let epilogue = labels.fresh();
         let mut a = Asm {
-            buf: CodeBuffer::new(mem),
+            buf: CodeBuffer::with_path(mem, path),
             labels,
             fixups: Vec::new(),
             lits: LiteralPool::new(),
             ra: RegAlloc::new(T::regfile(), matches!(leaf, Leaf::Yes)),
-            sig: sig.clone(),
+            // Placeholder; the real signature moves in (alloc-free) once
+            // `begin` no longer needs to read it alongside `&mut a`.
+            sig: Sig::default(),
             leaf,
             epilogue,
             locals_bytes: 0,
@@ -330,6 +345,7 @@ impl<'m, T: Target> Assembler<'m, T> {
             ret_sites: Vec::new(),
         };
         let args = T::begin(&mut a, &sig, leaf)?;
+        a.sig = sig;
         Ok(Assembler {
             a,
             args,

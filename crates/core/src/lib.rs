@@ -64,6 +64,7 @@ pub mod trap;
 pub mod ty;
 
 pub use asm::{Asm, Assembler};
+pub use buf::EmitPath;
 pub use error::Error;
 pub use label::Label;
 pub use op::{BinOp, Cond, Imm, UnOp};

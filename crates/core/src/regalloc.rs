@@ -17,18 +17,64 @@
 
 use crate::reg::{Bank, Reg, RegClass, RegDesc, RegFile, RegKind};
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Candidate {
     reg: Reg,
     kind: RegKind,
     free: bool,
 }
 
+/// Upper bound on register candidates per bank. No target lists more
+/// than 25 allocatable registers per bank; the ceiling lets the
+/// candidate lists live inline in the allocator (and therefore in every
+/// `Asm`), so building one per generated function allocates nothing.
+const MAX_CANDS: usize = 32;
+
+/// A fixed-capacity, inline candidate priority list.
+#[derive(Debug, Clone, Copy)]
+struct CandList {
+    cands: [Candidate; MAX_CANDS],
+    len: usize,
+}
+
+impl CandList {
+    fn new(descs: &[RegDesc]) -> CandList {
+        debug_assert!(
+            descs.len() <= MAX_CANDS,
+            "register file bank exceeds {MAX_CANDS} candidates"
+        );
+        let mut list = CandList {
+            cands: [Candidate {
+                reg: Reg::int(0),
+                kind: RegKind::Reserved,
+                free: false,
+            }; MAX_CANDS],
+            len: descs.len().min(MAX_CANDS),
+        };
+        for (c, d) in list.cands.iter_mut().zip(descs) {
+            *c = Candidate {
+                reg: d.reg,
+                kind: d.kind,
+                free: !matches!(d.kind, RegKind::Reserved),
+            };
+        }
+        list
+    }
+
+    fn as_slice(&self) -> &[Candidate] {
+        &self.cands[..self.len]
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [Candidate] {
+        &mut self.cands[..self.len]
+    }
+}
+
 /// Per-function register allocation state.
 #[derive(Debug)]
 pub struct RegAlloc {
-    int: Vec<Candidate>,
-    flt: Vec<Candidate>,
+    int: CandList,
+    flt: CandList,
     leaf: bool,
     callee_used_int: u64,
     callee_used_flt: u64,
@@ -40,36 +86,26 @@ impl RegAlloc {
     /// with [`take`](Self::take); the rest — including unused argument
     /// registers (paper §3.2) — start out free.
     pub fn new(rf: &RegFile, leaf: bool) -> RegAlloc {
-        let lift = |descs: &[RegDesc]| {
-            descs
-                .iter()
-                .map(|d| Candidate {
-                    reg: d.reg,
-                    kind: d.kind,
-                    free: !matches!(d.kind, RegKind::Reserved),
-                })
-                .collect()
-        };
         RegAlloc {
-            int: lift(rf.int),
-            flt: lift(rf.flt),
+            int: CandList::new(rf.int),
+            flt: CandList::new(rf.flt),
             leaf,
             callee_used_int: 0,
             callee_used_flt: 0,
         }
     }
 
-    fn bank_mut(&mut self, bank: Bank) -> &mut Vec<Candidate> {
+    fn bank_mut(&mut self, bank: Bank) -> &mut [Candidate] {
         match bank {
-            Bank::Int => &mut self.int,
-            Bank::Flt => &mut self.flt,
+            Bank::Int => self.int.as_mut_slice(),
+            Bank::Flt => self.flt.as_mut_slice(),
         }
     }
 
-    fn bank(&self, bank: Bank) -> &Vec<Candidate> {
+    fn bank(&self, bank: Bank) -> &[Candidate] {
         match bank {
-            Bank::Int => &self.int,
-            Bank::Flt => &self.flt,
+            Bank::Int => self.int.as_slice(),
+            Bank::Flt => self.flt.as_slice(),
         }
     }
 
@@ -146,14 +182,16 @@ impl RegAlloc {
     /// "the client declares an allocation priority ordering").
     pub fn set_priority(&mut self, bank: Bank, order: &[Reg]) {
         let cands = self.bank_mut(bank);
-        let mut reordered = Vec::with_capacity(cands.len());
+        // Stable in-place reorder: rotate each named register to the front
+        // of the not-yet-placed region, preserving the relative order of
+        // everything else.
+        let mut front = 0;
         for &r in order {
-            if let Some(i) = cands.iter().position(|c| c.reg == r) {
-                reordered.push(cands.remove(i));
+            if let Some(i) = cands[front..].iter().position(|c| c.reg == r) {
+                cands[front..=front + i].rotate_right(1);
+                front += 1;
             }
         }
-        reordered.append(cands);
-        *cands = reordered;
     }
 
     fn note_callee_used(&mut self, reg: Reg) {

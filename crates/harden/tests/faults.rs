@@ -275,6 +275,137 @@ fn malformed_packets_classify_identically_on_every_engine() {
     println!("packets: {cases} cases, {rejected} truncations rejected");
 }
 
+/// The zero-check emission fast path under storage faults: a fixed
+/// emission script exercising every append tier (per-byte, fixed
+/// arrays, packed words, a reserved window, prologue reserve,
+/// alignment) is swept across every capacity from zero to past its
+/// full length, in both the fast path and the `Bytewise` reference
+/// mode. At every capacity the two paths must agree on the overflow
+/// latch, nothing may panic or spin, and at-or-above the exact length
+/// the output must be byte-identical to the unfaulted reference —
+/// "reservation exactly at capacity" is the interesting boundary the
+/// sweep passes through. On top of the sweep, each backend's fused
+/// pipeline is generated into storage of exactly the finished length
+/// (must succeed) and one byte less (must latch a typed overflow).
+#[test]
+fn reservation_faults_are_typed_at_every_capacity() {
+    use vcode::buf::{CodeBuffer, EmitPath};
+
+    fn script(b: &mut CodeBuffer<'_>) {
+        b.put_u8(0x90);
+        b.put_array([0x11, 0x22, 0x33, 0x44]);
+        b.put_word(0x8899_aabb_ccdd_eeff, 4);
+        b.put_u32(0x5566_7788);
+        {
+            let mut w = b.window(12);
+            w.u8(0xaa);
+            w.array([0xbb, 0xcc]);
+            w.word(0x1122_3344, 4);
+        }
+        b.reserve(5, 0xee);
+        b.align_to(8, 0);
+        b.put_slice(&[0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    // Unfaulted reference: the full output and its exact length.
+    let mut ref_mem = vec![0u8; 64];
+    let mut r = CodeBuffer::new(&mut ref_mem);
+    script(&mut r);
+    assert!(!r.overflowed());
+    let full = r.as_slice().to_vec();
+
+    let mut cases = 0usize;
+    let mut latched = 0usize;
+    for cap in 0..=full.len() + 8 {
+        let mut fast_mem = vec![0u8; cap];
+        let mut byte_mem = vec![0u8; cap];
+        let mut fast = CodeBuffer::new(&mut fast_mem);
+        let mut slow = CodeBuffer::with_path(&mut byte_mem, EmitPath::Bytewise);
+        script(&mut fast);
+        script(&mut slow);
+        // Both paths must latch at exactly the same capacities (the
+        // fast path drops whole runs where the reference lands partial
+        // bytes, so cursors may differ below the boundary — but the
+        // typed outcome may not).
+        assert_eq!(fast.overflowed(), slow.overflowed(), "cap {cap}: latch");
+        assert_eq!(fast.overflowed(), cap < full.len(), "cap {cap}: boundary");
+        assert!(fast.len() <= cap, "cap {cap}: cursor past storage");
+        if cap >= full.len() {
+            assert_eq!(fast.as_slice(), &full[..], "cap {cap}: bytes");
+            assert_eq!(slow.as_slice(), &full[..], "cap {cap}: bytes (ref)");
+        } else {
+            latched += 1;
+        }
+        // Reservations *after* the latch must stay typed: more window
+        // writes land in the spill, replay, and re-latch — no panic, no
+        // cursor escape.
+        let mut w = fast.window(8);
+        w.u8(0x01);
+        w.u16(0x0203);
+        drop(w);
+        assert_eq!(
+            fast.overflowed(),
+            cap < full.len() + 3,
+            "cap {cap}: relatch"
+        );
+        assert!(fast.len() <= cap, "cap {cap}: cursor after relatch");
+        cases += 1;
+    }
+    assert!(latched > 0, "the sweep must cross the overflow boundary");
+
+    // Exactly-sized storage at the generator level, all four targets:
+    // the finished length must generate cleanly, one byte less must be
+    // a typed overflow from `end()`, never a panic.
+    fn exact<T: Target>(name: &str, tally: &mut Tally, cases: &mut usize) {
+        let fin_len = {
+            let mut mem = vec![0u8; 8192];
+            generic::compile_fused::<T>(&mut mem, &STEPS)
+                .expect("pipeline generates")
+                .len
+        };
+        let mut mem = vec![0u8; fin_len];
+        let ok = generic::compile_fused::<T>(&mut mem, &STEPS);
+        assert!(ok.is_ok(), "{name}: exact capacity must generate");
+        tally.record(&ok);
+        let mut mem = vec![0u8; fin_len - 1];
+        let err = generic::compile_fused::<T>(&mut mem, &STEPS);
+        assert!(err.is_err(), "{name}: one byte short must overflow");
+        tally.record(&err);
+        *cases += 2;
+    }
+    let mut tally = Tally::new();
+    exact::<vcode_x64::X64>("x64", &mut tally, &mut cases);
+    exact::<vcode_mips::Mips>("mips", &mut tally, &mut cases);
+    exact::<vcode_sparc::Sparc>("sparc", &mut tally, &mut cases);
+    exact::<vcode_alpha::Alpha>("alpha", &mut tally, &mut cases);
+    assert_eq!((tally.completed, tally.trapped), (4, 4));
+    println!("reservation: {cases} cases, {latched} capacities latched");
+}
+
+/// Pooled executable memory under exhaustion: impossible sizes must
+/// come back as typed [`std::io::Error`]s (`ENOMEM`), and the pool must
+/// remain fully usable afterwards — a failed request may not poison a
+/// shard or leak a parked mapping.
+#[test]
+fn pooled_execmem_exhaustion_is_typed() {
+    use vcode_x64::{ExecMem, MAX_POOL_PAGES};
+
+    // Size so large the page-count arithmetic itself would overflow.
+    let err = ExecMem::new(usize::MAX).expect_err("absurd size must fail");
+    assert_eq!(err.raw_os_error(), Some(12), "ENOMEM, not a panic");
+    // Large enough to defeat any real allocation, small enough that all
+    // the checked arithmetic succeeds: the typed error must come from
+    // the mapping layer instead.
+    assert!(ExecMem::new(usize::MAX / 4).is_err());
+
+    // The pool is not poisoned: both a pooled-class and an oversized
+    // (pool-bypassing) allocation still work after the failures.
+    let small = ExecMem::new(4096).expect("pooled class survives");
+    drop(small);
+    let big = ExecMem::new((MAX_POOL_PAGES + 1) * 4096).expect("bypass class survives");
+    drop(big);
+}
+
 /// Curated native crash programs under [`vcode_x64::GuardedCall`]:
 /// each historically-fatal fault (null deref, wild store, illegal
 /// opcode, runaway loop, straight-line runoff) becomes a typed

@@ -28,6 +28,7 @@ pub mod r {
 }
 
 /// R-type: `op=0 rs rt rd shamt funct`.
+#[inline]
 pub fn rtype(rs: u8, rt: u8, rd: u8, shamt: u8, funct: u8) -> u32 {
     (u32::from(rs) << 21)
         | (u32::from(rt) << 16)
@@ -37,11 +38,13 @@ pub fn rtype(rs: u8, rt: u8, rd: u8, shamt: u8, funct: u8) -> u32 {
 }
 
 /// I-type: `op rs rt imm16`.
+#[inline]
 pub fn itype(op: u8, rs: u8, rt: u8, imm: u16) -> u32 {
     (u32::from(op) << 26) | (u32::from(rs) << 21) | (u32::from(rt) << 16) | u32::from(imm)
 }
 
 /// COP1 (floating-point) register form: `0x11 fmt ft fs fd funct`.
+#[inline]
 pub fn cop1(fmt: u8, ft: u8, fs: u8, fd: u8, funct: u8) -> u32 {
     (0x11u32 << 26)
         | (u32::from(fmt) << 21)
@@ -61,6 +64,7 @@ pub const FMT_W: u8 = 20;
 macro_rules! r3 {
     ($($(#[$m:meta])* $name:ident => $funct:expr;)*) => { $(
         $(#[$m])*
+        #[inline]
         pub fn $name(b: &mut CodeBuffer<'_>, rd: u8, rs: u8, rt: u8) {
             b.put_u32(rtype(rs, rt, rd, 0, $funct));
         }
@@ -87,141 +91,169 @@ r3! {
 }
 
 /// `sllv rd, rt, rs` — shift `rt` left by low 5 bits of `rs`.
+#[inline]
 pub fn sllv(b: &mut CodeBuffer<'_>, rd: u8, rt: u8, rs: u8) {
     b.put_u32(rtype(rs, rt, rd, 0, 0x04));
 }
 
 /// `srlv rd, rt, rs`.
+#[inline]
 pub fn srlv(b: &mut CodeBuffer<'_>, rd: u8, rt: u8, rs: u8) {
     b.put_u32(rtype(rs, rt, rd, 0, 0x06));
 }
 
 /// `srav rd, rt, rs`.
+#[inline]
 pub fn srav(b: &mut CodeBuffer<'_>, rd: u8, rt: u8, rs: u8) {
     b.put_u32(rtype(rs, rt, rd, 0, 0x07));
 }
 
 /// `sll rd, rt, shamt`.
+#[inline]
 pub fn sll(b: &mut CodeBuffer<'_>, rd: u8, rt: u8, shamt: u8) {
     b.put_u32(rtype(0, rt, rd, shamt, 0x00));
 }
 
 /// `srl rd, rt, shamt`.
+#[inline]
 pub fn srl(b: &mut CodeBuffer<'_>, rd: u8, rt: u8, shamt: u8) {
     b.put_u32(rtype(0, rt, rd, shamt, 0x02));
 }
 
 /// `sra rd, rt, shamt`.
+#[inline]
 pub fn sra(b: &mut CodeBuffer<'_>, rd: u8, rt: u8, shamt: u8) {
     b.put_u32(rtype(0, rt, rd, shamt, 0x03));
 }
 
 /// `mult rs, rt` (HI:LO = rs * rt, signed).
+#[inline]
 pub fn mult(b: &mut CodeBuffer<'_>, rs: u8, rt: u8) {
     b.put_u32(rtype(rs, rt, 0, 0, 0x18));
 }
 
 /// `multu rs, rt`.
+#[inline]
 pub fn multu(b: &mut CodeBuffer<'_>, rs: u8, rt: u8) {
     b.put_u32(rtype(rs, rt, 0, 0, 0x19));
 }
 
 /// `div rs, rt` (LO = quotient, HI = remainder, signed).
+#[inline]
 pub fn div(b: &mut CodeBuffer<'_>, rs: u8, rt: u8) {
     b.put_u32(rtype(rs, rt, 0, 0, 0x1a));
 }
 
 /// `divu rs, rt`.
+#[inline]
 pub fn divu(b: &mut CodeBuffer<'_>, rs: u8, rt: u8) {
     b.put_u32(rtype(rs, rt, 0, 0, 0x1b));
 }
 
 /// `mflo rd`.
+#[inline]
 pub fn mflo(b: &mut CodeBuffer<'_>, rd: u8) {
     b.put_u32(rtype(0, 0, rd, 0, 0x12));
 }
 
 /// `mfhi rd`.
+#[inline]
 pub fn mfhi(b: &mut CodeBuffer<'_>, rd: u8) {
     b.put_u32(rtype(0, 0, rd, 0, 0x10));
 }
 
 /// `jr rs`.
+#[inline]
 pub fn jr(b: &mut CodeBuffer<'_>, rs: u8) {
     b.put_u32(rtype(rs, 0, 0, 0, 0x08));
 }
 
 /// `jalr rd, rs` (link register is `rd`, conventionally `$ra`).
+#[inline]
 pub fn jalr(b: &mut CodeBuffer<'_>, rd: u8, rs: u8) {
     b.put_u32(rtype(rs, 0, rd, 0, 0x09));
 }
 
 /// `addiu rt, rs, imm` (imm sign-extended; no overflow trap).
+#[inline]
 pub fn addiu(b: &mut CodeBuffer<'_>, rt: u8, rs: u8, imm: i16) {
     b.put_u32(itype(0x09, rs, rt, imm as u16));
 }
 
 /// `andi rt, rs, imm` (imm zero-extended).
+#[inline]
 pub fn andi(b: &mut CodeBuffer<'_>, rt: u8, rs: u8, imm: u16) {
     b.put_u32(itype(0x0c, rs, rt, imm));
 }
 
 /// `ori rt, rs, imm`.
+#[inline]
 pub fn ori(b: &mut CodeBuffer<'_>, rt: u8, rs: u8, imm: u16) {
     b.put_u32(itype(0x0d, rs, rt, imm));
 }
 
 /// `xori rt, rs, imm`.
+#[inline]
 pub fn xori(b: &mut CodeBuffer<'_>, rt: u8, rs: u8, imm: u16) {
     b.put_u32(itype(0x0e, rs, rt, imm));
 }
 
 /// `lui rt, imm`.
+#[inline]
 pub fn lui(b: &mut CodeBuffer<'_>, rt: u8, imm: u16) {
     b.put_u32(itype(0x0f, 0, rt, imm));
 }
 
 /// `slti rt, rs, imm`.
+#[inline]
 pub fn slti(b: &mut CodeBuffer<'_>, rt: u8, rs: u8, imm: i16) {
     b.put_u32(itype(0x0a, rs, rt, imm as u16));
 }
 
 /// `sltiu rt, rs, imm`.
+#[inline]
 pub fn sltiu(b: &mut CodeBuffer<'_>, rt: u8, rs: u8, imm: i16) {
     b.put_u32(itype(0x0b, rs, rt, imm as u16));
 }
 
 /// `beq rs, rt, disp` (word displacement from the delay slot).
+#[inline]
 pub fn beq(b: &mut CodeBuffer<'_>, rs: u8, rt: u8, disp: i16) {
     b.put_u32(itype(0x04, rs, rt, disp as u16));
 }
 
 /// `bne rs, rt, disp`.
+#[inline]
 pub fn bne(b: &mut CodeBuffer<'_>, rs: u8, rt: u8, disp: i16) {
     b.put_u32(itype(0x05, rs, rt, disp as u16));
 }
 
 /// `bltz rs, disp` (REGIMM rt=0).
+#[inline]
 pub fn bltz(b: &mut CodeBuffer<'_>, rs: u8, disp: i16) {
     b.put_u32(itype(0x01, rs, 0, disp as u16));
 }
 
 /// `bgez rs, disp` (REGIMM rt=1).
+#[inline]
 pub fn bgez(b: &mut CodeBuffer<'_>, rs: u8, disp: i16) {
     b.put_u32(itype(0x01, rs, 1, disp as u16));
 }
 
 /// `bal disp` (`bgezal $zero` — position-independent call).
+#[inline]
 pub fn bal(b: &mut CodeBuffer<'_>, disp: i16) {
     b.put_u32(itype(0x01, 0, 0x11, disp as u16));
 }
 
 /// `blez rs, disp`.
+#[inline]
 pub fn blez(b: &mut CodeBuffer<'_>, rs: u8, disp: i16) {
     b.put_u32(itype(0x06, rs, 0, disp as u16));
 }
 
 /// `bgtz rs, disp`.
+#[inline]
 pub fn bgtz(b: &mut CodeBuffer<'_>, rs: u8, disp: i16) {
     b.put_u32(itype(0x07, rs, 0, disp as u16));
 }
@@ -229,6 +261,7 @@ pub fn bgtz(b: &mut CodeBuffer<'_>, rs: u8, disp: i16) {
 macro_rules! memop {
     ($($(#[$m:meta])* $name:ident => $op:expr;)*) => { $(
         $(#[$m])*
+        #[inline]
         pub fn $name(b: &mut CodeBuffer<'_>, rt: u8, base: u8, off: i16) {
             b.put_u32(itype($op, base, rt, off as u16));
         }
@@ -259,36 +292,43 @@ memop! {
 }
 
 /// `nop` (`sll $0, $0, 0`).
+#[inline]
 pub fn nop(b: &mut CodeBuffer<'_>) {
     b.put_u32(0);
 }
 
 /// FP arithmetic: `add/sub/mul/div.fmt fd, fs, ft` (funct 0..3).
+#[inline]
 pub fn fp_arith(b: &mut CodeBuffer<'_>, fmt: u8, funct: u8, fd: u8, fs: u8, ft: u8) {
     b.put_u32(cop1(fmt, ft, fs, fd, funct));
 }
 
 /// `mov.fmt fd, fs`.
+#[inline]
 pub fn fp_mov(b: &mut CodeBuffer<'_>, fmt: u8, fd: u8, fs: u8) {
     b.put_u32(cop1(fmt, 0, fs, fd, 6));
 }
 
 /// `neg.fmt fd, fs`.
+#[inline]
 pub fn fp_neg(b: &mut CodeBuffer<'_>, fmt: u8, fd: u8, fs: u8) {
     b.put_u32(cop1(fmt, 0, fs, fd, 7));
 }
 
 /// `cvt.s.fmt fd, fs`.
+#[inline]
 pub fn cvt_s(b: &mut CodeBuffer<'_>, from_fmt: u8, fd: u8, fs: u8) {
     b.put_u32(cop1(from_fmt, 0, fs, fd, 32));
 }
 
 /// `cvt.d.fmt fd, fs`.
+#[inline]
 pub fn cvt_d(b: &mut CodeBuffer<'_>, from_fmt: u8, fd: u8, fs: u8) {
     b.put_u32(cop1(from_fmt, 0, fs, fd, 33));
 }
 
 /// `trunc.w.fmt fd, fs` (round toward zero — C semantics).
+#[inline]
 pub fn trunc_w(b: &mut CodeBuffer<'_>, from_fmt: u8, fd: u8, fs: u8) {
     b.put_u32(cop1(from_fmt, 0, fs, fd, 13));
 }
@@ -302,27 +342,32 @@ pub mod fcmp {
 }
 
 /// `c.cond.fmt fs, ft` — sets the FP condition flag.
+#[inline]
 pub fn fp_cmp(b: &mut CodeBuffer<'_>, fmt: u8, cond: u8, fs: u8, ft: u8) {
     b.put_u32(cop1(fmt, ft, fs, 0, cond));
 }
 
 /// `bc1t disp` / `bc1f disp`.
+#[inline]
 pub fn bc1(b: &mut CodeBuffer<'_>, on_true: bool, disp: i16) {
     b.put_u32((0x11u32 << 26) | (8 << 21) | (u32::from(on_true) << 16) | (disp as u16 as u32));
 }
 
 /// `mtc1 rt, fs` (GPR → FPR, bits unchanged).
+#[inline]
 pub fn mtc1(b: &mut CodeBuffer<'_>, rt: u8, fs: u8) {
     b.put_u32(cop1(4, rt, fs, 0, 0));
 }
 
 /// `mfc1 rt, fs` (FPR → GPR).
+#[inline]
 pub fn mfc1(b: &mut CodeBuffer<'_>, rt: u8, fs: u8) {
     b.put_u32(cop1(0, rt, fs, 0, 0));
 }
 
 /// Loads a 32-bit constant into `rt` using the shortest sequence
 /// (1 or 2 instructions), the classic `lui`/`ori` idiom.
+#[inline]
 pub fn li(b: &mut CodeBuffer<'_>, rt: u8, v: u32) {
     let hi = (v >> 16) as u16;
     let lo = v as u16;

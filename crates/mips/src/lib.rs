@@ -203,6 +203,16 @@ impl Mips {
     }
 }
 
+/// Immediate-form fallback: the constant does not fit the immediate
+/// field, so it is synthesized in `$at` (paper §1's "boundary conditions"
+/// handled centrally). Out of line so the hot arms of `emit_binop_imm`
+/// fold into each `*ii` call site.
+#[inline(never)]
+fn binop_imm_slow(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: Reg, rs: Reg, imm32: i32) {
+    encode::li(&mut a.buf, AT, imm32 as u32);
+    Mips::emit_binop(a, op, ty, rd, rs, Reg::int(AT));
+}
+
 impl Target for Mips {
     const NAME: &'static str = "mips";
     const WORD_BITS: u32 = 32;
@@ -262,6 +272,7 @@ impl Target for Mips {
         }
     }
 
+    #[inline]
     fn emit_ret(a: &mut Asm<'_>, val: Option<(Ty, Reg)>) {
         match val {
             Some((Ty::F, v)) => encode::fp_mov(&mut a.buf, FMT_S, 0, v.num()),
@@ -342,6 +353,7 @@ impl Target for Mips {
         Ok(())
     }
 
+    #[inline]
     fn patch(a: &mut Asm<'_>, fixup: Fixup, dest: usize) {
         // Branch displacement is in words, relative to the delay slot.
         let disp = (dest as i64 - (fixup.at as i64 + 4)) / 4;
@@ -354,6 +366,7 @@ impl Target for Mips {
             .patch_u32(fixup.at, (old & 0xffff_0000) | (disp as u16 as u32));
     }
 
+    #[inline(always)]
     fn emit_binop(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: Reg, rs1: Reg, rs2: Reg) {
         if is_flt(ty) {
             let funct = match op {
@@ -410,6 +423,7 @@ impl Target for Mips {
         }
     }
 
+    #[inline(always)]
     fn emit_binop_imm(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: Reg, rs: Reg, imm: i64) {
         let imm32 = imm as i32;
         match op {
@@ -459,12 +473,10 @@ impl Target for Mips {
             }
             _ => {}
         }
-        // The constant does not fit the immediate field: synthesize it in
-        // `$at` (paper §1's "boundary conditions" handled centrally).
-        encode::li(&mut a.buf, AT, imm32 as u32);
-        Self::emit_binop(a, op, ty, rd, rs, Reg::int(AT));
+        binop_imm_slow(a, op, ty, rd, rs, imm32);
     }
 
+    #[inline]
     fn emit_unop(a: &mut Asm<'_>, op: UnOp, ty: Ty, rd: Reg, rs: Reg) {
         match (op, is_flt(ty)) {
             (UnOp::Mov, true) => {
@@ -484,6 +496,7 @@ impl Target for Mips {
         }
     }
 
+    #[inline]
     fn emit_set(a: &mut Asm<'_>, ty: Ty, rd: Reg, imm: Imm) {
         match imm {
             Imm::Int(v) => encode::li(&mut a.buf, rd.num(), v as u32),
@@ -501,6 +514,7 @@ impl Target for Mips {
         let _ = ty;
     }
 
+    #[inline]
     fn emit_cvt(a: &mut Asm<'_>, from: Ty, to: Ty, rd: Reg, rs: Reg) {
         match (from.is_float(), to.is_float()) {
             // On a 32-bit machine the integer family is one register
@@ -550,6 +564,7 @@ impl Target for Mips {
         }
     }
 
+    #[inline]
     fn emit_ld(a: &mut Asm<'_>, ty: Ty, rd: Reg, base: Reg, off: Off) {
         let (b, o) = Self::mem(a, base, off);
         match ty {
@@ -571,6 +586,7 @@ impl Target for Mips {
         Self::load_delay(a);
     }
 
+    #[inline]
     fn emit_st(a: &mut Asm<'_>, ty: Ty, src: Reg, base: Reg, off: Off) {
         let (b, o) = Self::mem(a, base, off);
         match ty {
@@ -586,6 +602,7 @@ impl Target for Mips {
         }
     }
 
+    #[inline]
     fn emit_branch(a: &mut Asm<'_>, cond: Cond, ty: Ty, rs1: Reg, rs2: BrOperand, l: Label) {
         if is_flt(ty) {
             let BrOperand::R(rs2) = rs2 else {
@@ -679,6 +696,7 @@ impl Target for Mips {
         }
     }
 
+    #[inline]
     fn emit_jump(a: &mut Asm<'_>, t: JumpTarget) {
         match t {
             JumpTarget::Label(l) => Self::goto(a, l),
@@ -696,6 +714,7 @@ impl Target for Mips {
         }
     }
 
+    #[inline]
     fn emit_jal(a: &mut Asm<'_>, t: JumpTarget) {
         match t {
             JumpTarget::Label(l) => {
@@ -713,6 +732,7 @@ impl Target for Mips {
         }
     }
 
+    #[inline]
     fn emit_nop(a: &mut Asm<'_>) {
         encode::nop(&mut a.buf);
     }
@@ -825,6 +845,7 @@ impl Target for Mips {
         }
     }
 
+    #[inline]
     fn emit_ext_unop(a: &mut Asm<'_>, op: vcode::ext::ExtUnOp, ty: Ty, rd: Reg, rs: Reg) -> bool {
         // MIPS-I has a hardware square root on some implementations; we
         // expose abs.fmt (funct 5) as the one native extension.

@@ -113,6 +113,7 @@ pub mod opf {
 }
 
 /// Format 3, register-register: `op3 rd, rs1, rs2`.
+#[inline]
 pub fn f3_rr(b: &mut CodeBuffer<'_>, op3v: u8, rd: u8, rs1: u8, rs2: u8) {
     b.put_u32(
         (2u32 << 30)
@@ -124,6 +125,7 @@ pub fn f3_rr(b: &mut CodeBuffer<'_>, op3v: u8, rd: u8, rs1: u8, rs2: u8) {
 }
 
 /// Format 3, register-immediate: `op3 rd, rs1, simm13`.
+#[inline]
 pub fn f3_ri(b: &mut CodeBuffer<'_>, op3v: u8, rd: u8, rs1: u8, simm13: i16) {
     debug_assert!((-4096..4096).contains(&i32::from(simm13)));
     b.put_u32(
@@ -137,6 +139,7 @@ pub fn f3_ri(b: &mut CodeBuffer<'_>, op3v: u8, rd: u8, rs1: u8, simm13: i16) {
 }
 
 /// Memory op, register offset.
+#[inline]
 pub fn mem_rr(b: &mut CodeBuffer<'_>, op3v: u8, rd: u8, base: u8, idx: u8) {
     b.put_u32(
         (3u32 << 30)
@@ -148,6 +151,7 @@ pub fn mem_rr(b: &mut CodeBuffer<'_>, op3v: u8, rd: u8, base: u8, idx: u8) {
 }
 
 /// Memory op, immediate offset.
+#[inline]
 pub fn mem_ri(b: &mut CodeBuffer<'_>, op3v: u8, rd: u8, base: u8, simm13: i16) {
     b.put_u32(
         (3u32 << 30)
@@ -160,31 +164,37 @@ pub fn mem_ri(b: &mut CodeBuffer<'_>, op3v: u8, rd: u8, base: u8, simm13: i16) {
 }
 
 /// `sethi %hi(imm22 << 10), rd`.
+#[inline]
 pub fn sethi(b: &mut CodeBuffer<'_>, rd: u8, imm22: u32) {
     b.put_u32((u32::from(rd) << 25) | (4 << 22) | (imm22 & 0x3f_ffff));
 }
 
 /// `nop` (`sethi 0, %g0`).
+#[inline]
 pub fn nop(b: &mut CodeBuffer<'_>) {
     sethi(b, 0, 0);
 }
 
 /// Integer conditional branch, word displacement relative to the branch.
+#[inline]
 pub fn bicc(b: &mut CodeBuffer<'_>, cond: u8, disp22: i32) {
     b.put_u32((u32::from(cond) << 25) | (2 << 22) | (disp22 as u32 & 0x3f_ffff));
 }
 
 /// FP conditional branch.
+#[inline]
 pub fn fbfcc(b: &mut CodeBuffer<'_>, cond: u8, disp22: i32) {
     b.put_u32((u32::from(cond) << 25) | (6 << 22) | (disp22 as u32 & 0x3f_ffff));
 }
 
 /// `call disp30` (pc-relative, links to `%o7`).
+#[inline]
 pub fn call(b: &mut CodeBuffer<'_>, disp30: i32) {
     b.put_u32((1u32 << 30) | (disp30 as u32 & 0x3fff_ffff));
 }
 
 /// FPop1 instruction.
+#[inline]
 pub fn fpop1(b: &mut CodeBuffer<'_>, opf: u16, rd: u8, rs1: u8, rs2: u8) {
     b.put_u32(
         (2u32 << 30)
@@ -197,6 +207,7 @@ pub fn fpop1(b: &mut CodeBuffer<'_>, opf: u16, rd: u8, rs1: u8, rs2: u8) {
 }
 
 /// FPop2 (compares).
+#[inline]
 pub fn fpop2(b: &mut CodeBuffer<'_>, opf: u16, rs1: u8, rs2: u8) {
     b.put_u32(
         (2u32 << 30)
@@ -208,6 +219,7 @@ pub fn fpop2(b: &mut CodeBuffer<'_>, opf: u16, rs1: u8, rs2: u8) {
 }
 
 /// Loads a 32-bit constant into `rd` with `sethi`/`or` (1–2 insns).
+#[inline]
 pub fn set32(b: &mut CodeBuffer<'_>, rd: u8, v: u32) {
     if (v as i32) >= -4096 && (v as i32) < 4096 {
         f3_ri(b, op3::OR, rd, r::G0, v as i32 as i16);

@@ -221,6 +221,14 @@ impl Sparc {
     }
 }
 
+/// Immediate-form fallback: materialize the constant in %g1. Out of line
+/// so the hot arms of `emit_binop_imm` fold into each call site.
+#[inline(never)]
+fn binop_imm_slow(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: Reg, rs: Reg, imm32: i32) {
+    encode::set32(&mut a.buf, G1, imm32 as u32);
+    Sparc::emit_binop(a, op, ty, rd, rs, Reg::int(G1));
+}
+
 impl Target for Sparc {
     const NAME: &'static str = "sparc";
     const WORD_BITS: u32 = 32;
@@ -281,6 +289,7 @@ impl Target for Sparc {
         }
     }
 
+    #[inline]
     fn emit_ret(a: &mut Asm<'_>, val: Option<(Ty, Reg)>) {
         match val {
             Some((Ty::F, v)) if v.num() != 0 => {
@@ -315,6 +324,7 @@ impl Target for Sparc {
         Ok(())
     }
 
+    #[inline]
     fn patch(a: &mut Asm<'_>, fixup: Fixup, dest: usize) {
         let disp = (dest as i64 - fixup.at as i64) / 4;
         let old = a.buf.read_u32(fixup.at);
@@ -334,6 +344,7 @@ impl Target for Sparc {
         }
     }
 
+    #[inline(always)]
     fn emit_binop(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: Reg, rs1: Reg, rs2: Reg) {
         if ty.is_float() {
             let code = match (op, ty) {
@@ -390,6 +401,7 @@ impl Target for Sparc {
         }
     }
 
+    #[inline(always)]
     fn emit_binop_imm(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: Reg, rs: Reg, imm: i64) {
         let imm32 = imm as i32;
         let fits = (-4096..4096).contains(&imm32);
@@ -413,13 +425,11 @@ impl Target for Sparc {
                 };
                 encode::f3_ri(&mut a.buf, op3v, rd.num(), rs.num(), v as i16);
             }
-            _ => {
-                encode::set32(&mut a.buf, G1, imm32 as u32);
-                Self::emit_binop(a, op, ty, rd, rs, Reg::int(G1));
-            }
+            _ => binop_imm_slow(a, op, ty, rd, rs, imm32),
         }
     }
 
+    #[inline]
     fn emit_unop(a: &mut Asm<'_>, op: UnOp, ty: Ty, rd: Reg, rs: Reg) {
         match (op, ty) {
             (UnOp::Mov, Ty::F) => {
@@ -458,6 +468,7 @@ impl Target for Sparc {
         }
     }
 
+    #[inline]
     fn emit_set(a: &mut Asm<'_>, ty: Ty, rd: Reg, imm: Imm) {
         match imm {
             Imm::Int(v) => encode::set32(&mut a.buf, rd.num(), v as u32),
@@ -471,6 +482,7 @@ impl Target for Sparc {
         let _ = ty;
     }
 
+    #[inline]
     fn emit_cvt(a: &mut Asm<'_>, from: Ty, to: Ty, rd: Reg, rs: Reg) {
         match (from.is_float(), to.is_float()) {
             (false, false) => {
@@ -524,6 +536,7 @@ impl Target for Sparc {
         }
     }
 
+    #[inline]
     fn emit_ld(a: &mut Asm<'_>, ty: Ty, rd: Reg, base: Reg, off: Off) {
         match ty {
             Ty::C => Self::load(a, mem::LDSB, rd.num(), base, off),
@@ -548,6 +561,7 @@ impl Target for Sparc {
         }
     }
 
+    #[inline]
     fn emit_st(a: &mut Asm<'_>, ty: Ty, src: Reg, base: Reg, off: Off) {
         match ty {
             Ty::C | Ty::Uc => Self::load(a, mem::STB, src.num(), base, off),
@@ -569,6 +583,7 @@ impl Target for Sparc {
         }
     }
 
+    #[inline]
     fn emit_branch(a: &mut Asm<'_>, c: Cond, ty: Ty, rs1: Reg, rs2: BrOperand, l: Label) {
         if ty.is_float() {
             let BrOperand::R(rs2) = rs2 else {
@@ -595,6 +610,7 @@ impl Target for Sparc {
         Self::branch(a, l, |a| encode::bicc(&mut a.buf, cc, 0));
     }
 
+    #[inline]
     fn emit_jump(a: &mut Asm<'_>, t: JumpTarget) {
         match t {
             JumpTarget::Label(l) => {
@@ -614,6 +630,7 @@ impl Target for Sparc {
         }
     }
 
+    #[inline]
     fn emit_jal(a: &mut Asm<'_>, t: JumpTarget) {
         match t {
             JumpTarget::Label(l) => {
@@ -633,6 +650,7 @@ impl Target for Sparc {
         }
     }
 
+    #[inline]
     fn emit_nop(a: &mut Asm<'_>) {
         encode::nop(&mut a.buf);
     }
@@ -707,6 +725,7 @@ impl Target for Sparc {
         }
     }
 
+    #[inline]
     fn emit_ext_unop(a: &mut Asm<'_>, op: vcode::ext::ExtUnOp, ty: Ty, rd: Reg, rs: Reg) -> bool {
         match (op, ty) {
             (vcode::ext::ExtUnOp::Sqrt, Ty::F) => {

@@ -7,8 +7,87 @@
 //!
 //! Register operands are raw hardware numbers (`rax`=0 ... `r15`=15,
 //! `xmm0`=0 ... `xmm15`=15).
+//!
+//! Every emitter pays exactly one capacity check: it reserves a
+//! [`MAX_INSN`]-byte window ([`CodeBuffer::window`]) and then batches the
+//! prefix/REX/opcode/modrm/SIB/immediate bytes as unchecked stores. The
+//! longest instruction emitted here is `movabs` (10 bytes) or a
+//! prefix+REX+2-byte-opcode+modrm+SIB+disp32 memory form (10 bytes), so a
+//! 16-byte reservation is conservatively safe.
 
-use vcode::buf::CodeBuffer;
+use vcode::buf::{CodeBuffer, Win};
+
+/// Conservative upper bound on the byte length of a single instruction
+/// emitted by this module (hardware max is 15; our longest form is 10).
+/// The extra slack also satisfies [`Win::word`]'s 8-byte store.
+pub const MAX_INSN: usize = 16;
+
+/// A packed little-endian instruction head (prefix/REX/opcode/modrm/SIB,
+/// at most 8 bytes) assembled in a register and committed with a single
+/// [`Win::word`] store. `push_if` keeps optional bytes (prefixes, REX)
+/// branch-free: a suppressed byte ORs in as zero and leaves the cursor
+/// in place for the next byte.
+#[derive(Clone, Copy)]
+struct InsnWord {
+    word: u64,
+    n: usize,
+}
+
+impl InsnWord {
+    #[inline]
+    fn new() -> InsnWord {
+        InsnWord { word: 0, n: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, b: u8) {
+        self.word |= (b as u64) << (8 * self.n);
+        self.n += 1;
+    }
+
+    #[inline]
+    fn push_if(&mut self, b: u8, cond: bool) {
+        self.word |= ((b as u64) * (cond as u64)) << (8 * self.n);
+        self.n += cond as usize;
+    }
+
+    /// Builds a head whose REX byte sits at byte 0 and whose remaining
+    /// bytes (`tail`, `tail_len` of them, little-endian) occupy
+    /// compile-time-constant positions, then drops the REX with a single
+    /// conditional shift when it encodes nothing. This keeps the hot
+    /// register-register emitters free of data-dependent shift chains:
+    /// every byte lands at a constant position and exactly one shift
+    /// depends on whether the REX survives.
+    #[inline(always)]
+    fn headed(rex: u8, force: bool, tail: u64, tail_len: usize) -> InsnWord {
+        let keep = (rex != 0x40 || force) as u32;
+        InsnWord {
+            word: (tail << 8 | rex as u64) >> (8 * (1 - keep)),
+            n: tail_len + keep as usize,
+        }
+    }
+
+    /// Prepends a mandatory prefix byte (0x66 / SSE scalar prefixes) in
+    /// front of the head built so far.
+    #[inline(always)]
+    fn prepend(&mut self, b: u8) {
+        self.word = self.word << 8 | b as u64;
+        self.n += 1;
+    }
+
+    /// Flushes the packed word: one capacity check, one 8-byte store.
+    #[inline(always)]
+    fn commit(self, buf: &mut CodeBuffer<'_>) {
+        buf.put_word(self.word, self.n);
+    }
+
+    /// Flushes into an already-reserved window (emitters that append a
+    /// trailer or take a fixup offset after the head).
+    #[inline(always)]
+    fn commit_win(self, w: &mut Win<'_, '_>) {
+        w.word(self.word, self.n);
+    }
+}
 
 /// Hardware register numbers, for readability at call sites.
 pub mod r {
@@ -79,37 +158,49 @@ impl Mem {
     }
 }
 
-#[inline]
-fn rex(buf: &mut CodeBuffer<'_>, w: bool, reg: u8, x: u8, b: u8, force: bool) {
-    let byte = 0x40 | (w as u8) << 3 | (reg >> 3) << 2 | (x >> 3) << 1 | (b >> 3);
-    if byte != 0x40 || force {
-        buf.put_u8(byte);
-    }
+/// The REX byte for the given operand extensions (0x40 when empty).
+#[inline(always)]
+fn rex_byte(wide: bool, reg: u8, x: u8, b: u8) -> u8 {
+    0x40 | (wide as u8) << 3 | (reg >> 3) << 2 | (x >> 3) << 1 | (b >> 3)
 }
 
+/// Pushes the REX byte when it carries information (or is forced).
 #[inline]
-fn modrm(buf: &mut CodeBuffer<'_>, md: u8, reg: u8, rm: u8) {
-    buf.put_u8(md << 6 | (reg & 7) << 3 | (rm & 7));
+fn rex(iw: &mut InsnWord, wide: bool, reg: u8, x: u8, b: u8, force: bool) {
+    let byte = rex_byte(wide, reg, x, b);
+    iw.push_if(byte, byte != 0x40 || force);
+}
+
+/// The modrm byte.
+#[inline(always)]
+fn modrm_byte(md: u8, reg: u8, rm: u8) -> u8 {
+    md << 6 | (reg & 7) << 3 | (rm & 7)
 }
 
 /// Emits `[prefix] [REX] opcode modrm(reg, rm)` for a register-register
-/// form.
-#[inline]
+/// form — one reservation, one packed store.
+#[inline(always)]
 fn op_rr(
     buf: &mut CodeBuffer<'_>,
     prefix: Option<u8>,
     opc: &[u8],
-    w: bool,
+    wide: bool,
     reg: u8,
     rm: u8,
     force_rex: bool,
 ) {
-    if let Some(p) = prefix {
-        buf.put_u8(p);
+    let mut tail = 0u64;
+    let mut sh = 0;
+    for &b in opc {
+        tail |= (b as u64) << sh;
+        sh += 8;
     }
-    rex(buf, w, reg, 0, rm, force_rex);
-    buf.put_slice(opc);
-    modrm(buf, 0b11, reg, rm);
+    tail |= (modrm_byte(0b11, reg, rm) as u64) << sh;
+    let mut iw = InsnWord::headed(rex_byte(wide, reg, 0, rm), force_rex, tail, opc.len() + 1);
+    if let Some(p) = prefix {
+        iw.prepend(p);
+    }
+    iw.commit(buf);
 }
 
 /// Emits `[prefix] [REX] opcode modrm/sib/disp` for a memory form.
@@ -118,17 +209,18 @@ fn op_mem(
     buf: &mut CodeBuffer<'_>,
     prefix: Option<u8>,
     opc: &[u8],
-    w: bool,
+    wide: bool,
     reg: u8,
     m: Mem,
     force_rex: bool,
 ) {
-    if let Some(p) = prefix {
-        buf.put_u8(p);
-    }
+    let mut iw = InsnWord::new();
+    iw.push_if(prefix.unwrap_or(0), prefix.is_some());
     let x = m.index.unwrap_or(0);
-    rex(buf, w, reg, x, m.base, force_rex);
-    buf.put_slice(opc);
+    rex(&mut iw, wide, reg, x, m.base, force_rex);
+    for &b in opc {
+        iw.push(b);
+    }
     // Pick the shortest displacement encoding. `rbp`/`r13` as base with
     // mod=00 means rip-relative/absolute, so they always need a disp.
     let need_disp = m.disp != 0 || m.base & 7 == 5;
@@ -142,21 +234,22 @@ fn op_mem(
     match m.index {
         Some(idx) => {
             debug_assert_ne!(idx & 0xf, r::RSP);
-            modrm(buf, md, reg, 0b100);
+            iw.push(modrm_byte(md, reg, 0b100));
             // SIB: scale=1, index, base.
-            buf.put_u8((idx & 7) << 3 | (m.base & 7));
+            iw.push((idx & 7) << 3 | (m.base & 7));
         }
         None if m.base & 7 == 4 => {
             // rsp/r12 as base require a SIB byte.
-            modrm(buf, md, reg, 0b100);
-            buf.put_u8(0b10_0100 | (m.base & 7)); // index=100 (none)
+            iw.push(modrm_byte(md, reg, 0b100));
+            iw.push(0b10_0100 | (m.base & 7)); // index=100 (none)
         }
-        None => modrm(buf, md, reg, m.base),
+        None => iw.push(modrm_byte(md, reg, m.base)),
     }
-    match md {
-        0b01 => buf.put_u8(m.disp as u8),
-        0b10 => buf.put_u32(m.disp as u32),
-        _ => {}
+    // disp8 rides in the packed head; disp32 is its own checked store.
+    iw.push_if(m.disp as u8, md == 0b01);
+    iw.commit(buf);
+    if md == 0b10 {
+        buf.put_u32(m.disp as u32);
     }
 }
 
@@ -194,29 +287,26 @@ impl Alu {
 }
 
 /// `op rm, reg` (e.g. `add rdi, rsi`).
-#[inline]
+#[inline(always)]
 pub fn alu_rr(buf: &mut CodeBuffer<'_>, op: Alu, w: bool, rm: u8, reg: u8) {
     op_rr(buf, None, &[op as u8], w, reg, rm, false);
 }
 
 /// `op rm, imm` — uses the sign-extended-imm8 form when it fits.
-#[inline]
-pub fn alu_imm(buf: &mut CodeBuffer<'_>, op: Alu, w: bool, rm: u8, imm: i32) {
-    if let Ok(i8v) = i8::try_from(imm) {
-        rex(buf, w, 0, 0, rm, false);
-        buf.put_u8(0x83);
-        modrm(buf, 0b11, op.imm_ext(), rm);
-        buf.put_u8(i8v as u8);
+#[inline(always)]
+pub fn alu_imm(buf: &mut CodeBuffer<'_>, op: Alu, wide: bool, rm: u8, imm: i32) {
+    let r = rex_byte(wide, 0, 0, rm);
+    let modrm = modrm_byte(0b11, op.imm_ext(), rm) as u64;
+    let iw = if let Ok(i8v) = i8::try_from(imm) {
+        InsnWord::headed(r, false, 0x83 | modrm << 8 | (i8v as u8 as u64) << 16, 3)
     } else {
-        rex(buf, w, 0, 0, rm, false);
-        buf.put_u8(0x81);
-        modrm(buf, 0b11, op.imm_ext(), rm);
-        buf.put_u32(imm as u32);
-    }
+        InsnWord::headed(r, false, 0x81 | modrm << 8 | (imm as u32 as u64) << 16, 6)
+    };
+    iw.commit(buf);
 }
 
 /// `mov rm, reg`.
-#[inline]
+#[inline(always)]
 pub fn mov_rr(buf: &mut CodeBuffer<'_>, w: bool, rm: u8, reg: u8) {
     op_rr(buf, None, &[0x89], w, reg, rm, false);
 }
@@ -226,69 +316,62 @@ pub fn mov_rr(buf: &mut CodeBuffer<'_>, w: bool, rm: u8, reg: u8) {
 #[inline]
 pub fn mov_ri(buf: &mut CodeBuffer<'_>, rd: u8, imm: i64) {
     if imm >= 0 && imm <= u32::MAX as i64 {
-        rex(buf, false, 0, 0, rd, false);
-        buf.put_u8(0xb8 + (rd & 7));
-        buf.put_u32(imm as u32);
+        let tail = (0xb8 + (rd & 7)) as u64 | (imm as u32 as u64) << 8;
+        InsnWord::headed(rex_byte(false, 0, 0, rd), false, tail, 5).commit(buf);
     } else if i32::try_from(imm).is_ok() {
-        rex(buf, true, 0, 0, rd, false);
-        buf.put_u8(0xc7);
-        modrm(buf, 0b11, 0, rd);
-        buf.put_u32(imm as u32);
+        let modrm = modrm_byte(0b11, 0, rd) as u64;
+        let tail = 0xc7 | modrm << 8 | (imm as u32 as u64) << 16;
+        InsnWord::headed(rex_byte(true, 0, 0, rd), false, tail, 6).commit(buf);
     } else {
-        rex(buf, true, 0, 0, rd, false);
-        buf.put_u8(0xb8 + (rd & 7));
-        buf.put_u64(imm as u64);
+        let mut w = buf.window(MAX_INSN);
+        let tail = (0xb8 + (rd & 7)) as u64;
+        InsnWord::headed(rex_byte(true, 0, 0, rd), false, tail, 1).commit_win(&mut w);
+        w.u64(imm as u64);
     }
 }
 
 /// `mov r32, imm32` (zero-extends into the 64-bit register).
-#[inline]
+#[inline(always)]
 pub fn mov_ri32(buf: &mut CodeBuffer<'_>, rd: u8, imm: u32) {
-    rex(buf, false, 0, 0, rd, false);
-    buf.put_u8(0xb8 + (rd & 7));
-    buf.put_u32(imm);
+    let tail = (0xb8 + (rd & 7)) as u64 | (imm as u64) << 8;
+    InsnWord::headed(rex_byte(false, 0, 0, rd), false, tail, 5).commit(buf);
 }
 
 /// `imul reg, rm` (two-operand signed multiply; low bits are also the
 /// unsigned product).
-#[inline]
+#[inline(always)]
 pub fn imul_rr(buf: &mut CodeBuffer<'_>, w: bool, reg: u8, rm: u8) {
     op_rr(buf, None, &[0x0f, 0xaf], w, reg, rm, false);
 }
 
 /// `imul reg, rm, imm32`.
-#[inline]
-pub fn imul_rri(buf: &mut CodeBuffer<'_>, w: bool, reg: u8, rm: u8, imm: i32) {
-    rex(buf, w, reg, 0, rm, false);
-    buf.put_u8(0x69);
-    modrm(buf, 0b11, reg, rm);
-    buf.put_u32(imm as u32);
+#[inline(always)]
+pub fn imul_rri(buf: &mut CodeBuffer<'_>, wide: bool, reg: u8, rm: u8, imm: i32) {
+    let modrm = modrm_byte(0b11, reg, rm) as u64;
+    let tail = 0x69 | modrm << 8 | (imm as u32 as u64) << 16;
+    InsnWord::headed(rex_byte(wide, reg, 0, rm), false, tail, 6).commit(buf);
 }
 
 /// Group-3 unary ops: `F7 /ext` — `not`=2, `neg`=3, `mul`=4, `imul`=5,
 /// `div`=6, `idiv`=7.
 #[inline]
-pub fn unary_rm(buf: &mut CodeBuffer<'_>, ext: u8, w: bool, rm: u8) {
-    rex(buf, w, 0, 0, rm, false);
-    buf.put_u8(0xf7);
-    modrm(buf, 0b11, ext, rm);
+pub fn unary_rm(buf: &mut CodeBuffer<'_>, ext: u8, wide: bool, rm: u8) {
+    let tail = 0xf7 | (modrm_byte(0b11, ext, rm) as u64) << 8;
+    InsnWord::headed(rex_byte(wide, 0, 0, rm), false, tail, 2).commit(buf);
 }
 
 /// Shift by `cl`: `D3 /ext` — `shl`=4, `shr`=5, `sar`=7.
-#[inline]
-pub fn shift_cl(buf: &mut CodeBuffer<'_>, ext: u8, w: bool, rm: u8) {
-    rex(buf, w, 0, 0, rm, false);
-    buf.put_u8(0xd3);
-    modrm(buf, 0b11, ext, rm);
+#[inline(always)]
+pub fn shift_cl(buf: &mut CodeBuffer<'_>, ext: u8, wide: bool, rm: u8) {
+    let tail = 0xd3 | (modrm_byte(0b11, ext, rm) as u64) << 8;
+    InsnWord::headed(rex_byte(wide, 0, 0, rm), false, tail, 2).commit(buf);
 }
 
 /// Shift by immediate: `C1 /ext ib`.
-#[inline]
-pub fn shift_imm(buf: &mut CodeBuffer<'_>, ext: u8, w: bool, rm: u8, imm: u8) {
-    rex(buf, w, 0, 0, rm, false);
-    buf.put_u8(0xc1);
-    modrm(buf, 0b11, ext, rm);
-    buf.put_u8(imm);
+#[inline(always)]
+pub fn shift_imm(buf: &mut CodeBuffer<'_>, ext: u8, wide: bool, rm: u8, imm: u8) {
+    let tail = 0xc1 | (modrm_byte(0b11, ext, rm) as u64) << 8 | (imm as u64) << 16;
+    InsnWord::headed(rex_byte(wide, 0, 0, rm), false, tail, 3).commit(buf);
 }
 
 /// `cdq` (sign-extend `eax` into `edx`).
@@ -300,7 +383,7 @@ pub fn cdq(buf: &mut CodeBuffer<'_>) {
 /// `cqo` (sign-extend `rax` into `rdx`).
 #[inline]
 pub fn cqo(buf: &mut CodeBuffer<'_>) {
-    buf.put_slice(&[0x48, 0x99]);
+    buf.put_array([0x48, 0x99]);
 }
 
 /// `movsxd reg64, rm32`.
@@ -393,12 +476,12 @@ pub fn lea(buf: &mut CodeBuffer<'_>, w: bool, reg: u8, m: Mem) {
 /// RIP-relative load `mov reg, [rip+disp32]` (w), returning the buffer
 /// offset of the disp32 field for fixup. Disp is `dest - (field + 4)`.
 #[inline]
-pub fn load_rip(buf: &mut CodeBuffer<'_>, w: bool, reg: u8) -> usize {
-    rex(buf, w, reg, 0, 0, false);
-    buf.put_u8(0x8b);
-    modrm(buf, 0b00, reg, 0b101);
-    let at = buf.len();
-    buf.put_u32(0);
+pub fn load_rip(buf: &mut CodeBuffer<'_>, wide: bool, reg: u8) -> usize {
+    let mut w = buf.window(MAX_INSN);
+    let tail = 0x8b | (modrm_byte(0b00, reg, 0b101) as u64) << 8;
+    InsnWord::headed(rex_byte(wide, reg, 0, 0), false, tail, 2).commit_win(&mut w);
+    let at = w.len();
+    w.u32(0);
     at
 }
 
@@ -406,12 +489,13 @@ pub fn load_rip(buf: &mut CodeBuffer<'_>, w: bool, reg: u8) -> usize {
 /// the disp32 fixup offset.
 #[inline]
 pub fn sse_load_rip(buf: &mut CodeBuffer<'_>, prefix: u8, reg: u8) -> usize {
-    buf.put_u8(prefix);
-    rex(buf, false, reg, 0, 0, false);
-    buf.put_slice(&[0x0f, 0x10]);
-    modrm(buf, 0b00, reg, 0b101);
-    let at = buf.len();
-    buf.put_u32(0);
+    let mut w = buf.window(MAX_INSN);
+    let tail = 0x0f | 0x10 << 8 | (modrm_byte(0b00, reg, 0b101) as u64) << 16;
+    let mut iw = InsnWord::headed(rex_byte(false, reg, 0, 0), false, tail, 3);
+    iw.prepend(prefix);
+    iw.commit_win(&mut w);
+    let at = w.len();
+    w.u32(0);
     at
 }
 
@@ -420,44 +504,45 @@ pub fn sse_load_rip(buf: &mut CodeBuffer<'_>, prefix: u8, reg: u8) -> usize {
 /// `jcc rel32`, returning the offset of the rel32 field.
 #[inline]
 pub fn jcc(buf: &mut CodeBuffer<'_>, cond: u8) -> usize {
-    buf.put_slice(&[0x0f, 0x80 + cond]);
-    let at = buf.len();
-    buf.put_u32(0);
+    let mut w = buf.window(MAX_INSN);
+    w.array([0x0f, 0x80 + cond]);
+    let at = w.len();
+    w.u32(0);
     at
 }
 
 /// `jmp rel32`, returning the offset of the rel32 field.
 #[inline]
 pub fn jmp_rel(buf: &mut CodeBuffer<'_>) -> usize {
-    buf.put_u8(0xe9);
-    let at = buf.len();
-    buf.put_u32(0);
+    let mut w = buf.window(MAX_INSN);
+    w.u8(0xe9);
+    let at = w.len();
+    w.u32(0);
     at
 }
 
 /// `call rel32`, returning the offset of the rel32 field.
 #[inline]
 pub fn call_rel(buf: &mut CodeBuffer<'_>) -> usize {
-    buf.put_u8(0xe8);
-    let at = buf.len();
-    buf.put_u32(0);
+    let mut w = buf.window(MAX_INSN);
+    w.u8(0xe8);
+    let at = w.len();
+    w.u32(0);
     at
 }
 
 /// `jmp reg`.
 #[inline]
 pub fn jmp_rm(buf: &mut CodeBuffer<'_>, rm: u8) {
-    rex(buf, false, 0, 0, rm, false);
-    buf.put_u8(0xff);
-    modrm(buf, 0b11, 4, rm);
+    let tail = 0xff | (modrm_byte(0b11, 4, rm) as u64) << 8;
+    InsnWord::headed(rex_byte(false, 0, 0, rm), false, tail, 2).commit(buf);
 }
 
 /// `call reg`.
 #[inline]
 pub fn call_rm(buf: &mut CodeBuffer<'_>, rm: u8) {
-    rex(buf, false, 0, 0, rm, false);
-    buf.put_u8(0xff);
-    modrm(buf, 0b11, 2, rm);
+    let tail = 0xff | (modrm_byte(0b11, 2, rm) as u64) << 8;
+    InsnWord::headed(rex_byte(false, 0, 0, rm), false, tail, 2).commit(buf);
 }
 
 /// `ret`.
@@ -469,15 +554,15 @@ pub fn ret(buf: &mut CodeBuffer<'_>) {
 /// `push reg64`.
 #[inline]
 pub fn push(buf: &mut CodeBuffer<'_>, reg: u8) {
-    rex(buf, false, 0, 0, reg, false);
-    buf.put_u8(0x50 + (reg & 7));
+    let tail = (0x50 + (reg & 7)) as u64;
+    InsnWord::headed(rex_byte(false, 0, 0, reg), false, tail, 1).commit(buf);
 }
 
 /// `pop reg64`.
 #[inline]
 pub fn pop(buf: &mut CodeBuffer<'_>, reg: u8) {
-    rex(buf, false, 0, 0, reg, false);
-    buf.put_u8(0x58 + (reg & 7));
+    let tail = (0x58 + (reg & 7)) as u64;
+    InsnWord::headed(rex_byte(false, 0, 0, reg), false, tail, 1).commit(buf);
 }
 
 /// `leave`.
@@ -495,26 +580,24 @@ pub fn nop(buf: &mut CodeBuffer<'_>) {
 /// `setcc rm8` (the register must be zeroed separately).
 #[inline]
 pub fn setcc(buf: &mut CodeBuffer<'_>, cond: u8, rm: u8) {
-    rex(buf, false, 0, 0, rm, rm >= 4);
-    buf.put_slice(&[0x0f, 0x90 + cond]);
-    modrm(buf, 0b11, 0, rm);
+    let tail = 0x0f | ((0x90 + cond) as u64) << 8 | (modrm_byte(0b11, 0, rm) as u64) << 16;
+    InsnWord::headed(rex_byte(false, 0, 0, rm), rm >= 4, tail, 3).commit(buf);
 }
 
 /// `bswap reg` (32- or 64-bit).
 #[inline]
-pub fn bswap(buf: &mut CodeBuffer<'_>, w: bool, reg: u8) {
-    rex(buf, w, 0, 0, reg, false);
-    buf.put_slice(&[0x0f, 0xc8 + (reg & 7)]);
+pub fn bswap(buf: &mut CodeBuffer<'_>, wide: bool, reg: u8) {
+    let tail = 0x0f | ((0xc8 + (reg & 7)) as u64) << 8;
+    InsnWord::headed(rex_byte(wide, 0, 0, reg), false, tail, 2).commit(buf);
 }
 
 /// `ror reg16, imm8`.
 #[inline]
 pub fn ror16_imm(buf: &mut CodeBuffer<'_>, rm: u8, imm: u8) {
-    buf.put_u8(0x66);
-    rex(buf, false, 0, 0, rm, false);
-    buf.put_u8(0xc1);
-    modrm(buf, 0b11, 1, rm);
-    buf.put_u8(imm);
+    let tail = 0xc1 | (modrm_byte(0b11, 1, rm) as u64) << 8 | (imm as u64) << 16;
+    let mut iw = InsnWord::headed(rex_byte(false, 0, 0, rm), false, tail, 3);
+    iw.prepend(0x66);
+    iw.commit(buf);
 }
 
 // ---- SSE scalar float ----
@@ -540,20 +623,20 @@ pub fn sse_mem(buf: &mut CodeBuffer<'_>, prefix: Option<u8>, op: u8, reg: u8, m:
 
 /// `cvtsi2ss/sd xmm, reg` (`w` selects the 64-bit integer source).
 #[inline]
-pub fn cvtsi2(buf: &mut CodeBuffer<'_>, prefix: u8, w: bool, xmm: u8, gpr: u8) {
-    buf.put_u8(prefix);
-    rex(buf, w, xmm, 0, gpr, false);
-    buf.put_slice(&[0x0f, 0x2a]);
-    modrm(buf, 0b11, xmm, gpr);
+pub fn cvtsi2(buf: &mut CodeBuffer<'_>, prefix: u8, wide: bool, xmm: u8, gpr: u8) {
+    let tail = 0x0f | 0x2a << 8 | (modrm_byte(0b11, xmm, gpr) as u64) << 16;
+    let mut iw = InsnWord::headed(rex_byte(wide, xmm, 0, gpr), false, tail, 3);
+    iw.prepend(prefix);
+    iw.commit(buf);
 }
 
 /// `cvttss/sd2si reg, xmm` (truncating; `w` selects 64-bit destination).
 #[inline]
-pub fn cvtt2si(buf: &mut CodeBuffer<'_>, prefix: u8, w: bool, gpr: u8, xmm: u8) {
-    buf.put_u8(prefix);
-    rex(buf, w, gpr, 0, xmm, false);
-    buf.put_slice(&[0x0f, 0x2c]);
-    modrm(buf, 0b11, gpr, xmm);
+pub fn cvtt2si(buf: &mut CodeBuffer<'_>, prefix: u8, wide: bool, gpr: u8, xmm: u8) {
+    let tail = 0x0f | 0x2c << 8 | (modrm_byte(0b11, gpr, xmm) as u64) << 16;
+    let mut iw = InsnWord::headed(rex_byte(wide, gpr, 0, xmm), false, tail, 3);
+    iw.prepend(prefix);
+    iw.commit(buf);
 }
 
 /// `ucomiss xmm, xmm` (`double`: pass `prefix66 = true`).
@@ -790,5 +873,19 @@ mod tests {
             emit(|b| lea(b, true, r::RAX, Mem::bi(r::RDI, r::RSI))),
             [0x48, 0x8d, 0x04, 0x37]
         );
+    }
+
+    #[test]
+    fn emitters_near_exact_capacity_latch_cleanly() {
+        // A 3-byte instruction into a 3-byte buffer: fits exactly even
+        // though the 16-byte reservation degrades to the checked path.
+        let mut mem = [0u8; 3];
+        let mut buf = CodeBuffer::new(&mut mem);
+        mov_rr(&mut buf, true, r::RDI, r::RSI);
+        assert_eq!(buf.as_slice(), [0x48, 0x89, 0xf7]);
+        assert!(!buf.overflowed());
+        // One more instruction latches overflow, never panics.
+        mov_rr(&mut buf, true, r::RDI, r::RSI);
+        assert!(buf.overflowed());
     }
 }

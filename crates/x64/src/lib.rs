@@ -39,7 +39,7 @@ pub mod encode;
 pub mod exec;
 pub mod guard;
 
-pub use exec::{ExecCode, ExecMem, GUARD_BYTES};
+pub use exec::{drain_pool, pool_stats, ExecCode, ExecMem, PoolStats, GUARD_BYTES, MAX_POOL_PAGES};
 pub use guard::{GuardedCall, NativeTrap};
 
 use encode::{cc, r, sse, Alu, Mem};
@@ -166,6 +166,7 @@ fn is64(ty: Ty) -> bool {
 }
 
 /// Signed/unsigned condition-code nibble for an integer comparison.
+#[inline]
 fn int_cc(cond: Cond, signed: bool) -> u8 {
     match (cond, signed) {
         (Cond::Lt, true) => cc::L,
@@ -184,7 +185,7 @@ fn int_cc(cond: Cond, signed: bool) -> u8 {
 impl X64 {
     /// Emits the three-operand → two-operand resolution for a commutable
     /// or plain ALU op.
-    #[inline]
+    #[inline(always)]
     fn alu3(a: &mut Asm<'_>, op: Alu, w: bool, commutes: bool, rd: u8, rs1: u8, rs2: u8) {
         if rd == rs1 {
             encode::alu_rr(&mut a.buf, op, w, rd, rs2);
@@ -259,6 +260,17 @@ impl X64 {
     fn load_lit(a: &mut Asm<'_>, prefix: u8, rd: u8, id: vcode::label::LitId) {
         let at = encode::sse_load_rip(&mut a.buf, prefix, rd);
         a.fixup_at(at, FixupTarget::Lit(id), 0);
+    }
+
+    /// Immediate-form fallback: the constant doesn't fit the immediate
+    /// field (paper §1: "boundary conditions") or the op has no
+    /// immediate form, so it goes through the scratch register. Kept out
+    /// of line so the small hot arms of `emit_binop_imm` inline cleanly
+    /// at every `*ii` call site.
+    #[inline(never)]
+    fn binop_imm_slow(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: Reg, rs: Reg, imm: i64) {
+        encode::mov_ri(&mut a.buf, SCRATCH, imm);
+        Self::emit_binop(a, op, ty, rd, rs, Reg::int(SCRATCH));
     }
 }
 
@@ -421,7 +433,7 @@ impl Target for X64 {
         a.buf.patch_u32(fixup.at, disp as i32 as u32);
     }
 
-    #[inline]
+    #[inline(always)]
     fn emit_binop(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: Reg, rs1: Reg, rs2: Reg) {
         if ty.is_float() {
             let prefix = if ty == Ty::F { sse::SS } else { sse::SD };
@@ -462,7 +474,7 @@ impl Target for X64 {
         }
     }
 
-    #[inline]
+    #[inline(always)]
     fn emit_binop_imm(a: &mut Asm<'_>, op: BinOp, ty: Ty, rd: Reg, rs: Reg, imm: i64) {
         let w = is64(ty);
         match op {
@@ -496,13 +508,7 @@ impl Target for X64 {
                 let mask = if w { 63 } else { 31 };
                 encode::shift_imm(&mut a.buf, ext, w, rd.num(), imm as u8 & mask);
             }
-            _ => {
-                // Constant doesn't fit (paper §1: "boundary conditions,
-                // e.g. constants that don't fit in immediate fields") or
-                // the op has no immediate form: go through the scratch.
-                encode::mov_ri(&mut a.buf, SCRATCH, imm);
-                Self::emit_binop(a, op, ty, rd, rs, Reg::int(SCRATCH));
-            }
+            _ => Self::binop_imm_slow(a, op, ty, rd, rs, imm),
         }
     }
 
@@ -828,6 +834,7 @@ impl Target for X64 {
         }
     }
 
+    #[inline]
     fn emit_ext_unop(a: &mut Asm<'_>, op: ExtUnOp, ty: Ty, rd: Reg, rs: Reg) -> bool {
         match (op, ty) {
             (ExtUnOp::Sqrt, Ty::F) => {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_codegen.json: one full (non-smoke) run of the
+# code-generation benchmarks, with every metric merged into a single
+# snapshot at the repo root. Commit the result; CI compares smoke-mode
+# reruns of codegen_cost against it and fails on >20% ns/insn
+# regressions (see scripts/ci.sh and `vcode_bench::snapshot`).
+#
+# Take snapshots on a quiet machine: the harness keeps the best of many
+# short windows to resist scheduler noise, but a loaded host still
+# inflates the floor.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs bench binaries from the package directory,
+# not the workspace root.
+out="$(pwd)/${1:-BENCH_codegen.json}"
+rm -f "$out"
+export VCODE_BENCH_JSON="$out"
+
+echo "== codegen_cost =="
+cargo bench -q --offline -p vcode-bench --bench codegen_cost
+
+echo "== ablation =="
+cargo bench -q --offline -p vcode-bench --bench ablation
+
+echo "== par_codegen =="
+cargo bench -q --offline -p vcode-bench --bench par_codegen
+
+echo "Snapshot written to $out"

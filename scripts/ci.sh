@@ -20,4 +20,12 @@ cargo test -q --workspace --offline
 echo "== fault-injection smoke (hardened execution gate) =="
 cargo test -q -p harden --offline --test faults
 
+echo "== codegen-cost smoke (perf regression gate) =="
+# Smoke-mode rerun against the committed snapshot: any ns/insn metric
+# more than 20% over BENCH_codegen.json fails the build (the bench
+# exits non-zero). Regenerate the snapshot with scripts/bench_snapshot.sh
+# when a deliberate change moves the numbers.
+VCODE_SMOKE=1 VCODE_BASELINE="$PWD/BENCH_codegen.json" \
+    cargo bench -q --offline -p vcode-bench --bench codegen_cost
+
 echo "CI green."
