@@ -154,13 +154,13 @@ fn bench(c: &mut Criterion) {
         let fin = a.end().unwrap();
         buf.truncate(fin.len);
         let mut m = vcode_sim::alpha::Machine::new(1 << 20);
-        let entry = m.load_code(&buf);
-        let addr = m.alloc(16, 8);
+        let entry = m.load_code(&buf).unwrap();
+        let addr = m.alloc(16, 8).unwrap();
         m.call(entry, &[addr, 0x5a], 10_000).unwrap();
         println!(
             "  {name:22} {:2} emitted insns (body), {:3} executed incl. prologue",
             body / 4,
-            m.counts.insns
+            m.stats().insns_retired
         );
     }
 

@@ -129,6 +129,39 @@ fn bench(c: &mut Criterion) {
         ns_dcg / ns_vcode
     );
 
+    // Codegen event stream (the obs hook): aggregate the LambdaEnd
+    // metrics over one emission. These are deterministic counters —
+    // instructions specified, bytes emitted, allocator spills — so they
+    // land in the snapshot as exact schema-stable values.
+    let agg = std::sync::Arc::new(std::sync::Mutex::new((0u64, 0u64, 0u64, 0u64)));
+    let sink = std::sync::Arc::clone(&agg);
+    vcode::obs::set_hook(move |ev| {
+        if let vcode::CodegenEvent::LambdaEnd {
+            insns,
+            bytes,
+            spills,
+            ..
+        } = *ev
+        {
+            let mut a = sink.lock().unwrap();
+            a.0 += 1;
+            a.1 += insns;
+            a.2 += bytes;
+            a.3 += spills;
+        }
+    });
+    black_box(emit_vcode(&mut mem, BODY_INSNS));
+    vcode::obs::clear_hook();
+    let (lambdas, insns, bytes, spills) = *agg.lock().unwrap();
+    assert_eq!(lambdas, 1, "one lambda/end session observed");
+    assert!(insns > BODY_INSNS as u64, "body plus the return");
+    println!("\n=== Codegen events (one {BODY_INSNS}-insn emission, obs hook) ===");
+    println!(
+        "  lambdas {lambdas}, vcode insns {insns}, bytes {bytes}, spills {spills} \
+         ({:.2} machine bytes per vcode insn)",
+        bytes as f64 / insns as f64
+    );
+
     // Snapshot + regression gate (see `vcode_bench::snapshot`): CI runs
     // this bench in smoke mode against the committed BENCH_codegen.json
     // and fails on any ns/insn metric >20% over baseline.
@@ -136,6 +169,10 @@ fn bench(c: &mut Criterion) {
         ("codegen_cost/vcode_ns_per_insn", ns_vcode),
         ("codegen_cost/vcode_hard_regs_ns_per_insn", ns_hard),
         ("codegen_cost/dcg_ns_per_insn", ns_dcg),
+        (
+            "codegen_cost/bytes_per_vcode_insn",
+            bytes as f64 / insns as f64,
+        ),
     ];
     let mut failures = Vec::new();
     for (name, value) in metrics {

@@ -98,6 +98,15 @@ fn bench(c: &mut Criterion) {
         "  (DPF: {} bytes of code from {} vcode insns, dispatch {:?})",
         c.code_len, c.vcode_insns, c.strategies
     );
+    let xs = vcode_x64::exec_stats();
+    println!(
+        "  native ExecStats: exec-mem pool {} hits / {} misses \
+         ({:.0}% reuse), {} guarded-call traps",
+        xs.cache_hits,
+        xs.cache_misses,
+        xs.cache_hit_ratio().unwrap_or(0.0) * 100.0,
+        xs.traps.total()
+    );
 }
 
 criterion_group!(benches, bench);

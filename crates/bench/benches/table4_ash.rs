@@ -116,6 +116,15 @@ fn bench(c: &mut Criterion) {
         rows[0].1[0] / rows[3].1[0],
         rows[0].1[1] / rows[3].1[1],
     );
+    let xs = vcode_x64::exec_stats();
+    println!(
+        "native ExecStats: exec-mem pool {} hits / {} misses \
+         ({:.0}% reuse), {} guarded-call traps",
+        xs.cache_hits,
+        xs.cache_misses,
+        xs.cache_hit_ratio().unwrap_or(0.0) * 100.0,
+        xs.traps.total()
+    );
 }
 
 criterion_group!(benches, bench);

@@ -41,15 +41,15 @@ fn setup(cache: Option<Cache>) -> SimSetup {
     let mut m = Machine::new(1 << 22);
     m.strict_load_delay = true;
     m.dcache = cache;
-    let fused_ck = m.load_code(&fused_ck);
-    let fused_both = m.load_code(&fused_both);
-    let copy = m.load_code(&copy);
-    let cksum = m.load_code(&cksum);
-    let swap = m.load_code(&swap);
-    let src = m.alloc(MSG, 16);
-    let dst = m.alloc(MSG, 16);
+    let fused_ck = m.load_code(&fused_ck).unwrap();
+    let fused_both = m.load_code(&fused_both).unwrap();
+    let copy = m.load_code(&copy).unwrap();
+    let cksum = m.load_code(&cksum).unwrap();
+    let swap = m.load_code(&swap).unwrap();
+    let src = m.alloc(MSG, 16).unwrap();
+    let dst = m.alloc(MSG, 16).unwrap();
     let data: Vec<u8> = (0..MSG).map(|i| (i * 31 + 7) as u8).collect();
-    m.write(src, &data);
+    m.write(src, &data).unwrap();
     SimSetup {
         m,
         fused_ck,
@@ -96,6 +96,95 @@ impl SimSetup {
             }
         });
         (cyc, fold_le_halfwords(sum))
+    }
+}
+
+/// The fused pipeline replayed on *every* simulated backend with the
+/// DEC5000 cache model: one row per ISA from the unified
+/// [`vcode::ExecStats`] surface — retired instructions, cycles, cache
+/// hit ratio, delay-slot fills and division-routine calls.
+fn cross_backend_stats() {
+    use vcode::ExecStats;
+
+    const N: usize = 4 * 1024;
+    let data: Vec<u8> = (0..N).map(|i| (i * 31 + 7) as u8).collect();
+    let want = reference::checksum(&data);
+    let steps: [Step; 2] = [Step::Checksum, Step::Swap];
+    let gen = |f: &dyn Fn(&mut [u8]) -> vcode::Finished| {
+        let mut mem = vec![0u8; 8192];
+        let fin = f(&mut mem);
+        mem.truncate(fin.len);
+        mem
+    };
+
+    let mips_stats = {
+        let code = gen(&|m| generic::compile_fused::<Mips>(m, &steps).unwrap());
+        let mut m = Machine::new(1 << 22);
+        m.dcache = Some(Cache::dec5000());
+        let entry = m.load_code(&code).unwrap();
+        let dst = m.alloc(N, 16).unwrap();
+        let src = m.alloc(N, 16).unwrap();
+        m.write(src, &data).unwrap();
+        let sum = m.call(entry, &[dst, src, (N / 4) as u32], STEPS).unwrap();
+        assert_eq!(fold_le_halfwords(sum), want, "mips checksum");
+        m.stats()
+    };
+    let sparc_stats = {
+        let code = gen(&|m| generic::compile_fused::<vcode_sparc::Sparc>(m, &steps).unwrap());
+        let mut m = vcode_sim::sparc::Machine::new(1 << 22);
+        m.dcache = Some(Cache::dec5000());
+        let entry = m.load_code(&code).unwrap();
+        let dst = m.alloc(N, 16).unwrap();
+        let src = m.alloc(N, 16).unwrap();
+        m.write(src, &data).unwrap();
+        let sum = m.call(entry, &[dst, src, (N / 4) as u32], STEPS).unwrap();
+        assert_eq!(fold_le_halfwords(sum), want, "sparc checksum");
+        m.stats()
+    };
+    let (alpha_stats, alpha_divs) = {
+        let code = gen(&|m| generic::compile_fused::<vcode_alpha::Alpha>(m, &steps).unwrap());
+        let mut m = vcode_sim::alpha::Machine::new(1 << 22);
+        m.dcache = Some(Cache::dec5000());
+        let entry = m.load_code(&code).unwrap();
+        let dst = m.alloc(N, 16).unwrap();
+        let src = m.alloc(N, 16).unwrap();
+        m.write(src, &data).unwrap();
+        let sum = m.call(entry, &[dst, src, (N / 4) as u64], STEPS).unwrap();
+        assert_eq!(fold_le_halfwords(sum as u32), want, "alpha checksum");
+        (m.stats(), m.div_calls)
+    };
+
+    println!("\n=== Fused pipeline, every simulated backend (DEC5000 dcache, 4 KiB msg) ===");
+    println!(
+        "{:8} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9}",
+        "backend", "insns", "cycles", "cpi", "hit%", "slotfills", "divcalls"
+    );
+    let row = |name: &str, s: &ExecStats, divs: u64| {
+        println!(
+            "{:8} {:>10} {:>10} {:>7.3} {:>8.1}% {:>10} {:>9}",
+            name,
+            s.insns_retired,
+            s.cycles,
+            s.cycles_per_insn().unwrap_or(0.0),
+            s.cache_hit_ratio().unwrap_or(0.0) * 100.0,
+            s.delay_slot_fills,
+            divs,
+        );
+    };
+    row("mips", &mips_stats, 0);
+    row("sparc", &sparc_stats, 0);
+    row("alpha", &alpha_stats, alpha_divs);
+    for (name, s) in [
+        ("mips", &mips_stats),
+        ("sparc", &sparc_stats),
+        ("alpha", &alpha_stats),
+    ] {
+        assert!(s.insns_retired > 0 && s.cycles >= s.insns_retired, "{name}");
+        assert!(s.loads > 0 && s.stores > 0, "{name} load/store counters");
+        assert!(
+            s.cache_hits + s.cache_misses > 0,
+            "{name} cache model engaged"
+        );
     }
 }
 
@@ -147,4 +236,5 @@ fn main() {
             rows[0].1[1] as f64 / rows[2].1[1] as f64,
         );
     }
+    cross_backend_stats();
 }

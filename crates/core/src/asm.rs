@@ -346,6 +346,10 @@ impl<'m, T: Target> Assembler<'m, T> {
         };
         let args = T::begin(&mut a, &sig, leaf)?;
         a.sig = sig;
+        crate::obs::emit_event(|| crate::obs::CodegenEvent::LambdaBegin {
+            args: args.len(),
+            leaf: matches!(leaf, Leaf::Yes),
+        });
         Ok(Assembler {
             a,
             args,
@@ -363,6 +367,17 @@ impl<'m, T: Target> Assembler<'m, T> {
     /// [`Error::CallInLeaf`], ...), or [`Error::UnboundLabel`] if a
     /// referenced label was never placed.
     pub fn end(mut self) -> Result<Finished, Error> {
+        let r = self.end_inner();
+        crate::obs::emit_event(|| crate::obs::CodegenEvent::LambdaEnd {
+            insns: self.a.insns,
+            bytes: self.a.buf.len() as u64,
+            overflowed: self.a.buf.overflowed(),
+            spills: self.a.ra.spill_count(),
+        });
+        r
+    }
+
+    fn end_inner(&mut self) -> Result<Finished, Error> {
         T::end(&mut self.a)?;
         self.a.lits.emit(&mut self.a.buf);
         let fixups = std::mem::take(&mut self.a.fixups);

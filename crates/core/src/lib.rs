@@ -54,6 +54,7 @@ pub mod fake;
 pub mod label;
 #[macro_use]
 pub mod macros;
+pub mod obs;
 pub mod op;
 pub mod reg;
 pub mod regalloc;
@@ -67,6 +68,7 @@ pub use asm::{Asm, Assembler};
 pub use buf::EmitPath;
 pub use error::Error;
 pub use label::Label;
+pub use obs::{CodegenEvent, ExecStats, TraceRecord, TrapCounts};
 pub use op::{BinOp, Cond, Imm, UnOp};
 pub use reg::{Bank, Reg, RegClass, RegDesc, RegFile, RegKind};
 pub use target::{

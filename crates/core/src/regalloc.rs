@@ -78,6 +78,7 @@ pub struct RegAlloc {
     leaf: bool,
     callee_used_int: u64,
     callee_used_flt: u64,
+    spills: u64,
 }
 
 impl RegAlloc {
@@ -92,6 +93,7 @@ impl RegAlloc {
             leaf,
             callee_used_int: 0,
             callee_used_flt: 0,
+            spills: 0,
         }
     }
 
@@ -137,6 +139,7 @@ impl RegAlloc {
                 return Some(reg);
             }
         }
+        self.spills += 1;
         None
     }
 
@@ -219,6 +222,13 @@ impl RegAlloc {
     /// Whether this allocation state belongs to a leaf procedure.
     pub fn is_leaf(&self) -> bool {
         self.leaf
+    }
+
+    /// Number of exhausted allocations (`getreg` returning `None`): each
+    /// is a client fallback to stack storage — the paper's spill. Reported
+    /// through [`CodegenEvent::LambdaEnd`](crate::obs::CodegenEvent).
+    pub fn spill_count(&self) -> u64 {
+        self.spills
     }
 }
 
@@ -370,6 +380,17 @@ mod tests {
         ra.set_priority(Bank::Int, &[Reg::int(9), Reg::int(8)]);
         assert_eq!(ra.getreg(Bank::Int, RegClass::Temp), Some(Reg::int(9)));
         assert_eq!(ra.getreg(Bank::Int, RegClass::Temp), Some(Reg::int(8)));
+    }
+
+    #[test]
+    fn spill_count_tracks_exhaustion() {
+        let rf = test_file();
+        let mut ra = RegAlloc::new(&rf, false);
+        while ra.getreg(Bank::Int, RegClass::Temp).is_some() {}
+        assert_eq!(ra.spill_count(), 1);
+        assert_eq!(ra.getreg(Bank::Int, RegClass::Temp), None);
+        assert_eq!(ra.getreg(Bank::Flt, RegClass::Temp), None);
+        assert_eq!(ra.spill_count(), 3);
     }
 
     #[test]

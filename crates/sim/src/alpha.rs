@@ -7,7 +7,9 @@
 //! hardware has no integer divide (paper §5.2), and they follow the
 //! special convention of preserving every caller-saved register.
 
+use crate::{host_range, merge_stats, Cache, MemError};
 use std::fmt;
+use vcode::obs::{ExecStats, TraceRecord};
 
 /// Base address code is loaded at.
 pub const CODE_BASE: u64 = 0x1_0000;
@@ -15,22 +17,6 @@ pub const CODE_BASE: u64 = 0x1_0000;
 pub const HALT: u64 = 0xffff_fff0;
 /// Division support routines live at `0xd000 + 8k` (below the code).
 pub const DIV_BASE: u64 = 0xd000;
-
-/// Execution statistics.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct Counts {
-    /// Instructions executed (division-routine work counts as its own
-    /// instructions, charged as a flat cost below).
-    pub insns: u64,
-    /// Loads.
-    pub loads: u64,
-    /// Stores.
-    pub stores: u64,
-    /// Branches/jumps.
-    pub branches: u64,
-    /// Division-routine invocations.
-    pub div_calls: u64,
-}
 
 /// Cycles charged per division-routine call (a software divide loop of
 /// the era ran on the order of dozens of instructions).
@@ -94,14 +80,22 @@ pub struct Machine {
     mem: Vec<u8>,
     code_end: u64,
     data_brk: u64,
-    /// Statistics.
-    pub counts: Counts,
+    stats: ExecStats,
+    /// Division-routine invocations (Alpha-specific; the routines'
+    /// instruction cost is charged into `stats` as [`DIV_COST`] retired
+    /// instructions per call).
+    pub div_calls: u64,
+    /// Optional data-cache model; hits/misses/stalls fold into
+    /// [`stats`](Self::stats).
+    pub dcache: Option<Cache>,
+    trace: Option<crate::TraceSink>,
 }
 
 impl fmt::Debug for Machine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("alpha::Machine")
-            .field("counts", &self.counts)
+            .field("stats", &self.stats)
+            .field("div_calls", &self.div_calls)
             .finish()
     }
 }
@@ -116,33 +110,117 @@ impl Machine {
             mem: vec![0; mem_size],
             code_end: CODE_BASE,
             data_brk: (mem_size / 2) as u64,
-            counts: Counts::default(),
+            stats: ExecStats::default(),
+            div_calls: 0,
+            dcache: None,
+            trace: None,
         }
     }
 
     /// Loads code, returning the entry address.
-    pub fn load_code(&mut self, code: &[u8]) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the image does not fit in simulated
+    /// memory.
+    pub fn load_code(&mut self, code: &[u8]) -> Result<u64, MemError> {
         let at = (self.code_end as usize).div_ceil(16) * 16;
-        self.mem[at..at + code.len()].copy_from_slice(code);
-        self.code_end = (at + code.len()) as u64;
-        at as u64
+        let end = at
+            .checked_add(code.len())
+            .filter(|&e| e <= self.mem.len())
+            .ok_or(MemError::OutOfRange {
+                addr: at as u64,
+                len: code.len(),
+                size: self.mem.len(),
+            })?;
+        self.mem[at..end].copy_from_slice(code);
+        self.code_end = end as u64;
+        Ok(at as u64)
     }
 
     /// Allocates simulated data memory.
-    pub fn alloc(&mut self, size: usize, align: usize) -> u64 {
-        let at = (self.data_brk as usize).div_ceil(align.max(1)) * align.max(1);
-        self.data_brk = (at + size) as u64;
-        at as u64
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfMemory`] when the request exhausts (or
+    /// arithmetically overflows) the heap region.
+    pub fn alloc(&mut self, size: usize, align: usize) -> Result<u64, MemError> {
+        let align = align.max(1);
+        let enomem = MemError::OutOfMemory {
+            requested: size,
+            align,
+        };
+        let at = (self.data_brk as usize)
+            .checked_next_multiple_of(align)
+            .ok_or(enomem)?;
+        let brk = at
+            .checked_add(size)
+            .filter(|&b| b < self.mem.len().saturating_sub(64 * 1024))
+            .ok_or(enomem)?;
+        self.data_brk = brk as u64;
+        Ok(at as u64)
     }
 
     /// Writes into simulated memory.
-    pub fn write(&mut self, addr: u64, data: &[u8]) {
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the range is out of bounds.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
+        host_range(&self.mem, addr, data.len())?;
         self.mem[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
     }
 
     /// Reads back.
-    pub fn read(&self, addr: u64, len: usize) -> &[u8] {
-        &self.mem[addr as usize..addr as usize + len]
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the range is out of bounds.
+    pub fn read(&self, addr: u64, len: usize) -> Result<&[u8], MemError> {
+        host_range(&self.mem, addr, len)?;
+        Ok(&self.mem[addr as usize..addr as usize + len])
+    }
+
+    /// Unified execution statistics (shared across all three simulators).
+    /// Alpha has no delay slots, so `delay_slot_fills` is always zero.
+    pub fn stats(&self) -> ExecStats {
+        merge_stats(&self.stats, self.dcache.as_ref())
+    }
+
+    /// Total simulated cycles: one per retired instruction (division
+    /// routines charge [`DIV_COST`]) plus cache stalls.
+    pub fn cycles(&self) -> u64 {
+        self.stats().cycles
+    }
+
+    /// Zeroes all execution counters (including cache hit/miss totals
+    /// and `div_calls`).
+    pub fn reset_stats(&mut self) {
+        self.stats = ExecStats::default();
+        self.div_calls = 0;
+        if let Some(c) = &mut self.dcache {
+            c.hits = 0;
+            c.misses = 0;
+        }
+    }
+
+    /// Installs a per-instruction trace callback (the §6.2 debugger
+    /// stand-in): each executed instruction streams a
+    /// [`TraceRecord`] with its disassembly and first register delta.
+    pub fn set_trace(&mut self, f: impl FnMut(&TraceRecord) + Send + 'static) {
+        self.trace = Some(Box::new(f));
+    }
+
+    /// Removes the trace callback.
+    pub fn clear_trace(&mut self) {
+        self.trace = None;
+    }
+
+    fn touch(&mut self, addr: u64, len: u64) {
+        if let Some(c) = &mut self.dcache {
+            c.access_span(addr, len);
+        }
     }
 
     /// Calls the function at `entry` with up to six integer arguments,
@@ -178,8 +256,24 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Any [`Trap`].
+    /// Any [`Trap`] raised during execution (also tallied in
+    /// [`stats`](Self::stats)).
     pub fn run(&mut self, entry: u64, max_steps: u64) -> Result<(), Trap> {
+        let mut tracer = self.trace.take();
+        let r = self.run_loop(entry, max_steps, tracer.as_mut());
+        self.trace = tracer;
+        if let Err(t) = &r {
+            self.stats.traps.record(vcode::Trap::from(t.clone()).kind);
+        }
+        r
+    }
+
+    fn run_loop(
+        &mut self,
+        entry: u64,
+        max_steps: u64,
+        mut tracer: Option<&mut crate::TraceSink>,
+    ) -> Result<(), Trap> {
         self.regs[26] = HALT;
         self.regs[30] = (self.mem.len() - 256) as u64;
         let mut pc = entry;
@@ -193,8 +287,8 @@ impl Machine {
             // t10/t11, result in t12/pv, return through t9. Preserves
             // everything else.
             if (DIV_BASE..DIV_BASE + 0x40).contains(&pc) {
-                self.counts.div_calls += 1;
-                self.counts.insns += DIV_COST;
+                self.div_calls += 1;
+                self.stats.insns_retired += DIV_COST;
                 let a = self.regs[24];
                 let b = self.regs[25];
                 let idx = (pc - DIV_BASE) / 8;
@@ -207,7 +301,22 @@ impl Machine {
             }
             let word =
                 u32::from_le_bytes(self.mem[pc as usize..pc as usize + 4].try_into().unwrap());
-            pc = self.step(pc, word)?;
+            let before = tracer.as_ref().map(|_| self.regs);
+            let next = self.step(pc, word)?;
+            if let (Some(t), Some(before)) = (tracer.as_mut(), before) {
+                let delta = before
+                    .iter()
+                    .zip(self.regs.iter())
+                    .enumerate()
+                    .find(|(_, (o, n))| o != n)
+                    .map(|(i, (&o, &n))| (i as u8, o, n));
+                t(&TraceRecord {
+                    pc,
+                    disasm: disasm(word),
+                    delta,
+                });
+            }
+            pc = next;
         }
         Ok(())
     }
@@ -286,7 +395,7 @@ impl Machine {
 
     #[allow(clippy::too_many_lines)]
     fn step(&mut self, pc: u64, word: u32) -> Result<u64, Trap> {
-        self.counts.insns += 1;
+        self.stats.insns_retired += 1;
         let opcode = (word >> 26) as u8;
         let ra = ((word >> 21) & 31) as u8;
         let rb = ((word >> 16) & 31) as u8;
@@ -305,46 +414,53 @@ impl Machine {
             }
             0x0b => {
                 // ldq_u
-                self.counts.loads += 1;
+                self.stats.loads += 1;
                 let addr = self.get(rb).wrapping_add(disp16 as i64 as u64) & !7;
+                self.touch(addr, 8);
                 let v = self.ldq(addr)?;
                 self.set(ra, v);
             }
             0x0f => {
                 // stq_u
-                self.counts.stores += 1;
+                self.stats.stores += 1;
                 let addr = self.get(rb).wrapping_add(disp16 as i64 as u64) & !7;
+                self.touch(addr, 8);
                 let v = self.get(ra);
                 self.stq(addr, v)?;
             }
             0x28 => {
-                self.counts.loads += 1;
+                self.stats.loads += 1;
                 let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                self.touch(addr, 4);
                 let v = self.ldl(addr)?;
                 self.set(ra, v);
             }
             0x29 => {
-                self.counts.loads += 1;
+                self.stats.loads += 1;
                 let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                self.touch(addr, 8);
                 let v = self.ldq(addr)?;
                 self.set(ra, v);
             }
             0x2c => {
-                self.counts.stores += 1;
+                self.stats.stores += 1;
                 let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                self.touch(addr, 4);
                 let v = self.get(ra);
                 self.stl(addr, v as u32)?;
             }
             0x2d => {
-                self.counts.stores += 1;
+                self.stats.stores += 1;
                 let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                self.touch(addr, 8);
                 let v = self.get(ra);
                 self.stq(addr, v)?;
             }
             0x22 => {
                 // lds: load S-format (f32), widen to T-format bits.
-                self.counts.loads += 1;
+                self.stats.loads += 1;
                 let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                self.touch(addr, 4);
                 if addr & 3 != 0 {
                     return Err(Trap::Unaligned(addr));
                 }
@@ -355,20 +471,23 @@ impl Machine {
             }
             0x26 => {
                 // sts
-                self.counts.stores += 1;
+                self.stats.stores += 1;
                 let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                self.touch(addr, 4);
                 let s = f64::from_bits(self.fget(ra)) as f32;
                 self.stl(addr, s.to_bits())?;
             }
             0x23 => {
-                self.counts.loads += 1;
+                self.stats.loads += 1;
                 let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                self.touch(addr, 8);
                 let v = self.ldq(addr)?;
                 self.fset(ra, v);
             }
             0x27 => {
-                self.counts.stores += 1;
+                self.stats.stores += 1;
                 let addr = self.get(rb).wrapping_add(disp16 as i64 as u64);
+                self.touch(addr, 8);
                 let v = self.fget(ra);
                 self.stq(addr, v)?;
             }
@@ -479,13 +598,13 @@ impl Machine {
                 self.fset(rc, v);
             }
             0x1a => {
-                self.counts.branches += 1;
+                self.stats.branches += 1;
                 let target = self.get(rb) & !3;
                 self.set(ra, pc + 4);
                 next = target;
             }
             0x30 | 0x34 => {
-                self.counts.branches += 1;
+                self.stats.branches += 1;
                 let disp = ((word & 0x1f_ffff) as i32) << 11 >> 11;
                 self.set(ra, pc + 4);
                 next = pc
@@ -493,7 +612,7 @@ impl Machine {
                     .wrapping_add((i64::from(disp) * 4) as u64);
             }
             0x39 | 0x3d | 0x3a | 0x3b | 0x3e | 0x3f => {
-                self.counts.branches += 1;
+                self.stats.branches += 1;
                 let v = self.get(ra) as i64;
                 let taken = match opcode {
                     0x39 => v == 0,
@@ -511,7 +630,7 @@ impl Machine {
                 }
             }
             0x31 | 0x35 | 0x32 | 0x33 | 0x36 | 0x37 => {
-                self.counts.branches += 1;
+                self.stats.branches += 1;
                 let v = f64::from_bits(self.fget(ra));
                 let taken = match opcode {
                     0x31 => v == 0.0,
@@ -721,7 +840,7 @@ mod tests {
     #[test]
     fn runs_plus1() {
         let mut m = Machine::new(1 << 20);
-        let entry = m.load_code(&plus1_code());
+        let entry = m.load_code(&plus1_code()).unwrap();
         assert_eq!(m.call(entry, &[41], 100).unwrap(), 42);
         assert_eq!(m.call(entry, &[u64::from(u32::MAX)], 100).unwrap(), 0);
     }
@@ -737,9 +856,10 @@ mod tests {
         ];
         let code: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
         let mut m = Machine::new(1 << 20);
-        let entry = m.load_code(&code);
-        let addr = m.alloc(16, 8);
-        m.write(addr, &[0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88]);
+        let entry = m.load_code(&code).unwrap();
+        let addr = m.alloc(16, 8).unwrap();
+        m.write(addr, &[0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88])
+            .unwrap();
         assert_eq!(m.call(entry, &[addr + 3], 100).unwrap(), 0x44);
         assert_eq!(m.call(entry, &[addr + 6], 100).unwrap(), 0x77);
     }
@@ -755,13 +875,13 @@ mod tests {
         ];
         let code: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
         let mut m = Machine::new(1 << 20);
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         m.regs[24] = (-20i64) as u64;
         m.regs[25] = 3;
         let r = m.call(entry, &[DIV_BASE], 100).unwrap();
         assert_eq!(r as i64, -6);
-        assert_eq!(m.counts.div_calls, 1);
-        assert!(m.counts.insns >= DIV_COST);
+        assert_eq!(m.div_calls, 1);
+        assert!(m.stats().insns_retired >= DIV_COST);
     }
 
     #[test]
@@ -776,7 +896,7 @@ mod tests {
         ];
         let code: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
         let mut m = Machine::new(1 << 20);
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         assert_eq!(m.call(entry, &[0], 100).unwrap(), 2);
         assert_eq!(m.call(entry, &[5], 100).unwrap(), 1);
     }
@@ -786,12 +906,74 @@ mod tests {
         let words = [0x0000_0000u32]; // call_pal halt — undecoded
         let code: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
         let mut m = Machine::new(1 << 20);
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         assert!(matches!(m.call(entry, &[], 10), Err(Trap::BadInsn { .. })));
         // br self = infinite loop.
         let words = [(0x30u32 << 26) | (31 << 21) | ((-1i32 as u32) & 0x1f_ffff)];
         let code: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         assert_eq!(m.call(entry, &[], 100), Err(Trap::StepLimit));
+        // Both failures landed in the unified trap tally.
+        let s = m.stats();
+        assert_eq!(s.traps.count(vcode::TrapKind::IllegalInsn), 1);
+        assert_eq!(s.traps.count(vcode::TrapKind::FuelExhausted), 1);
+    }
+
+    #[test]
+    fn host_memory_apis_return_typed_errors() {
+        let mut m = Machine::new(1 << 20);
+        assert!(matches!(
+            m.write(u64::MAX - 3, &[1, 2, 3, 4]),
+            Err(MemError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.read(1 << 20, 1),
+            Err(MemError::OutOfRange { .. })
+        ));
+        let huge = vec![0u8; (1 << 20) + 1];
+        assert!(matches!(
+            m.load_code(&huge),
+            Err(MemError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.alloc(1 << 20, 8),
+            Err(MemError::OutOfMemory { .. })
+        ));
+        assert!(matches!(
+            m.alloc(usize::MAX - 4, 8),
+            Err(MemError::OutOfMemory { .. })
+        ));
+        let entry = m.load_code(&plus1_code()).unwrap();
+        assert_eq!(m.call(entry, &[1], 100).unwrap(), 2);
+    }
+
+    #[test]
+    fn trace_and_dcache_stats() {
+        use std::sync::{Arc, Mutex};
+        // ldq v0, 0(a0); ret
+        let words = [
+            (0x29u32 << 26) | (16 << 16),
+            (0x1au32 << 26) | (31 << 21) | (26 << 16) | (2 << 14),
+        ];
+        let code: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let mut m = Machine::new(1 << 20);
+        m.dcache = Some(Cache::new(1024, 16, 10));
+        let entry = m.load_code(&code).unwrap();
+        let addr = m.alloc(16, 8).unwrap();
+        m.write(addr, &7u64.to_le_bytes()).unwrap();
+        let log: Arc<Mutex<Vec<TraceRecord>>> = Arc::default();
+        let log2 = Arc::clone(&log);
+        m.set_trace(move |r| log2.lock().unwrap().push(r.clone()));
+        assert_eq!(m.call(entry, &[addr], 100).unwrap(), 7);
+        m.clear_trace();
+        assert_eq!(m.call(entry, &[addr], 100).unwrap(), 7);
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 2, "only the traced call streams records");
+        assert!(log[0].disasm.starts_with("ldq"));
+        assert_eq!(log[0].delta, Some((0, 0, 7)), "$v0: 0 -> 7");
+        let s = m.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
+        assert_eq!(s.cycles, s.insns_retired + 10);
+        assert_eq!(s.delay_slot_fills, 0, "alpha has no delay slots");
     }
 }

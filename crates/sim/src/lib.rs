@@ -18,3 +18,83 @@ pub mod mips;
 pub mod sparc;
 
 pub use cache::Cache;
+
+/// A typed failure from the host-facing machine-memory APIs
+/// (`load_code` / `alloc` / `write` / `read`).
+///
+/// Guest accesses already trap in a typed way (`Trap::BadAccess`); these
+/// errors give the *host* side the same discipline — out-of-range or
+/// oversized requests return an error instead of panicking, mirroring
+/// the typed-ENOMEM convention of the native executable-memory pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The `[addr, addr + len)` range does not fit in simulated memory.
+    OutOfRange {
+        /// Start of the requested range.
+        addr: u64,
+        /// Length of the requested range in bytes.
+        len: usize,
+        /// Total simulated memory size in bytes.
+        size: usize,
+    },
+    /// An allocation request exhausted (or arithmetically overflowed)
+    /// the simulated heap.
+    OutOfMemory {
+        /// Requested size in bytes.
+        requested: usize,
+        /// Requested alignment in bytes.
+        align: usize,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfRange { addr, len, size } => write!(
+                f,
+                "address range {addr:#x}..{:#x} outside simulated memory of {size:#x} bytes",
+                addr + *len as u64
+            ),
+            MemError::OutOfMemory { requested, align } => write!(
+                f,
+                "sim heap exhausted: cannot allocate {requested} bytes (align {align})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// The per-instruction trace callback installed via `Machine::set_trace`
+/// on any of the simulators.
+pub type TraceSink = Box<dyn FnMut(&vcode::TraceRecord) + Send>;
+
+/// Bounds-checks a host-facing `[addr, addr + len)` range against `mem`.
+pub(crate) fn host_range(mem: &[u8], addr: u64, len: usize) -> Result<(), MemError> {
+    let ok = usize::try_from(addr)
+        .ok()
+        .and_then(|a| a.checked_add(len))
+        .is_some_and(|end| end <= mem.len());
+    if ok {
+        Ok(())
+    } else {
+        Err(MemError::OutOfRange {
+            addr,
+            len,
+            size: mem.len(),
+        })
+    }
+}
+
+/// Merges a machine's live counters with its data cache's totals into
+/// the unified [`vcode::ExecStats`] shape all three simulators expose.
+pub(crate) fn merge_stats(live: &vcode::ExecStats, dcache: Option<&Cache>) -> vcode::ExecStats {
+    let mut s = *live;
+    if let Some(c) = dcache {
+        s.cache_hits = c.hits;
+        s.cache_misses = c.misses;
+        s.cache_stall_cycles = c.stall_cycles();
+    }
+    s.cycles = s.insns_retired + s.cache_stall_cycles;
+    s
+}

@@ -12,25 +12,14 @@
 //! link to the instruction after the delay slot.
 
 use crate::cache::Cache;
+use crate::{host_range, merge_stats, MemError};
 use std::fmt;
+use vcode::obs::{ExecStats, TraceRecord};
 
 /// Base address code is loaded at.
 pub const CODE_BASE: u32 = 0x0000_1000;
 /// Return-address sentinel that stops execution.
 pub const HALT: u32 = 0xffff_fff0;
-
-/// Execution statistics.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct Counts {
-    /// Instructions executed (including delay-slot nops).
-    pub insns: u64,
-    /// Loads executed.
-    pub loads: u64,
-    /// Stores executed.
-    pub stores: u64,
-    /// Branch/jump instructions executed.
-    pub branches: u64,
-}
 
 /// Why the simulator stopped abnormally.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,8 +99,9 @@ pub struct Machine {
     mem: Vec<u8>,
     code_end: u32,
     data_brk: u32,
-    /// Execution statistics.
-    pub counts: Counts,
+    /// Live execution counters (the shared observability type; cache
+    /// and cycle fields are merged in by [`stats`](Self::stats)).
+    stats: ExecStats,
     /// Optional data-cache model; every load/store address is run
     /// through it when attached.
     pub dcache: Option<Cache>,
@@ -119,13 +109,14 @@ pub struct Machine {
     /// loaded value in the load shadow (validates `raw_load` clients).
     pub strict_load_delay: bool,
     load_shadow: Option<u8>,
+    trace: Option<crate::TraceSink>,
 }
 
 impl fmt::Debug for Machine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("mips::Machine")
             .field("mem_bytes", &self.mem.len())
-            .field("counts", &self.counts)
+            .field("stats", &self.stats)
             .finish()
     }
 }
@@ -144,48 +135,116 @@ impl Machine {
             mem: vec![0; mem_size],
             code_end: CODE_BASE,
             data_brk: (mem_size / 2) as u32,
-            counts: Counts::default(),
+            stats: ExecStats::default(),
             dcache: None,
             strict_load_delay: false,
             load_shadow: None,
+            trace: None,
         }
     }
 
     /// Loads machine code, returning its entry address. Multiple loads
     /// append (so generated functions can call one another by absolute
     /// address).
-    pub fn load_code(&mut self, code: &[u8]) -> u32 {
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] when the code does not fit in simulated
+    /// memory.
+    pub fn load_code(&mut self, code: &[u8]) -> Result<u32, MemError> {
         let at = (self.code_end as usize).div_ceil(8) * 8;
-        self.mem[at..at + code.len()].copy_from_slice(code);
-        self.code_end = (at + code.len()) as u32;
-        at as u32
+        let end = at
+            .checked_add(code.len())
+            .filter(|&e| e <= self.mem.len() && u32::try_from(e).is_ok())
+            .ok_or(MemError::OutOfRange {
+                addr: at as u64,
+                len: code.len(),
+                size: self.mem.len(),
+            })?;
+        self.mem[at..end].copy_from_slice(code);
+        self.code_end = end as u32;
+        Ok(at as u32)
     }
 
     /// Allocates `size` bytes of simulated data memory.
-    pub fn alloc(&mut self, size: usize, align: usize) -> u32 {
-        let at = (self.data_brk as usize).div_ceil(align.max(1)) * align.max(1);
-        self.data_brk = (at + size) as u32;
-        assert!(
-            (self.data_brk as usize) < self.mem.len() - 64 * 1024,
-            "sim heap exhausted"
-        );
-        at as u32
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfMemory`] when the request exhausts (or
+    /// arithmetically overflows) the simulated heap; 64 KiB are always
+    /// kept in reserve for the stack.
+    pub fn alloc(&mut self, size: usize, align: usize) -> Result<u32, MemError> {
+        let align = align.max(1);
+        let enomem = MemError::OutOfMemory {
+            requested: size,
+            align,
+        };
+        let at = (self.data_brk as usize)
+            .checked_next_multiple_of(align)
+            .ok_or(enomem)?;
+        let brk = at
+            .checked_add(size)
+            .filter(|&b| b < self.mem.len().saturating_sub(64 * 1024))
+            .ok_or(enomem)?;
+        self.data_brk = brk as u32;
+        Ok(at as u32)
     }
 
     /// Copies bytes into simulated memory.
-    pub fn write(&mut self, addr: u32, data: &[u8]) {
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] when the range falls outside memory.
+    pub fn write(&mut self, addr: u32, data: &[u8]) -> Result<(), MemError> {
+        host_range(&self.mem, u64::from(addr), data.len())?;
         self.mem[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
     }
 
     /// Reads bytes back out of simulated memory.
-    pub fn read(&self, addr: u32, len: usize) -> &[u8] {
-        &self.mem[addr as usize..addr as usize + len]
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] when the range falls outside memory.
+    pub fn read(&self, addr: u32, len: usize) -> Result<&[u8], MemError> {
+        host_range(&self.mem, u64::from(addr), len)?;
+        Ok(&self.mem[addr as usize..addr as usize + len])
     }
 
     /// Total cycles under the simple model: one per instruction plus
     /// data-cache stalls (when a cache is attached).
     pub fn cycles(&self) -> u64 {
-        self.counts.insns + self.dcache.as_ref().map_or(0, |c| c.stall_cycles())
+        self.stats.insns_retired + self.dcache.as_ref().map_or(0, |c| c.stall_cycles())
+    }
+
+    /// The unified execution counters: live instruction/branch/trap
+    /// tallies merged with the attached data cache's hit/miss/stall
+    /// totals, `cycles` = instructions retired + cache stalls.
+    pub fn stats(&self) -> ExecStats {
+        merge_stats(&self.stats, self.dcache.as_ref())
+    }
+
+    /// Resets every execution counter (and the cache counters, keeping
+    /// cache contents) — for measuring a region rather than a lifetime.
+    pub fn reset_stats(&mut self) {
+        self.stats = ExecStats::default();
+        if let Some(c) = &mut self.dcache {
+            c.hits = 0;
+            c.misses = 0;
+        }
+    }
+
+    /// Installs a per-instruction trace callback (the opt-in §6.2
+    /// debugger stand-in): before control transfers, each executed
+    /// instruction is streamed as disassembly plus the first register
+    /// delta it caused. Costs nothing when unset.
+    pub fn set_trace(&mut self, f: impl FnMut(&TraceRecord) + Send + 'static) {
+        self.trace = Some(Box::new(f));
+    }
+
+    /// Removes the trace callback.
+    pub fn clear_trace(&mut self) {
+        self.trace = None;
     }
 
     fn lw_mem(&mut self, addr: u32) -> Result<u32, Trap> {
@@ -209,9 +268,9 @@ impl Machine {
         Ok(())
     }
 
-    fn touch(&mut self, addr: u32) {
+    fn touch(&mut self, addr: u32, len: u32) {
         if let Some(c) = &mut self.dcache {
-            c.access(addr as u64);
+            c.access_span(u64::from(addr), u64::from(len));
         }
     }
 
@@ -253,14 +312,31 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Any [`Trap`] raised during execution.
+    /// Any [`Trap`] raised during execution (also tallied in
+    /// [`stats`](Self::stats)).
     pub fn run(&mut self, entry: u32, max_steps: u64) -> Result<(), Trap> {
+        let mut tracer = self.trace.take();
+        let r = self.run_loop(entry, max_steps, tracer.as_mut());
+        self.trace = tracer;
+        if let Err(t) = &r {
+            self.stats.traps.record(vcode::Trap::from(t.clone()).kind);
+        }
+        r
+    }
+
+    fn run_loop(
+        &mut self,
+        entry: u32,
+        max_steps: u64,
+        mut tracer: Option<&mut crate::TraceSink>,
+    ) -> Result<(), Trap> {
         self.regs[31] = HALT;
         self.regs[29] = (self.mem.len() - 64) as u32; // stack top
         self.load_shadow = None;
         let mut pc = entry;
         let mut npc = entry.wrapping_add(4);
         let mut steps = 0u64;
+        let mut in_taken_slot = false;
         while pc != HALT {
             if steps >= max_steps {
                 return Err(Trap::StepLimit);
@@ -271,9 +347,29 @@ impl Machine {
             }
             let word =
                 u32::from_le_bytes(self.mem[pc as usize..pc as usize + 4].try_into().unwrap());
+            // A non-nop executing in the slot of a taken transfer is a
+            // filled delay slot (the §5.3 scheduling payoff).
+            if in_taken_slot && word != 0 {
+                self.stats.delay_slot_fills += 1;
+            }
             let next = npc;
             let mut nnext = npc.wrapping_add(4);
+            let before = tracer.as_ref().map(|_| self.regs);
             self.step(pc, word, npc, &mut nnext)?;
+            if let (Some(t), Some(before)) = (tracer.as_mut(), before) {
+                let delta = before
+                    .iter()
+                    .zip(self.regs.iter())
+                    .enumerate()
+                    .find(|(_, (o, n))| o != n)
+                    .map(|(i, (&o, &n))| (i as u8, u64::from(o), u64::from(n)));
+                t(&TraceRecord {
+                    pc: u64::from(pc),
+                    disasm: disasm(word),
+                    delta,
+                });
+            }
+            in_taken_slot = nnext != npc.wrapping_add(4);
             pc = next;
             npc = nnext;
         }
@@ -321,7 +417,7 @@ impl Machine {
 
     #[allow(clippy::too_many_lines)]
     fn step(&mut self, pc: u32, word: u32, npc: u32, nnext: &mut u32) -> Result<(), Trap> {
-        self.counts.insns += 1;
+        self.stats.insns_retired += 1;
         let op = (word >> 26) as u8;
         let rs = ((word >> 21) & 31) as u8;
         let rt = ((word >> 16) & 31) as u8;
@@ -348,11 +444,11 @@ impl Machine {
                     0x06 => self.set(rd, b.wrapping_shr(a & 31)),
                     0x07 => self.set(rd, ((b as i32).wrapping_shr(a & 31)) as u32),
                     0x08 => {
-                        self.counts.branches += 1;
+                        self.stats.branches += 1;
                         *nnext = a;
                     }
                     0x09 => {
-                        self.counts.branches += 1;
+                        self.stats.branches += 1;
                         self.set(rd, npc.wrapping_add(4));
                         *nnext = a;
                     }
@@ -396,7 +492,7 @@ impl Machine {
             0x01 => {
                 // REGIMM: bltz/bgez/bal
                 let a = self.get(pc, rs)? as i32;
-                self.counts.branches += 1;
+                self.stats.branches += 1;
                 let taken = match rt {
                     0x00 => a < 0,
                     0x01 => a >= 0,
@@ -414,7 +510,7 @@ impl Machine {
             0x04..=0x07 => {
                 let a = self.get(pc, rs)?;
                 let b = self.get(pc, rt)?;
-                self.counts.branches += 1;
+                self.stats.branches += 1;
                 let taken = match op {
                     0x04 => a == b,
                     0x05 => a != b,
@@ -454,8 +550,15 @@ impl Machine {
                 // Loads.
                 let base = self.get(pc, rs)?;
                 let addr = base.wrapping_add(simm as u32);
-                self.counts.loads += 1;
-                self.touch(addr);
+                self.stats.loads += 1;
+                self.touch(
+                    addr,
+                    match op {
+                        0x20 | 0x24 => 1,
+                        0x21 | 0x25 => 2,
+                        _ => 4,
+                    },
+                );
                 let v = match op {
                     0x20 => {
                         let b = *self.mem.get(addr as usize).ok_or(Trap::BadAccess(addr))?;
@@ -489,8 +592,8 @@ impl Machine {
                 let base = self.get(pc, rs)?;
                 let v = self.get(pc, rt)?;
                 let addr = base.wrapping_add(simm as u32);
-                self.counts.stores += 1;
-                self.touch(addr);
+                self.stats.stores += 1;
+                self.touch(addr, 1);
                 *self
                     .mem
                     .get_mut(addr as usize)
@@ -503,8 +606,8 @@ impl Machine {
                 if addr & 1 != 0 {
                     return Err(Trap::Unaligned(addr));
                 }
-                self.counts.stores += 1;
-                self.touch(addr);
+                self.stats.stores += 1;
+                self.touch(addr, 2);
                 self.mem
                     .get_mut(addr as usize..addr as usize + 2)
                     .ok_or(Trap::BadAccess(addr))?
@@ -514,24 +617,24 @@ impl Machine {
                 let base = self.get(pc, rs)?;
                 let v = self.get(pc, rt)?;
                 let addr = base.wrapping_add(simm as u32);
-                self.counts.stores += 1;
-                self.touch(addr);
+                self.stats.stores += 1;
+                self.touch(addr, 4);
                 self.sw_mem(addr, v)?;
             }
             0x31 => {
                 // lwc1
                 let base = self.get(pc, rs)?;
                 let addr = base.wrapping_add(simm as u32);
-                self.counts.loads += 1;
-                self.touch(addr);
+                self.stats.loads += 1;
+                self.touch(addr, 4);
                 self.fregs[rt as usize] = self.lw_mem(addr)?;
             }
             0x39 => {
                 // swc1
                 let base = self.get(pc, rs)?;
                 let addr = base.wrapping_add(simm as u32);
-                self.counts.stores += 1;
-                self.touch(addr);
+                self.stats.stores += 1;
+                self.touch(addr, 4);
                 self.sw_mem(addr, self.fregs[rt as usize])?;
             }
             0x11 => {
@@ -549,7 +652,7 @@ impl Machine {
                     }
                     0x08 => {
                         // bc1f/bc1t
-                        self.counts.branches += 1;
+                        self.stats.branches += 1;
                         let want = rt & 1 == 1;
                         if self.fcc == want {
                             *nnext = npc.wrapping_add((simm << 2) as u32);
@@ -762,9 +865,9 @@ mod tests {
     #[test]
     fn runs_hand_assembled_plus1() {
         let mut m = Machine::new(1 << 20);
-        let entry = m.load_code(&code_bytes(&PLUS1));
+        let entry = m.load_code(&code_bytes(&PLUS1)).unwrap();
         assert_eq!(m.call(entry, &[41], 100).unwrap(), 42);
-        assert_eq!(m.counts.insns, 4, "jr's delay slot nop executes");
+        assert_eq!(m.stats().insns_retired, 4, "jr's delay slot nop executes");
     }
 
     #[test]
@@ -779,7 +882,7 @@ mod tests {
             0x0000_0000,
         ];
         let mut m = Machine::new(1 << 20);
-        let entry = m.load_code(&code_bytes(&code));
+        let entry = m.load_code(&code_bytes(&code)).unwrap();
         assert_eq!(m.call(entry, &[], 100).unwrap(), 7);
     }
 
@@ -800,7 +903,7 @@ mod tests {
         // to insn2, and insn2's jr ra jumps to ra=insn2 — infinite loop.
         // Instead check the link register value directly.
         let mut m = Machine::new(1 << 20);
-        let entry = m.load_code(&code_bytes(&code));
+        let entry = m.load_code(&code_bytes(&code)).unwrap();
         let _ = m.run(entry, 20);
         assert_eq!(m.regs[31], entry + 8, "bal links to after its delay slot");
         assert_eq!(m.regs[2], 9, "fell through to the target block");
@@ -811,9 +914,9 @@ mod tests {
         // lw v0, 0(a0); nop; jr ra; nop
         let code = [0x8c82_0000u32, 0, 0x03e0_0008, 0];
         let mut m = Machine::new(1 << 20);
-        let entry = m.load_code(&code_bytes(&code));
-        let addr = m.alloc(8, 8);
-        m.write(addr, &0xdead_beefu32.to_le_bytes());
+        let entry = m.load_code(&code_bytes(&code)).unwrap();
+        let addr = m.alloc(8, 8).unwrap();
+        m.write(addr, &0xdead_beefu32.to_le_bytes()).unwrap();
         assert_eq!(m.call(entry, &[addr], 100).unwrap(), 0xdead_beef);
         // Unaligned.
         assert_eq!(
@@ -833,15 +936,15 @@ mod tests {
         let code = [0x8c82_0000u32, 0x0042_1021, 0x03e0_0008, 0];
         let mut m = Machine::new(1 << 20);
         m.strict_load_delay = true;
-        let entry = m.load_code(&code_bytes(&code));
-        let addr = m.alloc(8, 8);
+        let entry = m.load_code(&code_bytes(&code)).unwrap();
+        let addr = m.alloc(8, 8).unwrap();
         assert!(matches!(
             m.call(entry, &[addr], 100),
             Err(Trap::LoadDelayViolation { .. })
         ));
         // With a nop between, fine.
         let code = [0x8c82_0000u32, 0, 0x0042_1021, 0x03e0_0008, 0];
-        let entry = m.load_code(&code_bytes(&code));
+        let entry = m.load_code(&code_bytes(&code)).unwrap();
         assert_eq!(m.call(entry, &[addr], 100).unwrap(), 0);
     }
 
@@ -850,7 +953,7 @@ mod tests {
         // beq $0,$0,-1: infinite loop.
         let code = [0x1000_ffffu32, 0];
         let mut m = Machine::new(1 << 20);
-        let entry = m.load_code(&code_bytes(&code));
+        let entry = m.load_code(&code_bytes(&code)).unwrap();
         assert_eq!(m.call(entry, &[], 1000), Err(Trap::StepLimit));
     }
 
@@ -858,7 +961,7 @@ mod tests {
     fn bad_instruction_traps() {
         let code = [0xffff_ffffu32];
         let mut m = Machine::new(1 << 20);
-        let entry = m.load_code(&code_bytes(&code));
+        let entry = m.load_code(&code_bytes(&code)).unwrap();
         assert!(matches!(m.call(entry, &[], 10), Err(Trap::BadInsn { .. })));
     }
 
@@ -875,13 +978,99 @@ mod tests {
         let code = [0x8c82_0000u32, 0, 0x03e0_0008, 0];
         let mut m = Machine::new(1 << 20);
         m.dcache = Some(Cache::new(1024, 16, 10));
-        let entry = m.load_code(&code_bytes(&code));
-        let addr = m.alloc(8, 16);
+        let entry = m.load_code(&code_bytes(&code)).unwrap();
+        let addr = m.alloc(8, 16).unwrap();
         m.call(entry, &[addr], 100).unwrap();
         assert_eq!(m.dcache.as_ref().unwrap().misses, 1);
         m.call(entry, &[addr], 100).unwrap();
         assert_eq!(m.dcache.as_ref().unwrap().hits, 1);
-        let base = m.counts.insns;
+        let base = m.stats().insns_retired;
         assert_eq!(m.cycles(), base + 10);
+        let s = m.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
+        assert_eq!(s.cycles, m.cycles());
+        assert_eq!(s.cache_stall_cycles, 10);
+    }
+
+    #[test]
+    fn host_memory_apis_return_typed_errors() {
+        let mut m = Machine::new(1 << 20);
+        // Out-of-range write/read.
+        assert!(matches!(
+            m.write(u32::MAX - 3, &[1, 2, 3, 4]),
+            Err(MemError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.read(1 << 20, 1),
+            Err(MemError::OutOfRange { .. })
+        ));
+        // Oversized code image.
+        let huge = vec![0u8; (1 << 20) + 1];
+        assert!(matches!(
+            m.load_code(&huge),
+            Err(MemError::OutOfRange { .. })
+        ));
+        // Heap exhaustion and `at + size` overflow are both typed.
+        assert!(matches!(
+            m.alloc(1 << 20, 8),
+            Err(MemError::OutOfMemory { .. })
+        ));
+        assert!(matches!(
+            m.alloc(usize::MAX - 4, 8),
+            Err(MemError::OutOfMemory { .. })
+        ));
+        // The machine is still usable afterwards.
+        let entry = m.load_code(&code_bytes(&PLUS1)).unwrap();
+        assert_eq!(m.call(entry, &[1], 100).unwrap(), 2);
+    }
+
+    #[test]
+    fn traps_are_tallied_in_stats() {
+        let code = [0x8c82_0000u32, 0, 0x03e0_0008, 0]; // lw v0, 0(a0)
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&code_bytes(&code)).unwrap();
+        assert!(m.call(entry, &[0xfff_fff0], 100).is_err());
+        assert!(m.call(entry, &[1], 100).is_err()); // unaligned
+        let s = m.stats();
+        assert_eq!(s.traps.count(vcode::TrapKind::BadAccess), 1);
+        assert_eq!(s.traps.count(vcode::TrapKind::Unaligned), 1);
+        assert_eq!(s.traps.total(), 2);
+    }
+
+    #[test]
+    fn trace_streams_disasm_and_register_deltas() {
+        use std::sync::{Arc, Mutex};
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&code_bytes(&PLUS1)).unwrap();
+        let log: Arc<Mutex<Vec<TraceRecord>>> = Arc::default();
+        let log2 = Arc::clone(&log);
+        m.set_trace(move |r| log2.lock().unwrap().push(r.clone()));
+        assert_eq!(m.call(entry, &[41], 100).unwrap(), 42);
+        m.clear_trace();
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 4, "one record per executed instruction");
+        assert_eq!(log[0].pc, u64::from(entry));
+        assert!(log[0].disasm.starts_with("addiu"));
+        // addiu $a0, $a0, 1 with a0 = 41: delta is (reg 4, 41 -> 42).
+        assert_eq!(log[0].delta, Some((4, 41, 42)));
+        assert!(log[3].disasm.contains("nop"));
+        assert_eq!(log[3].delta, None);
+    }
+
+    #[test]
+    fn taken_branch_slots_count_as_fills_when_useful() {
+        // beq $0,$0,+2 with a useful delay slot, then a jr with a nop
+        // slot: exactly one filled slot.
+        let code = [
+            0x1000_0002u32, // beq $0, $0, +2 (taken)
+            0x2402_0007,    // addiu v0, $0, 7 (useful fill)
+            0x2442_0064,    // skipped
+            0x03e0_0008,    // jr ra
+            0x0000_0000,    // nop slot: not a fill
+        ];
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&code_bytes(&code)).unwrap();
+        assert_eq!(m.call(entry, &[], 100).unwrap(), 7);
+        assert_eq!(m.stats().delay_slot_fills, 1);
     }
 }

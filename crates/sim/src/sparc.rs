@@ -5,25 +5,18 @@
 //! feeding 64/32 division, the FP condition flag with its
 //! one-instruction separation, and branch delay slots.
 
+use crate::{host_range, merge_stats, Cache, MemError};
 use std::fmt;
+use vcode::obs::{ExecStats, TraceRecord};
 
 /// Base address code is loaded at.
 pub const CODE_BASE: u32 = 0x0000_1000;
 /// Return sentinel (`jmpl %i7+8` with `%i7 = HALT - 8` stops the run).
 pub const HALT: u32 = 0xffff_fff0;
 
-/// Execution statistics.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct Counts {
-    /// Instructions executed.
-    pub insns: u64,
-    /// Loads.
-    pub loads: u64,
-    /// Stores.
-    pub stores: u64,
-    /// Branches/jumps.
-    pub branches: u64,
-}
+/// The SPARC `nop` encoding (`sethi 0, %g0`) — a delay slot holding
+/// anything else counts as filled.
+const NOP: u32 = 0x0100_0000;
 
 /// Abnormal stop.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,14 +98,17 @@ pub struct Machine {
     mem: Vec<u8>,
     code_end: u32,
     data_brk: u32,
-    /// Statistics.
-    pub counts: Counts,
+    stats: ExecStats,
+    /// Optional data-cache model; hits/misses/stalls fold into
+    /// [`stats`](Self::stats).
+    pub dcache: Option<Cache>,
+    trace: Option<crate::TraceSink>,
 }
 
 impl fmt::Debug for Machine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("sparc::Machine")
-            .field("counts", &self.counts)
+            .field("stats", &self.stats)
             .finish()
     }
 }
@@ -136,33 +132,119 @@ impl Machine {
             mem: vec![0; mem_size],
             code_end: CODE_BASE,
             data_brk: (mem_size / 2) as u32,
-            counts: Counts::default(),
+            stats: ExecStats::default(),
+            dcache: None,
+            trace: None,
         }
     }
 
     /// Loads code; returns the entry address.
-    pub fn load_code(&mut self, code: &[u8]) -> u32 {
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the image does not fit in simulated
+    /// memory.
+    pub fn load_code(&mut self, code: &[u8]) -> Result<u32, MemError> {
         let at = (self.code_end as usize).div_ceil(8) * 8;
-        self.mem[at..at + code.len()].copy_from_slice(code);
-        self.code_end = (at + code.len()) as u32;
-        at as u32
+        let end = at
+            .checked_add(code.len())
+            .filter(|&e| e <= self.mem.len() && u32::try_from(e).is_ok())
+            .ok_or(MemError::OutOfRange {
+                addr: at as u64,
+                len: code.len(),
+                size: self.mem.len(),
+            })?;
+        self.mem[at..end].copy_from_slice(code);
+        self.code_end = end as u32;
+        Ok(at as u32)
     }
 
     /// Allocates simulated data memory.
-    pub fn alloc(&mut self, size: usize, align: usize) -> u32 {
-        let at = (self.data_brk as usize).div_ceil(align.max(1)) * align.max(1);
-        self.data_brk = (at + size) as u32;
-        at as u32
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfMemory`] when the request exhausts (or
+    /// arithmetically overflows) the heap region.
+    pub fn alloc(&mut self, size: usize, align: usize) -> Result<u32, MemError> {
+        let align = align.max(1);
+        let enomem = MemError::OutOfMemory {
+            requested: size,
+            align,
+        };
+        let at = (self.data_brk as usize)
+            .checked_next_multiple_of(align)
+            .ok_or(enomem)?;
+        let brk = at
+            .checked_add(size)
+            .filter(|&b| b < self.mem.len().saturating_sub(64 * 1024))
+            .ok_or(enomem)?;
+        self.data_brk = brk as u32;
+        Ok(at as u32)
     }
 
     /// Writes bytes into simulated memory.
-    pub fn write(&mut self, addr: u32, data: &[u8]) {
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the range is out of bounds.
+    pub fn write(&mut self, addr: u32, data: &[u8]) -> Result<(), MemError> {
+        host_range(&self.mem, u64::from(addr), data.len())?;
         self.mem[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
     }
 
     /// Reads bytes back.
-    pub fn read(&self, addr: u32, len: usize) -> &[u8] {
-        &self.mem[addr as usize..addr as usize + len]
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the range is out of bounds.
+    pub fn read(&self, addr: u32, len: usize) -> Result<&[u8], MemError> {
+        host_range(&self.mem, u64::from(addr), len)?;
+        Ok(&self.mem[addr as usize..addr as usize + len])
+    }
+
+    /// Unified execution statistics (shared across all three simulators).
+    pub fn stats(&self) -> ExecStats {
+        merge_stats(&self.stats, self.dcache.as_ref())
+    }
+
+    /// Total simulated cycles: one per retired instruction plus cache
+    /// stalls.
+    pub fn cycles(&self) -> u64 {
+        self.stats().cycles
+    }
+
+    /// Zeroes all execution counters (including cache hit/miss totals).
+    pub fn reset_stats(&mut self) {
+        self.stats = ExecStats::default();
+        if let Some(c) = &mut self.dcache {
+            c.hits = 0;
+            c.misses = 0;
+        }
+    }
+
+    /// Installs a per-instruction trace callback (the §6.2 debugger
+    /// stand-in): each executed instruction streams a
+    /// [`TraceRecord`] with its disassembly and first register delta.
+    pub fn set_trace(&mut self, f: impl FnMut(&TraceRecord) + Send + 'static) {
+        self.trace = Some(Box::new(f));
+    }
+
+    /// Removes the trace callback.
+    pub fn clear_trace(&mut self) {
+        self.trace = None;
+    }
+
+    fn touch(&mut self, addr: u32, len: u32) {
+        if let Some(c) = &mut self.dcache {
+            c.access_span(u64::from(addr), u64::from(len));
+        }
+    }
+
+    /// Current-window view of the 32 integer registers (`%g`, `%o`,
+    /// `%l`, `%i`), as the executing instruction names them.
+    fn reg_snapshot(&self) -> [u32; 32] {
+        std::array::from_fn(|i| self.get(i as u8))
     }
 
     fn get(&self, r: u8) -> u32 {
@@ -237,14 +319,31 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Any [`Trap`].
+    /// Any [`Trap`] raised during execution (also tallied in
+    /// [`stats`](Self::stats)).
     pub fn run(&mut self, entry: u32, max_steps: u64) -> Result<(), Trap> {
+        let mut tracer = self.trace.take();
+        let r = self.run_loop(entry, max_steps, tracer.as_mut());
+        self.trace = tracer;
+        if let Err(t) = &r {
+            self.stats.traps.record(vcode::Trap::from(t.clone()).kind);
+        }
+        r
+    }
+
+    fn run_loop(
+        &mut self,
+        entry: u32,
+        max_steps: u64,
+        mut tracer: Option<&mut crate::TraceSink>,
+    ) -> Result<(), Trap> {
         // %o7 = HALT - 8 so the callee's `ret` (jmpl %i7+8) lands on HALT.
         self.outs[self.p][7] = HALT.wrapping_sub(8);
         self.outs[self.p][6] = (self.mem.len() - 256) as u32; // %sp
         let mut pc = entry;
         let mut npc = entry.wrapping_add(4);
         let mut steps = 0u64;
+        let mut in_taken_slot = false;
         while pc != HALT {
             if steps >= max_steps {
                 return Err(Trap::StepLimit);
@@ -255,9 +354,28 @@ impl Machine {
             }
             let word =
                 u32::from_le_bytes(self.mem[pc as usize..pc as usize + 4].try_into().unwrap());
+            if in_taken_slot && word != NOP {
+                self.stats.delay_slot_fills += 1;
+            }
             let next = npc;
             let mut nnext = npc.wrapping_add(4);
+            let before = tracer.as_ref().map(|_| self.reg_snapshot());
             self.step(pc, word, npc, &mut nnext)?;
+            if let (Some(t), Some(before)) = (tracer.as_mut(), before) {
+                let after = self.reg_snapshot();
+                let delta = before
+                    .iter()
+                    .zip(after.iter())
+                    .enumerate()
+                    .find(|(_, (o, n))| o != n)
+                    .map(|(i, (&o, &n))| (i as u8, u64::from(o), u64::from(n)));
+                t(&TraceRecord {
+                    pc: u64::from(pc),
+                    disasm: disasm(word),
+                    delta,
+                });
+            }
+            in_taken_slot = nnext != npc.wrapping_add(4);
             pc = next;
             npc = nnext;
         }
@@ -334,7 +452,7 @@ impl Machine {
 
     #[allow(clippy::too_many_lines)]
     fn step(&mut self, pc: u32, word: u32, npc: u32, nnext: &mut u32) -> Result<(), Trap> {
-        self.counts.insns += 1;
+        self.stats.insns_retired += 1;
         let op = word >> 30;
         let rd = ((word >> 25) & 31) as u8;
         let bad = || Trap::BadInsn { pc, word };
@@ -345,7 +463,7 @@ impl Machine {
                 match op2 {
                     4 => self.set(rd, (word & 0x3f_ffff) << 10),
                     2 | 6 => {
-                        self.counts.branches += 1;
+                        self.stats.branches += 1;
                         let cond = ((word >> 25) & 0xf) as u8;
                         let taken = if op2 == 2 {
                             self.icc_taken(cond)
@@ -362,7 +480,7 @@ impl Machine {
             }
             1 => {
                 // call disp30.
-                self.counts.branches += 1;
+                self.stats.branches += 1;
                 self.set(15, pc); // %o7
                 let disp = (word as i32) << 2 >> 2;
                 *nnext = pc.wrapping_add((disp << 2) as u32);
@@ -451,7 +569,7 @@ impl Machine {
                     }
                     0x38 => {
                         // jmpl: rd = pc, jump to rs1 + operand2.
-                        self.counts.branches += 1;
+                        self.stats.branches += 1;
                         let target = a.wrapping_add(operand2);
                         self.set(rd, pc);
                         *nnext = target;
@@ -485,12 +603,14 @@ impl Machine {
                 let addr = self.mem_addr(rs1, word);
                 match op3 {
                     0x00 => {
-                        self.counts.loads += 1;
+                        self.stats.loads += 1;
+                        self.touch(addr, 4);
                         let v = self.ld32(addr)?;
                         self.set(rd, v);
                     }
                     0x01 | 0x09 => {
-                        self.counts.loads += 1;
+                        self.stats.loads += 1;
+                        self.touch(addr, 1);
                         let b = *self.mem.get(addr as usize).ok_or(Trap::BadAccess(addr))?;
                         let v = if op3 == 0x09 {
                             b as i8 as i32 as u32
@@ -500,7 +620,8 @@ impl Machine {
                         self.set(rd, v);
                     }
                     0x02 | 0x0a => {
-                        self.counts.loads += 1;
+                        self.stats.loads += 1;
+                        self.touch(addr, 2);
                         if addr & 1 != 0 {
                             return Err(Trap::Unaligned(addr));
                         }
@@ -517,12 +638,14 @@ impl Machine {
                         self.set(rd, v);
                     }
                     0x04 => {
-                        self.counts.stores += 1;
+                        self.stats.stores += 1;
+                        self.touch(addr, 4);
                         let v = self.get(rd);
                         self.st32(addr, v)?;
                     }
                     0x05 => {
-                        self.counts.stores += 1;
+                        self.stats.stores += 1;
+                        self.touch(addr, 1);
                         let v = self.get(rd);
                         *self
                             .mem
@@ -530,7 +653,8 @@ impl Machine {
                             .ok_or(Trap::BadAccess(addr))? = v as u8;
                     }
                     0x06 => {
-                        self.counts.stores += 1;
+                        self.stats.stores += 1;
+                        self.touch(addr, 2);
                         if addr & 1 != 0 {
                             return Err(Trap::Unaligned(addr));
                         }
@@ -541,11 +665,13 @@ impl Machine {
                             .copy_from_slice(&(v as u16).to_le_bytes());
                     }
                     0x20 => {
-                        self.counts.loads += 1;
+                        self.stats.loads += 1;
+                        self.touch(addr, 4);
                         self.fregs[rd as usize] = self.ld32(addr)?;
                     }
                     0x24 => {
-                        self.counts.stores += 1;
+                        self.stats.stores += 1;
+                        self.touch(addr, 4);
                         let v = self.fregs[rd as usize];
                         self.st32(addr, v)?;
                     }
@@ -761,9 +887,89 @@ mod tests {
     #[test]
     fn windows_and_return() {
         let mut m = Machine::new(1 << 20);
-        let entry = m.load_code(&plus1_code());
+        let entry = m.load_code(&plus1_code()).unwrap();
         assert_eq!(m.call(entry, &[41], 100).unwrap(), 42);
-        assert_eq!(m.counts.insns, 4);
+        assert_eq!(m.stats().insns_retired, 4);
+    }
+
+    #[test]
+    fn host_memory_apis_return_typed_errors() {
+        let mut m = Machine::new(1 << 20);
+        assert!(matches!(
+            m.write(u32::MAX - 3, &[1, 2, 3, 4]),
+            Err(MemError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.read(1 << 20, 1),
+            Err(MemError::OutOfRange { .. })
+        ));
+        let huge = vec![0u8; (1 << 20) + 1];
+        assert!(matches!(
+            m.load_code(&huge),
+            Err(MemError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.alloc(1 << 20, 8),
+            Err(MemError::OutOfMemory { .. })
+        ));
+        assert!(matches!(
+            m.alloc(usize::MAX - 4, 8),
+            Err(MemError::OutOfMemory { .. })
+        ));
+        let entry = m.load_code(&plus1_code()).unwrap();
+        assert_eq!(m.call(entry, &[1], 100).unwrap(), 2);
+    }
+
+    #[test]
+    fn stats_trace_and_delay_slot_fills() {
+        use std::sync::{Arc, Mutex};
+        let mut m = Machine::new(1 << 20);
+        let entry = m.load_code(&plus1_code()).unwrap();
+        let log: Arc<Mutex<Vec<TraceRecord>>> = Arc::default();
+        let log2 = Arc::clone(&log);
+        m.set_trace(move |r| log2.lock().unwrap().push(r.clone()));
+        assert_eq!(m.call(entry, &[41], 100).unwrap(), 42);
+        m.clear_trace();
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log[0].pc, u64::from(entry));
+        assert!(log[0].disasm.starts_with("save"));
+        assert!(log[1].disasm.starts_with("add"));
+        // add %i0, 1, %i0 with %i0 = 41: register 24, 41 -> 42.
+        assert_eq!(log[1].delta, Some((24, 41, 42)));
+        // The `restore` in jmpl's delay slot is a useful fill.
+        assert_eq!(m.stats().delay_slot_fills, 1);
+        // Trap tallies: run from a PC outside the code.
+        assert!(m.run(0, 10).is_err());
+        assert_eq!(m.stats().traps.count(vcode::TrapKind::BadPc), 1);
+    }
+
+    #[test]
+    fn dcache_folds_into_stats() {
+        // ld [%i0+0], %i0 ; ret ; restore  (load arg, return it)
+        let words = [
+            (2u32 << 30)
+                | (14 << 25)
+                | (0x3c << 19)
+                | (14 << 14)
+                | (1 << 13)
+                | ((-96i32 as u32) & 0x1fff),
+            (3 << 30) | (24 << 25) | (24 << 14) | (1 << 13), // ld [%i0+0],%i0
+            (2 << 30) | (0x38 << 19) | (31 << 14) | (1 << 13) | 8,
+            (2 << 30) | (0x3d << 19),
+        ];
+        let code: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let mut m = Machine::new(1 << 20);
+        m.dcache = Some(Cache::new(1024, 16, 10));
+        let entry = m.load_code(&code).unwrap();
+        let addr = m.alloc(8, 8).unwrap();
+        m.write(addr, &7u32.to_le_bytes()).unwrap();
+        assert_eq!(m.call(entry, &[addr], 100).unwrap(), 7);
+        assert_eq!(m.call(entry, &[addr], 100).unwrap(), 7);
+        let s = m.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
+        assert_eq!(s.cycles, s.insns_retired + 10);
+        assert_eq!(s.loads, 2);
     }
 
     #[test]
@@ -794,7 +1000,7 @@ mod tests {
         words[2] = (2 << 22) | (3 << 25) | 5;
         let code: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
         let mut m = Machine::new(1 << 20);
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         assert_eq!(m.call(entry, &[1, 2], 100).unwrap(), 1, "1 < 2");
         assert_eq!(m.call(entry, &[2, 1], 100).unwrap(), 0, "2 >= 1");
         assert_eq!(
@@ -824,7 +1030,7 @@ mod tests {
         ];
         let code: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
         let mut m = Machine::new(1 << 20);
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         assert_eq!(m.run(entry, 100_000), Err(Trap::WindowOverflow));
     }
 }

@@ -38,7 +38,7 @@ fn figure1_plus1() {
         a.reti(x);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     assert_eq!(m.call(entry, &[41], STEPS).unwrap(), 42);
     assert_eq!(
         m.call(entry, &[i64::from(i32::MAX) as u64], STEPS).unwrap() as i64,
@@ -63,7 +63,7 @@ fn regression_binops_64bit_machine() {
             Alpha::emit_binop(a.raw(), c.op, c.ty, d, x, y);
             ret_typed(a, c.ty, d);
         });
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         let got = m.call(entry, &[c.a, c.b], STEPS).unwrap();
         assert_eq!(
             regress::canon(c.ty, got, 64),
@@ -94,7 +94,7 @@ fn regression_binop_immediates() {
             Alpha::emit_binop_imm(a.raw(), c.op, c.ty, d, x, c.b as i64);
             ret_typed(a, c.ty, d);
         });
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         let got = m.call(entry, &[c.a], STEPS).unwrap();
         assert_eq!(
             regress::canon(c.ty, got, 64),
@@ -121,7 +121,7 @@ fn regression_unops() {
             Alpha::emit_unop(a.raw(), c.op, c.ty, d, x);
             ret_typed(a, c.ty, d);
         });
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         let got = m.call(entry, &[c.a], STEPS).unwrap();
         assert_eq!(
             regress::canon(c.ty, got, 64),
@@ -154,7 +154,7 @@ fn regression_branches() {
             a.seti(r, 1);
             a.reti(r);
         });
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         let got = m.call(entry, &[c.a, c.b], STEPS).unwrap();
         assert_eq!(
             got != 0,
@@ -188,17 +188,18 @@ fn synthesized_byte_and_halfword_memory() {
         a.retv();
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
-    let src = m.alloc(16, 8);
-    let dst = m.alloc(24, 8);
-    m.write(src, &[0x11, 0x92, 0x83, 0xf4, 0xbe, 0xef, 0x77, 0x08]);
+    let entry = m.load_code(&code).unwrap();
+    let src = m.alloc(16, 8).unwrap();
+    let dst = m.alloc(24, 8).unwrap();
+    m.write(src, &[0x11, 0x92, 0x83, 0xf4, 0xbe, 0xef, 0x77, 0x08])
+        .unwrap();
     m.call(entry, &[src, dst], STEPS).unwrap();
-    assert_eq!(m.read(dst, 8), m.read(src, 8));
-    let w = i32::from_le_bytes(m.read(dst + 8, 4).try_into().unwrap());
+    assert_eq!(m.read(dst, 8).unwrap(), m.read(src, 8).unwrap());
+    let w = i32::from_le_bytes(m.read(dst + 8, 4).unwrap().try_into().unwrap());
     assert_eq!(w, 0xf4u8 as i8 as i32, "signed byte");
-    let h = i32::from_le_bytes(m.read(dst + 12, 4).try_into().unwrap());
+    let h = i32::from_le_bytes(m.read(dst + 12, 4).unwrap().try_into().unwrap());
     assert_eq!(h, 0xf483u16 as i16 as i32, "signed halfword");
-    let uh = u32::from_le_bytes(m.read(dst + 16, 4).try_into().unwrap());
+    let uh = u32::from_le_bytes(m.read(dst + 16, 4).unwrap().try_into().unwrap());
     assert_eq!(uh, 0xefbe, "unsigned halfword");
 }
 
@@ -217,11 +218,11 @@ fn division_through_runtime_support() {
             a.addl(q, q, r);
             a.retl(q);
         });
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         let got = m.call(entry, &[x as u64, y as u64], STEPS).unwrap() as i64;
         assert_eq!(got, (x / y) * 1000 + x % y, "{x} / {y}");
     }
-    assert!(m.counts.div_calls >= 10);
+    assert!(m.div_calls >= 10);
 }
 
 #[test]
@@ -237,7 +238,7 @@ fn leaf_functions_stay_leaves_despite_division() {
         a.reti(x);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     assert_eq!(m.call(entry, &[100, 5, 7], STEPS).unwrap(), 27);
 }
 
@@ -251,7 +252,7 @@ fn doubles_and_conversions() {
         a.retd(t);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     assert_eq!(m.call_f64(entry, &[3.0, 4.0], STEPS).unwrap(), 15.0);
 
     let code = generate("%l", Leaf::Yes, |a| {
@@ -265,7 +266,7 @@ fn doubles_and_conversions() {
         a.cvd2l(r, f);
         a.retl(r);
     });
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     assert_eq!(m.call(entry, &[10], STEPS).unwrap(), 5);
     assert_eq!(m.call(entry, &[(-9i64) as u64], STEPS).unwrap() as i64, -4);
 }
@@ -284,7 +285,7 @@ fn float_branches() {
         a.reti(r);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     m.fregs[16] = 1.0f64.to_bits();
     m.fregs[17] = 2.0f64.to_bits();
     m.run(entry, STEPS).unwrap();
@@ -304,7 +305,7 @@ fn calls_and_persistence() {
         }
         a.retv();
     });
-    let clobber_entry = m.load_code(&clobber);
+    let clobber_entry = m.load_code(&clobber).unwrap();
     let caller = generate("%l", Leaf::No, |a| {
         let x = a.arg(0);
         let keep = a.getreg(RegClass::Persistent).unwrap();
@@ -314,7 +315,7 @@ fn calls_and_persistence() {
         a.call_end(cf, JumpTarget::Abs(clobber_entry), None);
         a.retl(keep);
     });
-    let entry = m.load_code(&caller);
+    let entry = m.load_code(&caller).unwrap();
     assert_eq!(
         m.call(entry, &[0xfeed_beef_cafe], STEPS).unwrap(),
         0xfeed_beef_cafe
@@ -332,7 +333,7 @@ fn marshaled_call_with_mixed_args() {
         a.addl(t, t, y);
         a.retl(t);
     });
-    let callee_entry = m.load_code(&callee);
+    let callee_entry = m.load_code(&callee).unwrap();
     let caller = generate("%l", Leaf::No, |a| {
         let x = a.arg(0);
         let d = a.getreg_f(RegClass::Temp).unwrap();
@@ -348,7 +349,7 @@ fn marshaled_call_with_mixed_args() {
         a.call_end(cf, JumpTarget::Abs(callee_entry), Some(r));
         a.retl(r);
     });
-    let entry = m.load_code(&caller);
+    let entry = m.load_code(&caller).unwrap();
     assert_eq!(m.call(entry, &[5], STEPS).unwrap(), 115);
 }
 
@@ -373,7 +374,7 @@ fn loops_and_large_immediates() {
         a.retl(sum);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     assert_eq!(
         m.call(entry, &[100], STEPS).unwrap(),
         4950u64.wrapping_add(0x1234_5678_9abc_def0)
@@ -392,7 +393,7 @@ fn float_constants_and_single_precision() {
         a.retf(t);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     m.fregs[16] = f64::from(3.0f32).to_bits();
     m.fregs[17] = f64::from(4.0f32).to_bits();
     m.run(entry, STEPS).unwrap();

@@ -40,7 +40,7 @@ fn figure1_plus1_runs_in_simulation() {
     });
     let mut m = Machine::new(1 << 20);
     m.strict_load_delay = true;
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     assert_eq!(m.call(entry, &[41], STEPS).unwrap(), 42);
     assert_eq!(m.call(entry, &[u32::MAX], STEPS).unwrap(), 0);
 }
@@ -58,7 +58,7 @@ fn regression_binops() {
                 Mips::emit_binop(a.raw(), c.op, c.ty, x, x, y);
                 ret_typed(a, c.ty, x);
             });
-            (m.load_code(&code), c)
+            (m.load_code(&code).unwrap(), c)
         })
         .collect();
     for (entry, c) in entries {
@@ -90,7 +90,7 @@ fn regression_binop_immediates() {
             Mips::emit_binop_imm(a.raw(), c.op, c.ty, d, x, c.b as i32 as i64);
             ret_typed(a, c.ty, d);
         });
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         let got = m.call(entry, &[c.a as u32], STEPS).unwrap();
         assert_eq!(
             regress::canon(c.ty, got as u64, 32),
@@ -116,7 +116,7 @@ fn regression_unops() {
             Mips::emit_unop(a.raw(), c.op, c.ty, d, x);
             ret_typed(a, c.ty, d);
         });
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         let got = m.call(entry, &[c.a as u32], STEPS).unwrap();
         assert_eq!(
             regress::canon(c.ty, got as u64, 32),
@@ -146,7 +146,7 @@ fn regression_branches() {
             a.seti(r, 1);
             a.reti(r);
         });
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         let got = m.call(entry, &[c.a as u32, c.b as u32], STEPS).unwrap();
         assert_eq!(
             got != 0,
@@ -186,7 +186,7 @@ fn regression_branch_immediates_including_zero_specials() {
                         a.seti(r, 1);
                         a.reti(r);
                     });
-                    let entry = m.load_code(&code);
+                    let entry = m.load_code(&code).unwrap();
                     let got = m.call(entry, &[aval], STEPS).unwrap();
                     let expect = regress::eval_cond(
                         cond,
@@ -226,14 +226,17 @@ fn memory_all_widths_in_simulation() {
     });
     let mut m = Machine::new(1 << 20);
     m.strict_load_delay = true;
-    let entry = m.load_code(&code);
-    let src = m.alloc(16, 8);
-    let dst = m.alloc(16, 8);
+    let entry = m.load_code(&code).unwrap();
+    let src = m.alloc(16, 8).unwrap();
+    let dst = m.alloc(16, 8).unwrap();
     let data: Vec<u8> = (0..16).map(|i| 0xf0u8.wrapping_add(i)).collect();
-    m.write(src, &data);
+    m.write(src, &data).unwrap();
     m.call(entry, &[src, dst], STEPS).unwrap();
-    assert_eq!(m.read(dst, 6), m.read(src, 6));
-    assert_eq!(m.read(dst, 12)[8..12], m.read(src, 12)[8..12]);
+    assert_eq!(m.read(dst, 6).unwrap(), m.read(src, 6).unwrap());
+    assert_eq!(
+        m.read(dst, 12).unwrap()[8..12],
+        m.read(src, 12).unwrap()[8..12]
+    );
 }
 
 #[test]
@@ -255,10 +258,13 @@ fn sum_loop_and_counts() {
         a.reti(sum);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     assert_eq!(m.call(entry, &[100], STEPS).unwrap(), 4950);
-    assert!(m.counts.insns > 600, "loop body executed 100 times");
-    assert!(m.counts.branches >= 200);
+    assert!(
+        m.stats().insns_retired > 600,
+        "loop body executed 100 times"
+    );
+    assert!(m.stats().branches >= 200);
 }
 
 #[test]
@@ -272,7 +278,7 @@ fn scheduled_delay_slots_run_correctly() {
         a.reti(n);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     // The delay-slot decrement executes even on the final, not-taken
     // iteration, so the loop exits with n == -1... unless the branch is
     // checked before the decrement. Semantics: bgt tests n, the slot
@@ -291,7 +297,7 @@ fn double_precision_arithmetic_in_simulation() {
         a.retd(t);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     assert_eq!(m.call_f64(entry, &[3.0, 4.0], STEPS).unwrap(), 15.0);
     assert_eq!(m.call_f64(entry, &[-1.5, 2.0], STEPS).unwrap(), -4.5);
 }
@@ -311,7 +317,7 @@ fn double_constants_and_conversions() {
     });
     let mut m = Machine::new(1 << 20);
     m.strict_load_delay = true;
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     assert_eq!(m.call(entry, &[10], STEPS).unwrap(), 5);
     assert_eq!(m.call(entry, &[(-9i32) as u32], STEPS).unwrap() as i32, -4);
 }
@@ -325,7 +331,7 @@ fn unsigned_to_double_adjusts_high_bit() {
         a.retd(f);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     m.regs[4] = 0xffff_ffff;
     m.run(entry, STEPS).unwrap();
     let got = f64::from_bits((m.fregs[0] as u64) | ((m.fregs[1] as u64) << 32));
@@ -350,7 +356,7 @@ fn float_branches_in_simulation() {
         a.reti(r);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     m.fregs[12] = 0;
     m.fregs[13] = 0x3ff0_0000; // 1.0
     m.fregs[14] = 0;
@@ -368,7 +374,7 @@ fn generated_function_calls_another_generated_function() {
         a.addi(x, x, x);
         a.reti(x);
     });
-    let callee_entry = m.load_code(&callee);
+    let callee_entry = m.load_code(&callee).unwrap();
     // Caller: calls callee twice via the marshaling interface.
     let caller = generate("%i", Leaf::No, |a| {
         let x = a.arg(0);
@@ -382,7 +388,7 @@ fn generated_function_calls_another_generated_function() {
         a.call_end(cf, JumpTarget::Abs(callee_entry as u64), Some(r));
         a.reti(r);
     });
-    let caller_entry = m.load_code(&caller);
+    let caller_entry = m.load_code(&caller).unwrap();
     assert_eq!(m.call(caller_entry, &[5], STEPS).unwrap(), 20);
 }
 
@@ -396,7 +402,7 @@ fn persistent_registers_across_simulated_calls() {
         }
         a.retv();
     });
-    let clobber_entry = m.load_code(&clobber);
+    let clobber_entry = m.load_code(&clobber).unwrap();
     let caller = generate("%i", Leaf::No, |a| {
         let x = a.arg(0);
         let keep = a.getreg(RegClass::Persistent).unwrap();
@@ -406,7 +412,7 @@ fn persistent_registers_across_simulated_calls() {
         a.call_end(cf, JumpTarget::Abs(clobber_entry as u64), None);
         a.reti(keep);
     });
-    let entry = m.load_code(&caller);
+    let entry = m.load_code(&caller).unwrap();
     assert_eq!(m.call(entry, &[1234], STEPS).unwrap(), 1234);
 }
 
@@ -423,9 +429,9 @@ fn strict_mode_accepts_all_generated_loads() {
     });
     let mut m = Machine::new(1 << 20);
     m.strict_load_delay = true;
-    let entry = m.load_code(&code);
-    let addr = m.alloc(8, 8);
-    m.write(addr, &41u32.to_le_bytes());
+    let entry = m.load_code(&code).unwrap();
+    let addr = m.alloc(8, 8).unwrap();
+    m.write(addr, &41u32.to_le_bytes()).unwrap();
     assert_eq!(m.call(entry, &[addr], STEPS).unwrap(), 42);
 }
 
@@ -441,9 +447,9 @@ fn raw_load_with_too_small_distance_gets_nops() {
     });
     let mut m = Machine::new(1 << 20);
     m.strict_load_delay = true;
-    let entry = m.load_code(&code);
-    let addr = m.alloc(8, 8);
-    m.write(addr, &9u32.to_le_bytes());
+    let entry = m.load_code(&code).unwrap();
+    let addr = m.alloc(8, 8).unwrap();
+    m.write(addr, &9u32.to_le_bytes()).unwrap();
     assert_eq!(m.call(entry, &[addr], STEPS).unwrap(), 10);
 }
 
@@ -464,7 +470,7 @@ fn locals_and_frame_in_simulation() {
     });
     let mut m = Machine::new(1 << 20);
     m.strict_load_delay = true;
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     assert_eq!(m.call(entry, &[6, 7], STEPS).unwrap(), 42);
 }
 

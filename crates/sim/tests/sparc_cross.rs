@@ -37,7 +37,7 @@ fn figure1_plus1() {
         a.reti(x);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     assert_eq!(m.call(entry, &[41], STEPS).unwrap(), 42);
 }
 
@@ -52,7 +52,7 @@ fn regression_binops() {
             Sparc::emit_binop(a.raw(), c.op, c.ty, d, x, y);
             ret_typed(a, c.ty, d);
         });
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         let got = m.call(entry, &[c.a as u32, c.b as u32], STEPS).unwrap();
         assert_eq!(
             regress::canon(c.ty, u64::from(got), 32),
@@ -80,7 +80,7 @@ fn regression_binop_immediates() {
             Sparc::emit_binop_imm(a.raw(), c.op, c.ty, d, x, c.b as i32 as i64);
             ret_typed(a, c.ty, d);
         });
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         let got = m.call(entry, &[c.a as u32], STEPS).unwrap();
         assert_eq!(
             regress::canon(c.ty, u64::from(got), 32),
@@ -104,7 +104,7 @@ fn regression_unops() {
             Sparc::emit_unop(a.raw(), c.op, c.ty, d, x);
             ret_typed(a, c.ty, d);
         });
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         let got = m.call(entry, &[c.a as u32], STEPS).unwrap();
         assert_eq!(
             regress::canon(c.ty, u64::from(got), 32),
@@ -133,7 +133,7 @@ fn regression_branches() {
             a.seti(r, 1);
             a.reti(r);
         });
-        let entry = m.load_code(&code);
+        let entry = m.load_code(&code).unwrap();
         let got = m.call(entry, &[c.a as u32, c.b as u32], STEPS).unwrap();
         assert_eq!(
             got != 0,
@@ -170,10 +170,10 @@ fn memory_and_loop() {
         a.reti(sum);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
-    let addr = m.alloc(64, 8);
+    let entry = m.load_code(&code).unwrap();
+    let addr = m.alloc(64, 8).unwrap();
     for k in 0..10u32 {
-        m.write(addr + 4 * k, &(k * 3).to_le_bytes());
+        m.write(addr + 4 * k, &(k * 3).to_le_bytes()).unwrap();
     }
     assert_eq!(m.call(entry, &[addr, 10], STEPS).unwrap(), 135);
 }
@@ -194,12 +194,13 @@ fn subword_memory() {
         a.retv();
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
-    let src = m.alloc(8, 8);
-    let dst = m.alloc(8, 8);
-    m.write(src, &[0x80, 0xff, 0x12, 0x92, 0xbe, 0xef, 0, 0]);
+    let entry = m.load_code(&code).unwrap();
+    let src = m.alloc(8, 8).unwrap();
+    let dst = m.alloc(8, 8).unwrap();
+    m.write(src, &[0x80, 0xff, 0x12, 0x92, 0xbe, 0xef, 0, 0])
+        .unwrap();
     m.call(entry, &[src, dst], STEPS).unwrap();
-    assert_eq!(m.read(dst, 6), m.read(src, 6));
+    assert_eq!(m.read(dst, 6).unwrap(), m.read(src, 6).unwrap());
 }
 
 #[test]
@@ -212,7 +213,7 @@ fn doubles_and_conversions() {
         a.retd(t);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     assert_eq!(m.call_f64(entry, &[3.0, 4.0], STEPS).unwrap(), 15.0);
 
     let code = generate("%i", Leaf::Yes, |a| {
@@ -226,7 +227,7 @@ fn doubles_and_conversions() {
         a.cvd2i(r, f);
         a.reti(r);
     });
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     assert_eq!(m.call(entry, &[10], STEPS).unwrap(), 5);
     assert_eq!(m.call(entry, &[(-9i32) as u32], STEPS).unwrap() as i32, -4);
 }
@@ -245,12 +246,12 @@ fn float_branches() {
         a.reti(r);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     m.call_f64(entry, &[1.0, 2.0], STEPS).unwrap();
     // %i0 of the halted frame holds the int result.
     m.call(entry, &[], STEPS).unwrap(); // smoke: runs to completion
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     let b = v(&mut m, entry, 1.0, 2.0);
     assert_eq!(b, 1);
     let b = v(&mut m, entry, 2.0, 1.0);
@@ -276,7 +277,7 @@ fn generated_calls_and_window_persistence() {
         }
         a.retv();
     });
-    let clobber_entry = m.load_code(&clobber);
+    let clobber_entry = m.load_code(&clobber).unwrap();
     let caller = generate("%i", Leaf::No, |a| {
         let x = a.arg(0);
         // Window-local register: preserved with zero save cost.
@@ -288,7 +289,7 @@ fn generated_calls_and_window_persistence() {
         a.call_end(cf, JumpTarget::Abs(u64::from(clobber_entry)), None);
         a.reti(keep);
     });
-    let entry = m.load_code(&caller);
+    let entry = m.load_code(&caller).unwrap();
     assert_eq!(m.call(entry, &[777], STEPS).unwrap(), 777);
 }
 
@@ -300,7 +301,7 @@ fn marshaled_call_with_args() {
         a.muli(x, x, y);
         a.reti(x);
     });
-    let callee_entry = m.load_code(&callee);
+    let callee_entry = m.load_code(&callee).unwrap();
     let caller = generate("%i", Leaf::No, |a| {
         let x = a.arg(0);
         let sig = Sig::parse("%i%i:%i").unwrap();
@@ -314,7 +315,7 @@ fn marshaled_call_with_args() {
         a.addii(r, r, 1);
         a.reti(r);
     });
-    let entry = m.load_code(&caller);
+    let entry = m.load_code(&caller).unwrap();
     assert_eq!(m.call(entry, &[6], STEPS).unwrap(), 43);
 }
 
@@ -329,7 +330,7 @@ fn recursion_through_windows() {
     let entry_guess = {
         let probe = generate("%l", Leaf::Yes, |a| a.retv());
         let mut mprobe = Machine::new(1 << 20);
-        mprobe.load_code(&probe)
+        mprobe.load_code(&probe).unwrap()
     };
     let mut a = Assembler::<Sparc>::lambda(&mut mem, "%i", Leaf::No).unwrap();
     let n = a.arg(0);
@@ -352,7 +353,7 @@ fn recursion_through_windows() {
     a.reti(one);
     let fin = a.end().unwrap();
     mem.truncate(fin.len);
-    let entry = m.load_code(&mem);
+    let entry = m.load_code(&mem).unwrap();
     assert_eq!(entry, entry_guess, "deterministic load address");
     assert_eq!(m.call(entry, &[6], STEPS).unwrap(), 720);
     assert_eq!(m.call(entry, &[12], STEPS).unwrap(), 479001600);
@@ -367,7 +368,7 @@ fn sqrt_extension_native() {
         a.retd(x);
     });
     let mut m = Machine::new(1 << 20);
-    let entry = m.load_code(&code);
+    let entry = m.load_code(&code).unwrap();
     assert_eq!(m.call_f64(entry, &[9.0], STEPS).unwrap(), 3.0);
 }
 

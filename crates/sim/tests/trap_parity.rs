@@ -56,19 +56,19 @@ fn run_all(fault: Fault) -> [Trap; 3] {
         _ => 1_000_000,
     };
     let mut mips = vcode_sim::mips::Machine::new(MEM);
-    let e = mips.load_code(&gen::<vcode_mips::Mips>(fault));
+    let e = mips.load_code(&gen::<vcode_mips::Mips>(fault)).unwrap();
     let mt: Trap = mips
         .call(e, &[0], steps)
         .expect_err("mips must trap")
         .into();
     let mut sparc = vcode_sim::sparc::Machine::new(MEM);
-    let e = sparc.load_code(&gen::<vcode_sparc::Sparc>(fault));
+    let e = sparc.load_code(&gen::<vcode_sparc::Sparc>(fault)).unwrap();
     let st: Trap = sparc
         .call(e, &[0], steps)
         .expect_err("sparc must trap")
         .into();
     let mut alpha = vcode_sim::alpha::Machine::new(MEM);
-    let e = alpha.load_code(&gen::<vcode_alpha::Alpha>(fault));
+    let e = alpha.load_code(&gen::<vcode_alpha::Alpha>(fault)).unwrap();
     let at: Trap = alpha
         .call(e, &[0], steps)
         .expect_err("alpha must trap")

@@ -33,9 +33,11 @@
 use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use vcode::obs::{trap_kind_index, TRAP_KINDS};
 use vcode::trap::{Fuel, Trap, TrapKind};
+use vcode::ExecStats;
 
-use crate::exec::ExecCode;
+use crate::exec::{pool_stats, ExecCode};
 
 // --- raw syscalls -----------------------------------------------------
 
@@ -205,6 +207,37 @@ static FAULT_ADDR: AtomicU64 = AtomicU64::new(0);
 /// Serializes guarded calls process-wide: the jump buffer, handler
 /// state, and itimer are global resources.
 static GUARD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Cumulative per-[`TrapKind`] tallies of guarded-call faults,
+/// process-wide — the native half of the unified [`ExecStats`] surface.
+static TRAP_TALLIES: [AtomicU64; TRAP_KINDS] = [const { AtomicU64::new(0) }; TRAP_KINDS];
+/// Guarded calls started, process-wide.
+static GUARDED_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Native-side [`ExecStats`]: the cache fields report executable-memory
+/// *pool* behaviour (a code cache — see [`crate::pool_stats`]) and
+/// `traps` tallies every fault absorbed by a [`GuardedCall`] since
+/// process start. Retired-instruction and cycle counters stay zero:
+/// hardware performance counters are out of scope, the simulators own
+/// those fields.
+pub fn exec_stats() -> ExecStats {
+    let pool = pool_stats();
+    let mut stats = ExecStats {
+        cache_hits: pool.hits,
+        cache_misses: pool.misses,
+        ..ExecStats::default()
+    };
+    for (i, tally) in TRAP_TALLIES.iter().enumerate() {
+        let kind = vcode::obs::TRAP_KIND_TABLE[i];
+        stats.traps.set(kind, tally.load(Ordering::Relaxed));
+    }
+    stats
+}
+
+/// Guarded calls started since process start (monotonic).
+pub fn guarded_call_count() -> u64 {
+    GUARDED_CALLS.load(Ordering::Relaxed)
+}
 
 /// The installed signal handler. Runs on the alternate stack.
 extern "C" fn guard_handler(sig: i32, info: *mut u8, _ucontext: *mut u8) {
@@ -456,6 +489,7 @@ impl GuardedCall {
 
     fn invoke(&self, entry: u64, args: [u64; 4]) -> Result<u64, NativeTrap> {
         let _guard = GUARD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        GUARDED_CALLS.fetch_add(1, Ordering::Relaxed);
 
         // Alternate signal stack, so a generated function that trashed
         // rsp still gets its fault converted. Thread-local because
@@ -578,8 +612,10 @@ impl GuardedCall {
             Ok(ret)
         } else {
             let addr = FAULT_ADDR.load(Ordering::SeqCst);
+            let kind = sig_to_kind(sig);
+            TRAP_TALLIES[trap_kind_index(kind)].fetch_add(1, Ordering::Relaxed);
             Err(NativeTrap {
-                kind: sig_to_kind(sig),
+                kind,
                 signal: sig,
                 addr: if sig == SIGALRM || sig == SIGILL {
                     None
@@ -706,6 +742,35 @@ mod tests {
         let code = build(&[0x48, 0x31, 0xe4, 0x50, 0xc3]);
         let trap = GuardedCall::new().call0(&code).unwrap_err();
         assert_eq!(trap.kind, TrapKind::BadAccess);
+    }
+
+    #[test]
+    fn exec_stats_tallies_guarded_faults_and_calls() {
+        // Counters are process-wide and other tests in this binary trap
+        // concurrently, so assert on deltas of our own contribution.
+        let before = exec_stats();
+        let calls_before = guarded_call_count();
+        let ud2 = build(&[0x0f, 0x0b]);
+        let ok = build(&[0x48, 0x89, 0xf8, 0xc3]); // mov rax, rdi; ret
+        let g = GuardedCall::new();
+        assert_eq!(g.call1(&ok, 9), Ok(9));
+        g.call0(&ud2).unwrap_err();
+        g.call0(&ud2).unwrap_err();
+        let after = exec_stats();
+        assert!(guarded_call_count() >= calls_before + 3);
+        assert!(
+            after.traps.count(TrapKind::IllegalInsn)
+                >= before.traps.count(TrapKind::IllegalInsn) + 2
+        );
+        assert!(after.traps.total() >= before.traps.total() + 2);
+        // Pool counters surface as the native "cache": every ExecMem
+        // allocation above was a hit or a miss.
+        assert!(
+            after.cache_hits + after.cache_misses >= before.cache_hits + before.cache_misses + 2
+        );
+        // Native path never fabricates retired-instruction counts.
+        assert_eq!(after.insns_retired, 0);
+        assert_eq!(after.cycles, 0);
     }
 
     #[test]

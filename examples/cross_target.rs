@@ -61,11 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Alpha  (simulated): {} bytes", alpha_code.len());
 
     let mut mips = vcode_sim::mips::Machine::new(1 << 20);
-    let mips_entry = mips.load_code(&mips_code);
+    let mips_entry = mips.load_code(&mips_code)?;
     let mut sparc = vcode_sim::sparc::Machine::new(1 << 20);
-    let sparc_entry = sparc.load_code(&sparc_code);
+    let sparc_entry = sparc.load_code(&sparc_code)?;
     let mut alpha = vcode_sim::alpha::Machine::new(1 << 20);
-    let alpha_entry = alpha.load_code(&alpha_code);
+    let alpha_entry = alpha.load_code(&alpha_code)?;
 
     println!("\n  a      b    x86-64   MIPS  SPARC  Alpha");
     for (x, y) in cases {
@@ -81,7 +81,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nall four targets agree; simulated instruction counts: \
          MIPS {}  SPARC {}  Alpha {}",
-        mips.counts.insns, sparc.counts.insns, alpha.counts.insns
+        mips.stats().insns_retired,
+        sparc.stats().insns_retired,
+        alpha.stats().insns_retired
     );
     Ok(())
 }

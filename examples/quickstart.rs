@@ -38,11 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And executed on the simulator.
     let mut m = vcode_sim::mips::Machine::new(1 << 20);
-    let entry = m.load_code(&mips_mem[..fin.len]);
+    let entry = m.load_code(&mips_mem[..fin.len])?;
     println!(
         "simulated MIPS plus1(41) = {} ({} instructions)",
         m.call(entry, &[41], 10_000)?,
-        m.counts.insns
+        m.stats().insns_retired
     );
     Ok(())
 }

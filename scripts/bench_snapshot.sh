@@ -26,4 +26,7 @@ cargo bench -q --offline -p vcode-bench --bench ablation
 echo "== par_codegen =="
 cargo bench -q --offline -p vcode-bench --bench par_codegen
 
+echo "== exec_stats =="
+cargo bench -q --offline -p vcode-bench --bench exec_stats
+
 echo "Snapshot written to $out"

@@ -28,4 +28,10 @@ echo "== codegen-cost smoke (perf regression gate) =="
 VCODE_SMOKE=1 VCODE_BASELINE="$PWD/BENCH_codegen.json" \
     cargo bench -q --offline -p vcode-bench --bench codegen_cost
 
+echo "== exec-stats smoke (observability gate) =="
+# Every backend — three simulators plus native x86-64 — must expose
+# nonzero, schema-stable ExecStats counters; the bench exits non-zero
+# when any backend's counters go dark.
+cargo bench -q --offline -p vcode-bench --bench exec_stats
+
 echo "CI green."

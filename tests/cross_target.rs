@@ -114,17 +114,17 @@ fn run_all(steps: &[Step], x: i32, y: i32) -> (i32, i32, i32, i32) {
     };
     let (mc, sc, ac) = gen(steps);
     let mut mips = vcode_sim::mips::Machine::new(1 << 21);
-    let e = mips.load_code(&mc);
+    let e = mips.load_code(&mc).unwrap();
     let mv = mips
         .call(e, &[x as u32, y as u32], 1_000_000)
         .expect("mips") as i32;
     let mut sparc = vcode_sim::sparc::Machine::new(1 << 21);
-    let e = sparc.load_code(&sc);
+    let e = sparc.load_code(&sc).unwrap();
     let sv = sparc
         .call(e, &[x as u32, y as u32], 1_000_000)
         .expect("sparc") as i32;
     let mut alpha = vcode_sim::alpha::Machine::new(1 << 21);
-    let e = alpha.load_code(&ac);
+    let e = alpha.load_code(&ac).unwrap();
     let av = alpha
         .call(e, &[i64::from(x) as u64, i64::from(y) as u64], 1_000_000)
         .expect("alpha") as i32;

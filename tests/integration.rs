@@ -174,10 +174,10 @@ fn generic_pipeline_on_all_simulated_targets() {
         mem.truncate(fin.len);
         let mut m = vcode_sim::mips::Machine::new(1 << 20);
         m.strict_load_delay = true;
-        let entry = m.load_code(&mem);
-        let src = m.alloc(data.len(), 8);
-        let dst = m.alloc(data.len(), 8);
-        m.write(src, &data);
+        let entry = m.load_code(&mem).unwrap();
+        let src = m.alloc(data.len(), 8).unwrap();
+        let dst = m.alloc(data.len(), 8).unwrap();
+        m.write(src, &data).unwrap();
         let sum = m
             .call(entry, &[dst, src, (data.len() / 4) as u32], 1_000_000)
             .unwrap();
@@ -186,7 +186,11 @@ fn generic_pipeline_on_all_simulated_targets() {
             want_ck,
             "mips checksum"
         );
-        assert_eq!(m.read(dst, data.len()), &want_swapped[..], "mips swap");
+        assert_eq!(
+            m.read(dst, data.len()).unwrap(),
+            &want_swapped[..],
+            "mips swap"
+        );
     }
     // SPARC.
     {
@@ -194,10 +198,10 @@ fn generic_pipeline_on_all_simulated_targets() {
         let fin = ash::generic::compile_fused::<vcode_sparc::Sparc>(&mut mem, &steps).unwrap();
         mem.truncate(fin.len);
         let mut m = vcode_sim::sparc::Machine::new(1 << 20);
-        let entry = m.load_code(&mem);
-        let src = m.alloc(data.len(), 8);
-        let dst = m.alloc(data.len(), 8);
-        m.write(src, &data);
+        let entry = m.load_code(&mem).unwrap();
+        let src = m.alloc(data.len(), 8).unwrap();
+        let dst = m.alloc(data.len(), 8).unwrap();
+        m.write(src, &data).unwrap();
         let sum = m
             .call(entry, &[dst, src, (data.len() / 4) as u32], 1_000_000)
             .unwrap();
@@ -206,7 +210,11 @@ fn generic_pipeline_on_all_simulated_targets() {
             want_ck,
             "sparc checksum"
         );
-        assert_eq!(m.read(dst, data.len()), &want_swapped[..], "sparc swap");
+        assert_eq!(
+            m.read(dst, data.len()).unwrap(),
+            &want_swapped[..],
+            "sparc swap"
+        );
     }
     // Alpha.
     {
@@ -214,10 +222,10 @@ fn generic_pipeline_on_all_simulated_targets() {
         let fin = ash::generic::compile_fused::<vcode_alpha::Alpha>(&mut mem, &steps).unwrap();
         mem.truncate(fin.len);
         let mut m = vcode_sim::alpha::Machine::new(1 << 20);
-        let entry = m.load_code(&mem);
-        let src = m.alloc(data.len(), 8);
-        let dst = m.alloc(data.len(), 8);
-        m.write(src, &data);
+        let entry = m.load_code(&mem).unwrap();
+        let src = m.alloc(data.len(), 8).unwrap();
+        let dst = m.alloc(data.len(), 8).unwrap();
+        m.write(src, &data).unwrap();
         let sum = m
             .call(entry, &[dst, src, (data.len() / 4) as u64], 1_000_000)
             .unwrap();
@@ -226,7 +234,11 @@ fn generic_pipeline_on_all_simulated_targets() {
             want_ck,
             "alpha checksum"
         );
-        assert_eq!(m.read(dst, data.len()), &want_swapped[..], "alpha swap");
+        assert_eq!(
+            m.read(dst, data.len()).unwrap(),
+            &want_swapped[..],
+            "alpha swap"
+        );
     }
     // x86-64 (native, through the same generic generator).
     {
