@@ -218,6 +218,16 @@ impl Target for Alpha {
     const WORD_BITS: u32 = 64;
     // ra + 6 s-regs + 4 FP callee = 11 reserved save instructions.
     const MAX_SAVE_BYTES: usize = 11 * 4;
+    const CHECKS: vcode::TargetChecks = vcode::TargetChecks {
+        word_bits: Self::WORD_BITS,
+        insn_align: 4,
+        branch_delay_slots: Self::BRANCH_DELAY_SLOTS,
+        load_delay_cycles: Self::LOAD_DELAY_CYCLES,
+        // $v0 (return) and $at (instruction synthesis).
+        reserved_int: &[0, 28],
+        // $f0 (return) and $f1 (synthesis scratch).
+        reserved_flt: &[0, 1],
+    };
 
     fn regfile() -> &'static RegFile {
         &REGFILE

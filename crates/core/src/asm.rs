@@ -32,6 +32,7 @@ use crate::target::{
     BrOperand, CallFrame, Finished, JumpTarget, Leaf, Off, StackSlot, Target, TargetScratch,
 };
 use crate::ty::{Sig, Ty};
+use crate::verify::{MarkKind, Rule, Severity, VInsn, VerifierState, VerifyReport};
 use std::marker::PhantomData;
 
 /// Target-independent assembler state, shared with [`Target`]
@@ -75,6 +76,10 @@ pub struct Asm<'m> {
     /// Count of ret sites recorded (lets backends elide the
     /// jump-to-epilogue when possible, paper §5.2).
     pub ret_sites: Vec<usize>,
+    /// Streaming-verifier state (see [`crate::verify`]); `None` on the
+    /// fast path, where every emission site pays exactly one `Option`
+    /// discriminant test for it.
+    pub verifier: Option<Box<VerifierState>>,
 }
 
 impl<'m> Asm<'m> {
@@ -96,7 +101,24 @@ impl<'m> Asm<'m> {
     }
 
     /// Records an unresolved reference at an explicit offset.
+    ///
+    /// An `at` past the buffer write cursor would patch bytes that were
+    /// never emitted; it latches [`Error::FixupOutOfRange`] (and a
+    /// verifier diagnostic) instead of recording a silent bad patch.
     pub fn fixup_at(&mut self, at: usize, target: FixupTarget, kind: u8) {
+        if at > self.buf.len() {
+            let len = self.buf.len();
+            self.record_err(Error::FixupOutOfRange { at, len });
+            if let Some(vs) = self.verifier.as_mut() {
+                vs.diag(
+                    Rule::FixupPastCursor,
+                    Severity::Error,
+                    at,
+                    format!("fixup recorded at {at:#x}, past the write cursor {len:#x}"),
+                );
+            }
+            return;
+        }
         self.fixups.push(Fixup { at, target, kind });
     }
 
@@ -122,6 +144,21 @@ pub struct Assembler<'m, T: Target> {
     _t: PhantomData<T>,
 }
 
+/// Wraps one instruction emission for the streaming verifier. The fast
+/// path pays a cursor read and a single `Option` discriminant test; the
+/// instruction record itself is built inside the outlined cold call
+/// ([`Assembler::vrfy_record`]), so the emit functions stay small enough
+/// to inline and the verifier-off cost model is unchanged.
+macro_rules! vrfy {
+    ($self:ident, $emit:expr, $vi:expr) => {
+        let vrfy_start = $self.a.buf.len();
+        $emit;
+        if $self.a.verifier.is_some() {
+            Self::vrfy_record(&mut $self.a, vrfy_start, || $vi);
+        }
+    };
+}
+
 /// Generates the register and immediate forms of a typed binary operation.
 macro_rules! binops {
     ($($name:ident, $imm:ident => $op:ident, $ty:ident);* $(;)?) => { $(
@@ -129,23 +166,35 @@ macro_rules! binops {
         #[inline]
         pub fn $name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
             debug_assert!(
-                rd.is_flt() == Ty::$ty.is_float()
-                    && rs1.is_flt() == Ty::$ty.is_float()
-                    && rs2.is_flt() == Ty::$ty.is_float(),
+                self.a.verifier.is_some()
+                    || (rd.is_flt() == Ty::$ty.is_float()
+                        && rs1.is_flt() == Ty::$ty.is_float()
+                        && rs2.is_flt() == Ty::$ty.is_float()),
                 concat!("register bank mismatch in ", stringify!($name))
             );
             self.a.insns += 1;
-            T::emit_binop(&mut self.a, BinOp::$op, Ty::$ty, rd, rs1, rs2);
+            vrfy!(
+                self,
+                T::emit_binop(&mut self.a, BinOp::$op, Ty::$ty, rd, rs1, rs2),
+                VInsn::new(stringify!($name))
+                    .r(rs1, Ty::$ty.is_float())
+                    .r(rs2, Ty::$ty.is_float())
+                    .w(rd, Ty::$ty.is_float())
+            );
         }
         #[doc = concat!("`rd = rs ", stringify!($op), " imm` (type `", stringify!($ty), "`, immediate).")]
         #[inline]
         pub fn $imm(&mut self, rd: Reg, rs: Reg, imm: i64) {
             debug_assert!(
-                !rd.is_flt() && !rs.is_flt(),
+                self.a.verifier.is_some() || (!rd.is_flt() && !rs.is_flt()),
                 concat!("register bank mismatch in ", stringify!($imm))
             );
             self.a.insns += 1;
-            T::emit_binop_imm(&mut self.a, BinOp::$op, Ty::$ty, rd, rs, imm);
+            vrfy!(
+                self,
+                T::emit_binop_imm(&mut self.a, BinOp::$op, Ty::$ty, rd, rs, imm),
+                VInsn::new(stringify!($imm)).r(rs, false).w(rd, false).i(imm)
+            );
         }
     )* }
 }
@@ -158,13 +207,21 @@ macro_rules! binops_regonly {
         #[inline]
         pub fn $name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
             debug_assert!(
-                rd.is_flt() == Ty::$ty.is_float()
-                    && rs1.is_flt() == Ty::$ty.is_float()
-                    && rs2.is_flt() == Ty::$ty.is_float(),
+                self.a.verifier.is_some()
+                    || (rd.is_flt() == Ty::$ty.is_float()
+                        && rs1.is_flt() == Ty::$ty.is_float()
+                        && rs2.is_flt() == Ty::$ty.is_float()),
                 concat!("register bank mismatch in ", stringify!($name))
             );
             self.a.insns += 1;
-            T::emit_binop(&mut self.a, BinOp::$op, Ty::$ty, rd, rs1, rs2);
+            vrfy!(
+                self,
+                T::emit_binop(&mut self.a, BinOp::$op, Ty::$ty, rd, rs1, rs2),
+                VInsn::new(stringify!($name))
+                    .r(rs1, Ty::$ty.is_float())
+                    .r(rs2, Ty::$ty.is_float())
+                    .w(rd, Ty::$ty.is_float())
+            );
         }
     )* }
 }
@@ -175,11 +232,18 @@ macro_rules! unops {
         #[inline]
         pub fn $name(&mut self, rd: Reg, rs: Reg) {
             debug_assert!(
-                rd.is_flt() == Ty::$ty.is_float() && rs.is_flt() == Ty::$ty.is_float(),
+                self.a.verifier.is_some()
+                    || (rd.is_flt() == Ty::$ty.is_float() && rs.is_flt() == Ty::$ty.is_float()),
                 concat!("register bank mismatch in ", stringify!($name))
             );
             self.a.insns += 1;
-            T::emit_unop(&mut self.a, UnOp::$op, Ty::$ty, rd, rs);
+            vrfy!(
+                self,
+                T::emit_unop(&mut self.a, UnOp::$op, Ty::$ty, rd, rs),
+                VInsn::new(stringify!($name))
+                    .r(rs, Ty::$ty.is_float())
+                    .w(rd, Ty::$ty.is_float())
+            );
         }
     )* }
 }
@@ -190,7 +254,13 @@ macro_rules! cvts {
         #[inline]
         pub fn $name(&mut self, rd: Reg, rs: Reg) {
             self.a.insns += 1;
-            T::emit_cvt(&mut self.a, Ty::$from, Ty::$to, rd, rs);
+            vrfy!(
+                self,
+                T::emit_cvt(&mut self.a, Ty::$from, Ty::$to, rd, rs),
+                VInsn::new(stringify!($name))
+                    .r(rs, Ty::$from.is_float())
+                    .w(rd, Ty::$to.is_float())
+            );
         }
     )* }
 }
@@ -201,41 +271,75 @@ macro_rules! mems {
         #[inline]
         pub fn $ld(&mut self, rd: Reg, base: Reg, idx: Reg) {
             debug_assert!(
-                rd.is_flt() == Ty::$ty.is_float() && base.is_int() && idx.is_int(),
+                self.a.verifier.is_some()
+                    || (rd.is_flt() == Ty::$ty.is_float() && base.is_int() && idx.is_int()),
                 concat!("register bank mismatch in ", stringify!($ld))
             );
             self.a.insns += 1;
-            T::emit_ld(&mut self.a, Ty::$ty, rd, base, Off::R(idx));
+            vrfy!(
+                self,
+                T::emit_ld(&mut self.a, Ty::$ty, rd, base, Off::R(idx)),
+                VInsn::new(stringify!($ld))
+                    .k(MarkKind::Load)
+                    .r(base, false)
+                    .r(idx, false)
+                    .w(rd, Ty::$ty.is_float())
+            );
         }
         #[doc = concat!("Load `", stringify!($ty), "` with immediate offset: `rd = *(base + off)`.")]
         #[inline]
         pub fn $ldi(&mut self, rd: Reg, base: Reg, off: i32) {
             debug_assert!(
-                rd.is_flt() == Ty::$ty.is_float() && base.is_int(),
+                self.a.verifier.is_some()
+                    || (rd.is_flt() == Ty::$ty.is_float() && base.is_int()),
                 concat!("register bank mismatch in ", stringify!($ldi))
             );
             self.a.insns += 1;
-            T::emit_ld(&mut self.a, Ty::$ty, rd, base, Off::I(off));
+            vrfy!(
+                self,
+                T::emit_ld(&mut self.a, Ty::$ty, rd, base, Off::I(off)),
+                VInsn::new(stringify!($ldi))
+                    .k(MarkKind::Load)
+                    .r(base, false)
+                    .w(rd, Ty::$ty.is_float())
+            );
         }
         #[doc = concat!("Store `", stringify!($ty), "`: `*(base + idx) = src`.")]
         #[inline]
         pub fn $st(&mut self, src: Reg, base: Reg, idx: Reg) {
             debug_assert!(
-                src.is_flt() == Ty::$ty.is_float() && base.is_int() && idx.is_int(),
+                self.a.verifier.is_some()
+                    || (src.is_flt() == Ty::$ty.is_float() && base.is_int() && idx.is_int()),
                 concat!("register bank mismatch in ", stringify!($st))
             );
             self.a.insns += 1;
-            T::emit_st(&mut self.a, Ty::$ty, src, base, Off::R(idx));
+            vrfy!(
+                self,
+                T::emit_st(&mut self.a, Ty::$ty, src, base, Off::R(idx)),
+                VInsn::new(stringify!($st))
+                    .k(MarkKind::Store)
+                    .r(src, Ty::$ty.is_float())
+                    .r(base, false)
+                    .r(idx, false)
+            );
         }
         #[doc = concat!("Store `", stringify!($ty), "` with immediate offset: `*(base + off) = src`.")]
         #[inline]
         pub fn $sti(&mut self, src: Reg, base: Reg, off: i32) {
             debug_assert!(
-                src.is_flt() == Ty::$ty.is_float() && base.is_int(),
+                self.a.verifier.is_some()
+                    || (src.is_flt() == Ty::$ty.is_float() && base.is_int()),
                 concat!("register bank mismatch in ", stringify!($sti))
             );
             self.a.insns += 1;
-            T::emit_st(&mut self.a, Ty::$ty, src, base, Off::I(off));
+            vrfy!(
+                self,
+                T::emit_st(&mut self.a, Ty::$ty, src, base, Off::I(off)),
+                VInsn::new(stringify!($sti))
+                    .k(MarkKind::Store)
+                    .r(src, Ty::$ty.is_float())
+                    .r(base, false)
+            );
         }
     )* }
 }
@@ -246,17 +350,32 @@ macro_rules! branches {
         #[inline]
         pub fn $name(&mut self, rs1: Reg, rs2: Reg, l: Label) {
             debug_assert!(
-                rs1.is_flt() == Ty::$ty.is_float() && rs2.is_flt() == Ty::$ty.is_float(),
+                self.a.verifier.is_some()
+                    || (rs1.is_flt() == Ty::$ty.is_float() && rs2.is_flt() == Ty::$ty.is_float()),
                 concat!("register bank mismatch in ", stringify!($name))
             );
             self.a.insns += 1;
-            T::emit_branch(&mut self.a, Cond::$cond, Ty::$ty, rs1, BrOperand::R(rs2), l);
+            vrfy!(
+                self,
+                T::emit_branch(&mut self.a, Cond::$cond, Ty::$ty, rs1, BrOperand::R(rs2), l),
+                VInsn::new(stringify!($name))
+                    .k(MarkKind::Branch(l))
+                    .r(rs1, Ty::$ty.is_float())
+                    .r(rs2, Ty::$ty.is_float())
+            );
         }
         #[doc = concat!("Branch to `l` if `rs ", stringify!($cond), " imm` (type `", stringify!($ty), "`, immediate).")]
         #[inline]
         pub fn $imm(&mut self, rs: Reg, imm: i64, l: Label) {
             self.a.insns += 1;
-            T::emit_branch(&mut self.a, Cond::$cond, Ty::$ty, rs, BrOperand::I(imm), l);
+            vrfy!(
+                self,
+                T::emit_branch(&mut self.a, Cond::$cond, Ty::$ty, rs, BrOperand::I(imm), l),
+                VInsn::new(stringify!($imm))
+                    .k(MarkKind::Branch(l))
+                    .r(rs, false)
+                    .i(imm)
+            );
         }
     )* }
 }
@@ -267,7 +386,14 @@ macro_rules! branches_regonly {
         #[inline]
         pub fn $name(&mut self, rs1: Reg, rs2: Reg, l: Label) {
             self.a.insns += 1;
-            T::emit_branch(&mut self.a, Cond::$cond, Ty::$ty, rs1, BrOperand::R(rs2), l);
+            vrfy!(
+                self,
+                T::emit_branch(&mut self.a, Cond::$cond, Ty::$ty, rs1, BrOperand::R(rs2), l),
+                VInsn::new(stringify!($name))
+                    .k(MarkKind::Branch(l))
+                    .r(rs1, Ty::$ty.is_float())
+                    .r(rs2, Ty::$ty.is_float())
+            );
         }
     )* }
 }
@@ -278,11 +404,17 @@ macro_rules! rets {
         #[inline]
         pub fn $name(&mut self, rs: Reg) {
             debug_assert!(
-                rs.is_flt() == Ty::$ty.is_float(),
+                self.a.verifier.is_some() || rs.is_flt() == Ty::$ty.is_float(),
                 concat!("register bank mismatch in ", stringify!($name))
             );
             self.a.insns += 1;
-            T::emit_ret(&mut self.a, Some((Ty::$ty, rs)));
+            vrfy!(
+                self,
+                T::emit_ret(&mut self.a, Some((Ty::$ty, rs))),
+                VInsn::new(stringify!($name))
+                    .k(MarkKind::Ret)
+                    .r(rs, Ty::$ty.is_float())
+            );
         }
     )* }
 }
@@ -343,9 +475,13 @@ impl<'m, T: Target> Assembler<'m, T> {
             raw_load: false,
             insns: 0,
             ret_sites: Vec::new(),
+            verifier: None,
         };
         let args = T::begin(&mut a, &sig, leaf)?;
         a.sig = sig;
+        if crate::verify::enabled() {
+            Self::install_verifier(&mut a, &args);
+        }
         crate::obs::emit_event(|| crate::obs::CodegenEvent::LambdaBegin {
             args: args.len(),
             leaf: matches!(leaf, Leaf::Yes),
@@ -357,6 +493,43 @@ impl<'m, T: Target> Assembler<'m, T> {
         })
     }
 
+    /// The verifier-on half of `vrfy!`: records the emitted byte span
+    /// and streams the (lazily built) instruction record through the
+    /// rule set. Outlined and cold so the emission fast path carries
+    /// only the discriminant test.
+    #[cold]
+    #[inline(never)]
+    fn vrfy_record(a: &mut Asm<'m>, start: usize, mk: impl FnOnce() -> VInsn) {
+        let end = a.buf.len();
+        let vi = mk();
+        if let Some(vs) = a.verifier.as_mut() {
+            vs.insn(start, end, &vi);
+        }
+    }
+
+    fn install_verifier(a: &mut Asm<'m>, args: &[Reg]) {
+        let mut vs = Box::new(VerifierState::new(T::regfile(), T::CHECKS));
+        vs.note_args(args);
+        a.verifier = Some(vs);
+    }
+
+    /// Enables the streaming verifier for this session only, regardless
+    /// of the global [`verify::set_enabled`](crate::verify::set_enabled)
+    /// switch. Idempotent; instructions emitted before the call are not
+    /// retroactively checked.
+    pub fn enable_verifier(&mut self) {
+        if self.a.verifier.is_none() {
+            Self::install_verifier(&mut self.a, &self.args);
+        }
+    }
+
+    /// Diagnostics the verifier has collected so far (empty when the
+    /// verifier is off). The full report comes back through
+    /// [`Finished::verify`] at [`end`](Self::end).
+    pub fn verify_diags(&self) -> &[crate::verify::Diag] {
+        self.a.verifier.as_deref().map_or(&[], |vs| vs.diags())
+    }
+
     /// Ends code generation (the paper's `v_end`): emits the deferred
     /// epilogue and prologue register saves, backpatches the activation
     /// record size, emits the literal pool, and links all recorded jumps.
@@ -366,19 +539,49 @@ impl<'m, T: Target> Assembler<'m, T> {
     /// Any error latched during generation ([`Error::Overflow`],
     /// [`Error::CallInLeaf`], ...), or [`Error::UnboundLabel`] if a
     /// referenced label was never placed.
-    pub fn end(mut self) -> Result<Finished, Error> {
+    pub fn end(self) -> Result<Finished, Error> {
+        let (r, report) = self.end_report();
+        match r {
+            Ok(mut f) => {
+                f.verify = report;
+                Ok(f)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Like [`end`](Self::end), but hands back the verifier report even
+    /// when generation failed — a latched [`Error`] and the collected
+    /// diagnostics usually describe the same client bug, and the bad-client
+    /// test corpus asserts on the diagnostics.
+    pub fn end_report(mut self) -> (Result<Finished, Error>, Option<Box<VerifyReport>>) {
         let r = self.end_inner();
+        let report = self
+            .a
+            .verifier
+            .take()
+            .map(|mut vs| Box::new(vs.take_report()));
         crate::obs::emit_event(|| crate::obs::CodegenEvent::LambdaEnd {
             insns: self.a.insns,
             bytes: self.a.buf.len() as u64,
             overflowed: self.a.buf.overflowed(),
             spills: self.a.ra.spill_count(),
         });
-        r
+        (r, report)
     }
 
     fn end_inner(&mut self) -> Result<Finished, Error> {
-        T::end(&mut self.a)?;
+        let ended = T::end(&mut self.a);
+        {
+            // The end-of-session sweep (dangling fixups, leaked leases,
+            // unbalanced calls) must see the fixup list before resolution
+            // consumes it below.
+            let a = &mut self.a;
+            if let Some(vs) = a.verifier.as_mut() {
+                vs.finish(&a.labels, &a.fixups, a.buf.len());
+            }
+        }
+        ended?;
         self.a.lits.emit(&mut self.a.buf);
         let fixups = std::mem::take(&mut self.a.fixups);
         for f in fixups {
@@ -401,6 +604,7 @@ impl<'m, T: Target> Assembler<'m, T> {
                 label_offsets: (0..self.a.labels.len() as u32)
                     .map(|i| self.a.labels.offset(Label(i)))
                     .collect(),
+                verify: None,
             }),
         }
     }
@@ -426,35 +630,89 @@ impl<'m, T: Target> Assembler<'m, T> {
     /// clients then keep the variable on the stack via
     /// [`local`](Self::local).
     pub fn getreg(&mut self, class: RegClass) -> Option<Reg> {
-        self.a.ra.getreg(Bank::Int, class)
+        let r = self.a.ra.getreg(Bank::Int, class);
+        if let (Some(reg), Some(vs)) = (r, self.a.verifier.as_mut()) {
+            vs.note_getreg(reg);
+        }
+        r
     }
 
     /// Allocates a floating-point register of the given class.
     pub fn getreg_f(&mut self, class: RegClass) -> Option<Reg> {
-        self.a.ra.getreg(Bank::Flt, class)
+        let r = self.a.ra.getreg(Bank::Flt, class);
+        if let (Some(reg), Some(vs)) = (r, self.a.verifier.as_mut()) {
+            vs.note_getreg(reg);
+        }
+        r
     }
 
     /// Returns a register to the allocator (the paper's `v_putreg`).
     pub fn putreg(&mut self, reg: Reg) {
-        self.a.ra.putreg(reg);
+        if self.a.verifier.is_some() {
+            // The verifier owns misuse reporting (double frees become a
+            // collected diagnostic instead of the allocator's debug
+            // panic).
+            self.a.ra.try_putreg(reg);
+            let pc = self.a.buf.len();
+            if let Some(vs) = self.a.verifier.as_mut() {
+                vs.note_putreg(reg, pc);
+            }
+        } else {
+            self.a.ra.putreg(reg);
+        }
     }
 
     /// Releases the `i`-th incoming argument register back to the
     /// allocator once the argument value is dead.
     pub fn release_arg(&mut self, i: usize) {
         let reg = self.args[i];
-        self.a.ra.putreg(reg);
+        self.putreg(reg);
     }
 
     /// Dynamically reclassifies a physical register for this function
     /// (paper §5.3 — e.g. an interrupt handler marks every register
     /// callee-saved).
+    ///
+    /// A register outside the target's register file latches
+    /// [`Error::UnknownRegister`] (and a verifier diagnostic) and leaves
+    /// the allocator untouched.
     pub fn set_register_class(&mut self, reg: Reg, kind: RegKind) {
+        if !self.a.ra.contains(reg) {
+            self.a.record_err(Error::UnknownRegister(reg));
+            let pc = self.a.buf.len();
+            if let Some(vs) = self.a.verifier.as_mut() {
+                vs.diag(
+                    Rule::UnknownRegister,
+                    Severity::Error,
+                    pc,
+                    format!("set_register_class: {reg} is not in the target register file"),
+                );
+            }
+            return;
+        }
         self.a.ra.set_kind(reg, kind);
     }
 
     /// Overrides the allocation priority ordering (paper §3.2).
+    ///
+    /// Registers outside the target's register file latch
+    /// [`Error::UnknownRegister`] (and a verifier diagnostic); the known
+    /// registers in `order` still take effect.
     pub fn set_register_priority(&mut self, bank: Bank, order: &[Reg]) {
+        for &reg in order {
+            if !self.a.ra.contains(reg) {
+                self.a.record_err(Error::UnknownRegister(reg));
+                let pc = self.a.buf.len();
+                if let Some(vs) = self.a.verifier.as_mut() {
+                    vs.diag(
+                        Rule::UnknownRegister,
+                        Severity::Error,
+                        pc,
+                        format!("set_register_priority: {reg} is not in the target register file"),
+                    );
+                }
+            }
+        }
         self.a.ra.set_priority(bank, order);
     }
 
@@ -469,10 +727,27 @@ impl<'m, T: Target> Assembler<'m, T> {
     pub fn hard_temp(&mut self, i: usize) -> Reg {
         let temps = T::regfile().hard_temps;
         match temps.get(i) {
-            Some(&r) => r,
+            Some(&r) => {
+                if let Some(vs) = self.a.verifier.as_mut() {
+                    vs.note_owned(r);
+                }
+                r
+            }
             None => {
                 self.a
                     .record_err(Error::BadOperands("hard temporary index out of range"));
+                let pc = self.a.buf.len();
+                if let Some(vs) = self.a.verifier.as_mut() {
+                    vs.diag(
+                        Rule::BadOperand,
+                        Severity::Error,
+                        pc,
+                        format!(
+                            "hard_temp: index {i} out of range ({} provided)",
+                            temps.len()
+                        ),
+                    );
+                }
                 temps.first().copied().unwrap_or(Reg::int(0))
             }
         }
@@ -486,11 +761,28 @@ impl<'m, T: Target> Assembler<'m, T> {
     pub fn hard_saved(&mut self, i: usize) -> Reg {
         let saved = T::regfile().hard_saved;
         match saved.get(i) {
-            Some(&r) => r,
+            Some(&r) => {
+                if let Some(vs) = self.a.verifier.as_mut() {
+                    vs.note_owned(r);
+                }
+                r
+            }
             None => {
                 self.a.record_err(Error::BadOperands(
                     "hard persistent register index out of range",
                 ));
+                let pc = self.a.buf.len();
+                if let Some(vs) = self.a.verifier.as_mut() {
+                    vs.diag(
+                        Rule::BadOperand,
+                        Severity::Error,
+                        pc,
+                        format!(
+                            "hard_saved: index {i} out of range ({} provided)",
+                            saved.len()
+                        ),
+                    );
+                }
                 saved.first().copied().unwrap_or(Reg::int(0))
             }
         }
@@ -511,16 +803,29 @@ impl<'m, T: Target> Assembler<'m, T> {
     /// [`Error::BadOperands`] (reported by [`end`](Self::end)) and
     /// returns a dummy zero-offset slot.
     pub fn local(&mut self, ty: Ty) -> StackSlot {
-        if ty.try_size_bytes(T::WORD_BITS).is_none() {
+        let Some(size) = ty.try_size_bytes(T::WORD_BITS) else {
             self.a
                 .record_err(Error::BadOperands("void local requested"));
+            let pc = self.a.buf.len();
+            if let Some(vs) = self.a.verifier.as_mut() {
+                vs.diag(
+                    Rule::BadOperand,
+                    Severity::Error,
+                    pc,
+                    "local: void local requested".to_owned(),
+                );
+            }
             return StackSlot {
                 base: T::regfile().fp,
                 off: 0,
                 ty,
             };
+        };
+        let slot = T::local(&mut self.a, ty);
+        if let Some(vs) = self.a.verifier.as_mut() {
+            vs.note_local(slot, size as u32);
         }
-        T::local(&mut self.a, ty)
+        slot
     }
 
     /// Allocates `n` contiguous locals of type `ty`, returning the slot
@@ -532,21 +837,34 @@ impl<'m, T: Target> Assembler<'m, T> {
     /// [`Error::BadOperands`] and returns a dummy slot, like
     /// [`local`](Self::local).
     pub fn local_array(&mut self, ty: Ty, n: usize) -> StackSlot {
-        if n == 0 || ty.try_size_bytes(T::WORD_BITS).is_none() {
+        let size = ty.try_size_bytes(T::WORD_BITS);
+        let (Some(size), true) = (size, n > 0) else {
             self.a
                 .record_err(Error::BadOperands("empty or void local array requested"));
+            let pc = self.a.buf.len();
+            if let Some(vs) = self.a.verifier.as_mut() {
+                vs.diag(
+                    Rule::BadOperand,
+                    Severity::Error,
+                    pc,
+                    "local_array: empty or void local array requested".to_owned(),
+                );
+            }
             return StackSlot {
                 base: T::regfile().fp,
                 off: 0,
                 ty,
             };
-        }
+        };
         let mut first = T::local(&mut self.a, ty);
         for _ in 1..n {
             let s = T::local(&mut self.a, ty);
             if s.off < first.off {
                 first = s;
             }
+        }
+        if let Some(vs) = self.a.verifier.as_mut() {
+            vs.note_local(first, (size * n) as u32);
         }
         first
     }
@@ -560,10 +878,23 @@ impl<'m, T: Target> Assembler<'m, T> {
     ///
     /// # Panics
     ///
-    /// Panics if `l` was already placed.
+    /// Panics if `l` was already placed — unless the verifier is
+    /// enabled, in which case rebinding is collected as a
+    /// [`Rule::LabelRebound`] diagnostic and the first binding stands.
     pub fn label(&mut self, l: Label) {
         let here = self.a.buf.len();
-        self.a.labels.bind(l, here);
+        if let Some(vs) = self.a.verifier.as_mut() {
+            if !self.a.labels.try_bind(l, here) {
+                vs.diag(
+                    Rule::LabelRebound,
+                    Severity::Error,
+                    here,
+                    format!("label {} bound twice", l.index()),
+                );
+            }
+        } else {
+            self.a.labels.bind(l, here);
+        }
     }
 
     // ---- loads/stores of stack slots ----
@@ -572,14 +903,28 @@ impl<'m, T: Target> Assembler<'m, T> {
     #[inline]
     pub fn ld_slot(&mut self, rd: Reg, slot: StackSlot) {
         self.a.insns += 1;
-        T::emit_ld(&mut self.a, slot.ty, rd, slot.base, Off::I(slot.off));
+        vrfy!(
+            self,
+            T::emit_ld(&mut self.a, slot.ty, rd, slot.base, Off::I(slot.off)),
+            VInsn::new("ld_slot")
+                .k(MarkKind::Load)
+                .w(rd, slot.ty.is_float())
+                .s(slot)
+        );
     }
 
     /// Stores to a local variable: `*slot = src`.
     #[inline]
     pub fn st_slot(&mut self, slot: StackSlot, src: Reg) {
         self.a.insns += 1;
-        T::emit_st(&mut self.a, slot.ty, src, slot.base, Off::I(slot.off));
+        vrfy!(
+            self,
+            T::emit_st(&mut self.a, slot.ty, src, slot.base, Off::I(slot.off)),
+            VInsn::new("st_slot")
+                .k(MarkKind::Store)
+                .r(src, slot.ty.is_float())
+                .s(slot)
+        );
     }
 
     // ---- generated instruction surface ----
@@ -629,35 +974,55 @@ impl<'m, T: Target> Assembler<'m, T> {
     #[inline]
     pub fn seti(&mut self, rd: Reg, imm: i32) {
         self.a.insns += 1;
-        T::emit_set(&mut self.a, Ty::I, rd, Imm::Int(imm as i64));
+        vrfy!(
+            self,
+            T::emit_set(&mut self.a, Ty::I, rd, Imm::Int(imm as i64)),
+            VInsn::new("seti").w(rd, false)
+        );
     }
 
     /// Load constant (type `u`).
     #[inline]
     pub fn setu(&mut self, rd: Reg, imm: u32) {
         self.a.insns += 1;
-        T::emit_set(&mut self.a, Ty::U, rd, Imm::Int(imm as i64));
+        vrfy!(
+            self,
+            T::emit_set(&mut self.a, Ty::U, rd, Imm::Int(imm as i64)),
+            VInsn::new("setu").w(rd, false)
+        );
     }
 
     /// Load constant (type `l`).
     #[inline]
     pub fn setl(&mut self, rd: Reg, imm: i64) {
         self.a.insns += 1;
-        T::emit_set(&mut self.a, Ty::L, rd, Imm::Int(imm));
+        vrfy!(
+            self,
+            T::emit_set(&mut self.a, Ty::L, rd, Imm::Int(imm)),
+            VInsn::new("setl").w(rd, false).i(imm)
+        );
     }
 
     /// Load constant (type `ul`).
     #[inline]
     pub fn setul(&mut self, rd: Reg, imm: u64) {
         self.a.insns += 1;
-        T::emit_set(&mut self.a, Ty::Ul, rd, Imm::Int(imm as i64));
+        vrfy!(
+            self,
+            T::emit_set(&mut self.a, Ty::Ul, rd, Imm::Int(imm as i64)),
+            VInsn::new("setul").w(rd, false).i(imm as i64)
+        );
     }
 
     /// Load a pointer constant: `rd = addr`.
     #[inline]
     pub fn setp(&mut self, rd: Reg, addr: u64) {
         self.a.insns += 1;
-        T::emit_set(&mut self.a, Ty::P, rd, Imm::Int(addr as i64));
+        vrfy!(
+            self,
+            T::emit_set(&mut self.a, Ty::P, rd, Imm::Int(addr as i64)),
+            VInsn::new("setp").w(rd, false).i(addr as i64)
+        );
     }
 
     /// Load a single-precision constant (goes to the literal pool at the
@@ -665,14 +1030,22 @@ impl<'m, T: Target> Assembler<'m, T> {
     #[inline]
     pub fn setf(&mut self, rd: Reg, imm: f32) {
         self.a.insns += 1;
-        T::emit_set(&mut self.a, Ty::F, rd, Imm::F32(imm));
+        vrfy!(
+            self,
+            T::emit_set(&mut self.a, Ty::F, rd, Imm::F32(imm)),
+            VInsn::new("setf").w(rd, true)
+        );
     }
 
     /// Load a double-precision constant (literal pool).
     #[inline]
     pub fn setd(&mut self, rd: Reg, imm: f64) {
         self.a.insns += 1;
-        T::emit_set(&mut self.a, Ty::D, rd, Imm::F64(imm));
+        vrfy!(
+            self,
+            T::emit_set(&mut self.a, Ty::D, rd, Imm::F64(imm)),
+            VInsn::new("setd").w(rd, true)
+        );
     }
 
     cvts! {
@@ -740,56 +1113,84 @@ impl<'m, T: Target> Assembler<'m, T> {
     #[inline]
     pub fn retv(&mut self) {
         self.a.insns += 1;
-        T::emit_ret(&mut self.a, None);
+        vrfy!(
+            self,
+            T::emit_ret(&mut self.a, None),
+            VInsn::new("retv").k(MarkKind::Ret)
+        );
     }
 
     /// Unconditional jump to a label.
     #[inline]
     pub fn jmp(&mut self, l: Label) {
         self.a.insns += 1;
-        T::emit_jump(&mut self.a, JumpTarget::Label(l));
+        vrfy!(
+            self,
+            T::emit_jump(&mut self.a, JumpTarget::Label(l)),
+            VInsn::new("jmp").k(MarkKind::Branch(l))
+        );
     }
 
     /// Jump to the address in a register (computed goto / indirect jump).
     #[inline]
     pub fn jmp_reg(&mut self, r: Reg) {
         self.a.insns += 1;
-        T::emit_jump(&mut self.a, JumpTarget::Reg(r));
+        vrfy!(
+            self,
+            T::emit_jump(&mut self.a, JumpTarget::Reg(r)),
+            VInsn::new("jmp_reg").k(MarkKind::Jump).r(r, false)
+        );
     }
 
     /// Jump to an absolute address known at generation time.
     #[inline]
     pub fn jmp_abs(&mut self, addr: u64) {
         self.a.insns += 1;
-        T::emit_jump(&mut self.a, JumpTarget::Abs(addr));
+        vrfy!(
+            self,
+            T::emit_jump(&mut self.a, JumpTarget::Abs(addr)),
+            VInsn::new("jmp_abs").k(MarkKind::Jump)
+        );
     }
 
     /// Jump-and-link to a label (raw call primitive).
     #[inline]
     pub fn jal(&mut self, l: Label) {
         self.a.insns += 1;
-        T::emit_jal(&mut self.a, JumpTarget::Label(l));
+        vrfy!(
+            self,
+            T::emit_jal(&mut self.a, JumpTarget::Label(l)),
+            VInsn::new("jal").k(MarkKind::Branch(l))
+        );
     }
 
     /// Jump-and-link to the address in a register.
     #[inline]
     pub fn jal_reg(&mut self, r: Reg) {
         self.a.insns += 1;
-        T::emit_jal(&mut self.a, JumpTarget::Reg(r));
+        vrfy!(
+            self,
+            T::emit_jal(&mut self.a, JumpTarget::Reg(r)),
+            VInsn::new("jal_reg").k(MarkKind::Jump).r(r, false)
+        );
     }
 
     /// Jump-and-link to an absolute address.
     #[inline]
     pub fn jal_abs(&mut self, addr: u64) {
         self.a.insns += 1;
-        T::emit_jal(&mut self.a, JumpTarget::Abs(addr));
+        vrfy!(
+            self,
+            T::emit_jal(&mut self.a, JumpTarget::Abs(addr)),
+            VInsn::new("jal_abs").k(MarkKind::Jump)
+        );
     }
 
     /// No-operation.
     #[inline]
     pub fn nop(&mut self) {
         self.a.insns += 1;
-        T::emit_nop(&mut self.a);
+        vrfy!(self, T::emit_nop(&mut self.a), VInsn::new("nop"));
     }
 
     // ---- dynamically constructed calls ----
@@ -801,6 +1202,19 @@ impl<'m, T: Target> Assembler<'m, T> {
     pub fn call_begin(&mut self, sig: &Sig) -> CallFrame {
         if matches!(self.a.leaf, Leaf::Yes) {
             self.a.record_err(Error::CallInLeaf);
+            let pc = self.a.buf.len();
+            if let Some(vs) = self.a.verifier.as_mut() {
+                vs.diag(
+                    Rule::CallInLeaf,
+                    Severity::Error,
+                    pc,
+                    "call_begin inside a procedure declared leaf".to_owned(),
+                );
+            }
+        }
+        let pc = self.a.buf.len();
+        if let Some(vs) = self.a.verifier.as_mut() {
+            vs.note_call_begin(pc);
         }
         T::call_begin(&mut self.a, sig)
     }
@@ -808,7 +1222,11 @@ impl<'m, T: Target> Assembler<'m, T> {
     /// Supplies the `idx`-th argument of the call from `src`.
     pub fn call_arg(&mut self, cf: &mut CallFrame, idx: usize, ty: Ty, src: Reg) {
         self.a.insns += 1;
-        T::call_arg(&mut self.a, cf, idx, ty, src);
+        vrfy!(
+            self,
+            T::call_arg(&mut self.a, cf, idx, ty, src),
+            VInsn::new("call_arg").r(src, ty.is_float())
+        );
     }
 
     /// Emits the call; the return value (if the signature has one) is
@@ -819,7 +1237,20 @@ impl<'m, T: Target> Assembler<'m, T> {
             (Ty::V, _) | (_, None) => None,
             (ty, Some(r)) => Some((ty, r)),
         };
-        T::call_end(&mut self.a, cf, target, ret);
+        let pc = self.a.buf.len();
+        if let Some(vs) = self.a.verifier.as_mut() {
+            vs.note_call_end(pc);
+        }
+        vrfy!(self, T::call_end(&mut self.a, cf, target, ret), {
+            let mut vi = VInsn::new("call_end").k(MarkKind::Jump);
+            if let JumpTarget::Reg(r) = target {
+                vi = vi.r(r, false);
+            }
+            if let Some((ty, r)) = ret {
+                vi = vi.w(r, ty.is_float());
+            }
+            vi
+        });
     }
 
     // ---- instruction scheduling (paper §5.3) ----

@@ -42,6 +42,17 @@ pub enum Error {
     },
     /// The `lambda` type string was malformed.
     BadSignature(crate::ty::SigParseError),
+    /// A fixup was recorded past the buffer write cursor — the patch
+    /// would target bytes that were never emitted.
+    FixupOutOfRange {
+        /// Offset the fixup was recorded at.
+        at: usize,
+        /// Buffer write cursor at the time.
+        len: usize,
+    },
+    /// A register outside the target's register file was named (e.g. in
+    /// `set_register_class`).
+    UnknownRegister(crate::reg::Reg),
 }
 
 impl fmt::Display for Error {
@@ -60,6 +71,12 @@ impl fmt::Display for Error {
                 write!(f, "branch at {at:#x} to {dest:#x} out of encodable range")
             }
             Error::BadSignature(e) => write!(f, "{e}"),
+            Error::FixupOutOfRange { at, len } => {
+                write!(f, "fixup at {at:#x} past the write cursor ({len:#x})")
+            }
+            Error::UnknownRegister(r) => {
+                write!(f, "register {r} is not in the target register file")
+            }
         }
     }
 }

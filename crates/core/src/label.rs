@@ -52,6 +52,19 @@ impl LabelMap {
         *slot = off;
     }
 
+    /// Binds `label` to byte offset `off` unless it was already bound,
+    /// returning whether the binding took place. The verifier uses this
+    /// to turn the rebinding panic of [`bind`](Self::bind) into a
+    /// collected diagnostic.
+    pub fn try_bind(&mut self, label: Label, off: usize) -> bool {
+        let slot = &mut self.offsets[label.0 as usize];
+        if *slot != UNBOUND {
+            return false;
+        }
+        *slot = off;
+        true
+    }
+
     /// The offset `label` is bound to, if any.
     pub fn offset(&self, label: Label) -> Option<usize> {
         match self.offsets.get(label.0 as usize) {

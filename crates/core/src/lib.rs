@@ -63,6 +63,7 @@ pub mod spec;
 pub mod target;
 pub mod trap;
 pub mod ty;
+pub mod verify;
 
 pub use asm::{Asm, Assembler};
 pub use buf::EmitPath;
@@ -76,3 +77,6 @@ pub use target::{
 };
 pub use trap::{ExecError, Fuel, Trap, TrapKind};
 pub use ty::{Sig, SigParseError, Ty};
+pub use verify::{
+    cross_check, DecodedInsn, Diag, InsnDecoder, Rule, Severity, TargetChecks, VerifyReport,
+};

@@ -156,6 +156,21 @@ impl RegAlloc {
         }
     }
 
+    /// Returns `reg` to the free pool without the debug double-free
+    /// assertion of [`putreg`](Self::putreg), reporting whether the
+    /// register was actually allocated. The streaming verifier uses this
+    /// so a double free becomes a collected diagnostic.
+    pub fn try_putreg(&mut self, reg: Reg) -> bool {
+        if let Some(c) = self.bank_mut(reg.bank()).iter_mut().find(|c| c.reg == reg) {
+            if c.free {
+                return false;
+            }
+            c.free = true;
+            return true;
+        }
+        false
+    }
+
     /// Marks `reg` in use without allocating (used by `lambda` for
     /// incoming argument registers, and by clients that target specific
     /// registers directly).
@@ -212,6 +227,13 @@ impl RegAlloc {
             Bank::Int => self.callee_used_int,
             Bank::Flt => self.callee_used_flt,
         }
+    }
+
+    /// Whether `reg` is one of this function's register candidates.
+    /// Reclassification APIs use this to reject registers outside the
+    /// target register file with a typed error.
+    pub fn contains(&self, reg: Reg) -> bool {
+        self.bank(reg.bank()).iter().any(|c| c.reg == reg)
     }
 
     /// Number of currently free candidates in `bank` (diagnostics).

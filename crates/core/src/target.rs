@@ -117,6 +117,10 @@ pub struct Finished {
     /// dispatch tables for indirect jumps (e.g. DPF's dense-range
     /// demultiplexing) after generation completes.
     pub label_offsets: Vec<Option<usize>>,
+    /// The streaming-verifier report, when the verifier was enabled for
+    /// this generation session (`None` on the fast path — see
+    /// [`crate::verify`]).
+    pub verify: Option<Box<crate::verify::VerifyReport>>,
 }
 
 impl Finished {
@@ -163,6 +167,18 @@ pub trait Target: Sized {
     /// Maximum register-save area the prologue reserves, in bytes
     /// (paper §5.2: "the space needed to save all machine registers").
     const MAX_SAVE_BYTES: usize;
+    /// Static table the streaming verifier and differential checker
+    /// consult (reserved registers, instruction alignment, delay slots).
+    /// The default is derived from the other consts; backends override
+    /// it to list their reserved registers and alignment.
+    const CHECKS: crate::verify::TargetChecks = crate::verify::TargetChecks {
+        word_bits: Self::WORD_BITS,
+        insn_align: 1,
+        branch_delay_slots: Self::BRANCH_DELAY_SLOTS,
+        load_delay_cycles: Self::LOAD_DELAY_CYCLES,
+        reserved_int: &[],
+        reserved_flt: &[],
+    };
 
     /// The target's register files and allocation ordering.
     fn regfile() -> &'static RegFile;

@@ -620,3 +620,87 @@ fn sim_memory_api_misuse_is_typed_on_every_simulator() {
     assert!(cases >= 50, "only {cases} misuse cases ran");
     println!("memory-api misuse: {cases} cases, all typed");
 }
+
+/// Register-tuning APIs (`set_register_class` / `set_register_priority`)
+/// fed registers outside the target's register file, on every backend.
+/// Each case must latch a typed [`vcode::Error::UnknownRegister`] —
+/// never a panic, never a silent acceptance — and the backend must stay
+/// fully usable for a subsequent clean generation.
+#[test]
+fn register_api_misuse_is_typed_on_every_backend() {
+    use vcode::{Bank, Error, Reg, RegKind};
+
+    /// An integer register the target does not describe, reserve or
+    /// anchor — no legitimate path can ever hand it out.
+    fn ghost_int<T: Target>() -> Reg {
+        let rf = T::regfile();
+        (0u8..64)
+            .map(Reg::int)
+            .find(|&r| {
+                rf.desc(r).is_none()
+                    && !T::CHECKS.reserved_int.contains(&r.num())
+                    && r != rf.sp
+                    && r != rf.fp
+                    && Some(r) != rf.zero
+            })
+            .expect("every target leaves some integer register undescribed")
+    }
+
+    fn corpus<T: Target>(cases: &mut usize) {
+        let ghost = ghost_int::<T>();
+        // Far outside any bank on any target, in both banks.
+        let wild = [ghost, Reg::int(63), Reg::flt(63)];
+
+        for &bad in &wild {
+            for kind in [RegKind::CallerSaved, RegKind::CalleeSaved] {
+                let mut mem = vec![0u8; 1024];
+                let mut a = Assembler::<T>::lambda(&mut mem, "%i", Leaf::Yes).unwrap();
+                let x = a.arg(0);
+                a.set_register_class(bad, kind);
+                a.reti(x);
+                assert!(
+                    matches!(a.end(), Err(Error::UnknownRegister(_))),
+                    "set_register_class({bad:?}) must latch UnknownRegister"
+                );
+                *cases += 1;
+            }
+            for bank in [Bank::Int, Bank::Flt] {
+                let mut mem = vec![0u8; 1024];
+                let mut a = Assembler::<T>::lambda(&mut mem, "%i", Leaf::Yes).unwrap();
+                let x = a.arg(0);
+                a.set_register_priority(bank, &[bad]);
+                a.reti(x);
+                assert!(
+                    matches!(a.end(), Err(Error::UnknownRegister(_))),
+                    "set_register_priority({bank:?}, [{bad:?}]) must latch UnknownRegister"
+                );
+                *cases += 1;
+            }
+        }
+
+        // A ghost hidden among valid registers is still caught.
+        let valid = T::regfile().int.first().expect("nonempty file").reg;
+        let mut mem = vec![0u8; 1024];
+        let mut a = Assembler::<T>::lambda(&mut mem, "%i", Leaf::Yes).unwrap();
+        let x = a.arg(0);
+        a.set_register_priority(Bank::Int, &[valid, ghost]);
+        a.reti(x);
+        assert!(matches!(a.end(), Err(Error::UnknownRegister(_))));
+        *cases += 1;
+
+        // The backend survives the misuse: the real pipeline still
+        // generates cleanly afterwards.
+        let code = gen::<T>();
+        assert!(!code.is_empty());
+        *cases += 1;
+    }
+
+    let mut cases = 0usize;
+    corpus::<vcode_mips::Mips>(&mut cases);
+    corpus::<vcode_sparc::Sparc>(&mut cases);
+    corpus::<vcode_alpha::Alpha>(&mut cases);
+    corpus::<vcode_x64::X64>(&mut cases);
+
+    assert!(cases >= 40, "only {cases} register-API misuse cases ran");
+    println!("register-api misuse: {cases} cases, all typed");
+}

@@ -220,6 +220,17 @@ impl Target for Mips {
     const LOAD_DELAY_CYCLES: u32 = 1;
     // ra + 8 s-regs + 6 FP pairs (2 swc1 each) = 21 reserved instructions.
     const MAX_SAVE_BYTES: usize = (1 + 8 + 12) * 4;
+    const CHECKS: vcode::TargetChecks = vcode::TargetChecks {
+        word_bits: Self::WORD_BITS,
+        insn_align: 4,
+        branch_delay_slots: Self::BRANCH_DELAY_SLOTS,
+        load_delay_cycles: Self::LOAD_DELAY_CYCLES,
+        // $at (instruction synthesis), $v0/$v1 (return), $t8/$t9
+        // (scratch for large immediates and indirect calls).
+        reserved_int: &[1, 2, 3, 24, 25],
+        // $f0 (return) and $f2 (synthesis scratch).
+        reserved_flt: &[0, 2],
+    };
 
     fn regfile() -> &'static RegFile {
         &REGFILE

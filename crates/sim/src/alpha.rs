@@ -813,6 +813,38 @@ pub fn disasm(word: u32) -> String {
     }
 }
 
+/// [`vcode::InsnDecoder`] over the simulator's Alpha decode tables, for
+/// the differential machine-code checker (`vcode::cross_check`).
+///
+/// Control transfers are the conditional branch family and `br`/`bsr`
+/// (pc-relative disp21) plus the opcode-0x1a jump group (`jmp`/`jsr`/
+/// `ret`, register targets with no static destination).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Decoder;
+
+impl vcode::InsnDecoder for Decoder {
+    fn decode(&self, code: &[u8], at: usize) -> Option<vcode::DecodedInsn> {
+        let word = u32::from_le_bytes(code.get(at..at + 4)?.try_into().ok()?);
+        if disasm(word).starts_with(".word") {
+            return None;
+        }
+        let opcode = (word >> 26) as u8;
+        let (control, target) = match opcode {
+            0x1a => (true, None),
+            0x30..=0x37 | 0x39..=0x3b | 0x3d..=0x3f => {
+                let disp = i64::from(((word & 0x1f_ffff) as i32) << 11 >> 11) << 2;
+                (true, Some(at as i64 + 4 + disp))
+            }
+            _ => (false, None),
+        };
+        Some(vcode::DecodedInsn {
+            len: 4,
+            control,
+            target,
+        })
+    }
+}
+
 /// Disassembles a whole code buffer.
 pub fn disasm_all(code: &[u8]) -> String {
     code.chunks_exact(4)

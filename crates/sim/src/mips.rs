@@ -840,6 +840,45 @@ pub fn disasm(word: u32) -> String {
     }
 }
 
+/// [`vcode::InsnDecoder`] over the simulator's MIPS-I decode tables, for
+/// the differential machine-code checker (`vcode::cross_check`).
+///
+/// A word is decodable exactly when [`disasm`] recognizes it; control
+/// transfers are the conditional branches (pc-relative, reported with
+/// their resolved target), `bc1t`/`bc1f`, and `jr`/`jalr` (register
+/// targets, no static destination).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Decoder;
+
+impl vcode::InsnDecoder for Decoder {
+    fn decode(&self, code: &[u8], at: usize) -> Option<vcode::DecodedInsn> {
+        let word = u32::from_le_bytes(code.get(at..at + 4)?.try_into().ok()?);
+        if disasm(word).starts_with(".word") {
+            return None;
+        }
+        let op = (word >> 26) as u8;
+        let rs = (word >> 21) & 31;
+        let rt = (word >> 16) & 31;
+        let funct = (word & 63) as u8;
+        let branch_target = || {
+            let disp = i64::from(word as u16 as i16) << 2;
+            Some(at as i64 + 4 + disp)
+        };
+        let (control, target) = match op {
+            0x01 if matches!(rt, 0 | 1 | 0x11) => (true, branch_target()),
+            0x04..=0x07 => (true, branch_target()),
+            0x11 if rs == 8 => (true, branch_target()),
+            0x00 if matches!(funct, 0x08 | 0x09) => (true, None),
+            _ => (false, None),
+        };
+        Some(vcode::DecodedInsn {
+            len: 4,
+            control,
+            target,
+        })
+    }
+}
+
 /// Disassembles a code buffer, one line per word.
 pub fn disasm_all(code: &[u8]) -> String {
     code.chunks_exact(4)

@@ -852,6 +852,44 @@ fn icc_name(c: u8) -> &'static str {
     }
 }
 
+/// [`vcode::InsnDecoder`] over the simulator's SPARC V8 decode tables,
+/// for the differential machine-code checker (`vcode::cross_check`).
+///
+/// Control transfers are `bicc`/`fbcc` (pc-relative disp22), `call`
+/// (pc-relative disp30) and `jmpl` (register target, no static
+/// destination).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Decoder;
+
+impl vcode::InsnDecoder for Decoder {
+    fn decode(&self, code: &[u8], at: usize) -> Option<vcode::DecodedInsn> {
+        let word = u32::from_le_bytes(code.get(at..at + 4)?.try_into().ok()?);
+        if disasm(word).starts_with(".word") {
+            return None;
+        }
+        let op = word >> 30;
+        let op2 = (word >> 22) & 7;
+        let op3 = (word >> 19) & 0x3f;
+        let (control, target) = match op {
+            0 if matches!(op2, 2 | 6) => {
+                let disp = i64::from(((word & 0x3f_ffff) as i32) << 10 >> 10) << 2;
+                (true, Some(at as i64 + disp))
+            }
+            1 => {
+                let disp = i64::from((word as i32) << 2 >> 2) << 2;
+                (true, Some(at as i64 + disp))
+            }
+            2 if op3 == 0x38 => (true, None),
+            _ => (false, None),
+        };
+        Some(vcode::DecodedInsn {
+            len: 4,
+            control,
+            target,
+        })
+    }
+}
+
 /// Disassembles a whole code buffer.
 pub fn disasm_all(code: &[u8]) -> String {
     code.chunks_exact(4)

@@ -236,6 +236,16 @@ impl Target for Sparc {
     // Register windows save integer state; only the 3-word save sequence
     // is reserved (patched with the final frame size).
     const MAX_SAVE_BYTES: usize = 0;
+    const CHECKS: vcode::TargetChecks = vcode::TargetChecks {
+        word_bits: Self::WORD_BITS,
+        insn_align: 4,
+        branch_delay_slots: Self::BRANCH_DELAY_SLOTS,
+        load_delay_cycles: Self::LOAD_DELAY_CYCLES,
+        // %g1/%g2: instruction-synthesis scratch.
+        reserved_int: &[1, 2],
+        // %f0 (return) and %f28 (synthesis scratch).
+        reserved_flt: &[0, 28],
+    };
 
     fn regfile() -> &'static RegFile {
         &REGFILE

@@ -72,17 +72,20 @@ const ITIMER_REAL: i64 = 0;
 /// The caller must uphold the contract of the specific syscall.
 unsafe fn syscall4(n: i64, a: i64, b: i64, c: i64, d: i64) -> i64 {
     let ret: i64;
-    core::arch::asm!(
-        "syscall",
-        inlateout("rax") n => ret,
-        in("rdi") a,
-        in("rsi") b,
-        in("rdx") c,
-        in("r10") d,
-        lateout("rcx") _,
-        lateout("r11") _,
-        options(nostack),
-    );
+    // SAFETY: forwarded caller obligation (the syscall's own contract).
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
     ret
 }
 

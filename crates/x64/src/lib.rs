@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod declen;
 pub mod encode;
 pub mod exec;
 pub mod guard;
@@ -278,6 +279,16 @@ impl Target for X64 {
     const NAME: &'static str = "x86-64";
     const WORD_BITS: u32 = 64;
     const MAX_SAVE_BYTES: usize = CALLEE_SAVED.len() * SAVE_INSN;
+    const CHECKS: vcode::TargetChecks = vcode::TargetChecks {
+        word_bits: Self::WORD_BITS,
+        insn_align: 1,
+        branch_delay_slots: Self::BRANCH_DELAY_SLOTS,
+        load_delay_cycles: Self::LOAD_DELAY_CYCLES,
+        // r11: instruction-synthesis scratch.
+        reserved_int: &[11],
+        // xmm15: synthesis scratch.
+        reserved_flt: &[15],
+    };
 
     fn regfile() -> &'static RegFile {
         &REGFILE

@@ -23,6 +23,9 @@ cargo bench -q --offline -p vcode-bench --bench codegen_cost
 echo "== ablation =="
 cargo bench -q --offline -p vcode-bench --bench ablation
 
+echo "== verify_overhead =="
+cargo bench -q --offline -p vcode-bench --bench verify_overhead
+
 echo "== par_codegen =="
 cargo bench -q --offline -p vcode-bench --bench par_codegen
 

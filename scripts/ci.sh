@@ -20,6 +20,20 @@ cargo test -q --workspace --offline
 echo "== fault-injection smoke (hardened execution gate) =="
 cargo test -q -p harden --offline --test faults
 
+echo "== verifier gate (streaming checks + differential decoder) =="
+# The verifier integration suite: regress-style corpus must come back
+# clean on all four backends, every bad-client case must be caught with
+# its exact rule, and the machine-code cross-check must pass against
+# the simulator decoders.
+cargo test -q -p vcode --offline --test verify
+
+echo "== verifier-off overhead smoke (zero-cost-when-disabled gate) =="
+# The verifier-off emission loop is the production fast path; its
+# ns/insn is held to the same 20% fence as codegen_cost. The
+# verifier-on number is recorded but not gated.
+VCODE_SMOKE=1 VCODE_BASELINE="$PWD/BENCH_codegen.json" \
+    cargo bench -q --offline -p vcode-bench --bench verify_overhead
+
 echo "== codegen-cost smoke (perf regression gate) =="
 # Smoke-mode rerun against the committed snapshot: any ns/insn metric
 # more than 20% over BENCH_codegen.json fails the build (the bench
