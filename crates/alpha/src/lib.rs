@@ -28,7 +28,7 @@ use encode::{br, f, ff, m, r, CPYS, CPYSN};
 use vcode::asm::Asm;
 use vcode::label::{Fixup, FixupTarget, Label};
 use vcode::op::{BinOp, Cond, Imm, UnOp};
-use vcode::reg::{Reg, RegDesc, RegFile, RegKind};
+use vcode::reg::{Reg, RegDesc, RegFile};
 use vcode::target::{BrOperand, CallFrame, JumpTarget, Leaf, Off, StackSlot, Target};
 use vcode::ty::{Sig, Ty};
 use vcode::{Bank, Error};
@@ -60,69 +60,51 @@ const T10: u8 = r::T10;
 const T11: u8 = r::T11;
 const FSCR: u8 = 1; // FP scratch
 
-static INT_REGS: [RegDesc; 22] = {
-    const fn d(n: u8, kind: RegKind, name: &'static str) -> RegDesc {
-        RegDesc {
-            reg: Reg::int(n),
-            kind,
-            name,
-        }
-    }
-    [
-        d(1, RegKind::CallerSaved, "t0"),
-        d(2, RegKind::CallerSaved, "t1"),
-        d(3, RegKind::CallerSaved, "t2"),
-        d(4, RegKind::CallerSaved, "t3"),
-        d(5, RegKind::CallerSaved, "t4"),
-        d(6, RegKind::CallerSaved, "t5"),
-        d(7, RegKind::CallerSaved, "t6"),
-        d(8, RegKind::CallerSaved, "t7"),
-        d(21, RegKind::Arg(5), "a5"),
-        d(20, RegKind::Arg(4), "a4"),
-        d(19, RegKind::Arg(3), "a3"),
-        d(18, RegKind::Arg(2), "a2"),
-        d(17, RegKind::Arg(1), "a1"),
-        d(16, RegKind::Arg(0), "a0"),
-        d(9, RegKind::CalleeSaved, "s0"),
-        d(10, RegKind::CalleeSaved, "s1"),
-        d(11, RegKind::CalleeSaved, "s2"),
-        d(12, RegKind::CalleeSaved, "s3"),
-        d(13, RegKind::CalleeSaved, "s4"),
-        d(14, RegKind::CalleeSaved, "s5"),
-        d(0, RegKind::Reserved, "v0"),
-        d(28, RegKind::Reserved, "at"),
-    ]
-};
+static INT_REGS: [RegDesc; 22] = vcode::regdescs![int:
+    1, CallerSaved, "t0";
+    2, CallerSaved, "t1";
+    3, CallerSaved, "t2";
+    4, CallerSaved, "t3";
+    5, CallerSaved, "t4";
+    6, CallerSaved, "t5";
+    7, CallerSaved, "t6";
+    8, CallerSaved, "t7";
+    21, Arg(5), "a5";
+    20, Arg(4), "a4";
+    19, Arg(3), "a3";
+    18, Arg(2), "a2";
+    17, Arg(1), "a1";
+    16, Arg(0), "a0";
+    9, CalleeSaved, "s0";
+    10, CalleeSaved, "s1";
+    11, CalleeSaved, "s2";
+    12, CalleeSaved, "s3";
+    13, CalleeSaved, "s4";
+    14, CalleeSaved, "s5";
+    0, Reserved, "v0";
+    28, Reserved, "at";
+];
 
-static FLT_REGS: [RegDesc; 18] = {
-    const fn d(n: u8, kind: RegKind, name: &'static str) -> RegDesc {
-        RegDesc {
-            reg: Reg::flt(n),
-            kind,
-            name,
-        }
-    }
-    [
-        d(10, RegKind::CallerSaved, "f10"),
-        d(11, RegKind::CallerSaved, "f11"),
-        d(12, RegKind::CallerSaved, "f12"),
-        d(13, RegKind::CallerSaved, "f13"),
-        d(14, RegKind::CallerSaved, "f14"),
-        d(15, RegKind::CallerSaved, "f15"),
-        d(22, RegKind::CallerSaved, "f22"),
-        d(23, RegKind::CallerSaved, "f23"),
-        d(19, RegKind::Arg(3), "f19"),
-        d(18, RegKind::Arg(2), "f18"),
-        d(17, RegKind::Arg(1), "f17"),
-        d(16, RegKind::Arg(0), "f16"),
-        d(2, RegKind::CalleeSaved, "f2"),
-        d(3, RegKind::CalleeSaved, "f3"),
-        d(4, RegKind::CalleeSaved, "f4"),
-        d(5, RegKind::CalleeSaved, "f5"),
-        d(0, RegKind::Reserved, "f0"),
-        d(1, RegKind::Reserved, "f1"),
-    ]
-};
+static FLT_REGS: [RegDesc; 18] = vcode::regdescs![flt:
+    10, CallerSaved, "f10";
+    11, CallerSaved, "f11";
+    12, CallerSaved, "f12";
+    13, CallerSaved, "f13";
+    14, CallerSaved, "f14";
+    15, CallerSaved, "f15";
+    22, CallerSaved, "f22";
+    23, CallerSaved, "f23";
+    19, Arg(3), "f19";
+    18, Arg(2), "f18";
+    17, Arg(1), "f17";
+    16, Arg(0), "f16";
+    2, CalleeSaved, "f2";
+    3, CalleeSaved, "f3";
+    4, CalleeSaved, "f4";
+    5, CalleeSaved, "f5";
+    0, Reserved, "f0";
+    1, Reserved, "f1";
+];
 
 static REGFILE: RegFile = RegFile {
     int: &INT_REGS,
@@ -881,6 +863,16 @@ impl Target for Alpha {
         }
     }
 }
+
+vcode::code_backend!(
+    /// Runtime-selectable engine adapter for the Alpha target: replays a
+    /// recorded [`vcode::engine::Program`] through `Assembler<Alpha>` and
+    /// returns the finished image as a simulator-executable
+    /// [`vcode::engine::CodeImage`].
+    AlphaBackend,
+    Alpha,
+    vcode::engine::TargetId::Alpha
+);
 
 #[cfg(test)]
 mod tests {

@@ -9,9 +9,30 @@
 
 use crate::{generic, reference, Step};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 use vcode::target::Leaf;
-use vcode::{Assembler, RegClass};
+use vcode::{Assembler, CacheKey, CacheStats, LambdaCache, RegClass, TargetId};
 use vcode_x64::{ExecCode, ExecMem, X64};
+
+/// The process-wide cache of fused kernels, keyed by the pipeline
+/// *shape*: the generated loop depends only on which steps are present
+/// and the unroll factor, so layers composing the same shape across many
+/// message flows share one compiled kernel.
+fn kernel_cache() -> &'static LambdaCache<NativeCode> {
+    static CACHE: OnceLock<LambdaCache<NativeCode>> = OnceLock::new();
+    CACHE.get_or_init(|| LambdaCache::new(16))
+}
+
+/// Counters for the process-wide kernel cache.
+pub fn cache_stats() -> CacheStats {
+    kernel_cache().stats()
+}
+
+/// Drops every cached kernel (live pipelines keep theirs). Benchmarks
+/// use this to measure cold compiles.
+pub fn clear_cache() {
+    kernel_cache().clear();
+}
 
 /// Which engine a [`Pipeline`] runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,11 +113,28 @@ pub struct Pipeline {
     pub vcode_insns: u64,
 }
 
+/// One fused, finished kernel: the live mapping plus its entry pointer
+/// and size metadata. Shared (via `Arc`) between every pipeline with the
+/// same shape and the process-wide cache; the mapping stays executable
+/// until the last holder drops.
+pub struct NativeCode {
+    code: ExecCode,
+    entry: extern "C" fn(*mut u8, *const u8, u64) -> u64,
+    code_len: usize,
+    vcode_insns: u64,
+}
+
+impl fmt::Debug for NativeCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NativeCode")
+            .field("code_len", &self.code_len)
+            .field("vcode_insns", &self.vcode_insns)
+            .finish_non_exhaustive()
+    }
+}
+
 enum Engine {
-    Native {
-        code: ExecCode,
-        entry: extern "C" fn(*mut u8, *const u8, u64) -> u64,
-    },
+    Native(Arc<NativeCode>),
     Interpreter,
 }
 
@@ -168,31 +206,84 @@ impl Pipeline {
         opts: PipelineOptions,
     ) -> Result<Pipeline, PipelineError> {
         assert!((1..=16).contains(&opts.unroll));
+        // An explicit code_capacity is a harness knob (fault injection /
+        // overflow drills): those compiles are bespoke, never cached.
+        let native = if opts.code_capacity.is_some() {
+            Self::native_with_retry(steps, opts).map(Arc::new)
+        } else {
+            kernel_cache().get_or_insert_with(Self::cache_key(steps, opts), || {
+                Self::native_with_retry(steps, opts).map(Arc::new)
+            })
+        };
+        Ok(Self::from_native(native, steps))
+    }
+
+    /// Compiles bypassing the process-wide kernel cache (always a cold
+    /// compile, and the result is not shared). Same degradation ladder
+    /// as [`compile`](Self::compile); benchmarks use this for the cold
+    /// side of the amortization table.
+    ///
+    /// # Errors
+    ///
+    /// See [`compile`](Self::compile).
+    pub fn compile_uncached(steps: &[Step]) -> Result<Pipeline, PipelineError> {
+        let opts = PipelineOptions::default();
+        let native = Self::native_with_retry(steps, opts).map(Arc::new);
+        Ok(Self::from_native(native, steps))
+    }
+
+    fn from_native(native: Result<Arc<NativeCode>, PipelineError>, steps: &[Step]) -> Pipeline {
+        match native {
+            Ok(nc) => Pipeline {
+                code_len: nc.code_len,
+                vcode_insns: nc.vcode_insns,
+                engine: Engine::Native(nc),
+                steps: steps.to_vec(),
+            },
+            // Degrade: interpret the same steps.
+            Err(_) => Pipeline {
+                engine: Engine::Interpreter,
+                steps: steps.to_vec(),
+                code_len: 0,
+                vcode_insns: 0,
+            },
+        }
+    }
+
+    /// Content key of a pipeline shape. The generated loop depends only
+    /// on which step kinds are present and the unroll factor, not on the
+    /// step order or multiplicity (`native` probes with `contains`).
+    fn cache_key(steps: &[Step], opts: PipelineOptions) -> CacheKey {
+        let bytes = format!(
+            "ash|ck={}|sw={}|u={}",
+            steps.contains(&Step::Checksum),
+            steps.contains(&Step::Swap),
+            opts.unroll
+        )
+        .into_bytes();
+        CacheKey::new(TargetId::X64, bytes)
+    }
+
+    /// The overflow → doubled-buffer retry rung of the ladder.
+    fn native_with_retry(
+        steps: &[Step],
+        opts: PipelineOptions,
+    ) -> Result<NativeCode, PipelineError> {
         match Self::native(steps, opts) {
-            Ok(p) => return Ok(p),
+            Ok(nc) => Ok(nc),
             Err(PipelineError::Codegen(vcode::Error::Overflow { capacity })) => {
-                // One retry with a doubled buffer.
                 let retry = PipelineOptions {
                     code_capacity: Some(capacity.max(1) * 2),
                     ..opts
                 };
-                if let Ok(p) = Self::native(steps, retry) {
-                    return Ok(p);
-                }
+                Self::native(steps, retry)
             }
-            Err(_) => {}
+            Err(e) => Err(e),
         }
-        // Degrade: interpret the same steps.
-        Ok(Pipeline {
-            engine: Engine::Interpreter,
-            steps: steps.to_vec(),
-            code_len: 0,
-            vcode_insns: 0,
-        })
     }
 
     /// The native-codegen rung of the ladder.
-    fn native(steps: &[Step], opts: PipelineOptions) -> Result<Pipeline, PipelineError> {
+    fn native(steps: &[Step], opts: PipelineOptions) -> Result<NativeCode, PipelineError> {
         let unroll = opts.unroll;
         let do_cksum = steps.contains(&Step::Checksum);
         let do_swap = steps.contains(&Step::Swap);
@@ -290,9 +381,9 @@ impl Pipeline {
         // SAFETY: the generated function has the declared C ABI and only
         // touches dst[..n] / src[..n].
         let entry: extern "C" fn(*mut u8, *const u8, u64) -> u64 = unsafe { code.as_fn() };
-        Ok(Pipeline {
-            engine: Engine::Native { code, entry },
-            steps: steps.to_vec(),
+        Ok(NativeCode {
+            code,
+            entry,
             code_len: fin.len,
             vcode_insns,
         })
@@ -314,7 +405,7 @@ impl Pipeline {
             "pipelines operate on whole words"
         );
         let sum = match &self.engine {
-            Engine::Native { entry, .. } => entry(dst.as_mut_ptr(), src.as_ptr(), src.len() as u64),
+            Engine::Native(nc) => (nc.entry)(dst.as_mut_ptr(), src.as_ptr(), src.len() as u64),
             Engine::Interpreter => generic::run_fused(&self.steps, src, dst),
         };
         if self.steps.contains(&Step::Checksum) {
@@ -332,7 +423,7 @@ impl Pipeline {
     /// Which engine [`run`](Self::run) executes on.
     pub fn engine_kind(&self) -> EngineKind {
         match self.engine {
-            Engine::Native { .. } => EngineKind::Native,
+            Engine::Native(_) => EngineKind::Native,
             Engine::Interpreter => EngineKind::Interpreter,
         }
     }
@@ -341,7 +432,7 @@ impl Pipeline {
     /// degraded mode.
     pub fn entry_addr(&self) -> Option<u64> {
         match &self.engine {
-            Engine::Native { code, .. } => Some(code.addr()),
+            Engine::Native(nc) => Some(nc.code.addr()),
             Engine::Interpreter => None,
         }
     }

@@ -38,7 +38,9 @@
 mod compile;
 pub mod generic;
 
-pub use compile::{EngineKind, Pipeline, PipelineError, PipelineOptions};
+pub use compile::{
+    cache_stats, clear_cache, EngineKind, NativeCode, Pipeline, PipelineError, PipelineOptions,
+};
 
 /// A data-manipulation step a protocol layer contributes to the message
 /// pipeline.

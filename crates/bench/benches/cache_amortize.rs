@@ -1,0 +1,168 @@
+//! Compiled-lambda cache amortization.
+//!
+//! The paper fences dynamic compilation behind a cost budget (codegen
+//! must stay a small fraction of one use — the 20% `codegen_cost`
+//! fence); the engine's sharded cache changes the economics for repeated
+//! shapes: the *first* compile pays full codegen cost, every subsequent
+//! request for the same (backend, stream) returns finished code with
+//! zero emission work. This bench measures both sides:
+//!
+//! - cold: `Engine::compile` (uncached single-shot path) per program;
+//! - warm: `Engine::compile_cached` hit on an already-resident key;
+//! - a hard gate: the warm hit must be ≥50× cheaper than the cold
+//!   compile — if a "cache hit" ever re-runs emission, this fails;
+//! - multi-thread: N threads hammering one shared cache on a small key
+//!   working set (the DPF many-flows-few-filters shape), reported as
+//!   aggregate lookups/s.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+use vcode::engine::{Engine, Program, TargetId};
+use vcode::BinOp;
+use vcode_bench::snapshot;
+
+/// A `BODY`-instruction straight-line program, distinct per `salt`.
+fn prog(salt: i32, body: usize) -> Program {
+    let mut p = Program::new(2).unwrap();
+    p.bin(BinOp::Add, 2, 0, 1);
+    for i in 0..body {
+        match i % 3 {
+            0 => p.bin_imm(BinOp::Xor, 2, 2, salt),
+            1 => p.bin(BinOp::Add, 2, 2, 0),
+            _ => p.bin_imm(BinOp::And, 2, 2, 0x7fff_fffe),
+        }
+    }
+    p.ret(2);
+    p
+}
+
+fn engine(capacity: usize) -> Engine {
+    let mut e = Engine::new(capacity);
+    e.register(Arc::new(vcode_x64::X64Backend));
+    e
+}
+
+/// Best-of-windows ns per op for `f`.
+fn measure(reps: u32, windows: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..reps {
+        f(); // warmup
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..windows {
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best * 1e9 / f64::from(reps)
+}
+
+fn main() {
+    let smoke = snapshot::smoke();
+    let reps: u32 = if smoke { 200 } else { 2000 };
+    let body = 128usize;
+    let e = engine(256);
+
+    println!("=== Lambda-cache amortization (x64 backend, {body}-insn programs) ===");
+
+    // Cold: the uncached single-shot path, a fresh compile every time.
+    // (This is the path the 20% codegen_cost fence covers.)
+    let p = prog(1, body);
+    let cold_ns = measure(reps, 10, || {
+        black_box(e.compile(TargetId::X64, black_box(&p)).unwrap());
+    });
+
+    // Warm: resident key, finished code, zero emission work.
+    e.compile_cached(TargetId::X64, &p).unwrap();
+    let warm_ns = measure(reps * 10, 10, || {
+        black_box(e.compile_cached(TargetId::X64, black_box(&p)).unwrap());
+    });
+
+    let ratio = cold_ns / warm_ns;
+    println!("  cold compile      {cold_ns:>10.1} ns");
+    println!("  warm cache hit    {warm_ns:>10.1} ns   ({ratio:.0}x cheaper)");
+
+    // Multi-thread shared cache: every thread loops over a small key
+    // working set that is resident after the first round.
+    let threads = 4usize;
+    let keys: Vec<Program> = (0..8).map(|k| prog(k, body)).collect();
+    for k in &keys {
+        e.compile_cached(TargetId::X64, k).unwrap();
+    }
+    let e = Arc::new(e);
+    let keys = Arc::new(keys);
+    let secs = if smoke { 0.05 } else { 0.3 };
+    let barrier = Barrier::new(threads + 1);
+    let stop = AtomicBool::new(false);
+    let (total, elapsed) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (e, keys) = (Arc::clone(&e), Arc::clone(&keys));
+                let (barrier, stop) = (&barrier, &stop);
+                s.spawn(move || {
+                    let mut lookups = 0u64;
+                    barrier.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        for (i, k) in keys.iter().enumerate() {
+                            let f = e.compile_cached(TargetId::X64, k).unwrap();
+                            if (t + i) % 64 == 0 {
+                                black_box(f.call(&[1, 2]).unwrap());
+                            }
+                        }
+                        lookups += keys.len() as u64;
+                    }
+                    lookups
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t = Instant::now();
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        (total, t.elapsed().as_secs_f64())
+    });
+    let mt_rate = total as f64 / elapsed;
+    println!(
+        "  shared cache, {threads} threads: {:>8.2} Mlookup/s aggregate",
+        mt_rate / 1e6
+    );
+
+    let s = e.cache_stats();
+    println!(
+        "  cache counters: {} hits, {} misses, {} inserts, {} evictions",
+        s.hits, s.misses, s.inserts, s.evictions
+    );
+
+    // Snapshot + regression gate, plus the hard amortization invariant:
+    // a warm hit that is less than 50x cheaper than a cold compile means
+    // the hit path is doing emission work.
+    let mut failures = Vec::new();
+    for (name, value, gate) in [
+        ("cache_amortize/cold_compile_ns", cold_ns, true),
+        ("cache_amortize/warm_hit_ns", warm_ns, true),
+        // Throughput: bigger is better, so the bigger-is-worse ns gate
+        // does not apply; recorded for the snapshot only.
+        ("cache_amortize/mt_mlookups_per_s", mt_rate / 1e6, false),
+    ] {
+        snapshot::record(name, value);
+        if gate {
+            failures.extend(snapshot::check(name, value));
+        }
+    }
+    if ratio < 50.0 {
+        failures.push(format!(
+            "cache_amortize: warm hit only {ratio:.1}x cheaper than cold compile \
+             (cold {cold_ns:.0} ns, warm {warm_ns:.0} ns, need >=50x)"
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -107,6 +107,49 @@ fn bench(c: &mut Criterion) {
         xs.cache_hit_ratio().unwrap_or(0.0) * 100.0,
         xs.traps.total()
     );
+
+    // Amortization row: per-flow setup cost with and without the
+    // classifier cache. A cold compile pays trie merge + full codegen;
+    // a warm `compile()` on a resident filter set is a cache hit that
+    // shares the finished classifier (the many-flows-few-filter-sets
+    // shape the engine's lambda cache exists for).
+    let filters = packet::port_filter_set(10, 1000);
+    let fresh = || {
+        let mut d = Dpf::new();
+        for f in &filters {
+            d.insert(f.clone());
+        }
+        d
+    };
+    const SETUPS: usize = 200;
+    let cold_ns = {
+        let t = Instant::now();
+        for _ in 0..SETUPS {
+            let mut d = fresh();
+            d.compile_uncached().expect("compiles");
+            black_box(&d);
+        }
+        t.elapsed().as_secs_f64() * 1e9 / SETUPS as f64
+    };
+    let mut d = fresh();
+    d.compile().expect("compiles"); // prime the cache
+    let warm_ns = {
+        let t = Instant::now();
+        for _ in 0..SETUPS {
+            let mut d = fresh();
+            d.compile().expect("cache hit");
+            black_box(&d);
+        }
+        t.elapsed().as_secs_f64() * 1e9 / SETUPS as f64
+    };
+    let cs = dpf::cache_stats();
+    println!("  per-flow setup: cold compile {cold_ns:.0} ns, warm cache hit {warm_ns:.0} ns");
+    println!(
+        "  ({:.0}x amortization; classifier cache: {} hits, {} misses)",
+        cold_ns / warm_ns,
+        cs.hits,
+        cs.misses
+    );
 }
 
 criterion_group!(benches, bench);

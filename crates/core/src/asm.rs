@@ -605,6 +605,7 @@ impl<'m, T: Target> Assembler<'m, T> {
                     .map(|i| self.a.labels.offset(Label(i)))
                     .collect(),
                 verify: None,
+                insns: self.a.insns,
             }),
         }
     }

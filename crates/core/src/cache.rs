@@ -1,0 +1,594 @@
+//! Content-addressed, sharded cache for finished dynamic code.
+//!
+//! Dynamic codegen is only "very fast" relative to executing the code
+//! once; a serving system (the ROADMAP's north star) compiles the same
+//! lambda across many requests, and the win comes from *not* compiling
+//! the second time. [`LambdaCache`] is the workspace-wide primitive for
+//! that amortization:
+//!
+//! - **Content-addressed.** A [`CacheKey`] is (target id, key bytes):
+//!   either the serialized vcode stream (`Program::encode`) or a client
+//!   key (DPF filter shape, ASH pipeline shape). The stored FNV-1a hash
+//!   only *routes* (shard choice, bucket probe); equality is decided on
+//!   the full bytes, so hash collisions can never alias two programs.
+//! - **Sharded.** Entries spread over `min(8, capacity)` mutexed shards
+//!   by key hash; concurrent compiles of different programs do not
+//!   contend.
+//! - **Thundering-herd safe.** The first thread to miss installs a
+//!   `Building` slot and compiles; racers wait on a condvar and share
+//!   the single result — exactly one compile per key, no matter how many
+//!   threads race.
+//! - **Never poisoned.** A failed build removes the slot and hands the
+//!   typed error to every waiter; the next caller simply retries. A
+//!   panicking build likewise clears the slot (guard in
+//!   [`LambdaCache::get_or_insert_with`]) so the key stays usable.
+//! - **Capacity-capped LRU.** Each shard evicts its least-recently-used
+//!   *ready* entry beyond its share of the capacity. Eviction only drops
+//!   the cache's `Arc` — code still referenced by callers stays alive
+//!   (and, for native code, its mapping stays out of the executable-
+//!   memory pool) until the last clone is gone.
+//! - **Observable.** Per-cache [`CacheStats`] plus process-wide
+//!   [`obs::lambda_cache_counters`](crate::obs::lambda_cache_counters).
+
+use crate::engine::{fnv1a, TargetId};
+use crate::obs;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Key of one cached lambda: the backend it was compiled for plus the
+/// content bytes that identify the program.
+///
+/// The bytes are shared (`Arc`) so warm-path lookups clone the key in
+/// O(1) instead of copying the serialized stream.
+#[derive(Debug, Clone)]
+pub struct CacheKey {
+    target: TargetId,
+    bytes: Arc<[u8]>,
+    hash: u64,
+}
+
+/// Routing hash of (target, content hash): a cheap avalanche mix, so a
+/// caller with a memoized content hash builds a key without re-scanning
+/// the bytes. Every constructor must agree on this function — the stored
+/// hash must be a function of (target, bytes) for `HashMap` correctness.
+fn route_hash(target: TargetId, content: u64) -> u64 {
+    content ^ (target.index() as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+impl CacheKey {
+    /// Content-addressed key: `bytes` is the program identity (e.g.
+    /// `Program::encode()`); the hash mixes FNV-1a of the bytes with the
+    /// target id, so the same stream on two backends routes — and keys —
+    /// differently.
+    pub fn new(target: TargetId, bytes: Vec<u8>) -> CacheKey {
+        let hash = route_hash(target, fnv1a(&bytes));
+        CacheKey {
+            target,
+            bytes: bytes.into(),
+            hash,
+        }
+    }
+
+    /// Key from an already-serialized, already-hashed identity (the
+    /// memoized `Program::encoded` fast path): no byte scan, no copy.
+    /// `content_hash` MUST be FNV-1a of `bytes` — the constructors must
+    /// agree so equal keys hash equally.
+    pub fn from_encoded(target: TargetId, bytes: Arc<[u8]>, content_hash: u64) -> CacheKey {
+        CacheKey {
+            target,
+            hash: route_hash(target, content_hash),
+            bytes,
+        }
+    }
+
+    /// Client-hash key for callers that already maintain a collision-free
+    /// 64-bit identity. The hash bytes *are* the content, so two clients
+    /// passing the same `h` for different programs will alias — the
+    /// client key must be collision-free by construction.
+    pub fn from_client_hash(target: TargetId, h: u64) -> CacheKey {
+        CacheKey::new(target, h.to_le_bytes().to_vec())
+    }
+
+    /// Key with an explicitly injected routing hash. Exists so tests can
+    /// force hash collisions and prove that equality on the bytes keeps
+    /// colliding keys distinct.
+    pub fn with_hash(target: TargetId, bytes: Vec<u8>, hash: u64) -> CacheKey {
+        CacheKey {
+            target,
+            bytes: bytes.into(),
+            hash,
+        }
+    }
+
+    /// The backend this key is scoped to.
+    pub fn target(&self) -> TargetId {
+        self.target
+    }
+
+    /// The routing hash (shard choice and bucket probe only).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+// Equality deliberately ignores `hash`: the hash routes, the bytes
+// decide. Hash must agree with Eq for HashMap correctness, which holds
+// because equal (target, bytes) always produce the same stored hash via
+// the public constructors, and `with_hash` colliders compare unequal on
+// bytes and merely probe the same bucket.
+impl PartialEq for CacheKey {
+    fn eq(&self, other: &CacheKey) -> bool {
+        self.target == other.target
+            // Same shared allocation (a memoized Program re-looked-up):
+            // content equality without the byte scan.
+            && (Arc::ptr_eq(&self.bytes, &other.bytes) || self.bytes == other.bytes)
+    }
+}
+
+impl Eq for CacheKey {}
+
+impl std::hash::Hash for CacheKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// Snapshot of one cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned finished code with zero emission work.
+    pub hits: u64,
+    /// Lookups that had to compile (includes herd waiters that shared a
+    /// racing compile).
+    pub misses: u64,
+    /// Ready entries dropped by LRU capacity enforcement.
+    pub evictions: u64,
+    /// Successful compiles inserted.
+    pub inserts: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatCells {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    inserts: AtomicU64,
+}
+
+/// In-flight compile slot: `done` flips under the mutex, waiters sleep
+/// on the condvar, and the result (or its absence, on failure) lives in
+/// the shard map itself.
+#[derive(Debug, Default)]
+struct Build {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+enum Slot<V: ?Sized> {
+    Ready { val: Arc<V>, stamp: u64 },
+    Building(Arc<Build>),
+}
+
+type Shard<V> = Mutex<HashMap<CacheKey, Slot<V>>>;
+
+/// Sharded, content-addressed, LRU-capped cache of `Arc<V>` keyed by
+/// [`CacheKey`]. `V` may be unsized (`LambdaCache<dyn Lambda>`).
+pub struct LambdaCache<V: ?Sized> {
+    shards: Vec<Shard<V>>,
+    /// Max ready entries per shard (total capacity split across shards,
+    /// rounded up — the global cap is approximate by design).
+    per_shard: usize,
+    clock: AtomicU64,
+    stats: StatCells,
+}
+
+impl<V: ?Sized> std::fmt::Debug for LambdaCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LambdaCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard", &self.per_shard)
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Clears a `Building` slot if the builder unwinds, so a panicking
+/// compile never wedges the key.
+struct BuildGuard<'c, V: ?Sized> {
+    cache: &'c LambdaCache<V>,
+    key: Option<CacheKey>,
+    build: Arc<Build>,
+}
+
+impl<V: ?Sized> Drop for BuildGuard<'_, V> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            let mut shard = self.cache.shard(&key);
+            shard.remove(&key);
+            drop(shard);
+            self.build.wake();
+        }
+    }
+}
+
+impl Build {
+    fn wake(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        drop(done);
+        self.cv.notify_all();
+    }
+}
+
+impl<V: ?Sized> LambdaCache<V> {
+    /// Creates a cache retaining at most ~`capacity` finished lambdas
+    /// (LRU beyond that; a capacity of 0 caches nothing).
+    pub fn new(capacity: usize) -> LambdaCache<V> {
+        let nshards = capacity.clamp(1, 8);
+        LambdaCache {
+            shards: (0..nshards).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard: capacity.div_ceil(nshards),
+            clock: AtomicU64::new(1),
+            stats: StatCells::default(),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> MutexGuard<'_, HashMap<CacheKey, Slot<V>>> {
+        let idx = (key.hash as usize) % self.shards.len();
+        self.shards[idx].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Looks up `key`, counting a hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<V>> {
+        let mut shard = self.shard(key);
+        match shard.get_mut(key) {
+            Some(Slot::Ready { val, stamp }) => {
+                *stamp = self.tick();
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                obs::note_lambda_cache_hit();
+                Some(Arc::clone(val))
+            }
+            _ => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                obs::note_lambda_cache_miss();
+                None
+            }
+        }
+    }
+
+    /// Returns the cached value for `key`, or runs `build` to produce
+    /// it. Exactly one builder runs per key however many threads race;
+    /// the others block and share the result. `build` runs *without* the
+    /// shard lock held, so slow compiles don't serialize unrelated keys.
+    ///
+    /// # Errors
+    ///
+    /// The builder's typed error, handed to the builder *and* every
+    /// waiter of that round. The failed slot is removed — the key stays
+    /// usable and the next caller retries the compile.
+    pub fn get_or_insert_with<E>(
+        &self,
+        key: CacheKey,
+        build: impl FnOnce() -> Result<Arc<V>, E>,
+    ) -> Result<Arc<V>, E> {
+        let mut build = Some(build);
+        let mut waited = false;
+        loop {
+            let wait_on: Arc<Build>;
+            {
+                let mut shard = self.shard(&key);
+                match shard.get_mut(&key) {
+                    Some(Slot::Ready { val, stamp }) => {
+                        *stamp = self.tick();
+                        // A herd waiter that finds the result ready still
+                        // experienced a miss (it waited for a compile).
+                        if waited {
+                            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                            obs::note_lambda_cache_miss();
+                        } else {
+                            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                            obs::note_lambda_cache_hit();
+                        }
+                        return Ok(Arc::clone(val));
+                    }
+                    Some(Slot::Building(b)) => {
+                        wait_on = Arc::clone(b);
+                    }
+                    None => {
+                        let b = Arc::new(Build::default());
+                        shard.insert(key.clone(), Slot::Building(Arc::clone(&b)));
+                        drop(shard);
+                        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                        obs::note_lambda_cache_miss();
+                        return self.run_build(key, b, build.take().expect("builder reused"));
+                    }
+                }
+            }
+            waited = true;
+            let mut done = wait_on.done.lock().unwrap_or_else(|e| e.into_inner());
+            while !*done {
+                done = wait_on.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+            }
+            // Re-probe: either Ready (success) or vacant (failed build →
+            // this thread becomes the next builder).
+        }
+    }
+
+    fn run_build<E>(
+        &self,
+        key: CacheKey,
+        build_slot: Arc<Build>,
+        build: impl FnOnce() -> Result<Arc<V>, E>,
+    ) -> Result<Arc<V>, E> {
+        let mut guard = BuildGuard {
+            cache: self,
+            key: Some(key),
+            build: Arc::clone(&build_slot),
+        };
+        let result = build();
+        let key = guard.key.take().expect("build key consumed");
+        match result {
+            Ok(val) => {
+                {
+                    let mut shard = self.shard(&key);
+                    shard.insert(
+                        key.clone(),
+                        Slot::Ready {
+                            val: Arc::clone(&val),
+                            stamp: self.tick(),
+                        },
+                    );
+                    self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+                    obs::note_lambda_cache_insert();
+                    self.enforce_capacity(&mut shard, &key);
+                }
+                build_slot.wake();
+                Ok(val)
+            }
+            Err(e) => {
+                {
+                    let mut shard = self.shard(&key);
+                    shard.remove(&key);
+                }
+                build_slot.wake();
+                Err(e)
+            }
+        }
+    }
+
+    /// Evicts least-recently-used `Ready` entries (never `Building`
+    /// slots, never `just_inserted`) until the shard is within its cap.
+    fn enforce_capacity(&self, shard: &mut HashMap<CacheKey, Slot<V>>, just_inserted: &CacheKey) {
+        loop {
+            let ready = shard
+                .iter()
+                .filter(|(k, _)| *k != just_inserted)
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready { stamp, .. } => Some((*stamp, k.clone())),
+                    Slot::Building(_) => None,
+                });
+            let ready_count = shard
+                .values()
+                .filter(|s| matches!(s, Slot::Ready { .. }))
+                .count();
+            if ready_count <= self.per_shard {
+                return;
+            }
+            let Some((_, victim)) = ready.min_by_key(|(stamp, _)| *stamp) else {
+                // Only the just-inserted entry is ready (per_shard == 0):
+                // drop it — a zero-capacity cache caches nothing.
+                shard.remove(just_inserted);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                obs::note_lambda_cache_eviction();
+                return;
+            };
+            shard.remove(&victim);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            obs::note_lambda_cache_eviction();
+        }
+    }
+
+    /// Ready entries currently cached (excludes in-flight builds).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready { .. }))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether no finished code is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every ready entry (in-flight builds complete normally).
+    /// Callers holding `Arc`s keep their code.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .retain(|_, slot| matches!(slot, Slot::Building(_)));
+        }
+    }
+
+    /// Snapshot of this cache's counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            inserts: self.stats.inserts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    fn key(n: u8) -> CacheKey {
+        CacheKey::new(TargetId::Mips, vec![n])
+    }
+
+    #[test]
+    fn hit_miss_insert_counters() {
+        let c: LambdaCache<u32> = LambdaCache::new(8);
+        assert!(c.get(&key(1)).is_none());
+        let v = c
+            .get_or_insert_with::<Infallible>(key(1), || Ok(Arc::new(7)))
+            .unwrap();
+        assert_eq!(*v, 7);
+        assert_eq!(*c.get(&key(1)).unwrap(), 7);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.evictions), (1, 2, 1, 0));
+    }
+
+    #[test]
+    fn same_bytes_different_target_do_not_alias() {
+        let c: LambdaCache<u32> = LambdaCache::new(8);
+        let ka = CacheKey::new(TargetId::Mips, vec![1, 2, 3]);
+        let kb = CacheKey::new(TargetId::X64, vec![1, 2, 3]);
+        assert_ne!(ka, kb);
+        c.get_or_insert_with::<Infallible>(ka.clone(), || Ok(Arc::new(1)))
+            .unwrap();
+        c.get_or_insert_with::<Infallible>(kb.clone(), || Ok(Arc::new(2)))
+            .unwrap();
+        assert_eq!(*c.get(&ka).unwrap(), 1);
+        assert_eq!(*c.get(&kb).unwrap(), 2);
+    }
+
+    #[test]
+    fn forced_hash_collision_does_not_alias() {
+        // Capacity 16 → 8 shards × 2 slots, so both colliding keys fit
+        // in the shared shard and neither is evicted.
+        let c: LambdaCache<u32> = LambdaCache::new(16);
+        let ka = CacheKey::with_hash(TargetId::Mips, vec![1], 0xdead_beef);
+        let kb = CacheKey::with_hash(TargetId::Mips, vec![2], 0xdead_beef);
+        assert_eq!(ka.hash(), kb.hash());
+        assert_ne!(ka, kb);
+        c.get_or_insert_with::<Infallible>(ka.clone(), || Ok(Arc::new(1)))
+            .unwrap();
+        c.get_or_insert_with::<Infallible>(kb.clone(), || Ok(Arc::new(2)))
+            .unwrap();
+        assert_eq!(*c.get(&ka).unwrap(), 1);
+        assert_eq!(*c.get(&kb).unwrap(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        // Capacity 16 → 8 shards × 2 slots; hashes ≡ 0 (mod 8) pin all
+        // three keys to shard 0, so the third insert must evict one.
+        let c: LambdaCache<u32> = LambdaCache::new(16);
+        let ka = CacheKey::with_hash(TargetId::Mips, vec![1], 0);
+        let kb = CacheKey::with_hash(TargetId::Mips, vec![2], 8);
+        let kc = CacheKey::with_hash(TargetId::Mips, vec![3], 16);
+        c.get_or_insert_with::<Infallible>(ka.clone(), || Ok(Arc::new(1)))
+            .unwrap();
+        c.get_or_insert_with::<Infallible>(kb.clone(), || Ok(Arc::new(2)))
+            .unwrap();
+        // Touch ka so kb is the LRU victim when kc arrives.
+        assert!(c.get(&ka).is_some());
+        c.get_or_insert_with::<Infallible>(kc.clone(), || Ok(Arc::new(3)))
+            .unwrap();
+        assert!(c.get(&ka).is_some());
+        assert!(c.get(&kb).is_none());
+        assert!(c.get(&kc).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn eviction_keeps_caller_arcs_alive() {
+        let c: LambdaCache<u32> = LambdaCache::new(1);
+        let ka = CacheKey::with_hash(TargetId::Mips, vec![1], 0);
+        let kb = CacheKey::with_hash(TargetId::Mips, vec![2], 0);
+        let held = c
+            .get_or_insert_with::<Infallible>(ka, || Ok(Arc::new(41)))
+            .unwrap();
+        c.get_or_insert_with::<Infallible>(kb, || Ok(Arc::new(42)))
+            .unwrap();
+        assert_eq!(*held, 41); // evicted from the cache, alive for us
+    }
+
+    #[test]
+    fn failed_build_returns_error_and_leaves_key_usable() {
+        let c: LambdaCache<u32> = LambdaCache::new(8);
+        let err = c
+            .get_or_insert_with(key(9), || Err::<Arc<u32>, _>("boom"))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        // Not poisoned: the retry compiles and succeeds.
+        let v = c
+            .get_or_insert_with::<Infallible>(key(9), || Ok(Arc::new(5)))
+            .unwrap();
+        assert_eq!(*v, 5);
+    }
+
+    #[test]
+    fn panicking_build_does_not_wedge_the_key() {
+        let c: LambdaCache<u32> = LambdaCache::new(8);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = c.get_or_insert_with::<Infallible>(key(3), || panic!("compile exploded"));
+        }));
+        assert!(r.is_err());
+        let v = c
+            .get_or_insert_with::<Infallible>(key(3), || Ok(Arc::new(11)))
+            .unwrap();
+        assert_eq!(*v, 11);
+    }
+
+    #[test]
+    fn thundering_herd_compiles_exactly_once() {
+        const THREADS: usize = 8;
+        let c: Arc<LambdaCache<u32>> = Arc::new(LambdaCache::new(8));
+        let builds = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (c, builds, barrier) = (c.clone(), builds.clone(), barrier.clone());
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let v = c
+                        .get_or_insert_with::<Infallible>(key(7), || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(Arc::new(99))
+                        })
+                        .unwrap();
+                    assert_eq!(*v, 99);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing_but_stays_usable() {
+        let c: LambdaCache<u32> = LambdaCache::new(0);
+        let v = c
+            .get_or_insert_with::<Infallible>(key(1), || Ok(Arc::new(7)))
+            .unwrap();
+        assert_eq!(*v, 7);
+        assert!(c.get(&key(1)).is_none());
+        assert_eq!(c.len(), 0);
+    }
+}

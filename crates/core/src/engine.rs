@@ -1,0 +1,1034 @@
+//! Runtime-retargetable engine layer: record → compile → execute.
+//!
+//! The paper's clients pick a target at *compile* time by monomorphizing
+//! [`Assembler<T>`](crate::Assembler) — the fastest path, and still the
+//! primary one. This module adds the complementary *runtime* surface a
+//! serving system needs (ROADMAP north star: one binary, backends picked
+//! per request):
+//!
+//! - [`Program`] — a small recorded VCODE stream over virtual registers.
+//!   Recording is the one deviation from the paper's "no IR" rule, and it
+//!   is deliberate: a program recorded once can be compiled onto *any*
+//!   registered backend, hashed for the [`LambdaCache`](crate::cache::
+//!   LambdaCache), and replayed through the ordinary zero-check emission
+//!   path ([`replay`]) at full speed.
+//! - [`Backend`] — an object-safe adapter wrapping one monomorphized
+//!   `Assembler<T>` path behind a uniform `compile(&Program)` surface.
+//!   The four backend crates each export an implementation
+//!   (`vcode_mips::MipsBackend`, ..., `vcode_x64::X64Backend`).
+//! - [`Lambda`] — finished, executable code behind a uniform `call`
+//!   surface: native code calls straight in; simulated-ISA code routes
+//!   through a process-wide [`SimExecutor`] installed by `vcode-sim`.
+//! - [`Engine`] — a registry of backends selectable by [`TargetId`] or
+//!   name at runtime, fronted by a sharded, content-addressed
+//!   [`LambdaCache`](crate::cache::LambdaCache) so repeated compiles of
+//!   the same stream cost one hash + one shard lookup.
+//!
+//! ```
+//! use vcode::engine::{Program, replay};
+//! use vcode::fake::FakeTarget;
+//!
+//! let mut p = Program::new(1)?;            // fn(i32) -> i32
+//! p.bin_imm(vcode::BinOp::Add, 0, 0, 1);   // v0 = v0 + 1
+//! p.ret(0);
+//! let mut mem = vec![0u8; 4096];
+//! let fin = replay::<FakeTarget>(&p, &mut mem)?;   // ordinary emission
+//! assert!(fin.len > 0);
+//! # Ok::<(), vcode::engine::EngineError>(())
+//! ```
+
+use crate::cache::{CacheKey, CacheStats, LambdaCache};
+use crate::op::{BinOp, Cond, UnOp};
+use crate::target::{Finished, Leaf, Target};
+use crate::ty::{Sig, Ty};
+use crate::{Assembler, Error, Label, Reg, RegClass};
+use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The largest argument count a [`Program`] may declare: the smallest
+/// per-target integer-argument limit in the workspace (MIPS `$a0`–`$a3`).
+pub const MAX_PROGRAM_ARGS: usize = 4;
+
+/// Simulator fuel for one [`Lambda::call`] on a simulated backend.
+const SIM_FUEL: u64 = 50_000_000;
+
+/// A backend selectable at runtime.
+///
+/// The discriminants are stable: they index executor slots and salt
+/// cache keys, so code compiled for one target can never alias another's
+/// cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TargetId {
+    /// MIPS-I (the paper's primary platform), executed on `vcode-sim`.
+    Mips,
+    /// SPARC V8, executed on `vcode-sim`.
+    Sparc,
+    /// Alpha, executed on `vcode-sim`.
+    Alpha,
+    /// x86-64, executed natively.
+    X64,
+}
+
+impl TargetId {
+    /// All targets, in stable index order.
+    pub const ALL: [TargetId; 4] = [
+        TargetId::Mips,
+        TargetId::Sparc,
+        TargetId::Alpha,
+        TargetId::X64,
+    ];
+
+    /// Stable small index (cache-key salt, executor-slot index).
+    pub fn index(self) -> usize {
+        match self {
+            TargetId::Mips => 0,
+            TargetId::Sparc => 1,
+            TargetId::Alpha => 2,
+            TargetId::X64 => 3,
+        }
+    }
+
+    /// The backend's registry name (matches `Target::NAME`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetId::Mips => "mips",
+            TargetId::Sparc => "sparc",
+            TargetId::Alpha => "alpha",
+            TargetId::X64 => "x64",
+        }
+    }
+
+    /// Parses a registry name (`"mips"`, `"sparc"`, `"alpha"`, `"x64"`).
+    pub fn from_name(name: &str) -> Option<TargetId> {
+        TargetId::ALL.into_iter().find(|t| t.name() == name)
+    }
+}
+
+impl fmt::Display for TargetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from the engine layer. Every failure mode is typed — the cache
+/// and registry never panic on client mistakes.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// No backend registered under this id.
+    UnregisteredBackend(TargetId),
+    /// No backend known under this name.
+    UnknownBackend(String),
+    /// Code generation failed (typed vcode error).
+    Codegen(Error),
+    /// The program asked for more virtual registers than the target's
+    /// allocator could provide.
+    TooManyTemps {
+        /// The virtual register that could not be mapped.
+        vreg: u8,
+    },
+    /// The program declared more arguments than [`MAX_PROGRAM_ARGS`].
+    TooManyArgs {
+        /// Declared argument count.
+        requested: usize,
+    },
+    /// `call` was given the wrong number of arguments.
+    BadArgs {
+        /// Arguments the lambda was compiled for.
+        expected: usize,
+        /// Arguments the caller supplied.
+        got: usize,
+    },
+    /// A simulated-ISA lambda was called but no [`SimExecutor`] is
+    /// installed for its target (see `vcode_sim::engine::install`).
+    NoExecutor(TargetId),
+    /// Executable memory or simulator execution failed.
+    Exec(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnregisteredBackend(t) => write!(f, "backend {t} is not registered"),
+            EngineError::UnknownBackend(n) => write!(f, "unknown backend name {n:?}"),
+            EngineError::Codegen(e) => write!(f, "code generation failed: {e}"),
+            EngineError::TooManyTemps { vreg } => {
+                write!(f, "virtual register v{vreg} exhausted the allocator")
+            }
+            EngineError::TooManyArgs { requested } => {
+                write!(f, "{requested} arguments exceed the portable limit")
+            }
+            EngineError::BadArgs { expected, got } => {
+                write!(f, "lambda takes {expected} arguments, got {got}")
+            }
+            EngineError::NoExecutor(t) => write!(f, "no executor installed for target {t}"),
+            EngineError::Exec(m) => write!(f, "execution failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<Error> for EngineError {
+    fn from(e: Error) -> EngineError {
+        EngineError::Codegen(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The recorded program
+// ---------------------------------------------------------------------------
+
+/// One recorded VCODE instruction over virtual registers (see
+/// [`Program`]). All operands are `i`-typed — the word-portable subset
+/// every backend implements identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum POp {
+    /// `v[dst] = imm`.
+    Set {
+        /// Destination virtual register.
+        dst: u8,
+        /// Constant.
+        imm: i32,
+    },
+    /// `v[dst] = v[a] op v[b]`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination virtual register.
+        dst: u8,
+        /// Left operand.
+        a: u8,
+        /// Right operand.
+        b: u8,
+    },
+    /// `v[dst] = v[a] op imm`.
+    BinImm {
+        /// Operation.
+        op: BinOp,
+        /// Destination virtual register.
+        dst: u8,
+        /// Left operand.
+        a: u8,
+        /// Immediate right operand.
+        imm: i32,
+    },
+    /// `v[dst] = op v[a]`.
+    Un {
+        /// Operation.
+        op: UnOp,
+        /// Destination virtual register.
+        dst: u8,
+        /// Operand.
+        a: u8,
+    },
+    /// Binds label `l` here.
+    Label {
+        /// Label index (from [`Program::genlabel`]).
+        l: u16,
+    },
+    /// `if v[a] cond v[b] goto l`.
+    Br {
+        /// Comparison.
+        cond: Cond,
+        /// Left operand.
+        a: u8,
+        /// Right operand.
+        b: u8,
+        /// Branch target.
+        l: u16,
+    },
+    /// `if v[a] cond imm goto l`.
+    BrImm {
+        /// Comparison.
+        cond: Cond,
+        /// Left operand.
+        a: u8,
+        /// Immediate right operand.
+        imm: i32,
+        /// Branch target.
+        l: u16,
+    },
+    /// `goto l`.
+    Jmp {
+        /// Jump target.
+        l: u16,
+    },
+    /// `return v[src]`.
+    Ret {
+        /// Returned virtual register.
+        src: u8,
+    },
+}
+
+/// A recorded `fn(i32, ...) -> i32` VCODE stream over virtual registers.
+///
+/// Virtual registers `0..args` are the incoming arguments; higher
+/// indices are temporaries allocated from the target's register file at
+/// replay time. The serialized form ([`encode`](Self::encode)) is the
+/// content-addressed identity of the program: [`stream_hash`](Self::
+/// stream_hash) over it keys the lambda cache.
+pub struct Program {
+    args: usize,
+    labels: u16,
+    ops: Vec<POp>,
+    /// Memoized (serialized form, FNV-1a hash): computing the cache key
+    /// must not cost O(program) on every warm lookup. Invalidated by
+    /// every mutator; excluded from equality and cloning.
+    encoded: OnceLock<(Arc<[u8]>, u64)>,
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Program")
+            .field("args", &self.args)
+            .field("labels", &self.labels)
+            .field("ops", &self.ops)
+            .finish()
+    }
+}
+
+impl Clone for Program {
+    fn clone(&self) -> Program {
+        Program {
+            args: self.args,
+            labels: self.labels,
+            ops: self.ops.clone(),
+            encoded: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Program) -> bool {
+        self.args == other.args && self.labels == other.labels && self.ops == other.ops
+    }
+}
+
+impl Eq for Program {}
+
+impl Program {
+    /// Starts an empty program taking `args` `i32` arguments.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::TooManyArgs`] above [`MAX_PROGRAM_ARGS`].
+    pub fn new(args: usize) -> Result<Program, EngineError> {
+        if args > MAX_PROGRAM_ARGS {
+            return Err(EngineError::TooManyArgs { requested: args });
+        }
+        Ok(Program {
+            args,
+            labels: 0,
+            ops: Vec::new(),
+            encoded: OnceLock::new(),
+        })
+    }
+
+    /// Declared argument count.
+    pub fn args(&self) -> usize {
+        self.args
+    }
+
+    /// Recorded instruction count.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The recorded stream.
+    pub fn ops(&self) -> &[POp] {
+        &self.ops
+    }
+
+    /// Allocates a fresh label index.
+    pub fn genlabel(&mut self) -> u16 {
+        self.encoded.take();
+        let l = self.labels;
+        self.labels += 1;
+        l
+    }
+
+    /// Appends one op, invalidating the memoized serialization.
+    fn push(&mut self, op: POp) {
+        self.encoded.take();
+        self.ops.push(op);
+    }
+
+    /// Records `v[dst] = imm`.
+    pub fn set(&mut self, dst: u8, imm: i32) {
+        self.push(POp::Set { dst, imm });
+    }
+
+    /// Records `v[dst] = v[a] op v[b]`.
+    pub fn bin(&mut self, op: BinOp, dst: u8, a: u8, b: u8) {
+        self.push(POp::Bin { op, dst, a, b });
+    }
+
+    /// Records `v[dst] = v[a] op imm`.
+    pub fn bin_imm(&mut self, op: BinOp, dst: u8, a: u8, imm: i32) {
+        self.push(POp::BinImm { op, dst, a, imm });
+    }
+
+    /// Records `v[dst] = op v[a]`.
+    pub fn un(&mut self, op: UnOp, dst: u8, a: u8) {
+        self.push(POp::Un { op, dst, a });
+    }
+
+    /// Binds label `l` at the current position.
+    pub fn label(&mut self, l: u16) {
+        self.push(POp::Label { l });
+    }
+
+    /// Records `if v[a] cond v[b] goto l`.
+    pub fn br(&mut self, cond: Cond, a: u8, b: u8, l: u16) {
+        self.push(POp::Br { cond, a, b, l });
+    }
+
+    /// Records `if v[a] cond imm goto l`.
+    pub fn br_imm(&mut self, cond: Cond, a: u8, imm: i32, l: u16) {
+        self.push(POp::BrImm { cond, a, imm, l });
+    }
+
+    /// Records `goto l`.
+    pub fn jmp(&mut self, l: u16) {
+        self.push(POp::Jmp { l });
+    }
+
+    /// Records `return v[src]`.
+    pub fn ret(&mut self, src: u8) {
+        self.push(POp::Ret { src });
+    }
+
+    /// Serializes the stream to a deterministic byte form — the
+    /// program's content-addressed identity.
+    pub fn encode(&self) -> Vec<u8> {
+        fn op_tag(op: BinOp) -> u8 {
+            match op {
+                BinOp::Add => 0,
+                BinOp::Sub => 1,
+                BinOp::Mul => 2,
+                BinOp::Div => 3,
+                BinOp::Mod => 4,
+                BinOp::And => 5,
+                BinOp::Or => 6,
+                BinOp::Xor => 7,
+                BinOp::Lsh => 8,
+                BinOp::Rsh => 9,
+            }
+        }
+        fn un_tag(op: UnOp) -> u8 {
+            match op {
+                UnOp::Com => 0,
+                UnOp::Not => 1,
+                UnOp::Mov => 2,
+                UnOp::Neg => 3,
+            }
+        }
+        fn cond_tag(c: Cond) -> u8 {
+            match c {
+                Cond::Lt => 0,
+                Cond::Le => 1,
+                Cond::Gt => 2,
+                Cond::Ge => 3,
+                Cond::Eq => 4,
+                Cond::Ne => 5,
+            }
+        }
+        let mut out = Vec::with_capacity(self.ops.len() * 8 + 4);
+        out.push(self.args as u8);
+        out.extend_from_slice(&self.labels.to_le_bytes());
+        for op in &self.ops {
+            match *op {
+                POp::Set { dst, imm } => {
+                    out.push(0);
+                    out.push(dst);
+                    out.extend_from_slice(&imm.to_le_bytes());
+                }
+                POp::Bin { op, dst, a, b } => {
+                    out.extend_from_slice(&[1, op_tag(op), dst, a, b]);
+                }
+                POp::BinImm { op, dst, a, imm } => {
+                    out.extend_from_slice(&[2, op_tag(op), dst, a]);
+                    out.extend_from_slice(&imm.to_le_bytes());
+                }
+                POp::Un { op, dst, a } => {
+                    out.extend_from_slice(&[3, un_tag(op), dst, a]);
+                }
+                POp::Label { l } => {
+                    out.push(4);
+                    out.extend_from_slice(&l.to_le_bytes());
+                }
+                POp::Br { cond, a, b, l } => {
+                    out.extend_from_slice(&[5, cond_tag(cond), a, b]);
+                    out.extend_from_slice(&l.to_le_bytes());
+                }
+                POp::BrImm { cond, a, imm, l } => {
+                    out.extend_from_slice(&[6, cond_tag(cond), a]);
+                    out.extend_from_slice(&imm.to_le_bytes());
+                    out.extend_from_slice(&l.to_le_bytes());
+                }
+                POp::Jmp { l } => {
+                    out.push(7);
+                    out.extend_from_slice(&l.to_le_bytes());
+                }
+                POp::Ret { src } => {
+                    out.extend_from_slice(&[8, src]);
+                }
+            }
+        }
+        out
+    }
+
+    /// The memoized serialized form and its FNV-1a hash. First call
+    /// serializes; subsequent calls (until the next mutation) are O(1) —
+    /// this is what keeps warm cache lookups free of emission-scale work.
+    pub fn encoded(&self) -> &(Arc<[u8]>, u64) {
+        self.encoded.get_or_init(|| {
+            let bytes: Arc<[u8]> = self.encode().into();
+            let hash = fnv1a(&bytes);
+            (bytes, hash)
+        })
+    }
+
+    /// FNV-1a 64 hash of [`encode`](Self::encode) — the "vcode-stream
+    /// hash" that (with the target id) keys the lambda cache. Memoized.
+    pub fn stream_hash(&self) -> u64 {
+        self.encoded().1
+    }
+
+    /// A generous code-buffer size for replaying this program on any
+    /// workspace target (worst case: every instruction synthesizes a
+    /// large immediate, plus prologue/epilogue save areas).
+    pub fn code_capacity(&self) -> usize {
+        (self.ops.len() * 32 + 512).max(4096)
+    }
+}
+
+/// FNV-1a 64-bit hash (no external dependencies; stable across runs).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Replays a recorded [`Program`] through the ordinary (zero-check)
+/// emission path of `Assembler<T>` into `mem`.
+///
+/// This is the monomorphized half of every [`Backend`] adapter: the
+/// object-safe surface dispatches here once per compile, and from then
+/// on emission is the same code the direct clients use — the cached
+/// path adds nothing to the per-instruction cost.
+///
+/// # Errors
+///
+/// Typed [`EngineError`]: codegen failures ([`Error`]) and virtual
+/// registers the target's allocator cannot supply.
+pub fn replay<T: Target>(prog: &Program, mem: &mut [u8]) -> Result<Finished, EngineError> {
+    let sig = Sig::new(vec![Ty::I; prog.args], Ty::I);
+    let mut a = Assembler::<T>::lambda_sig(mem, sig, Leaf::Yes)?;
+    let mut vregs: Vec<Reg> = a.args().to_vec();
+    let mut labels: Vec<Label> = (0..prog.labels).map(|_| a.genlabel()).collect();
+    // Labels may also be referenced without pre-allocation in hand-built
+    // programs; genlabel above covers every declared index.
+    fn vreg<T: Target>(
+        a: &mut Assembler<'_, T>,
+        vregs: &mut Vec<Reg>,
+        v: u8,
+    ) -> Result<Reg, EngineError> {
+        while vregs.len() <= usize::from(v) {
+            match a.getreg(RegClass::Temp) {
+                Some(r) => vregs.push(r),
+                None => return Err(EngineError::TooManyTemps { vreg: v }),
+            }
+        }
+        Ok(vregs[usize::from(v)])
+    }
+    fn lab<T: Target>(a: &mut Assembler<'_, T>, labels: &mut Vec<Label>, l: u16) -> Label {
+        while labels.len() <= usize::from(l) {
+            let fresh = a.genlabel();
+            labels.push(fresh);
+        }
+        labels[usize::from(l)]
+    }
+    for op in &prog.ops {
+        match *op {
+            POp::Set { dst, imm } => {
+                let d = vreg(&mut a, &mut vregs, dst)?;
+                a.seti(d, imm);
+            }
+            POp::Bin { op, dst, a: x, b } => {
+                let (rx, rb) = (vreg(&mut a, &mut vregs, x)?, vreg(&mut a, &mut vregs, b)?);
+                let d = vreg(&mut a, &mut vregs, dst)?;
+                match op {
+                    BinOp::Add => a.addi(d, rx, rb),
+                    BinOp::Sub => a.subi(d, rx, rb),
+                    BinOp::Mul => a.muli(d, rx, rb),
+                    BinOp::Div => a.divi(d, rx, rb),
+                    BinOp::Mod => a.modi(d, rx, rb),
+                    BinOp::And => a.andi(d, rx, rb),
+                    BinOp::Or => a.ori(d, rx, rb),
+                    BinOp::Xor => a.xori(d, rx, rb),
+                    BinOp::Lsh => a.lshi(d, rx, rb),
+                    BinOp::Rsh => a.rshi(d, rx, rb),
+                }
+            }
+            POp::BinImm { op, dst, a: x, imm } => {
+                let rx = vreg(&mut a, &mut vregs, x)?;
+                let d = vreg(&mut a, &mut vregs, dst)?;
+                let imm = i64::from(imm);
+                match op {
+                    BinOp::Add => a.addii(d, rx, imm),
+                    BinOp::Sub => a.subii(d, rx, imm),
+                    BinOp::Mul => a.mulii(d, rx, imm),
+                    BinOp::Div => a.divii(d, rx, imm),
+                    BinOp::Mod => a.modii(d, rx, imm),
+                    BinOp::And => a.andii(d, rx, imm),
+                    BinOp::Or => a.orii(d, rx, imm),
+                    BinOp::Xor => a.xorii(d, rx, imm),
+                    BinOp::Lsh => a.lshii(d, rx, imm),
+                    BinOp::Rsh => a.rshii(d, rx, imm),
+                }
+            }
+            POp::Un { op, dst, a: x } => {
+                let rx = vreg(&mut a, &mut vregs, x)?;
+                let d = vreg(&mut a, &mut vregs, dst)?;
+                match op {
+                    UnOp::Com => a.comi(d, rx),
+                    UnOp::Not => a.noti(d, rx),
+                    UnOp::Mov => a.movi(d, rx),
+                    UnOp::Neg => a.negi(d, rx),
+                }
+            }
+            POp::Label { l } => {
+                let lbl = lab(&mut a, &mut labels, l);
+                a.label(lbl);
+            }
+            POp::Br { cond, a: x, b, l } => {
+                let (rx, rb) = (vreg(&mut a, &mut vregs, x)?, vreg(&mut a, &mut vregs, b)?);
+                let lbl = lab(&mut a, &mut labels, l);
+                match cond {
+                    Cond::Lt => a.blti(rx, rb, lbl),
+                    Cond::Le => a.blei(rx, rb, lbl),
+                    Cond::Gt => a.bgti(rx, rb, lbl),
+                    Cond::Ge => a.bgei(rx, rb, lbl),
+                    Cond::Eq => a.beqi(rx, rb, lbl),
+                    Cond::Ne => a.bnei(rx, rb, lbl),
+                }
+            }
+            POp::BrImm { cond, a: x, imm, l } => {
+                let rx = vreg(&mut a, &mut vregs, x)?;
+                let lbl = lab(&mut a, &mut labels, l);
+                let imm = i64::from(imm);
+                match cond {
+                    Cond::Lt => a.bltii(rx, imm, lbl),
+                    Cond::Le => a.bleii(rx, imm, lbl),
+                    Cond::Gt => a.bgtii(rx, imm, lbl),
+                    Cond::Ge => a.bgeii(rx, imm, lbl),
+                    Cond::Eq => a.beqii(rx, imm, lbl),
+                    Cond::Ne => a.bneii(rx, imm, lbl),
+                }
+            }
+            POp::Jmp { l } => {
+                let lbl = lab(&mut a, &mut labels, l);
+                a.jmp(lbl);
+            }
+            POp::Ret { src } => {
+                let r = vreg(&mut a, &mut vregs, src)?;
+                a.reti(r);
+            }
+        }
+    }
+    a.end().map_err(EngineError::Codegen)
+}
+
+// ---------------------------------------------------------------------------
+// Lambdas and backends
+// ---------------------------------------------------------------------------
+
+/// Finished, executable code behind a uniform call surface. Lambdas are
+/// shared (`Arc`) between the cache and all callers; the code they own
+/// stays alive — and out of the executable-memory pool — for exactly as
+/// long as any clone exists.
+pub trait Lambda: Send + Sync + fmt::Debug {
+    /// The backend that produced this code.
+    fn target(&self) -> TargetId;
+    /// Machine-code bytes.
+    fn code_len(&self) -> usize;
+    /// VCODE instructions replayed to produce the code.
+    fn insns(&self) -> u64;
+    /// Runs the code. The result is the program's `i32` return value,
+    /// sign-extended.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BadArgs`] on arity mismatch; simulated targets
+    /// also surface executor absence and runtime traps.
+    fn call(&self, args: &[i32]) -> Result<i64, EngineError>;
+}
+
+/// A compiled program for a simulated ISA: raw code bytes plus the
+/// metadata needed to run them through the installed [`SimExecutor`].
+///
+/// The three RISC backend crates produce these (via the
+/// [`code_backend!`](crate::code_backend) adapter macro); `vcode-sim`
+/// installs the executor that gives them a `call` path.
+#[derive(Debug, Clone)]
+pub struct CodeImage {
+    target: TargetId,
+    args: usize,
+    bytes: Vec<u8>,
+    insns: u64,
+}
+
+impl CodeImage {
+    /// Wraps finished code bytes for `target`.
+    pub fn new(target: TargetId, args: usize, bytes: Vec<u8>, insns: u64) -> CodeImage {
+        CodeImage {
+            target,
+            args,
+            bytes,
+            insns,
+        }
+    }
+
+    /// The machine-code bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl Lambda for CodeImage {
+    fn target(&self) -> TargetId {
+        self.target
+    }
+
+    fn code_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn insns(&self) -> u64 {
+        self.insns
+    }
+
+    fn call(&self, args: &[i32]) -> Result<i64, EngineError> {
+        if args.len() != self.args {
+            return Err(EngineError::BadArgs {
+                expected: self.args,
+                got: args.len(),
+            });
+        }
+        let exec = executor(self.target).ok_or(EngineError::NoExecutor(self.target))?;
+        exec.run(self.target, &self.bytes, args, SIM_FUEL)
+    }
+}
+
+/// Executes finished code for a simulated ISA. Installed process-wide by
+/// `vcode_sim::engine::install()`; the indirection keeps the dependency
+/// graph acyclic (backend crates know nothing about the simulators).
+pub trait SimExecutor: Send + Sync + fmt::Debug {
+    /// Loads `code` into a fresh machine for `target` and calls it with
+    /// `args`, bounded by `fuel` simulated steps.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`EngineError::Exec`] on load failures and runtime traps.
+    fn run(
+        &self,
+        target: TargetId,
+        code: &[u8],
+        args: &[i32],
+        fuel: u64,
+    ) -> Result<i64, EngineError>;
+}
+
+static EXECUTORS: RwLock<[Option<Arc<dyn SimExecutor>>; 4]> = RwLock::new([const { None }; 4]);
+
+/// Installs the executor for `target`, replacing any previous one.
+pub fn set_executor(target: TargetId, exec: Arc<dyn SimExecutor>) {
+    let mut slots = EXECUTORS.write().unwrap_or_else(|e| e.into_inner());
+    slots[target.index()] = Some(exec);
+}
+
+/// The installed executor for `target`, if any.
+pub fn executor(target: TargetId) -> Option<Arc<dyn SimExecutor>> {
+    let slots = EXECUTORS.read().unwrap_or_else(|e| e.into_inner());
+    slots[target.index()].clone()
+}
+
+/// An object-safe adapter over one monomorphized `Assembler<T>` path:
+/// the record → compile half of the engine's record → compile → execute
+/// surface.
+pub trait Backend: Send + Sync + fmt::Debug {
+    /// The target this backend compiles for.
+    fn id(&self) -> TargetId;
+    /// Registry name (defaults to the target id's name).
+    fn name(&self) -> &'static str {
+        self.id().name()
+    }
+    /// Word width of the target.
+    fn word_bits(&self) -> u32;
+    /// Compiles a recorded program to an executable [`Lambda`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`EngineError`] — codegen failure, executable-memory
+    /// exhaustion, register exhaustion.
+    fn compile(&self, prog: &Program) -> Result<Arc<dyn Lambda>, EngineError>;
+}
+
+/// Generates a [`Backend`] adapter for a simulated-ISA target: compiles
+/// the recorded program into code bytes through the ordinary monomorphized
+/// `Assembler<$target>` path and wraps them in a [`CodeImage`].
+///
+/// This is the shared registration boilerplate the three RISC backend
+/// crates previously would have had to duplicate; the native x86-64
+/// backend has its own adapter because it executes in place.
+#[macro_export]
+macro_rules! code_backend {
+    ($(#[$meta:meta])* $adapter:ident, $target:ty, $id:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $adapter;
+
+        impl $crate::engine::Backend for $adapter {
+            fn id(&self) -> $crate::engine::TargetId {
+                $id
+            }
+
+            fn word_bits(&self) -> u32 {
+                <$target as $crate::Target>::WORD_BITS
+            }
+
+            fn compile(
+                &self,
+                prog: &$crate::engine::Program,
+            ) -> Result<
+                ::std::sync::Arc<dyn $crate::engine::Lambda>,
+                $crate::engine::EngineError,
+            > {
+                let mut mem = vec![0u8; prog.code_capacity()];
+                let fin = $crate::engine::replay::<$target>(prog, &mut mem)?;
+                mem.truncate(fin.len);
+                Ok(::std::sync::Arc::new($crate::engine::CodeImage::new(
+                    $id,
+                    prog.args(),
+                    mem,
+                    fin.insns,
+                )))
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// The engine: registry + cache
+// ---------------------------------------------------------------------------
+
+/// A registry of runtime-selectable backends fronted by a sharded
+/// compiled-lambda cache.
+///
+/// ```no_run
+/// use vcode::engine::{Engine, Program, TargetId};
+/// # fn backends() -> Vec<std::sync::Arc<dyn vcode::engine::Backend>> { vec![] }
+/// let mut engine = Engine::new(256);
+/// for b in backends() {
+///     engine.register(b);
+/// }
+/// let mut p = Program::new(1).unwrap();
+/// p.bin_imm(vcode::BinOp::Add, 0, 0, 1);
+/// p.ret(0);
+/// // Runtime selection by name; the second compile is a cache hit.
+/// let id = TargetId::from_name("x64").unwrap();
+/// let f = engine.compile_cached(id, &p).unwrap();
+/// assert_eq!(f.call(&[41]).unwrap(), 42);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    backends: [Option<Arc<dyn Backend>>; 4],
+    cache: LambdaCache<dyn Lambda>,
+}
+
+impl Engine {
+    /// Creates an engine whose lambda cache retains at most `capacity`
+    /// compiled programs (LRU beyond that).
+    pub fn new(capacity: usize) -> Engine {
+        Engine {
+            backends: [const { None }; 4],
+            cache: LambdaCache::new(capacity),
+        }
+    }
+
+    /// Registers (or replaces) a backend under its [`TargetId`].
+    pub fn register(&mut self, backend: Arc<dyn Backend>) {
+        let idx = backend.id().index();
+        self.backends[idx] = Some(backend);
+    }
+
+    /// The backend registered for `id`.
+    pub fn backend(&self, id: TargetId) -> Option<&Arc<dyn Backend>> {
+        self.backends[id.index()].as_ref()
+    }
+
+    /// Runtime backend selection by registry name.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownBackend`] for names no target uses,
+    /// [`EngineError::UnregisteredBackend`] for known-but-absent ones.
+    pub fn backend_by_name(&self, name: &str) -> Result<&Arc<dyn Backend>, EngineError> {
+        let id = TargetId::from_name(name)
+            .ok_or_else(|| EngineError::UnknownBackend(name.to_string()))?;
+        self.backend(id).ok_or(EngineError::UnregisteredBackend(id))
+    }
+
+    /// Registered backends, in stable id order.
+    pub fn backends(&self) -> impl Iterator<Item = &Arc<dyn Backend>> {
+        self.backends.iter().flatten()
+    }
+
+    /// Compiles `prog` on `id` *without* touching the cache — the
+    /// single-shot path, identical in cost to calling the backend
+    /// directly.
+    ///
+    /// # Errors
+    ///
+    /// See [`Backend::compile`]; plus [`EngineError::UnregisteredBackend`].
+    pub fn compile(&self, id: TargetId, prog: &Program) -> Result<Arc<dyn Lambda>, EngineError> {
+        self.backends[id.index()]
+            .as_ref()
+            .ok_or(EngineError::UnregisteredBackend(id))?
+            .compile(prog)
+    }
+
+    /// Compiles `prog` on `id` through the lambda cache: a warm hit
+    /// returns the shared finished code with zero emission work; a miss
+    /// compiles exactly once no matter how many threads race on the key.
+    ///
+    /// # Errors
+    ///
+    /// See [`compile`](Self::compile). A failed compile is returned to
+    /// every racing caller and never poisons the cache.
+    pub fn compile_cached(
+        &self,
+        id: TargetId,
+        prog: &Program,
+    ) -> Result<Arc<dyn Lambda>, EngineError> {
+        let backend = self.backends[id.index()]
+            .as_ref()
+            .ok_or(EngineError::UnregisteredBackend(id))?;
+        let (bytes, hash) = prog.encoded();
+        let key = CacheKey::from_encoded(id, Arc::clone(bytes), *hash);
+        self.cache.get_or_insert_with(key, || backend.compile(prog))
+    }
+
+    /// The engine's lambda cache (for direct keying, invalidation and
+    /// inspection).
+    pub fn cache(&self) -> &LambdaCache<dyn Lambda> {
+        &self.cache
+    }
+
+    /// Hit/miss/eviction/insert counters of the engine's cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fake::FakeTarget;
+
+    fn sample() -> Program {
+        let mut p = Program::new(2).unwrap();
+        p.bin(BinOp::Add, 4, 0, 1);
+        p.bin_imm(BinOp::Mul, 4, 4, 3);
+        let skip = p.genlabel();
+        p.br_imm(Cond::Ge, 4, 0, skip);
+        p.un(UnOp::Neg, 4, 4);
+        p.label(skip);
+        p.ret(4);
+        p
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_hash_content_addressed() {
+        let p = sample();
+        assert_eq!(p.encode(), p.encode());
+        assert_eq!(p.stream_hash(), p.stream_hash());
+        let mut q = sample();
+        q.bin_imm(BinOp::Add, 4, 4, 0); // different stream
+        assert_ne!(p.stream_hash(), q.stream_hash());
+    }
+
+    #[test]
+    fn replay_emits_through_the_ordinary_path() {
+        let p = sample();
+        let mut mem = vec![0u8; p.code_capacity()];
+        let fin = replay::<FakeTarget>(&p, &mut mem).unwrap();
+        assert!(fin.len > 0);
+        assert_eq!(fin.insns, p.len() as u64 - 1); // `label` emits nothing
+    }
+
+    #[test]
+    fn too_many_args_is_typed() {
+        assert!(matches!(
+            Program::new(MAX_PROGRAM_ARGS + 1),
+            Err(EngineError::TooManyArgs { requested: 5 })
+        ));
+    }
+
+    #[test]
+    fn target_id_names_round_trip() {
+        for t in TargetId::ALL {
+            assert_eq!(TargetId::from_name(t.name()), Some(t));
+        }
+        assert_eq!(TargetId::from_name("vax"), None);
+    }
+
+    #[test]
+    fn unregistered_backend_is_typed() {
+        let engine = Engine::new(8);
+        let p = sample();
+        assert!(matches!(
+            engine.compile(TargetId::Mips, &p),
+            Err(EngineError::UnregisteredBackend(TargetId::Mips))
+        ));
+        assert!(matches!(
+            engine.backend_by_name("vax"),
+            Err(EngineError::UnknownBackend(_))
+        ));
+        assert!(matches!(
+            engine.backend_by_name("mips"),
+            Err(EngineError::UnregisteredBackend(TargetId::Mips))
+        ));
+    }
+
+    #[test]
+    fn code_image_without_executor_is_typed() {
+        // FakeTarget has no TargetId; borrow mips's slot but do not
+        // install an executor for it in this process... other tests in
+        // the workspace may install one, so use a CodeImage for a target
+        // and accept either NoExecutor or a load failure — the assertion
+        // is "typed error, no panic".
+        let img = CodeImage::new(TargetId::Sparc, 0, vec![0u8; 4], 1);
+        match img.call(&[]) {
+            Err(EngineError::NoExecutor(TargetId::Sparc) | EngineError::Exec(_)) => {}
+            other => panic!("expected typed failure, got {other:?}"),
+        }
+        assert!(matches!(
+            img.call(&[1]),
+            Err(EngineError::BadArgs {
+                expected: 0,
+                got: 1
+            })
+        ));
+    }
+}

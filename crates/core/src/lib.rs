@@ -48,6 +48,8 @@
 
 pub mod asm;
 pub mod buf;
+pub mod cache;
+pub mod engine;
 pub mod error;
 pub mod ext;
 pub mod fake;
@@ -67,6 +69,8 @@ pub mod verify;
 
 pub use asm::{Asm, Assembler};
 pub use buf::EmitPath;
+pub use cache::{CacheKey, CacheStats, LambdaCache};
+pub use engine::{Backend, Engine, EngineError, Lambda, Program, TargetId};
 pub use error::Error;
 pub use label::Label;
 pub use obs::{CodegenEvent, ExecStats, TraceRecord, TrapCounts};

@@ -43,6 +43,44 @@ macro_rules! vc {
     };
 }
 
+/// Builds a backend register-description table without the per-crate
+/// `const fn d(...)` boilerplate every port used to duplicate.
+///
+/// Each line is `number, kind, "name";` where `kind` is a bare
+/// [`RegKind`](crate::RegKind) variant (`CallerSaved`, `CalleeSaved`,
+/// `Arg(i)`, `Reserved`). The leading `int:`/`flt:` selects the register
+/// bank.
+///
+/// # Examples
+///
+/// ```
+/// use vcode::{regdescs, RegDesc};
+///
+/// static INT_REGS: [RegDesc; 3] = regdescs![int:
+///     8, CallerSaved, "t0";
+///     4, Arg(0), "a0";
+///     1, Reserved, "at";
+/// ];
+/// assert_eq!(INT_REGS[1].name, "a0");
+/// ```
+#[macro_export]
+macro_rules! regdescs {
+    (int: $($n:expr, $kind:ident $(($arg:expr))?, $name:expr;)*) => {
+        [ $( $crate::RegDesc {
+            reg: $crate::Reg::int($n),
+            kind: $crate::RegKind::$kind $(($arg))?,
+            name: $name,
+        }, )* ]
+    };
+    (flt: $($n:expr, $kind:ident $(($arg:expr))?, $name:expr;)*) => {
+        [ $( $crate::RegDesc {
+            reg: $crate::Reg::flt($n),
+            kind: $crate::RegKind::$kind $(($arg))?,
+            name: $name,
+        }, )* ]
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use crate::fake::FakeTarget;

@@ -21,7 +21,7 @@
 //!   the §6.2 debugger stand-in.
 
 use crate::trap::TrapKind;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Number of distinct [`TrapKind`] variants tracked by [`TrapCounts`].
@@ -227,6 +227,65 @@ pub fn emit_event(ev: impl FnOnce() -> CodegenEvent) {
 fn emit_event_slow(ev: &CodegenEvent) {
     if let Some(hook) = HOOK.lock().unwrap().as_ref() {
         hook(ev);
+    }
+}
+
+// ---- lambda-cache counters -------------------------------------------------
+//
+// Process-wide totals across every `LambdaCache` (the engine's, DPF's,
+// ASH's). Per-cache figures live on the cache itself
+// (`LambdaCache::stats`); these aggregates answer "how much codegen did
+// caching save this process" without plumbing cache handles around.
+
+static LC_HITS: AtomicU64 = AtomicU64::new(0);
+static LC_MISSES: AtomicU64 = AtomicU64::new(0);
+static LC_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static LC_INSERTS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide lambda-cache counter snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LambdaCacheCounters {
+    /// Cache lookups served from finished code (zero emission work).
+    pub hits: u64,
+    /// Lookups that required (or waited on) a compile.
+    pub misses: u64,
+    /// Entries dropped by LRU capacity enforcement.
+    pub evictions: u64,
+    /// Successful compiles inserted into a cache.
+    pub inserts: u64,
+}
+
+/// Records a lambda-cache hit (called by `LambdaCache`).
+#[inline]
+pub fn note_lambda_cache_hit() {
+    LC_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records a lambda-cache miss (called by `LambdaCache`).
+#[inline]
+pub fn note_lambda_cache_miss() {
+    LC_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records a lambda-cache eviction (called by `LambdaCache`).
+#[inline]
+pub fn note_lambda_cache_eviction() {
+    LC_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records a lambda-cache insert (called by `LambdaCache`).
+#[inline]
+pub fn note_lambda_cache_insert() {
+    LC_INSERTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the process-wide lambda-cache counters.
+pub fn lambda_cache_counters() -> LambdaCacheCounters {
+    LambdaCacheCounters {
+        hits: LC_HITS.load(Ordering::Relaxed),
+        misses: LC_MISSES.load(Ordering::Relaxed),
+        evictions: LC_EVICTIONS.load(Ordering::Relaxed),
+        inserts: LC_INSERTS.load(Ordering::Relaxed),
     }
 }
 

@@ -121,6 +121,11 @@ pub struct Finished {
     /// this generation session (`None` on the fast path — see
     /// [`crate::verify`]).
     pub verify: Option<Box<crate::verify::VerifyReport>>,
+    /// VCODE instructions emitted into this function (the assembler's
+    /// session counter at `end`). The engine layer reports this per
+    /// cached lambda: a warm cache hit reuses the finished code without
+    /// re-emitting any of them.
+    pub insns: u64,
 }
 
 impl Finished {

@@ -1012,6 +1012,7 @@ mod tests {
             len: 16,
             label_offsets: Vec::new(),
             verify: None,
+            insns: 3,
         };
         let checks = TargetChecks {
             branch_delay_slots: 1,

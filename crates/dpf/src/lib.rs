@@ -46,7 +46,30 @@ pub use compile::{CompileError, CompiledSet, Options, Strategies};
 pub use lang::{Atom, FieldSize, Filter, FilterBuilder, FilterError};
 
 use mpf::Mpf;
+use std::sync::{Arc, OnceLock};
 use trie::Level;
+use vcode::{CacheKey, CacheStats, LambdaCache, TargetId};
+
+/// The process-wide cache of compiled classifiers, keyed by the exact
+/// resident filter set (ids included — generated code returns them) and
+/// the dispatch-strategy options. Re-installing the same filters — the
+/// common case when identical flows come and go — reuses the finished
+/// code instead of re-running codegen.
+fn classifier_cache() -> &'static LambdaCache<CompiledSet> {
+    static CACHE: OnceLock<LambdaCache<CompiledSet>> = OnceLock::new();
+    CACHE.get_or_init(|| LambdaCache::new(64))
+}
+
+/// Counters for the process-wide classifier cache.
+pub fn cache_stats() -> CacheStats {
+    classifier_cache().stats()
+}
+
+/// Drops every cached classifier (callers holding compiled sets keep
+/// them). Benchmarks use this to measure cold compiles.
+pub fn clear_cache() {
+    classifier_cache().clear();
+}
 
 /// Which engine a [`Dpf`] is classifying with after
 /// [`compile`](Dpf::compile).
@@ -71,7 +94,7 @@ pub struct Dpf {
     filters: Vec<(u32, Filter)>,
     next_id: u32,
     opts: Options,
-    compiled: Option<CompiledSet>,
+    compiled: Option<Arc<CompiledSet>>,
     /// Interpreter engaged when code generation fails; ids match the
     /// compiled engine's.
     fallback: Option<Mpf>,
@@ -146,34 +169,103 @@ impl Dpf {
     /// which cannot currently happen, so callers may treat `Ok` as
     /// "classification is available".
     pub fn compile(&mut self) -> Result<(), CompileError> {
-        let root = trie::build(&self.filters);
         self.fallback = None;
-        match compile::compile(&root, self.opts) {
+        // An explicit code_capacity is a harness knob (fault injection /
+        // overflow drills): those compiles are bespoke, never cached.
+        let compiled = if self.opts.code_capacity.is_some() {
+            let root = trie::build(&self.filters);
+            compile_with_retry(&root, self.opts).map(Arc::new)
+        } else {
+            classifier_cache().get_or_insert_with(self.cache_key(), || {
+                let root = trie::build(&self.filters);
+                compile_with_retry(&root, self.opts).map(Arc::new)
+            })
+        };
+        match compiled {
             Ok(set) => {
                 self.compiled = Some(set);
-                return Ok(());
+                Ok(())
             }
-            Err(CompileError::Codegen(vcode::Error::Overflow { capacity })) => {
-                // One retry with a doubled buffer.
-                let retry = Options {
-                    code_capacity: Some(capacity.max(1) * 2),
-                    ..self.opts
-                };
-                if let Ok(set) = compile::compile(&root, retry) {
-                    self.compiled = Some(set);
-                    return Ok(());
+            Err(_) => {
+                // Degrade: interpret the same filters, preserving ids.
+                let mut mpf = Mpf::new();
+                for (id, f) in &self.filters {
+                    mpf.insert_as(*id, f);
                 }
+                self.compiled = None;
+                self.fallback = Some(mpf);
+                Ok(())
             }
-            Err(_) => {}
         }
-        // Degrade: interpret the same filters, preserving ids.
-        let mut mpf = Mpf::new();
+    }
+
+    /// Compiles the resident filters bypassing the process-wide cache
+    /// (always a cold compile, and the result is not shared). Same
+    /// degradation ladder as [`compile`](Self::compile); benchmarks use
+    /// this for the cold side of the amortization table.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] only if even the interpreter cannot be built —
+    /// which cannot currently happen (see [`compile`](Self::compile)).
+    pub fn compile_uncached(&mut self) -> Result<(), CompileError> {
+        self.fallback = None;
+        let root = trie::build(&self.filters);
+        match compile_with_retry(&root, self.opts) {
+            Ok(set) => {
+                self.compiled = Some(Arc::new(set));
+                Ok(())
+            }
+            Err(_) => {
+                let mut mpf = Mpf::new();
+                for (id, f) in &self.filters {
+                    mpf.insert_as(*id, f);
+                }
+                self.compiled = None;
+                self.fallback = Some(mpf);
+                Ok(())
+            }
+        }
+    }
+
+    /// Content key of the resident configuration: the exact (id, filter)
+    /// list plus the ablation knobs. Ids are part of the content — the
+    /// generated code returns them — so two sets with the same patterns
+    /// but different ids never alias. The encoding is length-prefixed
+    /// and tagged (injective), and deliberately cheap: building this key
+    /// is the whole cost of a warm `compile()` hit.
+    fn cache_key(&self) -> CacheKey {
+        let mut bytes = Vec::with_capacity(16 + self.filters.len() * 64);
+        bytes.push(u8::from(self.opts.use_jump_tables));
+        bytes.push(u8::from(self.opts.use_hashing));
+        bytes.push(u8::from(self.opts.elide_bounds_checks));
         for (id, f) in &self.filters {
-            mpf.insert_as(*id, f);
+            bytes.extend_from_slice(&id.to_le_bytes());
+            let atoms = f.atoms();
+            bytes.extend_from_slice(&(atoms.len() as u32).to_le_bytes());
+            for a in atoms {
+                let (tag, offset, size, mask, last) = match *a {
+                    Atom::Cmp {
+                        offset,
+                        size,
+                        mask,
+                        value,
+                    } => (0u8, offset, size, mask, value),
+                    Atom::Shift {
+                        offset,
+                        size,
+                        mask,
+                        shift,
+                    } => (1u8, offset, size, mask, shift),
+                };
+                bytes.push(tag);
+                bytes.extend_from_slice(&offset.to_le_bytes());
+                bytes.push(size.bytes() as u8);
+                bytes.extend_from_slice(&mask.to_le_bytes());
+                bytes.extend_from_slice(&last.to_le_bytes());
+            }
         }
-        self.compiled = None;
-        self.fallback = Some(mpf);
-        Ok(())
+        CacheKey::new(TargetId::X64, bytes)
     }
 
     /// Classifies a message with the compiled engine, or with the
@@ -197,7 +289,7 @@ impl Dpf {
 
     /// The compiled classifier, if current.
     pub fn compiled(&self) -> Option<&CompiledSet> {
-        self.compiled.as_ref()
+        self.compiled.as_deref()
     }
 
     /// Which engine classification runs on: `None` before
@@ -211,6 +303,23 @@ impl Dpf {
         } else {
             None
         }
+    }
+}
+
+/// Compiles a trie with the storage-overflow retry ladder: on a
+/// [`vcode::Error::Overflow`] the compile is retried once with a doubled
+/// buffer.
+fn compile_with_retry(root: &Level, opts: Options) -> Result<CompiledSet, CompileError> {
+    match compile::compile(root, opts) {
+        Ok(set) => Ok(set),
+        Err(CompileError::Codegen(vcode::Error::Overflow { capacity })) => {
+            let retry = Options {
+                code_capacity: Some(capacity.max(1) * 2),
+                ..opts
+            };
+            compile::compile(root, retry)
+        }
+        Err(e) => Err(e),
     }
 }
 

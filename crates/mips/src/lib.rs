@@ -33,7 +33,7 @@ use encode::{fcmp, r, FMT_D, FMT_S, FMT_W};
 use vcode::asm::Asm;
 use vcode::label::{Fixup, FixupTarget, Label};
 use vcode::op::{BinOp, Cond, Imm, UnOp};
-use vcode::reg::{Reg, RegDesc, RegFile, RegKind};
+use vcode::reg::{Reg, RegDesc, RegFile};
 use vcode::target::{BrOperand, CallFrame, JumpTarget, Leaf, Off, StackSlot, Target};
 use vcode::ty::{Sig, Ty};
 use vcode::{Bank, Error};
@@ -51,70 +51,52 @@ const T9: u8 = r::T9;
 /// Floating-point scratch pair (`$f2`/`$f3`).
 const F_SCRATCH: u8 = 2;
 
-static INT_REGS: [RegDesc; 25] = {
-    const fn d(n: u8, kind: RegKind, name: &'static str) -> RegDesc {
-        RegDesc {
-            reg: Reg::int(n),
-            kind,
-            name,
-        }
-    }
-    [
-        d(8, RegKind::CallerSaved, "t0"),
-        d(9, RegKind::CallerSaved, "t1"),
-        d(10, RegKind::CallerSaved, "t2"),
-        d(11, RegKind::CallerSaved, "t3"),
-        d(12, RegKind::CallerSaved, "t4"),
-        d(13, RegKind::CallerSaved, "t5"),
-        d(14, RegKind::CallerSaved, "t6"),
-        d(15, RegKind::CallerSaved, "t7"),
-        d(7, RegKind::Arg(3), "a3"),
-        d(6, RegKind::Arg(2), "a2"),
-        d(5, RegKind::Arg(1), "a1"),
-        d(4, RegKind::Arg(0), "a0"),
-        d(16, RegKind::CalleeSaved, "s0"),
-        d(17, RegKind::CalleeSaved, "s1"),
-        d(18, RegKind::CalleeSaved, "s2"),
-        d(19, RegKind::CalleeSaved, "s3"),
-        d(20, RegKind::CalleeSaved, "s4"),
-        d(21, RegKind::CalleeSaved, "s5"),
-        d(22, RegKind::CalleeSaved, "s6"),
-        d(23, RegKind::CalleeSaved, "s7"),
-        d(1, RegKind::Reserved, "at"),
-        d(2, RegKind::Reserved, "v0"),
-        d(3, RegKind::Reserved, "v1"),
-        d(24, RegKind::Reserved, "t8"),
-        d(25, RegKind::Reserved, "t9"),
-    ]
-};
+static INT_REGS: [RegDesc; 25] = vcode::regdescs![int:
+    8, CallerSaved, "t0";
+    9, CallerSaved, "t1";
+    10, CallerSaved, "t2";
+    11, CallerSaved, "t3";
+    12, CallerSaved, "t4";
+    13, CallerSaved, "t5";
+    14, CallerSaved, "t6";
+    15, CallerSaved, "t7";
+    7, Arg(3), "a3";
+    6, Arg(2), "a2";
+    5, Arg(1), "a1";
+    4, Arg(0), "a0";
+    16, CalleeSaved, "s0";
+    17, CalleeSaved, "s1";
+    18, CalleeSaved, "s2";
+    19, CalleeSaved, "s3";
+    20, CalleeSaved, "s4";
+    21, CalleeSaved, "s5";
+    22, CalleeSaved, "s6";
+    23, CalleeSaved, "s7";
+    1, Reserved, "at";
+    2, Reserved, "v0";
+    3, Reserved, "v1";
+    24, Reserved, "t8";
+    25, Reserved, "t9";
+];
 
-static FLT_REGS: [RegDesc; 16] = {
-    const fn d(n: u8, kind: RegKind, name: &'static str) -> RegDesc {
-        RegDesc {
-            reg: Reg::flt(n),
-            kind,
-            name,
-        }
-    }
-    [
-        d(4, RegKind::CallerSaved, "f4"),
-        d(6, RegKind::CallerSaved, "f6"),
-        d(8, RegKind::CallerSaved, "f8"),
-        d(10, RegKind::CallerSaved, "f10"),
-        d(16, RegKind::CallerSaved, "f16"),
-        d(18, RegKind::CallerSaved, "f18"),
-        d(14, RegKind::Arg(1), "f14"),
-        d(12, RegKind::Arg(0), "f12"),
-        d(20, RegKind::CalleeSaved, "f20"),
-        d(22, RegKind::CalleeSaved, "f22"),
-        d(24, RegKind::CalleeSaved, "f24"),
-        d(26, RegKind::CalleeSaved, "f26"),
-        d(28, RegKind::CalleeSaved, "f28"),
-        d(30, RegKind::CalleeSaved, "f30"),
-        d(0, RegKind::Reserved, "f0"),
-        d(2, RegKind::Reserved, "f2"),
-    ]
-};
+static FLT_REGS: [RegDesc; 16] = vcode::regdescs![flt:
+    4, CallerSaved, "f4";
+    6, CallerSaved, "f6";
+    8, CallerSaved, "f8";
+    10, CallerSaved, "f10";
+    16, CallerSaved, "f16";
+    18, CallerSaved, "f18";
+    14, Arg(1), "f14";
+    12, Arg(0), "f12";
+    20, CalleeSaved, "f20";
+    22, CalleeSaved, "f22";
+    24, CalleeSaved, "f24";
+    26, CalleeSaved, "f26";
+    28, CalleeSaved, "f28";
+    30, CalleeSaved, "f30";
+    0, Reserved, "f0";
+    2, Reserved, "f2";
+];
 
 static REGFILE: RegFile = RegFile {
     int: &INT_REGS,
@@ -868,6 +850,16 @@ impl Target for Mips {
         false
     }
 }
+
+vcode::code_backend!(
+    /// Runtime-selectable engine adapter for the MIPS target: replays a
+    /// recorded [`vcode::engine::Program`] through `Assembler<Mips>` and
+    /// returns the finished image as a simulator-executable
+    /// [`vcode::engine::CodeImage`].
+    MipsBackend,
+    Mips,
+    vcode::engine::TargetId::Mips
+);
 
 #[cfg(test)]
 mod tests {

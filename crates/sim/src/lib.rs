@@ -14,6 +14,7 @@
 
 pub mod alpha;
 pub mod cache;
+pub mod engine;
 pub mod mips;
 pub mod sparc;
 

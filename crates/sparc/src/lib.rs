@@ -27,7 +27,7 @@ use encode::{cond, fcond, mem, op3, opf, r};
 use vcode::asm::Asm;
 use vcode::label::{Fixup, FixupTarget, Label};
 use vcode::op::{BinOp, Cond, Imm, UnOp};
-use vcode::reg::{Reg, RegDesc, RegFile, RegKind};
+use vcode::reg::{Reg, RegDesc, RegFile};
 use vcode::target::{BrOperand, CallFrame, JumpTarget, Leaf, Off, StackSlot, Target};
 use vcode::ty::{Sig, Ty};
 use vcode::Error;
@@ -56,72 +56,53 @@ const MIN_FRAME: i32 = ABI_AREA + STAGE_AREA + SCRATCH_AREA;
 const FIX_B22: u8 = 0;
 const FIX_CALL30: u8 = 1;
 
-static INT_REGS: [RegDesc; 24] = {
-    const fn d(n: u8, kind: RegKind, name: &'static str) -> RegDesc {
-        RegDesc {
-            reg: Reg::int(n),
-            kind,
-            name,
-        }
-    }
-    [
-        // %o registers: clobbered by calls (the callee's window aliases
-        // them), so they are the temporaries.
-        d(8, RegKind::CallerSaved, "o0"),
-        d(9, RegKind::CallerSaved, "o1"),
-        d(10, RegKind::CallerSaved, "o2"),
-        d(11, RegKind::CallerSaved, "o3"),
-        d(12, RegKind::CallerSaved, "o4"),
-        d(13, RegKind::CallerSaved, "o5"),
-        d(3, RegKind::CallerSaved, "g3"),
-        d(4, RegKind::CallerSaved, "g4"),
-        // %l registers: window-local, preserved across calls for free.
-        d(16, RegKind::CalleeSaved, "l0"),
-        d(17, RegKind::CalleeSaved, "l1"),
-        d(18, RegKind::CalleeSaved, "l2"),
-        d(19, RegKind::CalleeSaved, "l3"),
-        d(20, RegKind::CalleeSaved, "l4"),
-        d(21, RegKind::CalleeSaved, "l5"),
-        d(22, RegKind::CalleeSaved, "l6"),
-        d(23, RegKind::CalleeSaved, "l7"),
-        // Incoming arguments.
-        d(29, RegKind::Arg(5), "i5"),
-        d(28, RegKind::Arg(4), "i4"),
-        d(27, RegKind::Arg(3), "i3"),
-        d(26, RegKind::Arg(2), "i2"),
-        d(25, RegKind::Arg(1), "i1"),
-        d(24, RegKind::Arg(0), "i0"),
-        d(1, RegKind::Reserved, "g1"),
-        d(2, RegKind::Reserved, "g2"),
-    ]
-};
+// %o registers: clobbered by calls (the callee's window aliases them),
+// so they are the temporaries. %l registers are window-local, preserved
+// across calls for free; %i registers carry the incoming arguments.
+static INT_REGS: [RegDesc; 24] = vcode::regdescs![int:
+    8, CallerSaved, "o0";
+    9, CallerSaved, "o1";
+    10, CallerSaved, "o2";
+    11, CallerSaved, "o3";
+    12, CallerSaved, "o4";
+    13, CallerSaved, "o5";
+    3, CallerSaved, "g3";
+    4, CallerSaved, "g4";
+    16, CalleeSaved, "l0";
+    17, CalleeSaved, "l1";
+    18, CalleeSaved, "l2";
+    19, CalleeSaved, "l3";
+    20, CalleeSaved, "l4";
+    21, CalleeSaved, "l5";
+    22, CalleeSaved, "l6";
+    23, CalleeSaved, "l7";
+    29, Arg(5), "i5";
+    28, Arg(4), "i4";
+    27, Arg(3), "i3";
+    26, Arg(2), "i2";
+    25, Arg(1), "i1";
+    24, Arg(0), "i0";
+    1, Reserved, "g1";
+    2, Reserved, "g2";
+];
 
-static FLT_REGS: [RegDesc; 15] = {
-    const fn d(n: u8, kind: RegKind, name: &'static str) -> RegDesc {
-        RegDesc {
-            reg: Reg::flt(n),
-            kind,
-            name,
-        }
-    }
-    [
-        d(6, RegKind::CallerSaved, "f6"),
-        d(8, RegKind::CallerSaved, "f8"),
-        d(10, RegKind::CallerSaved, "f10"),
-        d(12, RegKind::CallerSaved, "f12"),
-        d(14, RegKind::CallerSaved, "f14"),
-        d(16, RegKind::CallerSaved, "f16"),
-        d(18, RegKind::CallerSaved, "f18"),
-        d(20, RegKind::CallerSaved, "f20"),
-        d(22, RegKind::CallerSaved, "f22"),
-        d(24, RegKind::CallerSaved, "f24"),
-        d(26, RegKind::CallerSaved, "f26"),
-        d(4, RegKind::Arg(1), "f4"),
-        d(2, RegKind::Arg(0), "f2"),
-        d(0, RegKind::Reserved, "f0"),
-        d(28, RegKind::Reserved, "f28"),
-    ]
-};
+static FLT_REGS: [RegDesc; 15] = vcode::regdescs![flt:
+    6, CallerSaved, "f6";
+    8, CallerSaved, "f8";
+    10, CallerSaved, "f10";
+    12, CallerSaved, "f12";
+    14, CallerSaved, "f14";
+    16, CallerSaved, "f16";
+    18, CallerSaved, "f18";
+    20, CallerSaved, "f20";
+    22, CallerSaved, "f22";
+    24, CallerSaved, "f24";
+    26, CallerSaved, "f26";
+    4, Arg(1), "f4";
+    2, Arg(0), "f2";
+    0, Reserved, "f0";
+    28, Reserved, "f28";
+];
 
 static REGFILE: RegFile = RegFile {
     int: &INT_REGS,
@@ -754,6 +735,16 @@ impl Target for Sparc {
         }
     }
 }
+
+vcode::code_backend!(
+    /// Runtime-selectable engine adapter for the SPARC target: replays a
+    /// recorded [`vcode::engine::Program`] through `Assembler<Sparc>` and
+    /// returns the finished image as a simulator-executable
+    /// [`vcode::engine::CodeImage`].
+    SparcBackend,
+    Sparc,
+    vcode::engine::TargetId::Sparc
+);
 
 #[cfg(test)]
 mod tests {

@@ -48,7 +48,7 @@ use vcode::asm::Asm;
 use vcode::ext::ExtUnOp;
 use vcode::label::{Fixup, FixupTarget, Label};
 use vcode::op::{BinOp, Cond, Imm, UnOp};
-use vcode::reg::{Reg, RegDesc, RegFile, RegKind};
+use vcode::reg::{Reg, RegDesc, RegFile};
 use vcode::target::{BrOperand, CallFrame, JumpTarget, Leaf, Off, StackSlot, Target};
 use vcode::ty::{Sig, Ty};
 use vcode::Error;
@@ -65,56 +65,38 @@ const FSCRATCH: u8 = 15;
 /// SysV integer argument slots.
 const INT_ARG_SLOTS: [u8; 6] = [r::RDI, r::RSI, r::RDX, r::RCX, r::R8, r::R9];
 
-static INT_REGS: [RegDesc; 11] = {
-    const fn d(n: u8, kind: RegKind, name: &'static str) -> RegDesc {
-        RegDesc {
-            reg: Reg::int(n),
-            kind,
-            name,
-        }
-    }
-    [
-        d(r::R10, RegKind::CallerSaved, "r10"),
-        d(r::R9, RegKind::Arg(5), "r9"),
-        d(r::R8, RegKind::Arg(4), "r8"),
-        d(r::RSI, RegKind::Arg(1), "rsi"),
-        d(r::RDI, RegKind::Arg(0), "rdi"),
-        d(r::RBX, RegKind::CalleeSaved, "rbx"),
-        d(r::R12, RegKind::CalleeSaved, "r12"),
-        d(r::R13, RegKind::CalleeSaved, "r13"),
-        d(r::R14, RegKind::CalleeSaved, "r14"),
-        d(r::R15, RegKind::CalleeSaved, "r15"),
-        d(r::R11, RegKind::Reserved, "r11"),
-    ]
-};
+static INT_REGS: [RegDesc; 11] = vcode::regdescs![int:
+    r::R10, CallerSaved, "r10";
+    r::R9, Arg(5), "r9";
+    r::R8, Arg(4), "r8";
+    r::RSI, Arg(1), "rsi";
+    r::RDI, Arg(0), "rdi";
+    r::RBX, CalleeSaved, "rbx";
+    r::R12, CalleeSaved, "r12";
+    r::R13, CalleeSaved, "r13";
+    r::R14, CalleeSaved, "r14";
+    r::R15, CalleeSaved, "r15";
+    r::R11, Reserved, "r11";
+];
 
-static FLT_REGS: [RegDesc; 16] = {
-    const fn d(n: u8, kind: RegKind, name: &'static str) -> RegDesc {
-        RegDesc {
-            reg: Reg::flt(n),
-            kind,
-            name,
-        }
-    }
-    [
-        d(8, RegKind::CallerSaved, "xmm8"),
-        d(9, RegKind::CallerSaved, "xmm9"),
-        d(10, RegKind::CallerSaved, "xmm10"),
-        d(11, RegKind::CallerSaved, "xmm11"),
-        d(12, RegKind::CallerSaved, "xmm12"),
-        d(13, RegKind::CallerSaved, "xmm13"),
-        d(14, RegKind::CallerSaved, "xmm14"),
-        d(7, RegKind::Arg(7), "xmm7"),
-        d(6, RegKind::Arg(6), "xmm6"),
-        d(5, RegKind::Arg(5), "xmm5"),
-        d(4, RegKind::Arg(4), "xmm4"),
-        d(3, RegKind::Arg(3), "xmm3"),
-        d(2, RegKind::Arg(2), "xmm2"),
-        d(1, RegKind::Arg(1), "xmm1"),
-        d(0, RegKind::Arg(0), "xmm0"),
-        d(15, RegKind::Reserved, "xmm15"),
-    ]
-};
+static FLT_REGS: [RegDesc; 16] = vcode::regdescs![flt:
+    8, CallerSaved, "xmm8";
+    9, CallerSaved, "xmm9";
+    10, CallerSaved, "xmm10";
+    11, CallerSaved, "xmm11";
+    12, CallerSaved, "xmm12";
+    13, CallerSaved, "xmm13";
+    14, CallerSaved, "xmm14";
+    7, Arg(7), "xmm7";
+    6, Arg(6), "xmm6";
+    5, Arg(5), "xmm5";
+    4, Arg(4), "xmm4";
+    3, Arg(3), "xmm3";
+    2, Arg(2), "xmm2";
+    1, Arg(1), "xmm1";
+    0, Arg(0), "xmm0";
+    15, Reserved, "xmm15";
+];
 
 static REGFILE: RegFile = RegFile {
     int: &INT_REGS,
@@ -880,5 +862,104 @@ impl Target for X64 {
             }
             _ => false,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine adapter: native execution
+// ---------------------------------------------------------------------------
+
+use vcode::engine::{Backend, EngineError, Lambda, Program, TargetId};
+
+/// Finished native code held for the engine: the live [`ExecCode`]
+/// mapping plus the arity recorded at compile time.
+///
+/// Holding the `ExecCode` (rather than a raw function pointer) is what
+/// makes cached lambdas immune to [`drain_pool`]: a mapping only enters
+/// the pool when its `ExecCode` drops, so code owned by a cache entry is
+/// never parked and never released out from under a caller.
+pub struct NativeLambda {
+    code: ExecCode,
+    args: usize,
+    len: usize,
+    insns: u64,
+}
+
+impl std::fmt::Debug for NativeLambda {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeLambda")
+            .field("args", &self.args)
+            .field("len", &self.len)
+            .field("insns", &self.insns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Lambda for NativeLambda {
+    fn target(&self) -> TargetId {
+        TargetId::X64
+    }
+
+    fn code_len(&self) -> usize {
+        self.len
+    }
+
+    fn insns(&self) -> u64 {
+        self.insns
+    }
+
+    fn call(&self, args: &[i32]) -> Result<i64, EngineError> {
+        if args.len() != self.args {
+            return Err(EngineError::BadArgs {
+                expected: self.args,
+                got: args.len(),
+            });
+        }
+        // SysV: i32 args travel zero-extended in the low dword of each
+        // argument register (the replayed program only reads 32 bits);
+        // the upper bits of rax are undefined for an i32 return, so keep
+        // only the low dword and sign-extend.
+        let a = |i: usize| args[i] as u32 as u64;
+        let raw = unsafe {
+            match self.args {
+                0 => self.code.call0(),
+                1 => self.code.call1(a(0)),
+                2 => self.code.call2(a(0), a(1)),
+                3 => self.code.call3(a(0), a(1), a(2)),
+                _ => self.code.call4(a(0), a(1), a(2), a(3)),
+            }
+        };
+        Ok(i64::from(raw as u32 as i32))
+    }
+}
+
+/// Runtime-selectable engine adapter for the native x86-64 target:
+/// replays a recorded [`Program`] through `Assembler<X64>` directly into
+/// executable memory and returns an in-place-runnable [`NativeLambda`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct X64Backend;
+
+impl Backend for X64Backend {
+    fn id(&self) -> TargetId {
+        TargetId::X64
+    }
+
+    fn word_bits(&self) -> u32 {
+        X64::WORD_BITS
+    }
+
+    fn compile(&self, prog: &Program) -> Result<std::sync::Arc<dyn Lambda>, EngineError> {
+        let mut mem = ExecMem::new(prog.code_capacity())
+            .map_err(|e| EngineError::Exec(format!("exec mmap: {e}")))?;
+        let fin = vcode::engine::replay::<X64>(prog, mem.as_mut_slice())?;
+        let code = mem
+            .finalize()
+            .map_err(|e| EngineError::Exec(format!("exec seal: {e}")))?;
+        Ok(std::sync::Arc::new(NativeLambda {
+            code,
+            args: prog.args(),
+            len: fin.len,
+            insns: fin.insns,
+        }))
     }
 }

@@ -32,4 +32,7 @@ cargo bench -q --offline -p vcode-bench --bench par_codegen
 echo "== exec_stats =="
 cargo bench -q --offline -p vcode-bench --bench exec_stats
 
+echo "== cache_amortize =="
+cargo bench -q --offline -p vcode-bench --bench cache_amortize
+
 echo "Snapshot written to $out"

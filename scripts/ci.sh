@@ -42,6 +42,13 @@ echo "== codegen-cost smoke (perf regression gate) =="
 VCODE_SMOKE=1 VCODE_BASELINE="$PWD/BENCH_codegen.json" \
     cargo bench -q --offline -p vcode-bench --bench codegen_cost
 
+echo "== cache-amortize smoke (lambda-cache gate) =="
+# Warm cache hits must stay >=50x cheaper than a cold compile (a hit
+# that re-runs emission fails the bench's hard gate), and the cold/warm
+# ns metrics are held to the same 20% fence as codegen_cost.
+VCODE_SMOKE=1 VCODE_BASELINE="$PWD/BENCH_codegen.json" \
+    cargo bench -q --offline -p vcode-bench --bench cache_amortize
+
 echo "== exec-stats smoke (observability gate) =="
 # Every backend — three simulators plus native x86-64 — must expose
 # nonzero, schema-stable ExecStats counters; the bench exits non-zero
