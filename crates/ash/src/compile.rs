@@ -11,16 +11,28 @@ use crate::{generic, reference, Step};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 use vcode::target::Leaf;
-use vcode::{Assembler, CacheKey, CacheStats, LambdaCache, RegClass, TargetId};
+use vcode::{
+    Assembler, CacheError, CacheKey, CacheStats, CompileService, LambdaCache, RegClass, ServeMode,
+    ServiceConfig, Submit, TargetId,
+};
 use vcode_x64::{ExecCode, ExecMem, X64};
 
 /// The process-wide cache of fused kernels, keyed by the pipeline
 /// *shape*: the generated loop depends only on which steps are present
 /// and the unroll factor, so layers composing the same shape across many
 /// message flows share one compiled kernel.
-fn kernel_cache() -> &'static LambdaCache<NativeCode> {
-    static CACHE: OnceLock<LambdaCache<NativeCode>> = OnceLock::new();
-    CACHE.get_or_init(|| LambdaCache::new(16))
+fn kernel_cache() -> &'static Arc<LambdaCache<NativeCode>> {
+    static CACHE: OnceLock<Arc<LambdaCache<NativeCode>>> = OnceLock::new();
+    CACHE.get_or_init(|| Arc::new(LambdaCache::new(16)))
+}
+
+/// The process-wide background compile service over the kernel cache:
+/// [`Pipeline::compile_async`] hands codegen to it and runs the scalar
+/// interpreter until the fused kernel publishes.
+pub fn kernel_service() -> &'static CompileService<NativeCode> {
+    static SERVICE: OnceLock<CompileService<NativeCode>> = OnceLock::new();
+    SERVICE
+        .get_or_init(|| CompileService::new(Arc::clone(kernel_cache()), ServiceConfig::default()))
 }
 
 /// Counters for the process-wide kernel cache.
@@ -74,6 +86,10 @@ pub enum PipelineError {
     Codegen(vcode::Error),
     /// Could not obtain executable memory.
     Exec(std::io::Error),
+    /// A racing build held the kernel cache's `Building` slot past its
+    /// stall timeout (the builder thread most likely died without
+    /// unwinding). The slot was vacated; this compile degraded.
+    Stalled,
 }
 
 impl fmt::Display for PipelineError {
@@ -81,6 +97,7 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Codegen(e) => write!(f, "{e}"),
             PipelineError::Exec(e) => write!(f, "executable memory: {e}"),
+            PipelineError::Stalled => f.write_str("in-flight kernel build stalled"),
         }
     }
 }
@@ -111,6 +128,10 @@ pub struct Pipeline {
     /// VCODE instructions specified during generation (0 in degraded
     /// mode).
     pub vcode_insns: u64,
+    /// Cache key of an in-flight [`compile_async`](Pipeline::
+    /// compile_async) build; [`poll_upgrade`](Pipeline::poll_upgrade)
+    /// watches it.
+    pending: Option<CacheKey>,
 }
 
 /// One fused, finished kernel: the live mapping plus its entry pointer
@@ -208,14 +229,111 @@ impl Pipeline {
         assert!((1..=16).contains(&opts.unroll));
         // An explicit code_capacity is a harness knob (fault injection /
         // overflow drills): those compiles are bespoke, never cached.
+        // The cached path waits boundedly on a racing build: a stalled
+        // `Building` slot degrades to the interpreter instead of
+        // blocking the caller forever.
         let native = if opts.code_capacity.is_some() {
             Self::native_with_retry(steps, opts).map(Arc::new)
         } else {
-            kernel_cache().get_or_insert_with(Self::cache_key(steps, opts), || {
-                Self::native_with_retry(steps, opts).map(Arc::new)
-            })
+            kernel_cache()
+                .get_or_build(
+                    Self::cache_key(steps, opts),
+                    || Self::native_with_retry(steps, opts).map(Arc::new),
+                    kernel_cache().stall_timeout(),
+                )
+                .map_err(|e| match e {
+                    CacheError::Build(e) => e,
+                    CacheError::Stalled { .. } => PipelineError::Stalled,
+                })
         };
         Ok(Self::from_native(native, steps))
+    }
+
+    /// Serve-while-compiling: the returned pipeline is runnable the
+    /// moment this returns, with codegen moved off the calling thread.
+    ///
+    /// A warm cache key returns the native kernel immediately
+    /// ([`ServeMode::Native`]). Otherwise the build is handed to the
+    /// process-wide [`kernel_service`] and the pipeline runs the scalar
+    /// [`generic`] interpreter meanwhile — call
+    /// [`poll_upgrade`](Self::poll_upgrade) to adopt the fused kernel
+    /// once it publishes. Shed and quarantined submits also serve the
+    /// interpreter; the returned mode says why nothing was enqueued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.unroll` is 0 or absurdly large.
+    pub fn compile_async(steps: &[Step]) -> (Pipeline, ServeMode) {
+        Self::compile_async_with_options(steps, PipelineOptions::default())
+    }
+
+    /// [`compile_async`](Self::compile_async) with explicit options. A
+    /// bespoke `code_capacity` (harness knob) compiles synchronously
+    /// and reports `Native` or `Shed` (degraded, nothing enqueued).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.unroll` is 0 or absurdly large.
+    pub fn compile_async_with_options(
+        steps: &[Step],
+        opts: PipelineOptions,
+    ) -> (Pipeline, ServeMode) {
+        assert!((1..=16).contains(&opts.unroll));
+        if opts.code_capacity.is_some() {
+            let native = Self::native_with_retry(steps, opts).map(Arc::new);
+            let mode = if native.is_ok() {
+                ServeMode::Native
+            } else {
+                ServeMode::Shed
+            };
+            return (Self::from_native(native, steps), mode);
+        }
+        let key = Self::cache_key(steps, opts);
+        let to_build = steps.to_vec();
+        let submit = kernel_service().submit(key.clone(), move || {
+            Self::native_with_retry(&to_build, opts)
+                .map(Arc::new)
+                .map_err(|e| e.to_string())
+        });
+        let mode = match submit {
+            Submit::Ready(nc) => return (Self::from_native(Ok(nc), steps), ServeMode::Native),
+            Submit::Queued | Submit::InFlight => ServeMode::Building,
+            Submit::Shed => ServeMode::Shed,
+            Submit::Quarantined { retry_in, failures } => {
+                ServeMode::Quarantined { retry_in, failures }
+            }
+        };
+        let pipeline = Pipeline {
+            engine: Engine::Interpreter,
+            steps: steps.to_vec(),
+            code_len: 0,
+            vcode_insns: 0,
+            pending: Some(key),
+        };
+        (pipeline, mode)
+    }
+
+    /// Adopts the fused kernel if the background build from
+    /// [`compile_async`](Self::compile_async) has published. Returns
+    /// whether the pipeline runs native *after* the call; cheap enough
+    /// to poll per message batch.
+    pub fn poll_upgrade(&mut self) -> bool {
+        if matches!(self.engine, Engine::Native(_)) {
+            return true;
+        }
+        let Some(key) = self.pending.as_ref() else {
+            return false;
+        };
+        match kernel_cache().peek(key) {
+            Some(nc) => {
+                self.code_len = nc.code_len;
+                self.vcode_insns = nc.vcode_insns;
+                self.engine = Engine::Native(nc);
+                self.pending = None;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Compiles bypassing the process-wide kernel cache (always a cold
@@ -239,6 +357,7 @@ impl Pipeline {
                 vcode_insns: nc.vcode_insns,
                 engine: Engine::Native(nc),
                 steps: steps.to_vec(),
+                pending: None,
             },
             // Degrade: interpret the same steps.
             Err(_) => Pipeline {
@@ -246,6 +365,7 @@ impl Pipeline {
                 steps: steps.to_vec(),
                 code_len: 0,
                 vcode_insns: 0,
+                pending: None,
             },
         }
     }

@@ -39,7 +39,8 @@ mod compile;
 pub mod generic;
 
 pub use compile::{
-    cache_stats, clear_cache, EngineKind, NativeCode, Pipeline, PipelineError, PipelineOptions,
+    cache_stats, clear_cache, kernel_service, EngineKind, NativeCode, Pipeline, PipelineError,
+    PipelineOptions,
 };
 
 /// A data-manipulation step a protocol layer contributes to the message

@@ -9,7 +9,7 @@
 //!
 //! - cold: `Engine::compile` (uncached single-shot path) per program;
 //! - warm: `Engine::compile_cached` hit on an already-resident key;
-//! - a hard gate: the warm hit must be ≥50× cheaper than the cold
+//! - a hard gate: the warm hit must be ≥5× cheaper than the cold
 //!   compile — if a "cache hit" ever re-runs emission, this fails;
 //! - multi-thread: N threads hammering one shared cache on a small key
 //!   working set (the DPF many-flows-few-filters shape), reported as
@@ -138,8 +138,12 @@ fn main() {
     );
 
     // Snapshot + regression gate, plus the hard amortization invariant:
-    // a warm hit that is less than 50x cheaper than a cold compile means
-    // the hit path is doing emission work.
+    // a warm hit that is not clearly cheaper than a cold compile means
+    // the hit path is doing emission work. The threshold sits well below
+    // the honest ratio (~16x) but above what any hit-runs-emission bug
+    // could produce (~1x): it used to be 50x, but dual-mapped ExecMem
+    // cut the *cold* side ~3x (no mmap/mprotect per compile), and the
+    // gate must not punish the cold path for getting faster.
     let mut failures = Vec::new();
     for (name, value, gate) in [
         ("cache_amortize/cold_compile_ns", cold_ns, true),
@@ -153,10 +157,10 @@ fn main() {
             failures.extend(snapshot::check(name, value));
         }
     }
-    if ratio < 50.0 {
+    if ratio < 5.0 {
         failures.push(format!(
             "cache_amortize: warm hit only {ratio:.1}x cheaper than cold compile \
-             (cold {cold_ns:.0} ns, warm {warm_ns:.0} ns, need >=50x)"
+             (cold {cold_ns:.0} ns, warm {warm_ns:.0} ns, need >=5x)"
         ));
     }
     if !failures.is_empty() {

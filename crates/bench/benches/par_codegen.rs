@@ -16,8 +16,8 @@
 //! the host's available cores (on a 1-CPU host, perfect scaling is a
 //! flat aggregate rate, not a rising one).
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 use vcode::target::Leaf;
 use vcode::{Assembler, RegClass};
@@ -46,17 +46,45 @@ fn one_lambda() -> usize {
     len + code.len() % 2
 }
 
-/// Runs `threads` generators concurrently for `secs` seconds each and
-/// returns (total lambdas generated, wall seconds).
-fn run(threads: usize, secs: f64) -> (u64, f64) {
-    let barrier = Barrier::new(threads + 1);
-    let stop = AtomicBool::new(false);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
+/// A persistent pool of `threads` generator threads that runs
+/// barrier-delimited measurement windows on demand.
+///
+/// Keeping the workers alive across windows matters for the scaling
+/// curve's fairness: thread spawn (stack/TLS page faulting) and thread
+/// teardown (8 MiB stack unmap, join wakeup) both scale with the thread
+/// count, and a harness that spawns fresh threads per window puts that
+/// inside the timed region — charging higher thread counts a fixed tax
+/// that reads as false contention. Idle pools park on a futex and cost
+/// nothing, so every pool in the sweep can exist at once.
+struct Pool {
+    threads: usize,
+    start: Arc<Barrier>,
+    end: Arc<Barrier>,
+    stop: Arc<AtomicBool>,
+    done: Arc<AtomicBool>,
+    counts: Arc<Vec<AtomicU64>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    fn new(threads: usize) -> Pool {
+        let start = Arc::new(Barrier::new(threads + 1));
+        let end = Arc::new(Barrier::new(threads + 1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(AtomicBool::new(false));
+        let counts: Arc<Vec<AtomicU64>> =
+            Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
+        let handles = (0..threads)
+            .map(|i| {
+                let (start, end) = (Arc::clone(&start), Arc::clone(&end));
+                let (stop, done) = (Arc::clone(&stop), Arc::clone(&done));
+                let counts = Arc::clone(&counts);
+                std::thread::spawn(move || loop {
+                    start.wait();
+                    if done.load(Ordering::SeqCst) {
+                        return;
+                    }
                     let mut lambdas = 0u64;
-                    barrier.wait();
                     while !stop.load(Ordering::Relaxed) {
                         // A small batch per stop-flag check keeps the
                         // flag out of the hot loop.
@@ -65,51 +93,110 @@ fn run(threads: usize, secs: f64) -> (u64, f64) {
                         }
                         lambdas += 8;
                     }
-                    lambdas
+                    counts[i].store(lambdas, Ordering::SeqCst);
+                    end.wait();
                 })
             })
             .collect();
-        barrier.wait();
+        Pool {
+            threads,
+            start,
+            end,
+            stop,
+            done,
+            counts,
+            handles,
+        }
+    }
+
+    /// One timed window: returns (total lambdas generated, wall seconds).
+    /// The clock stops when the stop flag is raised; each worker then
+    /// finishes its in-flight batch (a few tens of microseconds) before
+    /// publishing its count and parking at the end barrier.
+    fn window(&self, secs: f64) -> (u64, f64) {
+        self.stop.store(false, Ordering::SeqCst);
+        self.start.wait();
         let t = Instant::now();
         std::thread::sleep(std::time::Duration::from_secs_f64(secs));
-        stop.store(true, Ordering::Relaxed);
-        let total = handles.into_iter().map(|h| h.join().unwrap()).sum();
-        (total, t.elapsed().as_secs_f64())
-    })
+        let elapsed = t.elapsed().as_secs_f64();
+        self.stop.store(true, Ordering::SeqCst);
+        self.end.wait();
+        let total = self.counts.iter().map(|c| c.load(Ordering::SeqCst)).sum();
+        (total, elapsed)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+        self.start.wait();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Best aggregate rate (generated instructions per second) per pool,
+/// over several short windows with the thread counts *interleaved*:
+/// round 1 measures 1t, 2t, 4t, 8t, then round 2 repeats. Like the rest
+/// of the harness, many short windows resist scheduler noise better
+/// than one long one — and interleaving the configurations keeps slow
+/// host drift (frequency scaling, neighbour load ramping) from
+/// systematically biasing whichever thread count happens to run last,
+/// which a sequential sweep bakes into the scaling curve.
+fn best_rates(pools: &[Pool], secs: f64, rounds: u32) -> Vec<f64> {
+    let mut best = vec![0.0f64; pools.len()];
+    for _ in 0..rounds {
+        for (slot, pool) in best.iter_mut().zip(pools) {
+            let (lambdas, elapsed) = pool.window(secs);
+            *slot = slot.max(lambdas as f64 * BODY_INSNS as f64 / elapsed);
+        }
+    }
+    best
 }
 
 fn main() {
-    let secs = if snapshot::smoke() { 0.05 } else { 0.4 };
+    // Best-of needs enough rounds for every thread count to touch its
+    // ceiling: the scaling signal on a small host (a few percent) is
+    // comparable to per-window scheduler noise, and an unlucky config
+    // that never got a clean window reads as a false scaling inversion.
+    let (secs, rounds) = if snapshot::smoke() {
+        (0.05, 2)
+    } else {
+        (0.15, 16)
+    };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("=== Parallel code generation (pooled ExecMem, {cores} core(s) available) ===");
 
-    // Warm the pool and the code paths.
-    run(1, secs / 4.0);
+    // One persistent pool per thread count; spawning them all up front
+    // also walks the round-robin shard assignment, so the warm-up window
+    // below populates every free-list shard the sweep will touch.
+    let pools: Vec<Pool> = [1usize, 2, 4, 8].into_iter().map(Pool::new).collect();
+    pools.last().unwrap().window(secs); // warm the pool and the code paths
 
-    let mut base_rate = 0.0;
-    for threads in [1usize, 2, 4, 8] {
-        let before = pool_stats();
-        let (lambdas, elapsed) = run(threads, secs);
-        let after = pool_stats();
-        let rate = lambdas as f64 * BODY_INSNS as f64 / elapsed;
-        if threads == 1 {
-            base_rate = rate;
-        }
+    let before = pool_stats();
+    let rates = best_rates(&pools, secs, rounds);
+    let after = pool_stats();
+    let base_rate = rates[0];
+    for (pool, &rate) in pools.iter().zip(&rates) {
+        let threads = pool.threads;
         let speedup = rate / base_rate;
         // On a machine with fewer cores than threads, ideal speedup is
         // capped by the cores actually available.
         let ideal = (threads.min(cores)) as f64;
-        let lookups = (after.hits + after.misses) - (before.hits + before.misses);
-        let hit_pct = if lookups == 0 {
-            0.0
-        } else {
-            (after.hits - before.hits) as f64 / lookups as f64 * 100.0
-        };
         println!(
             "  {threads} thread(s): {:>7.1} Minsn/s aggregate  \
-             {speedup:>5.2}x vs 1t (ideal {ideal:.0}x)  pool hits {hit_pct:>5.1}%",
+             {speedup:>5.2}x vs 1t (ideal {ideal:.0}x)",
             rate / 1e6,
         );
         snapshot::record(&format!("par_codegen/minsn_per_s_{threads}t"), rate / 1e6);
     }
+    let lookups = (after.hits + after.misses) - (before.hits + before.misses);
+    let hit_pct = if lookups == 0 {
+        0.0
+    } else {
+        (after.hits - before.hits) as f64 / lookups as f64 * 100.0
+    };
+    println!("  pool hits over the sweep: {hit_pct:.1}%");
 }

@@ -18,23 +18,38 @@
 //!   `Building` slot and compiles; racers wait on a condvar and share
 //!   the single result — exactly one compile per key, no matter how many
 //!   threads race.
-//! - **Never poisoned.** A failed build removes the slot and hands the
-//!   typed error to every waiter; the next caller simply retries. A
-//!   panicking build likewise clears the slot (guard in
-//!   [`LambdaCache::get_or_insert_with`]) so the key stays usable.
-//! - **Capacity-capped LRU.** Each shard evicts its least-recently-used
-//!   *ready* entry beyond its share of the capacity. Eviction only drops
-//!   the cache's `Arc` — code still referenced by callers stays alive
-//!   (and, for native code, its mapping stays out of the executable-
-//!   memory pool) until the last clone is gone.
+//! - **Never poisoned, never wedged.** A failed build removes the slot
+//!   and hands the typed error to every waiter; the next caller simply
+//!   retries. A panicking build likewise clears the slot (guard in
+//!   [`LambdaCache::get_or_insert_with`]) so the key stays usable. And
+//!   every condvar wait is *bounded*: a builder thread that dies without
+//!   unwinding (or hangs) stalls its waiters for at most the configured
+//!   stall timeout, after which the stuck slot is vacated and the waiter
+//!   either retries as the builder ([`get_or_insert_with`]
+//!   (LambdaCache::get_or_insert_with)) or surfaces a typed
+//!   [`CacheError::Stalled`] ([`get_or_build`](LambdaCache::get_or_build)).
+//! - **Capacity-capped LRU, builds included.** Each shard evicts its
+//!   least-recently-used *ready* entry beyond its share of the capacity,
+//!   and in-flight `Building` slots count against that share: a burst of
+//!   cold keys caps out at `per_shard` simultaneous builds, with the
+//!   overflow compiled *uncached* (a counted bypass) instead of growing
+//!   the shard without bound. Eviction only drops the cache's `Arc` —
+//!   code still referenced by callers stays alive (and, for native code,
+//!   its mapping stays out of the executable-memory pool) until the last
+//!   clone is gone.
 //! - **Observable.** Per-cache [`CacheStats`] plus process-wide
 //!   [`obs::lambda_cache_counters`](crate::obs::lambda_cache_counters).
+//! - **Async-buildable.** [`crate::service::CompileService`] layers a
+//!   background worker pool over the same `Building`-slot machinery via
+//!   the crate-internal [`LambdaCache::begin_build`] / [`BuildTicket`]
+//!   surface, so compilation can leave the request path entirely.
 
 use crate::engine::{fnv1a, TargetId};
 use crate::obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Key of one cached lambda: the backend it was compiled for plus the
 /// content bytes that identify the program.
@@ -146,6 +161,12 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Successful compiles inserted.
     pub inserts: u64,
+    /// Condvar waits that exceeded the stall timeout: a builder died
+    /// without unwinding (or hung) and its slot was forcibly vacated.
+    pub stalls: u64,
+    /// Compiles run *uncached* because the shard was already at its
+    /// simultaneous-build cap (the result was returned but not shared).
+    pub bypasses: u64,
 }
 
 #[derive(Debug, Default)]
@@ -154,13 +175,45 @@ struct StatCells {
     misses: AtomicU64,
     evictions: AtomicU64,
     inserts: AtomicU64,
+    stalls: AtomicU64,
+    bypasses: AtomicU64,
 }
+
+/// Error from a bounded cache build ([`LambdaCache::get_or_build`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError<E> {
+    /// The builder ran and failed with its typed error.
+    Build(E),
+    /// The in-flight builder for this key made no progress for the
+    /// whole stall window: it died without unwinding, or hung. The
+    /// stuck `Building` slot has been vacated, so the next caller can
+    /// retry the compile.
+    Stalled {
+        /// How long this caller waited before giving up.
+        waited: Duration,
+    },
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for CacheError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Build(e) => write!(f, "build failed: {e}"),
+            CacheError::Stalled { waited } => {
+                write!(f, "in-flight build stalled (waited {waited:?})")
+            }
+        }
+    }
+}
+
+impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for CacheError<E> {}
 
 /// In-flight compile slot: `done` flips under the mutex, waiters sleep
 /// on the condvar, and the result (or its absence, on failure) lives in
-/// the shard map itself.
+/// the shard map itself. The `Arc<Build>` pointer identity doubles as
+/// the build's *generation*: vacate/insert decisions compare pointers so
+/// a stale builder can never clobber a successor's slot.
 #[derive(Debug, Default)]
-struct Build {
+pub(crate) struct Build {
     done: Mutex<bool>,
     cv: Condvar,
 }
@@ -173,13 +226,24 @@ enum Slot<V: ?Sized> {
 
 type Shard<V> = Mutex<HashMap<CacheKey, Slot<V>>>;
 
+/// Default bound on any one condvar wait for an in-flight build: long
+/// enough that no real compile in this workspace comes near it, short
+/// enough that a dead builder cannot wedge a request thread forever.
+pub const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// Sharded, content-addressed, LRU-capped cache of `Arc<V>` keyed by
 /// [`CacheKey`]. `V` may be unsized (`LambdaCache<dyn Lambda>`).
 pub struct LambdaCache<V: ?Sized> {
     shards: Vec<Shard<V>>,
-    /// Max ready entries per shard (total capacity split across shards,
-    /// rounded up — the global cap is approximate by design).
+    /// Max entries per shard — ready *plus* in-flight `Building` (total
+    /// capacity split across shards, rounded up — the global cap is
+    /// approximate by design).
     per_shard: usize,
+    /// Cap on simultaneous `Building` slots per shard; cold-key bursts
+    /// beyond it compile uncached (see [`CacheStats::bypasses`]).
+    max_builds: usize,
+    /// Upper bound on one condvar wait for an in-flight build.
+    stall: Duration,
     clock: AtomicU64,
     stats: StatCells,
 }
@@ -196,7 +260,9 @@ impl<V: ?Sized> std::fmt::Debug for LambdaCache<V> {
 }
 
 /// Clears a `Building` slot if the builder unwinds, so a panicking
-/// compile never wedges the key.
+/// compile never wedges the key. Removal is pointer-checked: if a
+/// stall-recovery path already vacated this build and a successor moved
+/// in, the successor's slot is left untouched.
 struct BuildGuard<'c, V: ?Sized> {
     cache: &'c LambdaCache<V>,
     key: Option<CacheKey>,
@@ -206,9 +272,7 @@ struct BuildGuard<'c, V: ?Sized> {
 impl<V: ?Sized> Drop for BuildGuard<'_, V> {
     fn drop(&mut self) {
         if let Some(key) = self.key.take() {
-            let mut shard = self.cache.shard(&key);
-            shard.remove(&key);
-            drop(shard);
+            self.cache.vacate_if(&key, &self.build);
             self.build.wake();
         }
     }
@@ -228,12 +292,31 @@ impl<V: ?Sized> LambdaCache<V> {
     /// (LRU beyond that; a capacity of 0 caches nothing).
     pub fn new(capacity: usize) -> LambdaCache<V> {
         let nshards = capacity.clamp(1, 8);
+        let per_shard = capacity.div_ceil(nshards);
         LambdaCache {
             shards: (0..nshards).map(|_| Mutex::new(HashMap::new())).collect(),
-            per_shard: capacity.div_ceil(nshards),
+            per_shard,
+            // At least one build must always be admitted or a cold
+            // zero-capacity cache could never compile at all.
+            max_builds: per_shard.max(1),
+            stall: DEFAULT_STALL_TIMEOUT,
             clock: AtomicU64::new(1),
             stats: StatCells::default(),
         }
+    }
+
+    /// Sets the stall timeout: the longest any caller will wait on one
+    /// in-flight build before vacating the stuck slot (see
+    /// [`CacheError::Stalled`]). Builder-style API for construction.
+    #[must_use]
+    pub fn with_stall_timeout(mut self, stall: Duration) -> LambdaCache<V> {
+        self.stall = stall;
+        self
+    }
+
+    /// The configured stall timeout.
+    pub fn stall_timeout(&self) -> Duration {
+        self.stall
     }
 
     fn shard(&self, key: &CacheKey) -> MutexGuard<'_, HashMap<CacheKey, Slot<V>>> {
@@ -263,10 +346,50 @@ impl<V: ?Sized> LambdaCache<V> {
         }
     }
 
+    /// Looks up `key` without counting a hit or miss. Degraded-serving
+    /// handles poll this every call while their native build is in
+    /// flight; counting each poll as a miss would drown the real
+    /// hit/miss signal. The LRU stamp *is* refreshed on success.
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<V>> {
+        let mut shard = self.shard(key);
+        match shard.get_mut(key) {
+            Some(Slot::Ready { val, stamp }) => {
+                *stamp = self.tick();
+                Some(Arc::clone(val))
+            }
+            _ => None,
+        }
+    }
+
+    /// Removes a `Building` slot only if it still belongs to `build`
+    /// (pointer identity), waking its waiters. Returns whether the slot
+    /// was vacated. The check makes vacating idempotent and safe against
+    /// successors: a new builder's slot under the same key is a
+    /// different `Arc` and is never touched.
+    pub(crate) fn vacate_if(&self, key: &CacheKey, build: &Arc<Build>) -> bool {
+        let mut shard = self.shard(key);
+        if matches!(shard.get(key), Some(Slot::Building(b)) if Arc::ptr_eq(b, build)) {
+            shard.remove(key);
+            drop(shard);
+            build.wake();
+            true
+        } else {
+            false
+        }
+    }
+
     /// Returns the cached value for `key`, or runs `build` to produce
     /// it. Exactly one builder runs per key however many threads race;
     /// the others block and share the result. `build` runs *without* the
     /// shard lock held, so slow compiles don't serialize unrelated keys.
+    ///
+    /// Waits are bounded by the cache's stall timeout: if the in-flight
+    /// builder makes no progress for the whole window (it died without
+    /// unwinding, or hung), the stuck slot is vacated and this caller
+    /// retries — typically becoming the next builder itself. The
+    /// self-healing retry is why this method needs no stall error; use
+    /// [`get_or_build`](Self::get_or_build) to surface stalls as typed
+    /// errors instead.
     ///
     /// # Errors
     ///
@@ -279,12 +402,55 @@ impl<V: ?Sized> LambdaCache<V> {
         build: impl FnOnce() -> Result<Arc<V>, E>,
     ) -> Result<Arc<V>, E> {
         let mut build = Some(build);
+        loop {
+            match self.attempt(&key, &mut build, self.stall) {
+                Attempt::Done(result) => return result,
+                // The stuck slot was vacated; retry — this thread
+                // becomes the next builder unless someone beat it.
+                Attempt::Stalled { .. } => continue,
+            }
+        }
+    }
+
+    /// [`get_or_insert_with`](Self::get_or_insert_with) with an explicit
+    /// wait bound and a typed stall outcome: a caller that would rather
+    /// degrade (serve a fallback) than keep waiting uses this entry
+    /// point. On [`CacheError::Stalled`] the stuck `Building` slot has
+    /// already been vacated, so a later retry can compile.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Build`] wraps the builder's typed error;
+    /// [`CacheError::Stalled`] reports a builder that made no progress
+    /// for the whole `stall` window.
+    pub fn get_or_build<E>(
+        &self,
+        key: CacheKey,
+        build: impl FnOnce() -> Result<Arc<V>, E>,
+        stall: Duration,
+    ) -> Result<Arc<V>, CacheError<E>> {
+        let mut build = Some(build);
+        match self.attempt(&key, &mut build, stall) {
+            Attempt::Done(result) => result.map_err(CacheError::Build),
+            Attempt::Stalled { waited } => Err(CacheError::Stalled { waited }),
+        }
+    }
+
+    /// One bounded lookup-or-build round. Takes the builder by
+    /// `&mut Option` so a stalled round hands it back unconsumed for the
+    /// caller's retry policy.
+    fn attempt<E, F: FnOnce() -> Result<Arc<V>, E>>(
+        &self,
+        key: &CacheKey,
+        build: &mut Option<F>,
+        stall: Duration,
+    ) -> Attempt<V, E> {
         let mut waited = false;
         loop {
             let wait_on: Arc<Build>;
             {
-                let mut shard = self.shard(&key);
-                match shard.get_mut(&key) {
+                let mut shard = self.shard(key);
+                match shard.get_mut(key) {
                     Some(Slot::Ready { val, stamp }) => {
                         *stamp = self.tick();
                         // A herd waiter that finds the result ready still
@@ -296,25 +462,65 @@ impl<V: ?Sized> LambdaCache<V> {
                             self.stats.hits.fetch_add(1, Ordering::Relaxed);
                             obs::note_lambda_cache_hit();
                         }
-                        return Ok(Arc::clone(val));
+                        return Attempt::Done(Ok(Arc::clone(val)));
                     }
                     Some(Slot::Building(b)) => {
                         wait_on = Arc::clone(b);
                     }
                     None => {
+                        let building = count_building(&shard);
+                        if building >= self.max_builds {
+                            // The shard is saturated with in-flight
+                            // builds: compile uncached rather than grow
+                            // past the configured capacity.
+                            drop(shard);
+                            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                            obs::note_lambda_cache_miss();
+                            self.stats.bypasses.fetch_add(1, Ordering::Relaxed);
+                            obs::note_lambda_cache_bypass();
+                            let build = build.take().expect("builder reused");
+                            return Attempt::Done(build());
+                        }
                         let b = Arc::new(Build::default());
                         shard.insert(key.clone(), Slot::Building(Arc::clone(&b)));
                         drop(shard);
                         self.stats.misses.fetch_add(1, Ordering::Relaxed);
                         obs::note_lambda_cache_miss();
-                        return self.run_build(key, b, build.take().expect("builder reused"));
+                        let build = build.take().expect("builder reused");
+                        return Attempt::Done(self.run_build(key.clone(), b, build));
                     }
                 }
             }
             waited = true;
+            // Bounded wait: the window restarts per build slot — a
+            // stall means *this* builder made no progress for `stall`.
+            let start = Instant::now();
+            let deadline = start + stall;
             let mut done = wait_on.done.lock().unwrap_or_else(|e| e.into_inner());
-            while !*done {
-                done = wait_on.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+            loop {
+                if *done {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    drop(done);
+                    // Only counts as a stall if the slot really was
+                    // still this build; otherwise the builder finished
+                    // between our timeout and the vacate — re-probe.
+                    if self.vacate_if(key, &wait_on) {
+                        self.stats.stalls.fetch_add(1, Ordering::Relaxed);
+                        obs::note_lambda_cache_stall();
+                        return Attempt::Stalled {
+                            waited: start.elapsed(),
+                        };
+                    }
+                    break;
+                }
+                let (guard, _) = wait_on
+                    .cv
+                    .wait_timeout(done, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                done = guard;
             }
             // Re-probe: either Ready (success) or vacant (failed build →
             // this thread becomes the next builder).
@@ -336,62 +542,109 @@ impl<V: ?Sized> LambdaCache<V> {
         let key = guard.key.take().expect("build key consumed");
         match result {
             Ok(val) => {
-                {
-                    let mut shard = self.shard(&key);
-                    shard.insert(
-                        key.clone(),
-                        Slot::Ready {
-                            val: Arc::clone(&val),
-                            stamp: self.tick(),
-                        },
-                    );
-                    self.stats.inserts.fetch_add(1, Ordering::Relaxed);
-                    obs::note_lambda_cache_insert();
-                    self.enforce_capacity(&mut shard, &key);
-                }
+                // If the slot was vacated by stall recovery the value is
+                // still returned to this caller, just not published —
+                // the successor builder owns the key now.
+                self.install_if(&key, &build_slot, Arc::clone(&val));
                 build_slot.wake();
                 Ok(val)
             }
             Err(e) => {
-                {
-                    let mut shard = self.shard(&key);
-                    shard.remove(&key);
-                }
+                self.vacate_if(&key, &build_slot);
                 build_slot.wake();
                 Err(e)
             }
         }
     }
 
+    /// Publishes `val` under `key` if the `Building` slot still belongs
+    /// to `build` (pointer identity), enforcing capacity. Returns
+    /// whether the value was published.
+    fn install_if(&self, key: &CacheKey, build: &Arc<Build>, val: Arc<V>) -> bool {
+        let mut shard = self.shard(key);
+        if matches!(shard.get(key), Some(Slot::Building(b)) if Arc::ptr_eq(b, build)) {
+            shard.insert(
+                key.clone(),
+                Slot::Ready {
+                    val,
+                    stamp: self.tick(),
+                },
+            );
+            self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+            obs::note_lambda_cache_insert();
+            self.evict_to(&mut shard, key);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Evicts least-recently-used `Ready` entries (never `Building`
     /// slots, never `just_inserted`) until the shard is within its cap.
-    fn enforce_capacity(&self, shard: &mut HashMap<CacheKey, Slot<V>>, just_inserted: &CacheKey) {
+    /// In-flight `Building` slots count against the cap — capacity is a
+    /// bound on the shard's footprint, not just its finished entries —
+    /// but they are never victims; they vacate on completion.
+    fn evict_to(&self, shard: &mut HashMap<CacheKey, Slot<V>>, just_inserted: &CacheKey) {
         loop {
-            let ready = shard
+            let occupied = shard.len(); // ready + building
+            if occupied <= self.per_shard {
+                return;
+            }
+            let victim = shard
                 .iter()
                 .filter(|(k, _)| *k != just_inserted)
                 .filter_map(|(k, s)| match s {
                     Slot::Ready { stamp, .. } => Some((*stamp, k.clone())),
                     Slot::Building(_) => None,
-                });
-            let ready_count = shard
-                .values()
-                .filter(|s| matches!(s, Slot::Ready { .. }))
-                .count();
-            if ready_count <= self.per_shard {
-                return;
-            }
-            let Some((_, victim)) = ready.min_by_key(|(stamp, _)| *stamp) else {
-                // Only the just-inserted entry is ready (per_shard == 0):
-                // drop it — a zero-capacity cache caches nothing.
-                shard.remove(just_inserted);
-                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-                obs::note_lambda_cache_eviction();
+                })
+                .min_by_key(|(stamp, _)| *stamp);
+            let Some((_, victim)) = victim else {
+                // No victim but still over cap: every other slot is an
+                // in-flight build (or per_shard == 0). Drop the
+                // just-inserted entry — the result was already handed to
+                // its callers, it just isn't shared.
+                if matches!(shard.get(just_inserted), Some(Slot::Ready { .. })) {
+                    shard.remove(just_inserted);
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                    obs::note_lambda_cache_eviction();
+                }
                 return;
             };
             shard.remove(&victim);
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             obs::note_lambda_cache_eviction();
+        }
+    }
+
+    /// Probes `key` for the async compile service: a `Ready` hit returns
+    /// the value, an in-flight build reports itself, and a vacant slot
+    /// is *claimed* — a `Building` slot is installed and the returned
+    /// [`BuildTicket`] must resolve it (finish, abandon, or drop).
+    pub(crate) fn begin_build(self: &Arc<Self>, key: &CacheKey) -> Probe<V> {
+        let mut shard = self.shard(key);
+        match shard.get_mut(key) {
+            Some(Slot::Ready { val, stamp }) => {
+                *stamp = self.tick();
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                obs::note_lambda_cache_hit();
+                Probe::Ready(Arc::clone(val))
+            }
+            Some(Slot::Building(_)) => Probe::InFlight,
+            None => {
+                if count_building(&shard) >= self.max_builds {
+                    return Probe::Busy;
+                }
+                let b = Arc::new(Build::default());
+                shard.insert(key.clone(), Slot::Building(Arc::clone(&b)));
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                obs::note_lambda_cache_miss();
+                Probe::Claimed(BuildTicket {
+                    cache: Arc::clone(self),
+                    key: key.clone(),
+                    build: b,
+                    armed: true,
+                })
+            }
         }
     }
 
@@ -431,6 +684,87 @@ impl<V: ?Sized> LambdaCache<V> {
             misses: self.stats.misses.load(Ordering::Relaxed),
             evictions: self.stats.evictions.load(Ordering::Relaxed),
             inserts: self.stats.inserts.load(Ordering::Relaxed),
+            stalls: self.stats.stalls.load(Ordering::Relaxed),
+            bypasses: self.stats.bypasses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// `Building` slots currently in flight in one locked shard.
+fn count_building<V: ?Sized>(shard: &HashMap<CacheKey, Slot<V>>) -> usize {
+    shard
+        .values()
+        .filter(|s| matches!(s, Slot::Building(_)))
+        .count()
+}
+
+/// Outcome of one bounded lookup-or-build round (internal).
+enum Attempt<V: ?Sized, E> {
+    Done(Result<Arc<V>, E>),
+    Stalled { waited: Duration },
+}
+
+/// Result of [`LambdaCache::begin_build`]: the async service's view of
+/// one key.
+#[derive(Debug)]
+pub(crate) enum Probe<V: ?Sized> {
+    /// Finished code was already cached.
+    Ready(Arc<V>),
+    /// Another build (sync or async) holds the `Building` slot.
+    InFlight,
+    /// The shard is at its simultaneous-build cap; nothing was claimed.
+    Busy,
+    /// A `Building` slot was installed for the caller, who must resolve
+    /// the ticket.
+    Claimed(BuildTicket<V>),
+}
+
+/// Exclusive claim on one key's `Building` slot, held by an async
+/// builder. Exactly one of [`finish`](Self::finish) /
+/// [`abandon`](Self::abandon) resolves it; dropping the ticket (builder
+/// panicked, queue torn down) abandons implicitly so the key can never
+/// wedge. All resolution is pointer-checked: if the slot was vacated by
+/// stall recovery and reclaimed by a successor, a stale ticket is a
+/// no-op.
+#[derive(Debug)]
+pub(crate) struct BuildTicket<V: ?Sized> {
+    cache: Arc<LambdaCache<V>>,
+    key: CacheKey,
+    build: Arc<Build>,
+    armed: bool,
+}
+
+impl<V: ?Sized> BuildTicket<V> {
+    /// The key this ticket claims.
+    pub(crate) fn key(&self) -> &CacheKey {
+        &self.key
+    }
+
+    /// Publishes `val` under the key and wakes waiters. Returns `false`
+    /// if the slot was no longer this build's (vacated by stall/deadline
+    /// recovery) — the value is then *not* cached and the caller should
+    /// treat the build as expired.
+    pub(crate) fn finish(mut self, val: Arc<V>) -> bool {
+        self.armed = false;
+        let published = self.cache.install_if(&self.key, &self.build, val);
+        self.build.wake();
+        published
+    }
+
+    /// Vacates the slot (build failed, expired, or was shed) and wakes
+    /// waiters so they can retry.
+    pub(crate) fn abandon(mut self) {
+        self.armed = false;
+        self.cache.vacate_if(&self.key, &self.build);
+        self.build.wake();
+    }
+}
+
+impl<V: ?Sized> Drop for BuildTicket<V> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.vacate_if(&self.key, &self.build);
+            self.build.wake();
         }
     }
 }
@@ -589,6 +923,133 @@ mod tests {
             .unwrap();
         assert_eq!(*v, 7);
         assert!(c.get(&key(1)).is_none());
-        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+    }
+
+    /// A `Building` slot whose builder will never resolve it — the
+    /// "builder thread died without unwinding" scenario. Returns the
+    /// build generation so the test can assert vacate semantics.
+    fn wedge(c: &LambdaCache<u32>, k: &CacheKey) -> Arc<Build> {
+        let b = Arc::new(Build::default());
+        c.shard(k).insert(k.clone(), Slot::Building(Arc::clone(&b)));
+        b
+    }
+
+    #[test]
+    fn stalled_build_surfaces_typed_error_and_vacates() {
+        let c: LambdaCache<u32> = LambdaCache::new(8);
+        wedge(&c, &key(1));
+        let err = c
+            .get_or_build::<&str>(key(1), || Ok(Arc::new(1)), Duration::from_millis(20))
+            .unwrap_err();
+        match err {
+            CacheError::Stalled { waited } => assert!(waited >= Duration::from_millis(20)),
+            CacheError::Build(e) => panic!("expected Stalled, got Build({e})"),
+        }
+        assert_eq!(c.stats().stalls, 1);
+        // The dead slot was vacated: the key is immediately buildable.
+        let v = c
+            .get_or_build::<&str>(key(1), || Ok(Arc::new(5)), Duration::from_millis(20))
+            .unwrap();
+        assert_eq!(*v, 5);
+    }
+
+    #[test]
+    fn get_or_insert_with_self_heals_after_stall() {
+        // The infallible path retries instead of surfacing Stalled: the
+        // waiter that vacated the dead slot becomes the builder.
+        let c: LambdaCache<u32> = LambdaCache::new(8).with_stall_timeout(Duration::from_millis(20));
+        wedge(&c, &key(2));
+        let t0 = std::time::Instant::now();
+        let v = c
+            .get_or_insert_with::<Infallible>(key(2), || Ok(Arc::new(9)))
+            .unwrap();
+        assert_eq!(*v, 9);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert_eq!(c.stats().stalls, 1);
+        assert_eq!(*c.get(&key(2)).unwrap(), 9);
+    }
+
+    #[test]
+    fn stale_builder_cannot_clobber_successor() {
+        // A builder that outlives its vacated slot must not overwrite
+        // the successor build that reclaimed the key.
+        let c: Arc<LambdaCache<u32>> = Arc::new(LambdaCache::new(8));
+        let stale = wedge(&c, &key(3));
+        assert!(c.vacate_if(&key(3), &stale), "vacate the dead build");
+        let v = c
+            .get_or_insert_with::<Infallible>(key(3), || Ok(Arc::new(42)))
+            .unwrap();
+        assert_eq!(*v, 42);
+        // The stale generation tries to publish late: ptr-check rejects.
+        assert!(!c.install_if(&key(3), &stale, Arc::new(7)));
+        assert!(!c.vacate_if(&key(3), &stale));
+        assert_eq!(*c.get(&key(3)).unwrap(), 42);
+    }
+
+    #[test]
+    fn building_slots_count_against_capacity_and_bypass() {
+        // Capacity 8 → 8 shards × 1 slot. Wedge a build into the shard
+        // of a colliding key: the next cold build on that shard is over
+        // the cap and must bypass (compile uncached), not queue behind
+        // the cap or grow the shard.
+        let c: LambdaCache<u32> = LambdaCache::new(8);
+        let ka = CacheKey::with_hash(TargetId::Mips, vec![1], 0);
+        let kb = CacheKey::with_hash(TargetId::Mips, vec![2], 8); // same shard
+        wedge(&c, &ka);
+        let v = c
+            .get_or_build::<&str>(kb.clone(), || Ok(Arc::new(2)), Duration::from_millis(50))
+            .unwrap();
+        assert_eq!(*v, 2);
+        assert_eq!(c.stats().bypasses, 1);
+        // Bypass result is served but not cached (the shard is full of
+        // in-flight builds).
+        assert!(c.peek(&kb).is_none());
+    }
+
+    #[test]
+    fn begin_build_claims_once_and_reports_states() {
+        let c: Arc<LambdaCache<u32>> = Arc::new(LambdaCache::new(8));
+        let t1 = match c.begin_build(&key(4)) {
+            Probe::Claimed(t) => t,
+            other => panic!("expected Claimed, got {other:?}"),
+        };
+        assert!(matches!(c.begin_build(&key(4)), Probe::InFlight));
+        assert!(t1.finish(Arc::new(4)));
+        match c.begin_build(&key(4)) {
+            Probe::Ready(v) => assert_eq!(*v, 4),
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_ticket_vacates_and_wakes_waiters() {
+        let c: Arc<LambdaCache<u32>> = Arc::new(LambdaCache::new(8));
+        let ticket = match c.begin_build(&key(5)) {
+            Probe::Claimed(t) => t,
+            other => panic!("expected Claimed, got {other:?}"),
+        };
+        let waiter = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                c.get_or_build::<&str>(key(5), || Ok(Arc::new(55)), Duration::from_secs(5))
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        drop(ticket); // abandoned implicitly — waiters must not stall
+        let v = waiter.join().unwrap().unwrap();
+        assert_eq!(*v, 55);
+    }
+
+    #[test]
+    fn peek_counts_no_stats() {
+        let c: LambdaCache<u32> = LambdaCache::new(8);
+        assert!(c.peek(&key(6)).is_none());
+        c.get_or_insert_with::<Infallible>(key(6), || Ok(Arc::new(6)))
+            .unwrap();
+        let before = c.stats();
+        assert_eq!(*c.peek(&key(6)).unwrap(), 6);
+        let after = c.stats();
+        assert_eq!((before.hits, before.misses), (after.hits, after.misses));
     }
 }

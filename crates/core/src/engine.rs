@@ -37,13 +37,15 @@
 //! # Ok::<(), vcode::engine::EngineError>(())
 //! ```
 
-use crate::cache::{CacheKey, CacheStats, LambdaCache};
+use crate::cache::{CacheError, CacheKey, CacheStats, LambdaCache};
 use crate::op::{BinOp, Cond, UnOp};
+use crate::service::{CompileService, ServiceConfig, Submit};
 use crate::target::{Finished, Leaf, Target};
 use crate::ty::{Sig, Ty};
-use crate::{Assembler, Error, Label, Reg, RegClass};
+use crate::{obs, Assembler, Error, Label, Reg, RegClass};
 use std::fmt;
 use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
 
 /// The largest argument count a [`Program`] may declare: the smallest
 /// per-target integer-argument limit in the workspace (MIPS `$a0`–`$a3`).
@@ -144,6 +146,14 @@ pub enum EngineError {
     NoExecutor(TargetId),
     /// Executable memory or simulator execution failed.
     Exec(String),
+    /// A racing build held the key's `Building` slot past the cache's
+    /// stall timeout without publishing — the builder thread most
+    /// likely died without unwinding. The slot has been vacated; an
+    /// immediate retry will claim the key and compile.
+    BuildStalled {
+        /// How long the caller waited before giving up.
+        waited: Duration,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -163,6 +173,12 @@ impl fmt::Display for EngineError {
             }
             EngineError::NoExecutor(t) => write!(f, "no executor installed for target {t}"),
             EngineError::Exec(m) => write!(f, "execution failed: {m}"),
+            EngineError::BuildStalled { waited } => {
+                write!(
+                    f,
+                    "in-flight build stalled (waited {waited:?}); slot vacated"
+                )
+            }
         }
     }
 }
@@ -507,6 +523,148 @@ impl Program {
     pub fn code_capacity(&self) -> usize {
         (self.ops.len() * 32 + 512).max(4096)
     }
+
+    /// The highest virtual-register index the stream touches.
+    fn max_vreg(&self) -> usize {
+        let mut max = self.args.saturating_sub(1);
+        for op in &self.ops {
+            let m = match *op {
+                POp::Set { dst, .. } => dst,
+                POp::Bin { dst, a, b, .. } => dst.max(a).max(b),
+                POp::BinImm { dst, a, .. } => dst.max(a),
+                POp::Un { dst, a, .. } => dst.max(a),
+                POp::Br { a, b, .. } => a.max(b),
+                POp::BrImm { a, .. } => a,
+                POp::Ret { src } => src,
+                POp::Label { .. } | POp::Jmp { .. } => 0,
+            };
+            max = max.max(usize::from(m));
+        }
+        max
+    }
+
+    /// Directly evaluates the recorded stream — the engine's degraded
+    /// tier. While (or instead of) building native code, a
+    /// [`DegradedLambda`] serves calls through this evaluator; its
+    /// arithmetic is bit-for-bit the word-portable `i32` semantics every
+    /// backend emits (wrapping two's complement, shift counts masked to
+    /// 5 bits, arithmetic right shift), so an answer served degraded
+    /// equals the answer the native code gives later.
+    ///
+    /// `fuel` bounds executed instructions: a looping program returns a
+    /// typed error instead of wedging the request thread.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BadArgs`] on arity mismatch; [`EngineError::Exec`]
+    /// on division by zero, jumps to unbound labels, running off the end
+    /// of the stream, and fuel exhaustion.
+    pub fn interpret(&self, args: &[i32], fuel: u64) -> Result<i64, EngineError> {
+        if args.len() != self.args {
+            return Err(EngineError::BadArgs {
+                expected: self.args,
+                got: args.len(),
+            });
+        }
+        let mut regs = vec![0i32; self.max_vreg() + 1];
+        regs[..args.len()].copy_from_slice(args);
+        // Bind every label once up front: branches may jump backward.
+        let mut bound: Vec<Option<usize>> = vec![None; usize::from(self.labels)];
+        for (pc, op) in self.ops.iter().enumerate() {
+            if let POp::Label { l } = *op {
+                let idx = usize::from(l);
+                if bound.len() <= idx {
+                    bound.resize(idx + 1, None);
+                }
+                bound[idx] = Some(pc);
+            }
+        }
+        let jump = |l: u16| -> Result<usize, EngineError> {
+            bound
+                .get(usize::from(l))
+                .copied()
+                .flatten()
+                .ok_or_else(|| EngineError::Exec(format!("jump to unbound label L{l}")))
+        };
+        let bin = |op: BinOp, a: i32, b: i32| -> Result<i32, EngineError> {
+            Ok(match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div if b == 0 => {
+                    return Err(EngineError::Exec("division by zero".to_string()))
+                }
+                BinOp::Div => a.wrapping_div(b),
+                BinOp::Mod if b == 0 => {
+                    return Err(EngineError::Exec("remainder by zero".to_string()))
+                }
+                BinOp::Mod => a.wrapping_rem(b),
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Lsh => a.wrapping_shl(b as u32),
+                BinOp::Rsh => a.wrapping_shr(b as u32),
+            })
+        };
+        let cmp = |c: Cond, a: i32, b: i32| -> bool {
+            match c {
+                Cond::Lt => a < b,
+                Cond::Le => a <= b,
+                Cond::Gt => a > b,
+                Cond::Ge => a >= b,
+                Cond::Eq => a == b,
+                Cond::Ne => a != b,
+            }
+        };
+        let mut pc = 0usize;
+        let mut fuel = fuel;
+        while pc < self.ops.len() {
+            if fuel == 0 {
+                return Err(EngineError::Exec("interpreter fuel exhausted".to_string()));
+            }
+            fuel -= 1;
+            match self.ops[pc] {
+                POp::Set { dst, imm } => regs[usize::from(dst)] = imm,
+                POp::Bin { op, dst, a, b } => {
+                    regs[usize::from(dst)] = bin(op, regs[usize::from(a)], regs[usize::from(b)])?;
+                }
+                POp::BinImm { op, dst, a, imm } => {
+                    regs[usize::from(dst)] = bin(op, regs[usize::from(a)], imm)?;
+                }
+                POp::Un { op, dst, a } => {
+                    let x = regs[usize::from(a)];
+                    regs[usize::from(dst)] = match op {
+                        UnOp::Com => !x,
+                        UnOp::Not => i32::from(x == 0),
+                        UnOp::Mov => x,
+                        UnOp::Neg => x.wrapping_neg(),
+                    };
+                }
+                POp::Label { .. } => {}
+                POp::Br { cond, a, b, l } => {
+                    if cmp(cond, regs[usize::from(a)], regs[usize::from(b)]) {
+                        pc = jump(l)?;
+                        continue;
+                    }
+                }
+                POp::BrImm { cond, a, imm, l } => {
+                    if cmp(cond, regs[usize::from(a)], imm) {
+                        pc = jump(l)?;
+                        continue;
+                    }
+                }
+                POp::Jmp { l } => {
+                    pc = jump(l)?;
+                    continue;
+                }
+                POp::Ret { src } => return Ok(i64::from(regs[usize::from(src)])),
+            }
+            pc += 1;
+        }
+        Err(EngineError::Exec(
+            "program ran off the end without ret".to_string(),
+        ))
+    }
 }
 
 /// FNV-1a 64-bit hash (no external dependencies; stable across runs).
@@ -829,6 +987,130 @@ macro_rules! code_backend {
 }
 
 // ---------------------------------------------------------------------------
+// Degraded serving: the interpreter tier behind async compiles
+// ---------------------------------------------------------------------------
+
+/// A callable handle served *before* (or instead of) native code: calls
+/// run through [`Program::interpret`] until the background build
+/// publishes, then upgrade — permanently and race-free — to the native
+/// [`Lambda`].
+///
+/// The upgrade check is a cache [`peek`](LambdaCache::peek) (no stats
+/// pollution, no emission work) plus a `OnceLock` publish, so a warm
+/// degraded handle costs one atomic load per call once upgraded.
+#[derive(Debug)]
+pub struct DegradedLambda {
+    program: Program,
+    key: CacheKey,
+    cache: Arc<LambdaCache<dyn Lambda>>,
+    target: TargetId,
+    native: OnceLock<Arc<dyn Lambda>>,
+}
+
+impl DegradedLambda {
+    /// The native lambda, if the background build has published it.
+    /// First success latches: later calls never re-probe the cache.
+    pub fn native(&self) -> Option<&Arc<dyn Lambda>> {
+        if let Some(n) = self.native.get() {
+            return Some(n);
+        }
+        let fetched = self.cache.peek(&self.key)?;
+        Some(self.native.get_or_init(|| fetched))
+    }
+
+    /// Whether calls are now served by native code.
+    pub fn upgraded(&self) -> bool {
+        self.native().is_some()
+    }
+}
+
+impl Lambda for DegradedLambda {
+    fn target(&self) -> TargetId {
+        self.target
+    }
+
+    /// Native code size once upgraded; `0` while interpreting.
+    fn code_len(&self) -> usize {
+        self.native().map_or(0, |n| n.code_len())
+    }
+
+    /// Recorded stream length while degraded; the native count once
+    /// upgraded.
+    fn insns(&self) -> u64 {
+        self.native()
+            .map_or(self.program.len() as u64, |n| n.insns())
+    }
+
+    fn call(&self, args: &[i32]) -> Result<i64, EngineError> {
+        if let Some(n) = self.native() {
+            return n.call(args);
+        }
+        obs::note_degraded_call();
+        self.program.interpret(args, SIM_FUEL)
+    }
+}
+
+/// How one [`Engine::compile_async`] request was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Warm cache hit: the handle is native code from the first call.
+    Native,
+    /// The build was queued (or already in flight); the handle serves
+    /// the interpreter until the upgrade publishes.
+    Building,
+    /// The service shed the build (queue at depth, or the cache shard
+    /// at its build cap): degraded serving, nothing enqueued.
+    Shed,
+    /// The key is quarantined after repeated build failures: degraded
+    /// serving until the backoff expires.
+    Quarantined {
+        /// Time until the next rebuild probe is admitted.
+        retry_in: Duration,
+        /// Consecutive failures recorded for the key.
+        failures: u32,
+    },
+}
+
+/// Result of a non-blocking [`Engine::compile_async`]: a lambda that is
+/// callable *right now*, plus how it is (currently) served.
+#[derive(Debug, Clone)]
+pub struct AsyncCompile {
+    lambda: Arc<dyn Lambda>,
+    degraded: Option<Arc<DegradedLambda>>,
+    mode: ServeMode,
+}
+
+impl AsyncCompile {
+    /// The callable handle (native or degraded).
+    pub fn lambda(&self) -> &Arc<dyn Lambda> {
+        &self.lambda
+    }
+
+    /// How the request was served at submit time.
+    pub fn mode(&self) -> ServeMode {
+        self.mode
+    }
+
+    /// Whether calls are served by native code *now* (a degraded handle
+    /// upgrades as soon as the background build publishes).
+    pub fn native_ready(&self) -> bool {
+        match &self.degraded {
+            None => true,
+            Some(d) => d.upgraded(),
+        }
+    }
+
+    /// Calls the handle — identical to `self.lambda().call(args)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lambda::call`].
+    pub fn call(&self, args: &[i32]) -> Result<i64, EngineError> {
+        self.lambda.call(args)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The engine: registry + cache
 // ---------------------------------------------------------------------------
 
@@ -853,7 +1135,8 @@ macro_rules! code_backend {
 #[derive(Debug)]
 pub struct Engine {
     backends: [Option<Arc<dyn Backend>>; 4],
-    cache: LambdaCache<dyn Lambda>,
+    cache: Arc<LambdaCache<dyn Lambda>>,
+    service: OnceLock<CompileService<dyn Lambda>>,
 }
 
 impl Engine {
@@ -862,7 +1145,8 @@ impl Engine {
     pub fn new(capacity: usize) -> Engine {
         Engine {
             backends: [const { None }; 4],
-            cache: LambdaCache::new(capacity),
+            cache: Arc::new(LambdaCache::new(capacity)),
+            service: OnceLock::new(),
         }
     }
 
@@ -926,7 +1210,80 @@ impl Engine {
             .ok_or(EngineError::UnregisteredBackend(id))?;
         let (bytes, hash) = prog.encoded();
         let key = CacheKey::from_encoded(id, Arc::clone(bytes), *hash);
-        self.cache.get_or_insert_with(key, || backend.compile(prog))
+        self.cache
+            .get_or_build(key, || backend.compile(prog), self.cache.stall_timeout())
+            .map_err(|e| match e {
+                CacheError::Build(e) => e,
+                CacheError::Stalled { waited } => EngineError::BuildStalled { waited },
+            })
+    }
+
+    /// Non-blocking compile: never generates code and never waits on
+    /// the calling thread. A warm key returns native code
+    /// ([`ServeMode::Native`]); otherwise the build is handed to the
+    /// engine's [`CompileService`] and the returned handle serves calls
+    /// through [`Program::interpret`] until the native code publishes —
+    /// see [`ServeMode`] for the shed/quarantine outcomes.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnregisteredBackend`]; everything downstream of a
+    /// successful submit is *served*, not errored (the degradation
+    /// ladder's whole point).
+    pub fn compile_async(&self, id: TargetId, prog: &Program) -> Result<AsyncCompile, EngineError> {
+        let backend = self.backends[id.index()]
+            .as_ref()
+            .ok_or(EngineError::UnregisteredBackend(id))?;
+        let (bytes, hash) = prog.encoded();
+        let key = CacheKey::from_encoded(id, Arc::clone(bytes), *hash);
+        let backend = Arc::clone(backend);
+        let to_build = prog.clone();
+        let submit = self.service().submit(key.clone(), move || {
+            backend.compile(&to_build).map_err(|e| e.to_string())
+        });
+        let mode = match submit {
+            Submit::Ready(lambda) => {
+                return Ok(AsyncCompile {
+                    lambda,
+                    degraded: None,
+                    mode: ServeMode::Native,
+                })
+            }
+            Submit::Queued | Submit::InFlight => ServeMode::Building,
+            Submit::Shed => ServeMode::Shed,
+            Submit::Quarantined { retry_in, failures } => {
+                ServeMode::Quarantined { retry_in, failures }
+            }
+        };
+        let degraded = Arc::new(DegradedLambda {
+            program: prog.clone(),
+            key,
+            cache: Arc::clone(&self.cache),
+            target: id,
+            native: OnceLock::new(),
+        });
+        Ok(AsyncCompile {
+            lambda: Arc::clone(&degraded) as Arc<dyn Lambda>,
+            degraded: Some(degraded),
+            mode,
+        })
+    }
+
+    /// The engine's background compile service, started on first use
+    /// with [`ServiceConfig::default`] (or the configuration installed
+    /// by [`configure_service`](Self::configure_service)).
+    pub fn service(&self) -> &CompileService<dyn Lambda> {
+        self.service
+            .get_or_init(|| CompileService::new(Arc::clone(&self.cache), ServiceConfig::default()))
+    }
+
+    /// Installs a non-default service configuration. Returns `false` if
+    /// the service already started (first [`compile_async`](Self::
+    /// compile_async) wins); the running service is then unchanged.
+    pub fn configure_service(&self, cfg: ServiceConfig) -> bool {
+        self.service
+            .set(CompileService::new(Arc::clone(&self.cache), cfg))
+            .is_ok()
     }
 
     /// The engine's lambda cache (for direct keying, invalidation and
@@ -975,6 +1332,95 @@ mod tests {
         let fin = replay::<FakeTarget>(&p, &mut mem).unwrap();
         assert!(fin.len > 0);
         assert_eq!(fin.insns, p.len() as u64 - 1); // `label` emits nothing
+    }
+
+    #[test]
+    fn interpret_matches_recorded_semantics() {
+        // sample() computes v = (x + y) * 3 and negates when negative.
+        let p = sample();
+        for (x, y) in [(3i32, 4), (-10, 2), (0, 0), (1000, -2000)] {
+            let v = x.wrapping_add(y).wrapping_mul(3);
+            let want = i64::from(if v < 0 { v.wrapping_neg() } else { v });
+            assert_eq!(p.interpret(&[x, y], 1_000).unwrap(), want, "f({x},{y})");
+        }
+    }
+
+    #[test]
+    fn interpret_covers_every_op_bit_for_bit() {
+        // One program per binop, checked against native i32 semantics.
+        let cases: [(BinOp, i32, i32, i32); 8] = [
+            (BinOp::Add, i32::MAX, 1, i32::MAX.wrapping_add(1)),
+            (BinOp::Sub, i32::MIN, 1, i32::MIN.wrapping_sub(1)),
+            (BinOp::Mul, 123_456, 789, 123_456i32.wrapping_mul(789)),
+            (BinOp::Div, -7, 2, -3),
+            (BinOp::Mod, -7, 2, -1),
+            (BinOp::Xor, 0x5a5a, 0xa5a5, 0xffff),
+            (BinOp::Lsh, 1, 33, 2),  // count masked to 5 bits
+            (BinOp::Rsh, -8, 1, -4), // arithmetic shift
+        ];
+        for (op, a, b, want) in cases {
+            let mut p = Program::new(2).unwrap();
+            p.bin(op, 2, 0, 1);
+            p.ret(2);
+            assert_eq!(
+                p.interpret(&[a, b], 100).unwrap(),
+                i64::from(want),
+                "{op:?}"
+            );
+        }
+        let mut p = Program::new(1).unwrap();
+        p.un(UnOp::Com, 1, 0);
+        p.ret(1);
+        assert_eq!(p.interpret(&[0x0f0f], 100).unwrap(), i64::from(!0x0f0f));
+        let mut p = Program::new(1).unwrap();
+        p.un(UnOp::Not, 1, 0);
+        p.ret(1);
+        assert_eq!(p.interpret(&[0], 100).unwrap(), 1);
+        assert_eq!(p.interpret(&[7], 100).unwrap(), 0);
+    }
+
+    #[test]
+    fn interpret_faults_are_typed() {
+        // Division by zero.
+        let mut p = Program::new(2).unwrap();
+        p.bin(BinOp::Div, 2, 0, 1);
+        p.ret(2);
+        assert!(matches!(
+            p.interpret(&[1, 0], 100),
+            Err(EngineError::Exec(m)) if m.contains("zero")
+        ));
+        // Arity mismatch.
+        assert!(matches!(
+            p.interpret(&[1], 100),
+            Err(EngineError::BadArgs {
+                expected: 2,
+                got: 1
+            })
+        ));
+        // Fuel bounds an infinite loop.
+        let mut p = Program::new(0).unwrap();
+        let top = p.genlabel();
+        p.label(top);
+        p.jmp(top);
+        assert!(matches!(
+            p.interpret(&[], 10_000),
+            Err(EngineError::Exec(m)) if m.contains("fuel")
+        ));
+        // Running off the end without ret.
+        let mut p = Program::new(1).unwrap();
+        p.bin_imm(BinOp::Add, 0, 0, 1);
+        assert!(matches!(
+            p.interpret(&[1], 100),
+            Err(EngineError::Exec(m)) if m.contains("ret")
+        ));
+        // Jump to a label that is never bound.
+        let mut p = Program::new(0).unwrap();
+        let nowhere = p.genlabel();
+        p.jmp(nowhere);
+        assert!(matches!(
+            p.interpret(&[], 100),
+            Err(EngineError::Exec(m)) if m.contains("unbound")
+        ));
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod op;
 pub mod reg;
 pub mod regalloc;
 pub mod regress;
+pub mod service;
 pub mod spec;
 pub mod target;
 pub mod trap;
@@ -69,13 +70,17 @@ pub mod verify;
 
 pub use asm::{Asm, Assembler};
 pub use buf::EmitPath;
-pub use cache::{CacheKey, CacheStats, LambdaCache};
-pub use engine::{Backend, Engine, EngineError, Lambda, Program, TargetId};
+pub use cache::{CacheError, CacheKey, CacheStats, LambdaCache};
+pub use engine::{
+    AsyncCompile, Backend, DegradedLambda, Engine, EngineError, Lambda, Program, ServeMode,
+    TargetId,
+};
 pub use error::Error;
 pub use label::Label;
 pub use obs::{CodegenEvent, ExecStats, TraceRecord, TrapCounts};
 pub use op::{BinOp, Cond, Imm, UnOp};
 pub use reg::{Bank, Reg, RegClass, RegDesc, RegFile, RegKind};
+pub use service::{CompileService, QuarantineInfo, ServiceConfig, ServiceStats, Submit};
 pub use target::{
     BrOperand, CallFrame, Finished, JumpTarget, Leaf, Off, StackSlot, Target, TargetScratch,
 };

@@ -241,6 +241,8 @@ static LC_HITS: AtomicU64 = AtomicU64::new(0);
 static LC_MISSES: AtomicU64 = AtomicU64::new(0);
 static LC_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static LC_INSERTS: AtomicU64 = AtomicU64::new(0);
+static LC_STALLS: AtomicU64 = AtomicU64::new(0);
+static LC_BYPASSES: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide lambda-cache counter snapshot.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -253,6 +255,10 @@ pub struct LambdaCacheCounters {
     pub evictions: u64,
     /// Successful compiles inserted into a cache.
     pub inserts: u64,
+    /// Bounded condvar waits that expired and vacated a stuck build.
+    pub stalls: u64,
+    /// Compiles run uncached because a shard hit its build cap.
+    pub bypasses: u64,
 }
 
 /// Records a lambda-cache hit (called by `LambdaCache`).
@@ -279,6 +285,20 @@ pub fn note_lambda_cache_insert() {
     LC_INSERTS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Records a stalled (and vacated) in-flight build (called by
+/// `LambdaCache` when a bounded wait expires).
+#[inline]
+pub fn note_lambda_cache_stall() {
+    LC_STALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records an uncached bypass compile (called by `LambdaCache` when a
+/// shard is at its simultaneous-build cap).
+#[inline]
+pub fn note_lambda_cache_bypass() {
+    LC_BYPASSES.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Snapshot of the process-wide lambda-cache counters.
 pub fn lambda_cache_counters() -> LambdaCacheCounters {
     LambdaCacheCounters {
@@ -286,6 +306,122 @@ pub fn lambda_cache_counters() -> LambdaCacheCounters {
         misses: LC_MISSES.load(Ordering::Relaxed),
         evictions: LC_EVICTIONS.load(Ordering::Relaxed),
         inserts: LC_INSERTS.load(Ordering::Relaxed),
+        stalls: LC_STALLS.load(Ordering::Relaxed),
+        bypasses: LC_BYPASSES.load(Ordering::Relaxed),
+    }
+}
+
+// ---- compile-service counters ----------------------------------------------
+//
+// Process-wide totals across every `CompileService` (the engine's,
+// DPF's, ASH's): how much compilation left the request path, how often
+// the service degraded, shed, or quarantined, and how deep the build
+// queue ran. Per-service figures live on the service itself
+// (`CompileService::stats`).
+
+static SV_ENQUEUED: AtomicU64 = AtomicU64::new(0);
+static SV_COMPLETED: AtomicU64 = AtomicU64::new(0);
+static SV_FAILED: AtomicU64 = AtomicU64::new(0);
+static SV_PANICKED: AtomicU64 = AtomicU64::new(0);
+static SV_SHED: AtomicU64 = AtomicU64::new(0);
+static SV_QUARANTINED: AtomicU64 = AtomicU64::new(0);
+static SV_DEADLINE_EXPIRED: AtomicU64 = AtomicU64::new(0);
+static SV_DEGRADED_CALLS: AtomicU64 = AtomicU64::new(0);
+static SV_BUILD_NS: AtomicU64 = AtomicU64::new(0);
+static SV_QUEUE_DEPTH_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide compile-service counter snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Builds accepted onto a service queue.
+    pub enqueued: u64,
+    /// Builds that finished and published into a cache.
+    pub completed: u64,
+    /// Builds that ran and returned a typed error.
+    pub failed: u64,
+    /// Builds whose builder panicked (caught; slot vacated).
+    pub panicked: u64,
+    /// Requests shed because the queue was at its configured depth.
+    pub shed: u64,
+    /// Quarantine entries created or extended after a failure.
+    pub quarantined: u64,
+    /// Builds dropped for exceeding their deadline (in queue or in
+    /// build; the slot was vacated either way).
+    pub deadline_expired: u64,
+    /// Calls served by a degraded (fallback) path while native code was
+    /// building, shed, or quarantined.
+    pub degraded_calls: u64,
+    /// Nanoseconds spent inside completed builds (for mean latency:
+    /// divide by [`completed`](Self::completed)).
+    pub build_ns: u64,
+    /// High-water mark of any service queue's depth.
+    pub queue_depth_peak: u64,
+}
+
+/// Records a build accepted onto a service queue, with the depth after
+/// the enqueue (maintains the process-wide high-water mark).
+#[inline]
+pub fn note_service_enqueued(depth_after: u64) {
+    SV_ENQUEUED.fetch_add(1, Ordering::Relaxed);
+    SV_QUEUE_DEPTH_PEAK.fetch_max(depth_after, Ordering::Relaxed);
+}
+
+/// Records a completed background build and its wall-clock cost.
+#[inline]
+pub fn note_service_completed(build_ns: u64) {
+    SV_COMPLETED.fetch_add(1, Ordering::Relaxed);
+    SV_BUILD_NS.fetch_add(build_ns, Ordering::Relaxed);
+}
+
+/// Records a background build that returned a typed error.
+#[inline]
+pub fn note_service_failed() {
+    SV_FAILED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records a background build whose builder panicked.
+#[inline]
+pub fn note_service_panicked() {
+    SV_PANICKED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records a shed request (queue at depth; fallback served instead).
+#[inline]
+pub fn note_service_shed() {
+    SV_SHED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records a quarantine entry created or extended.
+#[inline]
+pub fn note_service_quarantined() {
+    SV_QUARANTINED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records a build dropped for exceeding its deadline.
+#[inline]
+pub fn note_service_deadline_expired() {
+    SV_DEADLINE_EXPIRED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one call served by a degraded (fallback) path.
+#[inline]
+pub fn note_degraded_call() {
+    SV_DEGRADED_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the process-wide compile-service counters.
+pub fn service_counters() -> ServiceCounters {
+    ServiceCounters {
+        enqueued: SV_ENQUEUED.load(Ordering::Relaxed),
+        completed: SV_COMPLETED.load(Ordering::Relaxed),
+        failed: SV_FAILED.load(Ordering::Relaxed),
+        panicked: SV_PANICKED.load(Ordering::Relaxed),
+        shed: SV_SHED.load(Ordering::Relaxed),
+        quarantined: SV_QUARANTINED.load(Ordering::Relaxed),
+        deadline_expired: SV_DEADLINE_EXPIRED.load(Ordering::Relaxed),
+        degraded_calls: SV_DEGRADED_CALLS.load(Ordering::Relaxed),
+        build_ns: SV_BUILD_NS.load(Ordering::Relaxed),
+        queue_depth_peak: SV_QUEUE_DEPTH_PEAK.load(Ordering::Relaxed),
     }
 }
 

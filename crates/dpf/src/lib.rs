@@ -48,16 +48,29 @@ pub use lang::{Atom, FieldSize, Filter, FilterBuilder, FilterError};
 use mpf::Mpf;
 use std::sync::{Arc, OnceLock};
 use trie::Level;
-use vcode::{CacheKey, CacheStats, LambdaCache, TargetId};
+use vcode::{
+    CacheError, CacheKey, CacheStats, CompileService, LambdaCache, ServeMode, ServiceConfig,
+    Submit, TargetId,
+};
 
 /// The process-wide cache of compiled classifiers, keyed by the exact
 /// resident filter set (ids included — generated code returns them) and
 /// the dispatch-strategy options. Re-installing the same filters — the
 /// common case when identical flows come and go — reuses the finished
 /// code instead of re-running codegen.
-fn classifier_cache() -> &'static LambdaCache<CompiledSet> {
-    static CACHE: OnceLock<LambdaCache<CompiledSet>> = OnceLock::new();
-    CACHE.get_or_init(|| LambdaCache::new(64))
+fn classifier_cache() -> &'static Arc<LambdaCache<CompiledSet>> {
+    static CACHE: OnceLock<Arc<LambdaCache<CompiledSet>>> = OnceLock::new();
+    CACHE.get_or_init(|| Arc::new(LambdaCache::new(64)))
+}
+
+/// The process-wide background compile service over
+/// [`classifier_cache`]: [`Dpf::compile_async`] hands codegen to it and
+/// serves the MPF interpreter until the native classifier publishes.
+pub fn classifier_service() -> &'static CompileService<CompiledSet> {
+    static SERVICE: OnceLock<CompileService<CompiledSet>> = OnceLock::new();
+    SERVICE.get_or_init(|| {
+        CompileService::new(Arc::clone(classifier_cache()), ServiceConfig::default())
+    })
 }
 
 /// Counters for the process-wide classifier cache.
@@ -98,6 +111,9 @@ pub struct Dpf {
     /// Interpreter engaged when code generation fails; ids match the
     /// compiled engine's.
     fallback: Option<Mpf>,
+    /// Cache key of an in-flight [`compile_async`](Dpf::compile_async)
+    /// build; [`poll_upgrade`](Dpf::poll_upgrade) watches it.
+    pending: Option<CacheKey>,
 }
 
 impl Dpf {
@@ -122,6 +138,7 @@ impl Dpf {
         self.filters.push((id, f));
         self.compiled = None;
         self.fallback = None;
+        self.pending = None;
         id
     }
 
@@ -134,6 +151,7 @@ impl Dpf {
         if removed {
             self.compiled = None;
             self.fallback = None;
+            self.pending = None;
         }
         removed
     }
@@ -170,16 +188,28 @@ impl Dpf {
     /// "classification is available".
     pub fn compile(&mut self) -> Result<(), CompileError> {
         self.fallback = None;
+        self.pending = None;
         // An explicit code_capacity is a harness knob (fault injection /
         // overflow drills): those compiles are bespoke, never cached.
+        // The cached path waits boundedly on a racing build: a stalled
+        // `Building` slot (builder died without unwinding) degrades to
+        // the interpreter like any other generation failure instead of
+        // blocking the caller forever.
         let compiled = if self.opts.code_capacity.is_some() {
             let root = trie::build(&self.filters);
-            compile_with_retry(&root, self.opts).map(Arc::new)
+            compile_with_retry(&root, self.opts)
+                .map(Arc::new)
+                .map_err(CacheError::Build)
         } else {
-            classifier_cache().get_or_insert_with(self.cache_key(), || {
-                let root = trie::build(&self.filters);
-                compile_with_retry(&root, self.opts).map(Arc::new)
-            })
+            let cache = classifier_cache();
+            cache.get_or_build(
+                self.cache_key(),
+                || {
+                    let root = trie::build(&self.filters);
+                    compile_with_retry(&root, self.opts).map(Arc::new)
+                },
+                cache.stall_timeout(),
+            )
         };
         match compiled {
             Ok(set) => {
@@ -210,6 +240,7 @@ impl Dpf {
     /// which cannot currently happen (see [`compile`](Self::compile)).
     pub fn compile_uncached(&mut self) -> Result<(), CompileError> {
         self.fallback = None;
+        self.pending = None;
         let root = trie::build(&self.filters);
         match compile_with_retry(&root, self.opts) {
             Ok(set) => {
@@ -225,6 +256,84 @@ impl Dpf {
                 self.fallback = Some(mpf);
                 Ok(())
             }
+        }
+    }
+
+    /// Serve-while-compiling: classification is available the moment
+    /// this returns, with codegen moved off the calling thread.
+    ///
+    /// A warm cache key returns the native classifier immediately
+    /// ([`ServeMode::Native`]). Otherwise the build is handed to the
+    /// process-wide [`classifier_service`] and the engine serves the MPF
+    /// interpreter over the same filters (same ids) meanwhile — call
+    /// [`poll_upgrade`](Self::poll_upgrade) to adopt the native code
+    /// once it publishes. Shed and quarantined submits also serve the
+    /// interpreter; the returned mode says why nothing was enqueued.
+    ///
+    /// A bespoke `code_capacity` (harness knob) compiles synchronously,
+    /// exactly like [`compile`](Self::compile), and reports `Native` or
+    /// `Shed` (degraded, nothing enqueued).
+    pub fn compile_async(&mut self) -> ServeMode {
+        if self.opts.code_capacity.is_some() {
+            // Bespoke compiles never go through the shared cache.
+            let _ = self.compile();
+            return if self.compiled.is_some() {
+                ServeMode::Native
+            } else {
+                ServeMode::Shed
+            };
+        }
+        self.fallback = None;
+        self.pending = None;
+        let key = self.cache_key();
+        let filters = self.filters.clone();
+        let opts = self.opts;
+        let submit = classifier_service().submit(key.clone(), move || {
+            let root = trie::build(&filters);
+            compile_with_retry(&root, opts)
+                .map(Arc::new)
+                .map_err(|e| e.to_string())
+        });
+        let mode = match submit {
+            Submit::Ready(set) => {
+                self.compiled = Some(set);
+                return ServeMode::Native;
+            }
+            Submit::Queued | Submit::InFlight => ServeMode::Building,
+            Submit::Shed => ServeMode::Shed,
+            Submit::Quarantined { retry_in, failures } => {
+                ServeMode::Quarantined { retry_in, failures }
+            }
+        };
+        let mut mpf = Mpf::new();
+        for (id, f) in &self.filters {
+            mpf.insert_as(*id, f);
+        }
+        self.compiled = None;
+        self.fallback = Some(mpf);
+        self.pending = Some(key);
+        mode
+    }
+
+    /// Adopts the native classifier if the background build from
+    /// [`compile_async`](Self::compile_async) has published. Returns
+    /// whether classification is native *after* the call; cheap enough
+    /// to poll per batch.
+    pub fn poll_upgrade(&mut self) -> bool {
+        if self.compiled.is_some() {
+            return true;
+        }
+        let Some(key) = self.pending.as_ref() else {
+            return false;
+        };
+        match classifier_cache().peek(key) {
+            Some(set) => {
+                self.compiled = Some(set);
+                self.fallback = None;
+                self.pending = None;
+                true
+            }
+            None => false,
         }
     }
 

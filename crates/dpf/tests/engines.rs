@@ -549,3 +549,86 @@ fn sibling_shift_nodes_backtrack_with_clean_base() {
     assert!(f1.matches(&msg));
     check_all(&[f0, f1], &[msg]);
 }
+
+#[test]
+fn serve_while_compiling_matches_native_bit_for_bit() {
+    // The degradation-ladder contract: every answer served by the MPF
+    // fallback while the native classifier builds in the background must
+    // equal the answer the native code gives once it publishes.
+    let filters = packet::port_filter_set(10, 7000);
+    let mut dpf = Dpf::new();
+    let ids: Vec<u32> = filters.iter().map(|f| dpf.insert(f.clone())).collect();
+    let mut msgs: Vec<Vec<u8>> = (6995..7015)
+        .map(|port| {
+            packet::build(&PacketSpec {
+                dst_port: port,
+                ..PacketSpec::default()
+            })
+        })
+        .collect();
+    msgs.push(vec![0u8; 3]); // truncated: must match nothing on both engines
+    let mode = dpf.compile_async();
+    assert!(
+        matches!(mode, vcode::ServeMode::Native | vcode::ServeMode::Building),
+        "unexpected mode {mode:?}"
+    );
+    // Snapshot the answers from whatever tier is serving right now.
+    let degraded: Vec<Option<u32>> = msgs.iter().map(|m| dpf.classify(m)).collect();
+    assert_eq!(degraded[0], None, "port 6995 matches nothing");
+    assert_eq!(degraded[5], Some(ids[0]), "port 7000 is filter 0");
+    // Wait for the background build, upgrade, and re-ask natively.
+    let t0 = std::time::Instant::now();
+    while !dpf.poll_upgrade() {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(30),
+            "native classifier never published"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert_eq!(dpf.engine(), Some(dpf::EngineKind::Native));
+    let native: Vec<Option<u32>> = msgs.iter().map(|m| dpf.classify(m)).collect();
+    assert_eq!(degraded, native, "fallback answers must match native");
+}
+
+#[test]
+fn async_herd_compiles_once_and_everyone_serves() {
+    // Many engines racing the same filter set through the async path:
+    // classification works on every one immediately, and they all end up
+    // sharing a single compiled classifier.
+    let filters = packet::port_filter_set(4, 7600);
+    let probe = packet::build(&PacketSpec {
+        dst_port: 7602,
+        ..PacketSpec::default()
+    });
+    let mut engines: Vec<Dpf> = (0..8)
+        .map(|_| {
+            let mut d = Dpf::new();
+            for f in &filters {
+                d.insert(f.clone());
+            }
+            let _ = d.compile_async();
+            d
+        })
+        .collect();
+    for (k, d) in engines.iter().enumerate() {
+        assert_eq!(d.classify(&probe), Some(2), "engine {k} serves immediately");
+    }
+    let t0 = std::time::Instant::now();
+    for d in &mut engines {
+        while !d.poll_upgrade() {
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(30),
+                "no upgrade"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(d.classify(&probe), Some(2));
+    }
+    let native: Vec<_> = engines.iter().map(|d| d.compiled().unwrap()).collect();
+    for w in native.windows(2) {
+        assert!(
+            std::ptr::eq(w[0], w[1]),
+            "async herd must share one compiled set"
+        );
+    }
+}

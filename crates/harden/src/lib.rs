@@ -18,6 +18,83 @@
 
 pub use vcode::regress::XorShift;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One injected behavior for a background build attempt (the compile
+/// service's fault corpus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildFault {
+    /// The build succeeds normally.
+    Succeed,
+    /// The builder returns a typed error (drives quarantine).
+    Fail,
+    /// The builder panics; the service must catch it, vacate the slot
+    /// and quarantine the key.
+    Panic,
+    /// The builder sleeps this many milliseconds before succeeding
+    /// (drives deadline overruns when it exceeds the service deadline).
+    SleepMs(u64),
+}
+
+/// A deterministic per-attempt fault schedule for background builders.
+///
+/// Attempt `k` executes `plan[k]`; attempts past the end repeat the last
+/// entry (so `[Fail, Fail, Succeed]` means "recover on the third try").
+/// The attempt counter is shared, letting tests assert exactly how often
+/// the service ran the builder — quarantine backoff is precisely the
+/// claim that it runs *less* often than it is asked.
+#[derive(Debug)]
+pub struct FaultPlan {
+    plan: Vec<BuildFault>,
+    attempts: AtomicUsize,
+}
+
+impl FaultPlan {
+    /// A shared schedule; empty plans behave as `[Succeed]`.
+    pub fn new(plan: Vec<BuildFault>) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan {
+            plan,
+            attempts: AtomicUsize::new(0),
+        })
+    }
+
+    /// Builder attempts executed so far.
+    pub fn attempts(&self) -> usize {
+        self.attempts.load(Ordering::SeqCst)
+    }
+
+    /// Executes the next scheduled attempt, producing `value` on
+    /// success. Intended to be the body of a service builder closure.
+    ///
+    /// # Errors
+    ///
+    /// An injected error message on [`BuildFault::Fail`] attempts.
+    ///
+    /// # Panics
+    ///
+    /// Panics (by design) on [`BuildFault::Panic`] attempts.
+    pub fn run(&self, value: u64) -> Result<Arc<u64>, String> {
+        let k = self.attempts.fetch_add(1, Ordering::SeqCst);
+        let fault = self
+            .plan
+            .get(k)
+            .or(self.plan.last())
+            .copied()
+            .unwrap_or(BuildFault::Succeed);
+        match fault {
+            BuildFault::Succeed => Ok(Arc::new(value)),
+            BuildFault::Fail => Err(format!("injected failure on attempt {k}")),
+            BuildFault::Panic => panic!("injected panic on attempt {k}"),
+            BuildFault::SleepMs(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(Arc::new(value))
+            }
+        }
+    }
+}
+
 /// Flips one bit of `code` (bit index taken modulo the buffer's bit
 /// count).
 ///

@@ -4,45 +4,70 @@
 //! instruction and data caches" among the chip-specific chores a dynamic
 //! code generation system must hide (§1, `v_end` step 4). On x86-64 the
 //! instruction cache snoops stores, so coherence is free; what remains is
-//! obtaining memory that may be executed at all. [`ExecMem`] provides it:
-//! an anonymous private mapping created read+write for generation and
-//! flipped to read+execute by [`ExecMem::finalize`] (W^X).
+//! obtaining memory that may be executed at all. [`ExecMem`] provides it
+//! with a **dual mapping**: the same `memfd` pages mapped twice — a
+//! read+write *emission view* the assembler writes through, and a
+//! read+execute *execution view* (bracketed by guard pages) that
+//! [`addr`](ExecMem::addr) and [`ExecMem::finalize`] hand out. No
+//! virtual address is ever writable and executable at once (W^X), and no
+//! protection ever changes after setup: finalizing is free.
 //!
-//! The `mmap`/`mprotect`/`munmap` calls are made directly via the
+//! The `memfd_create`/`mmap`/`munmap` calls are made directly via the
 //! `syscall` instruction so the crate needs no FFI dependency; see
 //! DESIGN.md for the rationale.
 //!
 //! # Pooling
 //!
-//! `mmap` + `mprotect` cost microseconds — two orders of magnitude more
-//! than generating a small function (the paper's core claim is ~10
+//! Mapping costs microseconds — two orders of magnitude more than
+//! generating a small function (the paper's core claim is ~10
 //! cycles/instruction). To keep the per-lambda overhead at VCODE scale,
 //! dropped mappings are *parked* in a process-wide pool instead of
-//! unmapped: the code region is flipped to `PROT_NONE` (so stale code
-//! can never be executed or read while parked) and the mapping is pushed
-//! onto a size-classed free list. [`ExecMem::new`] first tries to adopt
-//! a parked mapping of the right class — re-opening it read+write and
-//! zeroing it, which costs one syscall instead of three — and only maps
-//! fresh memory on a pool miss. Free lists are sharded across a small
-//! set of mutexes so concurrent code generators (one assembler per
-//! thread) do not serialize on a single lock. Mappings larger than
+//! unmapped: the region is **zeroed** through the emission view (so
+//! stale code can never run — it is gone — and adopted storage looks
+//! exactly like fresh storage) and pushed onto a size-classed free
+//! list. [`ExecMem::new`] adopts a parked mapping with *no syscalls at
+//! all*, and only maps fresh memory on a pool miss.
+//!
+//! The dual mapping is what makes the whole steady-state lifecycle
+//! (adopt → emit → finalize → execute → park) syscall-free, and that is
+//! a multi-core scaling fact, not just a latency one: the classic
+//! single-mapping W^X lifecycle `mprotect`s every lambda twice, and
+//! every `mprotect` takes the kernel's *process-wide* `mmap_lock` —
+//! with parallel generators, that lock (not any lock of ours) is the
+//! shared state everything serializes on. Free lists are sharded across
+//! a small set of mutexes so concurrent code generators (one assembler
+//! per thread) do not serialize on a single lock. Mappings larger than
 //! [`MAX_POOL_PAGES`] pages bypass the pool entirely.
+//!
+//! The hardening trade-offs of dual mapping: a writable alias of live
+//! code exists at a second, unpublished address, and parked pages stay
+//! fetchable at the execution view (every JIT that dual maps accepts
+//! the former; the latter is covered by scrubbing — parking zeroes the
+//! region, so stale *code* is gone and a dangling function pointer
+//! decodes zeros until it faults, at the first `add [rax], al` store or
+//! at the guard page that ends the run). The guard pages themselves are
+//! permanent, and live code is never writable at its published address.
 
 use std::fmt;
 use std::io;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+const SYS_CLOSE: i64 = 3;
 const SYS_MMAP: i64 = 9;
-const SYS_MPROTECT: i64 = 10;
 const SYS_MUNMAP: i64 = 11;
+const SYS_FTRUNCATE: i64 = 77;
+const SYS_MEMFD_CREATE: i64 = 319;
 
 const PROT_NONE: i64 = 0;
 const PROT_READ: i64 = 1;
 const PROT_WRITE: i64 = 2;
 const PROT_EXEC: i64 = 4;
+const MAP_SHARED: i64 = 0x01;
 const MAP_PRIVATE: i64 = 0x02;
+const MAP_FIXED: i64 = 0x10;
 const MAP_ANONYMOUS: i64 = 0x20;
+const MFD_CLOEXEC: i64 = 0x01;
 
 const PAGE: usize = 4096;
 
@@ -59,8 +84,12 @@ const NUM_CLASSES: usize = MAX_POOL_PAGES.trailing_zeros() as usize + 1;
 const RETAIN_PER_CLASS: usize = 8;
 
 /// Free-list shards. Threads are spread across shards round-robin so
-/// parallel code generators rarely contend on the same mutex.
-const SHARDS: usize = 4;
+/// parallel code generators rarely contend on the same mutex. Sixteen
+/// shards keep the expected collision rate low even at 8 generator
+/// threads (4 shards measurably flattened the `par_codegen` scaling
+/// curve past 2 threads); a shard is one `Mutex` + `NUM_CLASSES`
+/// pointers, so the idle cost of the extra shards is negligible.
+const SHARDS: usize = 16;
 
 /// Bytes of inaccessible (`PROT_NONE`) padding on each side of the code
 /// region. A generated function that runs off either end of its storage
@@ -106,17 +135,6 @@ fn check(ret: i64) -> io::Result<i64> {
     }
 }
 
-/// Changes the protection of a region; thin checked wrapper.
-///
-/// # Safety
-///
-/// `addr`/`len` must describe (part of) a mapping the caller owns.
-unsafe fn mprotect(addr: *mut u8, len: usize, prot: i64) -> io::Result<()> {
-    // SAFETY: forwarded caller obligation.
-    let ret = unsafe { syscall6(SYS_MPROTECT, addr as i64, len as i64, prot, 0, 0, 0) };
-    check(ret).map(|_| ())
-}
-
 /// Unmaps a whole mapping (guards included); errors are ignorable.
 ///
 /// # Safety
@@ -130,10 +148,121 @@ unsafe fn munmap(map: *mut u8, total: usize) {
     }
 }
 
-/// A mapping parked in the pool: everything `PROT_NONE`, nothing
-/// referencing it. `len` is the code-region length (guards excluded).
+/// Builds one dual-mapped code region of `len` bytes: the same `memfd`
+/// pages mapped read+execute inside a `PROT_NONE` scaffold (so the
+/// guard pages bracket the execution view) and read+write at an
+/// unrelated kernel-chosen address. The fd is closed before returning —
+/// the two mappings keep the pages alive — so a region holds no file
+/// descriptor for its lifetime, only address space.
+///
+/// Returns `(map, ptr, rw)`: scaffold start (low guard page), execution
+/// entry (`map + GUARD_BYTES`), and the write alias.
+fn map_dual(len: usize) -> io::Result<(*mut u8, *mut u8, *mut u8)> {
+    let total = len + 2 * GUARD_BYTES;
+    // SAFETY: memfd_create reads the NUL-terminated name and touches no
+    // other memory. The name is debugging metadata (/proc/…/fd).
+    let fd = check(unsafe {
+        syscall6(
+            SYS_MEMFD_CREATE,
+            c"vcode-exec".as_ptr() as i64,
+            MFD_CLOEXEC,
+            0,
+            0,
+            0,
+            0,
+        )
+    })?;
+    // Everything from here must close the fd on failure.
+    let built = (|| {
+        // SAFETY: sizing the memfd we just created; memfd pages are
+        // zero-filled on first touch.
+        check(unsafe { syscall6(SYS_FTRUNCATE, fd, len as i64, 0, 0, 0, 0) })?;
+        // SAFETY: fresh anonymous PROT_NONE reservation; the kernel
+        // picks the placement. This is the scaffold whose first and
+        // last pages stay PROT_NONE forever (the guards).
+        let ret = unsafe {
+            syscall6(
+                SYS_MMAP,
+                0,
+                total as i64,
+                PROT_NONE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        let map = check(ret)? as *mut u8;
+        // SAFETY: in-bounds offset of the scaffold.
+        let ptr = unsafe { map.add(GUARD_BYTES) };
+        // SAFETY: MAP_FIXED inside the scaffold we own replaces its
+        // interior with the file-backed execution view; the guards on
+        // either side are untouched.
+        let exec = unsafe {
+            syscall6(
+                SYS_MMAP,
+                ptr as i64,
+                len as i64,
+                PROT_READ | PROT_EXEC,
+                MAP_SHARED | MAP_FIXED,
+                fd,
+                0,
+            )
+        };
+        if let Err(e) = check(exec) {
+            // SAFETY: unmapping the scaffold we just created.
+            unsafe { munmap(map, total) };
+            return Err(e);
+        }
+        // SAFETY: second view of the same pages, kernel-chosen address.
+        let rw = unsafe {
+            syscall6(
+                SYS_MMAP,
+                0,
+                len as i64,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                fd,
+                0,
+            )
+        };
+        match check(rw) {
+            Ok(rw) => Ok((map, ptr, rw as *mut u8)),
+            Err(e) => {
+                // SAFETY: unmapping the scaffold (execution view
+                // included) we just created.
+                unsafe { munmap(map, total) };
+                Err(e)
+            }
+        }
+    })();
+    // SAFETY: closing the fd we created; the mappings (if any) keep the
+    // pages alive.
+    unsafe { syscall6(SYS_CLOSE, fd, 0, 0, 0, 0, 0) };
+    built
+}
+
+/// Unmaps both views of a dual-mapped region: the scaffold (guards and
+/// execution view, `len + 2 * GUARD_BYTES` bytes at `map`) and the
+/// write alias (`len` bytes at `rw`).
+///
+/// # Safety
+///
+/// `map`/`rw`/`len` must describe a region from [`map_dual`] owned by
+/// the caller, with no live references into either view.
+unsafe fn unmap_dual(map: *mut u8, rw: *mut u8, len: usize) {
+    // SAFETY: forwarded caller obligation.
+    unsafe {
+        munmap(map, len + 2 * GUARD_BYTES);
+        munmap(rw, len);
+    }
+}
+
+/// A region parked in the pool: both views mapped, the code zeroed
+/// (through `rw`), nothing referencing it. `len` is the code-region
+/// length (guards excluded).
 struct Parked {
     map: *mut u8,
+    rw: *mut u8,
     len: usize,
 }
 
@@ -176,9 +305,10 @@ fn pooled(len: usize) -> bool {
     pages.is_power_of_two() && pages <= MAX_POOL_PAGES
 }
 
-/// Tries to adopt a parked mapping of `len` code bytes from this
-/// thread's shard. On success the code region is read+write and zeroed.
-fn pool_take(len: usize) -> Option<(*mut u8, *mut u8)> {
+/// Tries to adopt a parked region of `len` code bytes from this
+/// thread's shard. Parked regions are zeroed with both views live, so a
+/// hit costs no syscall: the pop *is* the allocation.
+fn pool_take(len: usize) -> Option<(*mut u8, *mut u8, *mut u8)> {
     let class = class_of(len / PAGE);
     let parked = {
         let mut shard = POOL[my_shard()].lock().unwrap_or_else(|e| e.into_inner());
@@ -187,46 +317,38 @@ fn pool_take(len: usize) -> Option<(*mut u8, *mut u8)> {
     debug_assert_eq!(parked.len, len);
     // SAFETY: in-bounds offset of a mapping the pool owns.
     let ptr = unsafe { parked.map.add(GUARD_BYTES) };
-    // SAFETY: re-opening the interior of a parked mapping; guards stay
-    // PROT_NONE. On failure the mapping is discarded, not reused.
-    if unsafe { mprotect(ptr, len, PROT_READ | PROT_WRITE) }.is_err() {
-        // SAFETY: the pool owns the parked mapping; nothing references it.
-        unsafe { munmap(parked.map, len + 2 * GUARD_BYTES) };
-        return None;
-    }
-    // SAFETY: just made writable; recycled mappings must look as fresh
-    // (zeroed) as a new anonymous mapping.
-    unsafe { ptr.write_bytes(0, len) };
-    Some((parked.map, ptr))
+    Some((parked.map, ptr, parked.rw))
 }
 
-/// Parks a mapping back into the pool, or unmaps it when the class is
-/// at its retention cap (or pooling does not apply). Never fails: any
-/// syscall error degrades to unmapping.
+/// Parks a region back into the pool, or unmaps it when the class is at
+/// its retention cap (or pooling does not apply). Parking zeroes the
+/// code through the write alias — the stale code is *gone*, from both
+/// views, so a dangling function pointer into the region decodes zeros
+/// (`add [rax], al`) and faults rather than running old code — and
+/// costs no syscall. Never fails.
 ///
 /// # Safety
 ///
-/// `map` must be the start of a whole mapping of `len + 2 * GUARD_BYTES`
-/// bytes owned by the caller, with no live references into it.
-unsafe fn pool_put(map: *mut u8, len: usize) {
-    let total = len + 2 * GUARD_BYTES;
+/// `map`/`rw`/`len` must describe a region from [`map_dual`] owned by
+/// the caller, with no live references into either view.
+unsafe fn pool_put(map: *mut u8, rw: *mut u8, len: usize) {
     if pooled(len) {
-        // SAFETY: in-bounds offset; parking makes stale code
-        // inaccessible until the mapping is adopted again.
-        let sealed = unsafe { mprotect(map.add(GUARD_BYTES), len, PROT_NONE) }.is_ok();
-        if sealed {
-            let mut shard = POOL[my_shard()].lock().unwrap_or_else(|e| e.into_inner());
-            let class = &mut shard.classes[class_of(len / PAGE)];
-            if class.len() < RETAIN_PER_CLASS {
-                class.push(Parked { map, len });
-                POOL_PARKED.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            POOL_EVICTED.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the caller owns the region; the write alias is always
+        // read+write. Scrub the stale code now so adoption can hand the
+        // region out as-is.
+        unsafe { rw.write_bytes(0, len) };
+        let mut shard = POOL[my_shard()].lock().unwrap_or_else(|e| e.into_inner());
+        let class = &mut shard.classes[class_of(len / PAGE)];
+        if class.len() < RETAIN_PER_CLASS {
+            class.push(Parked { map, rw, len });
+            POOL_PARKED.fetch_add(1, Ordering::Relaxed);
+            return;
         }
+        drop(shard);
+        POOL_EVICTED.fetch_add(1, Ordering::Relaxed);
     }
     // SAFETY: forwarded caller obligation.
-    unsafe { munmap(map, total) };
+    unsafe { unmap_dual(map, rw, len) };
 }
 
 /// Unmaps every parked mapping in every shard, returning how many were
@@ -238,8 +360,8 @@ pub fn drain_pool() -> usize {
         let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
         for class in &mut shard.classes {
             for parked in class.drain(..) {
-                // SAFETY: the pool owns parked mappings exclusively.
-                unsafe { munmap(parked.map, parked.len + 2 * GUARD_BYTES) };
+                // SAFETY: the pool owns parked regions exclusively.
+                unsafe { unmap_dual(parked.map, parked.rw, parked.len) };
                 drained += 1;
             }
         }
@@ -281,7 +403,10 @@ pub fn pool_stats() -> PoolStats {
     }
 }
 
-/// A writable anonymous mapping that generated code is emitted into.
+/// A dual-mapped code region that generated code is emitted into:
+/// writable through [`as_mut_slice`](Self::as_mut_slice), executable at
+/// [`addr`](Self::addr) (two views of the same pages — see the module
+/// docs).
 ///
 /// # Examples
 ///
@@ -297,10 +422,12 @@ pub fn pool_stats() -> PoolStats {
 /// # Ok::<(), std::io::Error>(())
 /// ```
 pub struct ExecMem {
-    /// Start of the whole mapping (low guard page).
+    /// Start of the scaffold mapping (low guard page).
     map: *mut u8,
-    /// Start of the writable code region (`map + GUARD_BYTES`).
+    /// Execution view of the code region (`map + GUARD_BYTES`).
     ptr: *mut u8,
+    /// Write alias of the same pages (kernel-chosen address).
+    rw: *mut u8,
     /// Length of the code region (guards excluded).
     len: usize,
 }
@@ -315,29 +442,31 @@ impl fmt::Debug for ExecMem {
 }
 
 impl ExecMem {
-    /// Obtains `len` bytes of read+write storage, bracketed by one
+    /// Obtains `len` bytes of dual-mapped storage: writable through
+    /// [`as_mut_slice`](Self::as_mut_slice), executable at
+    /// [`addr`](Self::addr), the execution view bracketed by one
     /// `PROT_NONE` guard page on each side (see [`GUARD_BYTES`]).
     /// [`len`](Self::len) and [`addr`](Self::addr) describe the usable
     /// code region only.
     ///
     /// Requests up to [`MAX_POOL_PAGES`] pages are rounded to a
     /// power-of-two page count and served from the pool when a parked
-    /// mapping of that class is available (see the module docs); larger
+    /// region of that class is available (see the module docs); larger
     /// requests are rounded to the page size and mapped directly. Either
     /// way the returned storage is zeroed.
     ///
     /// # Errors
     ///
-    /// Propagates the `mmap`/`mprotect` failure (`ENOMEM`, resource
-    /// limits, ...); a request too large to represent reports
-    /// `ENOMEM` without panicking.
+    /// Propagates the `memfd_create`/`ftruncate`/`mmap` failure
+    /// (`ENOMEM`, resource limits, ...); a request too large to
+    /// represent reports `ENOMEM` without panicking.
     pub fn new(len: usize) -> io::Result<ExecMem> {
         let pages = len.max(1).div_ceil(PAGE);
         let len = if pages <= MAX_POOL_PAGES {
             let len = pages.next_power_of_two() * PAGE;
-            if let Some((map, ptr)) = pool_take(len) {
+            if let Some((map, ptr, rw)) = pool_take(len) {
                 POOL_HITS.fetch_add(1, Ordering::Relaxed);
-                return Ok(ExecMem { map, ptr, len });
+                return Ok(ExecMem { map, ptr, rw, len });
             }
             POOL_MISSES.fetch_add(1, Ordering::Relaxed);
             len
@@ -347,40 +476,19 @@ impl ExecMem {
                 .filter(|l| l.checked_add(2 * GUARD_BYTES).is_some())
                 .ok_or_else(|| io::Error::from_raw_os_error(12 /* ENOMEM */))?
         };
-        let total = len + 2 * GUARD_BYTES;
-        // SAFETY: anonymous private mapping with no fixed address; the
-        // kernel picks the placement, nothing else references it. Mapped
-        // PROT_NONE first so the guards never become accessible.
-        let ret = unsafe {
-            syscall6(
-                SYS_MMAP,
-                0,
-                total as i64,
-                PROT_NONE,
-                MAP_PRIVATE | MAP_ANONYMOUS,
-                -1,
-                0,
-            )
-        };
-        let map = check(ret)? as *mut u8;
-        // SAFETY: in-bounds offset of the mapping.
-        let ptr = unsafe { map.add(GUARD_BYTES) };
-        // SAFETY: opening the interior of a mapping we just created.
-        if let Err(e) = unsafe { mprotect(ptr, len, PROT_READ | PROT_WRITE) } {
-            // SAFETY: unmapping the mapping we just created.
-            unsafe { munmap(map, total) };
-            return Err(e);
-        }
-        Ok(ExecMem { map, ptr, len })
+        let (map, ptr, rw) = map_dual(len)?;
+        Ok(ExecMem { map, ptr, rw, len })
     }
 
     /// The writable storage, handed to
     /// [`Assembler::lambda`](vcode::Assembler::lambda) as the client code
-    /// pointer.
+    /// pointer. This is the write *alias*: bytes stored here become
+    /// visible (and executable) at [`addr`](Self::addr), which is where
+    /// all position-dependent references must point.
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
-        // SAFETY: we own the mapping, it is PROT_READ|PROT_WRITE and
-        // `len` bytes long.
-        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+        // SAFETY: we own the region; the write alias is
+        // PROT_READ|PROT_WRITE and `len` bytes long.
+        unsafe { std::slice::from_raw_parts_mut(self.rw, self.len) }
     }
 
     /// The code-region length in bytes (guard pages excluded).
@@ -402,31 +510,25 @@ impl ExecMem {
         self.ptr as u64
     }
 
-    /// Flips the code region to read+execute and returns the executable
-    /// handle (the paper's `v_end` returning "a pointer to the generated
-    /// code", cast to the appropriate function pointer type by the
-    /// client). The guard pages stay `PROT_NONE`.
+    /// Returns the executable handle (the paper's `v_end` returning "a
+    /// pointer to the generated code", cast to the appropriate function
+    /// pointer type by the client). The execution view has been
+    /// read+execute since setup — finalizing changes no protections and
+    /// makes no syscalls; it only retires the write access. The x86-64
+    /// instruction cache snoops stores by physical address, so the bytes
+    /// written through the alias are fetchable at [`addr`](Self::addr)
+    /// with no explicit flush.
     ///
     /// # Errors
     ///
-    /// Propagates the `mprotect` failure.
+    /// Infallible today; the `Result` is kept so a future target (or a
+    /// hardening mode that seals the alias) can fail here without an API
+    /// break.
     pub fn finalize(self) -> io::Result<ExecCode> {
-        // SAFETY: `ptr`/`len` describe a mapping we own.
-        let ret = unsafe {
-            syscall6(
-                SYS_MPROTECT,
-                self.ptr as i64,
-                self.len as i64,
-                PROT_READ | PROT_EXEC,
-                0,
-                0,
-                0,
-            )
-        };
-        check(ret)?;
         let code = ExecCode {
             map: self.map,
             ptr: self.ptr,
+            rw: self.rw,
             len: self.len,
             pins: Arc::new(Mutex::new(PinInner {
                 count: 0,
@@ -440,10 +542,10 @@ impl ExecMem {
 
 impl Drop for ExecMem {
     fn drop(&mut self) {
-        // SAFETY: releasing a mapping we own (guards included) with no
+        // SAFETY: releasing a region we own (both views) with no
         // outstanding references; errors are ignorable here
         // (C-DTOR-FAIL) — `pool_put` degrades to unmapping.
-        unsafe { pool_put(self.map, self.len) };
+        unsafe { pool_put(self.map, self.rw, self.len) };
     }
 }
 
@@ -455,12 +557,13 @@ unsafe impl Send for ExecMem {}
 ///
 /// # Drop hazard
 ///
-/// Dropping unmaps the code. The borrow checker cannot see through the
-/// `unsafe` cast in [`as_fn`](Self::as_fn): the returned function
-/// pointer does **not** borrow `self`, so it is possible to drop the
-/// `ExecCode` and then call the pointer. That call jumps into an
-/// unmapped page — under [`GuardedCall`](crate::GuardedCall) it surfaces
-/// as a [`NativeTrap`](crate::NativeTrap); on a bare call it is a crash.
+/// Dropping releases the code (parks its region scrubbed, or unmaps
+/// it). The borrow checker cannot see through the `unsafe` cast in
+/// [`as_fn`](Self::as_fn): the returned function pointer does **not**
+/// borrow `self`, so it is possible to drop the `ExecCode` and then
+/// call the pointer. That call runs into zeroed or unmapped memory and
+/// faults — under [`GuardedCall`](crate::GuardedCall) it surfaces as a
+/// [`NativeTrap`](crate::NativeTrap); on a bare call it is a crash.
 /// Keep the `ExecCode` alive for as long as any pointer obtained from it
 /// may be invoked (see the `drop_unmaps_code` test) — or take a
 /// [`pin`](Self::pin), which keeps the mapping mapped and executable even
@@ -473,10 +576,13 @@ unsafe impl Send for ExecMem {}
 /// release parked, unreferenced mappings — a cached lambda holding its
 /// `ExecCode` (or a pin) survives any number of drains.
 pub struct ExecCode {
-    /// Start of the whole mapping (low guard page).
+    /// Start of the scaffold mapping (low guard page).
     map: *mut u8,
     /// Entry of the executable region (`map + GUARD_BYTES`).
     ptr: *mut u8,
+    /// Write alias of the same pages, never exposed while finalized;
+    /// kept mapped so parking stays syscall-free (see the module docs).
+    rw: *mut u8,
     /// Length of the executable region (guards excluded).
     len: usize,
     /// Shared pin state; release of the mapping is deferred to the last
@@ -502,8 +608,10 @@ struct PinInner {
 /// of an orphaned mapping releases it.
 #[derive(Debug)]
 pub struct CodePin {
-    /// Mapping start, stored as an address (the pin never dereferences).
+    /// Scaffold start, stored as an address (the pin never dereferences).
     map: usize,
+    /// Write-alias start, likewise address-only.
+    rw: usize,
     /// Entry address of the executable region.
     addr: u64,
     /// Executable-region length (guards excluded).
@@ -536,6 +644,7 @@ impl Clone for CodePin {
         drop(st);
         CodePin {
             map: self.map,
+            rw: self.rw,
             addr: self.addr,
             len: self.len,
             state: Arc::clone(&self.state),
@@ -552,8 +661,8 @@ impl Drop for CodePin {
         };
         if release {
             // SAFETY: the owning `ExecCode` is gone (orphaned) and this
-            // was the last pin, so nothing references the mapping.
-            unsafe { pool_put(self.map as *mut u8, self.len) };
+            // was the last pin, so nothing references the region.
+            unsafe { pool_put(self.map as *mut u8, self.rw as *mut u8, self.len) };
         }
     }
 }
@@ -663,6 +772,7 @@ impl ExecCode {
         drop(st);
         CodePin {
             map: self.map as usize,
+            rw: self.rw as usize,
             addr: self.ptr as u64,
             len: self.len,
             state: Arc::clone(&self.pins),
@@ -680,13 +790,14 @@ impl Drop for ExecCode {
             st.count > 0
         };
         if !deferred {
-            // SAFETY: releasing a mapping we own (guards included) with
-            // no outstanding pins. The caller upholds the drop hazard
+            // SAFETY: releasing a region we own (both views) with no
+            // outstanding pins. The caller upholds the drop hazard
             // documented on the type: no generated function may be
-            // executing or called after this. Parking seals the region
-            // `PROT_NONE`, so a use-after-drop call faults exactly as an
-            // unmapped page would.
-            unsafe { pool_put(self.map, self.len) };
+            // executing or called after this. Parking zeroes the region
+            // through the write alias, so a use-after-drop call runs
+            // into zeros and faults (see `pool_put`) rather than
+            // executing stale code.
+            unsafe { pool_put(self.map, self.rw, self.len) };
         }
         // Otherwise the last CodePin releases the mapping.
     }

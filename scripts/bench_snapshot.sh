@@ -35,4 +35,7 @@ cargo bench -q --offline -p vcode-bench --bench exec_stats
 echo "== cache_amortize =="
 cargo bench -q --offline -p vcode-bench --bench cache_amortize
 
+echo "== compile_service =="
+cargo bench -q --offline -p vcode-bench --bench compile_service
+
 echo "Snapshot written to $out"
