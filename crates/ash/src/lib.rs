@@ -37,6 +37,7 @@
 
 mod compile;
 pub mod generic;
+pub mod hotloop;
 
 pub use compile::{
     cache_stats, clear_cache, kernel_service, EngineKind, NativeCode, Pipeline, PipelineError,

@@ -169,28 +169,42 @@ fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("=== Parallel code generation (pooled ExecMem, {cores} core(s) available) ===");
 
-    // One persistent pool per thread count; spawning them all up front
-    // also walks the round-robin shard assignment, so the warm-up window
-    // below populates every free-list shard the sweep will touch.
-    let pools: Vec<Pool> = [1usize, 2, 4, 8].into_iter().map(Pool::new).collect();
+    // One persistent pool per *requested* thread count, with the actual
+    // worker count clamped to the cores present. Oversubscribing (8
+    // workers on fewer cores) measures the kernel's context-switch tax,
+    // not the generator's scaling — on small hosts it read as a false
+    // scaling inversion at 8t. The snapshot keeps the requested-count
+    // labels (so the metric names are stable across hosts) and records
+    // `par_codegen/cores` so the CI gate knows which points were
+    // clamped to identical configurations. Spawning all pools up front
+    // also walks the round-robin shard assignment, so the warm-up
+    // window below populates every free-list shard the sweep touches.
+    let requested: [usize; 4] = [1, 2, 4, 8];
+    let pools: Vec<Pool> = requested
+        .iter()
+        .map(|&req| Pool::new(req.min(cores)))
+        .collect();
     pools.last().unwrap().window(secs); // warm the pool and the code paths
 
     let before = pool_stats();
     let rates = best_rates(&pools, secs, rounds);
     let after = pool_stats();
     let base_rate = rates[0];
-    for (pool, &rate) in pools.iter().zip(&rates) {
+    snapshot::record("par_codegen/cores", cores as f64);
+    for ((&req, pool), &rate) in requested.iter().zip(&pools).zip(&rates) {
         let threads = pool.threads;
         let speedup = rate / base_rate;
-        // On a machine with fewer cores than threads, ideal speedup is
-        // capped by the cores actually available.
-        let ideal = (threads.min(cores)) as f64;
+        let clamp = if threads < req {
+            format!(" (clamped from {req})")
+        } else {
+            String::new()
+        };
         println!(
-            "  {threads} thread(s): {:>7.1} Minsn/s aggregate  \
-             {speedup:>5.2}x vs 1t (ideal {ideal:.0}x)",
+            "  {threads} thread(s){clamp}: {:>7.1} Minsn/s aggregate  \
+             {speedup:>5.2}x vs 1t (ideal {threads:.0}x)",
             rate / 1e6,
         );
-        snapshot::record(&format!("par_codegen/minsn_per_s_{threads}t"), rate / 1e6);
+        snapshot::record(&format!("par_codegen/minsn_per_s_{req}t"), rate / 1e6);
     }
     let lookups = (after.hits + after.misses) - (before.hits + before.misses);
     let hit_pct = if lookups == 0 {

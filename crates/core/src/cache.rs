@@ -97,6 +97,27 @@ impl CacheKey {
         }
     }
 
+    /// Derives the cache identity of a higher compilation *tier* of the
+    /// same program: same target, content bytes prefixed with a tier tag.
+    ///
+    /// The tag byte is `0xF0 | tier`, which no base key can start with —
+    /// a `Program::encode()` stream begins with its argument count
+    /// (≤ `MAX_PROGRAM_ARGS`) — so tiered keys can never alias a tier-0
+    /// entry, and distinct tiers never alias each other. Tier-2
+    /// recompilation publishes optimized code under `self.tiered(2)`
+    /// while the baseline entry stays resident under `self`.
+    pub fn tiered(&self, tier: u8) -> CacheKey {
+        debug_assert!(tier < 0x10, "tier tag must fit the 0xF0 prefix");
+        let mut bytes = Vec::with_capacity(self.bytes.len() + 1);
+        bytes.push(0xF0 | (tier & 0x0F));
+        bytes.extend_from_slice(&self.bytes);
+        CacheKey {
+            target: self.target,
+            hash: route_hash(self.target, fnv1a(&bytes)),
+            bytes: bytes.into(),
+        }
+    }
+
     /// Client-hash key for callers that already maintain a collision-free
     /// 64-bit identity. The hash bytes *are* the content, so two clients
     /// passing the same `h` for different programs will alias — the

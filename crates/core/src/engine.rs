@@ -41,10 +41,12 @@ use crate::cache::{CacheError, CacheKey, CacheStats, LambdaCache};
 use crate::op::{BinOp, Cond, UnOp};
 use crate::service::{CompileService, ServiceConfig, Submit};
 use crate::target::{Finished, Leaf, Target};
+use crate::tier2::TierConfig;
 use crate::ty::{Sig, Ty};
 use crate::{obs, Assembler, Error, Label, Reg, RegClass};
 use std::fmt;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock, Weak};
 use std::time::Duration;
 
 /// The largest argument count a [`Program`] may declare: the smallest
@@ -359,6 +361,12 @@ impl Program {
     /// The recorded stream.
     pub fn ops(&self) -> &[POp] {
         &self.ops
+    }
+
+    /// Number of labels allocated so far (label indices are dense:
+    /// `0..labels()`).
+    pub fn labels(&self) -> u16 {
+        self.labels
     }
 
     /// Allocates a fresh label index.
@@ -830,6 +838,12 @@ pub trait Lambda: Send + Sync + fmt::Debug {
     /// [`EngineError::BadArgs`] on arity mismatch; simulated targets
     /// also surface executor absence and runtime traps.
     fn call(&self, args: &[i32]) -> Result<i64, EngineError>;
+
+    /// Downcast hook for the tiering wrapper (see [`TieredLambda`]);
+    /// plain lambdas return `None`.
+    fn as_tiered(&self) -> Option<&TieredLambda> {
+        None
+    }
 }
 
 /// A compiled program for a simulated ISA: raw code bytes plus the
@@ -940,6 +954,17 @@ pub trait Backend: Send + Sync + fmt::Debug {
     /// Typed [`EngineError`] — codegen failure, executable-memory
     /// exhaustion, register exhaustion.
     fn compile(&self, prog: &Program) -> Result<Arc<dyn Lambda>, EngineError>;
+    /// Compiles through the tier-2 optimizing pipeline
+    /// ([`tier2::optimize`](crate::tier2::optimize) then linear-scan
+    /// replay). The default falls back to the baseline translation so a
+    /// backend without a tier-2 path still satisfies upgrade requests.
+    ///
+    /// # Errors
+    ///
+    /// As [`compile`](Self::compile).
+    fn compile_tier2(&self, prog: &Program) -> Result<Arc<dyn Lambda>, EngineError> {
+        self.compile(prog)
+    }
 }
 
 /// Generates a [`Backend`] adapter for a simulated-ISA target: compiles
@@ -978,6 +1003,25 @@ macro_rules! code_backend {
                 Ok(::std::sync::Arc::new($crate::engine::CodeImage::new(
                     $id,
                     prog.args(),
+                    mem,
+                    fin.insns,
+                )))
+            }
+
+            fn compile_tier2(
+                &self,
+                prog: &$crate::engine::Program,
+            ) -> Result<
+                ::std::sync::Arc<dyn $crate::engine::Lambda>,
+                $crate::engine::EngineError,
+            > {
+                let (opt, _stats) = $crate::tier2::optimize(prog);
+                let mut mem = vec![0u8; opt.code_capacity()];
+                let fin = $crate::tier2::replay_opt::<$target>(&opt, &mut mem)?;
+                mem.truncate(fin.len);
+                Ok(::std::sync::Arc::new($crate::engine::CodeImage::new(
+                    $id,
+                    opt.args(),
                     mem,
                     fin.insns,
                 )))
@@ -1047,6 +1091,182 @@ impl Lambda for DegradedLambda {
         }
         obs::note_degraded_call();
         self.program.interpret(args, SIM_FUEL)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tiered serving: heat-triggered optimizing recompilation
+// ---------------------------------------------------------------------------
+
+/// A cached lambda that counts its own calls and upgrades itself in
+/// place: it serves tier-1 baseline code immediately, and when the call
+/// count crosses [`TierConfig::hot_threshold`] it schedules a tier-2
+/// rebuild ([`Backend::compile_tier2`]) on the engine's
+/// [`CompileService`] under the [tier-tagged](CacheKey::tiered) cache
+/// key. When the optimized build publishes, the very next call latches
+/// it through a `OnceLock` — callers never stall on the rebuild and can
+/// never observe a torn swap (they run either whole-tier-1 or
+/// whole-tier-2 code, both semantically identical).
+///
+/// The wrapper holds the cache and service [`Weak`]ly: the cache stores
+/// the wrapper, so strong references here would leak the whole engine
+/// through a reference cycle. A dropped engine simply stops upgrading.
+///
+/// Failure containment comes from the service for free: a panicking or
+/// deadline-missing tier-2 build quarantines the *tier-2* key, the
+/// wrapper keeps serving tier-1 code, and re-submission (every
+/// `hot_threshold` further calls) respects the quarantine backoff.
+#[derive(Debug)]
+pub struct TieredLambda {
+    base: Arc<dyn Lambda>,
+    program: Program,
+    key2: CacheKey,
+    backend: Arc<dyn Backend>,
+    cache: Weak<LambdaCache<dyn Lambda>>,
+    service: Weak<CompileService<dyn Lambda>>,
+    threshold: u64,
+    calls: AtomicU64,
+    tier2: OnceLock<Arc<dyn Lambda>>,
+}
+
+impl TieredLambda {
+    /// Wraps a freshly built tier-1 lambda for heat-tracked serving.
+    /// Called from inside cache builders so the cached (Ready) slot
+    /// holds the wrapper — every caller shares one call counter.
+    fn wrap(
+        base: Arc<dyn Lambda>,
+        program: Program,
+        key2: CacheKey,
+        backend: Arc<dyn Backend>,
+        cache: Weak<LambdaCache<dyn Lambda>>,
+        service: Weak<CompileService<dyn Lambda>>,
+        hot_threshold: u64,
+    ) -> Arc<dyn Lambda> {
+        Arc::new(TieredLambda {
+            base,
+            program,
+            key2,
+            backend,
+            cache,
+            service,
+            threshold: hot_threshold.max(1),
+            calls: AtomicU64::new(0),
+            tier2: OnceLock::new(),
+        })
+    }
+
+    /// Calls served so far (all tiers).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Whether calls are now served by tier-2 optimized code.
+    pub fn upgraded(&self) -> bool {
+        self.tier2.get().is_some()
+    }
+
+    /// The tier-1 lambda this wrapper started with.
+    pub fn baseline(&self) -> &Arc<dyn Lambda> {
+        &self.base
+    }
+
+    /// The tier-2 lambda, if the upgrade has latched.
+    pub fn optimized(&self) -> Option<&Arc<dyn Lambda>> {
+        self.tier2.get()
+    }
+
+    /// Probes the cache for a published tier-2 build and latches it.
+    /// Returns the serving lambda either way.
+    fn poll_upgrade(&self) -> &Arc<dyn Lambda> {
+        if let Some(t2) = self.tier2.get() {
+            return t2;
+        }
+        let Some(cache) = self.cache.upgrade() else {
+            return &self.base;
+        };
+        let Some(found) = cache.peek(&self.key2) else {
+            return &self.base;
+        };
+        let mut fresh = false;
+        let t2 = self.tier2.get_or_init(|| {
+            fresh = true;
+            found
+        });
+        if fresh {
+            obs::note_tier2_upgraded();
+        }
+        t2
+    }
+
+    /// Hands the tier-2 build to the compile service (non-blocking). A
+    /// `Ready` response (another wrapper already built it) latches
+    /// immediately.
+    fn schedule(&self) {
+        let Some(service) = self.service.upgrade() else {
+            return;
+        };
+        obs::note_tier2_scheduled();
+        let backend = Arc::clone(&self.backend);
+        let prog = self.program.clone();
+        let submit = service.submit(self.key2.clone(), move || {
+            backend.compile_tier2(&prog).map_err(|e| e.to_string())
+        });
+        if let Submit::Ready(t2) = submit {
+            let mut fresh = false;
+            self.tier2.get_or_init(|| {
+                fresh = true;
+                t2
+            });
+            if fresh {
+                obs::note_tier2_upgraded();
+            }
+        }
+    }
+}
+
+impl Lambda for TieredLambda {
+    fn target(&self) -> TargetId {
+        self.base.target()
+    }
+
+    /// Code size of the currently-serving tier.
+    fn code_len(&self) -> usize {
+        self.tier2
+            .get()
+            .map_or_else(|| self.base.code_len(), |t| t.code_len())
+    }
+
+    /// Instruction count of the currently-serving tier.
+    fn insns(&self) -> u64 {
+        self.tier2
+            .get()
+            .map_or_else(|| self.base.insns(), |t| t.insns())
+    }
+
+    fn call(&self, args: &[i32]) -> Result<i64, EngineError> {
+        if let Some(t2) = self.tier2.get() {
+            return t2.call(args);
+        }
+        let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= self.threshold {
+            if n == self.threshold {
+                obs::note_tier2_hot();
+            }
+            self.poll_upgrade();
+            // Still on tier-1: (re)submit every `threshold` calls so shed
+            // or quarantined builds eventually retry.
+            if self.tier2.get().is_none() && n.is_multiple_of(self.threshold) {
+                self.schedule();
+            }
+            if let Some(t2) = self.tier2.get() {
+                return t2.call(args);
+            }
+        }
+        self.base.call(args)
+    }
+
+    fn as_tiered(&self) -> Option<&TieredLambda> {
+        Some(self)
     }
 }
 
@@ -1136,7 +1356,8 @@ impl AsyncCompile {
 pub struct Engine {
     backends: [Option<Arc<dyn Backend>>; 4],
     cache: Arc<LambdaCache<dyn Lambda>>,
-    service: OnceLock<CompileService<dyn Lambda>>,
+    service: OnceLock<Arc<CompileService<dyn Lambda>>>,
+    tiering: OnceLock<TierConfig>,
 }
 
 impl Engine {
@@ -1147,6 +1368,7 @@ impl Engine {
             backends: [const { None }; 4],
             cache: Arc::new(LambdaCache::new(capacity)),
             service: OnceLock::new(),
+            tiering: OnceLock::new(),
         }
     }
 
@@ -1211,11 +1433,67 @@ impl Engine {
         let (bytes, hash) = prog.encoded();
         let key = CacheKey::from_encoded(id, Arc::clone(bytes), *hash);
         self.cache
-            .get_or_build(key, || backend.compile(prog), self.cache.stall_timeout())
+            .get_or_build(
+                key,
+                || {
+                    backend
+                        .compile(prog)
+                        .map(|base| self.tier_wrap(backend, prog, base))
+                },
+                self.cache.stall_timeout(),
+            )
             .map_err(|e| match e {
                 CacheError::Build(e) => e,
                 CacheError::Stalled { waited } => EngineError::BuildStalled { waited },
             })
+    }
+
+    /// Compiles `prog` on `id` through the tier-2 optimizing pipeline
+    /// directly (no cache, no heat gating): peephole over the recorded
+    /// IR, then linear-scan replay. This is the synchronous inspection
+    /// entry; production serving reaches tier-2 through
+    /// [`enable_tiering`](Self::enable_tiering) instead.
+    ///
+    /// # Errors
+    ///
+    /// See [`Backend::compile_tier2`]; plus
+    /// [`EngineError::UnregisteredBackend`].
+    pub fn compile_tier2(
+        &self,
+        id: TargetId,
+        prog: &Program,
+    ) -> Result<Arc<dyn Lambda>, EngineError> {
+        self.backends[id.index()]
+            .as_ref()
+            .ok_or(EngineError::UnregisteredBackend(id))?
+            .compile_tier2(prog)
+    }
+
+    /// Wraps a tier-1 build for heat-tracked tier-2 upgrade when tiering
+    /// is enabled; the identity otherwise. Runs on the cache's miss path
+    /// only, so the tier-2 key derivation costs warm hits nothing.
+    fn tier_wrap(
+        &self,
+        backend: &Arc<dyn Backend>,
+        prog: &Program,
+        base: Arc<dyn Lambda>,
+    ) -> Arc<dyn Lambda> {
+        match self.tiering.get() {
+            Some(cfg) => {
+                let (bytes, hash) = prog.encoded();
+                let key2 = CacheKey::from_encoded(backend.id(), Arc::clone(bytes), *hash).tiered(2);
+                TieredLambda::wrap(
+                    base,
+                    prog.clone(),
+                    key2,
+                    Arc::clone(backend),
+                    Arc::downgrade(&self.cache),
+                    Arc::downgrade(self.service_handle()),
+                    cfg.hot_threshold,
+                )
+            }
+            None => base,
+        }
     }
 
     /// Non-blocking compile: never generates code and never waits on
@@ -1238,8 +1516,24 @@ impl Engine {
         let key = CacheKey::from_encoded(id, Arc::clone(bytes), *hash);
         let backend = Arc::clone(backend);
         let to_build = prog.clone();
+        let tier = self.tiering.get().copied();
+        let cache_weak = Arc::downgrade(&self.cache);
+        let service_weak = Arc::downgrade(self.service_handle());
+        let wrap_key = key.clone();
         let submit = self.service().submit(key.clone(), move || {
-            backend.compile(&to_build).map_err(|e| e.to_string())
+            let base = backend.compile(&to_build).map_err(|e| e.to_string())?;
+            Ok(match tier {
+                Some(cfg) => TieredLambda::wrap(
+                    base,
+                    to_build,
+                    wrap_key.tiered(2),
+                    backend,
+                    cache_weak,
+                    service_weak,
+                    cfg.hot_threshold,
+                ),
+                None => base,
+            })
         });
         let mode = match submit {
             Submit::Ready(lambda) => {
@@ -1273,8 +1567,16 @@ impl Engine {
     /// with [`ServiceConfig::default`] (or the configuration installed
     /// by [`configure_service`](Self::configure_service)).
     pub fn service(&self) -> &CompileService<dyn Lambda> {
-        self.service
-            .get_or_init(|| CompileService::new(Arc::clone(&self.cache), ServiceConfig::default()))
+        self.service_handle()
+    }
+
+    fn service_handle(&self) -> &Arc<CompileService<dyn Lambda>> {
+        self.service.get_or_init(|| {
+            Arc::new(CompileService::new(
+                Arc::clone(&self.cache),
+                ServiceConfig::default(),
+            ))
+        })
     }
 
     /// Installs a non-default service configuration. Returns `false` if
@@ -1282,8 +1584,26 @@ impl Engine {
     /// compile_async) wins); the running service is then unchanged.
     pub fn configure_service(&self, cfg: ServiceConfig) -> bool {
         self.service
-            .set(CompileService::new(Arc::clone(&self.cache), cfg))
+            .set(Arc::new(CompileService::new(Arc::clone(&self.cache), cfg)))
             .is_ok()
+    }
+
+    /// Turns on tiered recompilation: every lambda built through
+    /// [`compile_cached`](Self::compile_cached) or
+    /// [`compile_async`](Self::compile_async) from here on is wrapped in
+    /// a [`TieredLambda`] that schedules a background tier-2 rebuild
+    /// once its call count crosses `cfg.hot_threshold`, then swaps to
+    /// the optimized code in place. Returns `false` if tiering was
+    /// already enabled (first configuration wins). Already-cached
+    /// lambdas are unaffected.
+    pub fn enable_tiering(&self, cfg: TierConfig) -> bool {
+        self.tiering.set(cfg).is_ok()
+    }
+
+    /// The tiering configuration, if [`enable_tiering`](Self::
+    /// enable_tiering) was called.
+    pub fn tiering(&self) -> Option<TierConfig> {
+        self.tiering.get().copied()
     }
 
     /// The engine's lambda cache (for direct keying, invalidation and

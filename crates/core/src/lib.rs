@@ -64,6 +64,7 @@ pub mod regress;
 pub mod service;
 pub mod spec;
 pub mod target;
+pub mod tier2;
 pub mod trap;
 pub mod ty;
 pub mod verify;
@@ -73,7 +74,7 @@ pub use buf::EmitPath;
 pub use cache::{CacheError, CacheKey, CacheStats, LambdaCache};
 pub use engine::{
     AsyncCompile, Backend, DegradedLambda, Engine, EngineError, Lambda, Program, ServeMode,
-    TargetId,
+    TargetId, TieredLambda,
 };
 pub use error::Error;
 pub use label::Label;
@@ -84,6 +85,7 @@ pub use service::{CompileService, QuarantineInfo, ServiceConfig, ServiceStats, S
 pub use target::{
     BrOperand, CallFrame, Finished, JumpTarget, Leaf, Off, StackSlot, Target, TargetScratch,
 };
+pub use tier2::{OptStats, TierConfig};
 pub use trap::{ExecError, Fuel, Trap, TrapKind};
 pub use ty::{Sig, SigParseError, Ty};
 pub use verify::{

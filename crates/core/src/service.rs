@@ -112,6 +112,16 @@ pub enum Submit<V: ?Sized> {
     },
 }
 
+impl<V: ?Sized> Submit<V> {
+    /// Whether the build will (or did) run: `Ready`, `Queued` and
+    /// `InFlight` all end with finished code under the key, while `Shed`
+    /// and `Quarantined` dropped the request. Heat-triggered rebuilds use
+    /// this to decide whether to try again on a later crossing.
+    pub fn accepted(&self) -> bool {
+        matches!(self, Submit::Ready(_) | Submit::Queued | Submit::InFlight)
+    }
+}
+
 impl<V: ?Sized> fmt::Debug for Submit<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

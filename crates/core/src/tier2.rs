@@ -1,0 +1,1106 @@
+//! Tier-2 optimizing recompilation over the recorded [`Program`] IR.
+//!
+//! The paper's one-pass transliteration compiles in a handful of host
+//! instructions per generated instruction, but concedes the output is
+//! naive: every virtual register is pinned to a physical register for
+//! the whole lambda, and redundant moves survive into the code. This
+//! module is the optimizing tier a serving system applies only where
+//! execution heat proves it pays (the Deegen/TPDE shape: baseline-fast
+//! first, optimized-on-heat second):
+//!
+//! 1. **Peephole + constant folding** ([`optimize`]) — removes
+//!    `mov d,d` and collapses move chains, folds `add 0`/`mul 1`-style
+//!    identities and fully-constant expressions, deletes stores that are
+//!    dead or overwritten before use, and simplifies branches
+//!    (jump-to-next deleted, branch-over-jump inverted, unreachable tails
+//!    dropped). Trapping operations (`div`/`mod` with a possibly-zero
+//!    divisor) are never folded away — tier-2 code must fault exactly
+//!    where tier-1 code does.
+//! 2. **Linear-scan register allocation** ([`replay_opt`]) — computes a
+//!    live interval per virtual register from the stream
+//!    ([`LiveIntervals`]), conservatively extended across backward
+//!    branches, and returns each physical register to the allocator at
+//!    its interval's end. Programs whose *pressure* (not vreg count)
+//!    fits the target compile where the pinned tier-1 mapping reports
+//!    [`EngineError::TooManyTemps`].
+//!
+//! Both halves preserve the word-portable `i32` semantics of
+//! [`Program::interpret`] bit for bit; the differential suite holds
+//! tier-2 output equal to tier-1 and to the interpreter on every
+//! backend.
+//!
+//! Heat detection and the in-place swap of cached lambdas live in
+//! [`engine::TieredLambda`](crate::engine::TieredLambda); [`TierConfig`]
+//! carries the threshold.
+
+use crate::engine::{EngineError, POp, Program};
+use crate::op::{BinOp, Cond, UnOp};
+use crate::regalloc::LiveIntervals;
+use crate::target::{Finished, Leaf, Target};
+use crate::ty::{Sig, Ty};
+use crate::{obs, Assembler, Label, Reg, RegClass};
+use std::collections::{HashMap, HashSet};
+
+/// Heat configuration for tiered recompilation (see
+/// [`Engine::enable_tiering`](crate::engine::Engine::enable_tiering)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierConfig {
+    /// Call count at which a cached lambda's tier-2 rebuild is
+    /// scheduled. Clamped to at least 1.
+    pub hot_threshold: u64,
+}
+
+impl Default for TierConfig {
+    fn default() -> TierConfig {
+        TierConfig {
+            hot_threshold: 1024,
+        }
+    }
+}
+
+/// What one [`optimize`] run did, in executable (non-label) instruction
+/// counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Executable instructions in the input stream.
+    pub insns_in: usize,
+    /// Executable instructions surviving optimization.
+    pub insns_out: usize,
+    /// `mov d,d` (after copy collapsing) deletions.
+    pub moves_removed: usize,
+    /// Identity and constant folds (`add 0`, `mul 1`, known operands).
+    pub folds: usize,
+    /// Dead or overwritten-before-use definitions deleted (including
+    /// unreachable code after an unconditional transfer).
+    pub dead_removed: usize,
+    /// Branches deleted (target falls through), rewritten to immediate
+    /// form, decided at compile time, or inverted over a jump.
+    pub branches_simplified: usize,
+}
+
+impl OptStats {
+    /// Executable instructions eliminated end to end.
+    pub fn eliminated(&self) -> usize {
+        self.insns_in.saturating_sub(self.insns_out)
+    }
+
+    /// Percentage of input instructions eliminated.
+    pub fn eliminated_pct(&self) -> f64 {
+        if self.insns_in == 0 {
+            0.0
+        } else {
+            self.eliminated() as f64 * 100.0 / self.insns_in as f64
+        }
+    }
+}
+
+const MAX_PASSES: usize = 8;
+
+fn count_exec(ops: &[POp]) -> usize {
+    ops.iter()
+        .filter(|o| !matches!(o, POp::Label { .. }))
+        .count()
+}
+
+/// The interpreter's binary-op semantics, or `None` when the operation
+/// would trap (division/remainder by zero) — callers must then keep the
+/// original instruction so tier-2 code faults exactly like tier-1.
+fn eval_bin(op: BinOp, a: i32, b: i32) -> Option<i32> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Lsh => a.wrapping_shl(b as u32),
+        BinOp::Rsh => a.wrapping_shr(b as u32),
+    })
+}
+
+fn eval_un(op: UnOp, x: i32) -> i32 {
+    match op {
+        UnOp::Com => !x,
+        UnOp::Not => i32::from(x == 0),
+        UnOp::Mov => x,
+        UnOp::Neg => x.wrapping_neg(),
+    }
+}
+
+fn eval_cond(c: Cond, a: i32, b: i32) -> bool {
+    match c {
+        Cond::Lt => a < b,
+        Cond::Le => a <= b,
+        Cond::Gt => a > b,
+        Cond::Ge => a >= b,
+        Cond::Eq => a == b,
+        Cond::Ne => a != b,
+    }
+}
+
+/// `!(a c b)` as a condition on the same operand order.
+fn invert_cond(c: Cond) -> Cond {
+    match c {
+        Cond::Lt => Cond::Ge,
+        Cond::Le => Cond::Gt,
+        Cond::Gt => Cond::Le,
+        Cond::Ge => Cond::Lt,
+        Cond::Eq => Cond::Ne,
+        Cond::Ne => Cond::Eq,
+    }
+}
+
+/// `a c b` as a condition on swapped operands (`b c' a`).
+fn swap_cond(c: Cond) -> Cond {
+    match c {
+        Cond::Lt => Cond::Gt,
+        Cond::Le => Cond::Ge,
+        Cond::Gt => Cond::Lt,
+        Cond::Ge => Cond::Le,
+        Cond::Eq => Cond::Eq,
+        Cond::Ne => Cond::Ne,
+    }
+}
+
+fn commutative(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+    )
+}
+
+/// Per-basic-block dataflow facts for the forward simplification pass:
+/// which virtual registers hold known constants, and which are verbatim
+/// copies of another register. Cleared at every label (unknown incoming
+/// edges).
+struct BlockState {
+    konst: [Option<i32>; 256],
+    copy_of: [Option<u8>; 256],
+}
+
+impl BlockState {
+    fn new() -> BlockState {
+        BlockState {
+            konst: [None; 256],
+            copy_of: [None; 256],
+        }
+    }
+
+    fn clear(&mut self) {
+        self.konst = [None; 256];
+        self.copy_of = [None; 256];
+    }
+
+    /// The copy-chain root of `v` (chains are kept depth-1).
+    fn resolve(&self, v: u8) -> u8 {
+        self.copy_of[usize::from(v)].unwrap_or(v)
+    }
+
+    fn k(&self, v: u8) -> Option<i32> {
+        self.konst[usize::from(v)]
+    }
+
+    /// Invalidates every fact involving `d` ahead of its redefinition.
+    fn def(&mut self, d: u8) {
+        self.konst[usize::from(d)] = None;
+        self.copy_of[usize::from(d)] = None;
+        for c in self.copy_of.iter_mut() {
+            if *c == Some(d) {
+                *c = None;
+            }
+        }
+    }
+
+    fn set_const(&mut self, d: u8, v: i32) {
+        self.def(d);
+        self.konst[usize::from(d)] = Some(v);
+    }
+}
+
+/// Emits `mov dst, a` (dropping it when it is a self-move) and records
+/// the copy fact. `a` must already be copy-resolved.
+fn push_mov(out: &mut Vec<POp>, st: &mut BlockState, stats: &mut OptStats, dst: u8, a: u8) {
+    let a = st.resolve(a);
+    if dst == a {
+        stats.moves_removed += 1;
+        return;
+    }
+    let ka = st.k(a);
+    st.def(dst);
+    st.copy_of[usize::from(dst)] = Some(a);
+    st.konst[usize::from(dst)] = ka;
+    out.push(POp::Un {
+        op: UnOp::Mov,
+        dst,
+        a,
+    });
+}
+
+/// Emits `dst = a op imm` after constant folding and identity
+/// simplification. `a` must already be copy-resolved.
+fn push_binimm(
+    out: &mut Vec<POp>,
+    st: &mut BlockState,
+    stats: &mut OptStats,
+    op: BinOp,
+    dst: u8,
+    a: u8,
+    imm: i32,
+) {
+    if let Some(ka) = st.k(a) {
+        if let Some(v) = eval_bin(op, ka, imm) {
+            st.set_const(dst, v);
+            out.push(POp::Set { dst, imm: v });
+            stats.folds += 1;
+            return;
+        }
+        // Known constant divided by zero: keep the trapping instruction.
+    }
+    let is_identity = matches!(
+        (op, imm),
+        (
+            BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Lsh | BinOp::Rsh,
+            0
+        ) | (BinOp::Mul | BinOp::Div, 1)
+            | (BinOp::And, -1)
+    );
+    if is_identity {
+        stats.folds += 1;
+        push_mov(out, st, stats, dst, a);
+        return;
+    }
+    let absorbed = match (op, imm) {
+        (BinOp::Mul | BinOp::And, 0) => Some(0),
+        (BinOp::Mod, 1 | -1) => Some(0),
+        (BinOp::Or, -1) => Some(-1),
+        _ => None,
+    };
+    if let Some(v) = absorbed {
+        stats.folds += 1;
+        st.set_const(dst, v);
+        out.push(POp::Set { dst, imm: v });
+        return;
+    }
+    st.def(dst);
+    out.push(POp::BinImm { op, dst, a, imm });
+}
+
+/// Forward constant/copy propagation and algebraic simplification, one
+/// basic block at a time. Returns whether anything changed.
+fn simplify(ops: &mut Vec<POp>, stats: &mut OptStats) -> bool {
+    let mut st = BlockState::new();
+    let mut out: Vec<POp> = Vec::with_capacity(ops.len());
+    for &op in ops.iter() {
+        match op {
+            POp::Label { .. } => {
+                st.clear();
+                out.push(op);
+            }
+            POp::Set { dst, imm } => {
+                if st.k(dst) == Some(imm) {
+                    // Re-store of the value the slot already holds.
+                    stats.dead_removed += 1;
+                } else {
+                    st.set_const(dst, imm);
+                    out.push(op);
+                }
+            }
+            POp::Un { op, dst, a } => {
+                let a = st.resolve(a);
+                if matches!(op, UnOp::Mov) {
+                    push_mov(&mut out, &mut st, stats, dst, a);
+                } else if let Some(ka) = st.k(a) {
+                    let v = eval_un(op, ka);
+                    st.set_const(dst, v);
+                    out.push(POp::Set { dst, imm: v });
+                    stats.folds += 1;
+                } else {
+                    st.def(dst);
+                    out.push(POp::Un { op, dst, a });
+                }
+            }
+            POp::Bin { op, dst, a, b } => {
+                let (a, b) = (st.resolve(a), st.resolve(b));
+                match (st.k(a), st.k(b)) {
+                    (Some(ka), Some(kb)) if eval_bin(op, ka, kb).is_some() => {
+                        let v = eval_bin(op, ka, kb).expect("checked above");
+                        st.set_const(dst, v);
+                        out.push(POp::Set { dst, imm: v });
+                        stats.folds += 1;
+                    }
+                    (_, Some(kb)) => push_binimm(&mut out, &mut st, stats, op, dst, a, kb),
+                    (Some(ka), None) if commutative(op) => {
+                        push_binimm(&mut out, &mut st, stats, op, dst, b, ka)
+                    }
+                    _ => {
+                        st.def(dst);
+                        out.push(POp::Bin { op, dst, a, b });
+                    }
+                }
+            }
+            POp::BinImm { op, dst, a, imm } => {
+                let a = st.resolve(a);
+                push_binimm(&mut out, &mut st, stats, op, dst, a, imm);
+            }
+            POp::Br { cond, a, b, l } => {
+                let (a, b) = (st.resolve(a), st.resolve(b));
+                match (st.k(a), st.k(b)) {
+                    (Some(ka), Some(kb)) => {
+                        stats.branches_simplified += 1;
+                        if eval_cond(cond, ka, kb) {
+                            out.push(POp::Jmp { l });
+                        }
+                    }
+                    (None, Some(kb)) => {
+                        stats.branches_simplified += 1;
+                        out.push(POp::BrImm {
+                            cond,
+                            a,
+                            imm: kb,
+                            l,
+                        });
+                    }
+                    (Some(ka), None) => {
+                        stats.branches_simplified += 1;
+                        out.push(POp::BrImm {
+                            cond: swap_cond(cond),
+                            a: b,
+                            imm: ka,
+                            l,
+                        });
+                    }
+                    (None, None) => out.push(POp::Br { cond, a, b, l }),
+                }
+            }
+            POp::BrImm { cond, a, imm, l } => {
+                let a = st.resolve(a);
+                if let Some(ka) = st.k(a) {
+                    stats.branches_simplified += 1;
+                    if eval_cond(cond, ka, imm) {
+                        out.push(POp::Jmp { l });
+                    }
+                } else {
+                    out.push(POp::BrImm { cond, a, imm, l });
+                }
+            }
+            POp::Jmp { .. } => out.push(op),
+            POp::Ret { src } => out.push(POp::Ret {
+                src: st.resolve(src),
+            }),
+        }
+    }
+    let changed = out != *ops;
+    *ops = out;
+    changed
+}
+
+fn def_of(op: &POp) -> Option<u8> {
+    match *op {
+        POp::Set { dst, .. }
+        | POp::Bin { dst, .. }
+        | POp::BinImm { dst, .. }
+        | POp::Un { dst, .. } => Some(dst),
+        _ => None,
+    }
+}
+
+fn reads(op: &POp, v: u8) -> bool {
+    match *op {
+        POp::Bin { a, b, .. } | POp::Br { a, b, .. } => a == v || b == v,
+        POp::BinImm { a, .. } | POp::BrImm { a, .. } | POp::Un { a, .. } => a == v,
+        POp::Ret { src } => src == v,
+        POp::Set { .. } | POp::Label { .. } | POp::Jmp { .. } => false,
+    }
+}
+
+/// Whether deleting this definition can never change observable
+/// behaviour (no trap it could have raised).
+fn trap_free_def(op: &POp) -> bool {
+    match *op {
+        POp::Set { .. } | POp::Un { .. } => true,
+        POp::Bin { op, .. } => !matches!(op, BinOp::Div | BinOp::Mod),
+        POp::BinImm { op, imm, .. } => !matches!(op, BinOp::Div | BinOp::Mod) || imm != 0,
+        _ => false,
+    }
+}
+
+/// Dead-definition elimination. Two sound, CFG-free rules: a definition
+/// of a register that is never read anywhere in the program, and a
+/// definition overwritten later in the same basic block with no
+/// intervening read or control flow. Trapping definitions are kept.
+fn dce(ops: &mut Vec<POp>, stats: &mut OptStats) -> bool {
+    let mut read = [false; 256];
+    for op in ops.iter() {
+        match *op {
+            POp::Bin { a, b, .. } | POp::Br { a, b, .. } => {
+                read[usize::from(a)] = true;
+                read[usize::from(b)] = true;
+            }
+            POp::BinImm { a, .. } | POp::BrImm { a, .. } | POp::Un { a, .. } => {
+                read[usize::from(a)] = true;
+            }
+            POp::Ret { src } => read[usize::from(src)] = true,
+            POp::Set { .. } | POp::Label { .. } | POp::Jmp { .. } => {}
+        }
+    }
+    let mut keep = vec![true; ops.len()];
+    for i in 0..ops.len() {
+        let Some(d) = def_of(&ops[i]) else { continue };
+        if !trap_free_def(&ops[i]) {
+            continue;
+        }
+        if !read[usize::from(d)] {
+            keep[i] = false;
+            continue;
+        }
+        for oj in ops.iter().skip(i + 1) {
+            if matches!(
+                oj,
+                POp::Label { .. }
+                    | POp::Br { .. }
+                    | POp::BrImm { .. }
+                    | POp::Jmp { .. }
+                    | POp::Ret { .. }
+            ) || reads(oj, d)
+            {
+                break;
+            }
+            if def_of(oj) == Some(d) {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    let removed = keep.iter().filter(|k| !**k).count();
+    if removed == 0 {
+        return false;
+    }
+    stats.dead_removed += removed;
+    let mut it = keep.iter();
+    ops.retain(|_| *it.next().expect("keep mask matches ops"));
+    true
+}
+
+/// Branch layout: deletes branches whose target falls through, inverts
+/// branch-over-jump diamonds so the hot edge falls through, drops
+/// unreachable tails after unconditional transfers, and removes labels
+/// nothing references.
+fn layout(ops: &mut Vec<POp>, stats: &mut OptStats) -> bool {
+    // Last binding wins, matching `Program::interpret`.
+    let mut bound: HashMap<u16, usize> = HashMap::new();
+    let mut referenced: HashSet<u16> = HashSet::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            POp::Label { l } => {
+                bound.insert(l, i);
+            }
+            POp::Br { l, .. } | POp::BrImm { l, .. } | POp::Jmp { l } => {
+                referenced.insert(l);
+            }
+            _ => {}
+        }
+    }
+    // Whether control at `from` reaches the binding of `l` by falling
+    // through nothing but labels.
+    let falls_to = |from: usize, l: u16| -> bool {
+        match bound.get(&l) {
+            Some(&p) if p > from => ops[from + 1..=p]
+                .iter()
+                .all(|o| matches!(o, POp::Label { .. })),
+            _ => false,
+        }
+    };
+    let mut out: Vec<POp> = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        let op = ops[i];
+        match op {
+            POp::Label { l } => {
+                if referenced.contains(&l) {
+                    out.push(op);
+                }
+                i += 1;
+            }
+            POp::Jmp { l } if falls_to(i, l) => {
+                stats.branches_simplified += 1;
+                i += 1;
+            }
+            POp::Jmp { .. } | POp::Ret { .. } => {
+                out.push(op);
+                i += 1;
+                // Unreachable until the next label.
+                while i < ops.len() && !matches!(ops[i], POp::Label { .. }) {
+                    if !matches!(ops[i], POp::Label { .. }) {
+                        stats.dead_removed += 1;
+                    }
+                    i += 1;
+                }
+            }
+            POp::Br { l, .. } | POp::BrImm { l, .. } if falls_to(i, l) => {
+                // Both outcomes land on the same instruction; comparisons
+                // cannot trap, so the branch is a no-op.
+                stats.branches_simplified += 1;
+                i += 1;
+            }
+            POp::Br { cond, a, b, l } => {
+                if let Some(POp::Jmp { l: l2 }) = ops.get(i + 1).copied() {
+                    if falls_to(i + 1, l) {
+                        out.push(POp::Br {
+                            cond: invert_cond(cond),
+                            a,
+                            b,
+                            l: l2,
+                        });
+                        stats.branches_simplified += 1;
+                        i += 2;
+                        continue;
+                    }
+                }
+                out.push(op);
+                i += 1;
+            }
+            POp::BrImm { cond, a, imm, l } => {
+                if let Some(POp::Jmp { l: l2 }) = ops.get(i + 1).copied() {
+                    if falls_to(i + 1, l) {
+                        out.push(POp::BrImm {
+                            cond: invert_cond(cond),
+                            a,
+                            imm,
+                            l: l2,
+                        });
+                        stats.branches_simplified += 1;
+                        i += 2;
+                        continue;
+                    }
+                }
+                out.push(op);
+                i += 1;
+            }
+            _ => {
+                out.push(op);
+                i += 1;
+            }
+        }
+    }
+    let changed = out != *ops;
+    *ops = out;
+    changed
+}
+
+/// Runs the tier-2 peephole pipeline (constant/copy propagation,
+/// dead-definition elimination, branch layout) to a fixpoint and returns
+/// the optimized program with what was done.
+///
+/// The result is semantically identical to the input under
+/// [`Program::interpret`]'s word-portable semantics, including *where*
+/// it traps: division by a value not provably nonzero is never deleted
+/// or folded.
+pub fn optimize(prog: &Program) -> (Program, OptStats) {
+    let mut ops: Vec<POp> = prog.ops().to_vec();
+    let mut stats = OptStats {
+        insns_in: count_exec(&ops),
+        ..OptStats::default()
+    };
+    for _ in 0..MAX_PASSES {
+        let mut changed = simplify(&mut ops, &mut stats);
+        changed |= dce(&mut ops, &mut stats);
+        changed |= layout(&mut ops, &mut stats);
+        if !changed {
+            break;
+        }
+    }
+    stats.insns_out = count_exec(&ops);
+    obs::note_tier2_optimized(stats.insns_in as u64, stats.insns_out as u64);
+    let mut out = Program::new(prog.args()).expect("arity was already validated");
+    for _ in 0..prog.labels() {
+        out.genlabel();
+    }
+    for &op in &ops {
+        match op {
+            POp::Set { dst, imm } => out.set(dst, imm),
+            POp::Bin { op, dst, a, b } => out.bin(op, dst, a, b),
+            POp::BinImm { op, dst, a, imm } => out.bin_imm(op, dst, a, imm),
+            POp::Un { op, dst, a } => out.un(op, dst, a),
+            POp::Label { l } => out.label(l),
+            POp::Br { cond, a, b, l } => out.br(cond, a, b, l),
+            POp::BrImm { cond, a, imm, l } => out.br_imm(cond, a, imm, l),
+            POp::Jmp { l } => out.jmp(l),
+            POp::Ret { src } => out.ret(src),
+        }
+    }
+    (out, stats)
+}
+
+/// Live intervals for every virtual register of `prog`, from a linear
+/// scan of the stream with backward branches extending every interval
+/// they span (see [`LiveIntervals`]). Argument registers are live from
+/// entry.
+fn intervals(prog: &Program) -> LiveIntervals {
+    let ops = prog.ops();
+    let mut iv = LiveIntervals::new(256);
+    for v in 0..prog.args() {
+        iv.mention(v, 0);
+    }
+    let mention = |iv: &mut LiveIntervals, v: u8, pos: usize| {
+        iv.mention(usize::from(v), pos as u32);
+    };
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            POp::Set { dst, .. } => mention(&mut iv, dst, i),
+            POp::Bin { dst, a, b, .. } => {
+                mention(&mut iv, a, i);
+                mention(&mut iv, b, i);
+                mention(&mut iv, dst, i);
+            }
+            POp::BinImm { dst, a, .. } | POp::Un { dst, a, .. } => {
+                mention(&mut iv, a, i);
+                mention(&mut iv, dst, i);
+            }
+            POp::Br { a, b, .. } => {
+                mention(&mut iv, a, i);
+                mention(&mut iv, b, i);
+            }
+            POp::BrImm { a, .. } => mention(&mut iv, a, i),
+            POp::Ret { src } => mention(&mut iv, src, i),
+            POp::Label { .. } | POp::Jmp { .. } => {}
+        }
+    }
+    // Backward edges, in ascending branch position (one pass reaches the
+    // fixpoint — see LiveIntervals::extend_loop).
+    let mut bound: HashMap<u16, usize> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        if let POp::Label { l } = *op {
+            bound.insert(l, i);
+        }
+    }
+    for (i, op) in ops.iter().enumerate() {
+        if let POp::Br { l, .. } | POp::BrImm { l, .. } | POp::Jmp { l } = *op {
+            if let Some(&p) = bound.get(&l) {
+                if p <= i {
+                    iv.extend_loop(p as u32, i as u32);
+                }
+            }
+        }
+    }
+    iv
+}
+
+/// Replays a recorded [`Program`] with **linear-scan register
+/// allocation**: each virtual register holds a physical register only
+/// for its live interval, and registers are returned to the allocator at
+/// last use — so register pressure is the stream's *simultaneous* live
+/// count, not its total vreg count.
+///
+/// This is the tier-2 counterpart of [`replay`](crate::engine::replay);
+/// run [`optimize`] first for the full pipeline (the [`Backend::
+/// compile_tier2`](crate::engine::Backend::compile_tier2) adapters do).
+///
+/// # Errors
+///
+/// Typed [`EngineError`], as [`replay`](crate::engine::replay) — but
+/// `TooManyTemps` only when true pressure exceeds the register file.
+pub fn replay_opt<T: Target>(prog: &Program, mem: &mut [u8]) -> Result<Finished, EngineError> {
+    let sig = Sig::new(vec![Ty::I; prog.args()], Ty::I);
+    let mut a = Assembler::<T>::lambda_sig(mem, sig, Leaf::Yes)?;
+    let ops = prog.ops();
+    let iv = intervals(prog);
+    // Registers to free after each position: one bucket per op.
+    let mut ends: Vec<Vec<u8>> = vec![Vec::new(); ops.len()];
+    for slot in 0..iv.slots() {
+        if let Some(r) = iv.get(slot) {
+            let pos = (r.end as usize).min(ops.len().saturating_sub(1));
+            if !ops.is_empty() {
+                ends[pos].push(slot as u8);
+            }
+        }
+    }
+    let mut phys: Vec<Option<Reg>> = vec![None; 256];
+    for (v, &r) in a.args().iter().enumerate() {
+        phys[v] = Some(r);
+    }
+    let mut labels: Vec<Label> = (0..prog.labels()).map(|_| a.genlabel()).collect();
+    fn lab<T: Target>(a: &mut Assembler<'_, T>, labels: &mut Vec<Label>, l: u16) -> Label {
+        while labels.len() <= usize::from(l) {
+            let fresh = a.genlabel();
+            labels.push(fresh);
+        }
+        labels[usize::from(l)]
+    }
+    fn ensure<T: Target>(
+        a: &mut Assembler<'_, T>,
+        phys: &mut [Option<Reg>],
+        v: u8,
+    ) -> Result<Reg, EngineError> {
+        match phys[usize::from(v)] {
+            Some(r) => Ok(r),
+            None => match a.getreg(RegClass::Temp) {
+                Some(r) => {
+                    phys[usize::from(v)] = Some(r);
+                    Ok(r)
+                }
+                None => Err(EngineError::TooManyTemps { vreg: v }),
+            },
+        }
+    }
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            POp::Set { dst, imm } => {
+                let d = ensure(&mut a, &mut phys, dst)?;
+                a.seti(d, imm);
+            }
+            POp::Bin { op, dst, a: x, b } => {
+                let rx = ensure(&mut a, &mut phys, x)?;
+                let rb = ensure(&mut a, &mut phys, b)?;
+                let d = ensure(&mut a, &mut phys, dst)?;
+                match op {
+                    BinOp::Add => a.addi(d, rx, rb),
+                    BinOp::Sub => a.subi(d, rx, rb),
+                    BinOp::Mul => a.muli(d, rx, rb),
+                    BinOp::Div => a.divi(d, rx, rb),
+                    BinOp::Mod => a.modi(d, rx, rb),
+                    BinOp::And => a.andi(d, rx, rb),
+                    BinOp::Or => a.ori(d, rx, rb),
+                    BinOp::Xor => a.xori(d, rx, rb),
+                    BinOp::Lsh => a.lshi(d, rx, rb),
+                    BinOp::Rsh => a.rshi(d, rx, rb),
+                }
+            }
+            POp::BinImm { op, dst, a: x, imm } => {
+                let rx = ensure(&mut a, &mut phys, x)?;
+                let d = ensure(&mut a, &mut phys, dst)?;
+                let imm = i64::from(imm);
+                match op {
+                    BinOp::Add => a.addii(d, rx, imm),
+                    BinOp::Sub => a.subii(d, rx, imm),
+                    BinOp::Mul => a.mulii(d, rx, imm),
+                    BinOp::Div => a.divii(d, rx, imm),
+                    BinOp::Mod => a.modii(d, rx, imm),
+                    BinOp::And => a.andii(d, rx, imm),
+                    BinOp::Or => a.orii(d, rx, imm),
+                    BinOp::Xor => a.xorii(d, rx, imm),
+                    BinOp::Lsh => a.lshii(d, rx, imm),
+                    BinOp::Rsh => a.rshii(d, rx, imm),
+                }
+            }
+            POp::Un { op, dst, a: x } => {
+                let rx = ensure(&mut a, &mut phys, x)?;
+                let d = ensure(&mut a, &mut phys, dst)?;
+                match op {
+                    UnOp::Com => a.comi(d, rx),
+                    UnOp::Not => a.noti(d, rx),
+                    UnOp::Mov => a.movi(d, rx),
+                    UnOp::Neg => a.negi(d, rx),
+                }
+            }
+            POp::Label { l } => {
+                let lbl = lab(&mut a, &mut labels, l);
+                a.label(lbl);
+            }
+            POp::Br { cond, a: x, b, l } => {
+                let rx = ensure(&mut a, &mut phys, x)?;
+                let rb = ensure(&mut a, &mut phys, b)?;
+                let lbl = lab(&mut a, &mut labels, l);
+                match cond {
+                    Cond::Lt => a.blti(rx, rb, lbl),
+                    Cond::Le => a.blei(rx, rb, lbl),
+                    Cond::Gt => a.bgti(rx, rb, lbl),
+                    Cond::Ge => a.bgei(rx, rb, lbl),
+                    Cond::Eq => a.beqi(rx, rb, lbl),
+                    Cond::Ne => a.bnei(rx, rb, lbl),
+                }
+            }
+            POp::BrImm { cond, a: x, imm, l } => {
+                let rx = ensure(&mut a, &mut phys, x)?;
+                let lbl = lab(&mut a, &mut labels, l);
+                let imm = i64::from(imm);
+                match cond {
+                    Cond::Lt => a.bltii(rx, imm, lbl),
+                    Cond::Le => a.bleii(rx, imm, lbl),
+                    Cond::Gt => a.bgtii(rx, imm, lbl),
+                    Cond::Ge => a.bgeii(rx, imm, lbl),
+                    Cond::Eq => a.beqii(rx, imm, lbl),
+                    Cond::Ne => a.bneii(rx, imm, lbl),
+                }
+            }
+            POp::Jmp { l } => {
+                let lbl = lab(&mut a, &mut labels, l);
+                a.jmp(lbl);
+            }
+            POp::Ret { src } => {
+                let r = ensure(&mut a, &mut phys, src)?;
+                a.reti(r);
+            }
+        }
+        // Linear scan: every interval ending here returns its register.
+        for &v in &ends[i] {
+            if let Some(r) = phys[usize::from(v)].take() {
+                a.putreg(r);
+            }
+        }
+    }
+    a.end().map_err(EngineError::Codegen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::replay;
+    use crate::fake::FakeTarget;
+
+    /// Interpret original and optimized on the same inputs; both sides
+    /// must agree result-for-result and error-for-error.
+    fn assert_equiv(p: &Program, cases: &[&[i32]]) {
+        let (q, _) = optimize(p);
+        for args in cases {
+            let want = p.interpret(args, 1_000_000);
+            let got = q.interpret(args, 1_000_000);
+            match (&want, &got) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "args {args:?}"),
+                (Err(_), Err(_)) => {}
+                _ => panic!("divergence on {args:?}: {want:?} vs {got:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn self_moves_and_move_chains_collapse() {
+        let mut p = Program::new(1).unwrap();
+        p.un(UnOp::Mov, 1, 0); // v1 = v0
+        p.un(UnOp::Mov, 2, 1); // v2 = v1  (chain)
+        p.un(UnOp::Mov, 2, 2); // self-move
+        p.bin_imm(BinOp::Add, 3, 2, 5);
+        p.ret(3);
+        let (q, stats) = optimize(&p);
+        // The chain rewrites each mov to read v0, so the copies die as
+        // dead stores (or as self-moves when dst already equals the root).
+        assert!(stats.moves_removed + stats.dead_removed >= 3, "{stats:?}");
+        // The chain is collapsed and the dead movs eliminated: the add
+        // reads v0 directly.
+        assert!(
+            q.ops()
+                .iter()
+                .any(|o| matches!(o, POp::BinImm { a: 0, .. })),
+            "{:?}",
+            q.ops()
+        );
+        assert!(q.len() < p.len());
+        assert_equiv(&p, &[&[7], &[-3], &[0]]);
+    }
+
+    #[test]
+    fn identities_fold_to_moves_and_constants() {
+        let mut p = Program::new(1).unwrap();
+        p.bin_imm(BinOp::Add, 1, 0, 0); // v1 = v0 + 0  -> mov
+        p.bin_imm(BinOp::Mul, 2, 1, 1); // v2 = v1 * 1  -> mov
+        p.bin_imm(BinOp::And, 3, 2, -1); // v3 = v2 & -1 -> mov
+        p.bin_imm(BinOp::Mul, 4, 3, 0); // v4 = v3 * 0  -> 0
+        p.bin(BinOp::Add, 5, 3, 4); // v5 = v3 + 0  -> mov (v4 known 0)
+        p.ret(5);
+        let (q, stats) = optimize(&p);
+        assert!(stats.folds >= 4, "{stats:?}");
+        // Everything collapses to `ret v0`.
+        assert_eq!(q.ops(), &[POp::Ret { src: 0 }], "{:?}", q.ops());
+        assert_equiv(&p, &[&[11], &[-11], &[0]]);
+    }
+
+    #[test]
+    fn constant_chains_fold_and_known_branches_resolve() {
+        let mut p = Program::new(0).unwrap();
+        let skip = p.genlabel();
+        p.set(0, 6);
+        p.bin_imm(BinOp::Mul, 0, 0, 7); // 42, folded
+        p.br_imm(Cond::Eq, 0, 42, skip); // always taken
+        p.set(1, 99); // unreachable
+        p.label(skip);
+        p.ret(0);
+        let (q, stats) = optimize(&p);
+        assert!(
+            stats.folds >= 1 && stats.branches_simplified >= 1,
+            "{stats:?}"
+        );
+        // Folds to set 42; ret.
+        assert_eq!(
+            q.ops(),
+            &[POp::Set { dst: 0, imm: 42 }, POp::Ret { src: 0 }],
+            "{:?}",
+            q.ops()
+        );
+        assert_equiv(&p, &[&[]]);
+    }
+
+    #[test]
+    fn dead_and_overwritten_stores_are_removed() {
+        let mut p = Program::new(1).unwrap();
+        p.set(1, 1); // overwritten below before any read
+        p.set(1, 2);
+        p.set(2, 3); // never read anywhere
+        p.bin(BinOp::Add, 3, 0, 1);
+        p.ret(3);
+        let (q, stats) = optimize(&p);
+        assert!(stats.dead_removed >= 2, "{stats:?}");
+        assert!(q.len() < p.len());
+        assert_equiv(&p, &[&[5], &[0]]);
+    }
+
+    #[test]
+    fn traps_are_never_folded_away() {
+        // Constant division by zero must survive as a runtime fault.
+        let mut p = Program::new(0).unwrap();
+        p.set(0, 7);
+        p.bin_imm(BinOp::Div, 1, 0, 0);
+        p.ret(1);
+        let (q, _) = optimize(&p);
+        assert!(
+            q.ops()
+                .iter()
+                .any(|o| matches!(o, POp::BinImm { op: BinOp::Div, .. })),
+            "{:?}",
+            q.ops()
+        );
+        assert!(q.interpret(&[], 100).is_err());
+        // A dead division with an unknown divisor is also kept.
+        let mut p = Program::new(2).unwrap();
+        p.bin(BinOp::Div, 2, 0, 1); // v2 never read, but may trap
+        p.set(3, 1);
+        p.ret(3);
+        let (q, _) = optimize(&p);
+        assert!(
+            q.ops()
+                .iter()
+                .any(|o| matches!(o, POp::Bin { op: BinOp::Div, .. })),
+            "{:?}",
+            q.ops()
+        );
+        assert!(q.interpret(&[1, 0], 100).is_err());
+        assert_eq!(q.interpret(&[1, 1], 100).unwrap(), 1);
+    }
+
+    #[test]
+    fn jump_to_next_and_branch_over_jump_are_simplified() {
+        let mut p = Program::new(2).unwrap();
+        let next = p.genlabel();
+        let exit = p.genlabel();
+        p.jmp(next); // jump to fall-through
+        p.label(next);
+        let other = p.genlabel();
+        p.br(Cond::Lt, 0, 1, other); // branch over jump
+        p.jmp(exit);
+        p.label(other);
+        p.bin(BinOp::Add, 0, 0, 1);
+        p.label(exit);
+        p.ret(0);
+        let (q, stats) = optimize(&p);
+        assert!(stats.branches_simplified >= 2, "{stats:?}");
+        assert!(
+            !q.ops().iter().any(|o| matches!(o, POp::Jmp { .. })),
+            "{:?}",
+            q.ops()
+        );
+        // The surviving branch is inverted to jump to exit.
+        assert!(
+            q.ops()
+                .iter()
+                .any(|o| matches!(o, POp::Br { cond: Cond::Ge, .. })),
+            "{:?}",
+            q.ops()
+        );
+        assert_equiv(&p, &[&[1, 2], &[2, 1], &[0, 0]]);
+    }
+
+    #[test]
+    fn loops_are_preserved_bit_for_bit() {
+        // sum = 0; for (i = n; i > 0; i--) sum += i*i; return sum
+        let mut p = Program::new(1).unwrap();
+        let top = p.genlabel();
+        let done = p.genlabel();
+        p.set(1, 0); // sum
+        p.un(UnOp::Mov, 2, 0); // i = n
+        p.label(top);
+        p.br_imm(Cond::Le, 2, 0, done);
+        p.bin(BinOp::Mul, 3, 2, 2);
+        p.bin(BinOp::Add, 1, 1, 3);
+        p.bin_imm(BinOp::Sub, 2, 2, 1);
+        p.jmp(top);
+        p.label(done);
+        p.ret(1);
+        assert_equiv(&p, &[&[0], &[1], &[10], &[-5]]);
+    }
+
+    #[test]
+    fn linear_scan_survives_pressure_that_pins_tier1() {
+        // Forty short-lived temporaries: pinned allocation exhausts
+        // FakeTarget's register file, linear scan tops out at pressure 3.
+        let mut p = Program::new(1).unwrap();
+        let acc = 1u8;
+        p.set(acc, 0);
+        for k in 0..40u8 {
+            let t = 2 + k;
+            p.bin_imm(BinOp::Add, t, 0, i32::from(k));
+            p.bin(BinOp::Xor, acc, acc, t);
+        }
+        p.ret(acc);
+        let mut mem = vec![0u8; p.code_capacity()];
+        assert!(matches!(
+            replay::<FakeTarget>(&p, &mut mem),
+            Err(EngineError::TooManyTemps { .. })
+        ));
+        let iv = intervals(&p);
+        assert!(iv.max_pressure() <= 4, "pressure {}", iv.max_pressure());
+        let fin = replay_opt::<FakeTarget>(&p, &mut mem).unwrap();
+        assert!(fin.len > 0);
+    }
+
+    #[test]
+    fn optimized_replay_emits_fewer_instructions() {
+        // A move/identity-heavy stream: tier-2 output must be strictly
+        // smaller through the same emission path.
+        let mut p = Program::new(2).unwrap();
+        p.un(UnOp::Mov, 2, 0);
+        p.un(UnOp::Mov, 3, 2);
+        p.bin_imm(BinOp::Add, 3, 3, 0);
+        p.bin_imm(BinOp::Mul, 3, 3, 1);
+        p.bin(BinOp::Add, 4, 3, 1);
+        p.un(UnOp::Mov, 5, 4);
+        p.ret(5);
+        let mut m1 = vec![0u8; p.code_capacity()];
+        let f1 = replay::<FakeTarget>(&p, &mut m1).unwrap();
+        let (q, stats) = optimize(&p);
+        let mut m2 = vec![0u8; q.code_capacity()];
+        let f2 = replay_opt::<FakeTarget>(&q, &mut m2).unwrap();
+        assert!(
+            f2.insns < f1.insns,
+            "tier-2 {} insns vs tier-1 {} ({stats:?})",
+            f2.insns,
+            f1.insns
+        );
+        assert_equiv(&p, &[&[3, 4], &[-1, 1]]);
+    }
+
+    #[test]
+    fn duplicate_label_bindings_follow_interpreter_semantics() {
+        // interpret() resolves a label to its *last* binding; the layout
+        // pass must agree and not delete a "jump to next" that actually
+        // targets a later duplicate.
+        let mut p = Program::new(0).unwrap();
+        let l = p.genlabel();
+        p.set(0, 1);
+        p.jmp(l);
+        p.label(l); // first binding (shadowed)
+        p.set(0, 2);
+        p.label(l); // last binding wins
+        p.ret(0);
+        assert_equiv(&p, &[&[]]);
+    }
+}

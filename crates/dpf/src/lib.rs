@@ -37,6 +37,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod compile;
+pub mod hotloop;
 pub mod lang;
 pub mod mpf;
 pub mod packet;

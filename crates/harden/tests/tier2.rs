@@ -1,0 +1,173 @@
+//! Fault-injected tier-2 rebuilds: a hot lambda whose optimizing
+//! recompile panics, overruns its deadline, or fails persistently must
+//! keep serving tier-1 code — correct answers, no stall, no torn state —
+//! while the failure surfaces as a typed quarantine entry on the
+//! tier-2 cache key.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use vcode::engine::{Backend, Engine, Lambda, Program, TargetId};
+use vcode::{BinOp, CacheKey, EngineError, ServiceConfig, TierConfig};
+
+/// Wraps the real MIPS backend but injects a fault into every tier-2
+/// compile; tier-1 compiles stay healthy.
+#[derive(Debug)]
+struct FaultyTier2 {
+    inner: vcode_mips::MipsBackend,
+    fault: Fault,
+    tier2_attempts: AtomicU64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Fault {
+    Panic,
+    Slow(Duration),
+    Error,
+}
+
+impl Backend for FaultyTier2 {
+    fn id(&self) -> TargetId {
+        self.inner.id()
+    }
+
+    fn word_bits(&self) -> u32 {
+        self.inner.word_bits()
+    }
+
+    fn compile(&self, prog: &Program) -> Result<Arc<dyn Lambda>, EngineError> {
+        self.inner.compile(prog)
+    }
+
+    fn compile_tier2(&self, prog: &Program) -> Result<Arc<dyn Lambda>, EngineError> {
+        self.tier2_attempts.fetch_add(1, Ordering::SeqCst);
+        match self.fault {
+            Fault::Panic => panic!("injected tier-2 panic"),
+            Fault::Slow(d) => {
+                std::thread::sleep(d);
+                self.inner.compile_tier2(prog)
+            }
+            Fault::Error => Err(EngineError::Exec("injected tier-2 failure".into())),
+        }
+    }
+}
+
+fn engine_with(fault: Fault) -> Engine {
+    vcode_sim::engine::install();
+    let mut e = Engine::new(64);
+    e.register(Arc::new(FaultyTier2 {
+        inner: vcode_mips::MipsBackend,
+        fault,
+        tier2_attempts: AtomicU64::new(0),
+    }));
+    assert!(e.configure_service(ServiceConfig {
+        workers: 1,
+        queue_depth: 8,
+        deadline: Duration::from_millis(200),
+        quarantine_base: Duration::from_millis(50),
+        quarantine_cap: Duration::from_millis(400),
+    }));
+    assert!(e.enable_tiering(TierConfig { hot_threshold: 4 }));
+    e
+}
+
+fn sample() -> Program {
+    let mut p = Program::new(1).unwrap();
+    p.bin_imm(BinOp::Mul, 1, 0, 3);
+    p.bin_imm(BinOp::Add, 1, 1, 4);
+    p.ret(1);
+    p
+}
+
+fn tier2_key(p: &Program) -> CacheKey {
+    let (bytes, hash) = p.encoded();
+    CacheKey::from_encoded(TargetId::Mips, Arc::clone(bytes), *hash).tiered(2)
+}
+
+/// Drives the lambda hot, bounded-waits for the service, and returns
+/// the tiered wrapper view. Every call must stay correct throughout.
+fn drive_hot(e: &Engine, p: &Program, calls: u64) -> Arc<dyn Lambda> {
+    let f = e.compile_cached(TargetId::Mips, p).unwrap();
+    for i in 0..calls {
+        let x = (i % 100) as i32;
+        assert_eq!(
+            f.call(&[x]).unwrap(),
+            i64::from(x * 3 + 4),
+            "call {i} answered wrong under fault"
+        );
+    }
+    assert!(
+        e.service().wait_idle(Duration::from_secs(30)),
+        "tier-2 fault stalled the service"
+    );
+    f
+}
+
+#[test]
+fn panicking_tier2_build_leaves_lambda_on_tier1() {
+    let e = engine_with(Fault::Panic);
+    let p = sample();
+    let f = drive_hot(&e, &p, 16);
+    let tiered = f.as_tiered().expect("tiering wraps the lambda");
+    assert!(!tiered.upgraded(), "a panicked build must not publish");
+    // Still correct after the panic was contained.
+    assert_eq!(f.call(&[5]).unwrap(), 19);
+    let st = e.service().stats();
+    assert!(st.panicked >= 1, "panic not recorded: {st:?}");
+    let q = e
+        .service()
+        .quarantine(&tier2_key(&p))
+        .expect("tier-2 key quarantined after panic");
+    assert!(q.last_error.contains("panic"), "{}", q.last_error);
+    // The tier-1 entry itself is untouched — still served warm.
+    assert!(Arc::ptr_eq(
+        &f,
+        &e.compile_cached(TargetId::Mips, &p).unwrap()
+    ));
+}
+
+#[test]
+fn deadline_missing_tier2_build_is_discarded_not_installed() {
+    let e = engine_with(Fault::Slow(Duration::from_millis(600)));
+    let p = sample();
+    let f = drive_hot(&e, &p, 8);
+    let tiered = f.as_tiered().unwrap();
+    assert!(
+        !tiered.upgraded(),
+        "a build past its deadline must be discarded"
+    );
+    assert_eq!(f.call(&[7]).unwrap(), 25);
+    let st = e.service().stats();
+    assert!(
+        st.deadline_expired >= 1,
+        "deadline miss not recorded: {st:?}"
+    );
+}
+
+#[test]
+fn failing_tier2_build_quarantines_and_retries_respect_backoff() {
+    let e = engine_with(Fault::Error);
+    let p = sample();
+    let f = drive_hot(&e, &p, 64);
+    let tiered = f.as_tiered().unwrap();
+    assert!(!tiered.upgraded());
+    let st = e.service().stats();
+    assert!(st.failed >= 1, "failure not recorded: {st:?}");
+    let q = e
+        .service()
+        .quarantine(&tier2_key(&p))
+        .expect("tier-2 key quarantined");
+    assert!(
+        q.last_error.contains("injected tier-2 failure"),
+        "{}",
+        q.last_error
+    );
+    // 64 calls at threshold 4 would mean 16 submissions without
+    // backoff; quarantine must have rejected most rebuild probes.
+    assert!(
+        st.quarantine_rejects >= 1,
+        "no submissions rejected by backoff: {st:?}"
+    );
+    // Tier-1 service is uninterrupted throughout.
+    assert_eq!(f.call(&[11]).unwrap(), 37);
+}

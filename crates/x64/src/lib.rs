@@ -962,4 +962,20 @@ impl Backend for X64Backend {
             insns: fin.insns,
         }))
     }
+
+    fn compile_tier2(&self, prog: &Program) -> Result<std::sync::Arc<dyn Lambda>, EngineError> {
+        let (opt, _stats) = vcode::tier2::optimize(prog);
+        let mut mem = ExecMem::new(opt.code_capacity())
+            .map_err(|e| EngineError::Exec(format!("exec mmap: {e}")))?;
+        let fin = vcode::tier2::replay_opt::<X64>(&opt, mem.as_mut_slice())?;
+        let code = mem
+            .finalize()
+            .map_err(|e| EngineError::Exec(format!("exec seal: {e}")))?;
+        Ok(std::sync::Arc::new(NativeLambda {
+            code,
+            args: opt.args(),
+            len: fin.len,
+            insns: fin.insns,
+        }))
+    }
 }

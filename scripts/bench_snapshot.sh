@@ -38,4 +38,7 @@ cargo bench -q --offline -p vcode-bench --bench cache_amortize
 echo "== compile_service =="
 cargo bench -q --offline -p vcode-bench --bench compile_service
 
+echo "== tier2 =="
+cargo bench -q --offline -p vcode-bench --bench tier2
+
 echo "Snapshot written to $out"

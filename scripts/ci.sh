@@ -60,30 +60,54 @@ VCODE_SMOKE=1 VCODE_BASELINE="$PWD/BENCH_codegen.json" \
 
 echo "== par-codegen scaling gate (committed snapshot) =="
 # The committed snapshot must show monotone non-decreasing aggregate
-# codegen throughput from 1 to 4 threads — the multi-core scaling cliff
-# (rates *falling* as threads were added, from free-list shard
-# contention in the executable-memory pool) stays fixed. Reads the
-# committed BENCH_codegen.json so the gate is deterministic in CI;
-# regenerate with scripts/bench_snapshot.sh on a quiet machine when a
-# deliberate change moves the numbers.
-par_rate() {
-    sed -n "s/.*\"par_codegen\\/minsn_per_s_$1t\": *\\([0-9.]*\\).*/\\1/p" \
+# codegen throughput across the whole 1..8t sweep — the multi-core
+# scaling cliff (rates *falling* as threads were added, from free-list
+# shard contention in the executable-memory pool) stays fixed. The
+# bench clamps worker counts to the cores present (oversubscription
+# measures the scheduler, not the generator), so any two sweep points
+# clamped to the *same* worker count are identical configurations
+# measuring one workload; for those pairs the gate allows a 2% noise
+# floor instead of demanding growth that cannot exist. Unclamped pairs
+# stay strictly monotone. Reads the committed BENCH_codegen.json so the
+# gate is deterministic in CI; regenerate with scripts/bench_snapshot.sh
+# on a quiet machine when a deliberate change moves the numbers.
+par_metric() {
+    sed -n "s/.*\"par_codegen\\/$1\": *\\([0-9.]*\\).*/\\1/p" \
         "$PWD/BENCH_codegen.json"
 }
-r1="$(par_rate 1)"; r2="$(par_rate 2)"; r4="$(par_rate 4)"
-if [ -z "$r1" ] || [ -z "$r2" ] || [ -z "$r4" ]; then
-    echo "par_codegen gate: snapshot missing 1t/2t/4t metrics" >&2
+r1="$(par_metric minsn_per_s_1t)"; r2="$(par_metric minsn_per_s_2t)"
+r4="$(par_metric minsn_per_s_4t)"; r8="$(par_metric minsn_per_s_8t)"
+cores="$(par_metric cores)"
+if [ -z "$r1" ] || [ -z "$r2" ] || [ -z "$r4" ] || [ -z "$r8" ] || [ -z "$cores" ]; then
+    echo "par_codegen gate: snapshot missing 1t/2t/4t/8t/cores metrics" >&2
     exit 1
 fi
-awk -v r1="$r1" -v r2="$r2" -v r4="$r4" 'BEGIN {
-    if (r2 + 0 < r1 + 0 || r4 + 0 < r2 + 0) {
-        printf "par_codegen gate: scaling not monotone 1..4t " \
-            "(1t=%.2f 2t=%.2f 4t=%.2f Minsn/s)\n", r1, r2, r4
-        exit 1
+awk -v r1="$r1" -v r2="$r2" -v r4="$r4" -v r8="$r8" -v c="$cores" 'BEGIN {
+    req[1] = 1; req[2] = 2; req[3] = 4; req[4] = 8
+    v[1] = r1 + 0; v[2] = r2 + 0; v[3] = r4 + 0; v[4] = r8 + 0
+    for (i = 2; i <= 4; i++) {
+        lo = req[i - 1] < c ? req[i - 1] : c
+        hi = req[i] < c ? req[i] : c
+        floor = (hi == lo) ? v[i - 1] * 0.98 : v[i - 1]
+        if (v[i] < floor) {
+            printf "par_codegen gate: scaling not monotone at %dt->%dt " \
+                "(%.2f -> %.2f Minsn/s, cores=%d)\n", \
+                req[i - 1], req[i], v[i - 1], v[i], c
+            exit 1
+        }
     }
-    printf "par_codegen scaling monotone: 1t=%.2f <= 2t=%.2f <= 4t=%.2f Minsn/s\n", \
-        r1, r2, r4
+    printf "par_codegen scaling ok (cores=%d): 1t=%.2f 2t=%.2f 4t=%.2f 8t=%.2f Minsn/s\n", \
+        c, v[1], v[2], v[3], v[4]
 }'
+
+echo "== tier-2 recompilation gate (optimizing-tier quality + differential) =="
+# The tier-2 bench hard-fails when any DPF/ASH hot-loop kernel
+# disagrees across interpreter / tier-1 / tier-2, or when the aggregate
+# simulated-cycle reduction drops below the 10% floor (cycle counts are
+# deterministic, so the floor is exact). The tier-2 compile ns/insn is
+# additionally held to the snapshot's 20% fence.
+VCODE_SMOKE=1 VCODE_BASELINE="$PWD/BENCH_codegen.json" \
+    cargo bench -q --offline -p vcode-bench --bench tier2
 
 echo "== exec-stats smoke (observability gate) =="
 # Every backend — three simulators plus native x86-64 — must expose

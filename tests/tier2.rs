@@ -1,0 +1,437 @@
+//! Workspace integration: tier-2 optimizing recompilation.
+//!
+//! Differential contract — tier-2 output must be semantically identical
+//! to tier-1 output and to `Program::interpret` on every backend
+//! (x86-64 natively, MIPS/SPARC/Alpha on their simulators), across a
+//! corpus of fixed kernels, loops and randomly generated programs. On
+//! top of that, the heat machinery: a cached lambda past its call
+//! threshold upgrades to tier-2 code in place, concurrent callers never
+//! observe a torn swap, and tiering off means no wrapper at all.
+//!
+//! Generated programs keep divisors provably nonzero (`| 1` masking or
+//! nonzero immediates): the native x86-64 engine path is unguarded, so
+//! a div-by-zero would fault the test process rather than return a
+//! typed error. Trap *preservation* is covered by the interpreter-level
+//! unit tests in `vcode::tier2` and the simulator cases here.
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+use vcode::engine::{Backend, Engine, Program, TargetId};
+use vcode::regress::XorShift;
+use vcode::{BinOp, Cond, TierConfig, UnOp};
+
+fn all_backends() -> Vec<Arc<dyn Backend>> {
+    vec![
+        Arc::new(vcode_mips::MipsBackend),
+        Arc::new(vcode_sparc::SparcBackend),
+        Arc::new(vcode_alpha::AlphaBackend),
+        Arc::new(vcode_x64::X64Backend),
+    ]
+}
+
+fn engine(capacity: usize) -> Engine {
+    vcode_sim::engine::install();
+    let mut e = Engine::new(capacity);
+    for b in all_backends() {
+        e.register(b);
+    }
+    e
+}
+
+/// `|x + y| * 3`: arithmetic, an immediate form, a branch, a temp.
+fn abs_times_3() -> Program {
+    let mut p = Program::new(2).unwrap();
+    p.bin(BinOp::Add, 2, 0, 1);
+    let skip = p.genlabel();
+    p.br_imm(Cond::Ge, 2, 0, skip);
+    p.un(UnOp::Neg, 2, 2);
+    p.label(skip);
+    p.bin_imm(BinOp::Mul, 2, 2, 3);
+    p.ret(2);
+    p
+}
+
+/// Counted loop: sum of squares 1..=n (0 for n <= 0), with the
+/// redundancy a naive frontend leaves (copies, re-stores, `addi 0`).
+fn sum_squares_loop() -> Program {
+    let mut p = Program::new(1).unwrap();
+    let top = p.genlabel();
+    let done = p.genlabel();
+    p.set(1, 0); // sum
+    p.bin_imm(BinOp::Add, 1, 1, 0); // redundant identity
+    p.un(UnOp::Mov, 2, 0); // i = n
+    p.un(UnOp::Mov, 2, 2); // self-move
+    p.label(top);
+    p.br_imm(Cond::Le, 2, 0, done);
+    p.bin(BinOp::Mul, 3, 2, 2);
+    p.bin(BinOp::Add, 1, 1, 3);
+    p.bin_imm(BinOp::Sub, 2, 2, 1);
+    p.jmp(top);
+    p.label(done);
+    p.ret(1);
+    p
+}
+
+/// Compare-chain classifier in the DPF shape: a ladder of immediate
+/// compares, each arm setting a class id and jumping to the exit.
+fn classify_ladder() -> Program {
+    let mut p = Program::new(1).unwrap();
+    let exit = p.genlabel();
+    for (k, bound) in [(1i32, 10i32), (2, 100), (3, 1000)] {
+        let next = p.genlabel();
+        p.br_imm(Cond::Ge, 0, bound, next);
+        p.set(1, k);
+        p.jmp(exit);
+        p.label(next);
+    }
+    p.set(1, 0);
+    p.label(exit);
+    p.ret(1);
+    p
+}
+
+/// Constant-heavy kernel: everything below the final combine folds.
+fn const_heavy() -> Program {
+    let mut p = Program::new(1).unwrap();
+    p.set(1, 6);
+    p.bin_imm(BinOp::Mul, 1, 1, 7);
+    p.set(2, 100);
+    p.bin(BinOp::Add, 2, 2, 1);
+    p.bin_imm(BinOp::And, 2, 2, -1);
+    p.bin(BinOp::Xor, 3, 0, 2);
+    p.ret(3);
+    p
+}
+
+/// Division with divisors forced nonzero — safe on the unguarded
+/// native path while still exercising Div/Mod through tier-2.
+fn safe_division() -> Program {
+    let mut p = Program::new(2).unwrap();
+    p.bin_imm(BinOp::Or, 2, 1, 1); // divisor | 1 != 0
+    p.bin(BinOp::Div, 3, 0, 2);
+    p.bin_imm(BinOp::Mod, 3, 3, 7);
+    p.bin(BinOp::Add, 3, 3, 2);
+    p.ret(3);
+    p
+}
+
+/// A random terminating program: straight-line ops over six registers
+/// with occasional forward skip-branches. Loops are excluded (fixed
+/// corpus covers them). Two discipline rules keep the program inside
+/// semantics every tier defines identically: sources are only ever
+/// registers already written (the interpreter zeroes virtual registers,
+/// native code does not), and divisors are positive immediates >= 2
+/// (no div-by-zero, no MIN/-1 overflow — edges where real ISAs and the
+/// word-portable interpreter legitimately disagree).
+fn random_program(rng: &mut XorShift) -> Program {
+    let mut p = Program::new(2).unwrap();
+    let mut init: Vec<u8> = vec![0, 1];
+    fn src(rng: &mut XorShift, init: &[u8]) -> u8 {
+        init[rng.below(init.len() as u64) as usize]
+    }
+    fn dst(rng: &mut XorShift, init: &mut Vec<u8>) -> u8 {
+        let d = rng.below(6) as u8;
+        if !init.contains(&d) {
+            init.push(d);
+        }
+        d
+    }
+    let n = rng.range(4, 28) as usize;
+    for _ in 0..n {
+        match rng.below(10) {
+            0 => {
+                let d = dst(rng, &mut init);
+                p.set(d, rng.next_u64() as i32);
+            }
+            1..=4 => {
+                let op = match rng.below(5) {
+                    0 => BinOp::Add,
+                    1 => BinOp::Sub,
+                    2 => BinOp::Mul,
+                    3 => BinOp::Xor,
+                    _ => BinOp::Or,
+                };
+                let (a, b) = (src(rng, &init), src(rng, &init));
+                let d = dst(rng, &mut init);
+                p.bin(op, d, a, b);
+            }
+            5 => {
+                let imm = rng.range(0, 2000) as i32 - 1000;
+                let a = src(rng, &init);
+                let d = dst(rng, &mut init);
+                p.bin_imm(BinOp::Add, d, a, imm);
+            }
+            6 => {
+                let imm = rng.range(2, 500) as i32;
+                let op = if rng.below(2) == 0 {
+                    BinOp::Div
+                } else {
+                    BinOp::Mod
+                };
+                let a = src(rng, &init);
+                let d = dst(rng, &mut init);
+                p.bin_imm(op, d, a, imm);
+            }
+            7 => {
+                let a = src(rng, &init);
+                let d = dst(rng, &mut init);
+                p.bin_imm(BinOp::Lsh, d, a, rng.below(31) as i32);
+            }
+            8 => {
+                let op = match rng.below(4) {
+                    0 => UnOp::Com,
+                    1 => UnOp::Not,
+                    2 => UnOp::Mov,
+                    _ => UnOp::Neg,
+                };
+                let a = src(rng, &init);
+                let d = dst(rng, &mut init);
+                p.un(op, d, a);
+            }
+            _ => {
+                // Forward skip over one set: the set's target is already
+                // initialized, so both paths leave it defined.
+                let skip = p.genlabel();
+                p.br(Cond::Lt, src(rng, &init), src(rng, &init), skip);
+                p.set(src(rng, &init), 0x5a5a);
+                p.label(skip);
+            }
+        }
+    }
+    let r = src(rng, &init);
+    p.ret(r);
+    p
+}
+
+fn fixed_corpus() -> Vec<(&'static str, Program, Vec<Vec<i32>>)> {
+    vec![
+        (
+            "abs_times_3",
+            abs_times_3(),
+            vec![
+                vec![3, 4],
+                vec![-10, 2],
+                vec![0, 0],
+                vec![1000, -2000],
+                vec![i32::MAX, 1],
+            ],
+        ),
+        (
+            "sum_squares_loop",
+            sum_squares_loop(),
+            vec![vec![0], vec![1], vec![10], vec![-5], vec![100]],
+        ),
+        (
+            "classify_ladder",
+            classify_ladder(),
+            vec![vec![5], vec![50], vec![500], vec![5000], vec![-1]],
+        ),
+        (
+            "const_heavy",
+            const_heavy(),
+            vec![vec![0], vec![12345], vec![-1]],
+        ),
+        (
+            "safe_division",
+            safe_division(),
+            vec![vec![100, 7], vec![-100, 6], vec![i32::MIN, 2], vec![7, 0]],
+        ),
+    ]
+}
+
+/// The differential core: for one program on one backend, tier-1 code,
+/// tier-2 code and the interpreter agree on every argument tuple.
+fn assert_tiers_agree(e: &Engine, id: TargetId, name: &str, p: &Program, cases: &[Vec<i32>]) {
+    let t1 = e
+        .compile(id, p)
+        .unwrap_or_else(|er| panic!("{name}/{id} tier-1: {er}"));
+    let t2 = e
+        .compile_tier2(id, p)
+        .unwrap_or_else(|er| panic!("{name}/{id} tier-2: {er}"));
+    assert!(
+        t2.insns() <= t1.insns(),
+        "{name}/{id}: tier-2 grew the code ({} -> {} insns)",
+        t1.insns(),
+        t2.insns()
+    );
+    for args in cases {
+        let want = p
+            .interpret(args, 10_000_000)
+            .unwrap_or_else(|er| panic!("{name} interpret({args:?}): {er}"));
+        assert_eq!(
+            t1.call(args).unwrap(),
+            want,
+            "{name}/{id} tier-1 on {args:?}"
+        );
+        assert_eq!(
+            t2.call(args).unwrap(),
+            want,
+            "{name}/{id} tier-2 on {args:?}"
+        );
+    }
+}
+
+#[test]
+fn tier2_matches_tier1_and_interpreter_on_all_backends() {
+    let e = engine(256);
+    for (name, p, cases) in fixed_corpus() {
+        for id in TargetId::ALL {
+            assert_tiers_agree(&e, id, name, &p, &cases);
+        }
+    }
+}
+
+#[test]
+fn tier2_matches_on_random_programs_all_backends() {
+    let e = engine(1024);
+    let mut rng = XorShift::new(0x7b15_2000);
+    let inputs: Vec<Vec<i32>> = vec![
+        vec![0, 0],
+        vec![1, -1],
+        vec![12345, -678],
+        vec![i32::MAX, i32::MIN],
+    ];
+    for case in 0..24 {
+        let p = random_program(&mut rng);
+        for id in TargetId::ALL {
+            assert_tiers_agree(&e, id, &format!("rand{case}"), &p, &inputs);
+        }
+    }
+}
+
+#[test]
+fn simulated_div_by_zero_behaves_identically_in_both_tiers() {
+    // Div with an unknown, actually-zero divisor: the optimizer may not
+    // delete or fold the instruction, so whatever each simulated ISA
+    // does with it (typed trap or an architecturally-unpredictable
+    // result) must be byte-identical across tiers.
+    let e = engine(16);
+    let mut p = Program::new(2).unwrap();
+    p.bin(BinOp::Div, 2, 0, 1);
+    p.ret(2);
+    for id in [TargetId::Mips, TargetId::Sparc, TargetId::Alpha] {
+        let t1 = e.compile(id, &p).unwrap();
+        let t2 = e.compile_tier2(id, &p).unwrap();
+        assert_eq!(t1.call(&[10, 2]).unwrap(), 5, "{id}");
+        assert_eq!(t2.call(&[10, 2]).unwrap(), 5, "{id}");
+        match (t1.call(&[10, 0]), t2.call(&[10, 0])) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "{id} div-zero results diverge"),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("{id} tiers diverge on div-zero: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn hot_lambda_upgrades_in_place_and_stays_correct() {
+    let e = engine(64);
+    assert!(e.enable_tiering(TierConfig { hot_threshold: 8 }));
+    assert_eq!(e.tiering(), Some(TierConfig { hot_threshold: 8 }));
+    let p = sum_squares_loop();
+    let f = e.compile_cached(TargetId::X64, &p).unwrap();
+    let tiered = f.as_tiered().expect("tiering wraps cached lambdas");
+    assert!(!tiered.upgraded());
+    let want = p.interpret(&[10], 1_000_000).unwrap();
+    // Drive past the threshold; every call must stay correct whether it
+    // runs tier-1, mid-upgrade, or tier-2 code.
+    for _ in 0..16 {
+        assert_eq!(f.call(&[10]).unwrap(), want);
+    }
+    assert!(
+        e.service().wait_idle(Duration::from_secs(30)),
+        "tier-2 build did not finish in bound"
+    );
+    // The next call latches the published tier-2 code.
+    assert_eq!(f.call(&[10]).unwrap(), want);
+    assert!(tiered.upgraded(), "hot lambda failed to upgrade");
+    let t2 = tiered.optimized().expect("optimized code");
+    assert!(
+        t2.insns() <= tiered.baseline().insns(),
+        "upgrade grew the code"
+    );
+    assert_eq!(f.call(&[7]).unwrap(), p.interpret(&[7], 1_000_000).unwrap());
+}
+
+#[test]
+fn warm_hits_share_one_heat_counter() {
+    let e = engine(64);
+    assert!(e.enable_tiering(TierConfig {
+        hot_threshold: 1_000_000,
+    }));
+    let p = abs_times_3();
+    let f1 = e.compile_cached(TargetId::Mips, &p).unwrap();
+    let f2 = e.compile_cached(TargetId::Mips, &p).unwrap();
+    assert!(Arc::ptr_eq(&f1, &f2), "cache must store the wrapper");
+    f1.call(&[1, 2]).unwrap();
+    f2.call(&[3, 4]).unwrap();
+    assert_eq!(f1.as_tiered().unwrap().calls(), 2);
+}
+
+#[test]
+fn concurrent_callers_never_observe_a_torn_swap() {
+    let e = Arc::new({
+        let e = engine(64);
+        assert!(e.enable_tiering(TierConfig { hot_threshold: 4 }));
+        e
+    });
+    let p = classify_ladder();
+    let f = e.compile_cached(TargetId::X64, &p).unwrap();
+    let cases: Vec<(i32, i64)> = [5, 50, 500, 5000, -7]
+        .into_iter()
+        .map(|x| (x, p.interpret(&[x], 1_000).unwrap()))
+        .collect();
+    let threads = 4;
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let f = Arc::clone(&f);
+            let barrier = Arc::clone(&barrier);
+            let cases = cases.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for round in 0..200 {
+                    for &(x, want) in &cases {
+                        assert_eq!(f.call(&[x]).unwrap(), want, "round {round}, x={x}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("caller thread panicked");
+    }
+    assert!(e.service().wait_idle(Duration::from_secs(30)));
+    // After the dust settles the lambda still answers correctly.
+    for &(x, want) in &cases {
+        assert_eq!(f.call(&[x]).unwrap(), want);
+    }
+}
+
+#[test]
+fn tiering_off_means_no_wrapper() {
+    let e = engine(16);
+    let f = e.compile_cached(TargetId::X64, &abs_times_3()).unwrap();
+    assert!(f.as_tiered().is_none());
+}
+
+#[test]
+fn async_compiles_tier_up_too() {
+    let e = engine(64);
+    assert!(e.enable_tiering(TierConfig { hot_threshold: 4 }));
+    let p = const_heavy();
+    let want = p.interpret(&[9], 1_000).unwrap();
+    let h = e.compile_async(TargetId::Mips, &p).unwrap();
+    // Degraded or native, the handle answers correctly right away.
+    assert_eq!(h.call(&[9]).unwrap(), want);
+    assert!(e.service().wait_idle(Duration::from_secs(30)));
+    // The published build is the tiered wrapper; heat it up.
+    let f = e.compile_cached(TargetId::Mips, &p).unwrap();
+    let tiered = f.as_tiered().expect("async-published lambda is wrapped");
+    for _ in 0..8 {
+        assert_eq!(f.call(&[9]).unwrap(), want);
+    }
+    assert!(e.service().wait_idle(Duration::from_secs(30)));
+    f.call(&[9]).unwrap();
+    assert!(tiered.upgraded());
+    assert_eq!(f.call(&[9]).unwrap(), want);
+}
