@@ -499,6 +499,71 @@ pub fn tier2_counters() -> Tier2Counters {
     }
 }
 
+// ---- generation-swap counters ----------------------------------------------
+//
+// Process-wide totals for RCU-style hot-swap publication (the DPF
+// live-update service and anything else that republishes compiled code
+// under traffic): generations published (split native vs
+// interpreter-degraded delta windows), in-place interpreter→native
+// upgrades, and retired generations reclaimed after their last reader
+// epoch passed.
+
+static GEN_PUBLISHED: AtomicU64 = AtomicU64::new(0);
+static GEN_NATIVE: AtomicU64 = AtomicU64::new(0);
+static GEN_DEGRADED: AtomicU64 = AtomicU64::new(0);
+static GEN_UPGRADED: AtomicU64 = AtomicU64::new(0);
+static GEN_RETIRED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide generation-swap counter snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwapCounters {
+    /// Generations published (every hot swap, native or degraded).
+    pub published: u64,
+    /// Generations published already serving native code.
+    pub native: u64,
+    /// Generations published serving an interpreter (delta windows).
+    pub degraded: u64,
+    /// In-place interpreter→native upgrades of a live generation.
+    pub upgraded: u64,
+    /// Retired generations reclaimed after their last reader left.
+    pub retired: u64,
+}
+
+/// Records one generation publication; `native` says whether it serves
+/// compiled code or an interpreter delta window.
+#[inline]
+pub fn note_generation_published(native: bool) {
+    GEN_PUBLISHED.fetch_add(1, Ordering::Relaxed);
+    if native {
+        GEN_NATIVE.fetch_add(1, Ordering::Relaxed);
+    } else {
+        GEN_DEGRADED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Records an in-place interpreter→native upgrade of a live generation.
+#[inline]
+pub fn note_generation_upgraded() {
+    GEN_UPGRADED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records retired generations reclaimed (their code pins released).
+#[inline]
+pub fn note_generations_retired(n: u64) {
+    GEN_RETIRED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Snapshot of the process-wide generation-swap counters.
+pub fn swap_counters() -> SwapCounters {
+    SwapCounters {
+        published: GEN_PUBLISHED.load(Ordering::Relaxed),
+        native: GEN_NATIVE.load(Ordering::Relaxed),
+        degraded: GEN_DEGRADED.load(Ordering::Relaxed),
+        upgraded: GEN_UPGRADED.load(Ordering::Relaxed),
+        retired: GEN_RETIRED.load(Ordering::Relaxed),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -90,6 +90,9 @@ pub enum CompileError {
     Codegen(vcode::Error),
     /// Could not obtain executable memory.
     Exec(std::io::Error),
+    /// The classifier generator exhausted the target's temp register
+    /// file (the `TooManyTemps` discipline: surface it, never panic).
+    TooManyTemps,
 }
 
 impl fmt::Display for CompileError {
@@ -97,6 +100,9 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Codegen(e) => write!(f, "{e}"),
             CompileError::Exec(e) => write!(f, "executable memory: {e}"),
+            CompileError::TooManyTemps => {
+                write!(f, "classifier generation exhausted the temp register file")
+            }
         }
     }
 }
@@ -114,6 +120,9 @@ impl From<CompileError> for vcode::ExecError {
         match e {
             CompileError::Codegen(e) => vcode::ExecError::Codegen(e),
             CompileError::Exec(e) => vcode::ExecError::Mem(e),
+            CompileError::TooManyTemps => vcode::ExecError::Codegen(vcode::Error::BadOperands(
+                "classifier generation exhausted the temp register file",
+            )),
         }
     }
 }
@@ -160,6 +169,15 @@ impl CompiledSet {
     /// The entry address (diagnostics).
     pub fn entry_addr(&self) -> u64 {
         self.code.addr()
+    }
+
+    /// Pins the underlying executable mapping (see
+    /// [`vcode_x64::CodePin`]): the code stays mapped and executable
+    /// until the pin drops, even if this set is dropped first. The DPF
+    /// hot-swap service holds one pin per published generation and
+    /// releases it only when the generation's last reader retires.
+    pub fn pin(&self) -> vcode_x64::CodePin {
+        self.code.pin()
     }
 }
 
@@ -519,11 +537,11 @@ pub fn compile(root: &Level, opts: Options) -> Result<CompiledSet, CompileError>
     let mut a = Assembler::<X64>::lambda(&mut mem.as_mut_slice()[..cap], "%p%ul", Leaf::Yes)?;
     let msg = a.arg(0);
     let len = a.arg(1);
-    let field = a.getreg(RegClass::Temp).expect("reg");
-    let ptr = a.getreg(RegClass::Temp).expect("reg");
-    let base = a.getreg(RegClass::Temp).expect("reg");
-    let tmp = a.getreg(RegClass::Temp).expect("reg");
-    let tmp2 = a.getreg(RegClass::Temp).expect("reg");
+    let field = a.getreg(RegClass::Temp).ok_or(CompileError::TooManyTemps)?;
+    let ptr = a.getreg(RegClass::Temp).ok_or(CompileError::TooManyTemps)?;
+    let base = a.getreg(RegClass::Temp).ok_or(CompileError::TooManyTemps)?;
+    let tmp = a.getreg(RegClass::Temp).ok_or(CompileError::TooManyTemps)?;
+    let tmp2 = a.getreg(RegClass::Temp).ok_or(CompileError::TooManyTemps)?;
     let fail = a.genlabel();
     a.setul(base, 0);
     a.movp(ptr, msg);
@@ -569,11 +587,15 @@ pub fn compile(root: &Level, opts: Options) -> Result<CompiledSet, CompileError>
     let code = mem.finalize().map_err(CompileError::Exec)?;
     // Resolve dispatch-table entries now that label addresses are known.
     for (ti, idx, label) in table_fills {
-        let off = fin.label_offset(label).expect("bound label");
+        let off = fin
+            .label_offset(label)
+            .ok_or(CompileError::Codegen(vcode::Error::UnboundLabel(label)))?;
         tables[ti][idx] = code.addr() + off as u64;
     }
     for (hi, slot, label) in hash_fills {
-        let off = fin.label_offset(label).expect("bound label");
+        let off = fin
+            .label_offset(label)
+            .ok_or(CompileError::Codegen(vcode::Error::UnboundLabel(label)))?;
         addrs[hi][slot] = code.addr() + off as u64;
     }
     // SAFETY: the generated function has the declared C ABI

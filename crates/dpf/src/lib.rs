@@ -41,10 +41,12 @@ pub mod hotloop;
 pub mod lang;
 pub mod mpf;
 pub mod packet;
+pub mod service;
 pub mod trie;
 
 pub use compile::{CompileError, CompiledSet, Options, Strategies};
 pub use lang::{Atom, FieldSize, Filter, FilterBuilder, FilterError};
+pub use service::{DpfReader, DpfService, ServiceSnapshot};
 
 use mpf::Mpf;
 use std::sync::{Arc, OnceLock};
@@ -96,22 +98,70 @@ pub enum EngineKind {
     Interpreter,
 }
 
+/// Why [`Dpf::try_classify`] has no engine matching the resident
+/// filter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClassifyError {
+    /// No compile has been attempted since construction.
+    NeverCompiled,
+    /// Filters changed since the last compile: the compiled code would
+    /// classify against the *old* set (stale positives/negatives).
+    Stale {
+        /// Filters inserted since the last compile.
+        inserts: u32,
+        /// Filters removed since the last compile.
+        removes: u32,
+    },
+}
+
+impl std::fmt::Display for ClassifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassifyError::NeverCompiled => write!(f, "classifier never compiled"),
+            ClassifyError::Stale { inserts, removes } => write!(
+                f,
+                "classifier stale: {inserts} insert(s) and {removes} remove(s) since last compile"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClassifyError {}
+
 /// The dynamically compiled demultiplexer.
 ///
 /// Filters are inserted and removed at runtime; [`Dpf::compile`] merges
 /// the resident set into a trie and generates a native classifier.
 /// Insertion/removal invalidates the compiled code until the next
 /// `compile` (the paper's system recompiled on installation into the
-/// kernel).
+/// kernel) — but classification never panics and never serves a stale
+/// set: between a filter change and the next compile,
+/// [`classify`](Dpf::classify) runs the resident [`Mpf`] interpreter, kept
+/// in sync on every insert/remove. [`try_classify`](Dpf::try_classify)
+/// is the strict variant that reports staleness as a typed error
+/// instead of degrading. For filter updates under live traffic with no
+/// interpreter window at all, use [`service::DpfService`].
 #[derive(Debug, Default)]
 pub struct Dpf {
     filters: Vec<(u32, Filter)>,
     next_id: u32,
     opts: Options,
     compiled: Option<Arc<CompiledSet>>,
-    /// Interpreter engaged when code generation fails; ids match the
-    /// compiled engine's.
-    fallback: Option<Mpf>,
+    /// Resident interpreter, kept in sync with `filters` on every
+    /// insert/remove (ids match the compiled engine's): classification
+    /// always has a correct engine to run on.
+    resident: Mpf,
+    /// The last compile degraded to the interpreter (codegen failed or
+    /// an async build is still in flight).
+    degraded: bool,
+    /// Filters inserted/removed since the last compile attempt; nonzero
+    /// means `compiled`/`degraded` no longer describe `filters`.
+    stale_inserts: u32,
+    /// See `stale_inserts`.
+    stale_removes: u32,
+    /// A compile has been attempted at least once.
+    ever_compiled: bool,
     /// Cache key of an in-flight [`compile_async`](Dpf::compile_async)
     /// build; [`poll_upgrade`](Dpf::poll_upgrade) watches it.
     pending: Option<CacheKey>,
@@ -132,27 +182,36 @@ impl Dpf {
         }
     }
 
-    /// Installs a filter, returning its id. Invalidates compiled code.
+    /// Installs a filter, returning its id. Invalidates compiled code;
+    /// until the next compile, classification runs the resident
+    /// interpreter over the *new* set (the freshly inserted filter
+    /// matches immediately).
     pub fn insert(&mut self, f: Filter) -> u32 {
         let id = self.next_id;
         self.next_id += 1;
+        self.resident.insert_as(id, &f);
         self.filters.push((id, f));
         self.compiled = None;
-        self.fallback = None;
+        self.degraded = false;
         self.pending = None;
+        self.stale_inserts += 1;
         id
     }
 
     /// Removes a filter by id; returns whether it existed. Invalidates
-    /// compiled code.
+    /// compiled code; until the next compile, classification runs the
+    /// resident interpreter over the *new* set — the removed id is
+    /// never returned again (no stale positives).
     pub fn remove(&mut self, id: u32) -> bool {
         let n = self.filters.len();
         self.filters.retain(|(i, _)| *i != id);
         let removed = self.filters.len() != n;
         if removed {
+            self.resident.remove(id);
             self.compiled = None;
-            self.fallback = None;
+            self.degraded = false;
             self.pending = None;
+            self.stale_removes += 1;
         }
         removed
     }
@@ -188,7 +247,6 @@ impl Dpf {
     /// which cannot currently happen, so callers may treat `Ok` as
     /// "classification is available".
     pub fn compile(&mut self) -> Result<(), CompileError> {
-        self.fallback = None;
         self.pending = None;
         // An explicit code_capacity is a harness knob (fault injection /
         // overflow drills): those compiles are bespoke, never cached.
@@ -212,19 +270,20 @@ impl Dpf {
                 cache.stall_timeout(),
             )
         };
+        self.ever_compiled = true;
+        self.stale_inserts = 0;
+        self.stale_removes = 0;
         match compiled {
             Ok(set) => {
                 self.compiled = Some(set);
+                self.degraded = false;
                 Ok(())
             }
             Err(_) => {
-                // Degrade: interpret the same filters, preserving ids.
-                let mut mpf = Mpf::new();
-                for (id, f) in &self.filters {
-                    mpf.insert_as(*id, f);
-                }
+                // Degrade: the resident interpreter already holds the
+                // same filters, preserving ids.
                 self.compiled = None;
-                self.fallback = Some(mpf);
+                self.degraded = true;
                 Ok(())
             }
         }
@@ -240,21 +299,20 @@ impl Dpf {
     /// [`CompileError`] only if even the interpreter cannot be built —
     /// which cannot currently happen (see [`compile`](Self::compile)).
     pub fn compile_uncached(&mut self) -> Result<(), CompileError> {
-        self.fallback = None;
         self.pending = None;
+        self.ever_compiled = true;
+        self.stale_inserts = 0;
+        self.stale_removes = 0;
         let root = trie::build(&self.filters);
         match compile_with_retry(&root, self.opts) {
             Ok(set) => {
                 self.compiled = Some(Arc::new(set));
+                self.degraded = false;
                 Ok(())
             }
             Err(_) => {
-                let mut mpf = Mpf::new();
-                for (id, f) in &self.filters {
-                    mpf.insert_as(*id, f);
-                }
                 self.compiled = None;
-                self.fallback = Some(mpf);
+                self.degraded = true;
                 Ok(())
             }
         }
@@ -284,8 +342,10 @@ impl Dpf {
                 ServeMode::Shed
             };
         }
-        self.fallback = None;
         self.pending = None;
+        self.ever_compiled = true;
+        self.stale_inserts = 0;
+        self.stale_removes = 0;
         let key = self.cache_key();
         let filters = self.filters.clone();
         let opts = self.opts;
@@ -298,6 +358,7 @@ impl Dpf {
         let mode = match submit {
             Submit::Ready(set) => {
                 self.compiled = Some(set);
+                self.degraded = false;
                 return ServeMode::Native;
             }
             Submit::Queued | Submit::InFlight => ServeMode::Building,
@@ -306,12 +367,9 @@ impl Dpf {
                 ServeMode::Quarantined { retry_in, failures }
             }
         };
-        let mut mpf = Mpf::new();
-        for (id, f) in &self.filters {
-            mpf.insert_as(*id, f);
-        }
+        // Serve the resident interpreter until the build publishes.
         self.compiled = None;
-        self.fallback = Some(mpf);
+        self.degraded = true;
         self.pending = Some(key);
         mode
     }
@@ -324,13 +382,17 @@ impl Dpf {
         if self.compiled.is_some() {
             return true;
         }
+        // `pending` is cleared on every insert/remove, so a published
+        // build can never be adopted over a *changed* filter set: the
+        // stale-generation assumption is confined to the key we
+        // actually submitted.
         let Some(key) = self.pending.as_ref() else {
             return false;
         };
         match classifier_cache().peek(key) {
             Some(set) => {
                 self.compiled = Some(set);
-                self.fallback = None;
+                self.degraded = false;
                 self.pending = None;
                 true
             }
@@ -338,63 +400,68 @@ impl Dpf {
         }
     }
 
-    /// Content key of the resident configuration: the exact (id, filter)
-    /// list plus the ablation knobs. Ids are part of the content — the
-    /// generated code returns them — so two sets with the same patterns
-    /// but different ids never alias. The encoding is length-prefixed
-    /// and tagged (injective), and deliberately cheap: building this key
-    /// is the whole cost of a warm `compile()` hit.
+    /// Content key of the resident configuration (see [`cache_key`]).
     fn cache_key(&self) -> CacheKey {
-        let mut bytes = Vec::with_capacity(16 + self.filters.len() * 64);
-        bytes.push(u8::from(self.opts.use_jump_tables));
-        bytes.push(u8::from(self.opts.use_hashing));
-        bytes.push(u8::from(self.opts.elide_bounds_checks));
-        for (id, f) in &self.filters {
-            bytes.extend_from_slice(&id.to_le_bytes());
-            let atoms = f.atoms();
-            bytes.extend_from_slice(&(atoms.len() as u32).to_le_bytes());
-            for a in atoms {
-                let (tag, offset, size, mask, last) = match *a {
-                    Atom::Cmp {
-                        offset,
-                        size,
-                        mask,
-                        value,
-                    } => (0u8, offset, size, mask, value),
-                    Atom::Shift {
-                        offset,
-                        size,
-                        mask,
-                        shift,
-                    } => (1u8, offset, size, mask, shift),
-                };
-                bytes.push(tag);
-                bytes.extend_from_slice(&offset.to_le_bytes());
-                bytes.push(size.bytes() as u8);
-                bytes.extend_from_slice(&mask.to_le_bytes());
-                bytes.extend_from_slice(&last.to_le_bytes());
-            }
-        }
-        CacheKey::new(TargetId::X64, bytes)
+        cache_key(&self.filters, self.opts)
     }
 
-    /// Classifies a message with the compiled engine, or with the
-    /// interpreter fallback when the last [`compile`](Self::compile)
-    /// degraded.
-    ///
-    /// # Panics
-    ///
-    /// Panics if [`compile`](Self::compile) has not been called since the
-    /// last filter change.
+    /// Classifies a message: compiled engine when current, otherwise
+    /// the resident [`Mpf`] interpreter (which is kept in sync on every
+    /// insert/remove). Never panics and never consults a stale compiled
+    /// set — after a `remove` without recompile, the removed id is not
+    /// returned. Use [`try_classify`](Self::try_classify) to observe
+    /// staleness as a typed error instead of degrading.
     #[inline]
     pub fn classify(&self, msg: &[u8]) -> Option<u32> {
         if let Some(set) = self.compiled.as_ref() {
             return set.classify(msg);
         }
-        self.fallback
-            .as_ref()
-            .expect("Dpf::compile must run after filter changes")
-            .classify(msg)
+        self.resident.classify(msg)
+    }
+
+    /// Strict classification: `Err` when no engine matches the resident
+    /// filter set (never compiled, or filters changed since the last
+    /// compile), instead of silently running the interpreter.
+    ///
+    /// # Errors
+    ///
+    /// [`ClassifyError::NeverCompiled`] before the first compile
+    /// attempt; [`ClassifyError::Stale`] when filters changed since the
+    /// last one.
+    #[inline]
+    pub fn try_classify(&self, msg: &[u8]) -> Result<Option<u32>, ClassifyError> {
+        if let Some(set) = self.compiled.as_ref() {
+            return Ok(set.classify(msg));
+        }
+        if self.degraded {
+            return Ok(self.resident.classify(msg));
+        }
+        if self.ever_compiled {
+            Err(ClassifyError::Stale {
+                inserts: self.stale_inserts,
+                removes: self.stale_removes,
+            })
+        } else {
+            Err(ClassifyError::NeverCompiled)
+        }
+    }
+
+    /// Classifies a batch of messages, amortizing the engine dispatch
+    /// over the whole slice. Same engine choice as
+    /// [`classify`](Self::classify).
+    pub fn classify_batch(&self, msgs: &[&[u8]]) -> Vec<Option<u32>> {
+        let mut out = Vec::with_capacity(msgs.len());
+        match self.compiled.as_ref() {
+            Some(set) => out.extend(msgs.iter().map(|m| set.classify(m))),
+            None => out.extend(msgs.iter().map(|m| self.resident.classify(m))),
+        }
+        out
+    }
+
+    /// `true` when filters changed since the last compile attempt (the
+    /// compiled engine, if any, no longer describes the resident set).
+    pub fn is_stale(&self) -> bool {
+        self.stale_inserts != 0 || self.stale_removes != 0
     }
 
     /// The compiled classifier, if current.
@@ -408,7 +475,7 @@ impl Dpf {
     pub fn engine(&self) -> Option<EngineKind> {
         if self.compiled.is_some() {
             Some(EngineKind::Native)
-        } else if self.fallback.is_some() {
+        } else if self.degraded {
             Some(EngineKind::Interpreter)
         } else {
             None
@@ -416,10 +483,59 @@ impl Dpf {
     }
 }
 
+/// Content key of a filter configuration: the exact (id, filter) list
+/// plus the ablation knobs. Ids are part of the content — the generated
+/// code returns them — so two sets with the same patterns but different
+/// ids never alias; an explicit `code_capacity` is likewise encoded so
+/// capacity-limited builds (the fault-injection knob) never alias
+/// default-sized ones. The encoding is length-prefixed and tagged
+/// (injective), and deliberately cheap: building this key is the whole
+/// cost of a warm `compile()` hit.
+pub(crate) fn cache_key(filters: &[(u32, Filter)], opts: Options) -> CacheKey {
+    let mut bytes = Vec::with_capacity(16 + filters.len() * 64);
+    bytes.push(u8::from(opts.use_jump_tables));
+    bytes.push(u8::from(opts.use_hashing));
+    bytes.push(u8::from(opts.elide_bounds_checks));
+    match opts.code_capacity {
+        None => bytes.push(0),
+        Some(cap) => {
+            bytes.push(1);
+            bytes.extend_from_slice(&(cap as u64).to_le_bytes());
+        }
+    }
+    for (id, f) in filters {
+        bytes.extend_from_slice(&id.to_le_bytes());
+        let atoms = f.atoms();
+        bytes.extend_from_slice(&(atoms.len() as u32).to_le_bytes());
+        for a in atoms {
+            let (tag, offset, size, mask, last) = match *a {
+                Atom::Cmp {
+                    offset,
+                    size,
+                    mask,
+                    value,
+                } => (0u8, offset, size, mask, value),
+                Atom::Shift {
+                    offset,
+                    size,
+                    mask,
+                    shift,
+                } => (1u8, offset, size, mask, shift),
+            };
+            bytes.push(tag);
+            bytes.extend_from_slice(&offset.to_le_bytes());
+            bytes.push(size.bytes() as u8);
+            bytes.extend_from_slice(&mask.to_le_bytes());
+            bytes.extend_from_slice(&last.to_le_bytes());
+        }
+    }
+    CacheKey::new(TargetId::X64, bytes)
+}
+
 /// Compiles a trie with the storage-overflow retry ladder: on a
 /// [`vcode::Error::Overflow`] the compile is retried once with a doubled
 /// buffer.
-fn compile_with_retry(root: &Level, opts: Options) -> Result<CompiledSet, CompileError> {
+pub(crate) fn compile_with_retry(root: &Level, opts: Options) -> Result<CompiledSet, CompileError> {
     match compile::compile(root, opts) {
         Ok(set) => Ok(set),
         Err(CompileError::Codegen(vcode::Error::Overflow { capacity })) => {

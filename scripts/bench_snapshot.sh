@@ -41,4 +41,7 @@ cargo bench -q --offline -p vcode-bench --bench compile_service
 echo "== tier2 =="
 cargo bench -q --offline -p vcode-bench --bench tier2
 
+echo "== dpf_service =="
+cargo bench -q --offline -p vcode-bench --bench dpf_service
+
 echo "Snapshot written to $out"

@@ -109,6 +109,17 @@ echo "== tier-2 recompilation gate (optimizing-tier quality + differential) =="
 VCODE_SMOKE=1 VCODE_BASELINE="$PWD/BENCH_codegen.json" \
     cargo bench -q --offline -p vcode-bench --bench tier2
 
+echo "== dpf-service smoke (live-update-under-traffic gate) =="
+# The live classifier service: the bench hard-fails when sustained
+# classification throughput under ~1k filter updates/s falls below 80%
+# of the static-set baseline (measured in the same process, so the gate
+# is machine-relative and holds in smoke mode), when an update storm
+# leaves a generation unpublished, or when a static run is served by
+# the degraded interpreter path. The per-packet single/batch ns metrics
+# are held to the snapshot's 20% fence.
+VCODE_SMOKE=1 VCODE_BASELINE="$PWD/BENCH_codegen.json" \
+    cargo bench -q --offline -p vcode-bench --bench dpf_service
+
 echo "== exec-stats smoke (observability gate) =="
 # Every backend — three simulators plus native x86-64 — must expose
 # nonzero, schema-stable ExecStats counters; the bench exits non-zero
