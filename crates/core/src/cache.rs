@@ -47,9 +47,13 @@
 use crate::engine::{fnv1a, TargetId};
 use crate::obs;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+// Synchronization comes from the `vsync` facade (std in production,
+// model-checked scheduler under the `mcheck` feature) so the Building-
+// slot protocol below is explorable by `crates/mcheck`; the facade
+// `Instant` also virtualizes the stall clock, making `Stalled` paths
+// deterministically replayable. Facade rule: no raw `std::sync` in this
+// module (see DESIGN.md "Model-checked concurrency").
+use crate::vsync::{self, Arc, AtomicU64, Condvar, Duration, Instant, Mutex, MutexGuard, Ordering};
 
 /// Key of one cached lambda: the backend it was compiled for plus the
 /// content bytes that identify the program.
@@ -304,6 +308,14 @@ impl Build {
         let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
         *done = true;
         drop(done);
+        if vsync::injected(vsync::Injection::DropCacheNotify) {
+            // Mutation under test (model checker only): the builder
+            // "forgets" to notify. Waiters must then limp home on the
+            // stall timeout — which the explorer observes as a virtual-
+            // clock jump, failing the latency assertion in the cache
+            // model program. Proves lost notifies are catchable.
+            return;
+        }
         self.cv.notify_all();
     }
 }

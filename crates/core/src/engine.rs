@@ -45,8 +45,13 @@ use crate::tier2::TierConfig;
 use crate::ty::{Sig, Ty};
 use crate::{obs, Assembler, Error, Label, Reg, RegClass};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock, Weak};
+// Tiering state (the heat counter and the tier-2/native publish
+// latches) synchronizes via the `vsync` facade so `crates/mcheck` can
+// explore upgrade races; the executor registry below stays on
+// `std::sync::RwLock` (const-initialized static, never touched by model
+// programs).
+use crate::vsync::{Arc, AtomicU64, OnceLock, Ordering, Weak};
+use std::sync::RwLock;
 use std::time::Duration;
 
 /// The largest argument count a [`Program`] may declare: the smallest

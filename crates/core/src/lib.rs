@@ -58,6 +58,7 @@ pub mod label;
 pub mod macros;
 pub mod obs;
 pub mod op;
+pub mod rcu;
 pub mod reg;
 pub mod regalloc;
 pub mod regress;
@@ -68,6 +69,7 @@ pub mod tier2;
 pub mod trap;
 pub mod ty;
 pub mod verify;
+pub mod vsync;
 
 pub use asm::{Asm, Assembler};
 pub use buf::EmitPath;

@@ -49,10 +49,15 @@ use crate::obs;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+// Synchronization via the `vsync` facade (std in production, model-
+// checked under `mcheck`): the quarantine/backoff table, the idle-
+// worker condvar, and the shutdown flag are driven by `crates/mcheck`
+// model programs. No raw `std::sync` in this module (DESIGN.md
+// "Model-checked concurrency").
+use crate::vsync::thread::JoinHandle;
+use crate::vsync::{
+    self, Arc, AtomicBool, AtomicU64, AtomicUsize, Condvar, Duration, Instant, Mutex, Ordering,
+};
 
 /// Tuning for one [`CompileService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -259,7 +264,7 @@ impl<V: ?Sized + Send + Sync + 'static> CompileService<V> {
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                vsync::thread::Builder::new()
                     .name(format!("vcode-compile-{i}"))
                     .spawn(move || worker_loop(&shared, i))
                     .expect("spawn compile worker")
@@ -407,7 +412,7 @@ impl<V: ?Sized + Send + Sync + 'static> CompileService<V> {
             if Instant::now() >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            vsync::thread::sleep(Duration::from_millis(1));
         }
     }
 

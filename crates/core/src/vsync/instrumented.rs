@@ -1,0 +1,1078 @@
+//! `mcheck`-build facade types: `std`-API-compatible wrappers that
+//! route operations through [`super::model`]'s cooperative scheduler
+//! *when both the object and the calling thread belong to a model
+//! execution*, and fall straight through to `std` otherwise.
+//!
+//! Mode is decided at construction: an object created on a managed
+//! model thread is a *model object*; everything else is a *std object*.
+//! Cargo feature unification means ordinary workspace tests compile
+//! against these wrappers too — their objects are all std-mode, so
+//! behavior is unchanged. Two mixings are unsupported by design and
+//! documented in DESIGN.md: touching a std-mode global from inside a
+//! model program (the op bypasses the scheduler and can block it for
+//! real), and touching a model object from an unmanaged thread.
+//!
+//! Abort teardown: when an execution aborts (violation found), model
+//! threads unwind via a panic token and every facade op degenerates to
+//! a non-model `std` operation so destructors always complete.
+
+use std::fmt;
+use std::ops::{Add, Deref, DerefMut, Sub};
+use std::sync::atomic::{
+    AtomicBool as StdAtomicBool, AtomicPtr as StdAtomicPtr, AtomicU64 as StdAtomicU64,
+    AtomicUsize as StdAtomicUsize,
+};
+use std::sync::{
+    Arc, Condvar as StdCondvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard,
+    OnceLock as StdOnceLock, PoisonError, TryLockError, TryLockResult,
+};
+use std::time::{Duration, Instant as StdInstant};
+
+use super::model::{self, Ctx, OnceEnter};
+use super::Ordering;
+
+/// Whether an object routes through the model scheduler; fixed at
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Std,
+    Model,
+}
+
+impl Mode {
+    fn current() -> Mode {
+        if model::is_managed() {
+            Mode::Model
+        } else {
+            Mode::Std
+        }
+    }
+}
+
+/// The calling thread's model context, iff this op should be modeled.
+fn mctx(mode: Mode) -> Option<(Arc<Ctx>, usize)> {
+    match mode {
+        Mode::Model => model::current(),
+        Mode::Std => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / MutexGuard
+// ---------------------------------------------------------------------------
+
+/// Facade mutex: the data always lives in an inner `std::sync::Mutex`;
+/// in model mode the scheduler decides who may take it, so the inner
+/// lock is uncontended by construction.
+pub struct Mutex<T> {
+    mode: Mode,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex; model-mode iff constructed on a managed
+    /// thread.
+    pub fn new(t: T) -> Mutex<T> {
+        Mutex {
+            mode: Mode::current(),
+            inner: StdMutex::new(t),
+        }
+    }
+
+    fn key(&self) -> usize {
+        &self.inner as *const StdMutex<T> as usize
+    }
+
+    /// Takes the inner std lock after the model has granted exclusivity
+    /// (or during abort teardown, where blocking for real is correct).
+    fn take_inner(&self) -> StdMutexGuard<'_, T> {
+        match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+            }
+        }
+    }
+
+    /// Locks, blocking (via the scheduler in model mode).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((ctx, tid)) = mctx(self.mode) {
+            ctx.mutex_lock(tid, self.key());
+            Ok(MutexGuard {
+                lock: self,
+                inner: Some(self.take_inner()),
+                model: true,
+            })
+        } else {
+            match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: false,
+                }),
+                Err(e) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(e.into_inner()),
+                    model: false,
+                })),
+            }
+        }
+    }
+
+    /// Non-blocking lock attempt (a schedule point in model mode).
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        if let Some((ctx, tid)) = mctx(self.mode) {
+            if ctx.mutex_try_lock(tid, self.key()) {
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(self.take_inner()),
+                    model: true,
+                })
+            } else {
+                Err(TryLockError::WouldBlock)
+            }
+        } else {
+            match self.inner.try_lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: false,
+                }),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                Err(TryLockError::Poisoned(e)) => {
+                    Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                        lock: self,
+                        inner: Some(e.into_inner()),
+                        model: false,
+                    })))
+                }
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("inner", &self.inner).finish()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+/// Guard for [`Mutex`]; releases the model lock state on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    /// Whether drop must release the model-side lock state.
+    model: bool,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    /// Disassembles without running `Drop` (so no model unlock).
+    fn into_parts(mut self) -> (&'a Mutex<T>, StdMutexGuard<'a, T>, bool) {
+        let inner = self.inner.take().expect("guard already dissolved");
+        let lock = self.lock;
+        let model = self.model;
+        std::mem::forget(self);
+        (lock, inner, model)
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already dissolved")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already dissolved")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop the std guard first; the model release below is what
+        // actually lets other model threads in.
+        self.inner = None;
+        if self.model {
+            if let Some((ctx, _tid)) = model::current() {
+                ctx.mutex_unlock(self.lock.key());
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of [`Condvar::wait_timeout`]; mirrors
+/// `std::sync::WaitTimeoutResult` (which has no public constructor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Facade condition variable. In model mode, waiting releases the
+/// model mutex and parks in the scheduler; notify is a schedule point
+/// that picks the woken waiter (a `notify_one` over several waiters is
+/// an explored branch).
+pub struct Condvar {
+    mode: Mode,
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates the condvar; model-mode iff constructed on a managed
+    /// thread.
+    pub fn new() -> Condvar {
+        Condvar {
+            mode: Mode::current(),
+            inner: StdCondvar::new(),
+        }
+    }
+
+    fn key(&self) -> usize {
+        &self.inner as *const StdCondvar as usize
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Option<Duration>,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let modeled = guard.model && self.mode == Mode::Model;
+        if modeled {
+            if let Some((ctx, tid)) = model::current() {
+                let (lock, inner, _) = guard.into_parts();
+                drop(inner);
+                let timed_out = ctx.cv_wait(tid, self.key(), lock.key(), timeout);
+                let g = MutexGuard {
+                    lock,
+                    inner: Some(lock.take_inner()),
+                    model: true,
+                };
+                return (g, WaitTimeoutResult(timed_out));
+            }
+            // Model guard on an unmanaged thread: unsupported mixing;
+            // fall through to the std wait below.
+        }
+        let (lock, inner, model) = guard.into_parts();
+        match timeout {
+            None => {
+                let g = self
+                    .inner
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+                (
+                    MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        model,
+                    },
+                    WaitTimeoutResult(false),
+                )
+            }
+            Some(d) => {
+                let (g, r) = self
+                    .inner
+                    .wait_timeout(inner, d)
+                    .unwrap_or_else(PoisonError::into_inner);
+                (
+                    MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        model,
+                    },
+                    WaitTimeoutResult(r.timed_out()),
+                )
+            }
+        }
+    }
+
+    /// Waits until notified; reacquires the mutex before returning.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        Ok(self.wait_inner(guard, None).0)
+    }
+
+    /// Waits until notified or `dur` elapses (the model's virtual clock
+    /// in model mode — it only advances when nothing else can run).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        Ok(self.wait_inner(guard, Some(dur)))
+    }
+
+    /// Wakes one waiter (scheduler-chosen in model mode).
+    pub fn notify_one(&self) {
+        if let Some((ctx, tid)) = mctx(self.mode) {
+            ctx.cv_notify(tid, self.key(), false);
+        } else {
+            self.inner.notify_one();
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        if let Some((ctx, tid)) = mctx(self.mode) {
+            ctx.cv_notify(tid, self.key(), true);
+        } else {
+            self.inner.notify_all();
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OnceLock
+// ---------------------------------------------------------------------------
+
+/// Facade one-shot cell. In model mode the *claim* to initialize is a
+/// schedule point; racing claimants park until the winner resolves, so
+/// exactly one initializer runs per interleaving and the scheduler can
+/// interleave code before/after the claim.
+pub struct OnceLock<T> {
+    mode: Mode,
+    inner: StdOnceLock<T>,
+}
+
+/// Rolls a claimed initialization back if the initializer unwinds.
+struct InitClaim<'a> {
+    ctx: &'a Arc<Ctx>,
+    key: usize,
+    done: bool,
+}
+
+impl Drop for InitClaim<'_> {
+    fn drop(&mut self) {
+        self.ctx.once_resolve(self.key, self.done);
+    }
+}
+
+impl<T> OnceLock<T> {
+    /// Creates an empty cell; model-mode iff constructed on a managed
+    /// thread.
+    pub fn new() -> OnceLock<T> {
+        OnceLock {
+            mode: Mode::current(),
+            inner: StdOnceLock::new(),
+        }
+    }
+
+    fn key(&self) -> usize {
+        &self.inner as *const StdOnceLock<T> as usize
+    }
+
+    /// The value, if initialization has completed.
+    pub fn get(&self) -> Option<&T> {
+        if let Some((ctx, tid)) = mctx(self.mode) {
+            match ctx.once_enter(tid, self.key(), false) {
+                OnceEnter::Done | OnceEnter::Aborting => self.inner.get(),
+                OnceEnter::Empty | OnceEnter::Claimed => None,
+            }
+        } else {
+            self.inner.get()
+        }
+    }
+
+    /// Sets the value if empty; `Err(value)` if already initialized.
+    pub fn set(&self, value: T) -> Result<(), T> {
+        if let Some((ctx, tid)) = mctx(self.mode) {
+            match ctx.once_enter(tid, self.key(), true) {
+                OnceEnter::Done => Err(value),
+                OnceEnter::Aborting => self.inner.set(value),
+                OnceEnter::Claimed => {
+                    let r = self.inner.set(value);
+                    ctx.once_resolve(self.key(), r.is_ok());
+                    r
+                }
+                OnceEnter::Empty => unreachable!("claimed init returned Empty"),
+            }
+        } else {
+            self.inner.set(value)
+        }
+    }
+
+    /// Takes the value out, emptying the cell. `&mut self` guarantees
+    /// no concurrent initializer, so the model state just resets.
+    pub fn take(&mut self) -> Option<T> {
+        if self.mode == Mode::Model {
+            if let Some((ctx, _tid)) = model::current() {
+                ctx.once_resolve(self.key(), false);
+            }
+        }
+        self.inner.take()
+    }
+
+    /// Returns the value, initializing it with `f` if empty; exactly
+    /// one racing initializer runs.
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        if let Some((ctx, tid)) = mctx(self.mode) {
+            match ctx.once_enter(tid, self.key(), true) {
+                OnceEnter::Done => self.inner.get().expect("once marked Done but empty"),
+                OnceEnter::Aborting => self.inner.get_or_init(f),
+                OnceEnter::Claimed => {
+                    let mut claim = InitClaim {
+                        ctx: &ctx,
+                        key: self.key(),
+                        done: false,
+                    };
+                    let v = f();
+                    let _ = self.inner.set(v);
+                    claim.done = true;
+                    drop(claim);
+                    self.inner.get().expect("just initialized")
+                }
+                OnceEnter::Empty => unreachable!("claimed init returned Empty"),
+            }
+        } else {
+            self.inner.get_or_init(f)
+        }
+    }
+}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> OnceLock<T> {
+        OnceLock::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OnceLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OnceLock")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! atomic_int {
+    ($(#[$doc:meta])* $Name:ident, $Std:ty, $Prim:ty, $label:literal) => {
+        $(#[$doc])*
+        pub struct $Name {
+            mode: Mode,
+            inner: $Std,
+        }
+
+        impl $Name {
+            /// Creates the atomic; model-mode iff constructed on a
+            /// managed thread.
+            pub fn new(v: $Prim) -> $Name {
+                $Name { mode: Mode::current(), inner: <$Std>::new(v) }
+            }
+
+            fn key(&self) -> usize {
+                &self.inner as *const $Std as usize
+            }
+
+            /// Store-buffer flush thunk: writes a drained buffered
+            /// store to the real atomic.
+            ///
+            /// # Safety
+            /// `addr` must be the address of this object's live inner
+            /// atomic; `Drop` purges pending entries to uphold that.
+            unsafe fn apply(addr: usize, val: u64) {
+                // SAFETY: per the contract above, `addr` points at a
+                // live atomic of the right type.
+                unsafe { (*(addr as *const $Std)).store(val as $Prim, Ordering::SeqCst) }
+            }
+
+            /// Atomic load (never drains store buffers: TSO loads do
+            /// not reorder, but they do read the thread's own buffer
+            /// first).
+            pub fn load(&self, ord: Ordering) -> $Prim {
+                match mctx(self.mode) {
+                    Some((ctx, tid)) => match ctx.atomic_load(tid, self.key(), $label) {
+                        Some(v) => v as $Prim,
+                        None => self.inner.load(Ordering::SeqCst),
+                    },
+                    None => self.inner.load(ord),
+                }
+            }
+
+            /// Atomic store; non-`SeqCst` stores enter the thread's
+            /// store buffer in model mode.
+            pub fn store(&self, v: $Prim, ord: Ordering) {
+                match mctx(self.mode) {
+                    Some((ctx, tid)) => {
+                        let seq_cst = matches!(ord, Ordering::SeqCst);
+                        if ctx.atomic_store(tid, self.key(), v as u64, seq_cst, Self::apply, $label)
+                        {
+                            self.inner.store(v, Ordering::SeqCst);
+                        }
+                    }
+                    None => self.inner.store(v, ord),
+                }
+            }
+
+            /// Gate for read-modify-writes: a schedule point that also
+            /// drains the calling thread's buffer (every RMW is a full
+            /// barrier under TSO). Returns the effective ordering.
+            fn rmw(&self, ord: Ordering) -> Ordering {
+                match mctx(self.mode) {
+                    Some((ctx, tid)) => {
+                        ctx.atomic_rmw(tid, self.key(), $label);
+                        Ordering::SeqCst
+                    }
+                    None => ord,
+                }
+            }
+
+            /// Atomic swap.
+            pub fn swap(&self, v: $Prim, ord: Ordering) -> $Prim {
+                let ord = self.rmw(ord);
+                self.inner.swap(v, ord)
+            }
+
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: $Prim, ord: Ordering) -> $Prim {
+                let ord = self.rmw(ord);
+                self.inner.fetch_add(v, ord)
+            }
+
+            /// Atomic subtract, returning the previous value.
+            pub fn fetch_sub(&self, v: $Prim, ord: Ordering) -> $Prim {
+                let ord = self.rmw(ord);
+                self.inner.fetch_sub(v, ord)
+            }
+
+            /// Atomic max, returning the previous value.
+            pub fn fetch_max(&self, v: $Prim, ord: Ordering) -> $Prim {
+                let ord = self.rmw(ord);
+                self.inner.fetch_max(v, ord)
+            }
+
+            /// Atomic min, returning the previous value.
+            pub fn fetch_min(&self, v: $Prim, ord: Ordering) -> $Prim {
+                let ord = self.rmw(ord);
+                self.inner.fetch_min(v, ord)
+            }
+
+            /// Atomic compare-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $Prim,
+                new: $Prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$Prim, $Prim> {
+                match mctx(self.mode) {
+                    Some((ctx, tid)) => {
+                        ctx.atomic_rmw(tid, self.key(), $label);
+                        self.inner.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+                    None => self.inner.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            /// Atomic compare-exchange; spurious failure is legal (the
+            /// model uses the strong form — fewer uninteresting
+            /// branches).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $Prim,
+                new: $Prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$Prim, $Prim> {
+                match mctx(self.mode) {
+                    Some((ctx, tid)) => {
+                        ctx.atomic_rmw(tid, self.key(), $label);
+                        self.inner.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+                    None => self.inner.compare_exchange_weak(current, new, success, failure),
+                }
+            }
+        }
+
+        impl Drop for $Name {
+            fn drop(&mut self) {
+                if self.mode == Mode::Model {
+                    if let Some((ctx, _tid)) = model::current() {
+                        ctx.purge_addr(self.key());
+                    }
+                }
+            }
+        }
+
+        impl Default for $Name {
+            fn default() -> $Name {
+                $Name::new(0)
+            }
+        }
+
+        impl fmt::Debug for $Name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_tuple(stringify!($Name)).field(&self.inner).finish()
+            }
+        }
+    };
+}
+
+atomic_int!(
+    /// Facade `AtomicU64` (TSO store buffers in model mode).
+    AtomicU64,
+    StdAtomicU64,
+    u64,
+    "u64"
+);
+atomic_int!(
+    /// Facade `AtomicUsize` (TSO store buffers in model mode).
+    AtomicUsize,
+    StdAtomicUsize,
+    usize,
+    "usize"
+);
+
+/// Facade `AtomicBool` (TSO store buffers in model mode).
+pub struct AtomicBool {
+    mode: Mode,
+    inner: StdAtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates the atomic; model-mode iff constructed on a managed
+    /// thread.
+    pub fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            mode: Mode::current(),
+            inner: StdAtomicBool::new(v),
+        }
+    }
+
+    fn key(&self) -> usize {
+        &self.inner as *const StdAtomicBool as usize
+    }
+
+    /// Store-buffer flush thunk.
+    ///
+    /// # Safety
+    /// `addr` must be the address of this object's live inner atomic.
+    unsafe fn apply(addr: usize, val: u64) {
+        // SAFETY: per the contract above.
+        unsafe { (*(addr as *const StdAtomicBool)).store(val != 0, Ordering::SeqCst) }
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ord: Ordering) -> bool {
+        match mctx(self.mode) {
+            Some((ctx, tid)) => match ctx.atomic_load(tid, self.key(), "bool") {
+                Some(v) => v != 0,
+                None => self.inner.load(Ordering::SeqCst),
+            },
+            None => self.inner.load(ord),
+        }
+    }
+
+    /// Atomic store; non-`SeqCst` stores are buffered in model mode.
+    pub fn store(&self, v: bool, ord: Ordering) {
+        match mctx(self.mode) {
+            Some((ctx, tid)) => {
+                let seq_cst = matches!(ord, Ordering::SeqCst);
+                if ctx.atomic_store(tid, self.key(), v as u64, seq_cst, Self::apply, "bool") {
+                    self.inner.store(v, Ordering::SeqCst);
+                }
+            }
+            None => self.inner.store(v, ord),
+        }
+    }
+
+    /// Atomic swap.
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        match mctx(self.mode) {
+            Some((ctx, tid)) => {
+                ctx.atomic_rmw(tid, self.key(), "bool");
+                self.inner.swap(v, Ordering::SeqCst)
+            }
+            None => self.inner.swap(v, ord),
+        }
+    }
+
+    /// Atomic compare-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match mctx(self.mode) {
+            Some((ctx, tid)) => {
+                ctx.atomic_rmw(tid, self.key(), "bool");
+                self.inner
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+            None => self.inner.compare_exchange(current, new, success, failure),
+        }
+    }
+}
+
+impl Drop for AtomicBool {
+    fn drop(&mut self) {
+        if self.mode == Mode::Model {
+            if let Some((ctx, _tid)) = model::current() {
+                ctx.purge_addr(self.key());
+            }
+        }
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
+impl fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("AtomicBool").field(&self.inner).finish()
+    }
+}
+
+/// Facade `AtomicPtr` (TSO store buffers in model mode).
+pub struct AtomicPtr<T> {
+    mode: Mode,
+    inner: StdAtomicPtr<T>,
+}
+
+impl<T> AtomicPtr<T> {
+    /// Creates the atomic; model-mode iff constructed on a managed
+    /// thread.
+    pub fn new(p: *mut T) -> AtomicPtr<T> {
+        AtomicPtr {
+            mode: Mode::current(),
+            inner: StdAtomicPtr::new(p),
+        }
+    }
+
+    fn key(&self) -> usize {
+        &self.inner as *const StdAtomicPtr<T> as usize
+    }
+
+    /// Store-buffer flush thunk.
+    ///
+    /// # Safety
+    /// `addr` must be the address of this object's live inner atomic.
+    unsafe fn apply(addr: usize, val: u64) {
+        // SAFETY: per the contract above.
+        unsafe {
+            (*(addr as *const StdAtomicPtr<T>)).store(val as usize as *mut T, Ordering::SeqCst)
+        }
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        match mctx(self.mode) {
+            Some((ctx, tid)) => match ctx.atomic_load(tid, self.key(), "ptr") {
+                Some(v) => v as usize as *mut T,
+                None => self.inner.load(Ordering::SeqCst),
+            },
+            None => self.inner.load(ord),
+        }
+    }
+
+    /// Atomic store; non-`SeqCst` stores are buffered in model mode.
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        match mctx(self.mode) {
+            Some((ctx, tid)) => {
+                let seq_cst = matches!(ord, Ordering::SeqCst);
+                if ctx.atomic_store(
+                    tid,
+                    self.key(),
+                    p as usize as u64,
+                    seq_cst,
+                    Self::apply,
+                    "ptr",
+                ) {
+                    self.inner.store(p, Ordering::SeqCst);
+                }
+            }
+            None => self.inner.store(p, ord),
+        }
+    }
+
+    /// Atomic swap.
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        match mctx(self.mode) {
+            Some((ctx, tid)) => {
+                ctx.atomic_rmw(tid, self.key(), "ptr");
+                self.inner.swap(p, Ordering::SeqCst)
+            }
+            None => self.inner.swap(p, ord),
+        }
+    }
+
+    /// Atomic compare-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        match mctx(self.mode) {
+            Some((ctx, tid)) => {
+                ctx.atomic_rmw(tid, self.key(), "ptr");
+                self.inner
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+            None => self.inner.compare_exchange(current, new, success, failure),
+        }
+    }
+}
+
+impl<T> Drop for AtomicPtr<T> {
+    fn drop(&mut self) {
+        if self.mode == Mode::Model {
+            if let Some((ctx, _tid)) = model::current() {
+                ctx.purge_addr(self.key());
+            }
+        }
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> AtomicPtr<T> {
+        AtomicPtr::new(std::ptr::null_mut())
+    }
+}
+
+impl<T> fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("AtomicPtr").field(&self.inner).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instant (virtual clock)
+// ---------------------------------------------------------------------------
+
+/// Facade instant: wall clock off-model, the execution's virtual clock
+/// (nanoseconds, advancing only at quiescence) on managed threads.
+/// Real and virtual instants never mix in practice — mixed-variant
+/// differences saturate to zero rather than panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Instant {
+    /// Wall-clock instant (unmanaged threads).
+    Real(StdInstant),
+    /// Virtual nanoseconds since execution start (managed threads).
+    Virtual(u64),
+}
+
+impl Instant {
+    /// The current instant on the calling thread's clock.
+    pub fn now() -> Instant {
+        match model::virtual_now() {
+            Some(n) => Instant::Virtual(n),
+            None => Instant::Real(StdInstant::now()),
+        }
+    }
+
+    /// Time since `earlier`, or zero if `earlier` is later (or on a
+    /// different clock).
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        match (self, earlier) {
+            (Instant::Real(a), Instant::Real(b)) => a.saturating_duration_since(b),
+            (Instant::Virtual(a), Instant::Virtual(b)) => Duration::from_nanos(a.saturating_sub(b)),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Alias of [`Instant::saturating_duration_since`] (the facade
+    /// never panics on clock skew).
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        self.saturating_duration_since(earlier)
+    }
+
+    /// Time since this instant on its own clock.
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().saturating_duration_since(*self)
+    }
+
+    /// `self + d`, `None` on overflow.
+    pub fn checked_add(&self, d: Duration) -> Option<Instant> {
+        match self {
+            Instant::Real(a) => a.checked_add(d).map(Instant::Real),
+            Instant::Virtual(a) => {
+                let ns = u64::try_from(d.as_nanos()).ok()?;
+                a.checked_add(ns).map(Instant::Virtual)
+            }
+        }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, d: Duration) -> Instant {
+        match self {
+            Instant::Real(a) => Instant::Real(a + d),
+            Instant::Virtual(a) => {
+                Instant::Virtual(a.saturating_add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)))
+            }
+        }
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, other: Instant) -> Duration {
+        self.saturating_duration_since(other)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread
+// ---------------------------------------------------------------------------
+
+/// Facade `thread`: spawn/join/sleep/yield route through the scheduler
+/// on managed threads and through `std::thread` otherwise.
+pub mod thread {
+    use super::*;
+    use std::any::Any;
+
+    enum Repr<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model(model::ModelJoin<T>),
+    }
+
+    /// Facade join handle.
+    pub struct JoinHandle<T>(Repr<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Joins the thread (a schedule point in model mode, enabled
+        /// once the target finishes). Model threads that panicked or
+        /// were aborted yield `Err` — though a panic aborts the whole
+        /// execution first, so model code rarely observes it.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Repr::Std(h) => h.join(),
+                Repr::Model(j) => {
+                    let (ctx, tid) =
+                        model::current().expect("model thread joined from unmanaged thread");
+                    ctx.join(tid, &j).ok_or_else(|| {
+                        Box::new("model thread produced no value (panicked or aborted)".to_string())
+                            as Box<dyn Any + Send>
+                    })
+                }
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("JoinHandle").finish_non_exhaustive()
+        }
+    }
+
+    /// Spawns a thread: a managed model thread when called from one,
+    /// a plain OS thread otherwise.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match model::current() {
+            Some((ctx, _tid)) => JoinHandle(Repr::Model(ctx.spawn(f))),
+            None => JoinHandle(Repr::Std(std::thread::spawn(f))),
+        }
+    }
+
+    /// Facade thread builder (name is advisory; model threads ignore
+    /// it — traces identify threads by spawn-ordered id).
+    pub struct Builder {
+        inner: std::thread::Builder,
+    }
+
+    impl Builder {
+        /// A builder with default settings.
+        pub fn new() -> Builder {
+            Builder {
+                inner: std::thread::Builder::new(),
+            }
+        }
+
+        /// Names the thread (std mode only).
+        pub fn name(self, name: String) -> Builder {
+            Builder {
+                inner: self.inner.name(name),
+            }
+        }
+
+        /// Spawns; infallible in model mode (the scheduler has no
+        /// spawn errors — thread-cap violations abort the execution).
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            match model::current() {
+                Some((ctx, _tid)) => Ok(JoinHandle(Repr::Model(ctx.spawn(f)))),
+                None => self.inner.spawn(f).map(|h| JoinHandle(Repr::Std(h))),
+            }
+        }
+    }
+
+    impl Default for Builder {
+        fn default() -> Builder {
+            Builder::new()
+        }
+    }
+
+    impl fmt::Debug for Builder {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Builder").finish_non_exhaustive()
+        }
+    }
+
+    /// Sleeps: virtual-clock sleep in model mode (a schedule point
+    /// that parks until the clock reaches the deadline), real sleep
+    /// otherwise.
+    pub fn sleep(d: Duration) {
+        match model::current() {
+            Some((ctx, tid)) => ctx.sleep(tid, d),
+            None => std::thread::sleep(d),
+        }
+    }
+
+    /// Yields: an explicit schedule point in model mode.
+    pub fn yield_now() {
+        match model::current() {
+            Some((ctx, tid)) => ctx.yield_now(tid),
+            None => std::thread::yield_now(),
+        }
+    }
+}

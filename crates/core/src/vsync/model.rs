@@ -1,0 +1,1638 @@
+//! Deterministic cooperative scheduler and interleaving explorer — the
+//! `mcheck` runtime behind the [`vsync`](crate::vsync) facade.
+//!
+//! A *model execution* runs ordinary Rust closures on real OS threads,
+//! but with exactly one thread running at any instant: every facade
+//! operation (atomic load/store/RMW, mutex lock/unlock, condvar
+//! wait/notify, `OnceLock` init, spawn/join/sleep) is a **schedule
+//! point** where control returns to a coordinator, which picks the next
+//! action from the set of *enabled* actions:
+//!
+//! - step a thread whose pending operation can proceed (a lock on a
+//!   free mutex, any atomic op, a join on a finished thread, …),
+//! - flush the oldest entry of a thread's **store buffer** (see below),
+//! - or — only when nothing else can move — advance the **virtual
+//!   clock** to the earliest sleep/timeout deadline.
+//!
+//! The sequence of picks is driven by a [`Schedule`]: bounded
+//! exhaustive depth-first enumeration ([`Explorer::exhaustive`]),
+//! seeded random walks ([`Explorer::random`]), or the replay of a
+//! previously reported schedule ([`Explorer::replay`]). Executions are
+//! deterministic functions of the choice string, so every reported
+//! [`Violation`] carries a schedule that reproduces it exactly.
+//!
+//! # Memory model: TSO store buffers
+//!
+//! Non-`SeqCst` atomic stores do not hit shared memory immediately:
+//! they enter the storing thread's FIFO buffer, visible to that
+//! thread's own later loads but to nobody else until a *flush* action
+//! drains them (or the thread performs a `SeqCst` store / any RMW,
+//! which drains its own buffer first, or exits). This is the x86-TSO
+//! relaxation — precisely the store→load reordering that epoch-RCU's
+//! publication barrier exists to forbid — so weakening that barrier to
+//! `Relaxed` ([`Injection::RcuRelaxedPublication`]) becomes an
+//! explorable, catchable bug instead of a latent one. Orderings weaker
+//! than TSO (independent-read-independent-write effects, load
+//! reordering) are *not* modeled; DESIGN.md "Model-checked concurrency"
+//! spells out the boundary.
+//!
+//! # What counts as a violation
+//!
+//! - any panic in a model thread (assertion failures in model programs,
+//!   `unwrap`s in the code under test),
+//! - **deadlock**: no enabled action, no pending flush, and no timed
+//!   wait to advance onto, while unfinished threads remain (this is how
+//!   a lost condvar notify without a timeout backstop surfaces),
+//! - exceeding the per-execution step bound (livelock guard),
+//! - exceeding the thread cap.
+//!
+//! Lost notifies *with* a timeout backstop do not deadlock — the
+//! virtual clock bails the waiter out — so model programs assert
+//! latency instead: a wait that only completed because the clock
+//! jumped to its deadline is a protocol regression even though it
+//! eventually returned (see the `mcheck` crate's cache programs).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+use std::time::Duration;
+
+pub use super::Injection;
+
+// ---------------------------------------------------------------------------
+// Public configuration and reports
+// ---------------------------------------------------------------------------
+
+/// Bounds and knobs for one exploration.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Max schedule points in one execution before it is reported as a
+    /// livelock.
+    pub max_steps: usize,
+    /// Max live model threads in one execution.
+    pub max_threads: usize,
+    /// Deliberate protocol weakenings for mutation (checker-teeth)
+    /// tests.
+    pub injections: Vec<Injection>,
+    /// Cap on recorded trace steps per execution (the tail is kept).
+    pub trace_cap: usize,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            max_steps: 20_000,
+            max_threads: 16,
+            injections: Vec::new(),
+            trace_cap: 4_096,
+        }
+    }
+}
+
+/// One reported schedule decision: `chosen` out of `options` enabled
+/// actions. Forced moves (a single enabled action) consume no decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Choice {
+    /// Index picked among the enabled actions at this point.
+    pub chosen: u32,
+    /// How many actions were enabled.
+    pub options: u32,
+}
+
+/// A schedule-reproducible failure found by the explorer.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What went wrong: the panic message, or the coordinator's
+    /// deadlock / livelock report.
+    pub message: String,
+    /// The decision string that reproduces the failure via
+    /// [`Explorer::replay`].
+    pub schedule: Vec<Choice>,
+    /// The seed of the random walk that found it, if any.
+    pub seed: Option<u64>,
+    /// Zero-based index of the failing execution within the run.
+    pub execution: u64,
+    /// Rendered step-by-step trace of the failing execution.
+    pub trace: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model violation: {}", self.message)?;
+        if let Some(seed) = self.seed {
+            writeln!(
+                f,
+                "  found by random walk: seed {seed}, execution {}",
+                self.execution
+            )?;
+        } else {
+            writeln!(f, "  found at execution {}", self.execution)?;
+        }
+        writeln!(f, "  replay schedule: {}", render_schedule(&self.schedule))?;
+        write!(f, "{}", self.trace)
+    }
+}
+
+/// Outcome of one exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Executions (interleavings) actually run.
+    pub executions: u64,
+    /// Schedule points taken across all executions.
+    pub steps: u64,
+    /// `true` when an exhaustive sweep drained the whole bounded
+    /// schedule tree (always `false` for random walks that were capped,
+    /// `true` for replays).
+    pub complete: bool,
+    /// The first failure found, if any (exploration stops on it).
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    /// Panics with the full rendered violation if one was found;
+    /// returns `self` otherwise. The model-program test entry point.
+    #[track_caller]
+    pub fn assert_ok(self) -> Report {
+        if let Some(v) = &self.violation {
+            panic!("{v}");
+        }
+        self
+    }
+
+    /// The violation, or a panic naming the explorer state — for
+    /// mutation tests that *require* a failure to be found.
+    #[track_caller]
+    pub fn expect_violation(self, what: &str) -> Violation {
+        match self.violation {
+            Some(v) => v,
+            None => panic!(
+                "mutation NOT caught ({what}): {} executions, {} steps, complete={}",
+                self.executions, self.steps, self.complete
+            ),
+        }
+    }
+}
+
+/// Renders a decision string as the dotted form shown in reports and
+/// accepted back by [`parse_schedule`].
+pub fn render_schedule(s: &[Choice]) -> String {
+    if s.is_empty() {
+        return "(empty)".to_string();
+    }
+    let mut out = String::new();
+    for (i, c) in s.iter().enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        let _ = write!(out, "{}", c.chosen);
+    }
+    out
+}
+
+/// Parses the dotted decision string from a [`Violation`] report back
+/// into replayable choices. Option counts are re-derived during replay.
+pub fn parse_schedule(s: &str) -> Option<Vec<Choice>> {
+    if s == "(empty)" {
+        return Some(Vec::new());
+    }
+    s.split('.')
+        .map(|tok| {
+            tok.trim()
+                .parse::<u32>()
+                .ok()
+                .map(|chosen| Choice { chosen, options: 0 })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Explorer: the three exploration modes over one closure
+// ---------------------------------------------------------------------------
+
+/// Runs a model program under the cooperative scheduler in one of three
+/// modes. The closure is the *whole program*: it runs on the root model
+/// thread and may spawn more via `vsync::thread::spawn`; the execution
+/// ends when every model thread has finished.
+#[derive(Debug, Clone, Default)]
+pub struct Explorer {
+    /// Exploration bounds.
+    pub opts: Options,
+}
+
+impl Explorer {
+    /// An explorer with default bounds.
+    pub fn new() -> Explorer {
+        Explorer::default()
+    }
+
+    /// An explorer with the given bounds.
+    pub fn with_options(opts: Options) -> Explorer {
+        Explorer { opts }
+    }
+
+    /// Bounded exhaustive DFS over the schedule tree: systematically
+    /// enumerates interleavings until the tree is drained (`complete`)
+    /// or `max_executions` is hit. Stops at the first violation.
+    pub fn exhaustive(&self, max_executions: u64, f: impl Fn() + Sync) -> Report {
+        let mut path: Vec<Choice> = Vec::new();
+        let mut executions = 0u64;
+        let mut steps = 0u64;
+        loop {
+            if executions >= max_executions {
+                return Report {
+                    executions,
+                    steps,
+                    complete: false,
+                    violation: None,
+                };
+            }
+            let out = run_one(&self.opts, Source::Dfs, &mut path, &mut 0, &f);
+            executions += 1;
+            steps += out.steps;
+            if let Some(message) = out.failure {
+                return Report {
+                    executions,
+                    steps,
+                    complete: false,
+                    violation: Some(Violation {
+                        message,
+                        schedule: path.clone(),
+                        seed: None,
+                        execution: executions - 1,
+                        trace: out.trace,
+                    }),
+                };
+            }
+            // Advance DFS: bump the deepest decision that still has an
+            // unexplored sibling, drop everything after it.
+            let advanced = loop {
+                match path.pop() {
+                    None => break false,
+                    Some(c) if c.chosen + 1 < c.options => {
+                        path.push(Choice {
+                            chosen: c.chosen + 1,
+                            options: c.options,
+                        });
+                        break true;
+                    }
+                    Some(_) => {}
+                }
+            };
+            if !advanced {
+                return Report {
+                    executions,
+                    steps,
+                    complete: true,
+                    violation: None,
+                };
+            }
+        }
+    }
+
+    /// `executions` seeded random walks (seeds derived from `seed` by a
+    /// SplitMix64 stream, so every walk is independently replayable).
+    /// Stops at the first violation.
+    pub fn random(&self, seed: u64, executions: u64, f: impl Fn() + Sync) -> Report {
+        let mut steps = 0u64;
+        for i in 0..executions {
+            let mut rng = splitmix64(seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+            let mut path = Vec::new();
+            let out = run_one(&self.opts, Source::Random, &mut path, &mut rng, &f);
+            steps += out.steps;
+            if let Some(message) = out.failure {
+                return Report {
+                    executions: i + 1,
+                    steps,
+                    complete: false,
+                    violation: Some(Violation {
+                        message,
+                        schedule: path,
+                        seed: Some(seed),
+                        execution: i,
+                        trace: out.trace,
+                    }),
+                };
+            }
+        }
+        Report {
+            executions,
+            steps,
+            complete: false,
+            violation: None,
+        }
+    }
+
+    /// Replays one execution following `schedule`; decisions beyond its
+    /// end take the first enabled action. Returns the single-execution
+    /// report (violation included if the schedule still fails — the
+    /// round-trip every mutation test asserts).
+    pub fn replay(&self, schedule: &[Choice], f: impl Fn() + Sync) -> Report {
+        let mut path = schedule.to_vec();
+        let out = run_one(&self.opts, Source::Replay, &mut path, &mut 0, &f);
+        Report {
+            executions: 1,
+            steps: out.steps,
+            complete: true,
+            violation: out.failure.map(|message| Violation {
+                message,
+                schedule: path,
+                seed: None,
+                execution: 0,
+                trace: out.trace,
+            }),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+/// How the next decision index is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    /// Follow the path prefix, then first-option; grow the path.
+    Dfs,
+    /// Follow the path prefix (none on entry), then RNG; grow the path.
+    Random,
+    /// Follow the path prefix, then first-option; do not grow.
+    Replay,
+}
+
+/// A buffered (not yet globally visible) atomic store.
+struct BufEntry {
+    addr: usize,
+    val: u64,
+    /// Writes `val` to the atomic at `addr` with `SeqCst`. Safe while
+    /// the owning object is alive; facade objects purge their entries
+    /// on drop.
+    apply: unsafe fn(usize, u64),
+    what: &'static str,
+}
+
+/// The operation a thread is parked on at a schedule point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// First schedule point of a freshly spawned thread.
+    Start,
+    Load {
+        addr: usize,
+        what: &'static str,
+    },
+    Store {
+        addr: usize,
+        what: &'static str,
+        seq_cst: bool,
+    },
+    Rmw {
+        addr: usize,
+        what: &'static str,
+    },
+    Lock {
+        m: usize,
+    },
+    TryLock {
+        m: usize,
+    },
+    /// Post-notify / post-timeout condvar reacquire.
+    Reacquire {
+        m: usize,
+        timed_out: bool,
+    },
+    CvWait {
+        cv: usize,
+        m: usize,
+        deadline: Option<u64>,
+    },
+    Notify {
+        cv: usize,
+        all: bool,
+    },
+    /// `OnceLock` get / get_or_init entry.
+    Once {
+        o: usize,
+        init: bool,
+    },
+    Join {
+        t: usize,
+    },
+    Sleep {
+        deadline: u64,
+    },
+    Yield,
+}
+
+/// Why a thread cannot be scheduled at all (as opposed to a guarded
+/// [`Op`] that is merely disabled right now).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block {
+    CvWait {
+        cv: usize,
+        m: usize,
+        deadline: Option<u64>,
+    },
+    Sleep {
+        deadline: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// OS thread launched, has not reached its first schedule point.
+    Starting,
+    /// Parked at a schedule point, wants to perform `Op`.
+    AtYield(Op),
+    /// Unschedulable until an event (notify, clock) converts it back.
+    Blocked(Block),
+    /// Closure returned (or unwound); never scheduled again.
+    Finished,
+}
+
+struct ThreadSt {
+    status: Status,
+    buffer: Vec<BufEntry>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MutexSt {
+    Free,
+    Held { by: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OnceSt {
+    Empty,
+    Initializing { by: usize },
+    Done,
+}
+
+struct ExecState {
+    threads: Vec<ThreadSt>,
+    /// The thread currently granted the right to run, if any.
+    running: Option<usize>,
+    mutexes: HashMap<usize, MutexSt>,
+    onces: HashMap<usize, OnceSt>,
+    /// Virtual clock, nanoseconds since execution start.
+    now: u64,
+    /// Decision cursor into `path`.
+    cursor: usize,
+    /// RNG state for `Source::Random` decisions past the prefix.
+    rng: u64,
+    steps: u64,
+    trace: Vec<String>,
+    trace_dropped: u64,
+    failure: Option<String>,
+    abort: bool,
+    /// Deferred drops (e.g. RCU generations under test): kept alive so
+    /// use-after-retire is a detectable canary read, not UB. Dropped
+    /// when the execution ends.
+    graveyard: Vec<Box<dyn Any + Send>>,
+    /// Decision mismatch between replayed prefix and live option count.
+    nondet: bool,
+}
+
+/// One model execution's shared context. Threads hold it in TLS; the
+/// coordinator owns the schedule.
+pub(crate) struct Ctx {
+    state: StdMutex<ExecState>,
+    cv: StdCondvar,
+    opts: Options,
+    source: Source,
+    /// The DFS/replay path, shared with the coordinator's caller.
+    path: StdMutex<Vec<Choice>>,
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("model::Ctx").finish_non_exhaustive()
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<Option<(Arc<Ctx>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's model context, if it is a managed model thread.
+pub(crate) fn current() -> Option<(Arc<Ctx>, usize)> {
+    TLS.with(|t| t.borrow().clone())
+}
+
+/// Whether the calling thread is managed by an active model execution.
+pub fn is_managed() -> bool {
+    TLS.with(|t| t.borrow().is_some())
+}
+
+/// Whether `i` is injected for the calling thread's execution (always
+/// `false` off-model).
+pub fn injected(i: Injection) -> bool {
+    match current() {
+        Some((ctx, _)) => ctx.opts.injections.contains(&i),
+        None => false,
+    }
+}
+
+/// Defers `b`'s drop to the end of the current model execution. Panics
+/// off-model — callers gate on [`is_managed`]. Used by `crate::rcu` to
+/// turn use-after-retire into a catchable canary instead of UB.
+pub fn defer_drop(b: Box<dyn Any + Send>) {
+    let (ctx, _) = current().expect("defer_drop outside a model execution");
+    ctx.state.lock().unwrap().graveyard.push(b);
+}
+
+/// The virtual clock of the calling thread's execution, if managed.
+pub(crate) fn virtual_now() -> Option<u64> {
+    current().map(|(ctx, _)| ctx.state.lock().unwrap().now)
+}
+
+/// Panic payload used to unwind model threads when an execution aborts.
+struct AbortToken;
+
+struct RunOutcome {
+    steps: u64,
+    failure: Option<String>,
+    trace: String,
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+/// An enabled scheduler action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Step(usize),
+    Flush(usize),
+}
+
+fn run_one(
+    opts: &Options,
+    source: Source,
+    path: &mut Vec<Choice>,
+    rng: &mut u64,
+    f: &(impl Fn() + Sync),
+) -> RunOutcome {
+    let ctx = Arc::new(Ctx {
+        state: StdMutex::new(ExecState {
+            threads: Vec::new(),
+            running: None,
+            mutexes: HashMap::new(),
+            onces: HashMap::new(),
+            now: 0,
+            cursor: 0,
+            rng: *rng,
+            steps: 0,
+            trace: Vec::new(),
+            trace_dropped: 0,
+            failure: None,
+            abort: false,
+            graveyard: Vec::new(),
+            nondet: false,
+        }),
+        cv: StdCondvar::new(),
+        opts: opts.clone(),
+        source,
+        path: StdMutex::new(std::mem::take(path)),
+    });
+
+    std::thread::scope(|scope| {
+        // Root model thread (tid 0).
+        ctx.state.lock().unwrap().threads.push(ThreadSt {
+            status: Status::Starting,
+            buffer: Vec::new(),
+        });
+        {
+            let ctx = Arc::clone(&ctx);
+            scope.spawn(move || thread_main(ctx, 0, f, None));
+        }
+        coordinate(&ctx);
+    });
+
+    // Tear down: drop deferred objects, recover the (possibly grown)
+    // path for the caller's DFS bookkeeping.
+    let mut st = ctx.state.lock().unwrap();
+    st.graveyard.clear();
+    let steps = st.steps;
+    let failure = st.failure.take();
+    let trace = render_trace(&st);
+    *rng = st.rng;
+    drop(st);
+    *path = std::mem::take(&mut *ctx.path.lock().unwrap());
+    RunOutcome {
+        steps,
+        failure,
+        trace,
+    }
+}
+
+fn render_trace(st: &ExecState) -> String {
+    let mut out = String::new();
+    if st.trace_dropped > 0 {
+        let _ = writeln!(out, "  … {} earlier steps elided …", st.trace_dropped);
+    }
+    for line in &st.trace {
+        let _ = writeln!(out, "  {line}");
+    }
+    out
+}
+
+fn coordinate(ctx: &Ctx) {
+    loop {
+        let mut st = ctx.state.lock().unwrap();
+        // Wait for the granted thread (if any) to park again, and for
+        // freshly launched OS threads to reach their first schedule
+        // point (`Starting` is transient: the root settles immediately,
+        // children settle before their spawner's `spawn` returns).
+        while st.running.is_some() || st.threads.iter().any(|t| t.status == Status::Starting) {
+            st = ctx.cv.wait(st).unwrap();
+        }
+        if st.failure.is_some() || st.nondet {
+            if st.nondet && st.failure.is_none() {
+                st.failure =
+                    Some("nondeterministic schedule tree: replayed decision had a different option count".into());
+            }
+            drop(st);
+            abort_all(ctx);
+            return;
+        }
+        if st.threads.iter().all(|t| t.status == Status::Finished) {
+            return;
+        }
+        if st.steps >= ctx.opts.max_steps as u64 {
+            st.failure = Some(format!(
+                "step bound exceeded ({} schedule points): livelock or unbounded loop",
+                ctx.opts.max_steps
+            ));
+            drop(st);
+            abort_all(ctx);
+            return;
+        }
+
+        // Enumerate enabled actions in deterministic (tid) order.
+        let mut actions: Vec<Action> = Vec::new();
+        for (i, t) in st.threads.iter().enumerate() {
+            if let Status::AtYield(op) = t.status {
+                if guard(&st, op) {
+                    actions.push(Action::Step(i));
+                }
+            }
+        }
+        for (i, t) in st.threads.iter().enumerate() {
+            if !t.buffer.is_empty() {
+                actions.push(Action::Flush(i));
+            }
+        }
+
+        if actions.is_empty() {
+            // Nothing can move: advance the virtual clock to the
+            // earliest deadline, or report deadlock.
+            let next = st
+                .threads
+                .iter()
+                .filter_map(|t| match t.status {
+                    Status::Blocked(Block::CvWait {
+                        deadline: Some(d), ..
+                    }) => Some(d),
+                    Status::Blocked(Block::Sleep { deadline }) => Some(d_min(deadline)),
+                    _ => None,
+                })
+                .min();
+            match next {
+                Some(d) => {
+                    st.now = st.now.max(d);
+                    let now = st.now;
+                    trace_push(ctx, &mut st, format!("time advances to {}ns", now));
+                    for t in st.threads.iter_mut() {
+                        match t.status {
+                            Status::Blocked(Block::CvWait {
+                                m,
+                                deadline: Some(dl),
+                                ..
+                            }) if dl <= now => {
+                                t.status = Status::AtYield(Op::Reacquire { m, timed_out: true });
+                            }
+                            Status::Blocked(Block::Sleep { deadline }) if deadline <= now => {
+                                t.status = Status::AtYield(Op::Yield);
+                            }
+                            _ => {}
+                        }
+                    }
+                    continue;
+                }
+                None => {
+                    st.failure = Some(deadlock_report(&st));
+                    drop(st);
+                    abort_all(ctx);
+                    return;
+                }
+            }
+        }
+
+        let idx = decide(ctx, &mut st, actions.len() as u32) as usize;
+        st.steps += 1;
+        match actions[idx] {
+            Action::Flush(t) => {
+                let e = st.threads[t].buffer.remove(0);
+                trace_push(
+                    ctx,
+                    &mut st,
+                    format!(
+                        "t{t} store-buffer flush: {} @{:#x} = {}",
+                        e.what, e.addr, e.val
+                    ),
+                );
+                // SAFETY: facade objects purge their buffered entries on
+                // drop, so `addr` refers to a live atomic.
+                unsafe { (e.apply)(e.addr, e.val) };
+            }
+            Action::Step(t) => {
+                if let Status::AtYield(op) = st.threads[t].status {
+                    let d = describe(&st, t, op);
+                    trace_push(ctx, &mut st, d);
+                }
+                st.running = Some(t);
+                ctx.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// `Sleep` deadlines participate in time advance exactly like timed
+/// waits; kept as a function so the clock math stays in one place.
+fn d_min(d: u64) -> u64 {
+    d
+}
+
+/// Whether `op` can proceed right now.
+fn guard(st: &ExecState, op: Op) -> bool {
+    match op {
+        Op::Lock { m } | Op::Reacquire { m, .. } => {
+            matches!(
+                st.mutexes.get(&m).copied().unwrap_or(MutexSt::Free),
+                MutexSt::Free
+            )
+        }
+        Op::Join { t } => st.threads[t].status == Status::Finished,
+        Op::Once { o, .. } => !matches!(
+            st.onces.get(&o).copied().unwrap_or(OnceSt::Empty),
+            OnceSt::Initializing { .. }
+        ),
+        _ => true,
+    }
+}
+
+fn describe(st: &ExecState, t: usize, op: Op) -> String {
+    let step = st.steps;
+    match op {
+        Op::Start => format!("#{step} t{t} starts"),
+        Op::Load { addr, what } => format!("#{step} t{t} {what}.load @{addr:#x}"),
+        Op::Store {
+            addr,
+            what,
+            seq_cst,
+        } => {
+            let k = if seq_cst {
+                "store(SeqCst)"
+            } else {
+                "store(buffered)"
+            };
+            format!("#{step} t{t} {what}.{k} @{addr:#x}")
+        }
+        Op::Rmw { addr, what } => format!("#{step} t{t} {what}.rmw @{addr:#x}"),
+        Op::Lock { m } => format!("#{step} t{t} mutex.lock @{m:#x}"),
+        Op::TryLock { m } => format!("#{step} t{t} mutex.try_lock @{m:#x}"),
+        Op::Reacquire { m, timed_out } => {
+            format!("#{step} t{t} condvar-reacquire @{m:#x} (timed_out={timed_out})")
+        }
+        Op::CvWait { cv, m, deadline } => match deadline {
+            Some(d) => format!(
+                "#{step} t{t} condvar.wait_timeout @{cv:#x} (mutex @{m:#x}, deadline {d}ns)"
+            ),
+            None => format!("#{step} t{t} condvar.wait @{cv:#x} (mutex @{m:#x})"),
+        },
+        Op::Notify { cv, all } => {
+            let k = if all { "notify_all" } else { "notify_one" };
+            format!("#{step} t{t} condvar.{k} @{cv:#x}")
+        }
+        Op::Once { o, init } => {
+            let k = if init { "get_or_init" } else { "get" };
+            format!("#{step} t{t} once.{k} @{o:#x}")
+        }
+        Op::Join { t: target } => format!("#{step} t{t} join t{target}"),
+        Op::Sleep { deadline } => format!("#{step} t{t} sleep until {deadline}ns"),
+        Op::Yield => format!("#{step} t{t} yields"),
+    }
+}
+
+fn deadlock_report(st: &ExecState) -> String {
+    let mut msg =
+        String::from("deadlock: no enabled action, no flush, no timed wait; live threads:");
+    for (i, t) in st.threads.iter().enumerate() {
+        match t.status {
+            Status::Finished => {}
+            Status::AtYield(op) => {
+                let _ = write!(msg, "\n    t{i} waiting on {op:?}");
+            }
+            Status::Blocked(b) => {
+                let _ = write!(msg, "\n    t{i} blocked on {b:?}");
+            }
+            Status::Starting => {
+                let _ = write!(msg, "\n    t{i} starting");
+            }
+        }
+    }
+    msg
+}
+
+fn trace_push(ctx: &Ctx, st: &mut ExecState, line: String) {
+    if st.trace.len() >= ctx.opts.trace_cap {
+        st.trace.remove(0);
+        st.trace_dropped += 1;
+    }
+    st.trace.push(line);
+}
+
+/// Produces the next decision index among `options` enabled actions.
+/// Forced moves consume no decision.
+fn decide(ctx: &Ctx, st: &mut ExecState, options: u32) -> u32 {
+    if options <= 1 {
+        return 0;
+    }
+    let mut path = ctx.path.lock().unwrap();
+    let cursor = st.cursor;
+    st.cursor += 1;
+    if cursor < path.len() {
+        let c = &mut path[cursor];
+        if c.options != 0 && c.options != options && ctx.source != Source::Replay {
+            st.nondet = true;
+            return 0;
+        }
+        c.options = options;
+        return c.chosen.min(options - 1);
+    }
+    let chosen = match ctx.source {
+        Source::Dfs => 0,
+        Source::Replay => 0,
+        Source::Random => {
+            st.rng = splitmix64(st.rng);
+            (st.rng % options as u64) as u32
+        }
+    };
+    if ctx.source != Source::Replay {
+        path.push(Choice { chosen, options });
+    }
+    chosen
+}
+
+/// Wakes every live thread into the abort path and waits for all of
+/// them to finish unwinding. Sequentially consistent teardown is not
+/// needed: aborted threads perform only degenerate (non-model,
+/// non-blocking-on-model) operations while unwinding.
+fn abort_all(ctx: &Ctx) {
+    let mut st = ctx.state.lock().unwrap();
+    st.abort = true;
+    ctx.cv.notify_all();
+    while st.threads.iter().any(|t| t.status != Status::Finished) {
+        st = ctx.cv.wait(st).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread side
+// ---------------------------------------------------------------------------
+
+fn thread_main<T>(
+    ctx: Arc<Ctx>,
+    tid: usize,
+    f: impl FnOnce() -> T,
+    out: Option<Arc<StdMutex<Option<T>>>>,
+) {
+    TLS.with(|t| *t.borrow_mut() = Some((Arc::clone(&ctx), tid)));
+    // Announce the first schedule point and wait for the grant.
+    {
+        let mut st = ctx.state.lock().unwrap();
+        st.threads[tid].status = Status::AtYield(Op::Start);
+        ctx.cv.notify_all();
+        while st.running != Some(tid) && !st.abort {
+            st = ctx.cv.wait(st).unwrap();
+        }
+        if st.abort {
+            st.threads[tid].status = Status::Finished;
+            ctx.cv.notify_all();
+            TLS.with(|t| *t.borrow_mut() = None);
+            return;
+        }
+    }
+    let result = catch_unwind(AssertUnwindSafe(f));
+    // Publish the result BEFORE the Finished handshake: a joiner can be
+    // granted the instant `Finished` becomes visible and must find the
+    // value in the slot.
+    let err = match result {
+        Ok(v) => {
+            if let Some(out) = &out {
+                *out.lock().unwrap() = Some(v);
+            }
+            None
+        }
+        Err(p) => Some(p),
+    };
+    let mut st = ctx.state.lock().unwrap();
+    // Exiting is a synchronization point: the buffer drains (a joiner
+    // must observe every store of the joined thread).
+    flush_buffer(&mut st, tid);
+    if let Some(p) = &err {
+        if !p.is::<AbortToken>() && st.failure.is_none() {
+            st.failure = Some(panic_message(p.as_ref()));
+        }
+    }
+    st.threads[tid].status = Status::Finished;
+    st.running = None;
+    ctx.cv.notify_all();
+    drop(st);
+    TLS.with(|t| *t.borrow_mut() = None);
+}
+
+fn panic_message(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+fn flush_buffer(st: &mut ExecState, tid: usize) {
+    for e in std::mem::take(&mut st.threads[tid].buffer) {
+        // SAFETY: as in the coordinator's flush action — the owning
+        // objects are alive (they purge on drop).
+        unsafe { (e.apply)(e.addr, e.val) };
+    }
+}
+
+impl Ctx {
+    /// Parks the calling thread at a schedule point wanting `op`;
+    /// returns when granted. Panics with the abort token when the
+    /// execution is being torn down.
+    fn yield_op(self: &Arc<Ctx>, tid: usize, op: Op) -> std::sync::MutexGuard<'_, ExecState> {
+        let mut st = self.state.lock().unwrap();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        st.threads[tid].status = Status::AtYield(op);
+        st.running = None;
+        self.cv.notify_all();
+        while st.running != Some(tid) && !st.abort {
+            st = self.cv.wait(st).unwrap();
+        }
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        st
+    }
+
+    /// Inline nondeterministic choice for a granted thread (notify
+    /// target selection).
+    fn choose(self: &Arc<Ctx>, st: &mut ExecState, options: u32) -> u32 {
+        decide(self, st, options)
+    }
+
+    pub(crate) fn aborting(&self) -> bool {
+        self.state.lock().unwrap().abort
+    }
+
+    // -- atomics ---------------------------------------------------------
+
+    /// A buffered value for `addr` by this thread, newest first.
+    pub(crate) fn atomic_load(
+        self: &Arc<Ctx>,
+        tid: usize,
+        addr: usize,
+        what: &'static str,
+    ) -> Option<u64> {
+        if self.aborting() {
+            return None;
+        }
+        let st = self.yield_op(tid, Op::Load { addr, what });
+        st.threads[tid]
+            .buffer
+            .iter()
+            .rev()
+            .find(|e| e.addr == addr)
+            .map(|e| e.val)
+    }
+
+    /// `true` → caller must perform the global store itself (SeqCst or
+    /// unmanaged); `false` → the store was buffered.
+    pub(crate) fn atomic_store(
+        self: &Arc<Ctx>,
+        tid: usize,
+        addr: usize,
+        val: u64,
+        seq_cst: bool,
+        apply: unsafe fn(usize, u64),
+        what: &'static str,
+    ) -> bool {
+        if self.aborting() {
+            return true;
+        }
+        let mut st = self.yield_op(
+            tid,
+            Op::Store {
+                addr,
+                what,
+                seq_cst,
+            },
+        );
+        if seq_cst {
+            flush_buffer(&mut st, tid);
+            true
+        } else {
+            st.threads[tid].buffer.push(BufEntry {
+                addr,
+                val,
+                apply,
+                what,
+            });
+            false
+        }
+    }
+
+    /// RMWs drain the calling thread's buffer (x86: every RMW is a full
+    /// barrier), then the caller applies the std RMW globally.
+    pub(crate) fn atomic_rmw(self: &Arc<Ctx>, tid: usize, addr: usize, what: &'static str) {
+        if self.aborting() {
+            return;
+        }
+        let mut st = self.yield_op(tid, Op::Rmw { addr, what });
+        flush_buffer(&mut st, tid);
+    }
+
+    /// Purges buffered stores to a dying object's address from every
+    /// thread (facade `Drop`).
+    pub(crate) fn purge_addr(&self, addr: usize) {
+        let mut st = self.state.lock().unwrap();
+        for t in st.threads.iter_mut() {
+            t.buffer.retain(|e| e.addr != addr);
+        }
+    }
+
+    // -- mutex -----------------------------------------------------------
+
+    pub(crate) fn mutex_lock(self: &Arc<Ctx>, tid: usize, m: usize) {
+        if self.aborting() {
+            return;
+        }
+        let mut st = self.yield_op(tid, Op::Lock { m });
+        st.mutexes.insert(m, MutexSt::Held { by: tid });
+    }
+
+    pub(crate) fn mutex_try_lock(self: &Arc<Ctx>, tid: usize, m: usize) -> bool {
+        if self.aborting() {
+            return true;
+        }
+        let mut st = self.yield_op(tid, Op::TryLock { m });
+        match st.mutexes.get(&m).copied().unwrap_or(MutexSt::Free) {
+            MutexSt::Free => {
+                st.mutexes.insert(m, MutexSt::Held { by: tid });
+                true
+            }
+            MutexSt::Held { .. } => false,
+        }
+    }
+
+    /// Unlock is not a schedule point: the next enabled-set evaluation
+    /// happens at the unlocking thread's next yield, which observes the
+    /// same released state any interleaved thread would.
+    pub(crate) fn mutex_unlock(&self, m: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.mutexes.insert(m, MutexSt::Free);
+    }
+
+    // -- condvar ---------------------------------------------------------
+
+    /// Releases `m`, parks on `cv` (optionally until `timeout`), and
+    /// reacquires `m` before returning. Returns whether the wait timed
+    /// out.
+    pub(crate) fn cv_wait(
+        self: &Arc<Ctx>,
+        tid: usize,
+        cv: usize,
+        m: usize,
+        timeout: Option<Duration>,
+    ) -> bool {
+        if self.aborting() {
+            return false;
+        }
+        let deadline = timeout.map(|d| {
+            let st = self.state.lock().unwrap();
+            st.now.saturating_add(dur_ns(d))
+        });
+        let mut st = self.yield_op(tid, Op::CvWait { cv, m, deadline });
+        // The grant performs release+park in one step.
+        st.mutexes.insert(m, MutexSt::Free);
+        st.threads[tid].status = Status::Blocked(Block::CvWait { cv, m, deadline });
+        st.running = None;
+        self.cv.notify_all();
+        while st.running != Some(tid) && !st.abort {
+            st = self.cv.wait(st).unwrap();
+        }
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        // A notify or the clock converted us to `Reacquire` and the
+        // coordinator granted it (mutex free): take the mutex.
+        let timed_out = match st.threads[tid].status {
+            Status::AtYield(Op::Reacquire { timed_out, .. }) => timed_out,
+            other => unreachable!("woken condvar waiter in state {other:?}"),
+        };
+        st.mutexes.insert(m, MutexSt::Held { by: tid });
+        timed_out
+    }
+
+    pub(crate) fn cv_notify(self: &Arc<Ctx>, tid: usize, cv: usize, all: bool) {
+        if self.aborting() {
+            return;
+        }
+        let mut st = self.yield_op(tid, Op::Notify { cv, all });
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(t.status, Status::Blocked(Block::CvWait { cv: c, .. }) if c == cv)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if waiters.is_empty() {
+            return;
+        }
+        if all {
+            for w in waiters {
+                if let Status::Blocked(Block::CvWait { m, .. }) = st.threads[w].status {
+                    st.threads[w].status = Status::AtYield(Op::Reacquire {
+                        m,
+                        timed_out: false,
+                    });
+                }
+            }
+        } else {
+            let pick = self.choose(&mut st, waiters.len() as u32) as usize;
+            let w = waiters[pick];
+            if let Status::Blocked(Block::CvWait { m, .. }) = st.threads[w].status {
+                st.threads[w].status = Status::AtYield(Op::Reacquire {
+                    m,
+                    timed_out: false,
+                });
+            }
+        }
+    }
+
+    // -- OnceLock --------------------------------------------------------
+
+    /// `init=false`: peek. `init=true`: claim initialization if empty.
+    /// Returns the state seen (claim already applied for `Claimed`).
+    pub(crate) fn once_enter(self: &Arc<Ctx>, tid: usize, o: usize, init: bool) -> OnceEnter {
+        if self.aborting() {
+            return OnceEnter::Aborting;
+        }
+        let mut st = self.yield_op(tid, Op::Once { o, init });
+        match st.onces.get(&o).copied().unwrap_or(OnceSt::Empty) {
+            OnceSt::Done => OnceEnter::Done,
+            OnceSt::Empty if init => {
+                st.onces.insert(o, OnceSt::Initializing { by: tid });
+                OnceEnter::Claimed
+            }
+            OnceSt::Empty => OnceEnter::Empty,
+            // The guard keeps us parked while another thread holds the
+            // claim, so observing `Initializing` here is impossible.
+            OnceSt::Initializing { .. } => unreachable!("once guard admitted during init"),
+        }
+    }
+
+    /// Resolves a claimed initialization (success or unwind-rollback).
+    pub(crate) fn once_resolve(&self, o: usize, done: bool) {
+        let mut st = self.state.lock().unwrap();
+        st.onces
+            .insert(o, if done { OnceSt::Done } else { OnceSt::Empty });
+    }
+
+    // -- spawn / join / sleep -------------------------------------------
+
+    /// Registers and launches a managed child thread; blocks (not a
+    /// schedule point) until the child parks at its first one, so the
+    /// schedule tree never races OS thread startup.
+    pub(crate) fn spawn<T: Send + 'static>(
+        self: &Arc<Ctx>,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> ModelJoin<T> {
+        let child = {
+            let mut st = self.state.lock().unwrap();
+            if st.threads.len() >= self.opts.max_threads {
+                st.failure.get_or_insert_with(|| {
+                    format!(
+                        "thread cap exceeded ({} model threads)",
+                        self.opts.max_threads
+                    )
+                });
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+            st.threads.push(ThreadSt {
+                status: Status::Starting,
+                buffer: Vec::new(),
+            });
+            st.threads.len() - 1
+        };
+        let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+        let ctx = Arc::clone(self);
+        let out = Arc::clone(&slot);
+        std::thread::spawn(move || thread_main(ctx, child, f, Some(out)));
+        let mut st = self.state.lock().unwrap();
+        while st.threads[child].status == Status::Starting {
+            st = self.cv.wait(st).unwrap();
+        }
+        ModelJoin { tid: child, slot }
+    }
+
+    pub(crate) fn join<T>(self: &Arc<Ctx>, tid: usize, j: &ModelJoin<T>) -> Option<T> {
+        if self.aborting() {
+            return j.slot.lock().unwrap().take();
+        }
+        let _st = self.yield_op(tid, Op::Join { t: j.tid });
+        drop(_st);
+        j.slot.lock().unwrap().take()
+    }
+
+    pub(crate) fn sleep(self: &Arc<Ctx>, tid: usize, d: Duration) {
+        if self.aborting() {
+            return;
+        }
+        let deadline = {
+            let st = self.state.lock().unwrap();
+            st.now.saturating_add(dur_ns(d))
+        };
+        let mut st = self.yield_op(tid, Op::Sleep { deadline });
+        st.threads[tid].status = Status::Blocked(Block::Sleep { deadline });
+        st.running = None;
+        self.cv.notify_all();
+        while st.running != Some(tid) && !st.abort {
+            st = self.cv.wait(st).unwrap();
+        }
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+    }
+
+    pub(crate) fn yield_now(self: &Arc<Ctx>, tid: usize) {
+        if self.aborting() {
+            return;
+        }
+        drop(self.yield_op(tid, Op::Yield));
+    }
+}
+
+/// Join state for a model-spawned thread.
+#[derive(Debug)]
+pub(crate) struct ModelJoin<T> {
+    tid: usize,
+    slot: Arc<StdMutex<Option<T>>>,
+}
+
+/// Outcome of a `OnceLock` schedule point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OnceEnter {
+    Done,
+    Empty,
+    Claimed,
+    Aborting,
+}
+
+fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vsync::{self, Ordering};
+    use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdO};
+
+    #[test]
+    fn single_thread_program_runs_once() {
+        let r = Explorer::new().exhaustive(100, || {
+            let a = vsync::AtomicU64::new(0);
+            a.store(3, Ordering::SeqCst);
+            assert_eq!(a.load(Ordering::SeqCst), 3);
+        });
+        assert!(r.violation.is_none());
+        assert!(r.complete);
+        assert_eq!(r.executions, 1, "no branching in a 1-thread program");
+    }
+
+    #[test]
+    fn two_racing_increments_explore_multiple_interleavings() {
+        let execs = Arc::new(StdAtomicUsize::new(0));
+        let e2 = Arc::clone(&execs);
+        let r = Explorer::new().exhaustive(10_000, move || {
+            e2.fetch_add(1, StdO::SeqCst);
+            let a = Arc::new(vsync::AtomicU64::new(0));
+            let b = Arc::clone(&a);
+            let h = vsync::thread::spawn(move || {
+                b.fetch_add(1, Ordering::SeqCst);
+            });
+            a.fetch_add(1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 2, "RMWs never lose updates");
+        });
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.complete);
+        assert!(
+            r.executions > 1,
+            "scheduler must branch: {} executions",
+            r.executions
+        );
+        assert_eq!(r.executions, execs.load(StdO::SeqCst) as u64);
+    }
+
+    #[test]
+    fn exhaustive_finds_plain_store_race_lost_update() {
+        // load;add;store (non-atomic RMW) must lose an update in SOME
+        // interleaving — the canonical "checker has teeth" smoke.
+        let r = Explorer::new().exhaustive(10_000, || {
+            let a = Arc::new(vsync::AtomicU64::new(0));
+            let b = Arc::clone(&a);
+            let h = vsync::thread::spawn(move || {
+                let v = b.load(Ordering::SeqCst);
+                b.store(v + 1, Ordering::SeqCst);
+            });
+            let v = a.load(Ordering::SeqCst);
+            a.store(v + 1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        });
+        let v = r.violation.expect("lost update must be found");
+        assert!(
+            v.message.contains("assertion"),
+            "unexpected message: {}",
+            v.message
+        );
+        assert!(!v.schedule.is_empty());
+    }
+
+    #[test]
+    fn violation_schedule_replays_deterministically() {
+        let program = || {
+            let a = Arc::new(vsync::AtomicU64::new(0));
+            let b = Arc::clone(&a);
+            let h = vsync::thread::spawn(move || {
+                let v = b.load(Ordering::SeqCst);
+                b.store(v + 1, Ordering::SeqCst);
+            });
+            let v = a.load(Ordering::SeqCst);
+            a.store(v + 1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        };
+        let v = Explorer::new()
+            .exhaustive(10_000, program)
+            .violation
+            .unwrap();
+        let replayed = Explorer::new().replay(&v.schedule, program);
+        let rv = replayed
+            .violation
+            .expect("replay must reproduce the violation");
+        assert_eq!(rv.message, v.message);
+        // And the dotted round-trip parses back.
+        let parsed = parse_schedule(&render_schedule(&v.schedule)).unwrap();
+        assert_eq!(parsed.len(), v.schedule.len());
+    }
+
+    #[test]
+    fn random_walks_are_seed_reproducible() {
+        let program = || {
+            let a = Arc::new(vsync::AtomicU64::new(0));
+            let b = Arc::clone(&a);
+            let h = vsync::thread::spawn(move || {
+                let v = b.load(Ordering::SeqCst);
+                b.store(v + 1, Ordering::SeqCst);
+            });
+            let v = a.load(Ordering::SeqCst);
+            a.store(v + 1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        };
+        let r1 = Explorer::new().random(42, 500, program);
+        let r2 = Explorer::new().random(42, 500, program);
+        match (&r1.violation, &r2.violation) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.execution, b.execution);
+                assert_eq!(a.schedule, b.schedule);
+            }
+            (None, None) => panic!("500 random walks should hit the lost update"),
+            _ => panic!("same seed, different outcome"),
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected_with_live_thread_report() {
+        // Classic lock-order inversion AB/BA.
+        let r = Explorer::new().exhaustive(50_000, || {
+            let m1 = Arc::new(vsync::Mutex::new(()));
+            let m2 = Arc::new(vsync::Mutex::new(()));
+            let (a1, a2) = (Arc::clone(&m1), Arc::clone(&m2));
+            let h = vsync::thread::spawn(move || {
+                let g1 = a1.lock().unwrap();
+                let g2 = a2.lock().unwrap();
+                drop((g1, g2));
+            });
+            let g2 = m2.lock().unwrap();
+            let g1 = m1.lock().unwrap();
+            drop((g1, g2));
+            h.join().unwrap();
+        });
+        let v = r.violation.expect("AB/BA deadlock must be found");
+        assert!(v.message.contains("deadlock"), "{}", v.message);
+        assert!(
+            v.message.contains("mutex.lock") || v.message.contains("Lock"),
+            "{}",
+            v.message
+        );
+    }
+
+    #[test]
+    fn lost_notify_without_timeout_deadlocks() {
+        let r = Explorer::new().exhaustive(10_000, || {
+            let pair = Arc::new((vsync::Mutex::new(false), vsync::Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let h = vsync::thread::spawn(move || {
+                let (m, _cv) = &*p2;
+                // Bug under test: flag set but no notify.
+                *m.lock().unwrap() = true;
+            });
+            let (m, cv) = &*pair;
+            let mut done = m.lock().unwrap();
+            while !*done {
+                done = cv.wait(done).unwrap();
+            }
+            drop(done);
+            h.join().unwrap();
+        });
+        let v = r
+            .violation
+            .expect("lost notify must deadlock in some schedule");
+        assert!(v.message.contains("deadlock"), "{}", v.message);
+    }
+
+    #[test]
+    fn timed_wait_progresses_via_virtual_clock() {
+        let r = Explorer::new().exhaustive(10_000, || {
+            let pair = Arc::new((vsync::Mutex::new(false), vsync::Condvar::new()));
+            let (m, cv) = &*pair;
+            let g = m.lock().unwrap();
+            let t0 = vsync::Instant::now();
+            let (g, t) = cv.wait_timeout(g, Duration::from_millis(5)).unwrap();
+            assert!(t.timed_out());
+            assert!(
+                t0.elapsed() >= Duration::from_millis(5),
+                "virtual clock must advance"
+            );
+            drop(g);
+        });
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.complete);
+    }
+
+    #[test]
+    fn tso_store_buffering_is_observable_with_relaxed_stores() {
+        // Dekker/SB litmus: with Relaxed stores both threads can read 0
+        // under TSO; with SeqCst stores they cannot.
+        let run = |seq_cst: bool| {
+            Explorer::new().exhaustive(200_000, move || {
+                let x = Arc::new(vsync::AtomicU64::new(0));
+                let y = Arc::new(vsync::AtomicU64::new(0));
+                let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+                let ord = if seq_cst {
+                    Ordering::SeqCst
+                } else {
+                    Ordering::Relaxed
+                };
+                // T1: x := 1; read y.  T2 (inline): y := 1; read x.
+                let h = vsync::thread::spawn(move || {
+                    x2.store(1, ord);
+                    y2.load(Ordering::SeqCst)
+                });
+                y.store(1, ord);
+                let rx = x.load(Ordering::SeqCst);
+                let ry = h.join().unwrap();
+                assert!(
+                    !(rx == 0 && ry == 0 && seq_cst),
+                    "SB litmus: both threads read 0 despite SeqCst stores"
+                );
+                if rx == 0 && ry == 0 {
+                    panic!("sb-relaxed-both-zero");
+                }
+            })
+        };
+        // SeqCst: the forbidden outcome must NOT appear anywhere.
+        let r = run(true);
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.complete);
+        // Relaxed: the store-buffer outcome MUST appear somewhere.
+        let v = run(false)
+            .violation
+            .expect("TSO must expose both-zero under Relaxed");
+        assert!(v.message.contains("sb-relaxed-both-zero"), "{}", v.message);
+    }
+
+    #[test]
+    fn step_bound_reports_livelock() {
+        let r = Explorer::with_options(Options {
+            max_steps: 64,
+            ..Options::default()
+        })
+        .exhaustive(4, || {
+            let a = vsync::AtomicU64::new(0);
+            loop {
+                if a.load(Ordering::SeqCst) == 1 {
+                    break; // never
+                }
+            }
+        });
+        let v = r
+            .violation
+            .expect("unbounded spin must trip the step bound");
+        assert!(v.message.contains("step bound"), "{}", v.message);
+    }
+
+    #[test]
+    fn notify_one_choice_branches_over_waiters() {
+        // Two waiters, one notify_one: both pick orders must be
+        // explored; the late waiter is freed by a final notify_all.
+        let r = Explorer::new().exhaustive(200_000, || {
+            let pair = Arc::new((vsync::Mutex::new(0u32), vsync::Condvar::new()));
+            let mk = |p: Arc<(vsync::Mutex<u32>, vsync::Condvar)>| {
+                vsync::thread::spawn(move || {
+                    let (m, cv) = &*p;
+                    let mut g = m.lock().unwrap();
+                    while *g == 0 {
+                        g = cv.wait(g).unwrap();
+                    }
+                    *g -= 1;
+                })
+            };
+            let h1 = mk(Arc::clone(&pair));
+            let h2 = mk(Arc::clone(&pair));
+            let (m, cv) = &*pair;
+            *m.lock().unwrap() = 2;
+            cv.notify_one();
+            cv.notify_all();
+            h1.join().unwrap();
+            h2.join().unwrap();
+            assert_eq!(*m.lock().unwrap(), 0);
+        });
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.complete);
+    }
+
+    #[test]
+    fn once_lock_initializes_exactly_once_under_races() {
+        let r = Explorer::new().exhaustive(100_000, || {
+            let inits = Arc::new(vsync::AtomicU64::new(0));
+            let o: Arc<vsync::OnceLock<u64>> = Arc::new(vsync::OnceLock::new());
+            let (o2, i2) = (Arc::clone(&o), Arc::clone(&inits));
+            let h = vsync::thread::spawn(move || {
+                *o2.get_or_init(|| {
+                    i2.fetch_add(1, Ordering::SeqCst);
+                    7
+                })
+            });
+            let a = *o.get_or_init(|| {
+                inits.fetch_add(1, Ordering::SeqCst);
+                7
+            });
+            let b = h.join().unwrap();
+            assert_eq!((a, b), (7, 7));
+            assert_eq!(
+                inits.load(Ordering::SeqCst),
+                1,
+                "exactly one initializer runs"
+            );
+        });
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.complete);
+    }
+}

@@ -20,6 +20,7 @@ fn plus1() {
     let s = f.binop(BinOp::Add, Ty::I, x, one);
     f.ret(Ty::I, s);
     let code = compile(&f);
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i32) -> i32 = unsafe { code.as_fn() };
     assert_eq!(g(41), 42);
 }
@@ -39,6 +40,7 @@ fn arithmetic_expression_tree() {
     let r = f.binop(BinOp::Xor, Ty::I, sum, diff);
     f.ret(Ty::I, r);
     let code = compile(&f);
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i32, i32) -> i32 = unsafe { code.as_fn() };
     for (x, y) in [(1, 2), (10, 7), (-5, 100), (0, 0)] {
         assert_eq!(g(x, y), (x * 3 + y / 2) ^ (y - x), "({x}, {y})");
@@ -61,6 +63,7 @@ fn loads_stores_and_branches() {
     }
     f.ret(Ty::I, acc);
     let code = compile(&f);
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(*const i32) -> i32 = unsafe { code.as_fn() };
     let data = [10, 20, 30, 40];
     assert_eq!(g(data.as_ptr()), 100);
@@ -78,6 +81,7 @@ fn control_flow_abs() {
     f.bind(pos);
     f.ret(Ty::I, x);
     let code = compile(&f);
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i32) -> i32 = unsafe { code.as_fn() };
     assert_eq!(g(5), 5);
     assert_eq!(g(-5), 5);
@@ -113,6 +117,7 @@ fn loop_via_statements() {
     let s = f.load(Ty::I, cell, 4);
     f.ret(Ty::I, s);
     let code = compile(&f);
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i32, *mut i32) -> i32 = unsafe { code.as_fn() };
     let mut cell = [0i32; 2];
     assert_eq!(g(10, cell.as_mut_ptr()), 45);
@@ -129,6 +134,7 @@ fn doubles_through_the_ir() {
     let r = f.binop(BinOp::Add, Ty::D, m, half);
     f.ret(Ty::D, r);
     let code = compile(&f);
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(f64, f64) -> f64 = unsafe { code.as_fn() };
     assert_eq!(g(3.0, 4.0), 12.5);
 }
@@ -143,6 +149,7 @@ fn conversions_through_the_ir() {
     let r = f.cvt(Ty::D, Ty::I, h);
     f.ret(Ty::I, r);
     let code = compile(&f);
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i32) -> i32 = unsafe { code.as_fn() };
     assert_eq!(g(9), 4);
 }
@@ -160,6 +167,7 @@ fn matches_vcode_direct_generation() {
     let r = f.binop(BinOp::Add, Ty::I, t, c);
     f.ret(Ty::I, r);
     let dcg_code = compile(&f);
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let dcg: extern "C" fn(i32, i32) -> i32 = unsafe { dcg_code.as_fn() };
 
     let mut mem = ExecMem::new(4096).unwrap();
@@ -170,6 +178,7 @@ fn matches_vcode_direct_generation() {
     a.reti(x);
     a.end().unwrap();
     let vc_code = mem.finalize().unwrap();
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let vc: extern "C" fn(i32, i32) -> i32 = unsafe { vc_code.as_fn() };
 
     for (x, y) in [(0, 0), (3, 4), (-7, 9), (1000, 1000)] {

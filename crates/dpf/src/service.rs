@@ -53,9 +53,15 @@ use crate::mpf::Mpf;
 use crate::{cache_key, classifier_cache, classifier_service, compile_with_retry, trie, Options};
 use std::cell::Cell;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+// Synchronization via vcode's `vsync` facade, and the epoch-RCU cell
+// via the generic `vcode::rcu::Rcu` it was extracted into — both so the
+// `mcheck` model checker can explore this module's reader/writer
+// interleavings (no raw `std::sync` here; see DESIGN.md "Model-checked
+// concurrency").
+use vcode::rcu::Rcu;
+use vcode::vsync::{
+    self, Arc, AtomicBool, AtomicU64, Duration, Instant, Mutex, MutexGuard, Ordering,
+};
 use vcode::{obs, CacheKey, QuarantineInfo, Submit};
 use vcode_x64::CodePin;
 
@@ -94,132 +100,13 @@ impl Generation {
     }
 }
 
-/// Epoch-based RCU cell (no external crates). Writers publish with a
-/// pointer swap; readers announce their entry epoch in a per-reader
-/// slot and take no locks; a retired generation is freed once every
-/// active reader's slot is at or past its retire epoch.
-struct Rcu {
-    /// The current generation (`Box::into_raw`).
-    cur: AtomicPtr<Generation>,
-    /// Publication epoch; bumped *after* every swap, starts at 1 so a
-    /// slot value of 0 can mean "quiescent".
-    epoch: AtomicU64,
-    /// Registered reader slots. 0 = quiescent, otherwise the epoch the
-    /// reader observed on entry.
-    slots: Mutex<Vec<Arc<AtomicU64>>>,
-    /// Retired generations: (epoch at retire, generation). Writer-side
-    /// only.
-    retired: Mutex<Vec<(u64, *mut Generation)>>,
-    /// Cheap mirror of `retired.len()` so readers can skip reclamation
-    /// without touching the mutex.
-    retired_len: AtomicUsize,
-}
-
-// SAFETY: the raw pointers always come from `Box::into_raw` of a
-// `Generation` (whose fields are all Send + Sync) and are freed exactly
-// once, by the epoch-guarded reclaim below.
-unsafe impl Send for Rcu {}
-unsafe impl Sync for Rcu {}
+// The epoch-based RCU cell that used to live here is now the generic
+// `vcode::rcu::Rcu<T>` (shared with the `mcheck` model programs, which
+// exhaustively explore its reader/writer interleavings and assert no
+// use-after-retire). `Generation` is the `T` for this service.
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-impl Rcu {
-    fn new(first: Generation) -> Rcu {
-        Rcu {
-            cur: AtomicPtr::new(Box::into_raw(Box::new(first))),
-            epoch: AtomicU64::new(1),
-            slots: Mutex::new(Vec::new()),
-            retired: Mutex::new(Vec::new()),
-            retired_len: AtomicUsize::new(0),
-        }
-    }
-
-    /// Enters a read-side critical section: publishes the entry epoch
-    /// in `slot`, then loads the current generation, retrying if a
-    /// publication raced in between. Lock-free and wait-free in
-    /// practice (a retry needs a concurrent publish).
-    #[inline]
-    fn enter(&self, slot: &AtomicU64) -> *const Generation {
-        loop {
-            let e = self.epoch.load(Ordering::SeqCst);
-            // The SeqCst store/load pair is the required StoreLoad
-            // barrier: the writer must observe our slot before we
-            // observe (and start using) a generation it may retire.
-            slot.store(e, Ordering::SeqCst);
-            let p = self.cur.load(Ordering::SeqCst);
-            if self.epoch.load(Ordering::SeqCst) == e {
-                return p;
-            }
-            // A publish completed mid-entry; re-announce and reload.
-        }
-    }
-
-    /// Leaves the read-side critical section.
-    #[inline]
-    fn exit(&self, slot: &AtomicU64) {
-        slot.store(0, Ordering::Release);
-    }
-
-    /// Publishes a new generation, retiring the old one. Returns the
-    /// number of retired generations reclaimed as a side effect.
-    fn publish(&self, g: Generation) -> u64 {
-        let p = Box::into_raw(Box::new(g));
-        let old = self.cur.swap(p, Ordering::SeqCst);
-        let e = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        {
-            let mut r = lock(&self.retired);
-            r.push((e, old));
-            self.retired_len.store(r.len(), Ordering::SeqCst);
-        }
-        self.reclaim()
-    }
-
-    /// Frees every retired generation whose retire epoch is at or below
-    /// all active reader slots. Writer-side; never blocks readers.
-    fn reclaim(&self) -> u64 {
-        // Any reader that enters after this scan starts sees an epoch
-        // >= every already-retired entry's epoch (the bump happens
-        // before the entry is pushed), so scanning slots first is safe.
-        let min_active = lock(&self.slots)
-            .iter()
-            .map(|s| s.load(Ordering::SeqCst))
-            .filter(|&v| v != 0)
-            .min();
-        let mut r = lock(&self.retired);
-        let mut freed = 0u64;
-        r.retain(|&(e, p)| {
-            let quiet = match min_active {
-                None => true,
-                Some(m) => m >= e,
-            };
-            if quiet {
-                // SAFETY: no active reader entered before epoch `e`, so
-                // none can still hold this pointer; it is removed from
-                // the list, so it is freed exactly once.
-                drop(unsafe { Box::from_raw(p) });
-                freed += 1;
-            }
-            !quiet
-        });
-        self.retired_len.store(r.len(), Ordering::SeqCst);
-        freed
-    }
-}
-
-impl Drop for Rcu {
-    fn drop(&mut self) {
-        // No readers can exist here: every reader holds an owning
-        // handle on the containing `Shared`.
-        for (_, p) in lock(&self.retired).drain(..) {
-            // SAFETY: exclusive access; freed exactly once.
-            drop(unsafe { Box::from_raw(p) });
-        }
-        let cur = self.cur.load(Ordering::SeqCst);
-        // SAFETY: as above.
-        drop(unsafe { Box::from_raw(cur) });
-    }
 }
 
 /// Writer-side state, guarded by one mutex: the authoritative filter
@@ -236,7 +123,7 @@ struct Writer {
 }
 
 struct Shared {
-    rcu: Rcu,
+    rcu: Rcu<Generation>,
     writer: Mutex<Writer>,
     /// Mirror of `writer.pending.is_some()`, readable without the lock:
     /// readers use it to decide whether polling could upgrade anything.
@@ -369,7 +256,7 @@ impl Shared {
                 self.poll_locked(&mut w);
             }
         }
-        if self.rcu.retired_len.load(Ordering::Relaxed) > 0 {
+        if self.rcu.retired_len() > 0 {
             let freed = self.rcu.reclaim();
             self.note_freed(freed);
         }
@@ -513,8 +400,7 @@ impl DpfService {
     /// Registers a reader. One per classification thread; cloning a
     /// reader registers a fresh epoch slot.
     pub fn reader(&self) -> DpfReader {
-        let slot = Arc::new(AtomicU64::new(0));
-        lock(&self.shared.rcu.slots).push(Arc::clone(&slot));
+        let slot = self.shared.rcu.register_slot();
         DpfReader {
             shared: Arc::clone(&self.shared),
             slot,
@@ -564,7 +450,7 @@ impl DpfService {
             if Instant::now() >= deadline {
                 return native;
             }
-            std::thread::sleep(Duration::from_micros(200));
+            vsync::thread::sleep(Duration::from_micros(200));
         }
     }
 
@@ -601,11 +487,11 @@ impl DpfService {
             upgrades: s.upgrades.load(Ordering::Relaxed),
             retired: s.retired.load(Ordering::Relaxed),
             degraded_calls: s.degraded_calls.load(Ordering::Relaxed),
-            retired_backlog: s.rcu.retired_len.load(Ordering::SeqCst) as u64,
+            retired_backlog: s.rcu.retired_len() as u64,
             pending: s.pending.load(Ordering::SeqCst),
             native: s.native.load(Ordering::SeqCst),
             seq: s.seq.load(Ordering::SeqCst),
-            readers: lock(&s.rcu.slots).len() as u64,
+            readers: s.rcu.slots_len() as u64,
         }
     }
 }
@@ -637,13 +523,10 @@ impl DpfReader {
     /// Lock-free; never panics.
     #[inline]
     pub fn classify(&self, msg: &[u8]) -> Option<u32> {
-        let p = self.shared.rcu.enter(&self.slot);
-        // SAFETY: between `enter` and `exit` our slot epoch keeps the
-        // generation from being reclaimed.
-        let g = unsafe { &*p };
-        let r = g.classify(msg, &self.shared.degraded_calls);
-        self.shared.rcu.exit(&self.slot);
-        r
+        // The guard's epoch announcement keeps the generation from
+        // being reclaimed until it drops.
+        let g = self.shared.rcu.enter(&self.slot);
+        g.classify(msg, &self.shared.degraded_calls)
     }
 
     /// Classifies a batch of messages in one read-side critical
@@ -662,9 +545,7 @@ impl DpfReader {
     pub fn classify_batch_seq(&self, msgs: &[&[u8]]) -> (u64, Vec<Option<u32>>) {
         self.shared.opportunistic_poll();
         let mut out = Vec::with_capacity(msgs.len());
-        let p = self.shared.rcu.enter(&self.slot);
-        // SAFETY: as in `classify`.
-        let g = unsafe { &*p };
+        let g = self.shared.rcu.enter(&self.slot);
         let seq = g.seq;
         match g.native.as_ref() {
             Some(set) => out.extend(msgs.iter().map(|m| set.classify(m))),
@@ -675,7 +556,7 @@ impl DpfReader {
                 out.extend(msgs.iter().map(|m| g.mpf.classify(m)));
             }
         }
-        self.shared.rcu.exit(&self.slot);
+        drop(g);
         (seq, out)
     }
 
@@ -688,11 +569,9 @@ impl DpfReader {
 
 impl Clone for DpfReader {
     fn clone(&self) -> DpfReader {
-        let slot = Arc::new(AtomicU64::new(0));
-        lock(&self.shared.rcu.slots).push(Arc::clone(&slot));
         DpfReader {
             shared: Arc::clone(&self.shared),
-            slot,
+            slot: self.shared.rcu.register_slot(),
             _not_sync: PhantomData,
         }
     }
@@ -700,10 +579,7 @@ impl Clone for DpfReader {
 
 impl Drop for DpfReader {
     fn drop(&mut self) {
-        let mut slots = lock(&self.shared.rcu.slots);
-        if let Some(i) = slots.iter().position(|s| Arc::ptr_eq(s, &self.slot)) {
-            slots.swap_remove(i);
-        }
+        self.shared.rcu.unregister_slot(&self.slot);
     }
 }
 

@@ -212,9 +212,13 @@ fn doubles_and_conversions() {
             got: 0
         }
     );
+    // SAFETY: the compiled program defines `trunc_` with exactly this
+    // f64 -> i32 signature.
     let trunc_: extern "C" fn(f64) -> i32 = unsafe { p.as_fn("trunc_") };
     assert_eq!(trunc_(3.9), 3);
     assert_eq!(trunc_(-3.9), -3);
+    // SAFETY: the compiled program defines `widen` with exactly this
+    // i32 -> f64 signature.
     let widen: extern "C" fn(i32) -> f64 = unsafe { p.as_fn("widen") };
     assert_eq!(widen(10), 2.5);
     assert_eq!(p.call_int("avg", &[3, 4]).unwrap(), 3);
@@ -475,6 +479,7 @@ fn pointer_difference_and_comparison() {
     );
     let arr = [0i32; 10];
     let a = arr.as_ptr() as i64;
+    // SAFETY: index 7 is in bounds of the 10-element array.
     let b = unsafe { arr.as_ptr().add(7) } as i64;
     assert_eq!(p.call_int("diff", &[a, b]).unwrap(), 7);
     assert_eq!(p.call_int("before", &[a, b]).unwrap(), 1);

@@ -820,7 +820,9 @@ mod tests {
         let code = [0x48, 0x89, 0xf8, 0x48, 0x83, 0xc0, 0x01, 0xc3];
         mem.as_mut_slice()[..code.len()].copy_from_slice(&code);
         let code = mem.finalize().unwrap();
+        // SAFETY: the buffer holds a complete emitted function of this arity.
         assert_eq!(unsafe { code.call1(41) }, 42);
+        // SAFETY: the buffer holds a complete emitted function of this arity.
         assert_eq!(unsafe { code.call1(u64::MAX) }, 0);
     }
 
@@ -838,6 +840,7 @@ mod tests {
         let mut mem = ExecMem::new(16).unwrap();
         mem.as_mut_slice()[0] = 0xc3;
         let code = mem.finalize().unwrap();
+        // SAFETY: the buffer holds a complete emitted function matching this signature.
         let _: [u64; 2] = unsafe { code.as_fn() };
     }
 
@@ -951,6 +954,7 @@ mod tests {
         let code = mem.finalize().unwrap();
         // A bare `ret` returns whatever is in rax; the call itself is
         // the assertion (the mapping must be executable).
+        // SAFETY: the buffer holds a complete emitted function of this arity.
         let _ = unsafe { code.call0() };
         let before = pool_stats();
         drop(code);
@@ -975,6 +979,7 @@ mod tests {
         assert_eq!(pin.addr(), code.addr());
         assert_eq!(pin.len(), code.len());
         assert!(!pin.is_empty());
+        // SAFETY: the buffer holds a complete emitted function matching this signature.
         let f: extern "C" fn(u64) -> u64 = unsafe { code.as_fn() };
         drop(code); // pinned: must NOT park or unmap the mapping
         drain_pool(); // and draining the pool must not touch it either
@@ -1013,6 +1018,7 @@ mod tests {
         let code_bytes = [0x48, 0x89, 0xf8, 0xc3]; // mov rax, rdi; ret
         mem.as_mut_slice()[..code_bytes.len()].copy_from_slice(&code_bytes);
         let code = mem.finalize().unwrap();
+        // SAFETY: the buffer holds a complete emitted function matching this signature.
         let f: extern "C" fn(u64) -> u64 = unsafe { code.as_fn() };
         assert_eq!(f(7), 7);
         drop(code); // `f` must not be called past this point

@@ -922,6 +922,9 @@ impl Lambda for NativeLambda {
         // the upper bits of rax are undefined for an i32 return, so keep
         // only the low dword and sign-extend.
         let a = |i: usize| args[i] as u32 as u64;
+        // SAFETY: `self.code` was emitted by the verifier-gated replay
+        // for exactly `self.args` integer parameters (checked above),
+        // so calling through the matching-arity thunk is sound.
         let raw = unsafe {
             match self.args {
                 0 => self.code.call0(),

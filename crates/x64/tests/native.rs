@@ -71,14 +71,24 @@ impl Farm {
         self.code = Some(self.mem.take().unwrap().finalize().unwrap());
     }
 
+    /// # Safety
+    /// `off` must be an offset returned by [`Farm::emit`] for a
+    /// two-argument lambda, after [`Farm::finalize`].
     unsafe fn call2(&self, off: usize, a: u64, b: u64) -> u64 {
         let f: extern "C" fn(u64, u64) -> u64 =
+            // SAFETY: per the contract above, `off` is the entry of a
+            // finalized two-argument function in this farm's mapping.
             unsafe { std::mem::transmute(self.code.as_ref().unwrap().addr() + off as u64) };
         f(a, b)
     }
 
+    /// # Safety
+    /// `off` must be an offset returned by [`Farm::emit`] for a
+    /// one-argument lambda, after [`Farm::finalize`].
     unsafe fn call1(&self, off: usize, a: u64) -> u64 {
         let f: extern "C" fn(u64) -> u64 =
+            // SAFETY: per the contract above, `off` is the entry of a
+            // finalized one-argument function in this farm's mapping.
             unsafe { std::mem::transmute(self.code.as_ref().unwrap().addr() + off as u64) };
         f(a)
     }
@@ -91,6 +101,7 @@ fn figure1_plus1() {
         a.addii(x, x, 1);
         a.reti(x);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let plus1: extern "C" fn(i32) -> i32 = unsafe { code.as_fn() };
     assert_eq!(plus1(41), 42);
     assert_eq!(plus1(-1), 0);
@@ -113,6 +124,7 @@ fn regression_binops_register_forms() {
         .collect();
     farm.finalize();
     for (c, off) in cases.iter().zip(offs) {
+        // SAFETY: the farm offset points at a complete emitted function of this arity.
         let got = unsafe { farm.call2(off, c.a, c.b) };
         assert_eq!(
             got, c.expect,
@@ -141,6 +153,7 @@ fn regression_binops_immediate_forms() {
         .collect();
     farm.finalize();
     for (c, off) in cases.iter().zip(offs) {
+        // SAFETY: the farm offset points at a complete emitted function of this arity.
         let got = unsafe { farm.call1(off, c.a) };
         assert_eq!(
             got, c.expect,
@@ -171,6 +184,7 @@ fn regression_binops_distinct_destination() {
         .collect();
     farm.finalize();
     for (c, off) in cases.iter().zip(offs) {
+        // SAFETY: the farm offset points at a complete emitted function of this arity.
         let got = unsafe { farm.call2(off, c.a, c.b) };
         assert_eq!(
             got, c.expect,
@@ -199,6 +213,7 @@ fn regression_binops_rd_equals_rs2() {
         .collect();
     farm.finalize();
     for (c, off) in cases.iter().zip(offs) {
+        // SAFETY: the farm offset points at a complete emitted function of this arity.
         let got = unsafe { farm.call2(off, c.a, c.b) };
         assert_eq!(
             got, c.expect,
@@ -225,6 +240,7 @@ fn regression_unops() {
         .collect();
     farm.finalize();
     for (c, off) in cases.iter().zip(offs) {
+        // SAFETY: the farm offset points at a complete emitted function of this arity.
         let got = unsafe { farm.call1(off, c.a) };
         let got = regress::canon(c.ty, got, 64);
         assert_eq!(got, c.expect, "{:?}.{:?}({:#x})", c.op, c.ty, c.a);
@@ -253,6 +269,7 @@ fn regression_branches() {
         .collect();
     farm.finalize();
     for (c, off) in cases.iter().zip(offs) {
+        // SAFETY: the farm offset points at a complete emitted function of this arity.
         let got = unsafe { farm.call2(off, c.a, c.b) };
         assert_eq!(
             got != 0,
@@ -283,6 +300,7 @@ fn float_arithmetic_double() {
             X64::emit_binop(a.raw(), op, Ty::D, x, x, y);
             a.retd(x);
         });
+        // SAFETY: the buffer holds a complete emitted function matching this signature.
         let g: extern "C" fn(f64, f64) -> f64 = unsafe { code.as_fn() };
         for (x, y) in [(1.5, 2.25), (-3.0, 0.5), (1e100, 1e-100), (0.0, 7.0)] {
             assert_eq!(g(x, y), f(x, y), "{op:?}({x}, {y})");
@@ -299,6 +317,7 @@ fn float_arithmetic_single() {
         a.addf(t, t, x);
         a.retf(t);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(f32, f32) -> f32 = unsafe { code.as_fn() };
     assert_eq!(g(3.0, 4.0), 15.0);
     assert_eq!(g(-1.5, 2.0), -4.5);
@@ -312,6 +331,7 @@ fn float_negation_and_mov() {
         a.negd(t, x);
         a.retd(t);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(f64) -> f64 = unsafe { code.as_fn() };
     assert_eq!(g(2.5), -2.5);
     assert_eq!(g(-0.0), 0.0);
@@ -328,6 +348,7 @@ fn float_constants_from_literal_pool() {
         a.addd(t, t, u);
         a.retd(t);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn() -> f64 = unsafe { code.as_fn() };
     assert_eq!(g(), 3.75);
 }
@@ -354,6 +375,7 @@ fn float_branches() {
             a.seti(r, 1);
             a.reti(r);
         });
+        // SAFETY: the buffer holds a complete emitted function matching this signature.
         let g: extern "C" fn(f64, f64) -> i32 = unsafe { code.as_fn() };
         for (x, y) in [(1.0, 2.0), (2.0, 1.0), (3.0, 3.0), (-1.0, 1.0)] {
             assert_eq!(g(x, y) != 0, expect(x, y), "{cond:?}({x}, {y})");
@@ -374,6 +396,7 @@ fn conversions() {
         a.cvd2i(r, f);
         a.reti(r);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i32) -> i32 = unsafe { code.as_fn() };
     assert_eq!(g(10), 5);
     assert_eq!(g(-9), -4, "C truncation toward zero");
@@ -389,6 +412,7 @@ fn conversion_widths() {
         a.cvi2l(l, x);
         a.retl(l);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i32) -> i64 = unsafe { code.as_fn() };
     assert_eq!(g(-5), -5i64);
     let code = build("%u", |a| {
@@ -397,6 +421,7 @@ fn conversion_widths() {
         a.cvu2ul(l, x);
         a.retul(l);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(u32) -> u64 = unsafe { code.as_fn() };
     assert_eq!(g(0xffff_ffff), 0xffff_ffffu64);
 }
@@ -429,6 +454,7 @@ fn memory_loads_and_stores_all_widths() {
         a.stdi(f, dst, 32);
         a.retv();
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(*const u8, *mut u8) = unsafe { code.as_fn() };
     let mut src = [0u8; 40];
     src[0] = 0x80;
@@ -454,6 +480,7 @@ fn sign_extension_of_sub_word_loads() {
         a.ldci(t, p, 0); // signed char
         a.reti(t);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(*const u8) -> i32 = unsafe { code.as_fn() };
     let v = [0x80u8];
     assert_eq!(g(v.as_ptr()), -128);
@@ -463,6 +490,7 @@ fn sign_extension_of_sub_word_loads() {
         a.lduci(t, p, 0); // unsigned char
         a.reti(t);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(*const u8) -> i32 = unsafe { code.as_fn() };
     assert_eq!(g(v.as_ptr()), 128);
 }
@@ -475,6 +503,7 @@ fn register_indexed_addressing() {
         a.lduc(t, p, i);
         a.reti(t);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(*const u8, i64) -> i32 = unsafe { code.as_fn() };
     let v = [10u8, 20, 30, 40];
     assert_eq!(g(v.as_ptr(), 0), 10);
@@ -496,6 +525,7 @@ fn locals_round_trip() {
         a.subi(t, t, u);
         a.reti(t);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i32, i32) -> i32 = unsafe { code.as_fn() };
     assert_eq!(g(10, 3), 7);
 }
@@ -519,6 +549,7 @@ fn loops_with_backward_branches() {
         a.label(done);
         a.reti(sum);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i32) -> i32 = unsafe { code.as_fn() };
     assert_eq!(g(10), 45);
     assert_eq!(g(0), 0);
@@ -548,6 +579,7 @@ fn dynamically_constructed_call_with_mixed_args() {
         );
         a.retl(r);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i64, f64, i64) -> i64 = unsafe { code.as_fn() };
     assert_eq!(g(1, 2.5, 3), mixed_callee(1, 2.5, 3));
     assert_eq!(g(7, 0.0, 0), 7);
@@ -576,6 +608,7 @@ fn call_with_six_integer_args() {
         );
         a.retl(r);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i64, i64) -> i64 = unsafe { code.as_fn() };
     assert_eq!(g(1, 10), six_args(1, 10, 1, 10, 1, 10));
 }
@@ -607,6 +640,7 @@ fn recursive_call_to_own_entry() {
     a.retl(one);
     a.end().unwrap();
     let code = mem.finalize().unwrap();
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let fact: extern "C" fn(i64) -> i64 = unsafe { code.as_fn() };
     assert_eq!(fact(1), 1);
     assert_eq!(fact(5), 120);
@@ -633,6 +667,7 @@ fn persistent_register_survives_call() {
         );
         a.retl(keep);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i64) -> i64 = unsafe { code.as_fn() };
     assert_eq!(g(0x1234_5678_9abc), 0x1234_5678_9abc);
 }
@@ -650,6 +685,7 @@ fn hard_coded_register_names() {
         a.muli(t0, t0, t1);
         a.reti(t0);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i32) -> i32 = unsafe { code.as_fn() };
     assert_eq!(g(3), 24);
 }
@@ -662,6 +698,7 @@ fn extension_sqrt_native_and_bswap() {
         a.sqrtd(x, x, t);
         a.retd(x);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(f64) -> f64 = unsafe { code.as_fn() };
     assert_eq!(g(9.0), 3.0);
     assert_eq!(g(2.0), 2.0f64.sqrt());
@@ -673,6 +710,7 @@ fn extension_sqrt_native_and_bswap() {
         a.bswapu(d, x, t1, t2);
         a.retu(d);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(u32) -> u32 = unsafe { code.as_fn() };
     assert_eq!(g(0x1234_5678), 0x7856_3412);
     assert_eq!(g(0xdead_beef), 0xefbe_adde);
@@ -684,6 +722,7 @@ fn extension_sqrt_native_and_bswap() {
         a.bswapus(d, x, t);
         a.retu(d);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(u32) -> u32 = unsafe { code.as_fn() };
     assert_eq!(g(0x0000_1234), 0x0000_3412);
 }
@@ -700,6 +739,7 @@ fn strength_reduced_multiply_matches_plain() {
             a.muli_const(d, x, c, t);
             a.reti(d);
         });
+        // SAFETY: the buffer holds a complete emitted function matching this signature.
         let g: extern "C" fn(i32) -> i32 = unsafe { code.as_fn() };
         for x in [-100, -1, 0, 1, 3, 1000, 123456] {
             assert_eq!(g(x), x.wrapping_mul(c), "{x} * {c}");
@@ -717,6 +757,7 @@ fn strength_reduced_divide_matches_plain() {
             a.divi_const(d, x, c, t);
             a.reti(d);
         });
+        // SAFETY: the buffer holds a complete emitted function matching this signature.
         let g: extern "C" fn(i32) -> i32 = unsafe { code.as_fn() };
         for x in [-100, -17, -1, 0, 1, 17, 100, 12345] {
             assert_eq!(g(x), x / c, "{x} / {c}");
@@ -751,6 +792,7 @@ fn indirect_jump_through_register() {
         .position(|w| w == needle)
         .expect("found the seti 200 block");
     let code = mem.finalize().unwrap();
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(u64) -> i32 = unsafe { code.as_fn() };
     assert_eq!(g(code.addr() + pos as u64), 200);
 }
@@ -767,6 +809,7 @@ fn release_arg_recycles_register() {
         a.muli(t, t, z);
         a.reti(t);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i32, i32) -> i32 = unsafe { code.as_fn() };
     assert_eq!(g(3, 4), 14);
 }
@@ -780,6 +823,7 @@ fn void_return() {
         a.stii(t, p, 0);
         a.retv();
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(*mut i32) = unsafe { code.as_fn() };
     let mut out = 0i32;
     g(&mut out);
@@ -800,6 +844,7 @@ fn many_functions_in_one_buffer() {
         .collect();
     farm.finalize();
     for (k, off) in offs.iter().enumerate() {
+        // SAFETY: the farm offset points at a complete emitted function of this arity.
         assert_eq!(unsafe { farm.call1(*off, 1000) }, 1000 + k as u64);
     }
 }
@@ -841,6 +886,7 @@ fn interrupt_handler_reclassification() {
         a.addl(t0, t0, t2);
         a.retl(t0);
     });
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let g: extern "C" fn(i64) -> i64 = unsafe { code.as_fn() };
     assert_eq!(g(100), 100 + 101 + 102);
 }

@@ -13,7 +13,48 @@ cd "$(dirname "$0")/.."
 
 # Absolute path: cargo runs bench binaries from the package directory,
 # not the workspace root.
+#
+# `--mcheck-only` refreshes just the model-checker interleaving counts
+# in an existing snapshot (they are exact, not timing-dependent, so
+# they never need a quiet machine).
+mcheck_only=0
+if [ "${1:-}" = "--mcheck-only" ]; then
+    mcheck_only=1
+    shift
+fi
 out="$(pwd)/${1:-BENCH_codegen.json}"
+
+# Merges the exhaustive explorer's per-program interleaving counts
+# (exact, deterministic) into the snapshot as mcheck/* metrics.
+merge_mcheck_counts() {
+    echo "== mcheck interleaving counts =="
+    local sweep
+    sweep=$(cargo test -q --offline -p mcheck --test models -- --ignored --nocapture \
+        | sed -nE 's|^\.*([a-z0-9_]+): ([0-9]+) interleavings explored.*|  "mcheck/\1_interleavings": \2.00,|p')
+    if [ -z "$sweep" ]; then
+        echo "mcheck sweep produced no counts" >&2
+        exit 1
+    fi
+    {
+        sed -e '1d;$d' "$out" | grep -v '"mcheck/' | sed 's/,*[ \t]*$/,/'
+        printf '%s\n' "$sweep"
+    } | sort > "$out.entries"
+    {
+        echo '{'
+        sed '$ s/,$//' "$out.entries"
+        echo '}'
+    } > "$out.tmp"
+    rm -f "$out.entries"
+    mv "$out.tmp" "$out"
+}
+
+if [ "$mcheck_only" = 1 ]; then
+    [ -f "$out" ] || { echo "no snapshot at $out to merge into" >&2; exit 1; }
+    merge_mcheck_counts
+    echo "mcheck counts merged into $out"
+    exit 0
+fi
+
 rm -f "$out"
 export VCODE_BENCH_JSON="$out"
 
@@ -43,5 +84,7 @@ cargo bench -q --offline -p vcode-bench --bench tier2
 
 echo "== dpf_service =="
 cargo bench -q --offline -p vcode-bench --bench dpf_service
+
+merge_mcheck_counts
 
 echo "Snapshot written to $out"

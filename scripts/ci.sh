@@ -17,6 +17,29 @@ cargo build --release --offline
 echo "== tests =="
 cargo test -q --workspace --offline
 
+echo "== unsafe audit (SAFETY-comment gate) =="
+# Every `unsafe` block/fn/impl in the workspace must carry a written
+# justification; see scripts/unsafe_audit.sh.
+./scripts/unsafe_audit.sh
+
+echo "== model checker: exhaustive concurrency sweeps =="
+# The bounded RCU / cache / tier-latch / quarantine model programs,
+# explored to completion under the vsync deterministic scheduler (the
+# seeded random smoke already ran inside the workspace tests above;
+# this is the full DFS sweep). Any violation prints a replayable
+# schedule.
+cargo test -q -p mcheck --offline --test models -- --ignored
+
+echo "== miri lane (advisory) =="
+# Pure-IR paths under Miri; self-skips when the nightly miri component
+# is unavailable (see scripts/miri.sh).
+./scripts/miri.sh
+
+echo "== tsan lane (advisory) =="
+# dpf/cache/service suites under ThreadSanitizer; self-skips when
+# nightly rust-src is unavailable (see scripts/tsan.sh).
+./scripts/tsan.sh
+
 echo "== fault-injection smoke (hardened execution gate) =="
 cargo test -q -p harden --offline --test faults
 

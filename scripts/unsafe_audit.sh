@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Unsafe-audit lint: inventories every `unsafe` site in the workspace
+# (blocks, fns, impls, trait impls) and fails when any lacks a written
+# justification — a `// SAFETY:` comment on or just above the site, or
+# a `# Safety` doc section for `unsafe fn` declarations. Combined with
+# the workspace-level `unsafe_op_in_unsafe_fn = "deny"` lint this keeps
+# every unsafe operation next to the argument for why it is sound.
+#
+# Usage: scripts/unsafe_audit.sh [-v]
+#   -v  also print the full inventory (file:line for every site).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+verbose=0
+[ "${1:-}" = "-v" ] && verbose=1
+
+files=$(git ls-files 'crates/*.rs' 'crates/**/*.rs' 'src/**/*.rs' 'tests/*.rs' 2>/dev/null || true)
+if [ -z "$files" ]; then
+    echo "unsafe_audit: no Rust sources found" >&2
+    exit 1
+fi
+
+total=0
+bad=0
+report=""
+inventory=""
+
+for f in $files; do
+    # awk scans each file keeping a sliding window of the previous 12
+    # lines; an `unsafe` keyword on a code line must see SAFETY:/#
+    # Safety on the same line or inside the window. Comment lines and
+    # string-only mentions are skipped (the keyword must be followed by
+    # whitespace/brace and not sit inside a doc sentence).
+    out=$(awk -v FILE="$f" '
+    function trimmed(s) { sub(/^[ \t]+/, "", s); return s }
+    {
+        line = $0
+        t = trimmed(line)
+        win[NR % 12] = line
+        # Code lines only: skip line comments and doc comments.
+        if (t ~ /^\/\//) next
+        # An unsafe site: the keyword at a token boundary, starting a
+        # block, fn, impl or trait. (The word inside identifiers like
+        # unsafe_op_in_unsafe_fn does not match.)
+        if (line !~ /(^|[^A-Za-z0-9_])unsafe([ \t]*\{|[ \t]+fn|[ \t]+impl|[ \t]+trait|[ \t]+extern)/) next
+        # Type positions are not unsafe operations: `as unsafe extern
+        # "C" fn()` casts and `: unsafe fn()` annotations.
+        if (line ~ /(as|:)[ \t]+unsafe[ \t]+(extern|fn)/) next
+        # Skip mentions inside string literals: a quote earlier on the
+        # line with no closing quote before the keyword.
+        pre = line; sub(/unsafe.*$/, "", pre)
+        n = gsub(/"/, "", pre)
+        if (n % 2 == 1) next
+        sites++
+        ok = 0
+        if (line ~ /SAFETY:/) ok = 1
+        for (i = 1; i <= 12 && !ok; i++) {
+            prev = win[(NR - i + 144) % 12]
+            if (prev ~ /SAFETY:|# Safety/) ok = 1
+        }
+        printf "%s:%d:%s:%s\n", FILE, NR, (ok ? "ok" : "MISSING"), trimmed(line)
+    }
+    ' "$f")
+    [ -z "$out" ] && continue
+    n=$(printf '%s\n' "$out" | wc -l)
+    total=$((total + n))
+    miss=$(printf '%s\n' "$out" | grep ":MISSING:" || true)
+    if [ -n "$miss" ]; then
+        m=$(printf '%s\n' "$miss" | wc -l)
+        bad=$((bad + m))
+        report="$report$miss
+"
+    fi
+    inventory="$inventory$out
+"
+done
+
+if [ "$verbose" = 1 ]; then
+    printf '%s' "$inventory"
+fi
+echo "unsafe_audit: $total unsafe sites inventoried, $bad unannotated"
+if [ "$bad" -gt 0 ]; then
+    echo "unsafe sites without a SAFETY justification:" >&2
+    printf '%s' "$report" | sed 's/:MISSING:/: /' >&2
+    echo "add a '// SAFETY: ...' comment (or a '# Safety' doc section for unsafe fns) next to each site" >&2
+    exit 1
+fi

@@ -91,6 +91,7 @@ fn run_all(steps: &[Step], x: i32, y: i32) -> (i32, i32, i32, i32) {
     emit(&mut a, steps);
     a.end().expect("end");
     let code = mem.finalize().expect("mprotect");
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let f: extern "C" fn(i32, i32) -> i32 = unsafe { code.as_fn() };
     let native = f(x, y);
     // Simulated.

@@ -128,6 +128,7 @@ fn spec_language_matches_extension_layer() {
     a.retd(x);
     a.end().unwrap();
     let code = mem.finalize().unwrap();
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let f: extern "C" fn(f64) -> f64 = unsafe { code.as_fn() };
     assert_eq!(f(144.0), 12.0);
 }
@@ -154,6 +155,7 @@ fn vcode_calls_tcc_function() {
     a.reti(r);
     a.end().unwrap();
     let code = mem.finalize().unwrap();
+    // SAFETY: the buffer holds a complete emitted function matching this signature.
     let f: extern "C" fn(i32) -> i32 = unsafe { code.as_fn() };
     assert_eq!(f(10), 31);
 }
@@ -245,6 +247,7 @@ fn generic_pipeline_on_all_simulated_targets() {
         let mut mem = vcode_x64::ExecMem::new(8192).unwrap();
         ash::generic::compile_fused::<vcode_x64::X64>(mem.as_mut_slice(), &steps).unwrap();
         let code = mem.finalize().unwrap();
+        // SAFETY: the buffer holds a complete emitted function matching this signature.
         let f: extern "C" fn(*mut u8, *const u8, i32) -> u32 = unsafe { code.as_fn() };
         let mut dst = vec![0u8; data.len()];
         let sum = f(dst.as_mut_ptr(), data.as_ptr(), (data.len() / 4) as i32);
