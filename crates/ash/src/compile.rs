@@ -46,6 +46,103 @@ pub fn clear_cache() {
     kernel_cache().clear();
 }
 
+impl NativeCode {
+    /// The generated machine code (execution view, exact length).
+    fn code_bytes(&self) -> &[u8] {
+        &self.code.bytes()[..self.code_len]
+    }
+
+    /// Rebuilds a kernel from persisted code bytes: the bytes land in
+    /// pooled dual-mapped executable memory and are sealed before the
+    /// entry pointer is formed. Callers must have revalidated `bytes`
+    /// (differential re-decode) first.
+    fn adopt(bytes: &[u8], vcode_insns: u64) -> Result<NativeCode, PipelineError> {
+        let mem = ExecMem::adopt_bytes(bytes).map_err(PipelineError::Exec)?;
+        let code = mem.finalize().map_err(PipelineError::Exec)?;
+        // SAFETY: the bytes round-tripped through the artifact envelope
+        // (checksum + differential re-decode) from a kernel this same
+        // generator produced, so the entry has the declared C ABI.
+        let entry: extern "C" fn(*mut u8, *const u8, u64) -> u64 = unsafe { code.as_fn() };
+        Ok(NativeCode {
+            code,
+            entry,
+            code_len: bytes.len(),
+            vcode_insns,
+        })
+    }
+}
+
+/// The [`ArtifactCodec`](vcode::ArtifactCodec) for fused ASH kernels.
+/// Kernel code is always position-independent (no dispatch side
+/// tables), so every kernel persists; loads re-decode the bytes with
+/// the x86-64 length decoder before they touch executable memory.
+#[derive(Debug)]
+struct KernelCodec;
+
+impl vcode::ArtifactCodec<NativeCode> for KernelCodec {
+    fn to_artifact(
+        &self,
+        key: &CacheKey,
+        val: &Arc<NativeCode>,
+    ) -> Result<vcode::Artifact, vcode::PersistError> {
+        Ok(vcode::Artifact {
+            target: TargetId::X64,
+            args: 0,
+            insns: val.vcode_insns,
+            key: key.content().to_vec(),
+            meta: Vec::new(),
+            code: val.code_bytes().to_vec(),
+        })
+    }
+
+    fn from_artifact(
+        &self,
+        artifact: &vcode::Artifact,
+    ) -> Result<Arc<NativeCode>, vcode::PersistError> {
+        vcode::persist::redecode(&artifact.code, &vcode_x64::declen::Decoder)?;
+        let native = NativeCode::adopt(&artifact.code, artifact.insns)
+            .map_err(|e| vcode::PersistError::Revalidation(e.to_string()))?;
+        Ok(Arc::new(native))
+    }
+}
+
+fn persist_slot() -> &'static OnceLock<Arc<vcode::DiskTier<NativeCode>>> {
+    static TIER: OnceLock<Arc<vcode::DiskTier<NativeCode>>> = OnceLock::new();
+    &TIER
+}
+
+/// Attaches a persistent L2 tier for fused kernels under `dir`: cache
+/// misses in [`Pipeline::compile`] probe the disk tier before
+/// generating code, and successful compiles store through. First call
+/// wins (`false` afterwards).
+///
+/// # Errors
+///
+/// [`vcode::PersistError::Io`] when the directory cannot be created.
+pub fn enable_persist(dir: impl Into<std::path::PathBuf>) -> Result<bool, vcode::PersistError> {
+    let tier = vcode::DiskTier::new(dir, Box::new(KernelCodec))?;
+    Ok(persist_slot().set(Arc::new(tier)).is_ok())
+}
+
+/// The kernel persistent tier, if [`enable_persist`] was called.
+pub fn persist_tier() -> Option<&'static Arc<vcode::DiskTier<NativeCode>>> {
+    persist_slot().get()
+}
+
+/// Probes the persistent tier for `key`; any [`vcode::PersistError`] is
+/// a counted, silent miss (fresh codegen follows).
+fn l2_load(key: &CacheKey) -> Option<Arc<NativeCode>> {
+    let tier = persist_tier()?;
+    vcode::CacheTier::load(&**tier, key).ok().flatten()
+}
+
+/// Best-effort store-through to the persistent tier.
+fn l2_store(key: &CacheKey, native: &Arc<NativeCode>) {
+    if let Some(tier) = persist_tier() {
+        let _ = vcode::CacheTier::store(&**tier, key, native);
+    }
+}
+
 /// Which engine a [`Pipeline`] runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
@@ -235,10 +332,22 @@ impl Pipeline {
         let native = if opts.code_capacity.is_some() {
             Self::native_with_retry(steps, opts).map(Arc::new)
         } else {
+            let key = Self::cache_key(steps, opts);
+            let l2_key = key.clone();
             kernel_cache()
                 .get_or_build(
-                    Self::cache_key(steps, opts),
-                    || Self::native_with_retry(steps, opts).map(Arc::new),
+                    key,
+                    || {
+                        // L1 missed: a valid persisted artifact (L2)
+                        // skips codegen entirely; fresh kernels store
+                        // through best-effort.
+                        if let Some(native) = l2_load(&l2_key) {
+                            return Ok(native);
+                        }
+                        let native = Self::native_with_retry(steps, opts).map(Arc::new)?;
+                        l2_store(&l2_key, &native);
+                        Ok(native)
+                    },
                     kernel_cache().stall_timeout(),
                 )
                 .map_err(|e| match e {

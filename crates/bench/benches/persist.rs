@@ -1,0 +1,137 @@
+//! Cold-start vs warm-start cost of the persistent (L2) code cache:
+//! time from "decide to build a classifier" to "first packet
+//! classified by native code", with and without a populated artifact
+//! directory.
+//!
+//! This is the tentpole number for the persistent-cache PR: the paper's
+//! cost model says dynamic codegen pays for itself through reuse, and
+//! the L2 tier extends reuse across process restarts. Cold start
+//! compiles every filter set from scratch (and stores through); warm
+//! start finds verified artifacts on disk and must reach first
+//! classified packet **at least 2×** faster — the bench hard-fails
+//! otherwise, and `scripts/ci.sh` gates the committed snapshot on the
+//! same ratio.
+//!
+//! Classifiers are compiled with jump tables and perfect-hash dispatch
+//! disabled: those embed absolute side-table addresses and are
+//! (correctly) refused by the codec, which would make the warm path
+//! vacuous. Linear dispatch is position-independent and persists.
+
+use dpf::packet::{self, PacketSpec};
+use dpf::{Dpf, EngineKind, Options};
+use std::time::Instant;
+use vcode_bench::snapshot;
+
+/// Position-independent codegen: persistable on every set.
+fn pic_options() -> Options {
+    Options {
+        use_jump_tables: false,
+        use_hashing: false,
+        ..Options::default()
+    }
+}
+
+fn port_msg(port: u16) -> Vec<u8> {
+    packet::build(&PacketSpec {
+        dst_port: port,
+        ..PacketSpec::default()
+    })
+}
+
+/// Builds, compiles, and first-classifies every filter set; returns
+/// total elapsed seconds. `clear_cache` first forces L1 misses, so the
+/// builds hit either the compiler (cold dir) or the disk tier (warm).
+fn first_packet_pass(sets: &[(u16, u16)]) -> f64 {
+    dpf::clear_cache();
+    let t0 = Instant::now();
+    for &(nf, base) in sets {
+        let mut d = Dpf::with_options(pic_options());
+        for f in packet::port_filter_set(nf, base) {
+            d.insert(f);
+        }
+        d.compile().expect("classifier compiles");
+        assert_eq!(
+            d.engine(),
+            Some(EngineKind::Native),
+            "bench set must run native, not the interpreter"
+        );
+        let msg = port_msg(base);
+        assert!(
+            std::hint::black_box(d.classify(&msg)).is_some(),
+            "first packet must classify"
+        );
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let smoke = snapshot::smoke();
+    let nsets: u16 = if smoke { 3 } else { 8 };
+    let nf: u16 = if smoke { 16 } else { 32 };
+    let warm_reps = if smoke { 3 } else { 5 };
+    let sets: Vec<(u16, u16)> = (0..nsets).map(|i| (nf, 1000 + i * 100)).collect();
+    let mut failures = Vec::new();
+
+    let dir = std::env::temp_dir().join(format!("vcode-persist-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        dpf::enable_persist(&dir).expect("artifact dir is writable"),
+        "persistent tier must attach"
+    );
+
+    println!("=== Persistent code cache: cold vs warm first-classified-packet ===");
+    println!("    ({nsets} filter sets x {nf} filters, linear dispatch)");
+
+    // --- Cold: empty artifact dir. Compiles everything, stores through.
+    let before = vcode::obs::persist_counters();
+    let cold_s = first_packet_pass(&sets);
+    let after = vcode::obs::persist_counters();
+    let stored = after.stores - before.stores;
+    let cold_us = cold_s * 1e6;
+    println!("  cold start (compile + store-through)  {cold_us:>10.0} us");
+    if stored < u64::from(nsets) {
+        failures.push(format!(
+            "persist: cold pass stored {stored} artifacts, expected {nsets} \
+             (store-through is broken; warm numbers would be fiction)"
+        ));
+    }
+
+    // --- Warm: same process, same dir, L1 cleared each rep — every
+    // build must come from a verified on-disk artifact.
+    let mut warm_s = f64::INFINITY;
+    for _ in 0..warm_reps {
+        let b = vcode::obs::persist_counters();
+        let s = first_packet_pass(&sets);
+        let a = vcode::obs::persist_counters();
+        if a.hits - b.hits < u64::from(nsets) {
+            failures.push(format!(
+                "persist: warm pass loaded {} artifacts from disk, expected {nsets}",
+                a.hits - b.hits
+            ));
+        }
+        warm_s = warm_s.min(s);
+    }
+    let warm_us = warm_s * 1e6;
+    let speedup = cold_s / warm_s;
+    println!("  warm start (load + revalidate)        {warm_us:>10.0} us   ({speedup:.1}x)");
+
+    snapshot::record("persist/cold_first_packet_us", cold_us);
+    snapshot::record("persist/warm_first_packet_us", warm_us);
+    snapshot::record("persist/warm_speedup", speedup);
+
+    // The acceptance gate: warm start must be at least 2x faster.
+    if warm_s * 2.0 > cold_s {
+        failures.push(format!(
+            "persist: warm start ({warm_us:.0} us) is not >=2x faster than \
+             cold start ({cold_us:.0} us); speedup {speedup:.2}x"
+        ));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
+    }
+}

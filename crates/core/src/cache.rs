@@ -150,6 +150,15 @@ impl CacheKey {
     pub fn hash(&self) -> u64 {
         self.hash
     }
+
+    /// The content bytes — the serialized program identity. The
+    /// persistent tier embeds these verbatim in each artifact and
+    /// fingerprints them (plain FNV-1a, no process-local routing salt)
+    /// to name the artifact file, so the same program maps to the same
+    /// file across processes.
+    pub fn content(&self) -> &[u8] {
+        &self.bytes
+    }
 }
 
 // Equality deliberately ignores `hash`: the hash routes, the bytes
@@ -304,7 +313,7 @@ impl<V: ?Sized> Drop for BuildGuard<'_, V> {
 }
 
 impl Build {
-    fn wake(&self) {
+    pub(crate) fn wake(&self) {
         let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
         *done = true;
         drop(done);

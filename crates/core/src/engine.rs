@@ -513,6 +513,160 @@ impl Program {
         out
     }
 
+    /// Reconstructs a program from its [`encode`](Self::encode) stream —
+    /// the persistent cache's differential IR check: an artifact's
+    /// embedded key bytes must decode, and re-encode to the same bytes,
+    /// before its native code is trusted.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::TooManyArgs`] when the declared arity exceeds
+    /// [`MAX_PROGRAM_ARGS`]; [`EngineError::Exec`] for any structurally
+    /// invalid stream (unknown tag, truncated operand, bad sub-tag).
+    pub fn decode(bytes: &[u8]) -> Result<Program, EngineError> {
+        fn bin_of(tag: u8) -> Option<BinOp> {
+            Some(match tag {
+                0 => BinOp::Add,
+                1 => BinOp::Sub,
+                2 => BinOp::Mul,
+                3 => BinOp::Div,
+                4 => BinOp::Mod,
+                5 => BinOp::And,
+                6 => BinOp::Or,
+                7 => BinOp::Xor,
+                8 => BinOp::Lsh,
+                9 => BinOp::Rsh,
+                _ => return None,
+            })
+        }
+        fn un_of(tag: u8) -> Option<UnOp> {
+            Some(match tag {
+                0 => UnOp::Com,
+                1 => UnOp::Not,
+                2 => UnOp::Mov,
+                3 => UnOp::Neg,
+                _ => return None,
+            })
+        }
+        fn cond_of(tag: u8) -> Option<Cond> {
+            Some(match tag {
+                0 => Cond::Lt,
+                1 => Cond::Le,
+                2 => Cond::Gt,
+                3 => Cond::Ge,
+                4 => Cond::Eq,
+                5 => Cond::Ne,
+                _ => return None,
+            })
+        }
+        let malformed = |what: &str, at: usize| {
+            EngineError::Exec(format!("program decode: {what} at offset {at}"))
+        };
+        struct Rd<'a> {
+            b: &'a [u8],
+            at: usize,
+        }
+        impl Rd<'_> {
+            fn u8(&mut self) -> Option<u8> {
+                let v = *self.b.get(self.at)?;
+                self.at += 1;
+                Some(v)
+            }
+            fn u16(&mut self) -> Option<u16> {
+                let v = u16::from_le_bytes([*self.b.get(self.at)?, *self.b.get(self.at + 1)?]);
+                self.at += 2;
+                Some(v)
+            }
+            fn i32(&mut self) -> Option<i32> {
+                let v = i32::from_le_bytes([
+                    *self.b.get(self.at)?,
+                    *self.b.get(self.at + 1)?,
+                    *self.b.get(self.at + 2)?,
+                    *self.b.get(self.at + 3)?,
+                ]);
+                self.at += 4;
+                Some(v)
+            }
+        }
+        let mut r = Rd { b: bytes, at: 0 };
+        let args = r.u8().ok_or_else(|| malformed("missing arg count", 0))? as usize;
+        if args > MAX_PROGRAM_ARGS {
+            return Err(EngineError::TooManyArgs { requested: args });
+        }
+        let labels = r.u16().ok_or_else(|| malformed("missing label count", 1))?;
+        let mut ops = Vec::new();
+        while r.at < bytes.len() {
+            let at = r.at;
+            let tag = r.u8().expect("bounds checked by loop condition");
+            let op = match tag {
+                0 => {
+                    let dst = r.u8().ok_or_else(|| malformed("truncated Set", at))?;
+                    let imm = r.i32().ok_or_else(|| malformed("truncated Set", at))?;
+                    POp::Set { dst, imm }
+                }
+                1 => {
+                    let t = r.u8().ok_or_else(|| malformed("truncated Bin", at))?;
+                    let op = bin_of(t).ok_or_else(|| malformed("bad BinOp tag", at))?;
+                    let dst = r.u8().ok_or_else(|| malformed("truncated Bin", at))?;
+                    let a = r.u8().ok_or_else(|| malformed("truncated Bin", at))?;
+                    let b = r.u8().ok_or_else(|| malformed("truncated Bin", at))?;
+                    POp::Bin { op, dst, a, b }
+                }
+                2 => {
+                    let t = r.u8().ok_or_else(|| malformed("truncated BinImm", at))?;
+                    let op = bin_of(t).ok_or_else(|| malformed("bad BinOp tag", at))?;
+                    let dst = r.u8().ok_or_else(|| malformed("truncated BinImm", at))?;
+                    let a = r.u8().ok_or_else(|| malformed("truncated BinImm", at))?;
+                    let imm = r.i32().ok_or_else(|| malformed("truncated BinImm", at))?;
+                    POp::BinImm { op, dst, a, imm }
+                }
+                3 => {
+                    let t = r.u8().ok_or_else(|| malformed("truncated Un", at))?;
+                    let op = un_of(t).ok_or_else(|| malformed("bad UnOp tag", at))?;
+                    let dst = r.u8().ok_or_else(|| malformed("truncated Un", at))?;
+                    let a = r.u8().ok_or_else(|| malformed("truncated Un", at))?;
+                    POp::Un { op, dst, a }
+                }
+                4 => {
+                    let l = r.u16().ok_or_else(|| malformed("truncated Label", at))?;
+                    POp::Label { l }
+                }
+                5 => {
+                    let t = r.u8().ok_or_else(|| malformed("truncated Br", at))?;
+                    let cond = cond_of(t).ok_or_else(|| malformed("bad Cond tag", at))?;
+                    let a = r.u8().ok_or_else(|| malformed("truncated Br", at))?;
+                    let b = r.u8().ok_or_else(|| malformed("truncated Br", at))?;
+                    let l = r.u16().ok_or_else(|| malformed("truncated Br", at))?;
+                    POp::Br { cond, a, b, l }
+                }
+                6 => {
+                    let t = r.u8().ok_or_else(|| malformed("truncated BrImm", at))?;
+                    let cond = cond_of(t).ok_or_else(|| malformed("bad Cond tag", at))?;
+                    let a = r.u8().ok_or_else(|| malformed("truncated BrImm", at))?;
+                    let imm = r.i32().ok_or_else(|| malformed("truncated BrImm", at))?;
+                    let l = r.u16().ok_or_else(|| malformed("truncated BrImm", at))?;
+                    POp::BrImm { cond, a, imm, l }
+                }
+                7 => {
+                    let l = r.u16().ok_or_else(|| malformed("truncated Jmp", at))?;
+                    POp::Jmp { l }
+                }
+                8 => {
+                    let src = r.u8().ok_or_else(|| malformed("truncated Ret", at))?;
+                    POp::Ret { src }
+                }
+                _ => return Err(malformed("unknown op tag", at)),
+            };
+            ops.push(op);
+        }
+        Ok(Program {
+            args,
+            labels,
+            ops,
+            encoded: OnceLock::new(),
+        })
+    }
+
     /// The memoized serialized form and its FNV-1a hash. First call
     /// serializes; subsequent calls (until the next mutation) are O(1) —
     /// this is what keeps warm cache lookups free of emission-scale work.
@@ -849,6 +1003,14 @@ pub trait Lambda: Send + Sync + fmt::Debug {
     fn as_tiered(&self) -> Option<&TieredLambda> {
         None
     }
+
+    /// The `(args, code bytes)` image the persistent cache serializes,
+    /// or `None` when this lambda cannot leave the process (degraded
+    /// interpreter lambdas, position-dependent code). The bytes must be
+    /// exactly what [`Backend::adopt`] re-materializes from.
+    fn persist_image(&self) -> Option<(usize, Vec<u8>)> {
+        None
+    }
 }
 
 /// A compiled program for a simulated ISA: raw code bytes plus the
@@ -904,6 +1066,10 @@ impl Lambda for CodeImage {
         }
         let exec = executor(self.target).ok_or(EngineError::NoExecutor(self.target))?;
         exec.run(self.target, &self.bytes, args, SIM_FUEL)
+    }
+
+    fn persist_image(&self) -> Option<(usize, Vec<u8>)> {
+        Some((self.args, self.bytes.clone()))
     }
 }
 
@@ -970,6 +1136,22 @@ pub trait Backend: Send + Sync + fmt::Debug {
     fn compile_tier2(&self, prog: &Program) -> Result<Arc<dyn Lambda>, EngineError> {
         self.compile(prog)
     }
+    /// Re-materializes a lambda from a persisted artifact's code bytes,
+    /// revalidating them (differential re-decode) before anything is
+    /// mapped or run. The default refuses: a backend must opt in to
+    /// adoption by proving it can revalidate.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Exec`] when the bytes fail revalidation or the
+    /// backend has no adoption path.
+    fn adopt(&self, artifact: &crate::persist::Artifact) -> Result<Arc<dyn Lambda>, EngineError> {
+        Err(EngineError::Exec(format!(
+            "backend {} has no artifact-adoption path (artifact for {})",
+            self.name(),
+            artifact.target.name(),
+        )))
+    }
 }
 
 /// Generates a [`Backend`] adapter for a simulated-ISA target: compiles
@@ -1029,6 +1211,28 @@ macro_rules! code_backend {
                     opt.args(),
                     mem,
                     fin.insns,
+                )))
+            }
+
+            fn adopt(
+                &self,
+                artifact: &$crate::persist::Artifact,
+            ) -> Result<
+                ::std::sync::Arc<dyn $crate::engine::Lambda>,
+                $crate::engine::EngineError,
+            > {
+                let dec = $crate::persist::decoder($id)
+                    .ok_or($crate::engine::EngineError::NoExecutor($id))?;
+                $crate::persist::redecode(&artifact.code, &*dec).map_err(|e| {
+                    $crate::engine::EngineError::Exec(
+                        format!("artifact revalidation: {e}"),
+                    )
+                })?;
+                Ok(::std::sync::Arc::new($crate::engine::CodeImage::new(
+                    $id,
+                    artifact.args as usize,
+                    artifact.code.clone(),
+                    artifact.insns,
                 )))
             }
         }
@@ -1130,7 +1334,14 @@ pub struct TieredLambda {
     cache: Weak<LambdaCache<dyn Lambda>>,
     service: Weak<CompileService<dyn Lambda>>,
     threshold: u64,
+    /// Weight heat by reported execution cycles instead of 1 per call
+    /// (see [`TierConfig::cycle_weighted`]).
+    cycle_weighted: bool,
     calls: AtomicU64,
+    /// Accumulated heat: call count, or total reported cycles when
+    /// cycle-weighted. Crossing a multiple of `threshold` (re)submits
+    /// the tier-2 build.
+    heat: AtomicU64,
     tier2: OnceLock<Arc<dyn Lambda>>,
 }
 
@@ -1145,7 +1356,7 @@ impl TieredLambda {
         backend: Arc<dyn Backend>,
         cache: Weak<LambdaCache<dyn Lambda>>,
         service: Weak<CompileService<dyn Lambda>>,
-        hot_threshold: u64,
+        cfg: TierConfig,
     ) -> Arc<dyn Lambda> {
         Arc::new(TieredLambda {
             base,
@@ -1154,8 +1365,10 @@ impl TieredLambda {
             backend,
             cache,
             service,
-            threshold: hot_threshold.max(1),
+            threshold: cfg.hot_threshold.max(1),
+            cycle_weighted: cfg.cycle_weighted,
             calls: AtomicU64::new(0),
+            heat: AtomicU64::new(0),
             tier2: OnceLock::new(),
         })
     }
@@ -1163,6 +1376,13 @@ impl TieredLambda {
     /// Calls served so far (all tiers).
     pub fn calls(&self) -> u64 {
         self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated heat: equal to [`calls`](Self::calls) under the
+    /// default policy, total reported execution cycles when
+    /// [`TierConfig::cycle_weighted`] is set.
+    pub fn heat(&self) -> u64 {
+        self.heat.load(Ordering::Relaxed)
     }
 
     /// Whether calls are now served by tier-2 optimized code.
@@ -1252,26 +1472,49 @@ impl Lambda for TieredLambda {
         if let Some(t2) = self.tier2.get() {
             return t2.call(args);
         }
-        let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
-        if n >= self.threshold {
-            if n == self.threshold {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        // Serve tier-1 first: under cycle weighting the heat of this
+        // call is its measured cost, which only exists afterwards. (A
+        // same-call t2 latch would have produced the identical result —
+        // the tiers are differentially checked — so serving order does
+        // not change observable behavior.)
+        if self.cycle_weighted {
+            obs::take_last_call_cycles();
+        }
+        let out = self.base.call(args);
+        let w = if self.cycle_weighted {
+            // Cost-weighted heat: a 10k-cycle callee is hot after a
+            // handful of calls; a 5-cycle one needs thousands. Backends
+            // without a cycle model (native x86-64) report nothing and
+            // fall back to 1 per call.
+            obs::take_last_call_cycles().max(1)
+        } else {
+            1
+        };
+        let prev = self.heat.fetch_add(w, Ordering::Relaxed);
+        let h = prev + w;
+        if h >= self.threshold {
+            if prev < self.threshold {
                 obs::note_tier2_hot();
             }
             self.poll_upgrade();
-            // Still on tier-1: (re)submit every `threshold` calls so shed
-            // or quarantined builds eventually retry.
-            if self.tier2.get().is_none() && n.is_multiple_of(self.threshold) {
+            // Still on tier-1: (re)submit every `threshold` heat units
+            // so shed or quarantined builds eventually retry.
+            if self.tier2.get().is_none() && (prev / self.threshold) != (h / self.threshold) {
                 self.schedule();
             }
-            if let Some(t2) = self.tier2.get() {
-                return t2.call(args);
-            }
         }
-        self.base.call(args)
+        out
     }
 
     fn as_tiered(&self) -> Option<&TieredLambda> {
         Some(self)
+    }
+
+    /// The *baseline* tier's image: tier-2 code is a derived product
+    /// the warm-start path rebuilds from heat, not from disk.
+    fn persist_image(&self) -> Option<(usize, Vec<u8>)> {
+        self.base.persist_image()
     }
 }
 
@@ -1339,6 +1582,70 @@ impl AsyncCompile {
 // The engine: registry + cache
 // ---------------------------------------------------------------------------
 
+/// The engine's [`ArtifactCodec`](crate::persist::ArtifactCodec):
+/// serializes any lambda exposing a [`Lambda::persist_image`] and
+/// re-materializes artifacts through [`Backend::adopt`], with a
+/// differential IR check on the embedded key bytes (they must decode as
+/// a [`Program`] and re-encode to themselves) before any native byte is
+/// trusted.
+struct LambdaCodec {
+    backends: [Option<Arc<dyn Backend>>; 4],
+}
+
+impl fmt::Debug for LambdaCodec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LambdaCodec").finish()
+    }
+}
+
+impl crate::persist::ArtifactCodec<dyn Lambda> for LambdaCodec {
+    fn to_artifact(
+        &self,
+        key: &CacheKey,
+        val: &Arc<dyn Lambda>,
+    ) -> Result<crate::persist::Artifact, crate::persist::PersistError> {
+        let (args, code) =
+            val.persist_image()
+                .ok_or(crate::persist::PersistError::NotPersistable(
+                    "lambda exposes no persistable image",
+                ))?;
+        Ok(crate::persist::Artifact {
+            target: val.target(),
+            args: args as u8,
+            insns: val.insns(),
+            key: key.content().to_vec(),
+            meta: Vec::new(),
+            code,
+        })
+    }
+
+    fn from_artifact(
+        &self,
+        artifact: &crate::persist::Artifact,
+    ) -> Result<Arc<dyn Lambda>, crate::persist::PersistError> {
+        // Differential IR check: the artifact's identity bytes must be
+        // a well-formed Program stream naming the recorded arity.
+        let prog = Program::decode(&artifact.key)
+            .map_err(|e| crate::persist::PersistError::Revalidation(format!("embedded IR: {e}")))?;
+        if prog.args() != artifact.args as usize {
+            return Err(crate::persist::PersistError::Revalidation(
+                "artifact arity disagrees with its embedded IR".into(),
+            ));
+        }
+        if prog.encode() != artifact.key {
+            return Err(crate::persist::PersistError::Revalidation(
+                "embedded IR does not round-trip to the key bytes".into(),
+            ));
+        }
+        let backend = self.backends[artifact.target.index()]
+            .as_ref()
+            .ok_or(crate::persist::PersistError::NoDecoder(artifact.target))?;
+        backend
+            .adopt(artifact)
+            .map_err(|e| crate::persist::PersistError::Revalidation(e.to_string()))
+    }
+}
+
 /// A registry of runtime-selectable backends fronted by a sharded
 /// compiled-lambda cache.
 ///
@@ -1363,6 +1670,8 @@ pub struct Engine {
     cache: Arc<LambdaCache<dyn Lambda>>,
     service: OnceLock<Arc<CompileService<dyn Lambda>>>,
     tiering: OnceLock<TierConfig>,
+    /// Optional persistent L2 tier (see [`enable_persist`](Self::enable_persist)).
+    l2: OnceLock<Arc<crate::persist::DiskTier<dyn Lambda>>>,
 }
 
 impl Engine {
@@ -1374,6 +1683,7 @@ impl Engine {
             cache: Arc::new(LambdaCache::new(capacity)),
             service: OnceLock::new(),
             tiering: OnceLock::new(),
+            l2: OnceLock::new(),
         }
     }
 
@@ -1441,9 +1751,30 @@ impl Engine {
             .get_or_build(
                 key,
                 || {
-                    backend
-                        .compile(prog)
-                        .map(|base| self.tier_wrap(backend, prog, base))
+                    // L1 missed. The L2 key is re-derived *here*, not
+                    // cloned from the lookup key — a clone on the hot
+                    // path is an Arc refcount round-trip per warm hit,
+                    // the exact regression the cache_amortize fence
+                    // caught once before (encoded() is memoized, so
+                    // this costs nothing beyond the miss itself).
+                    let (bytes, hash) = prog.encoded();
+                    let l2_key = CacheKey::from_encoded(id, Arc::clone(bytes), *hash);
+                    // Probe the persistent tier first: a valid artifact
+                    // skips compilation entirely; any PersistError is a
+                    // counted, silent fallback to a fresh compile (a
+                    // bad cache dir costs time, never correctness).
+                    if let Some(l2) = self.l2.get() {
+                        if let Ok(Some(base)) = crate::persist::CacheTier::load(&**l2, &l2_key) {
+                            return Ok(self.tier_wrap(backend, prog, base));
+                        }
+                    }
+                    let base = backend.compile(prog)?;
+                    if let Some(l2) = self.l2.get() {
+                        // Store-through is best-effort: failure to
+                        // persist must never fail the compile.
+                        let _ = crate::persist::CacheTier::store(&**l2, &l2_key, &base);
+                    }
+                    Ok(self.tier_wrap(backend, prog, base))
                 },
                 self.cache.stall_timeout(),
             )
@@ -1494,7 +1825,7 @@ impl Engine {
                     Arc::clone(backend),
                     Arc::downgrade(&self.cache),
                     Arc::downgrade(self.service_handle()),
-                    cfg.hot_threshold,
+                    *cfg,
                 )
             }
             None => base,
@@ -1535,7 +1866,7 @@ impl Engine {
                     backend,
                     cache_weak,
                     service_weak,
-                    cfg.hot_threshold,
+                    cfg,
                 ),
                 None => base,
             })
@@ -1609,6 +1940,37 @@ impl Engine {
     /// enable_tiering) was called.
     pub fn tiering(&self) -> Option<TierConfig> {
         self.tiering.get().copied()
+    }
+
+    /// Attaches a persistent L2 tier under `dir`: subsequent
+    /// [`compile_cached`](Self::compile_cached) misses probe the disk
+    /// tier before compiling and store-through after. First call wins
+    /// (`false` afterwards, like [`enable_tiering`](Self::enable_tiering)).
+    ///
+    /// Register every backend *before* enabling persistence — the tier
+    /// captures the backend set it revalidates and adopts with.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`](crate::persist::PersistError::Io) when the
+    /// directory cannot be created.
+    pub fn enable_persist(
+        &self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<bool, crate::persist::PersistError> {
+        let tier = crate::persist::DiskTier::new(
+            dir,
+            Box::new(LambdaCodec {
+                backends: self.backends.clone(),
+            }),
+        )?;
+        Ok(self.l2.set(Arc::new(tier)).is_ok())
+    }
+
+    /// The persistent L2 tier, if [`enable_persist`](Self::enable_persist)
+    /// was called.
+    pub fn persist_tier(&self) -> Option<&Arc<crate::persist::DiskTier<dyn Lambda>>> {
+        self.l2.get()
     }
 
     /// The engine's lambda cache (for direct keying, invalidation and

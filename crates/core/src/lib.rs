@@ -58,6 +58,7 @@ pub mod label;
 pub mod macros;
 pub mod obs;
 pub mod op;
+pub mod persist;
 pub mod rcu;
 pub mod reg;
 pub mod regalloc;
@@ -82,6 +83,7 @@ pub use error::Error;
 pub use label::Label;
 pub use obs::{CodegenEvent, ExecStats, TraceRecord, TrapCounts};
 pub use op::{BinOp, Cond, Imm, UnOp};
+pub use persist::{Artifact, ArtifactCodec, CacheTier, DiskTier, PersistError};
 pub use reg::{Bank, Reg, RegClass, RegDesc, RegFile, RegKind};
 pub use service::{CompileService, QuarantineInfo, ServiceConfig, ServiceStats, Submit};
 pub use target::{

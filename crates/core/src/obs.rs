@@ -564,6 +564,101 @@ pub fn swap_counters() -> SwapCounters {
     }
 }
 
+// Persistent-cache (L2) counters: warm-start observability for the
+// tiered store. A hit is an artifact loaded, revalidated, and adopted;
+// a miss is a clean absence; a reject is an artifact that existed but
+// failed any validation stage (envelope, checksum, re-decode, codec) —
+// each reject corresponds to one silent fallback to a fresh compile.
+
+static PERSIST_HITS: AtomicU64 = AtomicU64::new(0);
+static PERSIST_MISSES: AtomicU64 = AtomicU64::new(0);
+static PERSIST_STORES: AtomicU64 = AtomicU64::new(0);
+static PERSIST_REJECTS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide persistent-cache counter snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistCounters {
+    /// Artifacts loaded, revalidated, and adopted.
+    pub hits: u64,
+    /// Clean misses (no artifact on disk).
+    pub misses: u64,
+    /// Artifacts written (store-through publications).
+    pub stores: u64,
+    /// Artifacts refused by validation (each one a silent fallback to
+    /// a fresh compile).
+    pub rejects: u64,
+}
+
+/// Records one adopted artifact load.
+#[inline]
+pub fn note_persist_hit() {
+    PERSIST_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one clean persistent-cache miss.
+#[inline]
+pub fn note_persist_miss() {
+    PERSIST_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one artifact publication.
+#[inline]
+pub fn note_persist_store() {
+    PERSIST_STORES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one artifact refused by validation.
+#[inline]
+pub fn note_persist_reject() {
+    PERSIST_REJECTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the process-wide persistent-cache counters.
+pub fn persist_counters() -> PersistCounters {
+    PersistCounters {
+        hits: PERSIST_HITS.load(Ordering::Relaxed),
+        misses: PERSIST_MISSES.load(Ordering::Relaxed),
+        stores: PERSIST_STORES.load(Ordering::Relaxed),
+        rejects: PERSIST_REJECTS.load(Ordering::Relaxed),
+    }
+}
+
+// Execution-cycle feed: the simulators report each call's simulated
+// cycle count here, giving the tiering policy a cost-weighted heat
+// signal (a callee that burns 10k cycles per call is "hotter" after 3
+// calls than a 5-cycle one after 100). The per-call value is
+// thread-local — a lambda call runs synchronously on the caller's
+// thread — while the total is a process-wide tally.
+
+static EXEC_CYCLES_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LAST_CALL_CYCLES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Records the simulated cycle cost of one completed lambda call on
+/// this thread (the simulators call this; native code has no cycle
+/// model and reports nothing).
+#[inline]
+pub fn note_exec_cycles(cycles: u64) {
+    EXEC_CYCLES_TOTAL.fetch_add(cycles, Ordering::Relaxed);
+    LAST_CALL_CYCLES.with(|c| c.set(cycles));
+}
+
+/// Takes (and clears) the cycle cost the most recent call reported on
+/// this thread; 0 when the last call had no cycle model. The tiering
+/// heat policy clears before and takes after a call so a native call
+/// can never inherit a stale simulator reading.
+#[inline]
+pub fn take_last_call_cycles() -> u64 {
+    LAST_CALL_CYCLES.with(|c| c.replace(0))
+}
+
+/// Process-wide total of simulated cycles reported by all backends.
+pub fn exec_cycles_total() -> u64 {
+    EXEC_CYCLES_TOTAL.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

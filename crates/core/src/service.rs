@@ -506,10 +506,14 @@ fn run_job<V: ?Sized + Send + Sync + 'static>(s: &Shared<V>, job: Job<V>) {
         quarantine_failure(s, key, "build deadline expired in queue".to_string());
         return;
     }
+    // The job stays `active` until its outcome is fully *recorded*
+    // (publish or quarantine entry), not merely until the builder
+    // returns — `wait_idle` reports idle off this counter, so
+    // decrementing before the bookkeeping lets a drain-then-inspect
+    // caller read the quarantine map a beat too early.
     s.active.fetch_add(1, Ordering::SeqCst);
     let outcome = catch_unwind(AssertUnwindSafe(builder));
     let elapsed = start.elapsed();
-    s.active.fetch_sub(1, Ordering::SeqCst);
     let now = Instant::now();
     match outcome {
         Ok(Ok(val)) if now <= deadline => {
@@ -550,6 +554,7 @@ fn run_job<V: ?Sized + Send + Sync + 'static>(s: &Shared<V>, job: Job<V>) {
             quarantine_failure(s, key, format!("builder panicked: {msg}"));
         }
     }
+    s.active.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Records a failed/expired build: creates or extends the key's

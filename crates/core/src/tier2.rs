@@ -45,15 +45,25 @@ use std::collections::{HashMap, HashSet};
 /// [`Engine::enable_tiering`](crate::engine::Engine::enable_tiering)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TierConfig {
-    /// Call count at which a cached lambda's tier-2 rebuild is
-    /// scheduled. Clamped to at least 1.
+    /// Heat at which a cached lambda's tier-2 rebuild is scheduled:
+    /// call count by default, accumulated execution cycles when
+    /// [`cycle_weighted`](Self::cycle_weighted) is set. Clamped to at
+    /// least 1.
     pub hot_threshold: u64,
+    /// Weight heat by each call's reported execution cost (the
+    /// simulators' cycle counters, fed through
+    /// [`obs::note_exec_cycles`](crate::obs::note_exec_cycles)) instead
+    /// of 1 per call — so a long-running cold callee tiers up before a
+    /// cheap hot one. Backends without a cycle model (native x86-64)
+    /// fall back to 1 per call.
+    pub cycle_weighted: bool,
 }
 
 impl Default for TierConfig {
     fn default() -> TierConfig {
         TierConfig {
             hot_threshold: 1024,
+            cycle_weighted: false,
         }
     }
 }

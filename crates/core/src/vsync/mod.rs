@@ -77,6 +77,13 @@ pub enum Injection {
     /// the stall timeout, which the explorer observes as a virtual-
     /// clock jump (or, for unbounded waits, a deadlock).
     DropCacheNotify,
+    /// Breaks the persistent-cache single-writer claim
+    /// (`crate::persist::StoreSlots::try_claim`): the claim is handed
+    /// out but never recorded in the slot table, so two threads racing
+    /// to persist one key both "win" and both publish — the
+    /// `persist_single_writer` model program counts the publications
+    /// and fails.
+    PersistClaimRace,
 }
 
 /// Whether `i` is injected for the current model execution. Always

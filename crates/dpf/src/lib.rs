@@ -87,6 +87,101 @@ pub fn clear_cache() {
     classifier_cache().clear();
 }
 
+/// The [`ArtifactCodec`](vcode::ArtifactCodec) for compiled classifier
+/// sets: code bytes plus the dispatch-strategy counters in the meta
+/// blob. Only [position-independent](CompiledSet::position_independent)
+/// sets persist — jump-table and perfect-hash dispatch embed absolute
+/// side-table addresses that cannot survive a reload — and every load
+/// re-decodes the bytes with the x86-64 length decoder before they
+/// touch executable memory.
+#[derive(Debug)]
+struct SetCodec;
+
+impl vcode::ArtifactCodec<CompiledSet> for SetCodec {
+    fn to_artifact(
+        &self,
+        key: &CacheKey,
+        val: &Arc<CompiledSet>,
+    ) -> Result<vcode::Artifact, vcode::PersistError> {
+        if !val.position_independent() {
+            return Err(vcode::PersistError::NotPersistable(
+                "classifier uses absolute-address dispatch tables",
+            ));
+        }
+        Ok(vcode::Artifact {
+            target: TargetId::X64,
+            args: 0,
+            insns: val.vcode_insns,
+            key: key.content().to_vec(),
+            meta: val.meta_blob(),
+            code: val.code_bytes().to_vec(),
+        })
+    }
+
+    fn from_artifact(
+        &self,
+        artifact: &vcode::Artifact,
+    ) -> Result<Arc<CompiledSet>, vcode::PersistError> {
+        vcode::persist::redecode(&artifact.code, &vcode_x64::declen::Decoder)?;
+        let strategies = CompiledSet::meta_parse(&artifact.meta).ok_or(
+            vcode::PersistError::Malformed("classifier strategy meta blob"),
+        )?;
+        let set = CompiledSet::adopt(&artifact.code, strategies, artifact.insns)
+            .map_err(|e| vcode::PersistError::Revalidation(e.to_string()))?;
+        Ok(Arc::new(set))
+    }
+}
+
+fn persist_slot() -> &'static OnceLock<Arc<vcode::DiskTier<CompiledSet>>> {
+    static TIER: OnceLock<Arc<vcode::DiskTier<CompiledSet>>> = OnceLock::new();
+    &TIER
+}
+
+/// Attaches a persistent L2 tier for compiled classifiers under `dir`:
+/// cache misses in [`Dpf::compile`] and the [`DpfService`] warm path
+/// probe the disk tier before compiling, and successful compiles
+/// store through. First call wins (`false` afterwards).
+///
+/// # Errors
+///
+/// [`vcode::PersistError::Io`] when the directory cannot be created.
+pub fn enable_persist(dir: impl Into<std::path::PathBuf>) -> Result<bool, vcode::PersistError> {
+    let tier = vcode::DiskTier::new(dir, Box::new(SetCodec))?;
+    Ok(persist_slot().set(Arc::new(tier)).is_ok())
+}
+
+/// The classifier persistent tier, if [`enable_persist`] was called.
+pub fn persist_tier() -> Option<&'static Arc<vcode::DiskTier<CompiledSet>>> {
+    persist_slot().get()
+}
+
+/// Probes the persistent tier for `key`; any [`vcode::PersistError`] is
+/// a counted, silent miss (fresh compile follows).
+fn l2_load(key: &CacheKey) -> Option<Arc<CompiledSet>> {
+    let tier = persist_tier()?;
+    vcode::CacheTier::load(&**tier, key).ok().flatten()
+}
+
+/// Best-effort store-through to the persistent tier.
+fn l2_store(key: &CacheKey, set: &Arc<CompiledSet>) {
+    if let Some(tier) = persist_tier() {
+        let _ = vcode::CacheTier::store(&**tier, key, set);
+    }
+}
+
+/// L2 probe that also installs the loaded set into the in-memory cache
+/// (so subsequent peeks hit L1). The service's warm-key republish path
+/// uses this: a process restart with a populated artifact directory
+/// then serves native code without ever compiling.
+pub(crate) fn l2_fetch_into_l1(key: &CacheKey) -> Option<Arc<CompiledSet>> {
+    let set = l2_load(key)?;
+    classifier_cache()
+        .get_or_insert_with(key.clone(), || {
+            Ok::<_, std::convert::Infallible>(Arc::clone(&set))
+        })
+        .ok()
+}
+
 /// Which engine a [`Dpf`] is classifying with after
 /// [`compile`](Dpf::compile).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -261,11 +356,21 @@ impl Dpf {
                 .map_err(CacheError::Build)
         } else {
             let cache = classifier_cache();
+            let key = self.cache_key();
+            let l2_key = key.clone();
             cache.get_or_build(
-                self.cache_key(),
+                key,
                 || {
+                    // L1 missed: a valid persisted artifact (L2) skips
+                    // trie construction and codegen entirely; errors
+                    // fall through to a fresh compile.
+                    if let Some(set) = l2_load(&l2_key) {
+                        return Ok(set);
+                    }
                     let root = trie::build(&self.filters);
-                    compile_with_retry(&root, self.opts).map(Arc::new)
+                    let set = compile_with_retry(&root, self.opts).map(Arc::new)?;
+                    l2_store(&l2_key, &set);
+                    Ok(set)
                 },
                 cache.stall_timeout(),
             )

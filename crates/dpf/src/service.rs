@@ -215,8 +215,12 @@ impl Shared {
         self.pending.store(false, Ordering::SeqCst);
         let key = cache_key(&w.filters, w.opts);
         // Warm key — the same filter set compiled before, process-wide
-        // — publishes native directly: no interpreter window at all.
-        if let Some(set) = classifier_cache().peek(&key) {
+        // (L1) or in a previous process with a persistent tier (L2) —
+        // publishes native directly: no interpreter window at all.
+        if let Some(set) = classifier_cache()
+            .peek(&key)
+            .or_else(|| crate::l2_fetch_into_l1(&key))
+        {
             self.publish_generation(w, Some(set));
             return;
         }
@@ -232,7 +236,10 @@ impl Shared {
             self.pending.store(false, Ordering::SeqCst);
             return self.native.load(Ordering::SeqCst);
         };
-        if let Some(set) = classifier_cache().peek(&key) {
+        if let Some(set) = classifier_cache()
+            .peek(&key)
+            .or_else(|| crate::l2_fetch_into_l1(&key))
+        {
             self.publish_generation(w, Some(set));
             self.upgrades.fetch_add(1, Ordering::Relaxed);
             obs::note_generation_upgraded();

@@ -67,7 +67,10 @@ fn engine_with(fault: Fault) -> Engine {
         quarantine_base: Duration::from_millis(50),
         quarantine_cap: Duration::from_millis(400),
     }));
-    assert!(e.enable_tiering(TierConfig { hot_threshold: 4 }));
+    assert!(e.enable_tiering(TierConfig {
+        hot_threshold: 4,
+        ..TierConfig::default()
+    }));
     e
 }
 

@@ -300,6 +300,75 @@ pub mod programs {
         );
     }
 
+    /// **Persistent-cache single writer, never-torn reads.** Two
+    /// threads race to persist the same artifact fingerprint through
+    /// the production [`StoreSlots`](vcode::persist::StoreSlots)
+    /// protocol (exists-check → claim → re-check → publish), with the
+    /// filesystem modeled as one publication cell whose swap is atomic
+    /// — exactly the guarantee `rename(2)` gives the real `DiskTier`.
+    /// Invariants: racing persisters publish **exactly one** artifact,
+    /// and a concurrent reader never observes a torn (incomplete or
+    /// mixed-byte) file. [`Injection::PersistClaimRace`] hands the
+    /// claim out without recording it, so both writers win the slot
+    /// and the double publication is caught.
+    pub fn persist_single_writer() {
+        use vcode::persist::StoreSlots;
+        let slots = Arc::new(StoreSlots::new());
+        // The "artifact file": swapped whole, as rename publishes it.
+        let file: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+        let publishes = Arc::new(AtomicU64::new(0));
+        let persister = |payload: u8| {
+            let slots = Arc::clone(&slots);
+            let file = Arc::clone(&file);
+            let publishes = Arc::clone(&publishes);
+            move || {
+                // DiskTier::store's protocol, in miniature.
+                if file.lock().unwrap().is_some() {
+                    return;
+                }
+                let Some(_ticket) = slots.try_claim(0xFEED) else {
+                    return;
+                };
+                if file.lock().unwrap().is_some() {
+                    return;
+                }
+                // Stage the full image privately (the temp file), then
+                // publish in one atomic swap (the rename).
+                let staged = vec![payload; 8];
+                publishes.fetch_add(1, Ordering::SeqCst);
+                *file.lock().unwrap() = Some(staged);
+            }
+        };
+        let w1 = vsync::thread::spawn(persister(0xAA));
+        let w2 = vsync::thread::spawn(persister(0xBB));
+        let reader = {
+            let file = Arc::clone(&file);
+            vsync::thread::spawn(move || {
+                for _ in 0..2 {
+                    if let Some(b) = file.lock().unwrap().as_ref() {
+                        assert_eq!(b.len(), 8, "reader observed a torn artifact");
+                        assert!(
+                            b.iter().all(|&x| x == b[0]),
+                            "reader observed a mixed-writer artifact"
+                        );
+                    }
+                }
+            })
+        };
+        w1.join().expect("writer 1 panicked");
+        w2.join().expect("writer 2 panicked");
+        reader.join().expect("reader panicked");
+        assert_eq!(
+            publishes.load(Ordering::SeqCst),
+            1,
+            "racing persisters must publish exactly one artifact"
+        );
+        assert!(
+            file.lock().unwrap().is_some(),
+            "the winning claim must actually publish"
+        );
+    }
+
     /// All model programs, by name — the seeded smoke run, the
     /// exhaustive CI sweep and the bench interleaving counts iterate
     /// this table.
@@ -312,6 +381,7 @@ pub mod programs {
             ("cache_notify_wakes_waiters", cache_notify_wakes_waiters),
             ("tier_latch_no_torn_swap", tier_latch_no_torn_swap),
             ("quarantine_single_probe", quarantine_single_probe),
+            ("persist_single_writer", persist_single_writer),
         ]
     }
 }

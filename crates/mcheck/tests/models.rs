@@ -100,6 +100,33 @@ fn mutation_targets_are_clean_on_trunk() {
         .assert_ok();
 }
 
+/// Checker teeth, mutation 3: handing out a persistence claim without
+/// recording it ([`Injection::PersistClaimRace`]) lets both racing
+/// writers win the single-writer slot and publish — the model must
+/// catch the double publication, and the schedule must replay.
+#[test]
+fn mutation_persist_claim_race_is_caught() {
+    let explorer = injected(Injection::PersistClaimRace);
+    let report = explorer.exhaustive(100_000, programs::persist_single_writer);
+    let v = report.expect_violation("double publication under an unrecorded claim");
+    assert!(
+        v.message.contains("exactly one artifact"),
+        "unexpected violation: {v}"
+    );
+    let replay = explorer.replay(&v.schedule, programs::persist_single_writer);
+    let rv = replay.expect_violation("replay of the recorded schedule");
+    assert_eq!(rv.message, v.message);
+}
+
+/// The persistence protocol is clean on trunk under the same bounded
+/// DFS that catches its mutation.
+#[test]
+fn persist_single_writer_is_clean_on_trunk() {
+    Explorer::new()
+        .exhaustive(100_000, programs::persist_single_writer)
+        .assert_ok();
+}
+
 // -- full exhaustive sweeps (scripts/ci.sh runs these via --ignored) --
 
 fn sweep(name: &str, f: fn()) {
@@ -139,4 +166,10 @@ fn exhaustive_cache_models() {
 fn exhaustive_tier_and_quarantine_models() {
     sweep("tier_latch_no_torn_swap", programs::tier_latch_no_torn_swap);
     sweep("quarantine_single_probe", programs::quarantine_single_probe);
+}
+
+#[test]
+#[ignore = "full exhaustive sweep; run via scripts/ci.sh (cargo test -p mcheck -- --ignored)"]
+fn exhaustive_persist_models() {
+    sweep("persist_single_writer", programs::persist_single_writer);
 }

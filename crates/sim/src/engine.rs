@@ -4,9 +4,15 @@
 //! The core `vcode::engine` layer is deliberately ignorant of the
 //! simulators (backend crates must not depend on `vcode-sim`, and this
 //! crate must not depend on the backends). [`install`] closes the loop at
-//! runtime: it registers one [`SimRunner`] for each simulated ISA, after
+//! runtime: it registers one [`SimRunner`] for each simulated ISA — and
+//! each ISA's differential decoder with the persistent cache, so stored
+//! artifacts for simulated targets can be revalidated on load — after
 //! which `Lambda::call` on a MIPS/SPARC/Alpha [`CodeImage`] loads the
 //! code into a fresh machine and executes it.
+//!
+//! Each successful call also reports the machine's simulated cycle
+//! count through [`vcode::obs::note_exec_cycles`], feeding the tiering
+//! policy's cycle-weighted heat mode.
 
 use vcode::engine::{self, EngineError, SimExecutor, TargetId};
 
@@ -30,6 +36,7 @@ impl SimRunner {
         let r = m
             .call(entry, &args, fuel)
             .map_err(|t| EngineError::Exec(format!("mips trap: {t}")))?;
+        vcode::obs::note_exec_cycles(m.cycles());
         Ok(i64::from(r as i32))
     }
 
@@ -42,6 +49,7 @@ impl SimRunner {
         let r = m
             .call(entry, &args, fuel)
             .map_err(|t| EngineError::Exec(format!("sparc trap: {t}")))?;
+        vcode::obs::note_exec_cycles(m.cycles());
         Ok(i64::from(r as i32))
     }
 
@@ -56,6 +64,7 @@ impl SimRunner {
         let r = m
             .call(entry, &args, fuel)
             .map_err(|t| EngineError::Exec(format!("alpha trap: {t}")))?;
+        vcode::obs::note_exec_cycles(m.cycles());
         Ok(i64::from(r as u32 as i32))
     }
 }
@@ -79,7 +88,9 @@ impl SimExecutor for SimRunner {
     }
 }
 
-/// Installs a [`SimRunner`] as the executor for all three simulated ISAs.
+/// Installs a [`SimRunner`] as the executor for all three simulated ISAs
+/// and registers each ISA's differential decoder with the persistent
+/// cache (artifact revalidation needs an independent decode path).
 /// Idempotent; call once near startup (or from each test that executes
 /// simulated lambdas).
 pub fn install() {
@@ -87,4 +98,7 @@ pub fn install() {
     engine::set_executor(TargetId::Mips, runner.clone());
     engine::set_executor(TargetId::Sparc, runner.clone());
     engine::set_executor(TargetId::Alpha, runner);
+    vcode::persist::set_decoder(TargetId::Mips, std::sync::Arc::new(crate::mips::Decoder));
+    vcode::persist::set_decoder(TargetId::Sparc, std::sync::Arc::new(crate::sparc::Decoder));
+    vcode::persist::set_decoder(TargetId::Alpha, std::sync::Arc::new(crate::alpha::Decoder));
 }

@@ -151,6 +151,16 @@ impl InsnDecoder for Decoder {
                 control: true,
                 target: rel32_target(code, at + i, at + i + 4),
             }),
+            // jmp rel8 (the epilogue patcher's short hop over the
+            // unused run of reserved prologue-save nops).
+            0xeb => {
+                let rel = *bytes.get(i)? as i8;
+                Some(DecodedInsn {
+                    len: i + 1,
+                    control: true,
+                    target: Some((at + i + 1) as i64 + i64::from(rel)),
+                })
+            }
             // group-5: jmp/call r/m (only /2 and /4 are emitted).
             0xff => {
                 let ext = (*bytes.get(i)? >> 3) & 7;

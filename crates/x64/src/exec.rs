@@ -480,6 +480,22 @@ impl ExecMem {
         Ok(ExecMem { map, ptr, rw, len })
     }
 
+    /// Obtains dual-mapped storage pre-filled with `bytes` — the
+    /// adoption path for revalidated persistent-cache artifacts, so
+    /// deserialized code lands in the same pooled, guarded, pinnable
+    /// memory as freshly emitted code. The caller must have revalidated
+    /// `bytes` (differential re-decode) before adoption; this function
+    /// only places them.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new).
+    pub fn adopt_bytes(bytes: &[u8]) -> io::Result<ExecMem> {
+        let mut mem = ExecMem::new(bytes.len())?;
+        mem.as_mut_slice()[..bytes.len()].copy_from_slice(bytes);
+        Ok(mem)
+    }
+
     /// The writable storage, handed to
     /// [`Assembler::lambda`](vcode::Assembler::lambda) as the client code
     /// pointer. This is the write *alias*: bytes stored here become
@@ -691,6 +707,18 @@ impl ExecCode {
     /// constructible value, computed honestly from `len`.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// The finalized code bytes, read through the execution view (it is
+    /// `PROT_READ|PROT_EXEC`, so plain loads are fine). This is what the
+    /// persistent cache serializes: adoption of these exact bytes
+    /// reproduces the lambda.
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: `ptr` is the start of our own mapped execution view,
+        // readable for `len` bytes, and no writes go through the alias
+        // after finalization — the region is effectively immutable for
+        // the lifetime of this `ExecCode`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
     }
 
     /// Reinterprets the entry point as a function pointer.

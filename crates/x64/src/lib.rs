@@ -936,6 +936,12 @@ impl Lambda for NativeLambda {
         };
         Ok(i64::from(raw as u32 as i32))
     }
+
+    fn persist_image(&self) -> Option<(usize, Vec<u8>)> {
+        // The mapping is rounded up to a page class; only the emitted
+        // prefix is the program.
+        Some((self.args, self.code.bytes()[..self.len].to_vec()))
+    }
 }
 
 /// Runtime-selectable engine adapter for the native x86-64 target:
@@ -981,6 +987,28 @@ impl Backend for X64Backend {
             args: opt.args(),
             len: fin.len,
             insns: fin.insns,
+        }))
+    }
+
+    fn adopt(
+        &self,
+        artifact: &vcode::persist::Artifact,
+    ) -> Result<std::sync::Arc<dyn Lambda>, EngineError> {
+        // Differential re-decode *before* anything lands in executable
+        // memory: every instruction must decode, the walk must end on
+        // the buffer boundary, every branch target must be a boundary.
+        vcode::persist::redecode(&artifact.code, &declen::Decoder)
+            .map_err(|e| EngineError::Exec(format!("artifact revalidation: {e}")))?;
+        let mem = ExecMem::adopt_bytes(&artifact.code)
+            .map_err(|e| EngineError::Exec(format!("exec mmap: {e}")))?;
+        let code = mem
+            .finalize()
+            .map_err(|e| EngineError::Exec(format!("exec seal: {e}")))?;
+        Ok(std::sync::Arc::new(NativeLambda {
+            code,
+            args: artifact.args as usize,
+            len: artifact.code.len(),
+            insns: artifact.insns,
         }))
     }
 }

@@ -85,6 +85,9 @@ cargo bench -q --offline -p vcode-bench --bench tier2
 echo "== dpf_service =="
 cargo bench -q --offline -p vcode-bench --bench dpf_service
 
+echo "== persist =="
+cargo bench -q --offline -p vcode-bench --bench persist
+
 merge_mcheck_counts
 
 echo "Snapshot written to $out"

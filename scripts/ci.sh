@@ -143,6 +143,36 @@ echo "== dpf-service smoke (live-update-under-traffic gate) =="
 VCODE_SMOKE=1 VCODE_BASELINE="$PWD/BENCH_codegen.json" \
     cargo bench -q --offline -p vcode-bench --bench dpf_service
 
+echo "== persist smoke (persistent-cache cold/warm gate) =="
+# The persistent (L2) code cache: the bench hard-fails when a warm
+# start (artifacts on disk, L1 cleared) is not at least 2x faster to
+# first classified packet than a cold start, when store-through writes
+# fewer artifacts than sets compiled, or when a warm pass is served by
+# fresh compiles instead of verified disk loads.
+VCODE_SMOKE=1 VCODE_BASELINE="$PWD/BENCH_codegen.json" \
+    cargo bench -q --offline -p vcode-bench --bench persist
+
+echo "== persist warm-start gate (committed snapshot) =="
+# The committed snapshot must record a >=2x warm-start speedup — the
+# tentpole acceptance criterion, checked against the artifact the repo
+# ships, not just the machine CI happens to run on.
+persist_metric() {
+    sed -n "s/.*\"persist\\/$1\": *\\([0-9.]*\\).*/\\1/p" \
+        "$PWD/BENCH_codegen.json"
+}
+warm_speedup="$(persist_metric warm_speedup)"
+if [ -z "$warm_speedup" ]; then
+    echo "persist gate: snapshot missing persist/warm_speedup" >&2
+    exit 1
+fi
+awk -v s="$warm_speedup" 'BEGIN {
+    if (s + 0 < 2.0) {
+        printf "persist gate: committed warm-start speedup %.2fx below the 2x floor\n", s
+        exit 1
+    }
+    printf "persist warm-start ok: %.2fx\n", s
+}'
+
 echo "== exec-stats smoke (observability gate) =="
 # Every backend — three simulators plus native x86-64 — must expose
 # nonzero, schema-stable ExecStats counters; the bench exits non-zero

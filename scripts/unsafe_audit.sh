@@ -14,7 +14,11 @@ cd "$(dirname "$0")/.."
 verbose=0
 [ "${1:-}" = "-v" ] && verbose=1
 
-files=$(git ls-files 'crates/*.rs' 'crates/**/*.rs' 'src/**/*.rs' 'tests/*.rs' 2>/dev/null || true)
+# --others --exclude-standard folds in not-yet-committed sources, so a
+# new file's unsafe sites are audited before the first commit that
+# ships them, not after.
+files=$(git ls-files --cached --others --exclude-standard \
+    'crates/*.rs' 'crates/**/*.rs' 'src/**/*.rs' 'tests/*.rs' 2>/dev/null | sort -u || true)
 if [ -z "$files" ]; then
     echo "unsafe_audit: no Rust sources found" >&2
     exit 1

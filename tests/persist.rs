@@ -1,0 +1,145 @@
+//! Workspace integration: the persistent (L2) code cache.
+//!
+//! The headline property from the roadmap: a program compiled and
+//! persisted by one engine, reloaded by a *fresh* engine from the same
+//! artifact directory, must survive revalidation and produce
+//! bit-for-bit identical code and identical results on every backend
+//! (x86-64 natively, MIPS/SPARC/Alpha on their simulators).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use vcode::engine::{Backend, Engine, Program, TargetId};
+use vcode::{BinOp, Cond, UnOp};
+
+fn all_backends() -> Vec<Arc<dyn Backend>> {
+    vec![
+        Arc::new(vcode_mips::MipsBackend),
+        Arc::new(vcode_sparc::SparcBackend),
+        Arc::new(vcode_alpha::AlphaBackend),
+        Arc::new(vcode_x64::X64Backend),
+    ]
+}
+
+fn engine(capacity: usize) -> Engine {
+    vcode_sim::engine::install();
+    let mut e = Engine::new(capacity);
+    for b in all_backends() {
+        e.register(b);
+    }
+    e
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vcode-persist-it-{}-{}", std::process::id(), tag));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small corpus spanning arithmetic, immediates, branches, unary ops
+/// and temporaries, so each backend's full replay path round-trips.
+fn corpus() -> Vec<Program> {
+    let mut abs3 = Program::new(2).unwrap();
+    abs3.bin(BinOp::Add, 2, 0, 1);
+    let skip = abs3.genlabel();
+    abs3.br_imm(Cond::Ge, 2, 0, skip);
+    abs3.un(UnOp::Neg, 2, 2);
+    abs3.label(skip);
+    abs3.bin_imm(BinOp::Mul, 2, 2, 3);
+    abs3.ret(2);
+
+    let mut mix = Program::new(2).unwrap();
+    mix.bin(BinOp::Xor, 2, 0, 1);
+    mix.bin_imm(BinOp::And, 2, 2, 0xFF);
+    mix.bin(BinOp::Sub, 3, 0, 2);
+    mix.ret(3);
+
+    let mut inc = Program::new(1).unwrap();
+    inc.bin_imm(BinOp::Add, 0, 0, 1);
+    inc.ret(0);
+
+    vec![abs3, mix, inc]
+}
+
+const ARG_GRID: [(i32, i32); 5] = [(3, 4), (-10, 2), (0, 0), (1000, -2000), (123_456, -654_321)];
+
+/// Persist → reload → revalidate → identical output, on all four
+/// backends: engine A compiles and stores through; a fresh engine B
+/// over the same directory must serve every program from disk (persist
+/// hit counters advance) with bit-identical code images.
+#[test]
+fn round_trips_on_all_four_backends() {
+    let dir = scratch_dir("roundtrip");
+    let corpus = corpus();
+
+    // Engine A: compile everything, recording results + code images.
+    let a = engine(64);
+    assert!(a.enable_persist(&dir).unwrap());
+    let mut expect = Vec::new();
+    for (pi, p) in corpus.iter().enumerate() {
+        for id in TargetId::ALL {
+            let f = a.compile_cached(id, p).unwrap();
+            let image = f
+                .persist_image()
+                .expect("fresh compile must be persistable");
+            let args = p.args();
+            for &(x, y) in &ARG_GRID {
+                let call: Vec<i32> = [x, y][..args].to_vec();
+                expect.push((pi, id, call.clone(), f.call(&call).unwrap(), image.clone()));
+            }
+        }
+    }
+    drop(a);
+
+    // Engine B: fresh caches, same artifact directory. Every compile
+    // must be served from disk, not rebuilt.
+    let before = vcode::obs::persist_counters();
+    let b = engine(64);
+    assert!(b.enable_persist(&dir).unwrap());
+    for (pi, id, call, want, image) in &expect {
+        let f = b.compile_cached(*id, &corpus[*pi]).unwrap();
+        let got_image = f.persist_image().expect("reloaded lambda must re-persist");
+        assert_eq!(
+            &got_image, image,
+            "{id} program {pi}: code image must be bit-identical"
+        );
+        assert_eq!(
+            f.call(call).unwrap(),
+            *want,
+            "{id} program {pi} f({call:?})"
+        );
+    }
+    let after = vcode::obs::persist_counters();
+    assert_eq!(
+        after.hits - before.hits,
+        (corpus.len() * TargetId::ALL.len()) as u64,
+        "every (program, target) pair must load from the persistent tier"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The persistent tier is strictly additive: with it disabled nothing
+/// touches disk, and enabling it twice keeps the first directory.
+#[test]
+fn enable_is_first_call_wins() {
+    let dir1 = scratch_dir("first");
+    let dir2 = scratch_dir("second");
+    let e = engine(8);
+    assert!(e.enable_persist(&dir1).unwrap());
+    assert!(!e.enable_persist(&dir2).unwrap());
+    let mut p = Program::new(1).unwrap();
+    p.bin_imm(BinOp::Add, 0, 0, 7);
+    p.ret(0);
+    let f = e.compile_cached(TargetId::X64, &p).unwrap();
+    assert_eq!(f.call(&[35]).unwrap(), 42);
+    assert!(
+        std::fs::read_dir(&dir1).unwrap().next().is_some(),
+        "store-through must write into the first directory"
+    );
+    assert!(
+        !dir2.exists() || std::fs::read_dir(&dir2).unwrap().next().is_none(),
+        "the losing directory must stay untouched"
+    );
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir2);
+}

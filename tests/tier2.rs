@@ -325,8 +325,17 @@ fn simulated_div_by_zero_behaves_identically_in_both_tiers() {
 #[test]
 fn hot_lambda_upgrades_in_place_and_stays_correct() {
     let e = engine(64);
-    assert!(e.enable_tiering(TierConfig { hot_threshold: 8 }));
-    assert_eq!(e.tiering(), Some(TierConfig { hot_threshold: 8 }));
+    assert!(e.enable_tiering(TierConfig {
+        hot_threshold: 8,
+        ..TierConfig::default()
+    }));
+    assert_eq!(
+        e.tiering(),
+        Some(TierConfig {
+            hot_threshold: 8,
+            ..TierConfig::default()
+        })
+    );
     let p = sum_squares_loop();
     let f = e.compile_cached(TargetId::X64, &p).unwrap();
     let tiered = f.as_tiered().expect("tiering wraps cached lambdas");
@@ -357,6 +366,7 @@ fn warm_hits_share_one_heat_counter() {
     let e = engine(64);
     assert!(e.enable_tiering(TierConfig {
         hot_threshold: 1_000_000,
+        ..TierConfig::default()
     }));
     let p = abs_times_3();
     let f1 = e.compile_cached(TargetId::Mips, &p).unwrap();
@@ -371,7 +381,10 @@ fn warm_hits_share_one_heat_counter() {
 fn concurrent_callers_never_observe_a_torn_swap() {
     let e = Arc::new({
         let e = engine(64);
-        assert!(e.enable_tiering(TierConfig { hot_threshold: 4 }));
+        assert!(e.enable_tiering(TierConfig {
+            hot_threshold: 4,
+            ..TierConfig::default()
+        }));
         e
     });
     let p = classify_ladder();
@@ -417,7 +430,10 @@ fn tiering_off_means_no_wrapper() {
 #[test]
 fn async_compiles_tier_up_too() {
     let e = engine(64);
-    assert!(e.enable_tiering(TierConfig { hot_threshold: 4 }));
+    assert!(e.enable_tiering(TierConfig {
+        hot_threshold: 4,
+        ..TierConfig::default()
+    }));
     let p = const_heavy();
     let want = p.interpret(&[9], 1_000).unwrap();
     let h = e.compile_async(TargetId::Mips, &p).unwrap();
@@ -434,4 +450,71 @@ fn async_compiles_tier_up_too() {
     f.call(&[9]).unwrap();
     assert!(tiered.upgraded());
     assert_eq!(f.call(&[9]).unwrap(), want);
+}
+
+/// Cycle-weighted heat (satellite of the persistent-cache PR): with
+/// `cycle_weighted` on, heat advances by the *observed execution
+/// cycles* of each call (the simulators report theirs through
+/// `vcode::obs::note_exec_cycles`), so a long-running callee tiers up
+/// after a handful of calls while a cheap one called far more often
+/// stays cold — the paper's "optimize where the time goes" policy,
+/// not "optimize whatever is called".
+#[test]
+fn expensive_cold_callee_tiers_up_before_cheap_hot_one() {
+    let e = engine(64);
+    assert!(e.enable_tiering(TierConfig {
+        hot_threshold: 1_000,
+        cycle_weighted: true,
+    }));
+    let cheap_p = abs_times_3();
+    let exp_p = sum_squares_loop();
+    let cheap = e.compile_cached(TargetId::Mips, &cheap_p).unwrap();
+    let exp = e.compile_cached(TargetId::Mips, &exp_p).unwrap();
+    let cheap_t = cheap.as_tiered().expect("wrapped");
+    let exp_t = exp.as_tiered().expect("wrapped");
+
+    // The cheap callee is *hot* by call count: 30 calls, a few cycles
+    // each — far below the 1000-cycle threshold.
+    let cheap_want = cheap_p.interpret(&[5, 1], 1_000).unwrap();
+    for _ in 0..30 {
+        assert_eq!(cheap.call(&[5, 1]).unwrap(), cheap_want);
+    }
+    // The expensive callee is *cold* by call count: 3 calls, but each
+    // burns hundreds of simulated cycles in the loop.
+    let exp_want = exp_p.interpret(&[300], 10_000_000).unwrap();
+    for _ in 0..3 {
+        assert_eq!(exp.call(&[300]).unwrap(), exp_want);
+    }
+
+    assert!(
+        cheap_t.calls() > exp_t.calls(),
+        "setup: the cheap callee must be called more often"
+    );
+    assert!(
+        exp_t.heat() > cheap_t.heat(),
+        "cycle weighting must rank the expensive callee hotter ({} vs {})",
+        exp_t.heat(),
+        cheap_t.heat()
+    );
+    assert!(
+        exp_t.heat() >= 1_000,
+        "the expensive callee must cross the threshold"
+    );
+    assert!(
+        cheap_t.heat() < 1_000,
+        "the cheap callee must stay below the threshold"
+    );
+
+    assert!(e.service().wait_idle(Duration::from_secs(30)));
+    // The next call latches the published tier-2 code.
+    assert_eq!(exp.call(&[300]).unwrap(), exp_want);
+    assert!(exp_t.upgraded(), "expensive callee failed to tier up");
+    assert!(
+        !cheap_t.upgraded(),
+        "cheap callee must not tier up on call count alone"
+    );
+    assert_eq!(
+        exp.call(&[7]).unwrap(),
+        exp_p.interpret(&[7], 1_000_000).unwrap()
+    );
 }
